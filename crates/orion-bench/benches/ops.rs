@@ -1,0 +1,82 @@
+//! Criterion micro-benchmarks of the CKKS primitive operations —
+//! wall-clock counterparts of Figure 1 on the real backend (reduced ring).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orion_ckks::keys::KeyGenerator;
+use orion_ckks::params::{CkksParams, Context};
+use orion_ckks::{Encoder, Encryptor, Evaluator, HoistedDigits};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+struct H {
+    ctx: Arc<Context>,
+    enc: Encoder,
+    eval: Evaluator,
+    encryptor: Encryptor,
+}
+
+fn setup() -> H {
+    let ctx = Context::new(CkksParams::small());
+    let mut kg = KeyGenerator::new(ctx.clone(), StdRng::seed_from_u64(1));
+    let pk = Arc::new(kg.gen_public_key());
+    let keys = Arc::new(kg.gen_eval_keys(&[1, 2, 4]));
+    H {
+        enc: Encoder::new(ctx.clone()),
+        eval: Evaluator::new(ctx.clone(), keys),
+        encryptor: Encryptor::with_public_key(ctx.clone(), pk),
+        ctx,
+    }
+}
+
+fn bench_ntt(c: &mut Criterion) {
+    let table = orion_math::ntt::NttTable::new(1 << 12, orion_math::generate_ntt_primes(1 << 12, 50, 1, &[])[0]);
+    let data: Vec<u64> = (0..1 << 12).map(|i| i as u64).collect();
+    c.bench_function("ntt_forward_n4096", |b| {
+        b.iter(|| {
+            let mut a = data.clone();
+            table.forward(&mut a);
+            a
+        })
+    });
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let h = setup();
+    let vals: Vec<f64> = (0..h.ctx.slots()).map(|i| (i % 9) as f64 * 0.1).collect();
+    c.bench_function("encode_full_slots", |b| {
+        b.iter(|| h.enc.encode(&vals, h.ctx.scale(), 4, false))
+    });
+}
+
+fn bench_level_ops(c: &mut Criterion) {
+    let h = setup();
+    let mut rng = StdRng::seed_from_u64(2);
+    let vals: Vec<f64> = (0..h.ctx.slots()).map(|i| (i % 9) as f64 * 0.1).collect();
+    let mut g = c.benchmark_group("per_level");
+    for level in [2usize, 5, 8] {
+        let ct = h.encryptor.encrypt(&h.enc.encode(&vals, h.ctx.scale(), level, false), &mut rng);
+        let pt = h.enc.encode_at_prime_scale(&vals, level, false);
+        g.bench_with_input(BenchmarkId::new("pmult", level), &level, |b, _| {
+            b.iter(|| h.eval.mul_plain(&ct, &pt))
+        });
+        g.bench_with_input(BenchmarkId::new("hrot", level), &level, |b, _| {
+            b.iter(|| h.eval.rotate(&ct, 1))
+        });
+        let hoisted = HoistedDigits::new(&h.ctx, &ct);
+        g.bench_with_input(BenchmarkId::new("hrot_hoisted", level), &level, |b, _| {
+            b.iter(|| hoisted.rotate(&h.eval, 1))
+        });
+        g.bench_with_input(BenchmarkId::new("hmult", level), &level, |b, _| {
+            b.iter(|| h.eval.mul_relin(&ct, &ct))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ntt, bench_encode, bench_level_ops
+}
+criterion_main!(benches);

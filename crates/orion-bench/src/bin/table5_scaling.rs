@@ -1,0 +1,47 @@
+//! Table 5: scalability of automatic bootstrap placement with network
+//! depth, on the CIFAR ResNet family.
+//!
+//! Paper: compile 437→2132 s and placement 1.94→11.0 s from ResNet-20 to
+//! ResNet-110, both growing linearly in depth; ResNet-1202 takes 151 s of
+//! placement (run with `--deep` — the model build itself is the slow
+//! part at that depth).
+
+use orion_bench::{fmt_secs, prepare_model, Table};
+use orion_models::Act;
+
+fn main() {
+    let deep = std::env::args().any(|a| a == "--deep");
+    println!("Table 5: bootstrap placement scalability (ReLU [15,15,27])\n");
+    let mut t = Table::new(&["op", "res20", "res32", "res44", "res56", "res110"]);
+    let mut compile_row = vec!["compile".to_string()];
+    let mut place_row = vec!["boot place".to_string()];
+    let mut boots_row = vec!["# bootstraps".to_string()];
+    let mut sites_row = vec!["# boot sites".to_string()];
+    for name in ["resnet20", "resnet32", "resnet44", "resnet56", "resnet110"] {
+        let (_, compiled, _) = prepare_model(name, Act::Relu, 2, 7);
+        compile_row.push(fmt_secs(compiled.compile_seconds));
+        place_row.push(fmt_secs(compiled.placement.placement_seconds));
+        boots_row.push(compiled.placement.boot_count.to_string());
+        sites_row.push(compiled.placement.boot_sites.to_string());
+    }
+    t.row(compile_row);
+    t.row(place_row);
+    t.row(boots_row);
+    t.row(sites_row);
+    t.print();
+    println!("\npaper Table 5: boots 37/61/85/109/217; placement 1.94/2.91/3.86/5.70/11.0 s");
+    println!("expected shape: both bootstrap count and placement time linear in depth.");
+
+    if deep {
+        println!("\nResNet-1202 tractability check (paper: 151 s placement):");
+        let (_, compiled, _) = prepare_model("resnet1202", Act::Relu, 1, 7);
+        println!(
+            "  compile {}  placement {}  boots {}",
+            fmt_secs(compiled.compile_seconds),
+            fmt_secs(compiled.placement.placement_seconds),
+            compiled.placement.boot_count
+        );
+    } else {
+        println!("\n(run with --deep for the ResNet-1202 tractability check)");
+    }
+}

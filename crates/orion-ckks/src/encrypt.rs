@@ -1,0 +1,214 @@
+//! Plaintexts, ciphertexts, encryption, and decryption (paper §2.3).
+
+use crate::keys::{PublicKey, SecretKey};
+use crate::params::Context;
+use crate::poly::{Form, RnsPoly};
+use rand::Rng;
+use std::sync::Arc;
+
+/// An encoded (but unencrypted) polynomial `[m]` with its scaling factor.
+#[derive(Clone, Debug)]
+pub struct Plaintext {
+    /// The encoding polynomial (usually evaluation form).
+    pub poly: RnsPoly,
+    /// Scaling factor Δ used at encoding time.
+    pub scale: f64,
+}
+
+impl Plaintext {
+    /// Level of the underlying polynomial.
+    pub fn level(&self) -> usize {
+        self.poly.level()
+    }
+}
+
+/// A CKKS ciphertext `[[m]] = (c0, c1)` with `c0 + c1·s ≈ [m]`.
+#[derive(Clone, Debug)]
+pub struct Ciphertext {
+    /// First component, evaluation form.
+    pub c0: RnsPoly,
+    /// Second component, evaluation form.
+    pub c1: RnsPoly,
+    /// Current scaling factor.
+    pub scale: f64,
+}
+
+impl Ciphertext {
+    /// Current multiplicative level ℓ.
+    pub fn level(&self) -> usize {
+        self.c0.level()
+    }
+
+    /// Approximate size in bytes (paper §2.1 notes ciphertexts are KBs–MBs).
+    pub fn size_bytes(&self) -> usize {
+        2 * (self.level() + 1) * self.c0.limbs[0].len() * std::mem::size_of::<u64>()
+    }
+}
+
+/// Encrypts plaintexts under either the public or the secret key.
+pub enum Encryptor {
+    /// Public-key encryption (the usual client setup).
+    Public { ctx: Arc<Context>, pk: Arc<PublicKey> },
+    /// Secret-key encryption (used by the bootstrap oracle).
+    Secret { ctx: Arc<Context>, sk: Arc<SecretKey> },
+}
+
+impl Encryptor {
+    /// Public-key encryptor.
+    pub fn with_public_key(ctx: Arc<Context>, pk: Arc<PublicKey>) -> Self {
+        Self::Public { ctx, pk }
+    }
+
+    /// Secret-key encryptor.
+    pub fn with_secret_key(ctx: Arc<Context>, sk: Arc<SecretKey>) -> Self {
+        Self::Secret { ctx, sk }
+    }
+
+    fn ctx(&self) -> &Arc<Context> {
+        match self {
+            Self::Public { ctx, .. } | Self::Secret { ctx, .. } => ctx,
+        }
+    }
+
+    /// Encrypts `pt` at the plaintext's level.
+    pub fn encrypt<R: Rng>(&self, pt: &Plaintext, rng: &mut R) -> Ciphertext {
+        let ctx = self.ctx().clone();
+        let level = pt.level();
+        match self {
+            Self::Public { pk, .. } => {
+                let mut v = RnsPoly::sample_ternary(&ctx, level, false, rng);
+                v.to_eval(&ctx);
+                let mut e0 = RnsPoly::sample_gaussian(&ctx, level, false, rng);
+                e0.to_eval(&ctx);
+                let mut e1 = RnsPoly::sample_gaussian(&ctx, level, false, rng);
+                e1.to_eval(&ctx);
+                let mut pk_b = pk.b.clone();
+                pk_b.drop_to_level(level);
+                let mut pk_a = pk.a.clone();
+                pk_a.drop_to_level(level);
+                let mut c0 = v.mul_pointwise(&pk_b, &ctx);
+                c0.add_assign(&e0, &ctx);
+                let mut m = pt.poly.clone();
+                m.to_eval(&ctx);
+                m.special = None;
+                c0.add_assign(&m, &ctx);
+                let mut c1 = v.mul_pointwise(&pk_a, &ctx);
+                c1.add_assign(&e1, &ctx);
+                Ciphertext { c0, c1, scale: pt.scale }
+            }
+            Self::Secret { sk, .. } => {
+                let a = RnsPoly::sample_uniform(&ctx, level, Form::Eval, false, rng);
+                let mut e = RnsPoly::sample_gaussian(&ctx, level, false, rng);
+                e.to_eval(&ctx);
+                let mut s = sk.s.clone();
+                s.special = None;
+                s.drop_to_level(level);
+                // c0 = -a·s + e + m, c1 = a
+                let mut c0 = a.mul_pointwise(&s, &ctx);
+                c0.neg_assign(&ctx);
+                c0.add_assign(&e, &ctx);
+                let mut m = pt.poly.clone();
+                m.to_eval(&ctx);
+                m.special = None;
+                c0.add_assign(&m, &ctx);
+                Ciphertext { c0, c1: a, scale: pt.scale }
+            }
+        }
+    }
+}
+
+/// Decrypts ciphertexts with the secret key.
+pub struct Decryptor {
+    ctx: Arc<Context>,
+    sk: Arc<SecretKey>,
+}
+
+impl Decryptor {
+    /// Creates a decryptor.
+    pub fn new(ctx: Arc<Context>, sk: Arc<SecretKey>) -> Self {
+        Self { ctx, sk }
+    }
+
+    /// Decrypts to a plaintext (`m ≈ c0 + c1·s`), in coefficient form.
+    pub fn decrypt(&self, ct: &Ciphertext) -> Plaintext {
+        let mut s = self.sk.s.clone();
+        s.special = None;
+        s.drop_to_level(ct.level());
+        let mut m = ct.c1.mul_pointwise(&s, &self.ctx);
+        m.add_assign(&ct.c0, &self.ctx);
+        m.to_coeff(&self.ctx);
+        Plaintext { poly: m, scale: ct.scale }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::Encoder;
+    use crate::keys::KeyGenerator;
+    use crate::params::CkksParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Arc<Context>, Encoder, Encryptor, Encryptor, Decryptor) {
+        let ctx = Context::new(CkksParams::tiny());
+        let mut kg = KeyGenerator::new(ctx.clone(), StdRng::seed_from_u64(11));
+        let pk = Arc::new(kg.gen_public_key());
+        let sk = kg.secret_key();
+        let enc = Encoder::new(ctx.clone());
+        let e_pub = Encryptor::with_public_key(ctx.clone(), pk);
+        let e_sec = Encryptor::with_secret_key(ctx.clone(), sk.clone());
+        let dec = Decryptor::new(ctx.clone(), sk);
+        (ctx, enc, e_pub, e_sec, dec)
+    }
+
+    #[test]
+    fn public_encrypt_decrypt_roundtrip() {
+        let (ctx, enc, e_pub, _, dec) = setup();
+        let mut rng = StdRng::seed_from_u64(12);
+        let vals: Vec<f64> = (0..ctx.slots()).map(|i| ((i % 8) as f64) - 3.5).collect();
+        let pt = enc.encode(&vals, ctx.scale(), 2, false);
+        let ct = e_pub.encrypt(&pt, &mut rng);
+        assert_eq!(ct.level(), 2);
+        let out = enc.decode(&dec.decrypt(&ct));
+        for (a, b) in vals.iter().zip(&out) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn secret_encrypt_decrypt_roundtrip() {
+        let (ctx, enc, _, e_sec, dec) = setup();
+        let mut rng = StdRng::seed_from_u64(13);
+        let vals: Vec<f64> = (0..ctx.slots()).map(|i| (i as f64 * 0.3).cos()).collect();
+        let pt = enc.encode(&vals, ctx.scale(), 1, false);
+        let ct = e_sec.encrypt(&pt, &mut rng);
+        let out = enc.decode(&dec.decrypt(&ct));
+        for (a, b) in vals.iter().zip(&out) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn fresh_ciphertexts_at_different_levels() {
+        let (ctx, enc, e_pub, _, dec) = setup();
+        let mut rng = StdRng::seed_from_u64(14);
+        for level in 0..=ctx.max_level() {
+            let pt = enc.encode(&[1.5, -2.5], ctx.scale(), level, false);
+            let ct = e_pub.encrypt(&pt, &mut rng);
+            assert_eq!(ct.level(), level);
+            let out = enc.decode(&dec.decrypt(&ct));
+            assert!((out[0] - 1.5).abs() < 1e-4);
+            assert!((out[1] + 2.5).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn ciphertext_size_tracks_level() {
+        let (ctx, enc, e_pub, _, _) = setup();
+        let mut rng = StdRng::seed_from_u64(15);
+        let hi = e_pub.encrypt(&enc.encode(&[1.0], ctx.scale(), 3, false), &mut rng);
+        let lo = e_pub.encrypt(&enc.encode(&[1.0], ctx.scale(), 1, false), &mut rng);
+        assert!(hi.size_bytes() > lo.size_bytes());
+    }
+}

@@ -1,0 +1,385 @@
+//! Hoisted rotations and the lazy-ModDown accumulator (double-hoisting).
+//!
+//! Hoisting (paper §3.3) reuses the expensive digit decomposition of a
+//! ciphertext across many rotations of that same ciphertext — exactly the
+//! baby-step pattern of BSGS matrix–vector products. Double-hoisting
+//! additionally keeps the inner-product accumulation in the extended basis
+//! `Q·p`, performing a single ModDown per giant-step group instead of one
+//! per rotation (Bossuat et al., Algorithm 6).
+
+use crate::encrypt::{Ciphertext, Plaintext};
+use crate::eval::Evaluator;
+use crate::params::Context;
+use crate::poly::{Form, RnsPoly};
+
+/// Decomposes `c` (evaluation form, no special limb) into per-limb digits
+/// extended to the full basis `{q_0…q_ℓ, p}`, NTT'd and ready for
+/// key-switch inner products.
+///
+/// Because each digit is a *single-limb* value (`< q_i`), basis extension
+/// is exact integer reduction — no approximate CRT is needed (DESIGN.md).
+pub fn decompose_digits(ctx: &Context, c: &RnsPoly) -> Vec<RnsPoly> {
+    assert_eq!(c.form, Form::Eval);
+    assert!(!c.has_special());
+    let level = c.level();
+    let p = ctx.special;
+    (0..=level)
+        .map(|i| {
+            // Bring limb i to coefficient form.
+            let mut digit = c.limbs[i].clone();
+            ctx.ntt[i].inverse(&mut digit);
+            // Extend to every chain modulus and the special prime.
+            let limbs: Vec<Vec<u64>> = (0..=level)
+                .map(|j| {
+                    let qj = ctx.moduli[j];
+                    let mut l: Vec<u64> = digit.iter().map(|&x| x % qj).collect();
+                    ctx.ntt[j].forward(&mut l);
+                    l
+                })
+                .collect();
+            let mut sp: Vec<u64> = digit.iter().map(|&x| x % p).collect();
+            ctx.ntt_special.forward(&mut sp);
+            RnsPoly { limbs, special: Some(sp), form: Form::Eval }
+        })
+        .collect()
+}
+
+/// A ciphertext with its key-switch digit decomposition precomputed, ready
+/// for cheap repeated rotations.
+pub struct HoistedDigits {
+    /// Extended, NTT'd digits of `c1`.
+    digits: Vec<RnsPoly>,
+    /// Original `c0` (evaluation form).
+    c0: RnsPoly,
+    /// Original `c1` (needed for the rotation-by-zero fast path).
+    c1: RnsPoly,
+    /// Ciphertext scale.
+    scale: f64,
+}
+
+impl HoistedDigits {
+    /// Precomputes the decomposition of `ct` (the "hoisted" part).
+    pub fn new(ctx: &Context, ct: &Ciphertext) -> Self {
+        Self {
+            digits: decompose_digits(ctx, &ct.c1),
+            c0: ct.c0.clone(),
+            c1: ct.c1.clone(),
+            scale: ct.scale,
+        }
+    }
+
+    /// Ciphertext level.
+    pub fn level(&self) -> usize {
+        self.c0.level()
+    }
+
+    /// Ciphertext scale.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Rotates by `k` using the precomputed digits (one automorphism
+    /// permutation + key inner product + ModDown; no per-rotation NTTs
+    /// except inside ModDown).
+    pub fn rotate(&self, eval: &Evaluator, k: isize) -> Ciphertext {
+        let ctx = eval.context();
+        if k == 0 {
+            return Ciphertext { c0: self.c0.clone(), c1: self.c1.clone(), scale: self.scale };
+        }
+        let g = ctx.galois_element(k);
+        let perm = ctx.galois_permutation(g);
+        let key = eval.keys().rotation(g);
+        let level = self.level();
+        let mut acc_b = RnsPoly::zero(ctx, level, Form::Eval, true);
+        let mut acc_a = RnsPoly::zero(ctx, level, Form::Eval, true);
+        for (i, d) in self.digits.iter().enumerate() {
+            let pd = d.automorphism_eval(&perm);
+            let kb = key_part(&key.parts[i].0, level);
+            let ka = key_part(&key.parts[i].1, level);
+            acc_b.add_mul_assign(&pd, &kb, ctx);
+            acc_a.add_mul_assign(&pd, &ka, ctx);
+        }
+        acc_b.mod_down_special_assign(ctx);
+        acc_a.mod_down_special_assign(ctx);
+        let mut c0 = self.c0.automorphism_eval(&perm);
+        c0.add_assign(&acc_b, ctx);
+        Ciphertext { c0, c1: acc_a, scale: self.scale }
+    }
+}
+
+fn key_part(p: &RnsPoly, level: usize) -> RnsPoly {
+    RnsPoly { limbs: p.limbs[..=level].to_vec(), special: p.special.clone(), form: p.form }
+}
+
+/// A rotation of a hoisted ciphertext kept in the extended basis — the
+/// shareable unit of double-hoisting: computed once per distinct rotation
+/// step, then multiplied by many plaintext diagonals.
+pub struct RotatedExt {
+    /// `(ks_b, ks_a)` in the extended basis, or `None` for rotation by 0.
+    ext: Option<(RnsPoly, RnsPoly)>,
+    /// `σ(c0)` (base basis).
+    c0: RnsPoly,
+    /// Original `c1` (only for rotation by 0).
+    c1: Option<RnsPoly>,
+    /// Source ciphertext scale.
+    scale: f64,
+}
+
+impl HoistedDigits {
+    /// Computes the rotation's key-switch inner product once, leaving the
+    /// result in the extended basis for reuse across many diagonals.
+    pub fn rotate_ext(&self, eval: &Evaluator, k: isize) -> RotatedExt {
+        let ctx = eval.context();
+        if k == 0 {
+            return RotatedExt { ext: None, c0: self.c0.clone(), c1: Some(self.c1.clone()), scale: self.scale };
+        }
+        let g = ctx.galois_element(k);
+        let perm = ctx.galois_permutation(g);
+        let key = eval.keys().rotation(g);
+        let level = self.level();
+        let mut ks_b = RnsPoly::zero(ctx, level, Form::Eval, true);
+        let mut ks_a = RnsPoly::zero(ctx, level, Form::Eval, true);
+        for (i, d) in self.digits.iter().enumerate() {
+            let pd = d.automorphism_eval(&perm);
+            ks_b.add_mul_assign(&pd, &key_part(&key.parts[i].0, level), ctx);
+            ks_a.add_mul_assign(&pd, &key_part(&key.parts[i].1, level), ctx);
+        }
+        RotatedExt { ext: Some((ks_b, ks_a)), c0: self.c0.automorphism_eval(&perm), c1: None, scale: self.scale }
+    }
+}
+
+fn strip_special(p: &RnsPoly) -> RnsPoly {
+    RnsPoly { limbs: p.limbs.clone(), special: None, form: p.form }
+}
+
+/// Lazy-ModDown accumulator: sums `pt_k ⊙ HRot_k(ct)` terms while keeping
+/// the key-switch parts in the extended basis; a single ModDown happens in
+/// [`ExtAccumulator::finalize`]. This is the double-hoisting inner loop of
+/// the BSGS matvec (paper §3.3, Equation 1).
+pub struct ExtAccumulator {
+    acc_b_ext: RnsPoly,
+    acc_a_ext: RnsPoly,
+    acc_b_base: RnsPoly,
+    acc_a_base: RnsPoly,
+    any_ext: bool,
+    scale: Option<f64>,
+}
+
+impl ExtAccumulator {
+    /// Creates an empty accumulator at `level`.
+    pub fn new(ctx: &Context, level: usize) -> Self {
+        Self {
+            acc_b_ext: RnsPoly::zero(ctx, level, Form::Eval, true),
+            acc_a_ext: RnsPoly::zero(ctx, level, Form::Eval, true),
+            acc_b_base: RnsPoly::zero(ctx, level, Form::Eval, false),
+            acc_a_base: RnsPoly::zero(ctx, level, Form::Eval, false),
+            any_ext: false,
+            scale: None,
+        }
+    }
+
+    fn bump_scale(&mut self, s: f64) {
+        match self.scale {
+            None => self.scale = Some(s),
+            Some(prev) => assert!(
+                (prev / s - 1.0).abs() < 1e-9,
+                "accumulator terms must share one scale"
+            ),
+        }
+    }
+
+    /// Accumulates `pt ⊙ HRot_k(hoisted)`.
+    ///
+    /// For `k ≠ 0` the plaintext must carry a special limb (encode with
+    /// `with_special = true`); the rotation's key-switch output is consumed
+    /// lazily in the extended basis.
+    pub fn add_rotated_pmult(&mut self, eval: &Evaluator, h: &HoistedDigits, k: isize, pt: &Plaintext) {
+        let ctx = eval.context();
+        self.bump_scale(h.scale * pt.scale);
+        if k == 0 {
+            let pt_base = strip_special(&pt.poly);
+            self.acc_b_base.add_mul_assign(&h.c0, &pt_base, ctx);
+            self.acc_a_base.add_mul_assign(&h.c1, &pt_base, ctx);
+            return;
+        }
+        assert!(pt.poly.has_special(), "double-hoisting needs extended-basis plaintexts");
+        let g = ctx.galois_element(k);
+        let perm = ctx.galois_permutation(g);
+        let key = eval.keys().rotation(g);
+        let level = h.level();
+        let mut ks_b = RnsPoly::zero(ctx, level, Form::Eval, true);
+        let mut ks_a = RnsPoly::zero(ctx, level, Form::Eval, true);
+        for (i, d) in h.digits.iter().enumerate() {
+            let pd = d.automorphism_eval(&perm);
+            ks_b.add_mul_assign(&pd, &key_part(&key.parts[i].0, level), ctx);
+            ks_a.add_mul_assign(&pd, &key_part(&key.parts[i].1, level), ctx);
+        }
+        // pt ⊙ key-switch parts stay extended; pt ⊙ σ(c0) is base-basis.
+        self.acc_b_ext.add_assign(&ks_b.mul_pointwise(&pt.poly, ctx), ctx);
+        self.acc_a_ext.add_assign(&ks_a.mul_pointwise(&pt.poly, ctx), ctx);
+        let sc0 = h.c0.automorphism_eval(&perm);
+        self.acc_b_base.add_mul_assign(&sc0, &strip_special(&pt.poly), ctx);
+        self.any_ext = true;
+        let _ = &self.any_ext;
+    }
+
+    /// Accumulates `pt ⊙ rot` where `rot` is a precomputed [`RotatedExt`]
+    /// (the key-switch inner product is shared across all diagonals using
+    /// the same rotation step — Bossuat et al. Algorithm 6).
+    pub fn add_pmult_rotated(&mut self, eval: &Evaluator, rot: &RotatedExt, pt: &Plaintext) {
+        let ctx = eval.context();
+        match &rot.ext {
+            None => {
+                // rotation by zero: plain base-basis accumulation
+                let c1 = rot.c1.as_ref().expect("zero rotation keeps c1");
+                self.bump_scale_public(rot.scale * pt.scale);
+                let pt_base = strip_special(&pt.poly);
+                self.acc_b_base.add_mul_assign(&rot.c0, &pt_base, ctx);
+                self.acc_a_base.add_mul_assign(c1, &pt_base, ctx);
+            }
+            Some((ks_b, ks_a)) => {
+                assert!(pt.poly.has_special(), "double-hoisting needs extended-basis plaintexts");
+                self.bump_scale_public(rot.scale * pt.scale);
+                self.acc_b_ext.add_mul_assign(ks_b, &pt.poly, ctx);
+                self.acc_a_ext.add_mul_assign(ks_a, &pt.poly, ctx);
+                self.acc_b_base.add_mul_assign(&rot.c0, &strip_special(&pt.poly), ctx);
+                self.any_ext = true;
+            }
+        }
+    }
+
+    fn bump_scale_public(&mut self, term_scale: f64) {
+        match self.scale {
+            None => self.scale = Some(term_scale),
+            Some(prev) => assert!(
+                (prev / term_scale - 1.0).abs() < 1e-9,
+                "accumulator terms must share one scale"
+            ),
+        }
+    }
+
+    /// Performs the deferred ModDown and returns the accumulated
+    /// ciphertext.
+    pub fn finalize(mut self, eval: &Evaluator) -> Ciphertext {
+        let ctx = eval.context();
+        self.acc_b_ext.mod_down_special_assign(ctx);
+        self.acc_a_ext.mod_down_special_assign(ctx);
+        let mut c0 = self.acc_b_base;
+        c0.add_assign(&self.acc_b_ext, ctx);
+        let mut c1 = self.acc_a_base;
+        c1.add_assign(&self.acc_a_ext, ctx);
+        Ciphertext { c0, c1, scale: self.scale.expect("empty accumulator") }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::Encoder;
+    use crate::encrypt::{Decryptor, Encryptor};
+    use crate::keys::KeyGenerator;
+    use crate::params::CkksParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    struct H {
+        ctx: Arc<Context>,
+        enc: Encoder,
+        encryptor: Encryptor,
+        dec: Decryptor,
+        eval: Evaluator,
+        rng: StdRng,
+    }
+
+    fn setup(rotations: &[isize]) -> H {
+        let ctx = Context::new(CkksParams::tiny());
+        let mut kg = KeyGenerator::new(ctx.clone(), StdRng::seed_from_u64(31));
+        let pk = Arc::new(kg.gen_public_key());
+        let keys = Arc::new(kg.gen_eval_keys(rotations));
+        let sk = kg.secret_key();
+        H {
+            ctx: ctx.clone(),
+            enc: Encoder::new(ctx.clone()),
+            encryptor: Encryptor::with_public_key(ctx.clone(), pk),
+            dec: Decryptor::new(ctx.clone(), sk),
+            eval: Evaluator::new(ctx, keys),
+            rng: StdRng::seed_from_u64(32),
+        }
+    }
+
+    #[test]
+    fn hoisted_rotation_matches_plain_rotation() {
+        let mut h = setup(&[1, 7]);
+        let n = h.ctx.slots();
+        let a: Vec<f64> = (0..n).map(|i| ((i * 3) % 11) as f64 * 0.2).collect();
+        let ct = h.encryptor.encrypt(&h.enc.encode(&a, h.ctx.scale(), 2, false), &mut h.rng);
+        let hd = HoistedDigits::new(&h.ctx, &ct);
+        for k in [0isize, 1, 7] {
+            let via_hoist = h.enc.decode(&h.dec.decrypt(&hd.rotate(&h.eval, k)));
+            let via_plain = h.enc.decode(&h.dec.decrypt(&h.eval.rotate(&ct, k)));
+            for i in (0..n).step_by(23) {
+                assert!(
+                    (via_hoist[i] - via_plain[i]).abs() < 1e-2,
+                    "k={k} slot {i}: {} vs {}",
+                    via_hoist[i],
+                    via_plain[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn double_hoisted_inner_sum_matches_naive() {
+        // sum_k pt_k ⊙ rot_k(ct), k in {0, 1, 2}.
+        let mut h = setup(&[1, 2]);
+        let n = h.ctx.slots();
+        let level = 2;
+        let a: Vec<f64> = (0..n).map(|i| ((i % 9) as f64) * 0.3 - 1.0).collect();
+        let ct = h.encryptor.encrypt(&h.enc.encode(&a, h.ctx.scale(), level, false), &mut h.rng);
+        let weights: Vec<Vec<f64>> = (0..3)
+            .map(|k| (0..n).map(|i| (((i + k) % 5) as f64) * 0.15).collect())
+            .collect();
+
+        // Naive computation.
+        let mut naive = vec![0.0f64; n];
+        for (k, w) in weights.iter().enumerate() {
+            for i in 0..n {
+                naive[i] += w[i] * a[(i + k) % n];
+            }
+        }
+
+        let hd = HoistedDigits::new(&h.ctx, &ct);
+        let mut acc = ExtAccumulator::new(&h.ctx, level);
+        for (k, w) in weights.iter().enumerate() {
+            let pt = h.enc.encode_at_prime_scale_ws(w, level);
+            acc.add_rotated_pmult(&h.eval, &hd, k as isize, &pt);
+        }
+        let mut out_ct = acc.finalize(&h.eval);
+        h.eval.rescale_assign(&mut out_ct);
+        assert_eq!(out_ct.scale, h.ctx.scale());
+        let out = h.enc.decode(&h.dec.decrypt(&out_ct));
+        for i in (0..n).step_by(31) {
+            assert!(
+                (out[i] - naive[i]).abs() < 2e-2,
+                "slot {i}: {} vs {}",
+                out[i],
+                naive[i]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share one scale")]
+    fn accumulator_rejects_mixed_scales() {
+        let mut h = setup(&[1]);
+        let level = 1;
+        let ct = h.encryptor.encrypt(&h.enc.encode(&[1.0], h.ctx.scale(), level, false), &mut h.rng);
+        let hd = HoistedDigits::new(&h.ctx, &ct);
+        let mut acc = ExtAccumulator::new(&h.ctx, level);
+        let p1 = h.enc.encode(&[1.0], h.ctx.scale(), level, true);
+        let p2 = h.enc.encode(&[1.0], h.ctx.scale() * 4.0, level, true);
+        acc.add_rotated_pmult(&h.eval, &hd, 1, &p1);
+        acc.add_rotated_pmult(&h.eval, &hd, 1, &p2);
+    }
+}

@@ -1,0 +1,193 @@
+//! Key material: secret, public, relinearization, and rotation keys.
+//!
+//! Key-switching keys use per-limb digit decomposition with one special
+//! prime `p` (DESIGN.md §5): the key for re-keying `s' → s` has one part
+//! per chain limb `i`, each a pair over the extended basis `{q_0…q_L, p}`
+//! encrypting `p·D_i·s'` where `D_i ≡ δ_ij (mod q_j)`.
+
+use crate::params::Context;
+use crate::poly::{Form, RnsPoly};
+use orion_math::modular::{add_mod, mul_mod};
+use rand::Rng;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The secret key: a ternary polynomial, stored in evaluation form over the
+/// full basis (all chain limbs + special).
+pub struct SecretKey {
+    /// `s` in evaluation form, full basis.
+    pub s: RnsPoly,
+}
+
+/// The public encryption key `(b, a) = (−a·s + e, a)` at the top level.
+pub struct PublicKey {
+    /// `−a·s + e`, evaluation form, full chain (no special limb).
+    pub b: RnsPoly,
+    /// Uniform `a`, evaluation form, full chain.
+    pub a: RnsPoly,
+}
+
+/// A key-switching key for some `s' → s`: one `(b_i, a_i)` pair per chain
+/// limb, each over the extended basis.
+pub struct KeySwitchKey {
+    /// `parts[i] = (b_i, a_i)` in evaluation form over `{q_0…q_L, p}`.
+    pub parts: Vec<(RnsPoly, RnsPoly)>,
+}
+
+/// Evaluation keys: relinearization + rotation (+ conjugation) keys.
+pub struct EvalKeys {
+    /// Key for `s² → s` (used by `HMult`).
+    pub relin: KeySwitchKey,
+    /// Rotation keys, indexed by Galois element.
+    pub rot: HashMap<usize, KeySwitchKey>,
+    /// Conjugation key (Galois element `2N−1`), if generated.
+    pub conj: Option<KeySwitchKey>,
+}
+
+impl EvalKeys {
+    /// Looks up the rotation key for Galois element `g`.
+    pub fn rotation(&self, g: usize) -> &KeySwitchKey {
+        self.rot
+            .get(&g)
+            .unwrap_or_else(|| panic!("missing rotation key for galois element {g}"))
+    }
+}
+
+/// Generates all key material from a fresh ternary secret.
+pub struct KeyGenerator<R: Rng> {
+    ctx: Arc<Context>,
+    rng: R,
+    sk: Arc<SecretKey>,
+}
+
+impl<R: Rng> KeyGenerator<R> {
+    /// Samples a fresh secret key.
+    pub fn new(ctx: Arc<Context>, mut rng: R) -> Self {
+        let max = ctx.max_level();
+        let mut s = RnsPoly::sample_ternary(&ctx, max, true, &mut rng);
+        s.to_eval(&ctx);
+        Self { ctx, rng, sk: Arc::new(SecretKey { s }) }
+    }
+
+    /// The secret key (shared handle).
+    pub fn secret_key(&self) -> Arc<SecretKey> {
+        self.sk.clone()
+    }
+
+    /// Generates the public key.
+    pub fn gen_public_key(&mut self) -> PublicKey {
+        let max = self.ctx.max_level();
+        let a = RnsPoly::sample_uniform(&self.ctx, max, Form::Eval, false, &mut self.rng);
+        let mut e = RnsPoly::sample_gaussian(&self.ctx, max, false, &mut self.rng);
+        e.to_eval(&self.ctx);
+        // b = -a*s + e
+        let mut s_trunc = self.sk.s.clone();
+        s_trunc.special = None;
+        let mut b = a.mul_pointwise(&s_trunc, &self.ctx);
+        b.neg_assign(&self.ctx);
+        b.add_assign(&e, &self.ctx);
+        PublicKey { b, a }
+    }
+
+    /// Generates a key-switching key re-keying `s_from → s` where `s_from`
+    /// is given in evaluation form over the full basis.
+    pub fn gen_ksw_key(&mut self, s_from: &RnsPoly) -> KeySwitchKey {
+        let ctx = &self.ctx;
+        let max = ctx.max_level();
+        let p = ctx.special;
+        let parts = (0..=max)
+            .map(|i| {
+                let a_i = RnsPoly::sample_uniform(ctx, max, Form::Eval, true, &mut self.rng);
+                let mut e_i = RnsPoly::sample_gaussian(ctx, max, true, &mut self.rng);
+                e_i.to_eval(ctx);
+                // b_i = -a_i*s + e_i + p·D_i·s_from
+                let mut b_i = a_i.mul_pointwise(&self.sk.s, ctx);
+                b_i.neg_assign(ctx);
+                b_i.add_assign(&e_i, ctx);
+                // p·D_i ≡ p (mod q_i), ≡ 0 (mod q_j, j≠i), ≡ 0 (mod p):
+                // only limb i receives a contribution.
+                let qi = ctx.moduli[i];
+                let p_mod = p % qi;
+                let src = &s_from.limbs[i];
+                let dst = &mut b_i.limbs[i];
+                for (x, &sv) in dst.iter_mut().zip(src) {
+                    *x = add_mod(*x, mul_mod(p_mod, sv, qi), qi);
+                }
+                (b_i, a_i)
+            })
+            .collect();
+        KeySwitchKey { parts }
+    }
+
+    /// Generates the relinearization key (`s² → s`).
+    pub fn gen_relin_key(&mut self) -> KeySwitchKey {
+        let s2 = self.sk.s.mul_pointwise(&self.sk.s, &self.ctx);
+        self.gen_ksw_key(&s2)
+    }
+
+    /// Generates the rotation key for a slot rotation by `k`.
+    pub fn gen_rotation_key(&mut self, k: isize) -> (usize, KeySwitchKey) {
+        let g = self.ctx.galois_element(k);
+        let perm = self.ctx.galois_permutation(g);
+        let s_rot = self.sk.s.automorphism_eval(&perm);
+        (g, self.gen_ksw_key(&s_rot))
+    }
+
+    /// Generates the conjugation key.
+    pub fn gen_conjugation_key(&mut self) -> KeySwitchKey {
+        let g = self.ctx.galois_element_conj();
+        let perm = self.ctx.galois_permutation(g);
+        let s_conj = self.sk.s.automorphism_eval(&perm);
+        self.gen_ksw_key(&s_conj)
+    }
+
+    /// Generates the full evaluation-key set for the given rotation steps.
+    pub fn gen_eval_keys(&mut self, rotations: &[isize]) -> EvalKeys {
+        let relin = self.gen_relin_key();
+        let mut rot = HashMap::new();
+        for &k in rotations {
+            if k == 0 {
+                continue;
+            }
+            let (g, key) = self.gen_rotation_key(k);
+            rot.insert(g, key);
+        }
+        EvalKeys { relin, rot, conj: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CkksParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn public_key_decrypts_to_small_error() {
+        // b + a*s = e must be small.
+        let ctx = Context::new(CkksParams::tiny());
+        let mut kg = KeyGenerator::new(ctx.clone(), StdRng::seed_from_u64(7));
+        let pk = kg.gen_public_key();
+        let sk = kg.secret_key();
+        let mut s = sk.s.clone();
+        s.special = None;
+        let mut chk = pk.a.mul_pointwise(&s, &ctx);
+        chk.add_assign(&pk.b, &ctx);
+        chk.to_coeff(&ctx);
+        let lifted = chk.lift_centered(&ctx);
+        let max = lifted.iter().map(|x| x.unsigned_abs()).max().unwrap();
+        assert!(max < (ctx.params.sigma * 8.0) as u128 + 1, "pk error too large: {max}");
+    }
+
+    #[test]
+    fn eval_keys_indexable_by_galois_element() {
+        let ctx = Context::new(CkksParams::tiny());
+        let mut kg = KeyGenerator::new(ctx.clone(), StdRng::seed_from_u64(8));
+        let keys = kg.gen_eval_keys(&[1, -1, 4]);
+        assert!(keys.rot.contains_key(&ctx.galois_element(1)));
+        assert!(keys.rot.contains_key(&ctx.galois_element(-1)));
+        assert!(keys.rot.contains_key(&ctx.galois_element(4)));
+        assert_eq!(keys.relin.parts.len(), ctx.max_level() + 1);
+    }
+}

@@ -1,0 +1,494 @@
+//! RNS polynomials in `Z_Q[X]/(X^N + 1)`.
+//!
+//! A polynomial at level ℓ is stored as ℓ+1 limbs (one residue vector per
+//! chain modulus), optionally extended by a limb over the special prime
+//! (used inside key-switching). Limbs live either in coefficient or
+//! evaluation (NTT) representation; see paper §2.4–2.5.
+
+use crate::params::Context;
+use orion_math::modular::{add_mod, mul_mod, neg_mod, reduce_i128, sub_mod};
+use rand::Rng;
+
+/// Representation of the limbs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Form {
+    /// Coefficient representation.
+    Coeff,
+    /// Evaluation (NTT) representation.
+    Eval,
+}
+
+/// An RNS polynomial. `limbs[j]` holds the residues modulo `ctx.moduli[j]`
+/// for `j ≤ level`; `special` (if present) holds residues modulo the
+/// special prime.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RnsPoly {
+    /// Chain limbs, lowest modulus first. `limbs.len() == level + 1`.
+    pub limbs: Vec<Vec<u64>>,
+    /// Optional special-prime limb (key-switching basis extension).
+    pub special: Option<Vec<u64>>,
+    /// Current representation of every limb.
+    pub form: Form,
+}
+
+impl RnsPoly {
+    /// The all-zero polynomial at `level` (with a special limb if requested).
+    pub fn zero(ctx: &Context, level: usize, form: Form, with_special: bool) -> Self {
+        let n = ctx.degree();
+        Self {
+            limbs: vec![vec![0u64; n]; level + 1],
+            special: with_special.then(|| vec![0u64; n]),
+            form,
+        }
+    }
+
+    /// Current level ℓ (= number of limbs − 1).
+    pub fn level(&self) -> usize {
+        self.limbs.len() - 1
+    }
+
+    /// Whether the special limb is present.
+    pub fn has_special(&self) -> bool {
+        self.special.is_some()
+    }
+
+    /// Builds a polynomial from signed coefficients (reduced per modulus).
+    pub fn from_signed(ctx: &Context, coeffs: &[i128], level: usize, with_special: bool) -> Self {
+        let n = ctx.degree();
+        assert_eq!(coeffs.len(), n);
+        let limbs = (0..=level)
+            .map(|j| {
+                let q = ctx.moduli[j];
+                coeffs.iter().map(|&c| reduce_i128(c, q)).collect()
+            })
+            .collect();
+        let special = with_special.then(|| {
+            let p = ctx.special;
+            coeffs.iter().map(|&c| reduce_i128(c, p)).collect()
+        });
+        Self { limbs, special, form: Form::Coeff }
+    }
+
+    /// Samples every limb uniformly (already valid in either form; we tag
+    /// the requested one).
+    pub fn sample_uniform<R: Rng>(ctx: &Context, level: usize, form: Form, with_special: bool, rng: &mut R) -> Self {
+        let n = ctx.degree();
+        let limbs = (0..=level)
+            .map(|j| {
+                let q = ctx.moduli[j];
+                (0..n).map(|_| rng.gen_range(0..q)).collect()
+            })
+            .collect();
+        let special = with_special.then(|| {
+            let p = ctx.special;
+            (0..n).map(|_| rng.gen_range(0..p)).collect()
+        });
+        Self { limbs, special, form }
+    }
+
+    /// Samples a ternary polynomial (coefficients in {−1, 0, 1}) in
+    /// coefficient form, replicated across all limbs.
+    pub fn sample_ternary<R: Rng>(ctx: &Context, level: usize, with_special: bool, rng: &mut R) -> Self {
+        let n = ctx.degree();
+        let signed: Vec<i128> = (0..n).map(|_| rng.gen_range(-1i128..=1)).collect();
+        Self::from_signed(ctx, &signed, level, with_special)
+    }
+
+    /// Samples a rounded-Gaussian error polynomial (σ from the params).
+    pub fn sample_gaussian<R: Rng>(ctx: &Context, level: usize, with_special: bool, rng: &mut R) -> Self {
+        let n = ctx.degree();
+        let sigma = ctx.params.sigma;
+        let signed: Vec<i128> = (0..n)
+            .map(|_| {
+                // Box–Muller
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen::<f64>();
+                let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                (g * sigma).round() as i128
+            })
+            .collect();
+        Self::from_signed(ctx, &signed, level, with_special)
+    }
+
+    /// Converts all limbs to evaluation form (no-op if already there).
+    pub fn to_eval(&mut self, ctx: &Context) {
+        if self.form == Form::Eval {
+            return;
+        }
+        for (j, limb) in self.limbs.iter_mut().enumerate() {
+            ctx.ntt[j].forward(limb);
+        }
+        if let Some(s) = &mut self.special {
+            ctx.ntt_special.forward(s);
+        }
+        self.form = Form::Eval;
+    }
+
+    /// Converts all limbs to coefficient form (no-op if already there).
+    pub fn to_coeff(&mut self, ctx: &Context) {
+        if self.form == Form::Coeff {
+            return;
+        }
+        for (j, limb) in self.limbs.iter_mut().enumerate() {
+            ctx.ntt[j].inverse(limb);
+        }
+        if let Some(s) = &mut self.special {
+            ctx.ntt_special.inverse(s);
+        }
+        self.form = Form::Coeff;
+    }
+
+    fn check_compat(&self, other: &Self) {
+        assert_eq!(self.form, other.form, "form mismatch");
+        assert_eq!(self.limbs.len(), other.limbs.len(), "level mismatch");
+        assert_eq!(self.has_special(), other.has_special(), "special-limb mismatch");
+    }
+
+    /// `self += other` (limbwise).
+    pub fn add_assign(&mut self, other: &Self, ctx: &Context) {
+        self.check_compat(other);
+        for (j, (a, b)) in self.limbs.iter_mut().zip(&other.limbs).enumerate() {
+            let q = ctx.moduli[j];
+            for (x, &y) in a.iter_mut().zip(b) {
+                *x = add_mod(*x, y, q);
+            }
+        }
+        if let (Some(a), Some(b)) = (&mut self.special, &other.special) {
+            let p = ctx.special;
+            for (x, &y) in a.iter_mut().zip(b) {
+                *x = add_mod(*x, y, p);
+            }
+        }
+    }
+
+    /// `self -= other` (limbwise).
+    pub fn sub_assign(&mut self, other: &Self, ctx: &Context) {
+        self.check_compat(other);
+        for (j, (a, b)) in self.limbs.iter_mut().zip(&other.limbs).enumerate() {
+            let q = ctx.moduli[j];
+            for (x, &y) in a.iter_mut().zip(b) {
+                *x = sub_mod(*x, y, q);
+            }
+        }
+        if let (Some(a), Some(b)) = (&mut self.special, &other.special) {
+            let p = ctx.special;
+            for (x, &y) in a.iter_mut().zip(b) {
+                *x = sub_mod(*x, y, p);
+            }
+        }
+    }
+
+    /// Negates in place.
+    pub fn neg_assign(&mut self, ctx: &Context) {
+        for (j, a) in self.limbs.iter_mut().enumerate() {
+            let q = ctx.moduli[j];
+            for x in a.iter_mut() {
+                *x = neg_mod(*x, q);
+            }
+        }
+        if let Some(a) = &mut self.special {
+            let p = ctx.special;
+            for x in a.iter_mut() {
+                *x = neg_mod(*x, p);
+            }
+        }
+    }
+
+    /// Pointwise product (both operands must be in evaluation form).
+    pub fn mul_pointwise(&self, other: &Self, ctx: &Context) -> Self {
+        assert_eq!(self.form, Form::Eval);
+        self.check_compat(other);
+        let limbs = self
+            .limbs
+            .iter()
+            .zip(&other.limbs)
+            .enumerate()
+            .map(|(j, (a, b))| {
+                let q = ctx.moduli[j];
+                a.iter().zip(b).map(|(&x, &y)| mul_mod(x, y, q)).collect()
+            })
+            .collect();
+        let special = match (&self.special, &other.special) {
+            (Some(a), Some(b)) => {
+                let p = ctx.special;
+                Some(a.iter().zip(b).map(|(&x, &y)| mul_mod(x, y, p)).collect())
+            }
+            _ => None,
+        };
+        Self { limbs, special, form: Form::Eval }
+    }
+
+    /// Fused `self += a ⊙ b` (all evaluation form).
+    pub fn add_mul_assign(&mut self, a: &Self, b: &Self, ctx: &Context) {
+        assert_eq!(self.form, Form::Eval);
+        a.check_compat(b);
+        assert_eq!(self.limbs.len(), a.limbs.len());
+        for (j, (dst, (x, y))) in self.limbs.iter_mut().zip(a.limbs.iter().zip(&b.limbs)).enumerate() {
+            let q = ctx.moduli[j];
+            for ((d, &u), &v) in dst.iter_mut().zip(x).zip(y) {
+                *d = add_mod(*d, mul_mod(u, v, q), q);
+            }
+        }
+        if let (Some(dst), Some(x), Some(y)) = (&mut self.special, &a.special, &b.special) {
+            let p = ctx.special;
+            for ((d, &u), &v) in dst.iter_mut().zip(x).zip(y) {
+                *d = add_mod(*d, mul_mod(u, v, p), p);
+            }
+        }
+    }
+
+    /// Multiplies every limb by a per-limb scalar (`scalars[j]` mod `q_j`,
+    /// last entry for the special limb if present).
+    pub fn mul_scalar_assign(&mut self, scalar: i128, ctx: &Context) {
+        for (j, a) in self.limbs.iter_mut().enumerate() {
+            let q = ctx.moduli[j];
+            let s = reduce_i128(scalar, q);
+            for x in a.iter_mut() {
+                *x = mul_mod(*x, s, q);
+            }
+        }
+        if let Some(a) = &mut self.special {
+            let p = ctx.special;
+            let s = reduce_i128(scalar, p);
+            for x in a.iter_mut() {
+                *x = mul_mod(*x, s, p);
+            }
+        }
+    }
+
+    /// Applies the Galois automorphism `a(X) → a(X^g)` in coefficient form.
+    pub fn automorphism_coeff(&self, g: usize, ctx: &Context) -> Self {
+        assert_eq!(self.form, Form::Coeff);
+        let n = ctx.degree();
+        let m = 2 * n;
+        let map: Vec<(usize, bool)> = (0..n)
+            .map(|j| {
+                let t = (j * g) % m;
+                if t < n {
+                    (t, false)
+                } else {
+                    (t - n, true)
+                }
+            })
+            .collect();
+        let mut out = self.clone();
+        for (jq, (src, dst)) in self.limbs.iter().zip(&mut out.limbs).enumerate() {
+            let q = ctx.moduli[jq];
+            for (j, &(t, negate)) in map.iter().enumerate() {
+                dst[t] = if negate { neg_mod(src[j], q) } else { src[j] };
+            }
+        }
+        if let (Some(src), Some(dst)) = (&self.special, &mut out.special) {
+            let p = ctx.special;
+            for (j, &(t, negate)) in map.iter().enumerate() {
+                dst[t] = if negate { neg_mod(src[j], p) } else { src[j] };
+            }
+        }
+        out
+    }
+
+    /// Applies a Galois automorphism in evaluation form via the context's
+    /// permutation table: `out[i] = in[perm[i]]` in every limb.
+    pub fn automorphism_eval(&self, perm: &[usize]) -> Self {
+        assert_eq!(self.form, Form::Eval);
+        let apply = |src: &Vec<u64>| -> Vec<u64> { perm.iter().map(|&j| src[j]).collect() };
+        Self {
+            limbs: self.limbs.iter().map(apply).collect(),
+            special: self.special.as_ref().map(apply),
+            form: Form::Eval,
+        }
+    }
+
+    /// Divides by the top chain modulus and drops it (the CKKS rescale on
+    /// one polynomial; paper §2.5.2). Works in evaluation form.
+    pub fn rescale_assign(&mut self, ctx: &Context) {
+        assert!(self.level() >= 1, "cannot rescale at level 0");
+        assert!(self.special.is_none(), "ModDown the special limb first");
+        assert_eq!(self.form, Form::Eval);
+        let l = self.level();
+        let ql = ctx.moduli[l];
+        // Bring the top limb to coefficient form.
+        let mut top = self.limbs.pop().expect("top limb");
+        ctx.ntt[l].inverse(&mut top);
+        for j in 0..l {
+            let qj = ctx.moduli[j];
+            let inv = ctx.rescale_constant(l, j);
+            // Centered lift of the top limb into Z_{q_j}, NTT, subtract, scale.
+            let mut lifted: Vec<u64> = top
+                .iter()
+                .map(|&c| {
+                    let centered = orion_math::modular::center(c, ql);
+                    reduce_i128(centered as i128, qj)
+                })
+                .collect();
+            ctx.ntt[j].forward(&mut lifted);
+            let limb = &mut self.limbs[j];
+            for (x, &t) in limb.iter_mut().zip(&lifted) {
+                *x = mul_mod(sub_mod(*x, t, qj), inv, qj);
+            }
+        }
+    }
+
+    /// Removes the special limb, dividing the polynomial by `p` with
+    /// rounding (the ModDown step after key-switching).
+    pub fn mod_down_special_assign(&mut self, ctx: &Context) {
+        assert_eq!(self.form, Form::Eval);
+        let p = ctx.special;
+        let mut sp = self.special.take().expect("no special limb to remove");
+        ctx.ntt_special.inverse(&mut sp);
+        for (j, limb) in self.limbs.iter_mut().enumerate() {
+            let qj = ctx.moduli[j];
+            let inv = ctx.special_constant(j);
+            let mut lifted: Vec<u64> = sp
+                .iter()
+                .map(|&c| {
+                    let centered = orion_math::modular::center(c, p);
+                    reduce_i128(centered as i128, qj)
+                })
+                .collect();
+            ctx.ntt[j].forward(&mut lifted);
+            for (x, &t) in limb.iter_mut().zip(&lifted) {
+                *x = mul_mod(sub_mod(*x, t, qj), inv, qj);
+            }
+        }
+    }
+
+    /// Drops limbs above `level` (a free level drop — no scaling).
+    pub fn drop_to_level(&mut self, level: usize) {
+        assert!(level <= self.level());
+        self.limbs.truncate(level + 1);
+    }
+
+    /// Centered coefficient reconstruction of limb contents via 1–2 limb
+    /// CRT. Only meaningful in coefficient form; used by decryption and
+    /// tests.
+    pub fn lift_centered(&self, ctx: &Context) -> Vec<i128> {
+        assert_eq!(self.form, Form::Coeff);
+        let use_limbs = self.limbs.len().min(2);
+        let moduli: Vec<u64> = ctx.moduli[..use_limbs].to_vec();
+        (0..ctx.degree())
+            .map(|k| {
+                let residues: Vec<u64> = (0..use_limbs).map(|j| self.limbs[j][k]).collect();
+                orion_math::rns::crt_reconstruct_centered(&residues, &moduli)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CkksParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ctx() -> std::sync::Arc<Context> {
+        Context::new(CkksParams::tiny())
+    }
+
+    #[test]
+    fn ntt_roundtrip_all_limbs() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(1);
+        let orig = RnsPoly::sample_uniform(&ctx, 3, Form::Coeff, true, &mut rng);
+        let mut p = orig.clone();
+        p.to_eval(&ctx);
+        assert_ne!(p, orig);
+        p.to_coeff(&ctx);
+        assert_eq!(p, orig);
+    }
+
+    #[test]
+    fn add_sub_cancel() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = RnsPoly::sample_uniform(&ctx, 2, Form::Eval, false, &mut rng);
+        let b = RnsPoly::sample_uniform(&ctx, 2, Form::Eval, false, &mut rng);
+        let mut c = a.clone();
+        c.add_assign(&b, &ctx);
+        c.sub_assign(&b, &ctx);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn automorphism_coeff_matches_eval_permutation() {
+        // The evaluation-domain permutation must agree with the coefficient
+        // definition of a(X) -> a(X^g).
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = ctx.galois_element(1);
+        let a = RnsPoly::sample_uniform(&ctx, 1, Form::Coeff, false, &mut rng);
+        let mut via_coeff = a.automorphism_coeff(g, &ctx);
+        via_coeff.to_eval(&ctx);
+        let mut ae = a.clone();
+        ae.to_eval(&ctx);
+        let via_eval = ae.automorphism_eval(&ctx.galois_permutation(g));
+        assert_eq!(via_coeff, via_eval);
+    }
+
+    #[test]
+    fn rescale_divides_by_top_modulus() {
+        let ctx = ctx();
+        // Construct a poly whose coefficients are exact multiples of q_l.
+        let l = 2;
+        let ql = ctx.moduli[l] as i128;
+        let n = ctx.degree();
+        let coeffs: Vec<i128> = (0..n).map(|i| (i as i128 % 17 - 8) * ql).collect();
+        let mut p = RnsPoly::from_signed(&ctx, &coeffs, l, false);
+        p.to_eval(&ctx);
+        p.rescale_assign(&ctx);
+        p.to_coeff(&ctx);
+        let lifted = p.lift_centered(&ctx);
+        for (i, &c) in lifted.iter().enumerate() {
+            assert_eq!(c, coeffs[i] / ql, "coeff {i}");
+        }
+    }
+
+    #[test]
+    fn mod_down_special_divides_by_p() {
+        let ctx = ctx();
+        let p = ctx.special as i128;
+        let n = ctx.degree();
+        let coeffs: Vec<i128> = (0..n).map(|i| ((i as i128 % 11) - 5) * p).collect();
+        let mut poly = RnsPoly::from_signed(&ctx, &coeffs, 1, true);
+        poly.to_eval(&ctx);
+        poly.mod_down_special_assign(&ctx);
+        poly.to_coeff(&ctx);
+        let lifted = poly.lift_centered(&ctx);
+        for (i, &c) in lifted.iter().enumerate() {
+            assert_eq!(c, coeffs[i] / p);
+        }
+    }
+
+    #[test]
+    fn mod_down_rounds_non_multiples() {
+        // p*k + r maps to k when |r| < p/2.
+        let ctx = ctx();
+        let p = ctx.special as i128;
+        let n = ctx.degree();
+        let coeffs: Vec<i128> = (0..n).map(|i| 7 * p + (i as i128 % 100) - 50).collect();
+        let mut poly = RnsPoly::from_signed(&ctx, &coeffs, 0, true);
+        poly.to_eval(&ctx);
+        poly.mod_down_special_assign(&ctx);
+        poly.to_coeff(&ctx);
+        for &c in &poly.lift_centered(&ctx) {
+            assert_eq!(c, 7);
+        }
+    }
+
+    #[test]
+    fn pointwise_mul_is_negacyclic() {
+        // (X^{n/2})^2 = -1
+        let ctx = ctx();
+        let n = ctx.degree();
+        let mut coeffs = vec![0i128; n];
+        coeffs[n / 2] = 1;
+        let mut a = RnsPoly::from_signed(&ctx, &coeffs, 1, false);
+        a.to_eval(&ctx);
+        let mut sq = a.mul_pointwise(&a, &ctx);
+        sq.to_coeff(&ctx);
+        let lifted = sq.lift_centered(&ctx);
+        assert_eq!(lifted[0], -1);
+        assert!(lifted[1..].iter().all(|&c| c == 0));
+    }
+}

@@ -1,0 +1,61 @@
+//! Output-precision measurement.
+//!
+//! The paper reports "mean precision (in bits) of the output, defined as
+//! −log₂(ε), where ε is the mean absolute difference between the outputs of
+//! Orion and PyTorch" (§7). These helpers compute exactly that statistic
+//! between an FHE output and its cleartext reference.
+
+/// Mean absolute error between two equal-length vectors.
+pub fn mean_abs_error(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    assert!(!a.is_empty());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>() / a.len() as f64
+}
+
+/// Mean precision in bits: `−log₂(mean_abs_error)`. Returns `f64::INFINITY`
+/// for exact matches.
+pub fn precision_bits(fhe: &[f64], reference: &[f64]) -> f64 {
+    let eps = mean_abs_error(fhe, reference);
+    if eps == 0.0 {
+        f64::INFINITY
+    } else {
+        -eps.log2()
+    }
+}
+
+/// Maximum absolute error (worst slot).
+pub fn max_abs_error(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_of_quarter_lsb() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![1.25, 2.25, 3.25];
+        assert!((precision_bits(&a, &b) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_match_is_infinite() {
+        let a = vec![0.5; 4];
+        assert!(precision_bits(&a, &a).is_infinite());
+    }
+
+    #[test]
+    fn max_error_picks_worst_slot() {
+        let a = vec![0.0, 0.0];
+        let b = vec![0.1, -0.4];
+        assert!((max_abs_error(&a, &b) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn length_mismatch_panics() {
+        mean_abs_error(&[1.0], &[1.0, 2.0]);
+    }
+}

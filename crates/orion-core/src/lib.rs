@@ -1,0 +1,125 @@
+//! The top-level Orion API: one call from a PyTorch-like network to an
+//! executable FHE program, plus convenience wrappers tying the whole
+//! pipeline together (the `orion` package of the paper's Listing 1).
+//!
+//! ```no_run
+//! use orion_core::Orion;
+//! use orion_models::{build, Act};
+//! use orion_models::data::synthetic_images;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let (net, info) = build("resnet20", Act::Silu, &mut rng);
+//! let calib = synthetic_images(3, 32, 32, 4, 2);
+//! let orion = Orion::paper_scale();
+//! let compiled = orion.compile(&net, &calib);
+//! println!("{}: {} rotations, {} bootstraps", info.name,
+//!          compiled.planned_rotations(), compiled.placement.boot_count);
+//! ```
+
+use orion_ckks::CkksParams;
+use orion_nn::compile::{compile, Compiled, CompileOptions};
+use orion_nn::fhe_exec::{run_fhe, FheRun, FheSession};
+use orion_nn::fit::fit_robust;
+use orion_nn::network::Network;
+use orion_nn::trace_exec::{run_trace, TraceRun};
+use orion_tensor::Tensor;
+
+pub use orion_nn::compile::Step;
+pub use orion_nn::fhe_exec::FheSession as Session;
+
+/// The Orion compiler front end.
+pub struct Orion {
+    opts: CompileOptions,
+}
+
+impl Orion {
+    /// Compiler targeting the paper's deployment parameters
+    /// (N = 2¹⁶ model, L_eff = 10) — use with the trace backend.
+    pub fn paper_scale() -> Self {
+        Self { opts: CompileOptions::paper() }
+    }
+
+    /// Compiler matching a concrete CKKS parameter set — use for real FHE
+    /// execution.
+    pub fn for_params(params: &CkksParams) -> Self {
+        Self { opts: CompileOptions::from_params(params) }
+    }
+
+    /// Compiler with explicit options.
+    pub fn with_options(opts: CompileOptions) -> Self {
+        Self { opts }
+    }
+
+    /// The options in use.
+    pub fn options(&self) -> &CompileOptions {
+        &self.opts
+    }
+
+    /// Fits activation ranges on `calibration` and compiles `net`
+    /// (paper §6: `net.fit()` + compile).
+    pub fn compile(&self, net: &Network, calibration: &[Tensor]) -> Compiled {
+        let fitres = fit_robust(net, calibration, 4);
+        compile(net, &fitres, &self.opts)
+    }
+
+    /// Compiles with pre-computed ranges.
+    pub fn compile_with_ranges(&self, net: &Network, fitres: &orion_nn::fit::FitResult) -> Compiled {
+        compile(net, fitres, &self.opts)
+    }
+}
+
+/// Runs a compiled program on the cleartext trace backend.
+pub fn trace_inference(compiled: &Compiled, input: &Tensor) -> TraceRun {
+    run_trace(compiled, input)
+}
+
+/// Creates an FHE session (keys + oracle) for a compiled program.
+pub fn fhe_session(params: CkksParams, compiled: &Compiled, seed: u64) -> FheSession {
+    FheSession::new(params, compiled, seed)
+}
+
+/// Runs a compiled program under real CKKS.
+pub fn fhe_inference(compiled: &Compiled, session: &FheSession, input: &Tensor) -> FheRun {
+    run_fhe(compiled, session, input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orion_models::data::synthetic_images;
+    use orion_models::{build, Act};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn compiles_resnet20_at_paper_scale() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let (net, _) = build("resnet20", Act::SiluDeg(63), &mut rng);
+        let calib = synthetic_images(3, 32, 32, 2, 22);
+        let orion = Orion::paper_scale();
+        let compiled = orion.compile(&net, &calib);
+        // ResNet-20 fits in one ciphertext per wire at 2^15 slots and needs
+        // bootstraps (depth far exceeds L_eff = 10).
+        assert!(compiled.placement.boot_count > 0);
+        assert!(compiled.planned_rotations() > 100);
+        // placement is fast (paper: 1.94 s for ResNet-20)
+        assert!(compiled.placement.placement_seconds < 30.0);
+    }
+
+    #[test]
+    fn trace_inference_of_resnet20_is_accurate() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let (mut net, _) = build("resnet20", Act::SiluDeg(63), &mut rng);
+        let calib = synthetic_images(3, 32, 32, 16, 24);
+        orion_nn::fit::calibrate_batch_norm(&mut net, &calib);
+        let orion = Orion::paper_scale();
+        let compiled = orion.compile(&net, &calib);
+        let input = &synthetic_images(3, 32, 32, 1, 2525)[0];
+        let run = trace_inference(&compiled, input);
+        let reference = net.forward_poly(input, &compiled.acts);
+        let prec = run.precision_vs(&reference);
+        assert!(prec > 30.0, "trace ResNet-20 diverged: {prec} bits");
+        assert_eq!(run.counter.bootstraps(), compiled.placement.boot_count);
+    }
+}

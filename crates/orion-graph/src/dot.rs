@@ -1,0 +1,72 @@
+//! Graphviz export of level-management policies.
+//!
+//! Renders the layer DAG with each node's assigned level and bootstrap
+//! markers (red edges, like the paper's Figure 6) — handy for inspecting
+//! what the placement solver decided.
+
+use crate::ir::{Graph, NodeKind};
+use crate::placement::PlacementResult;
+
+/// Renders `g` (with an optional placement) as Graphviz dot.
+pub fn to_dot(g: &Graph, placement: Option<&PlacementResult>) -> String {
+    let mut out = String::from("digraph orion {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+    for (id, node) in g.nodes.iter().enumerate() {
+        let (shape, color) = match node.kind {
+            NodeKind::Input => ("ellipse", "gray"),
+            NodeKind::Output => ("ellipse", "gray"),
+            NodeKind::Linear => ("box", "lightblue"),
+            NodeKind::Activation => ("box", "lightyellow"),
+            NodeKind::Add => ("diamond", "lightgreen"),
+        };
+        let level = placement
+            .and_then(|p| p.levels[id])
+            .map(|l| format!("\\nlevel {l}"))
+            .unwrap_or_default();
+        let boot = placement
+            .map(|p| p.boots_before[id] > 0)
+            .unwrap_or(false);
+        let extra = if boot { "\\n[bootstrap]" } else { "" };
+        out.push_str(&format!(
+            "  n{id} [label=\"{}{level}{extra}\", shape={shape}, style=filled, fillcolor={}];\n",
+            node.name,
+            if boot { "salmon" } else { color }
+        ));
+    }
+    for id in 0..g.len() {
+        for &s in g.succs(id) {
+            let red = placement.map(|p| p.boots_before[s] > 0).unwrap_or(false);
+            let attrs = if red { " [color=red, penwidth=2]" } else { "" };
+            out.push_str(&format!("  n{id} -> n{s}{attrs};\n"));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::chain;
+    use crate::place;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let g = chain(&[(NodeKind::Linear, 1, 0.1); 3], 3, 1);
+        let dot = to_dot(&g, None);
+        assert!(dot.starts_with("digraph"));
+        for i in 0..g.len() {
+            assert!(dot.contains(&format!("n{i} [")));
+        }
+        assert!(dot.contains("n0 -> n1"));
+    }
+
+    #[test]
+    fn placement_levels_rendered() {
+        let g = chain(&[(NodeKind::Linear, 1, 0.1); 7], 3, 1);
+        let p = place(&g, 3, 10.0);
+        let dot = to_dot(&g, Some(&p));
+        assert!(dot.contains("level"));
+        assert!(dot.contains("[bootstrap]"), "7 layers at L_eff=3 must bootstrap");
+        assert!(dot.contains("color=red"));
+    }
+}

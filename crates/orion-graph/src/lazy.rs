@@ -1,0 +1,125 @@
+//! The lazy ("bootstrap only when forced") baseline.
+//!
+//! The naive strategy the paper argues against (§5.1): walk the network in
+//! topological order, keep every wire at the highest level it happens to
+//! have, and bootstrap only when the next layer's depth no longer fits.
+//! On residual networks this both bootstraps more often and runs layers at
+//! unnecessarily high (expensive) levels.
+
+use crate::ir::{Graph, NodeKind};
+use crate::placement::PlacementResult;
+
+/// Runs the lazy baseline; same result shape as [`crate::placement::place`].
+pub fn place_lazy(g: &Graph, l_eff: usize, boot_latency: f64) -> PlacementResult {
+    let t0 = std::time::Instant::now();
+    let order = g.topo_order();
+    let mut out_level: Vec<usize> = vec![l_eff; g.len()];
+    let mut levels = vec![None; g.len()];
+    let mut boots_before = vec![0u64; g.len()];
+    let mut total = 0.0;
+    let mut boot_count = 0u64;
+    let mut boot_sites = 0usize;
+    for &v in &order {
+        let node = &g.nodes[v];
+        let mut in_level = g
+            .preds(v)
+            .iter()
+            .map(|&p| out_level[p])
+            .min()
+            .unwrap_or(l_eff);
+        match node.kind {
+            NodeKind::Input => {
+                out_level[v] = l_eff;
+                continue;
+            }
+            NodeKind::Output => {
+                out_level[v] = in_level;
+                continue;
+            }
+            _ => {}
+        }
+        if in_level < node.depth {
+            // Forced bootstrap.
+            boots_before[v] += node.n_cts as u64;
+            boot_count += node.n_cts as u64;
+            boot_sites += 1;
+            total += node.n_cts as f64 * boot_latency;
+            in_level = l_eff;
+        }
+        let performed = in_level;
+        levels[v] = Some(performed);
+        total += node.latency_at(performed);
+        out_level[v] = performed - node.depth;
+    }
+    PlacementResult {
+        levels,
+        boots_before,
+        total_latency: total,
+        boot_count,
+        boot_sites,
+        placement_seconds: t0.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{chain, Graph, Node, NodeKind};
+    use crate::placement::place;
+
+    #[test]
+    fn lazy_matches_optimal_on_shallow_chain() {
+        let g = chain(&[(NodeKind::Linear, 1, 0.1); 3], 3, 1);
+        let lazy = place_lazy(&g, 3, 100.0);
+        let opt = place(&g, 3, 100.0);
+        assert_eq!(lazy.boot_count, opt.boot_count);
+    }
+
+    #[test]
+    fn lazy_runs_layers_at_high_levels() {
+        // Lazy keeps everything at L_eff; the shortest path drops levels to
+        // cut per-op latency, so lazy's modeled latency is never lower.
+        let g = chain(&[(NodeKind::Linear, 1, 1.0); 6], 8, 1);
+        let lazy = place_lazy(&g, 8, 10.0);
+        let opt = place(&g, 8, 10.0);
+        assert!(opt.total_latency <= lazy.total_latency + 1e-9);
+    }
+
+    /// The paper's residual-network pathology (Fhelipe Figure 10): lazy
+    /// placement bootstraps on *both* wires of a residual join when the
+    /// planner would have refreshed once before the fork.
+    #[test]
+    fn lazy_overspends_on_residual_networks() {
+        let l_eff = 4;
+        let flat = |v: f64| vec![v; l_eff + 1];
+        let mut g = Graph::new();
+        let input = g.add_node(Node::new("input", NodeKind::Input, 0, flat(0.0), 1));
+        let mut prev = input;
+        // Three residual blocks, each: fork -> act(depth 3) -> conv -> add(skip).
+        let mut adds = Vec::new();
+        for i in 0..3 {
+            let fork = g.add_node(Node::new(format!("b{i}.conv1"), NodeKind::Linear, 1, flat(0.1), 1));
+            let act = g.add_node(Node::new(format!("b{i}.act"), NodeKind::Activation, 3, flat(0.5), 1));
+            let conv = g.add_node(Node::new(format!("b{i}.conv2"), NodeKind::Linear, 1, flat(0.1), 1));
+            let add = g.add_node(Node::new(format!("b{i}.add"), NodeKind::Add, 0, flat(0.01), 2));
+            g.add_edge(prev, fork);
+            g.add_edge(fork, act);
+            g.add_edge(act, conv);
+            g.add_edge(conv, add);
+            g.add_edge(fork, add);
+            prev = add;
+            adds.push(add);
+        }
+        let out = g.add_node(Node::new("output", NodeKind::Output, 0, flat(0.0), 1));
+        g.add_edge(prev, out);
+        let lazy = place_lazy(&g, l_eff, 10.0);
+        let opt = place(&g, l_eff, 10.0);
+        assert!(
+            opt.boot_count <= lazy.boot_count,
+            "optimal {} vs lazy {}",
+            opt.boot_count,
+            lazy.boot_count
+        );
+        assert!(opt.total_latency <= lazy.total_latency + 1e-9);
+    }
+}

@@ -1,0 +1,481 @@
+//! Shortest-path bootstrap placement over level digraphs (paper §5.2).
+//!
+//! The network (after SESE collapsing) is a chain of elements; each element
+//! contributes a column of `(element, level)` states. Dynamic programming
+//! in topological order relaxes every state against its predecessors —
+//! `O(L_eff²)` work per element, hence linear in network depth overall
+//! (paper Table 5). Residual regions are collapsed into pseudo-elements
+//! carrying an `(ℓ_in, ℓ_out)` weight matrix produced by a *joint* shortest
+//! path over their branches (paper Figure 6d), innermost regions first
+//! (nesting is handled by recursion).
+
+use crate::ir::{Graph, NodeId, NodeKind};
+use crate::sese::immediate_post_dominators;
+
+/// The output of placement: a level-management policy.
+#[derive(Clone, Debug, Default)]
+pub struct PlacementResult {
+    /// For each node: the level at which it is performed (None for nodes
+    /// with no computation, e.g. Input/Output).
+    pub levels: Vec<Option<usize>>,
+    /// For each node: ciphertext refreshes inserted immediately before it.
+    pub boots_before: Vec<u64>,
+    /// Total modeled latency (seconds) including bootstraps.
+    pub total_latency: f64,
+    /// Total ciphertext refreshes (the paper's "# Boots").
+    pub boot_count: u64,
+    /// Number of distinct wire locations where a bootstrap occurs.
+    pub boot_sites: usize,
+    /// Wall-clock seconds the placement algorithm itself took
+    /// (Table 5, "Boot. Place. (s)").
+    pub placement_seconds: f64,
+}
+
+#[derive(Clone, Debug, Default)]
+struct Policy {
+    levels: Vec<(NodeId, usize)>,
+    boots: Vec<(NodeId, u64)>,
+}
+
+impl Policy {
+    fn extend(&mut self, other: &Policy) {
+        self.levels.extend_from_slice(&other.levels);
+        self.boots.extend_from_slice(&other.boots);
+    }
+}
+
+enum Elem {
+    Simple(NodeId),
+    Region(RegionElem),
+}
+
+struct RegionElem {
+    fork: NodeId,
+    /// `w[l_in][t]`: cost of performing the fork at `l_in` and bringing
+    /// every branch to a common output level `t`.
+    w: Vec<Vec<f64>>,
+    /// The in-region assignment behind each `w` entry.
+    policy: Vec<Vec<Policy>>,
+}
+
+enum Back {
+    Simple { prev_out: usize, performed: usize, boot: bool },
+    Region { prev_out: usize, l_in: usize, boot: bool },
+}
+
+struct Solver<'g> {
+    g: &'g Graph,
+    ipdom: Vec<Option<NodeId>>,
+    l_eff: usize,
+    boot_latency: f64,
+}
+
+impl<'g> Solver<'g> {
+    /// Builds the element sequence from `start` until reaching `stop`
+    /// (exclusive), collapsing regions recursively.
+    fn build_seq(&self, start: NodeId, stop: NodeId) -> Vec<Elem> {
+        let mut elems = Vec::new();
+        let mut v = start;
+        while v != stop {
+            if self.g.succs(v).len() > 1 {
+                let join = self.ipdom[v].expect("fork without post-dominator");
+                let branches: Vec<Vec<Elem>> =
+                    self.g.succs(v).iter().map(|&s| self.build_seq(s, join)).collect();
+                elems.push(Elem::Region(self.collapse_region(v, branches)));
+                v = join;
+            } else {
+                elems.push(Elem::Simple(v));
+                let succs = self.g.succs(v);
+                assert_eq!(succs.len(), 1, "node {v} ({}) is a dead end", self.g.nodes[v].name);
+                v = succs[0];
+            }
+        }
+        elems
+    }
+
+    /// Solves a branch chain starting exactly at wire level `a`; returns,
+    /// per output level `t`, the cost and policy (infeasible = infinite).
+    fn solve_branch(&self, elems: &[Elem], a: usize, skip_cts: usize) -> Vec<(f64, Policy)> {
+        let l1 = self.l_eff + 1;
+        if elems.is_empty() {
+            // Identity (skip) branch: free level drops, or one bootstrap.
+            return (0..l1)
+                .map(|t| {
+                    if t <= a {
+                        (0.0, Policy::default())
+                    } else {
+                        let count = skip_cts as u64;
+                        (
+                            count as f64 * self.boot_latency,
+                            Policy { levels: vec![], boots: vec![(usize::MAX, count)] },
+                        )
+                    }
+                })
+                .collect();
+        }
+        let mut init = vec![f64::INFINITY; l1];
+        init[a] = 0.0;
+        let (dist, backs) = self.solve_seq(elems, init);
+        (0..l1)
+            .map(|t| {
+                if dist[t].is_infinite() {
+                    (f64::INFINITY, Policy::default())
+                } else {
+                    (dist[t], self.extract(elems, &backs, t))
+                }
+            })
+            .collect()
+    }
+
+    fn collapse_region(&self, fork: NodeId, branches: Vec<Vec<Elem>>) -> RegionElem {
+        let l1 = self.l_eff + 1;
+        let fnode = &self.g.nodes[fork];
+        let mut w = vec![vec![f64::INFINITY; l1]; l1];
+        let mut policy = vec![vec![Policy::default(); l1]; l1];
+        for l_in in fnode.depth..l1 {
+            let lat = fnode.latency_at(l_in);
+            if lat.is_infinite() {
+                continue;
+            }
+            let a = l_in - fnode.depth;
+            let solved: Vec<Vec<(f64, Policy)>> = branches
+                .iter()
+                .map(|b| self.solve_branch(b, a, fnode.n_cts))
+                .collect();
+            for t in 0..l1 {
+                let mut total = lat;
+                let mut pol = Policy { levels: vec![(fork, l_in)], boots: vec![] };
+                let mut ok = true;
+                for s in &solved {
+                    let (c, p) = &s[t];
+                    if c.is_infinite() {
+                        ok = false;
+                        break;
+                    }
+                    total += c;
+                    pol.extend(p);
+                }
+                if ok {
+                    // Re-attribute skip-branch boots (usize::MAX marker) to
+                    // the fork node.
+                    for b in pol.boots.iter_mut() {
+                        if b.0 == usize::MAX {
+                            b.0 = fork;
+                        }
+                    }
+                    w[l_in][t] = total;
+                    policy[l_in][t] = pol;
+                }
+            }
+        }
+        RegionElem { fork, w, policy }
+    }
+
+    /// Core DP: relaxes `dist` (indexed by wire level) through the element
+    /// sequence, returning final distances and backpointers.
+    fn solve_seq(&self, elems: &[Elem], init: Vec<f64>) -> (Vec<f64>, Vec<Vec<Option<Back>>>) {
+        let l1 = self.l_eff + 1;
+        let mut dist = init;
+        let mut backs: Vec<Vec<Option<Back>>> = Vec::with_capacity(elems.len());
+        for elem in elems {
+            let mut next = vec![f64::INFINITY; l1];
+            let mut back: Vec<Option<Back>> = (0..l1).map(|_| None).collect();
+            match elem {
+                Elem::Simple(v) => {
+                    let node = &self.g.nodes[*v];
+                    let boot_cost = node.n_cts as f64 * self.boot_latency;
+                    for out in 0..l1 {
+                        let performed = out + node.depth;
+                        if performed > self.l_eff {
+                            continue;
+                        }
+                        let lat = node.latency_at(performed);
+                        if lat.is_infinite() {
+                            continue;
+                        }
+                        for (prev_out, &d) in dist.iter().enumerate() {
+                            if d.is_infinite() {
+                                continue;
+                            }
+                            let (bridge, boot) =
+                                if performed <= prev_out { (0.0, false) } else { (boot_cost, true) };
+                            let cand = d + bridge + lat;
+                            if cand < next[out] {
+                                next[out] = cand;
+                                back[out] = Some(Back::Simple { prev_out, performed, boot });
+                            }
+                        }
+                    }
+                }
+                Elem::Region(r) => {
+                    let fnode = &self.g.nodes[r.fork];
+                    let boot_cost = fnode.n_cts as f64 * self.boot_latency;
+                    for l_in in 0..l1 {
+                        // best way to arrive at the fork performed at l_in
+                        let mut best = f64::INFINITY;
+                        let mut best_prev = 0;
+                        let mut best_boot = false;
+                        for (prev_out, &d) in dist.iter().enumerate() {
+                            if d.is_infinite() {
+                                continue;
+                            }
+                            let (bridge, boot) =
+                                if l_in <= prev_out { (0.0, false) } else { (boot_cost, true) };
+                            if d + bridge < best {
+                                best = d + bridge;
+                                best_prev = prev_out;
+                                best_boot = boot;
+                            }
+                        }
+                        if best.is_infinite() {
+                            continue;
+                        }
+                        for t in 0..l1 {
+                            let wc = r.w[l_in][t];
+                            if wc.is_infinite() {
+                                continue;
+                            }
+                            let cand = best + wc;
+                            if cand < next[t] {
+                                next[t] = cand;
+                                back[t] = Some(Back::Region { prev_out: best_prev, l_in, boot: best_boot });
+                            }
+                        }
+                    }
+                }
+            }
+            dist = next;
+            backs.push(back);
+        }
+        (dist, backs)
+    }
+
+    /// Walks backpointers from the final wire level `t`, materializing the
+    /// policy.
+    fn extract(&self, elems: &[Elem], backs: &[Vec<Option<Back>>], t: usize) -> Policy {
+        let mut pol = Policy::default();
+        let mut level = t;
+        for (elem, back) in elems.iter().zip(backs).rev() {
+            let b = back[level].as_ref().expect("broken backpointer chain");
+            match (elem, b) {
+                (Elem::Simple(v), Back::Simple { prev_out, performed, boot }) => {
+                    pol.levels.push((*v, *performed));
+                    if *boot {
+                        pol.boots.push((*v, self.g.nodes[*v].n_cts as u64));
+                    }
+                    level = *prev_out;
+                }
+                (Elem::Region(r), Back::Region { prev_out, l_in, boot }) => {
+                    pol.extend(&r.policy[*l_in][level]);
+                    if *boot {
+                        pol.boots.push((r.fork, self.g.nodes[r.fork].n_cts as u64));
+                    }
+                    level = *prev_out;
+                }
+                _ => unreachable!("backpointer kind mismatch"),
+            }
+        }
+        pol
+    }
+}
+
+/// Runs Orion's automatic bootstrap placement: returns the latency-minimal
+/// level-management policy for `g` given `l_eff` usable levels and a
+/// per-ciphertext bootstrap latency.
+pub fn place(g: &Graph, l_eff: usize, boot_latency: f64) -> PlacementResult {
+    let t0 = std::time::Instant::now();
+    let solver = Solver { g, ipdom: immediate_post_dominators(g), l_eff, boot_latency };
+    let input = g.input();
+    let output = g.output();
+    assert_eq!(g.nodes[input].kind, NodeKind::Input);
+    let elems = solver.build_seq(input, output);
+    // Fresh input ciphertexts may start at any level 0..=L_eff for free.
+    let init = vec![0.0; l_eff + 1];
+    let (dist, backs) = solver.solve_seq(&elems, init);
+    let (best_t, best_cost) = dist
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(t, &c)| (t, c))
+        .expect("no feasible placement");
+    assert!(best_cost.is_finite(), "network depth exceeds level budget at every choice");
+    let pol = solver.extract(&elems, &backs, best_t);
+
+    let mut levels = vec![None; g.len()];
+    for &(v, l) in &pol.levels {
+        levels[v] = Some(l);
+    }
+    let mut boots_before = vec![0u64; g.len()];
+    let mut boot_count = 0;
+    let mut boot_sites = 0;
+    for &(v, c) in &pol.boots {
+        boots_before[v] += c;
+        boot_count += c;
+        boot_sites += 1;
+    }
+    PlacementResult {
+        levels,
+        boots_before,
+        total_latency: best_cost,
+        boot_count,
+        boot_sites,
+        placement_seconds: t0.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{chain, Graph, Node, NodeKind};
+
+    fn flat_lat(l_eff: usize, v: f64) -> Vec<f64> {
+        vec![v; l_eff + 1]
+    }
+
+    /// Paper Figure 6a/6b: a 3-layer skip-less network with L_eff = 3 needs
+    /// no bootstrap when the input starts at level 3.
+    #[test]
+    fn figure6_chain_needs_no_bootstrap() {
+        let g = chain(&[(NodeKind::Linear, 1, 0.1); 3], 3, 1);
+        let r = place(&g, 3, 100.0);
+        assert_eq!(r.boot_count, 0);
+        // fc1 at 3, fc2 at 2, fc3 at 1
+        assert_eq!(r.levels[1], Some(3));
+        assert_eq!(r.levels[2], Some(2));
+        assert_eq!(r.levels[3], Some(1));
+    }
+
+    #[test]
+    fn deeper_chain_bootstraps_minimally() {
+        // 7 linear layers, L_eff = 3: needs ceil((7-3)/3) = 2 bootstraps.
+        let g = chain(&[(NodeKind::Linear, 1, 0.1); 7], 3, 1);
+        let r = place(&g, 3, 100.0);
+        assert_eq!(r.boot_count, 2, "levels: {:?}", r.levels);
+    }
+
+    #[test]
+    fn latency_aware_placement_prefers_cheap_levels() {
+        // With very expensive per-level layer latency and cheap bootstraps,
+        // the optimum bootstraps *more* often to run layers at low levels
+        // (paper §5.1: minimizing bootstrap count alone is suboptimal).
+        let l_eff = 6;
+        let mut g = Graph::new();
+        let input = g.add_node(Node::new("input", NodeKind::Input, 0, flat_lat(l_eff, 0.0), 1));
+        let mut prev = input;
+        for i in 0..6 {
+            let lat: Vec<f64> = (0..=l_eff).map(|l| 10.0 * (l as f64)).collect();
+            let id = g.add_node(Node::new(format!("fc{i}"), NodeKind::Linear, 1, lat, 1));
+            g.add_edge(prev, id);
+            prev = id;
+        }
+        let out = g.add_node(Node::new("output", NodeKind::Output, 0, flat_lat(l_eff, 0.0), 1));
+        g.add_edge(prev, out);
+        let cheap = place(&g, l_eff, 0.001);
+        let dear = place(&g, l_eff, 1e6);
+        assert!(cheap.boot_count > dear.boot_count);
+        // With expensive bootstraps the chain fits without any.
+        assert_eq!(dear.boot_count, 0);
+    }
+
+    /// Paper Figure 6c: a residual region whose backbone consumes more
+    /// depth than L_eff requires at least one bootstrap, and the two branch
+    /// wires must reconverge at a common level.
+    #[test]
+    fn residual_region_requires_bootstrap() {
+        let l_eff = 3;
+        let mut g = Graph::new();
+        let input = g.add_node(Node::new("input", NodeKind::Input, 0, flat_lat(l_eff, 0.0), 1));
+        let fc1 = g.add_node(Node::new("fc1", NodeKind::Linear, 1, flat_lat(l_eff, 0.1), 1));
+        let act = g.add_node(Node::new("ax^2", NodeKind::Activation, 2, flat_lat(l_eff, 0.2), 1));
+        let fc2 = g.add_node(Node::new("fc2", NodeKind::Linear, 1, flat_lat(l_eff, 0.1), 1));
+        let add = g.add_node(Node::new("+", NodeKind::Add, 0, flat_lat(l_eff, 0.01), 2));
+        let out = g.add_node(Node::new("output", NodeKind::Output, 0, flat_lat(l_eff, 0.0), 1));
+        g.add_edge(input, fc1);
+        g.add_edge(fc1, act);
+        g.add_edge(act, fc2);
+        g.add_edge(fc1, add); // skip
+        g.add_edge(fc2, add);
+        g.add_edge(add, out);
+        let r = place(&g, l_eff, 10.0);
+        // Backbone depth after fc1: 2 (act) + 1 (fc2) = 3; fc1 itself takes
+        // one, so total depth 4 > L_eff = 3: at least one boot needed.
+        assert!(r.boot_count >= 1);
+        // All assigned levels respect the budget.
+        for (v, l) in r.levels.iter().enumerate() {
+            if let Some(l) = l {
+                assert!(*l <= l_eff, "node {v} at level {l}");
+                assert!(*l >= g.nodes[v].depth);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_ciphertext_wires_multiply_boot_count() {
+        // Same chain, but wires carry 4 ciphertexts: each bootstrap site
+        // refreshes 4.
+        let g = chain(&[(NodeKind::Linear, 1, 0.1); 7], 3, 4);
+        let r = place(&g, 3, 10.0);
+        assert_eq!(r.boot_sites, 2);
+        assert_eq!(r.boot_count, 8);
+    }
+
+    #[test]
+    fn placement_respects_activation_depth() {
+        // Activation of depth 5 cannot run with L_eff = 4.
+        let g = chain(&[(NodeKind::Activation, 5, 0.1)], 4, 1);
+        let result = std::panic::catch_unwind(|| place(&g, 4, 10.0));
+        assert!(result.is_err(), "depth beyond L_eff must be infeasible");
+    }
+
+    #[test]
+    fn placement_time_scales_linearly() {
+        // Not a strict benchmark — just sanity that 10x depth doesn't blow
+        // up superlinearly (paper Table 5).
+        let short = chain(&[(NodeKind::Linear, 1, 0.1); 20], 10, 1);
+        let long = chain(&[(NodeKind::Linear, 1, 0.1); 200], 10, 1);
+        let t1 = {
+            let t = std::time::Instant::now();
+            let _ = place(&short, 10, 10.0);
+            t.elapsed()
+        };
+        let t2 = {
+            let t = std::time::Instant::now();
+            let _ = place(&long, 10, 10.0);
+            t.elapsed()
+        };
+        assert!(t2 < t1 * 100, "placement not scaling linearly: {t1:?} vs {t2:?}");
+    }
+
+    #[test]
+    fn nested_regions_solved() {
+        // fork f1 ... { fork f2 { act } j2 ... } j1 with L_eff = 4.
+        let l_eff = 4;
+        let mut g = Graph::new();
+        let lat = flat_lat(l_eff, 0.1);
+        let input = g.add_node(Node::new("input", NodeKind::Input, 0, flat_lat(l_eff, 0.0), 1));
+        let f1 = g.add_node(Node::new("f1", NodeKind::Linear, 1, lat.clone(), 1));
+        let f2 = g.add_node(Node::new("f2", NodeKind::Linear, 1, lat.clone(), 1));
+        let act = g.add_node(Node::new("act", NodeKind::Activation, 3, lat.clone(), 1));
+        let j2 = g.add_node(Node::new("j2", NodeKind::Add, 0, lat.clone(), 2));
+        let mid = g.add_node(Node::new("mid", NodeKind::Linear, 1, lat.clone(), 1));
+        let j1 = g.add_node(Node::new("j1", NodeKind::Add, 0, lat.clone(), 2));
+        let out = g.add_node(Node::new("output", NodeKind::Output, 0, flat_lat(l_eff, 0.0), 1));
+        g.add_edge(input, f1);
+        g.add_edge(f1, f2);
+        g.add_edge(f2, act);
+        g.add_edge(act, j2);
+        g.add_edge(f2, j2);
+        g.add_edge(j2, mid);
+        g.add_edge(mid, j1);
+        g.add_edge(f1, j1);
+        g.add_edge(j1, out);
+        let r = place(&g, l_eff, 5.0);
+        assert!(r.total_latency.is_finite());
+        // All computed nodes must have levels.
+        for v in [f1, f2, act, j2, mid, j1] {
+            assert!(r.levels[v].is_some(), "node {v} unassigned");
+        }
+        // Depth feasibility.
+        assert!(r.levels[act].unwrap() >= 3);
+    }
+}

@@ -1,0 +1,140 @@
+//! Optimality tests: the level-digraph DP must match brute-force
+//! enumeration of every legal level-management policy on small networks.
+
+use orion_graph::ir::{Graph, Node, NodeKind};
+use orion_graph::place;
+use proptest::prelude::*;
+
+/// Brute-force: enumerate all (level, bootstrap) assignments for a chain
+/// of layers and return the minimum latency.
+fn brute_force_chain(depths: &[usize], lat_scale: &[f64], l_eff: usize, boot: f64) -> f64 {
+    // state: wire level entering layer i
+    fn rec(i: usize, wire: usize, depths: &[usize], lat: &[f64], l_eff: usize, boot: f64) -> f64 {
+        if i == depths.len() {
+            return 0.0;
+        }
+        let mut best = f64::INFINITY;
+        // choice: perform at any level ℓ with depth ≤ ℓ ≤ wire (free drop)
+        // or bootstrap (then ℓ ≤ l_eff)
+        for boot_first in [false, true] {
+            let avail = if boot_first { l_eff } else { wire };
+            for l in depths[i]..=avail {
+                let cost = (if boot_first { boot } else { 0.0 })
+                    + lat[i] * (l + 1) as f64
+                    + rec(i + 1, l - depths[i], depths, lat, l_eff, boot);
+                best = best.min(cost);
+            }
+        }
+        best
+    }
+    rec(0, l_eff, depths, lat_scale, l_eff, boot)
+}
+
+fn chain_graph(depths: &[usize], lat_scale: &[f64], l_eff: usize) -> Graph {
+    let mut g = Graph::new();
+    let input = g.add_node(Node::new("input", NodeKind::Input, 0, vec![0.0; l_eff + 1], 1));
+    let mut prev = input;
+    for (i, (&d, &s)) in depths.iter().zip(lat_scale).enumerate() {
+        let lat: Vec<f64> = (0..=l_eff).map(|l| s * (l + 1) as f64).collect();
+        let kind = if d > 1 { NodeKind::Activation } else { NodeKind::Linear };
+        let id = g.add_node(Node::new(format!("l{i}"), kind, d, lat, 1));
+        g.add_edge(prev, id);
+        prev = id;
+    }
+    let out = g.add_node(Node::new("output", NodeKind::Output, 0, vec![0.0; l_eff + 1], 1));
+    g.add_edge(prev, out);
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The DP finds the global optimum on arbitrary small chains.
+    #[test]
+    fn dp_matches_brute_force(
+        depths in prop::collection::vec(1usize..4, 1..5),
+        scales in prop::collection::vec(0.05f64..2.0, 5),
+        l_eff in 3usize..7,
+        boot in prop::sample::select(vec![0.5f64, 5.0, 50.0]),
+    ) {
+        prop_assume!(depths.iter().all(|&d| d <= l_eff));
+        let scales = &scales[..depths.len()];
+        let g = chain_graph(&depths, scales, l_eff);
+        let dp = place(&g, l_eff, boot);
+        let bf = brute_force_chain(&depths, scales, l_eff, boot);
+        prop_assert!(
+            (dp.total_latency - bf).abs() < 1e-9,
+            "DP {} vs brute force {bf} (depths {depths:?}, boot {boot})",
+            dp.total_latency
+        );
+    }
+}
+
+/// A hand-checked case: two layers of depth 2 with L_eff = 3 and cheap
+/// bootstrapping — exactly one bootstrap, placed between them.
+#[test]
+fn hand_checked_two_layer_case() {
+    let g = chain_graph(&[2, 2], &[0.1, 0.1], 3);
+    let r = place(&g, 3, 1.0);
+    assert_eq!(r.boot_count, 1);
+    // layer 1 runs at 2 or 3; layer 2 needs ≥ 2 after a boot to L_eff=3.
+    assert!(r.levels[1].unwrap() >= 2);
+    assert!(r.levels[2].unwrap() >= 2);
+}
+
+/// Optimality on a residual region: brute force over the joint (fork
+/// level, join level) grid.
+#[test]
+fn region_joint_shortest_path_is_optimal() {
+    let l_eff = 4;
+    let boot = 3.0;
+    let mut g = Graph::new();
+    let lat = |s: f64| -> Vec<f64> { (0..=l_eff).map(|l| s * (l + 1) as f64).collect() };
+    let input = g.add_node(Node::new("input", NodeKind::Input, 0, vec![0.0; l_eff + 1], 1));
+    let fork = g.add_node(Node::new("fork", NodeKind::Linear, 1, lat(0.2), 1));
+    let a = g.add_node(Node::new("a", NodeKind::Activation, 3, lat(0.5), 1));
+    let b = g.add_node(Node::new("b", NodeKind::Linear, 1, lat(0.2), 1));
+    let join = g.add_node(Node::new("join", NodeKind::Add, 0, lat(0.01), 2));
+    let out = g.add_node(Node::new("output", NodeKind::Output, 0, vec![0.0; l_eff + 1], 1));
+    g.add_edge(input, fork);
+    g.add_edge(fork, a);
+    g.add_edge(a, b);
+    g.add_edge(fork, join);
+    g.add_edge(b, join);
+    g.add_edge(join, out);
+    let dp = place(&g, l_eff, boot);
+
+    // Brute force: fork level lf, a level la, b level lb, join level lj;
+    // skip wire can bootstrap (+boot) if lj > lf−1.
+    let mut best = f64::INFINITY;
+    for lf in 1..=l_eff {
+        for boot_a in [false, true] {
+            let avail_a = if boot_a { l_eff } else { lf - 1 };
+            for la in 3..=avail_a.min(l_eff) {
+                for boot_b in [false, true] {
+                    let avail_b = if boot_b { l_eff } else { la - 3 };
+                    for lb in 1..=avail_b.min(l_eff) {
+                        for boot_skip in [false, true] {
+                            let skip_avail = if boot_skip { l_eff } else { lf - 1 };
+                            for lj in 0..=(lb - 1).min(skip_avail) {
+                                let cost = 0.2 * (lf + 1) as f64
+                                    + f64::from(boot_a as u8) * boot
+                                    + 0.5 * (la + 1) as f64
+                                    + f64::from(boot_b as u8) * boot
+                                    + 0.2 * (lb + 1) as f64
+                                    + f64::from(boot_skip as u8) * boot
+                                    + 0.01 * (lj + 1) as f64;
+                                best = best.min(cost);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        (dp.total_latency - best).abs() < 1e-9,
+        "DP {} vs brute force {best}",
+        dp.total_latency
+    );
+}

@@ -1,0 +1,553 @@
+//! Plan executors.
+//!
+//! [`exec_plain`] runs a plan on cleartext slot vectors using exactly the
+//! executor's rotation algebra (hoisted baby steps, pre-rotated diagonals,
+//! giant-step group rotations) — it is the correctness oracle for the
+//! packing math, compared against reference convolutions in tests.
+//!
+//! [`exec_fhe`] is the real thing: double-hoisted BSGS over CKKS
+//! ciphertexts (paper Equation (1)). Baby-step rotations share one digit
+//! decomposition per input ciphertext; giant-step groups accumulate in the
+//! extended basis with one deferred ModDown each. Weights are encoded at
+//! prime scale so each linear layer consumes exactly one level and returns
+//! the ciphertext scale to precisely Δ.
+
+use crate::plan::LinearPlan;
+use crate::values::DiagSource;
+use orion_ckks::encoder::Encoder;
+use orion_ckks::encrypt::Ciphertext;
+use orion_ckks::eval::Evaluator;
+use orion_ckks::hoist::{ExtAccumulator, HoistedDigits, RotatedExt};
+use std::collections::BTreeMap;
+
+/// Rotates a cleartext slot vector "up" by `k` (CKKS `HRot` semantics).
+fn rot_plain(v: &[f64], k: usize) -> Vec<f64> {
+    let n = v.len();
+    let k = k % n;
+    let mut out = Vec::with_capacity(n);
+    out.extend_from_slice(&v[k..]);
+    out.extend_from_slice(&v[..k]);
+    out
+}
+
+/// Executes a plan on cleartext slot blocks with one worker thread per
+/// output ciphertext (paper §4.3: "each block performs independent work
+/// and is well-suited for parallel execution across multiple threads").
+pub fn exec_plain_parallel(
+    plan: &LinearPlan,
+    source: &(dyn DiagSource + Sync),
+    inputs: &[Vec<f64>],
+) -> Vec<Vec<f64>> {
+    assert_eq!(inputs.len(), plan.in_blocks);
+    let slots = plan.slots;
+    let n1 = plan.n1;
+    let mut out = vec![vec![0.0; slots]; plan.out_blocks];
+    crossbeam::thread::scope(|scope| {
+        for (i_out, out_block) in out.iter_mut().enumerate() {
+            scope.spawn(move |_| {
+                let mut groups: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
+                for (&(i_blk, j_blk), diags) in &plan.blocks {
+                    if i_blk as usize != i_out {
+                        continue;
+                    }
+                    let vals = source.block_diags(plan, i_blk, j_blk);
+                    let input = &inputs[j_blk as usize];
+                    for &k in diags {
+                        let Some(d) = vals.get(&k) else { continue };
+                        let i = (k as usize) % n1;
+                        let j = (k as usize) / n1;
+                        let rotated = rot_plain(input, i);
+                        let acc = groups.entry(j).or_insert_with(|| vec![0.0; slots]);
+                        for ((a, &dv), &xv) in acc.iter_mut().zip(d).zip(&rotated) {
+                            *a += dv * xv;
+                        }
+                    }
+                }
+                for (j, acc) in groups {
+                    let part = rot_plain(&acc, (j * n1) % slots);
+                    for (o, p) in out_block.iter_mut().zip(&part) {
+                        *o += p;
+                    }
+                }
+            });
+        }
+    })
+    .expect("block worker panicked");
+    out
+}
+
+/// Executes a plan on cleartext slot blocks.
+pub fn exec_plain(plan: &LinearPlan, source: &dyn DiagSource, inputs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    assert_eq!(inputs.len(), plan.in_blocks);
+    let slots = plan.slots;
+    let n1 = plan.n1;
+    // giant-step group accumulators: (out block, giant j) → slots
+    let mut groups: BTreeMap<(u32, usize), Vec<f64>> = BTreeMap::new();
+    for (&(i_blk, j_blk), diags) in &plan.blocks {
+        let vals = source.block_diags(plan, i_blk, j_blk);
+        let input = &inputs[j_blk as usize];
+        for &k in diags {
+            let Some(d) = vals.get(&k) else { continue };
+            let i = (k as usize) % n1;
+            let j = (k as usize) / n1;
+            let rotated = rot_plain(input, i);
+            let acc = groups.entry((i_blk, j)).or_insert_with(|| vec![0.0; slots]);
+            for ((a, &dv), &xv) in acc.iter_mut().zip(d).zip(&rotated) {
+                *a += dv * xv;
+            }
+        }
+    }
+    let mut out = vec![vec![0.0; slots]; plan.out_blocks];
+    for ((i_blk, j), acc) in groups {
+        let part = rot_plain(&acc, (j * n1) % slots);
+        for (o, p) in out[i_blk as usize].iter_mut().zip(&part) {
+            *o += p;
+        }
+    }
+    out
+}
+
+/// Handles bundling the CKKS evaluator and encoder for FHE execution.
+pub struct FheLinearContext<'a> {
+    /// The evaluator (must hold rotation keys for `plan.rotation_steps()`).
+    pub eval: &'a Evaluator,
+    /// The encoder.
+    pub enc: &'a Encoder,
+}
+
+/// Executes a plan homomorphically **without** hoisting or lazy ModDown —
+/// every baby-step rotation pays a full key-switch and diagonals are
+/// encoded on the fly. This is the ablation baseline for the paper's
+/// Table 4 mechanism ("our convolutional runtime is 11.2× faster …
+/// all ciphertext rotations in Orion are performed with double-hoisting").
+pub fn exec_fhe_unhoisted(
+    ctx: &FheLinearContext<'_>,
+    plan: &LinearPlan,
+    source: &dyn DiagSource,
+    inputs: &[Ciphertext],
+) -> Vec<Ciphertext> {
+    assert_eq!(inputs.len(), plan.in_blocks);
+    let level = inputs[0].level();
+    let slots = ctx.eval.context().slots();
+    let n1 = plan.n1;
+    // Rotated inputs computed with full key-switches, cached per (J, i).
+    let mut rotated: std::collections::HashMap<(u32, usize), Ciphertext> = std::collections::HashMap::new();
+    let mut groups: BTreeMap<(u32, usize), Ciphertext> = BTreeMap::new();
+    for (&(i_blk, j_blk), diags) in &plan.blocks {
+        let vals = source.block_diags(plan, i_blk, j_blk);
+        for &k in diags {
+            let Some(d) = vals.get(&k) else { continue };
+            let i = (k as usize) % n1;
+            let j = (k as usize) / n1;
+            let rot = rotated
+                .entry((j_blk, i))
+                .or_insert_with(|| ctx.eval.rotate(&inputs[j_blk as usize], i as isize))
+                .clone();
+            // on-the-fly encoding (the ablation's point)
+            let pt = ctx.enc.encode_at_prime_scale(d, level, false);
+            let term = ctx.eval.mul_plain(&rot, &pt);
+            groups
+                .entry((i_blk, j))
+                .and_modify(|acc| *acc = ctx.eval.add(acc, &term))
+                .or_insert(term);
+        }
+    }
+    let mut out: Vec<Option<Ciphertext>> = vec![None; plan.out_blocks];
+    for ((i_blk, j), part) in groups {
+        let g = (j * n1) % slots;
+        let part = if g != 0 { ctx.eval.rotate(&part, g as isize) } else { part };
+        let slot_ref = &mut out[i_blk as usize];
+        *slot_ref = Some(match slot_ref.take() {
+            None => part,
+            Some(prev) => ctx.eval.add(&prev, &part),
+        });
+    }
+    out.into_iter()
+        .map(|o| {
+            let mut ct = o.expect("unhoisted path expects every block populated");
+            ctx.eval.rescale_assign(&mut ct);
+            ct
+        })
+        .collect()
+}
+
+/// Executes a plan homomorphically. Inputs must share one level and scale
+/// Δ; outputs are one level lower at exactly scale Δ (single-shot: even
+/// strided convolutions consume one level — paper §4).
+pub fn exec_fhe(
+    ctx: &FheLinearContext<'_>,
+    plan: &LinearPlan,
+    source: &dyn DiagSource,
+    bias: Option<&[Vec<f64>]>,
+    inputs: &[Ciphertext],
+) -> Vec<Ciphertext> {
+    assert_eq!(inputs.len(), plan.in_blocks);
+    let level = inputs[0].level();
+    let slots = plan.slots;
+    assert_eq!(slots, ctx.eval.context().slots(), "plan/context slot mismatch");
+    let n1 = plan.n1;
+    // Hoist every input ciphertext once (shared digit decomposition), and
+    // compute each distinct baby-step rotation's key-switch inner product
+    // once in the extended basis, shared across every diagonal that uses
+    // that rotation (Bossuat et al. Algorithm 6).
+    let hoisted: Vec<HoistedDigits> =
+        inputs.iter().map(|ct| HoistedDigits::new(ctx.eval.context(), ct)).collect();
+    let mut rotations: std::collections::HashMap<(u32, usize), RotatedExt> = std::collections::HashMap::new();
+    // Giant-step groups with lazy ModDown.
+    let mut groups: BTreeMap<(u32, usize), ExtAccumulator> = BTreeMap::new();
+    for (&(i_blk, j_blk), diags) in &plan.blocks {
+        let vals = source.block_diags(plan, i_blk, j_blk);
+        for &k in diags {
+            let Some(d) = vals.get(&k) else { continue };
+            let i = (k as usize) % n1;
+            let j = (k as usize) / n1;
+            let pt = ctx.enc.encode_at_prime_scale_ws(d, level);
+            let rot = rotations
+                .entry((j_blk, i))
+                .or_insert_with(|| hoisted[j_blk as usize].rotate_ext(ctx.eval, i as isize));
+            let acc = groups
+                .entry((i_blk, j))
+                .or_insert_with(|| ExtAccumulator::new(ctx.eval.context(), level));
+            acc.add_pmult_rotated(ctx.eval, rot, &pt);
+        }
+    }
+    // Finalize groups, giant-rotate, sum per output block, rescale.
+    let mut out: Vec<Option<Ciphertext>> = vec![None; plan.out_blocks];
+    for ((i_blk, j), acc) in groups {
+        let mut part = acc.finalize(ctx.eval);
+        let g = (j * n1) % slots;
+        if g != 0 {
+            part = ctx.eval.rotate(&part, g as isize);
+        }
+        let slot_ref = &mut out[i_blk as usize];
+        *slot_ref = Some(match slot_ref.take() {
+            None => part,
+            Some(prev) => ctx.eval.add(&prev, &part),
+        });
+    }
+    out.into_iter()
+        .enumerate()
+        .map(|(i_blk, o)| {
+            let mut ct = o.unwrap_or_else(|| {
+                // an output block no diagonal touches: encrypt-free zero via
+                // multiplying an input by the zero plaintext
+                let zero = ctx.enc.encode_at_prime_scale_ws(&vec![0.0; slots], level);
+                ctx.eval.mul_plain(&inputs[0], &zero)
+            });
+            ctx.eval.rescale_assign(&mut ct);
+            if let Some(b) = bias {
+                let pt = ctx.enc.encode(&b[i_blk], ct.scale, ct.level(), false);
+                ct = ctx.eval.add_plain(&ct, &pt);
+            }
+            ct
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::TensorLayout;
+    use crate::plan::{conv_plan, dense_plan, ConvSpec};
+    use crate::values::{BiasValues, ConvDiagSource, DenseDiagSource};
+    use orion_ckks::keys::KeyGenerator;
+    use orion_ckks::params::{CkksParams, Context};
+    use orion_ckks::{Decryptor, Encryptor};
+    use orion_tensor::{conv2d, linear, Conv2dParams, Tensor};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_tensor(shape: &[usize], rng: &mut StdRng) -> Tensor {
+        let n: usize = shape.iter().product();
+        Tensor::from_vec(shape, (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect())
+    }
+
+    /// Runs one conv config through exec_plain and compares with the
+    /// reference convolution.
+    fn check_conv_plain(c_in: usize, h: usize, w: usize, spec: ConvSpec, slots: usize, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let in_l = TensorLayout::raster(c_in, h, w);
+        let input = random_tensor(&[c_in, h, w], &mut rng);
+        let weights = random_tensor(&[spec.co, spec.ci / spec.groups, spec.kh, spec.kw], &mut rng);
+        let (plan, out_l) = conv_plan(&in_l, &spec, slots);
+        let src = ConvDiagSource { in_l, out_l, spec, weights: &weights };
+
+        // pack input into blocks
+        let packed = in_l.pack(input.data());
+        let mut blocks = vec![vec![0.0; slots]; plan.in_blocks];
+        for (i, &v) in packed.iter().enumerate() {
+            blocks[i / slots][i % slots] = v;
+        }
+        let out_blocks = exec_plain(&plan, &src, &blocks);
+        let mut out_slots = Vec::new();
+        for b in &out_blocks {
+            out_slots.extend_from_slice(b);
+        }
+        let got = out_l.unpack(&out_slots[..]);
+
+        let p = Conv2dParams {
+            stride: spec.stride,
+            padding: spec.padding,
+            dilation: spec.dilation,
+            groups: spec.groups,
+        };
+        let expect = conv2d(&input, &weights, &[], p);
+        assert_eq!(got.len(), expect.len());
+        for (idx, (a, b)) in got.iter().zip(expect.data()).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-9,
+                "mismatch at {idx}: {a} vs {b} (spec {spec:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn plain_same_conv_matches_reference() {
+        let spec = ConvSpec { co: 4, ci: 3, kh: 3, kw: 3, stride: 1, padding: 1, dilation: 1, groups: 1 };
+        check_conv_plain(3, 8, 8, spec, 512, 1);
+    }
+
+    #[test]
+    fn plain_strided_conv_matches_reference() {
+        let spec = ConvSpec { co: 8, ci: 4, kh: 3, kw: 3, stride: 2, padding: 1, dilation: 1, groups: 1 };
+        check_conv_plain(4, 8, 8, spec, 512, 2);
+    }
+
+    #[test]
+    fn plain_stride3_valid_conv_matches_reference() {
+        let spec = ConvSpec { co: 2, ci: 2, kh: 3, kw: 3, stride: 3, padding: 0, dilation: 1, groups: 1 };
+        check_conv_plain(2, 9, 9, spec, 256, 3);
+    }
+
+    #[test]
+    fn plain_dilated_conv_matches_reference() {
+        let spec = ConvSpec { co: 3, ci: 2, kh: 3, kw: 3, stride: 1, padding: 2, dilation: 2, groups: 1 };
+        check_conv_plain(2, 8, 8, spec, 256, 4);
+    }
+
+    #[test]
+    fn plain_grouped_conv_matches_reference() {
+        let spec = ConvSpec { co: 8, ci: 8, kh: 3, kw: 3, stride: 1, padding: 1, dilation: 1, groups: 4 };
+        check_conv_plain(8, 6, 6, spec, 512, 5);
+    }
+
+    #[test]
+    fn plain_depthwise_strided_matches_reference() {
+        let spec = ConvSpec { co: 4, ci: 4, kh: 3, kw: 3, stride: 2, padding: 1, dilation: 1, groups: 4 };
+        check_conv_plain(4, 8, 8, spec, 512, 6);
+    }
+
+    #[test]
+    fn plain_multi_block_conv_matches_reference() {
+        // Input spans 2 ciphertexts, output spans 2.
+        let spec = ConvSpec { co: 8, ci: 8, kh: 3, kw: 3, stride: 1, padding: 1, dilation: 1, groups: 1 };
+        check_conv_plain(8, 8, 8, spec, 256, 7);
+    }
+
+    #[test]
+    fn plain_1x1_downsample_matches_reference() {
+        // ResNet shortcut: 1×1 stride-2.
+        let spec = ConvSpec { co: 8, ci: 4, kh: 1, kw: 1, stride: 2, padding: 0, dilation: 1, groups: 1 };
+        check_conv_plain(4, 8, 8, spec, 256, 8);
+    }
+
+    #[test]
+    fn plain_cascaded_strided_convs_match_reference() {
+        // Two strided convolutions back to back: the multiplexed layout of
+        // the first output (t = 2) feeds the second (t = 4).
+        let mut rng = StdRng::seed_from_u64(9);
+        let in_l = TensorLayout::raster(2, 8, 8);
+        let s1 = ConvSpec { co: 4, ci: 2, kh: 3, kw: 3, stride: 2, padding: 1, dilation: 1, groups: 1 };
+        let s2 = ConvSpec { co: 8, ci: 4, kh: 3, kw: 3, stride: 2, padding: 1, dilation: 1, groups: 1 };
+        let input = random_tensor(&[2, 8, 8], &mut rng);
+        let w1 = random_tensor(&[4, 2, 3, 3], &mut rng);
+        let w2 = random_tensor(&[8, 4, 3, 3], &mut rng);
+        let slots = 256;
+        let (p1, l1) = conv_plan(&in_l, &s1, slots);
+        let (p2, l2) = conv_plan(&l1, &s2, slots);
+        let src1 = ConvDiagSource { in_l, out_l: l1, spec: s1, weights: &w1 };
+        let src2 = ConvDiagSource { in_l: l1, out_l: l2, spec: s2, weights: &w2 };
+        let packed = in_l.pack(input.data());
+        let mut blocks = vec![vec![0.0; slots]; p1.in_blocks];
+        for (i, &v) in packed.iter().enumerate() {
+            blocks[i / slots][i % slots] = v;
+        }
+        let mid = exec_plain(&p1, &src1, &blocks);
+        let out = exec_plain(&p2, &src2, &mid);
+        let mut out_slots = Vec::new();
+        for b in &out {
+            out_slots.extend_from_slice(b);
+        }
+        let got = l2.unpack(&out_slots);
+        let params = |s: &ConvSpec| Conv2dParams { stride: s.stride, padding: s.padding, dilation: s.dilation, groups: s.groups };
+        let expect = conv2d(&conv2d(&input, &w1, &[], params(&s1)), &w2, &[], params(&s2));
+        for (a, b) in got.iter().zip(expect.data()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn plain_dense_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let in_l = TensorLayout { c: 8, h: 2, w: 2, t: 2 }; // multiplexed input
+        let n_out = 10;
+        let w = random_tensor(&[n_out, 32], &mut rng);
+        let input: Vec<f64> = (0..32).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let slots = 64;
+        let (plan, _) = dense_plan(&in_l, n_out, slots);
+        let src = DenseDiagSource::new(w.clone(), &in_l);
+        let packed = in_l.pack(&input);
+        let mut blocks = vec![vec![0.0; slots]; plan.in_blocks];
+        for (i, &v) in packed.iter().enumerate() {
+            blocks[i / slots][i % slots] = v;
+        }
+        let out = exec_plain(&plan, &src, &blocks);
+        let expect = linear(&input, &w, &[]);
+        for (i, e) in expect.iter().enumerate() {
+            assert!((out[0][i] - e).abs() < 1e-9, "row {i}: {} vs {e}", out[0][i]);
+        }
+    }
+
+    /// The headline single-shot claim, on real FHE: a stride-2 convolution
+    /// consumes exactly ONE level and matches the reference.
+    #[test]
+    fn fhe_strided_conv_one_level() {
+        let ctx = Context::new(CkksParams::tiny());
+        let slots = ctx.slots(); // 512
+        let mut rng = StdRng::seed_from_u64(11);
+        let in_l = TensorLayout::raster(2, 8, 8);
+        let spec = ConvSpec { co: 4, ci: 2, kh: 3, kw: 3, stride: 2, padding: 1, dilation: 1, groups: 1 };
+        let input = random_tensor(&[2, 8, 8], &mut rng);
+        let weights = random_tensor(&[4, 2, 3, 3], &mut rng);
+        let bias = vec![0.1, -0.2, 0.3, 0.05];
+        let (plan, out_l) = conv_plan(&in_l, &spec, slots);
+        assert_eq!(plan.in_blocks, 1);
+
+        let mut kg = KeyGenerator::new(ctx.clone(), StdRng::seed_from_u64(12));
+        let pk = std::sync::Arc::new(kg.gen_public_key());
+        let keys = std::sync::Arc::new(kg.gen_eval_keys(&plan.rotation_steps()));
+        let sk = kg.secret_key();
+        let enc = Encoder::new(ctx.clone());
+        let encryptor = Encryptor::with_public_key(ctx.clone(), pk);
+        let dec = Decryptor::new(ctx.clone(), sk);
+        let eval = Evaluator::new(ctx.clone(), keys);
+
+        let packed = in_l.pack(input.data());
+        let level = 2;
+        let ct = encryptor.encrypt(&enc.encode(&packed, ctx.scale(), level, false), &mut rng);
+        let src = ConvDiagSource { in_l, out_l, spec, weights: &weights };
+        let bias_blocks = BiasValues::conv(&out_l, &bias, slots);
+        let fhe_ctx = FheLinearContext { eval: &eval, enc: &enc };
+        let out = exec_fhe(&fhe_ctx, &plan, &src, Some(&bias_blocks), &[ct]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].level(), level - 1, "single-shot: exactly one level");
+        assert_eq!(out[0].scale, ctx.scale(), "errorless: scale returns to Δ");
+
+        let got_slots = enc.decode(&dec.decrypt(&out[0]));
+        let got = out_l.unpack(&got_slots);
+        let p = Conv2dParams { stride: 2, padding: 1, dilation: 1, groups: 1 };
+        let expect = conv2d(&input, &weights, &bias, p);
+        for (i, (a, b)) in got.iter().zip(expect.data()).enumerate() {
+            assert!((a - b).abs() < 1e-2, "slot {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn fhe_unhoisted_matches_hoisted() {
+        // The ablation path must compute the same function.
+        let ctx = Context::new(CkksParams::tiny());
+        let slots = ctx.slots();
+        let mut rng = StdRng::seed_from_u64(21);
+        let in_l = TensorLayout::raster(2, 8, 8);
+        let spec = ConvSpec { co: 2, ci: 2, kh: 3, kw: 3, stride: 1, padding: 1, dilation: 1, groups: 1 };
+        let input = random_tensor(&[2, 8, 8], &mut rng);
+        let weights = random_tensor(&[2, 2, 3, 3], &mut rng);
+        let (plan, out_l) = conv_plan(&in_l, &spec, slots);
+        let mut kg = KeyGenerator::new(ctx.clone(), StdRng::seed_from_u64(22));
+        let pk = std::sync::Arc::new(kg.gen_public_key());
+        let keys = std::sync::Arc::new(kg.gen_eval_keys(&plan.rotation_steps()));
+        let sk = kg.secret_key();
+        let enc = Encoder::new(ctx.clone());
+        let encryptor = Encryptor::with_public_key(ctx.clone(), pk);
+        let dec = Decryptor::new(ctx.clone(), sk);
+        let eval = Evaluator::new(ctx.clone(), keys);
+        let packed = in_l.pack(input.data());
+        let ct = encryptor.encrypt(&enc.encode(&packed, ctx.scale(), 2, false), &mut rng);
+        let src = ConvDiagSource { in_l, out_l, spec, weights: &weights };
+        let fhe_ctx = FheLinearContext { eval: &eval, enc: &enc };
+        let hoisted = exec_fhe(&fhe_ctx, &plan, &src, None, &[ct.clone()]);
+        let unhoisted = exec_fhe_unhoisted(&fhe_ctx, &plan, &src, &[ct]);
+        let a = enc.decode(&dec.decrypt(&hoisted[0]));
+        let b = enc.decode(&dec.decrypt(&unhoisted[0]));
+        for i in (0..slots).step_by(37) {
+            assert!((a[i] - b[i]).abs() < 2e-2, "slot {i}: {} vs {}", a[i], b[i]);
+        }
+        assert_eq!(hoisted[0].level(), unhoisted[0].level());
+    }
+
+    #[test]
+    fn fhe_dense_layer_matches_reference() {
+        let ctx = Context::new(CkksParams::tiny());
+        let slots = ctx.slots();
+        let mut rng = StdRng::seed_from_u64(13);
+        let in_l = TensorLayout::raster(16, 4, 4); // 256 features
+        let n_out = 10;
+        let w = random_tensor(&[n_out, 256], &mut rng);
+        let input: Vec<f64> = (0..256).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let (plan, _) = dense_plan(&in_l, n_out, slots);
+        let mut kg = KeyGenerator::new(ctx.clone(), StdRng::seed_from_u64(14));
+        let pk = std::sync::Arc::new(kg.gen_public_key());
+        let keys = std::sync::Arc::new(kg.gen_eval_keys(&plan.rotation_steps()));
+        let sk = kg.secret_key();
+        let enc = Encoder::new(ctx.clone());
+        let encryptor = Encryptor::with_public_key(ctx.clone(), pk);
+        let dec = Decryptor::new(ctx.clone(), sk);
+        let eval = Evaluator::new(ctx.clone(), keys);
+        let packed = in_l.pack(&input);
+        let ct = encryptor.encrypt(&enc.encode(&packed, ctx.scale(), 1, false), &mut rng);
+        let src = DenseDiagSource::new(w.clone(), &in_l);
+        let fhe_ctx = FheLinearContext { eval: &eval, enc: &enc };
+        let out = exec_fhe(&fhe_ctx, &plan, &src, None, &[ct]);
+        let got = enc.decode(&dec.decrypt(&out[0]));
+        let expect = linear(&input, &w, &[]);
+        for (i, e) in expect.iter().enumerate() {
+            assert!((got[i] - e).abs() < 5e-2, "row {i}: {} vs {e}", got[i]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use crate::layout::TensorLayout;
+    use crate::plan::{conv_plan, ConvSpec};
+    use crate::values::ConvDiagSource;
+    use orion_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn parallel_blocks_match_sequential() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let in_l = TensorLayout::raster(8, 8, 8);
+        let spec = ConvSpec { co: 8, ci: 8, kh: 3, kw: 3, stride: 1, padding: 1, dilation: 1, groups: 1 };
+        let slots = 128; // 4 in-blocks, 4 out-blocks
+        let (plan, out_l) = conv_plan(&in_l, &spec, slots);
+        assert!(plan.out_blocks > 1, "test needs multiple output blocks");
+        let weights = Tensor::from_vec(&[8, 8, 3, 3], (0..576).map(|_| rng.gen_range(-1.0..1.0)).collect());
+        let src = ConvDiagSource { in_l, out_l, spec, weights: &weights };
+        let packed = in_l.pack(&(0..512).map(|i| (i % 17) as f64 * 0.1).collect::<Vec<_>>());
+        let mut blocks = vec![vec![0.0; slots]; plan.in_blocks];
+        for (i, &v) in packed.iter().enumerate() {
+            blocks[i / slots][i % slots] = v;
+        }
+        let seq = exec_plain(&plan, &src, &blocks);
+        let par = exec_plain_parallel(&plan, &src, &blocks);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
+    }
+}

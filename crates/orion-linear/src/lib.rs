@@ -1,0 +1,38 @@
+//! Single-shot multiplexed packing: Orion's convolution engine (paper §3–4).
+//!
+//! Every linear layer — convolution with arbitrary stride / padding /
+//! dilation / groups, fully-connected, average pooling — is expressed as a
+//! matrix–vector product against a (row-permuted) Toeplitz matrix and
+//! evaluated with the diagonal method + baby-step giant-step +
+//! double-hoisting:
+//!
+//! * [`layout`] — the multiplexed tensor layout (paper Figure 5b): strided
+//!   convolutions increase the interleaving gap `t` by the stride instead
+//!   of leaving holes, so the mask-and-collect step of Lee et al. is fused
+//!   into the (pre-processable) weight matrix and every convolution
+//!   consumes exactly **one** multiplicative level;
+//! * [`plan`] — computes, without materializing the Toeplitz matrix, the
+//!   per-ciphertext-block generalized-diagonal structure and the BSGS
+//!   split `n1 × n2` minimizing rotations (the slot-index difference
+//!   between an output row and its input column is constant along a row
+//!   segment, so plans for ImageNet-scale layers build in milliseconds);
+//! * [`values`] — materializes diagonal plaintext vectors block-by-block
+//!   (only needed by the real-FHE and plan-validation paths);
+//! * [`exec`] — executors: `exec_plain` (cleartext slots through the exact
+//!   plan — the packing correctness oracle) and `exec_fhe` (real CKKS with
+//!   hoisted baby steps and lazy-ModDown giant groups);
+//! * [`baseline`] — rotation-count baselines: the diagonal method without
+//!   BSGS (Lee et al.-style multiplexed parallel convolutions, Table 3)
+//!   and the naive strided Toeplitz with maximal diagonals (Figure 5a).
+
+pub mod baseline;
+pub mod exec;
+pub mod layout;
+pub mod plan;
+pub mod store;
+pub mod values;
+
+pub use exec::{exec_fhe, exec_fhe_unhoisted, exec_plain, exec_plain_parallel, FheLinearContext};
+pub use layout::TensorLayout;
+pub use plan::{ConvSpec, LinearPlan, PlanCounts};
+pub use values::{BiasValues, ConvDiagSource, DenseDiagSource, DiagSource};

@@ -1,0 +1,235 @@
+//! Complex arithmetic and the CKKS *special* FFT.
+//!
+//! CKKS encodes a vector of `n = N/2` complex slots into the coefficients
+//! of a real polynomial via the canonical embedding restricted to one
+//! element of each conjugate pair (paper §2.2). The transform below is the
+//! classic HEAAN "special FFT": a radix-2 FFT whose twiddle indices follow
+//! the orbit of 5 modulo 2N, which is exactly the ordering that makes the
+//! Galois automorphism `X → X^5` act as a cyclic rotation by one slot.
+
+/// A complex number (f64 re/im). Minimal on purpose — no external deps.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number from rectangular coordinates.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// e^{iθ}.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self::new(theta.cos(), theta.sin())
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Squared magnitude.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl std::ops::Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, s: f64) -> Complex {
+        Complex::new(self.re * s, self.im * s)
+    }
+}
+
+fn bit_reverse_array(v: &mut [Complex]) {
+    let n = v.len();
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if i < j {
+            v.swap(i, j);
+        }
+    }
+}
+
+/// The CKKS special FFT over `n` slots for ring degree `N = 2n`.
+pub struct SpecialFft {
+    /// Number of slots (power of two).
+    pub n: usize,
+    /// `M = 4n = 2N`.
+    m: usize,
+    /// `rot_group[i] = 5^i mod M`.
+    rot_group: Vec<usize>,
+    /// `ksi[k] = e^{2πik/M}` for `k ∈ [0, M]`.
+    ksi: Vec<Complex>,
+}
+
+impl SpecialFft {
+    /// Builds tables for `n` slots (so ring degree `2n`).
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two());
+        let m = 4 * n;
+        let mut rot_group = Vec::with_capacity(n);
+        let mut five = 1usize;
+        for _ in 0..n {
+            rot_group.push(five);
+            five = (five * 5) % m;
+        }
+        let ksi: Vec<Complex> = (0..=m)
+            .map(|k| Complex::cis(2.0 * std::f64::consts::PI * k as f64 / m as f64))
+            .collect();
+        Self { n, m, rot_group, ksi }
+    }
+
+    /// Forward transform (used in *decoding*: polynomial coefficients →
+    /// slot values). In place.
+    pub fn forward(&self, vals: &mut [Complex]) {
+        let n = self.n;
+        assert_eq!(vals.len(), n);
+        bit_reverse_array(vals);
+        let mut len = 2;
+        while len <= n {
+            let lenh = len >> 1;
+            let lenq = len << 2;
+            let gap = self.m / lenq;
+            let mut i = 0;
+            while i < n {
+                for j in 0..lenh {
+                    let idx = (self.rot_group[j] % lenq) * gap;
+                    let u = vals[i + j];
+                    let v = vals[i + j + lenh] * self.ksi[idx];
+                    vals[i + j] = u + v;
+                    vals[i + j + lenh] = u - v;
+                }
+                i += len;
+            }
+            len <<= 1;
+        }
+    }
+
+    /// Inverse transform (used in *encoding*: slot values → polynomial
+    /// coefficients, before scaling/rounding). In place.
+    pub fn inverse(&self, vals: &mut [Complex]) {
+        let n = self.n;
+        assert_eq!(vals.len(), n);
+        let mut len = n;
+        while len >= 1 {
+            let lenh = len >> 1;
+            let lenq = len << 2;
+            let gap = self.m / lenq;
+            let mut i = 0;
+            while i < n {
+                for j in 0..lenh {
+                    let idx = ((lenq - (self.rot_group[j] % lenq)) % lenq) * gap;
+                    let u = vals[i + j] + vals[i + j + lenh];
+                    let v = (vals[i + j] - vals[i + j + lenh]) * self.ksi[idx];
+                    vals[i + j] = u;
+                    vals[i + j + lenh] = v;
+                }
+                i += len;
+            }
+            if len == 1 {
+                break;
+            }
+            len >>= 1;
+        }
+        bit_reverse_array(vals);
+        let scale = 1.0 / n as f64;
+        for v in vals.iter_mut() {
+            *v = *v * scale;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex, b: Complex, tol: f64) -> bool {
+        (a - b).norm_sqr().sqrt() < tol
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        for n in [4usize, 16, 64, 256] {
+            let fft = SpecialFft::new(n);
+            let orig: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+                .collect();
+            let mut v = orig.clone();
+            fft.inverse(&mut v);
+            fft.forward(&mut v);
+            for (a, b) in v.iter().zip(&orig) {
+                assert!(close(*a, *b, 1e-9), "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn transform_is_linear() {
+        let n = 32;
+        let fft = SpecialFft::new(n);
+        let a: Vec<Complex> = (0..n).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+        let b: Vec<Complex> = (0..n).map(|i| Complex::new(1.0, (i % 3) as f64)).collect();
+        let sum: Vec<Complex> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fs = sum.clone();
+        fft.inverse(&mut fa);
+        fft.inverse(&mut fb);
+        fft.inverse(&mut fs);
+        for i in 0..n {
+            assert!(close(fs[i], fa[i] + fb[i], 1e-9));
+        }
+    }
+
+    #[test]
+    fn real_vector_gives_conjugate_symmetric_embedding() {
+        // Encoding a real vector must produce coefficients whose forward
+        // transform is again (approximately) real.
+        let n = 64;
+        let fft = SpecialFft::new(n);
+        let mut v: Vec<Complex> = (0..n).map(|i| Complex::new((i * i % 13) as f64, 0.0)).collect();
+        fft.inverse(&mut v);
+        fft.forward(&mut v);
+        for c in &v {
+            assert!(c.im.abs() < 1e-9);
+        }
+    }
+}

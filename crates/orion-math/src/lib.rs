@@ -1,0 +1,26 @@
+//! Mathematical substrates for Orion's RNS-CKKS implementation.
+//!
+//! This crate provides the low-level machinery the rest of the workspace is
+//! built on:
+//!
+//! * [`modular`] — arithmetic over `u64` prime moduli (add/sub/mul/pow/inv
+//!   via `u128` widening, centered reductions),
+//! * [`primes`] — generation of NTT-friendly primes (`p ≡ 1 mod 2N`),
+//! * [`ntt`] — negacyclic Number Theoretic Transform over each RNS prime,
+//! * [`fft`] — complex FFT plus the CKKS *special* FFT used by the
+//!   canonical-embedding encoder,
+//! * [`rns`] — Residue Number System helpers (CRT reconstruction for tests,
+//!   modulus-chain bookkeeping).
+//!
+//! Everything here is deterministic; NTT tables are precomputed once per
+//! `(N, q)` pair and shared.
+
+pub mod fft;
+pub mod modular;
+pub mod ntt;
+pub mod primes;
+pub mod rns;
+
+pub use fft::{Complex, SpecialFft};
+pub use ntt::NttTable;
+pub use primes::generate_ntt_primes;

@@ -1,0 +1,220 @@
+//! Arithmetic over `u64` prime moduli.
+//!
+//! All moduli used in Orion are < 2⁶², so products fit comfortably in
+//! `u128`. Inputs are assumed fully reduced (`x < q`) unless a function says
+//! otherwise; outputs are always fully reduced.
+
+/// Adds two residues modulo `q`.
+#[inline(always)]
+pub fn add_mod(a: u64, b: u64, q: u64) -> u64 {
+    debug_assert!(a < q && b < q);
+    let s = a + b;
+    if s >= q {
+        s - q
+    } else {
+        s
+    }
+}
+
+/// Subtracts `b` from `a` modulo `q`.
+#[inline(always)]
+pub fn sub_mod(a: u64, b: u64, q: u64) -> u64 {
+    debug_assert!(a < q && b < q);
+    if a >= b {
+        a - b
+    } else {
+        a + q - b
+    }
+}
+
+/// Negates `a` modulo `q`.
+#[inline(always)]
+pub fn neg_mod(a: u64, q: u64) -> u64 {
+    debug_assert!(a < q);
+    if a == 0 {
+        0
+    } else {
+        q - a
+    }
+}
+
+/// Multiplies two residues modulo `q` via 128-bit widening.
+#[inline(always)]
+pub fn mul_mod(a: u64, b: u64, q: u64) -> u64 {
+    ((a as u128 * b as u128) % q as u128) as u64
+}
+
+/// Precomputed constant for Shoup multiplication: `⌊b·2⁶⁴/q⌋`.
+///
+/// Shoup's trick turns a multiplication by a *fixed* operand `b` into one
+/// `u128` high-multiply and one correction, which is what makes the NTT
+/// butterflies fast.
+#[inline(always)]
+pub fn shoup_precompute(b: u64, q: u64) -> u64 {
+    (((b as u128) << 64) / q as u128) as u64
+}
+
+/// Multiplies `a` by a fixed operand `b` with its Shoup precomputation
+/// `b_shoup = ⌊b·2⁶⁴/q⌋`. Requires `b < q`.
+#[inline(always)]
+pub fn mul_mod_shoup(a: u64, b: u64, b_shoup: u64, q: u64) -> u64 {
+    let hi = ((a as u128 * b_shoup as u128) >> 64) as u64;
+    let r = (a.wrapping_mul(b)).wrapping_sub(hi.wrapping_mul(q));
+    if r >= q {
+        r - q
+    } else {
+        r
+    }
+}
+
+/// Raises `a` to the power `e` modulo `q` by square-and-multiply.
+pub fn pow_mod(mut a: u64, mut e: u64, q: u64) -> u64 {
+    let mut r: u64 = 1 % q;
+    a %= q;
+    while e > 0 {
+        if e & 1 == 1 {
+            r = mul_mod(r, a, q);
+        }
+        a = mul_mod(a, a, q);
+        e >>= 1;
+    }
+    r
+}
+
+/// Computes the multiplicative inverse of `a` modulo prime `q` via Fermat's
+/// little theorem. Panics if `a == 0`.
+pub fn inv_mod(a: u64, q: u64) -> u64 {
+    assert!(a % q != 0, "zero has no modular inverse");
+    pow_mod(a, q - 2, q)
+}
+
+/// Reduces a signed integer into `[0, q)`.
+#[inline(always)]
+pub fn reduce_i128(x: i128, q: u64) -> u64 {
+    let r = x.rem_euclid(q as i128);
+    r as u64
+}
+
+/// Centers a residue into `(-q/2, q/2]` as a signed integer.
+#[inline(always)]
+pub fn center(x: u64, q: u64) -> i64 {
+    debug_assert!(x < q);
+    if x > q / 2 {
+        x as i64 - q as i64
+    } else {
+        x as i64
+    }
+}
+
+/// Deterministic Miller–Rabin primality test, exact for all `u64`.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n % p == 0 {
+            return n == p;
+        }
+    }
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d % 2 == 0 {
+        d /= 2;
+        s += 1;
+    }
+    // This witness set is exact for all 64-bit integers.
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Q: u64 = (1 << 40) + 0x6001; // not prime necessarily; fine for add/sub
+
+    #[test]
+    fn add_wraps() {
+        assert_eq!(add_mod(Q - 1, 1, Q), 0);
+        assert_eq!(add_mod(Q - 1, 2, Q), 1);
+        assert_eq!(add_mod(0, 0, Q), 0);
+    }
+
+    #[test]
+    fn sub_wraps() {
+        assert_eq!(sub_mod(0, 1, Q), Q - 1);
+        assert_eq!(sub_mod(5, 3, Q), 2);
+    }
+
+    #[test]
+    fn neg_is_additive_inverse() {
+        for a in [0u64, 1, 17, Q - 1] {
+            assert_eq!(add_mod(a, neg_mod(a, Q), Q), 0);
+        }
+    }
+
+    #[test]
+    fn pow_small_cases() {
+        assert_eq!(pow_mod(2, 10, 1_000_003), 1024);
+        assert_eq!(pow_mod(7, 0, 11), 1);
+        assert_eq!(pow_mod(0, 5, 11), 0);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let q = 1_000_003; // prime
+        for a in [1u64, 2, 999_999, 123_456] {
+            let inv = inv_mod(a, q);
+            assert_eq!(mul_mod(a, inv, q), 1);
+        }
+    }
+
+    #[test]
+    fn shoup_matches_plain_mul() {
+        let q = 0x1fff_ffff_ffe0_0001u64; // a 61-bit prime used by SEAL
+        assert!(is_prime(q));
+        let b = 0x1234_5678_9abc_def0 % q;
+        let bs = shoup_precompute(b, q);
+        for a in [0u64, 1, q - 1, q / 2, 0xdead_beef] {
+            assert_eq!(mul_mod_shoup(a, b, bs, q), mul_mod(a, b, q));
+        }
+    }
+
+    #[test]
+    fn center_symmetry() {
+        let q = 101;
+        assert_eq!(center(0, q), 0);
+        assert_eq!(center(50, q), 50);
+        assert_eq!(center(51, q), -50);
+        assert_eq!(center(100, q), -1);
+    }
+
+    #[test]
+    fn miller_rabin_known_values() {
+        assert!(is_prime(2));
+        assert!(is_prime(3));
+        assert!(!is_prime(1));
+        assert!(!is_prime(561)); // Carmichael
+        assert!(is_prime(0x1fff_ffff_ffe0_0001));
+        assert!(!is_prime((1u64 << 40) + 2));
+    }
+
+    #[test]
+    fn reduce_negative() {
+        assert_eq!(reduce_i128(-1, 7), 6);
+        assert_eq!(reduce_i128(-14, 7), 0);
+        assert_eq!(reduce_i128(15, 7), 1);
+    }
+}

@@ -1,0 +1,251 @@
+//! Negacyclic Number Theoretic Transform over a single RNS prime.
+//!
+//! A polynomial in `Z_q[X]/(X^N + 1)` is moved between its coefficient
+//! representation and its evaluation representation (values at the odd
+//! powers of a primitive `2N`-th root of unity ψ). Pointwise products in the
+//! evaluation domain are negacyclic convolutions in the coefficient domain,
+//! which is what makes CKKS multiplication `O(N log N)` (paper §2.5).
+//!
+//! The butterflies follow Longa–Naehrig with Shoup precomputation.
+
+use crate::modular::{add_mod, inv_mod, mul_mod_shoup, pow_mod, shoup_precompute, sub_mod};
+use crate::primes::primitive_2n_root;
+
+/// Precomputed twiddle tables for the negacyclic NTT modulo one prime.
+#[derive(Clone)]
+pub struct NttTable {
+    /// Ring degree (power of two).
+    pub n: usize,
+    /// The prime modulus.
+    pub q: u64,
+    /// ψ, a primitive 2N-th root of unity mod q.
+    pub psi: u64,
+    /// ψ powers in bit-reversed order.
+    psi_brv: Vec<u64>,
+    psi_brv_shoup: Vec<u64>,
+    /// ψ⁻¹ powers in bit-reversed order.
+    inv_psi_brv: Vec<u64>,
+    inv_psi_brv_shoup: Vec<u64>,
+    /// N⁻¹ mod q with Shoup constant.
+    n_inv: u64,
+    n_inv_shoup: u64,
+}
+
+fn bit_reverse(x: usize, bits: u32) -> usize {
+    x.reverse_bits() >> (usize::BITS - bits)
+}
+
+impl NttTable {
+    /// Builds the table for ring degree `n` and prime `q ≡ 1 (mod 2n)`.
+    pub fn new(n: usize, q: u64) -> Self {
+        assert!(n.is_power_of_two() && n >= 2);
+        let psi = primitive_2n_root(q, n);
+        let inv_psi = inv_mod(psi, q);
+        let bits = n.trailing_zeros();
+        let mut psi_brv = vec![0u64; n];
+        let mut inv_psi_brv = vec![0u64; n];
+        let mut p = 1u64;
+        let mut ip = 1u64;
+        let mut psi_pows = vec![0u64; n];
+        let mut inv_psi_pows = vec![0u64; n];
+        for i in 0..n {
+            psi_pows[i] = p;
+            inv_psi_pows[i] = ip;
+            p = crate::modular::mul_mod(p, psi, q);
+            ip = crate::modular::mul_mod(ip, inv_psi, q);
+        }
+        for i in 0..n {
+            psi_brv[i] = psi_pows[bit_reverse(i, bits)];
+            inv_psi_brv[i] = inv_psi_pows[bit_reverse(i, bits)];
+        }
+        let psi_brv_shoup = psi_brv.iter().map(|&x| shoup_precompute(x, q)).collect();
+        let inv_psi_brv_shoup = inv_psi_brv.iter().map(|&x| shoup_precompute(x, q)).collect();
+        let n_inv = inv_mod(n as u64 % q, q);
+        Self {
+            n,
+            q,
+            psi,
+            psi_brv,
+            psi_brv_shoup,
+            inv_psi_brv,
+            inv_psi_brv_shoup,
+            n_inv,
+            n_inv_shoup: shoup_precompute(n_inv, q),
+        }
+    }
+
+    /// In-place forward NTT: coefficient → evaluation representation.
+    pub fn forward(&self, a: &mut [u64]) {
+        debug_assert_eq!(a.len(), self.n);
+        let q = self.q;
+        let n = self.n;
+        let mut t = n;
+        let mut m = 1;
+        while m < n {
+            t >>= 1;
+            for i in 0..m {
+                let j1 = 2 * i * t;
+                let s = self.psi_brv[m + i];
+                let s_sh = self.psi_brv_shoup[m + i];
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = mul_mod_shoup(a[j + t], s, s_sh, q);
+                    a[j] = add_mod(u, v, q);
+                    a[j + t] = sub_mod(u, v, q);
+                }
+            }
+            m <<= 1;
+        }
+    }
+
+    /// In-place inverse NTT: evaluation → coefficient representation.
+    pub fn inverse(&self, a: &mut [u64]) {
+        debug_assert_eq!(a.len(), self.n);
+        let q = self.q;
+        let n = self.n;
+        let mut t = 1;
+        let mut m = n;
+        while m > 1 {
+            let h = m >> 1;
+            let mut j1 = 0;
+            for i in 0..h {
+                let s = self.inv_psi_brv[h + i];
+                let s_sh = self.inv_psi_brv_shoup[h + i];
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = a[j + t];
+                    a[j] = add_mod(u, v, q);
+                    a[j + t] = mul_mod_shoup(sub_mod(u, v, q), s, s_sh, q);
+                }
+                j1 += 2 * t;
+            }
+            t <<= 1;
+            m = h;
+        }
+        for x in a.iter_mut() {
+            *x = mul_mod_shoup(*x, self.n_inv, self.n_inv_shoup, q);
+        }
+    }
+
+    /// Returns, for each evaluation-domain index `i`, the exponent `e(i)`
+    /// (odd, in `[0, 2N)`) such that slot `i` holds the polynomial evaluated
+    /// at ψ^e(i).
+    ///
+    /// This map is what lets Galois automorphisms `X → X^g` be applied in
+    /// the evaluation domain as a pure index permutation (used by hoisted
+    /// rotations): the automorphism moves the value at point ψ^{g·e} to the
+    /// slot evaluating at ψ^{e}. The map is derived by probing the transform
+    /// with the monomial `X`, making it robust to the butterfly ordering.
+    pub fn exponent_map(&self) -> Vec<usize> {
+        let n = self.n;
+        // value → exponent lookup for odd exponents
+        let mut val_to_exp = std::collections::HashMap::with_capacity(n);
+        for e in (1..2 * n).step_by(2) {
+            val_to_exp.insert(pow_mod(self.psi, e as u64, self.q), e);
+        }
+        let mut x = vec![0u64; n];
+        x[1] = 1; // the monomial X
+        self.forward(&mut x);
+        x.iter()
+            .map(|v| *val_to_exp.get(v).expect("NTT output must be a power of psi"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modular::mul_mod;
+    use crate::primes::generate_ntt_primes;
+
+    fn naive_negacyclic(a: &[u64], b: &[u64], q: u64) -> Vec<u64> {
+        let n = a.len();
+        let mut c = vec![0i128; n];
+        for i in 0..n {
+            for j in 0..n {
+                let prod = mul_mod(a[i], b[j], q) as i128;
+                let k = i + j;
+                if k < n {
+                    c[k] += prod;
+                } else {
+                    c[k - n] -= prod;
+                }
+            }
+        }
+        c.into_iter().map(|x| crate::modular::reduce_i128(x, q)).collect()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let n = 1 << 8;
+        let q = generate_ntt_primes(n, 50, 1, &[])[0];
+        let t = NttTable::new(n, q);
+        let orig: Vec<u64> = (0..n as u64).map(|i| (i * i + 7) % q).collect();
+        let mut a = orig.clone();
+        t.forward(&mut a);
+        assert_ne!(a, orig);
+        t.inverse(&mut a);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn pointwise_is_negacyclic_convolution() {
+        let n = 64;
+        let q = generate_ntt_primes(n, 45, 1, &[])[0];
+        let t = NttTable::new(n, q);
+        let a: Vec<u64> = (0..n as u64).map(|i| (3 * i + 1) % q).collect();
+        let b: Vec<u64> = (0..n as u64).map(|i| (i * i + 5) % q).collect();
+        let expect = naive_negacyclic(&a, &b, q);
+        let mut ea = a.clone();
+        let mut eb = b.clone();
+        t.forward(&mut ea);
+        t.forward(&mut eb);
+        let mut ec: Vec<u64> = ea.iter().zip(&eb).map(|(&x, &y)| mul_mod(x, y, q)).collect();
+        t.inverse(&mut ec);
+        assert_eq!(ec, expect);
+    }
+
+    #[test]
+    fn x_to_the_n_is_minus_one() {
+        // (X^{n/2})² = X^n ≡ -1 in the negacyclic ring.
+        let n = 32;
+        let q = generate_ntt_primes(n, 40, 1, &[])[0];
+        let t = NttTable::new(n, q);
+        let mut a = vec![0u64; n];
+        a[n / 2] = 1;
+        let mut ea = a.clone();
+        t.forward(&mut ea);
+        let mut sq: Vec<u64> = ea.iter().map(|&x| mul_mod(x, x, q)).collect();
+        t.inverse(&mut sq);
+        let mut expect = vec![0u64; n];
+        expect[0] = q - 1;
+        assert_eq!(sq, expect);
+    }
+
+    #[test]
+    fn exponent_map_is_consistent() {
+        let n = 64;
+        let q = generate_ntt_primes(n, 40, 1, &[])[0];
+        let t = NttTable::new(n, q);
+        let em = t.exponent_map();
+        // All odd, all distinct, covering each residue class once.
+        let mut seen = std::collections::HashSet::new();
+        for &e in &em {
+            assert_eq!(e % 2, 1);
+            assert!(seen.insert(e));
+        }
+        assert_eq!(seen.len(), n);
+        // Check against a random polynomial: slot i must equal p(psi^{e(i)}).
+        let poly: Vec<u64> = (0..n as u64).map(|i| (5 * i + 2) % q).collect();
+        let mut ev = poly.clone();
+        t.forward(&mut ev);
+        for i in (0..n).step_by(7) {
+            let point = pow_mod(t.psi, em[i] as u64, q);
+            let mut acc = 0u64;
+            for j in (0..n).rev() {
+                acc = add_mod(mul_mod(acc, point, q), poly[j], q);
+            }
+            assert_eq!(ev[i], acc);
+        }
+    }
+}

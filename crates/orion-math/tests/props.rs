@@ -1,0 +1,107 @@
+//! Property-based tests for the math substrate.
+
+use orion_math::fft::{Complex, SpecialFft};
+use orion_math::modular::{add_mod, inv_mod, mul_mod, neg_mod, pow_mod, sub_mod};
+use orion_math::ntt::NttTable;
+use orion_math::primes::generate_ntt_primes;
+use orion_math::rns::crt_reconstruct_centered;
+use proptest::prelude::*;
+
+const Q: u64 = 0x1fff_ffff_ffe0_0001; // 61-bit prime
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn add_sub_inverse(a in 0..Q, b in 0..Q) {
+        prop_assert_eq!(sub_mod(add_mod(a, b, Q), b, Q), a);
+        prop_assert_eq!(add_mod(a, neg_mod(a, Q), Q), 0);
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in 0..Q, b in 0..Q, c in 0..Q) {
+        let lhs = mul_mod(a, add_mod(b, c, Q), Q);
+        let rhs = add_mod(mul_mod(a, b, Q), mul_mod(a, c, Q), Q);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn fermat_inverse(a in 1..Q) {
+        prop_assert_eq!(mul_mod(a, inv_mod(a, Q), Q), 1);
+    }
+
+    #[test]
+    fn pow_is_repeated_multiplication(a in 0..Q, e in 0u64..16) {
+        let mut expect = 1u64;
+        for _ in 0..e {
+            expect = mul_mod(expect, a, Q);
+        }
+        prop_assert_eq!(pow_mod(a, e, Q), expect);
+    }
+
+    /// NTT is linear: NTT(a + b) = NTT(a) + NTT(b).
+    #[test]
+    fn ntt_is_linear(seed in 0u64..5000) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let n = 64;
+        let q = generate_ntt_primes(n, 45, 1, &[])[0];
+        let table = NttTable::new(n, q);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+        let b: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+        let sum: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| add_mod(x, y, q)).collect();
+        let mut ea = a.clone();
+        let mut eb = b.clone();
+        let mut es = sum.clone();
+        table.forward(&mut ea);
+        table.forward(&mut eb);
+        table.forward(&mut es);
+        for i in 0..n {
+            prop_assert_eq!(es[i], add_mod(ea[i], eb[i], q));
+        }
+    }
+
+    /// Negacyclic wrap: X^{n-1} · X = -1 in the ring.
+    #[test]
+    fn negacyclic_wraparound(c in 1u64..1000) {
+        let n = 32;
+        let q = generate_ntt_primes(n, 40, 1, &[])[0];
+        let table = NttTable::new(n, q);
+        let mut a = vec![0u64; n];
+        a[n - 1] = c; // c·X^{n-1}
+        let mut x = vec![0u64; n];
+        x[1] = 1; // X
+        table.forward(&mut a);
+        table.forward(&mut x);
+        let mut prod: Vec<u64> = a.iter().zip(&x).map(|(&u, &v)| mul_mod(u, v, q)).collect();
+        table.inverse(&mut prod);
+        prop_assert_eq!(prod[0], q - c); // -c
+        prop_assert!(prod[1..].iter().all(|&v| v == 0));
+    }
+
+    /// Special FFT: Parseval-ish energy preservation under round-trip.
+    #[test]
+    fn special_fft_roundtrip_arbitrary(seed in 0u64..5000) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let n = 128;
+        let fft = SpecialFft::new(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let orig: Vec<Complex> = (0..n)
+            .map(|_| Complex::new(rng.gen_range(-10.0..10.0), rng.gen_range(-10.0..10.0)))
+            .collect();
+        let mut v = orig.clone();
+        fft.inverse(&mut v);
+        fft.forward(&mut v);
+        for (a, b) in v.iter().zip(&orig) {
+            prop_assert!((*a - *b).norm_sqr().sqrt() < 1e-8);
+        }
+    }
+
+    /// CRT reconstruction matches direct arithmetic for 2-limb cases.
+    #[test]
+    fn crt_two_limbs(x in -1_000_000_000i64..1_000_000_000) {
+        let moduli = [2_147_483_647u64, 2_147_483_629]; // both prime
+        let limbs: Vec<u64> = moduli.iter().map(|&q| (x as i128).rem_euclid(q as i128) as u64).collect();
+        prop_assert_eq!(crt_reconstruct_centered(&limbs, &moduli), x as i128);
+    }
+}

@@ -1,0 +1,190 @@
+//! A pure-Rust SGD trainer for the MLP benchmark.
+//!
+//! The paper validates accuracy parity between FHE and cleartext inference
+//! (Table 2's "Clear Acc." vs "FHE Acc."). We reproduce this on the
+//! synthetic digits task: train a square-activation MLP with plain SGD,
+//! load its weights into an `orion_nn::Network`, and compare accuracies.
+
+use crate::data::Digits;
+use orion_nn::network::Network;
+use orion_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Training configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TrainConfig {
+    /// Hidden width of both hidden layers.
+    pub hidden: usize,
+    /// Epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self { hidden: 32, epochs: 60, lr: 0.02, seed: 7 }
+    }
+}
+
+struct Mat {
+    rows: usize,
+    cols: usize,
+    w: Vec<f64>,
+    b: Vec<f64>,
+}
+
+impl Mat {
+    fn new(rows: usize, cols: usize, rng: &mut StdRng) -> Self {
+        let bound = (1.0 / cols as f64).sqrt();
+        Self {
+            rows,
+            cols,
+            w: (0..rows * cols).map(|_| rng.gen_range(-bound..bound)).collect(),
+            b: vec![0.0; rows],
+        }
+    }
+
+    fn forward(&self, x: &[f64]) -> Vec<f64> {
+        (0..self.rows)
+            .map(|r| {
+                self.b[r]
+                    + self.w[r * self.cols..(r + 1) * self.cols]
+                        .iter()
+                        .zip(x)
+                        .map(|(w, x)| w * x)
+                        .sum::<f64>()
+            })
+            .collect()
+    }
+}
+
+fn softmax(z: &[f64]) -> Vec<f64> {
+    let m = z.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let e: Vec<f64> = z.iter().map(|&v| (v - m).exp()).collect();
+    let s: f64 = e.iter().sum();
+    e.into_iter().map(|v| v / s).collect()
+}
+
+/// Trains a `n_in → hidden → hidden → classes` MLP with `x²` activations
+/// and returns it as an Orion network plus its training-set accuracy.
+pub fn train_mlp(data: &Digits, cfg: TrainConfig) -> (Network, f64) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n_in = data.images[0].len();
+    let (h, classes) = (cfg.hidden, data.classes);
+    let mut l1 = Mat::new(h, n_in, &mut rng);
+    let mut l2 = Mat::new(h, h, &mut rng);
+    let mut l3 = Mat::new(classes, h, &mut rng);
+    let n = data.images.len();
+    for _epoch in 0..cfg.epochs {
+        for i in 0..n {
+            let x = data.images[i].data();
+            let y = data.labels[i];
+            // forward
+            let z1 = l1.forward(x);
+            let a1: Vec<f64> = z1.iter().map(|v| v * v).collect();
+            let z2 = l2.forward(&a1);
+            let a2: Vec<f64> = z2.iter().map(|v| v * v).collect();
+            let z3 = l3.forward(&a2);
+            let p = softmax(&z3);
+            // backward
+            let mut dz3 = p;
+            dz3[y] -= 1.0;
+            let mut da2 = vec![0.0; h];
+            for r in 0..classes {
+                for c in 0..h {
+                    da2[c] += l3.w[r * h + c] * dz3[r];
+                }
+            }
+            let dz2: Vec<f64> = da2.iter().zip(&z2).map(|(d, z)| d * 2.0 * z).collect();
+            let mut da1 = vec![0.0; h];
+            for r in 0..h {
+                for c in 0..h {
+                    da1[c] += l2.w[r * h + c] * dz2[r];
+                }
+            }
+            let dz1: Vec<f64> = da1.iter().zip(&z1).map(|(d, z)| d * 2.0 * z).collect();
+            // SGD updates
+            let lr = cfg.lr;
+            for r in 0..classes {
+                for c in 0..h {
+                    l3.w[r * h + c] -= lr * dz3[r] * a2[c];
+                }
+                l3.b[r] -= lr * dz3[r];
+            }
+            for r in 0..h {
+                for c in 0..h {
+                    l2.w[r * h + c] -= lr * dz2[r] * a1[c];
+                }
+                l2.b[r] -= lr * dz2[r];
+            }
+            for r in 0..h {
+                for c in 0..n_in {
+                    l1.w[r * n_in + c] -= lr * dz1[r] * x[c];
+                }
+                l1.b[r] -= lr * dz1[r];
+            }
+        }
+    }
+    // Export into an Orion network.
+    let (c, hh, ww) = {
+        let s = data.images[0].shape();
+        (s[0], s[1], s[2])
+    };
+    let mut net = Network::new(c, hh, ww);
+    let x = net.input();
+    let f = net.flatten("flat", x);
+    let fc1 = net.linear_with("fc1", f, Tensor::from_vec(&[h, n_in], l1.w), l1.b);
+    let a1 = net.square("act1", fc1);
+    let fc2 = net.linear_with("fc2", a1, Tensor::from_vec(&[h, h], l2.w), l2.b);
+    let a2 = net.square("act2", fc2);
+    let fc3 = net.linear_with("fc3", a2, Tensor::from_vec(&[classes, h], l3.w), l3.b);
+    net.output(fc3);
+    let acc = accuracy(&net, data);
+    (net, acc)
+}
+
+/// Classification accuracy of a network (exact cleartext forward).
+pub fn accuracy(net: &Network, data: &Digits) -> f64 {
+    let correct = data
+        .images
+        .iter()
+        .zip(&data.labels)
+        .filter(|(img, &label)| net.forward_exact(img).argmax() == label)
+        .count();
+    correct as f64 / data.images.len() as f64
+}
+
+/// Accuracy of arbitrary predicted outputs against the dataset labels.
+pub fn accuracy_of_outputs(outputs: &[Tensor], data: &Digits) -> f64 {
+    let correct = outputs
+        .iter()
+        .zip(&data.labels)
+        .filter(|(o, &label)| o.argmax() == label)
+        .count();
+    correct as f64 / outputs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::synthetic_digits;
+
+    #[test]
+    fn mlp_learns_synthetic_digits() {
+        let data = synthetic_digits(8, 8, 4, 80, 11);
+        let (net, acc) = train_mlp(&data, TrainConfig { epochs: 40, ..Default::default() });
+        assert!(acc > 0.9, "training failed: acc = {acc}");
+        assert_eq!(net.shape(net.output_node()), (4, 1, 1));
+    }
+
+    #[test]
+    fn untrained_network_is_near_chance() {
+        let data = synthetic_digits(8, 8, 4, 80, 12);
+        let (_, acc) = train_mlp(&data, TrainConfig { epochs: 0, ..Default::default() });
+        assert!(acc < 0.6, "untrained accuracy suspiciously high: {acc}");
+    }
+}

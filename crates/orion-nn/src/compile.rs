@@ -1,0 +1,679 @@
+//! The Orion compile pipeline: network → executable FHE program.
+//!
+//! Compilation (paper §6) performs, in order: batch-norm folding, range
+//! estimation lookup, activation fitting, packing-plan construction for
+//! every linear layer, IR construction with cost-model latencies, and
+//! automatic bootstrap placement. The result runs identically on the
+//! cleartext trace backend and on real CKKS.
+
+use crate::act::{compile_activation, CompiledAct, CompiledActs};
+use crate::fit::FitResult;
+use crate::layer::Layer;
+use crate::network::Network;
+use orion_graph::{place, Graph, Node, NodeKind, PlacementResult};
+use orion_linear::plan::{conv_plan, dense_plan, ConvSpec, LinearPlan};
+use orion_linear::TensorLayout;
+use orion_sim::CostModel;
+use orion_tensor::Tensor;
+
+/// One executable program step.
+#[derive(Clone, Debug)]
+pub enum Step {
+    /// The network input (encrypt here).
+    Input,
+    /// The network output (decrypt here).
+    Output,
+    /// A packed convolution (also used for pooling).
+    Conv {
+        /// The packing plan.
+        plan: LinearPlan,
+        /// Conv parameters.
+        spec: ConvSpec,
+        /// Folded weights.
+        weight: Tensor,
+        /// Folded bias.
+        bias: Vec<f64>,
+        /// Input layout.
+        in_l: TensorLayout,
+        /// Output layout.
+        out_l: TensorLayout,
+    },
+    /// A packed fully-connected layer.
+    Dense {
+        /// The packing plan.
+        plan: LinearPlan,
+        /// Weights `(n_out, features)`.
+        weight: Tensor,
+        /// Bias.
+        bias: Vec<f64>,
+        /// Input layout (pre-flatten tensor layout).
+        in_l: TensorLayout,
+        /// Output width.
+        n_out: usize,
+    },
+    /// Multiply by `1/range` (activation normalization; depth 1).
+    ScaleDown {
+        /// The multiplier (≤ 1).
+        factor: f64,
+    },
+    /// One Chebyshev stage on the normalized wire; `normalize` restores
+    /// the exact-Δ scale at +1 depth (last stage of SiLU-type activations).
+    PolyStage {
+        /// Chebyshev coefficients.
+        coeffs: Vec<f64>,
+        /// Whether to re-normalize the output scale to Δ.
+        normalize: bool,
+    },
+    /// The final ReLU product `m·u·(s+1)/2`; inputs are
+    /// `[normalized wire u, sign wire s]`. Depth 2.
+    ReluFinal {
+        /// The range `m` to scale back by.
+        magnitude: f64,
+    },
+    /// The `x²` activation (depth 2 including exact-Δ alignment).
+    Square,
+    /// Residual addition.
+    Add,
+}
+
+/// A program node.
+#[derive(Clone, Debug)]
+pub struct ProgNode {
+    /// Display name.
+    pub name: String,
+    /// What to execute.
+    pub step: Step,
+    /// Input program nodes.
+    pub inputs: Vec<usize>,
+    /// Output data layout.
+    pub layout: TensorLayout,
+    /// Output ciphertext count.
+    pub n_cts: usize,
+}
+
+/// Compilation options (decoupled from concrete CKKS parameters so the
+/// trace backend can model the paper's N = 2¹⁶ deployment).
+#[derive(Clone, Debug)]
+pub struct CompileOptions {
+    /// Slots per ciphertext.
+    pub slots: usize,
+    /// Levels available after bootstrapping (`L_eff`).
+    pub l_eff: usize,
+    /// The latency model driving placement.
+    pub cost: CostModel,
+}
+
+impl CompileOptions {
+    /// Paper-scale options: N = 2¹⁶ (32768 slots), L_eff = 10.
+    pub fn paper() -> Self {
+        Self { slots: 1 << 15, l_eff: 10, cost: CostModel::paper() }
+    }
+
+    /// Options matching a concrete CKKS parameter set (for real-FHE runs).
+    pub fn from_params(p: &orion_ckks::CkksParams) -> Self {
+        Self {
+            slots: p.slots(),
+            l_eff: p.effective_level(),
+            cost: CostModel::for_degree(p.n, p.boot_levels),
+        }
+    }
+}
+
+/// A compiled network.
+pub struct Compiled {
+    /// The executable program.
+    pub prog: Vec<ProgNode>,
+    /// The placement IR (indices match `prog`).
+    pub graph: Graph,
+    /// The level-management policy.
+    pub placement: PlacementResult,
+    /// Options used.
+    pub opts: CompileOptions,
+    /// Compiled activations (for the ideal polynomial reference).
+    pub acts: CompiledActs,
+    /// Wall-clock seconds spent compiling (excluding placement).
+    pub compile_seconds: f64,
+    /// Input layout.
+    pub input_layout: TensorLayout,
+}
+
+impl Compiled {
+    /// Total rotations across all linear-layer plans (static count).
+    pub fn planned_rotations(&self) -> usize {
+        self.prog
+            .iter()
+            .map(|p| match &p.step {
+                Step::Conv { plan, .. } | Step::Dense { plan, .. } => plan.counts.rotations(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Union of rotation steps needed by every plan (for key generation).
+    pub fn rotation_steps(&self) -> Vec<isize> {
+        let mut set = std::collections::BTreeSet::new();
+        for p in &self.prog {
+            if let Step::Conv { plan, .. } | Step::Dense { plan, .. } = &p.step {
+                set.extend(plan.rotation_steps());
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// Sum of activation depths (Table 2's "Act. Depth").
+    pub fn activation_depth(&self) -> usize {
+        self.graph.activation_depth()
+    }
+
+    /// A human-readable compilation report: per-layer plans, levels, and
+    /// bootstrap sites.
+    pub fn report(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "compiled program: {} steps, {} planned rotations, {} bootstraps ({} sites), act depth {}",
+            self.prog.len(),
+            self.planned_rotations(),
+            self.placement.boot_count,
+            self.placement.boot_sites,
+            self.activation_depth()
+        );
+        for (id, p) in self.prog.iter().enumerate() {
+            let lvl = self
+                .placement
+                .levels[id]
+                .map(|l| format!("@L{l}"))
+                .unwrap_or_default();
+            let boot = if self.placement.boots_before[id] > 0 {
+                format!("  [bootstrap x{}]", self.placement.boots_before[id])
+            } else {
+                String::new()
+            };
+            let detail = match &p.step {
+                Step::Conv { plan, spec, .. } => format!(
+                    "conv {}x{} s{} g{}: {} rots (n1={}), {} pmults, {} ct in/{} out",
+                    spec.kh,
+                    spec.kw,
+                    spec.stride,
+                    spec.groups,
+                    plan.counts.rotations(),
+                    plan.n1,
+                    plan.counts.pmults,
+                    plan.in_blocks,
+                    plan.out_blocks,
+                ),
+                Step::Dense { plan, n_out, .. } => format!(
+                    "dense -> {n_out}: {} rots (n1={}), {} pmults",
+                    plan.counts.rotations(),
+                    plan.n1,
+                    plan.counts.pmults
+                ),
+                Step::ScaleDown { factor } => format!("scale-down x{factor:.4}"),
+                Step::PolyStage { coeffs, normalize } => format!(
+                    "chebyshev deg {}{}",
+                    coeffs.len() - 1,
+                    if *normalize { " +normalize" } else { "" }
+                ),
+                Step::ReluFinal { magnitude } => format!("relu final x{magnitude:.3}"),
+                Step::Square => "square".to_string(),
+                Step::Add => "residual add".to_string(),
+                Step::Input => "input".to_string(),
+                Step::Output => "output".to_string(),
+            };
+            let _ = writeln!(s, "  {:>3} {:<16}{lvl:<5}{boot}  {detail}", id, p.name);
+        }
+        s
+    }
+
+    /// The placement rendered as Graphviz dot (paper Figure 6 style).
+    pub fn to_dot(&self) -> String {
+        orion_graph::to_dot(&self.graph, Some(&self.placement))
+    }
+}
+
+/// Estimated ciphertext-multiplication count of a degree-`d` Chebyshev
+/// stage (babies + giants + recombination).
+pub fn stage_mult_estimate(d: usize) -> usize {
+    let logd = usize::BITS as usize - d.max(1).leading_zeros() as usize;
+    let m = 1usize << logd.div_ceil(2);
+    (m - 1) + logd.saturating_sub(logd.div_ceil(2)) + (d + 1).div_ceil(m)
+}
+
+/// Compiles a network. `fitres` must cover every activation (see
+/// `fit::fit` / `fit::fixed_ranges`).
+pub fn compile(net: &Network, fitres: &FitResult, opts: &CompileOptions) -> Compiled {
+    crate::fit::validate(net, fitres);
+    let t0 = std::time::Instant::now();
+    let slots = opts.slots;
+    let l_eff = opts.l_eff;
+    let cost = &opts.cost;
+    let lat_flat = |v: f64| -> Vec<f64> { vec![v; l_eff + 1] };
+    let lat_fn = |f: &dyn Fn(usize) -> f64| -> Vec<f64> { (0..=l_eff).map(f).collect() };
+
+    let mut prog: Vec<ProgNode> = Vec::new();
+    let mut graph = Graph::new();
+    let mut acts = CompiledActs::default();
+    // net node id → prog node id
+    let mut map: Vec<usize> = vec![usize::MAX; net.nodes.len()];
+
+    let push = |prog: &mut Vec<ProgNode>, graph: &mut Graph, node: ProgNode, gnode: Node, inputs: &[usize]| -> usize {
+        let id = prog.len();
+        prog.push(node);
+        let gid = graph.add_node(gnode);
+        debug_assert_eq!(gid, id);
+        for &i in inputs {
+            graph.add_edge(i, id);
+        }
+        id
+    };
+
+    let input_layout = {
+        let (c, h, w) = net.shape(net.input());
+        TensorLayout::raster(c, h, w)
+    };
+
+    for (nid, node) in net.nodes.iter().enumerate() {
+        let pin: Vec<usize> = node.inputs.iter().map(|&i| map[i]).collect();
+        let in_layout = pin.first().map(|&p| prog[p].layout);
+        let id = match &node.layer {
+            Layer::Input => push(
+                &mut prog,
+                &mut graph,
+                ProgNode {
+                    name: node.name.clone(),
+                    step: Step::Input,
+                    inputs: vec![],
+                    layout: input_layout,
+                    n_cts: input_layout.num_ciphertexts(slots),
+                },
+                Node::new(node.name.clone(), NodeKind::Input, 0, lat_flat(0.0), input_layout.num_ciphertexts(slots)),
+                &[],
+            ),
+            Layer::Output => {
+                let l = in_layout.unwrap();
+                push(
+                    &mut prog,
+                    &mut graph,
+                    ProgNode { name: node.name.clone(), step: Step::Output, inputs: pin.clone(), layout: l, n_cts: l.num_ciphertexts(slots) },
+                    Node::new(node.name.clone(), NodeKind::Output, 0, lat_flat(0.0), l.num_ciphertexts(slots)),
+                    &pin,
+                )
+            }
+            Layer::Conv2d { weight, bias, stride, padding, dilation, groups } => {
+                let in_l = in_layout.unwrap();
+                let spec = ConvSpec {
+                    co: weight.shape()[0],
+                    ci: in_l.c,
+                    kh: weight.shape()[2],
+                    kw: weight.shape()[3],
+                    stride: *stride,
+                    padding: *padding,
+                    dilation: *dilation,
+                    groups: *groups,
+                };
+                let (plan, out_l) = conv_plan(&in_l, &spec, slots);
+                let n_in_cts = in_l.num_ciphertexts(slots);
+                let lat = lat_fn(&|l| plan.latency(cost, l));
+                push(
+                    &mut prog,
+                    &mut graph,
+                    ProgNode {
+                        name: node.name.clone(),
+                        step: Step::Conv { plan, spec, weight: weight.clone(), bias: bias.clone(), in_l, out_l },
+                        inputs: pin.clone(),
+                        layout: out_l,
+                        n_cts: out_l.num_ciphertexts(slots),
+                    },
+                    Node::new(node.name.clone(), NodeKind::Linear, 1, lat, n_in_cts),
+                    &pin,
+                )
+            }
+            Layer::BatchNorm2d(bn) => {
+                // Fold into the producing convolution when possible.
+                let pid = pin[0];
+                let aff = bn.affine();
+                if let Step::Conv { weight, bias, spec, .. } = &mut prog[pid].step {
+                    let (co, cig, kh, kw) = (spec.co, spec.ci / spec.groups, spec.kh, spec.kw);
+                    for c in 0..co {
+                        let (s, b) = aff[c];
+                        for i in 0..cig * kh * kw {
+                            weight.data_mut()[c * cig * kh * kw + i] *= s;
+                        }
+                        bias[c] = bias[c] * s + b;
+                    }
+                    map[nid] = pid;
+                    continue;
+                }
+                // Standalone BN: a depthwise 1×1 convolution.
+                let in_l = in_layout.unwrap();
+                let c = in_l.c;
+                let weight = Tensor::from_vec(&[c, 1, 1, 1], aff.iter().map(|&(s, _)| s).collect());
+                let bias: Vec<f64> = aff.iter().map(|&(_, b)| b).collect();
+                let spec = ConvSpec { co: c, ci: c, kh: 1, kw: 1, stride: 1, padding: 0, dilation: 1, groups: c };
+                let (plan, out_l) = conv_plan(&in_l, &spec, slots);
+                let lat = lat_fn(&|l| plan.latency(cost, l));
+                push(
+                    &mut prog,
+                    &mut graph,
+                    ProgNode {
+                        name: node.name.clone(),
+                        step: Step::Conv { plan, spec, weight, bias, in_l, out_l },
+                        inputs: pin.clone(),
+                        layout: out_l,
+                        n_cts: out_l.num_ciphertexts(slots),
+                    },
+                    Node::new(node.name.clone(), NodeKind::Linear, 1, lat, in_l.num_ciphertexts(slots)),
+                    &pin,
+                )
+            }
+            Layer::AvgPool2d { k, stride, padding } => {
+                let in_l = in_layout.unwrap();
+                let c = in_l.c;
+                let weight = Tensor::from_vec(&[c, 1, *k, *k], vec![1.0 / (k * k) as f64; c * k * k]);
+                let spec = ConvSpec { co: c, ci: c, kh: *k, kw: *k, stride: *stride, padding: *padding, dilation: 1, groups: c };
+                let (plan, out_l) = conv_plan(&in_l, &spec, slots);
+                let lat = lat_fn(&|l| plan.latency(cost, l));
+                push(
+                    &mut prog,
+                    &mut graph,
+                    ProgNode {
+                        name: node.name.clone(),
+                        step: Step::Conv { plan, spec, weight, bias: vec![0.0; c], in_l, out_l },
+                        inputs: pin.clone(),
+                        layout: out_l,
+                        n_cts: out_l.num_ciphertexts(slots),
+                    },
+                    Node::new(node.name.clone(), NodeKind::Linear, 1, lat, in_l.num_ciphertexts(slots)),
+                    &pin,
+                )
+            }
+            Layer::GlobalAvgPool => {
+                let in_l = in_layout.unwrap();
+                let c = in_l.c;
+                let (kh, kw) = (in_l.h, in_l.w);
+                let weight = Tensor::from_vec(&[c, 1, kh, kw], vec![1.0 / (kh * kw) as f64; c * kh * kw]);
+                let spec = ConvSpec { co: c, ci: c, kh, kw, stride: 1, padding: 0, dilation: 1, groups: c };
+                let (plan, out_l) = conv_plan(&in_l, &spec, slots);
+                let lat = lat_fn(&|l| plan.latency(cost, l));
+                push(
+                    &mut prog,
+                    &mut graph,
+                    ProgNode {
+                        name: node.name.clone(),
+                        step: Step::Conv { plan, spec, weight, bias: vec![0.0; c], in_l, out_l },
+                        inputs: pin.clone(),
+                        layout: out_l,
+                        n_cts: out_l.num_ciphertexts(slots),
+                    },
+                    Node::new(node.name.clone(), NodeKind::Linear, 1, lat, in_l.num_ciphertexts(slots)),
+                    &pin,
+                )
+            }
+            Layer::Linear { weight, bias } => {
+                let in_l = in_layout.unwrap();
+                let n_out = weight.shape()[0];
+                let (plan, out_l) = dense_plan(&in_l, n_out, slots);
+                let n_in_cts = in_l.num_ciphertexts(slots);
+                let lat = lat_fn(&|l| plan.latency(cost, l));
+                push(
+                    &mut prog,
+                    &mut graph,
+                    ProgNode {
+                        name: node.name.clone(),
+                        step: Step::Dense { plan, weight: weight.clone(), bias: bias.clone(), in_l, n_out },
+                        inputs: pin.clone(),
+                        layout: out_l,
+                        n_cts: out_l.num_ciphertexts(slots),
+                    },
+                    Node::new(node.name.clone(), NodeKind::Linear, 1, lat, n_in_cts),
+                    &pin,
+                )
+            }
+            Layer::Flatten => {
+                // Structural: subsequent dense layers read the layout.
+                map[nid] = pin[0];
+                continue;
+            }
+            Layer::Add => {
+                let l = in_layout.unwrap();
+                let n = l.num_ciphertexts(slots);
+                let lat = lat_fn(&|lv| cost.hadd(lv) * n as f64);
+                push(
+                    &mut prog,
+                    &mut graph,
+                    ProgNode { name: node.name.clone(), step: Step::Add, inputs: pin.clone(), layout: l, n_cts: n },
+                    Node::new(node.name.clone(), NodeKind::Add, 0, lat, 2 * n),
+                    &pin,
+                )
+            }
+            act_layer if act_layer.is_activation() => {
+                let l = in_layout.unwrap();
+                let n = l.num_ciphertexts(slots);
+                let range = fitres.ranges.get(&nid).copied().unwrap_or(1.0);
+                let compiled = compile_activation(act_layer, range);
+                let out = emit_activation(
+                    &mut prog, &mut graph, &node.name, &compiled, pin[0], l, n, cost, l_eff,
+                );
+                acts.map.insert(nid, compiled);
+                map[nid] = out;
+                continue;
+            }
+            other => panic!("unhandled layer {}", other.kind_name()),
+        };
+        map[nid] = id;
+    }
+
+    let compile_seconds = t0.elapsed().as_secs_f64();
+    let boot_latency = cost.bootstrap(l_eff);
+    let placement = place(&graph, l_eff, boot_latency);
+    Compiled {
+        prog,
+        graph,
+        placement,
+        opts: opts.clone(),
+        acts,
+        compile_seconds,
+        input_layout,
+    }
+}
+
+/// Expands one activation into program nodes; returns the final node id.
+#[allow(clippy::too_many_arguments)]
+fn emit_activation(
+    prog: &mut Vec<ProgNode>,
+    graph: &mut Graph,
+    name: &str,
+    act: &CompiledAct,
+    input: usize,
+    layout: TensorLayout,
+    n_cts: usize,
+    cost: &CostModel,
+    l_eff: usize,
+) -> usize {
+    let lat_fn = |f: &dyn Fn(usize) -> f64| -> Vec<f64> { (0..=l_eff).map(f).collect() };
+    let push = |prog: &mut Vec<ProgNode>, graph: &mut Graph, pname: String, step: Step, depth: usize, lat: Vec<f64>, inputs: Vec<usize>| -> usize {
+        let id = prog.len();
+        prog.push(ProgNode { name: pname.clone(), step, inputs: inputs.clone(), layout, n_cts });
+        let gid = graph.add_node(Node::new(pname, NodeKind::Activation, depth, lat, n_cts));
+        debug_assert_eq!(gid, id);
+        for i in inputs {
+            graph.add_edge(i, id);
+        }
+        id
+    };
+    match act {
+        CompiledAct::Square => {
+            let lat = lat_fn(&|l| n_cts as f64 * (cost.hmult(l) + cost.pmult(l) + 2.0 * cost.rescale(l)));
+            push(prog, graph, format!("{name}.sq"), Step::Square, 2, lat, vec![input])
+        }
+        CompiledAct::Poly { range, coeffs } => {
+            let sd_lat = lat_fn(&|l| n_cts as f64 * (cost.pmult(l) + cost.rescale(l)));
+            let sd = push(
+                prog,
+                graph,
+                format!("{name}.scale"),
+                Step::ScaleDown { factor: 1.0 / range },
+                1,
+                sd_lat,
+                vec![input],
+            );
+            let d = coeffs.len() - 1;
+            let depth = orion_poly::eval::fhe_eval_depth(d) + 1;
+            let mults = stage_mult_estimate(d);
+            let lat = lat_fn(&|l| n_cts as f64 * (mults as f64 * cost.hmult(l) + d as f64 * cost.pmult(l)));
+            push(
+                prog,
+                graph,
+                format!("{name}.poly"),
+                Step::PolyStage { coeffs: coeffs.clone(), normalize: true },
+                depth,
+                lat,
+                vec![sd],
+            )
+        }
+        CompiledAct::Relu { range, stages } => {
+            let sd_lat = lat_fn(&|l| n_cts as f64 * (cost.pmult(l) + cost.rescale(l)));
+            let sd = push(
+                prog,
+                graph,
+                format!("{name}.scale"),
+                Step::ScaleDown { factor: 1.0 / range },
+                1,
+                sd_lat,
+                vec![input],
+            );
+            let mut cur = sd;
+            for (i, st) in stages.iter().enumerate() {
+                let d = st.len() - 1;
+                let depth = orion_poly::eval::fhe_eval_depth(d);
+                let mults = stage_mult_estimate(d);
+                let lat = lat_fn(&|l| n_cts as f64 * (mults as f64 * cost.hmult(l) + d as f64 * cost.pmult(l)));
+                cur = push(
+                    prog,
+                    graph,
+                    format!("{name}.sign{i}"),
+                    Step::PolyStage { coeffs: st.clone(), normalize: false },
+                    depth,
+                    lat,
+                    vec![cur],
+                );
+            }
+            let lat = lat_fn(&|l| n_cts as f64 * (cost.hmult(l) + cost.pmult(l) + 2.0 * cost.rescale(l)));
+            // The fork at `sd` (skip wire) and the sign chain join here: a
+            // SESE region the placement solver black-boxes (paper §5.2).
+            push(
+                prog,
+                graph,
+                format!("{name}.mul"),
+                Step::ReluFinal { magnitude: *range },
+                2,
+                lat,
+                vec![sd, cur],
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fit::fixed_ranges;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_opts() -> CompileOptions {
+        CompileOptions { slots: 512, l_eff: 10, cost: CostModel::for_degree(1 << 10, 4) }
+    }
+
+    fn build_mlp(rng: &mut StdRng) -> Network {
+        let mut net = Network::new(1, 8, 8);
+        let x = net.input();
+        let f = net.flatten("flat", x);
+        let l1 = net.linear("fc1", f, 32, rng);
+        let a1 = net.square("act1", l1);
+        let l2 = net.linear("fc2", a1, 10, rng);
+        net.output(l2);
+        net
+    }
+
+    #[test]
+    fn compiles_mlp_without_bootstraps() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = build_mlp(&mut rng);
+        let c = compile(&net, &fixed_ranges(&net, 2.0), &small_opts());
+        // depth: fc1 (1) + square (2) + fc2 (1) = 4 ≤ 10 → no boots.
+        assert_eq!(c.placement.boot_count, 0);
+        assert!(c.planned_rotations() > 0);
+        assert_eq!(c.graph.total_depth(), 4);
+    }
+
+    #[test]
+    fn compiles_relu_as_sese_region() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = Network::new(2, 8, 8);
+        let x = net.input();
+        let cv = net.conv2d("conv", x, 2, 3, 1, 1, 1, &mut rng);
+        let a = net.relu("relu", cv, &[15, 15, 27]);
+        net.output(a);
+        let c = compile(&net, &fixed_ranges(&net, 4.0), &small_opts());
+        // relu expands to scale + 3 stages + final mult
+        let names: Vec<&str> = c.prog.iter().map(|p| p.name.as_str()).collect();
+        assert!(names.contains(&"relu.scale"));
+        assert!(names.contains(&"relu.sign0"));
+        assert!(names.contains(&"relu.sign2"));
+        assert!(names.contains(&"relu.mul"));
+        // the final mult has two inputs (fork at scale-down)
+        let mul = c.prog.iter().find(|p| p.name == "relu.mul").unwrap();
+        assert_eq!(mul.inputs.len(), 2);
+        // total depth: conv 1 + scale 1 + stages 5+5+6 + final 2 = 20 > 10
+        // → bootstraps required
+        assert!(c.placement.boot_count >= 1);
+    }
+
+    #[test]
+    fn bn_folds_into_conv() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = Network::new(2, 4, 4);
+        let x = net.input();
+        let cv = net.conv2d("conv", x, 2, 3, 1, 1, 1, &mut rng);
+        let bn = net.batch_norm2d_with(
+            "bn",
+            cv,
+            crate::layer::BnParams {
+                gamma: vec![2.0, 0.5],
+                beta: vec![0.1, -0.1],
+                mean: vec![0.0, 0.0],
+                var: vec![1.0 - 1e-5, 1.0 - 1e-5],
+                eps: 1e-5,
+            },
+        );
+        net.output(bn);
+        let c = compile(&net, &fixed_ranges(&net, 1.0), &small_opts());
+        // one conv node only (BN absorbed)
+        let convs = c.prog.iter().filter(|p| matches!(p.step, Step::Conv { .. })).count();
+        assert_eq!(convs, 1);
+        if let Step::Conv { bias, .. } = &c.prog.iter().find(|p| matches!(p.step, Step::Conv { .. })).unwrap().step {
+            assert!((bias[0] - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn residual_network_compiles_with_levels_assigned() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut net = Network::new(4, 8, 8);
+        let x = net.input();
+        let c1 = net.conv2d("c1", x, 4, 3, 1, 1, 1, &mut rng);
+        let a1 = net.silu("a1", c1, 31);
+        let c2 = net.conv2d("c2", a1, 4, 3, 1, 1, 1, &mut rng);
+        let add = net.add("res", c2, x);
+        let a2 = net.silu("a2", add, 31);
+        net.output(a2);
+        let c = compile(&net, &fixed_ranges(&net, 4.0), &small_opts());
+        for (i, l) in c.placement.levels.iter().enumerate() {
+            if c.graph.nodes[i].depth > 0 {
+                assert!(l.is_some(), "node {} unassigned", c.prog[i].name);
+            }
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Layer definitions (the `orion.nn` module set of Listing 1).
+
+use orion_tensor::Tensor;
+
+/// Batch-norm parameters (inference mode).
+#[derive(Clone, Debug)]
+pub struct BnParams {
+    /// Learned scale γ.
+    pub gamma: Vec<f64>,
+    /// Learned shift β.
+    pub beta: Vec<f64>,
+    /// Running mean.
+    pub mean: Vec<f64>,
+    /// Running variance.
+    pub var: Vec<f64>,
+    /// Stabilizer.
+    pub eps: f64,
+}
+
+impl BnParams {
+    /// Identity batch-norm over `c` channels.
+    pub fn identity(c: usize) -> Self {
+        Self { gamma: vec![1.0; c], beta: vec![0.0; c], mean: vec![0.0; c], var: vec![1.0; c], eps: 1e-5 }
+    }
+
+    /// Per-channel `(scale, shift)` of the folded affine map.
+    pub fn affine(&self) -> Vec<(f64, f64)> {
+        self.gamma
+            .iter()
+            .zip(&self.beta)
+            .zip(&self.mean)
+            .zip(&self.var)
+            .map(|(((&g, &b), &m), &v)| {
+                let s = g / (v + self.eps).sqrt();
+                (s, b - m * s)
+            })
+            .collect()
+    }
+}
+
+/// One network layer.
+#[derive(Clone, Debug)]
+pub enum Layer {
+    /// The network input.
+    Input,
+    /// 2-D convolution (`on.Conv2d`).
+    Conv2d {
+        /// Weights `(C_out, C_in/groups, K_h, K_w)`.
+        weight: Tensor,
+        /// Per-output-channel bias.
+        bias: Vec<f64>,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        padding: usize,
+        /// Dilation.
+        dilation: usize,
+        /// Channel groups.
+        groups: usize,
+    },
+    /// Batch normalization (`on.BatchNorm2d`); folded into the preceding
+    /// convolution at compile time.
+    BatchNorm2d(BnParams),
+    /// Fully-connected layer (`on.Linear`).
+    Linear {
+        /// Weights `(N_out, N_in)`.
+        weight: Tensor,
+        /// Bias.
+        bias: Vec<f64>,
+    },
+    /// Average pooling (`on.AvgPool2d`; the paper replaces max pooling with
+    /// this everywhere).
+    AvgPool2d {
+        /// Kernel size.
+        k: usize,
+        /// Stride.
+        stride: usize,
+        /// Padding.
+        padding: usize,
+    },
+    /// Global average pooling (`on.AdaptiveAvgPool2d(1)`).
+    GlobalAvgPool,
+    /// ReLU via composite minimax sign (`on.ReLU(degrees=[15,15,27])`).
+    ReLU {
+        /// Per-stage sign degrees.
+        degrees: Vec<usize>,
+    },
+    /// SiLU via a single Chebyshev polynomial (`on.SiLU(degree=127)`).
+    SiLU {
+        /// Polynomial degree.
+        degree: usize,
+    },
+    /// The `x²` activation used by the MNIST networks.
+    Square,
+    /// A custom activation fitted with Chebyshev interpolation
+    /// (`on.Activation`): `name` for display, sampled from `table`.
+    Activation {
+        /// Display name.
+        name: String,
+        /// Chebyshev degree.
+        degree: usize,
+        /// Dense samples of the function on a canonical grid over
+        /// `[-1, 1]` (scaled by the fitted range at compile time).
+        table: fn(f64) -> f64,
+    },
+    /// Flatten to a vector (`on.Flatten`): structural only.
+    Flatten,
+    /// Residual join (`on.Add()`).
+    Add,
+    /// The network output.
+    Output,
+}
+
+impl Layer {
+    /// Display name of the layer kind.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Layer::Input => "input",
+            Layer::Conv2d { .. } => "conv2d",
+            Layer::BatchNorm2d(_) => "batchnorm2d",
+            Layer::Linear { .. } => "linear",
+            Layer::AvgPool2d { .. } => "avgpool2d",
+            Layer::GlobalAvgPool => "globalavgpool",
+            Layer::ReLU { .. } => "relu",
+            Layer::SiLU { .. } => "silu",
+            Layer::Square => "square",
+            Layer::Activation { .. } => "activation",
+            Layer::Flatten => "flatten",
+            Layer::Add => "add",
+            Layer::Output => "output",
+        }
+    }
+
+    /// Whether this layer is an element-wise activation.
+    pub fn is_activation(&self) -> bool {
+        matches!(
+            self,
+            Layer::ReLU { .. } | Layer::SiLU { .. } | Layer::Square | Layer::Activation { .. }
+        )
+    }
+
+    /// Number of parameters.
+    pub fn param_count(&self) -> usize {
+        match self {
+            Layer::Conv2d { weight, bias, .. } => weight.len() + bias.len(),
+            Layer::Linear { weight, bias } => weight.len() + bias.len(),
+            Layer::BatchNorm2d(bn) => 2 * bn.gamma.len(),
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bn_affine_matches_formula() {
+        let bn = BnParams {
+            gamma: vec![2.0],
+            beta: vec![1.0],
+            mean: vec![3.0],
+            var: vec![4.0 - 1e-5],
+            eps: 1e-5,
+        };
+        let aff = bn.affine();
+        assert!((aff[0].0 - 1.0).abs() < 1e-9);
+        assert!((aff[0].1 + 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identity_bn_is_identity() {
+        for (s, b) in BnParams::identity(4).affine() {
+            assert!((s - 1.0).abs() < 1e-4);
+            assert!(b.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn param_counts() {
+        let conv = Layer::Conv2d {
+            weight: Tensor::zeros(&[8, 4, 3, 3]),
+            bias: vec![0.0; 8],
+            stride: 1,
+            padding: 1,
+            dilation: 1,
+            groups: 1,
+        };
+        assert_eq!(conv.param_count(), 8 * 4 * 9 + 8);
+        assert!(Layer::Square.param_count() == 0);
+        assert!(Layer::Square.is_activation());
+        assert!(!conv.is_activation());
+    }
+}

@@ -1,0 +1,33 @@
+//! PyTorch-like FHE neural network modules and the Orion compile pipeline
+//! (paper §6, Listing 1).
+//!
+//! A [`network::Network`] is built with a PyTorch-flavoured builder
+//! (`conv2d`, `batch_norm2d`, `relu`, `silu`, `avg_pool2d`, `linear`,
+//! residual `add`, …), can run reference cleartext inference, and is
+//! *compiled* for FHE:
+//!
+//! 1. batch-norm folding into the preceding convolution,
+//! 2. range estimation over a calibration set (`fit()` — paper §6), which
+//!    fixes the normalization each activation needs to land in `[-1, 1]`,
+//! 3. activation fitting (Chebyshev interpolation; ReLU as the composite
+//!    minimax sign of Lee et al.),
+//! 4. packing: one single-shot multiplexed [`orion_linear::LinearPlan`]
+//!    per linear layer,
+//! 5. automatic bootstrap placement over the level digraph
+//!    (`orion_graph::place`), driven by the analytical cost model,
+//! 6. emission of an executable program that runs identically on the
+//!    cleartext trace backend (`run_trace`) and on real CKKS
+//!    (`run_fhe`).
+
+pub mod act;
+pub mod compile;
+pub mod fhe_exec;
+pub mod fit;
+pub mod layer;
+pub mod network;
+pub mod trace_exec;
+
+pub use compile::{compile, Compiled, CompileOptions};
+pub use fhe_exec::FheSession;
+pub use layer::Layer;
+pub use network::{Network, NodeId};

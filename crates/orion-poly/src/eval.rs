@@ -1,0 +1,387 @@
+//! Homomorphic evaluation of Chebyshev expansions.
+//!
+//! Uses the baby-step giant-step (Paterson–Stockmeyer) recursion over the
+//! Chebyshev basis: baby steps `T_1…T_m` and giants `T_{2m}, T_{4m}, …` are
+//! built with the three-term product identity `T_{a+b} = 2·T_a·T_b −
+//! T_{|a−b|}`, and the polynomial is recursively split as
+//! `p = q·T_N + r` via Chebyshev division. The scale schedule follows
+//! Bossuat et al.'s errorless approach, adapted to our per-limb
+//! key-switching: every level has one target scale `S[ℓ]` (`S` at the
+//! entry level is the input scale; `S[ℓ−1] = S[ℓ]²/q_ℓ`), and all plaintext
+//! constants are encoded at exactly the scale that lands the next rescale
+//! on schedule.
+//!
+//! Depth: `⌈log₂(d+1)⌉ + 1` levels for degree `d` (the `+1` pays for the
+//! base-case coefficient products; the paper's backend fuses this level
+//! away with Lattigo's fused constant path — see DESIGN.md, "depth
+//! accounting").
+
+use orion_ckks::encoder::Encoder;
+use orion_ckks::encrypt::Ciphertext;
+use orion_ckks::eval::Evaluator;
+use std::collections::HashMap;
+
+/// Multiplicative depth consumed by [`evaluate_chebyshev`] for degree `d`.
+pub fn fhe_eval_depth(d: usize) -> usize {
+    assert!(d >= 1);
+    let log = usize::BITS as usize - (d.max(1)).leading_zeros() as usize; // ceil(log2(d+1)) for d>=1
+    log + 1
+}
+
+/// Per-level target scales for one polynomial evaluation.
+struct Schedule {
+    s: Vec<f64>,
+}
+
+impl Schedule {
+    fn new(eval: &Evaluator, entry_level: usize, entry_scale: f64) -> Self {
+        let ctx = eval.context();
+        let mut s = vec![0.0; entry_level + 1];
+        s[entry_level] = entry_scale;
+        for l in (1..=entry_level).rev() {
+            s[l - 1] = s[l] * s[l] / ctx.moduli[l] as f64;
+        }
+        Self { s }
+    }
+}
+
+/// Brings `ct` to exactly `(level, target_scale)`, spending one of its
+/// levels on a scalar multiplication when needed.
+pub fn set_level_scale(eval: &Evaluator, ct: &Ciphertext, level: usize, target: f64) -> Ciphertext {
+    let ctx = eval.context();
+    if ct.level() == level {
+        assert!(
+            (ct.scale / target - 1.0).abs() < 1e-9,
+            "cannot adjust scale without a spare level ({} vs {target} at level {level})",
+            ct.scale
+        );
+        return ct.clone();
+    }
+    assert!(ct.level() > level, "cannot raise a ciphertext's level");
+    let mut c = ct.clone();
+    eval.drop_to_level(&mut c, level + 1);
+    let q = ctx.moduli[level + 1] as f64;
+    let aux = q * target / c.scale;
+    let mut out = eval.mul_scalar(&c, 1.0, aux);
+    eval.rescale_assign(&mut out);
+    out.scale = target; // snap within float ulps of the true value
+    out
+}
+
+struct PolyEvaluator<'a> {
+    eval: &'a Evaluator,
+    enc: &'a Encoder,
+    sched: Schedule,
+    /// Memoized Chebyshev basis ciphertexts T_k.
+    basis: HashMap<usize, Ciphertext>,
+    entry_level: usize,
+    baby_m: usize,
+    baby_depth: usize,
+}
+
+impl<'a> PolyEvaluator<'a> {
+    /// T_k via T_{a+b} = 2·T_a·T_b − T_{|a−b|}, a = ⌈k/2⌉ (depth ⌈log₂ k⌉).
+    fn basis_ct(&mut self, k: usize) -> Ciphertext {
+        if let Some(c) = self.basis.get(&k) {
+            return c.clone();
+        }
+        assert!(k >= 2);
+        let a = k.div_ceil(2);
+        let b = k / 2;
+        let ta = self.basis_ct(a);
+        let tb = self.basis_ct(b);
+        let lc = ta.level().min(tb.level());
+        let ta = set_level_scale(self.eval, &ta, lc, self.sched.s[lc]);
+        let tb = set_level_scale(self.eval, &tb, lc, self.sched.s[lc]);
+        let mut prod = self.eval.mul_relin(&ta, &tb);
+        self.eval.rescale_assign(&mut prod);
+        prod.scale = self.sched.s[lc - 1];
+        let two_prod = self.eval.add(&prod, &prod);
+        let out = if a == b {
+            // T_{2a} = 2·T_a² − 1
+            let neg_one = self.enc.encode_constant(-1.0, two_prod.scale, two_prod.level(), false);
+            self.eval.add_plain(&two_prod, &neg_one)
+        } else {
+            // T_{a+b} = 2·T_a·T_b − T_{a−b}; a−b = 1 by construction.
+            debug_assert_eq!(a - b, 1);
+            let t1 = self.basis_ct(1);
+            let t1 = set_level_scale(self.eval, &t1, two_prod.level(), two_prod.scale);
+            self.eval.sub(&two_prod, &t1)
+        };
+        self.basis.insert(k, out.clone());
+        out
+    }
+
+    /// Σ_k c_k T_k for a short chunk (degree < baby_m), landing at the base
+    /// level with the scheduled scale.
+    fn base_case(&mut self, coeffs: &[f64]) -> Ciphertext {
+        let lb = self.entry_level - self.baby_depth;
+        let target_level = lb - 1;
+        let target_scale = self.sched.s[target_level];
+        let ctx = self.eval.context();
+        let q = ctx.moduli[lb] as f64;
+        let pt_scale = q * target_scale / self.sched.s[lb];
+        // Start from the constant term.
+        let t1 = self.basis_ct(1);
+        let t1b = set_level_scale(self.eval, &t1, lb, self.sched.s[lb]);
+        let mut acc = self.eval.mul_scalar(&t1b, 0.0, pt_scale);
+        self.eval.rescale_assign(&mut acc);
+        acc.scale = target_scale;
+        if coeffs[0] != 0.0 {
+            let c0 = self.enc.encode_constant(coeffs[0], target_scale, target_level, false);
+            acc = self.eval.add_plain(&acc, &c0);
+        }
+        for (k, &c) in coeffs.iter().enumerate().skip(1) {
+            if c.abs() < 1e-13 {
+                continue;
+            }
+            let tk = self.basis_ct(k);
+            let tk = set_level_scale(self.eval, &tk, lb, self.sched.s[lb]);
+            let mut term = self.eval.mul_scalar(&tk, c, pt_scale);
+            self.eval.rescale_assign(&mut term);
+            term.scale = target_scale;
+            acc = self.eval.add(&acc, &term);
+        }
+        acc
+    }
+
+    /// Chebyshev division: `p = q·T_n + r` with `deg q, deg r < n`.
+    fn cheb_divide(coeffs: &[f64], n: usize) -> (Vec<f64>, Vec<f64>) {
+        let len = coeffs.len();
+        assert!(len > n && len <= 2 * n);
+        let mut q = vec![0.0; len - n];
+        let mut r = coeffs[..n].to_vec();
+        for k in (n..len).rev() {
+            let c = coeffs[k];
+            if k == n {
+                q[0] += c;
+            } else {
+                q[k - n] += 2.0 * c;
+                r[2 * n - k] -= c;
+            }
+        }
+        (q, r)
+    }
+
+    fn rec(&mut self, coeffs: &[f64]) -> Ciphertext {
+        if coeffs.len() <= self.baby_m {
+            return self.base_case(coeffs);
+        }
+        // Largest giant N = m·2^j with N < len.
+        let mut n = self.baby_m;
+        while 2 * n < coeffs.len() {
+            n *= 2;
+        }
+        let (q, r) = Self::cheb_divide(coeffs, n);
+        let cq = self.rec(&q);
+        let cr = self.rec(&r);
+        let tn = self.basis_ct(n);
+        let lc = cq.level().min(tn.level());
+        let cq = set_level_scale(self.eval, &cq, lc, self.sched.s[lc]);
+        let tn = set_level_scale(self.eval, &tn, lc, self.sched.s[lc]);
+        let mut prod = self.eval.mul_relin(&cq, &tn);
+        self.eval.rescale_assign(&mut prod);
+        prod.scale = self.sched.s[lc - 1];
+        let cr = set_level_scale(self.eval, &cr, prod.level(), prod.scale);
+        self.eval.add(&prod, &cr)
+    }
+}
+
+/// Evaluates `Σ_k coeffs[k]·T_k(ct)` homomorphically. The input must hold
+/// values in `[-1, 1]` (Orion's range estimation guarantees this upstream —
+/// paper §6). The output scale is the schedule's value at the exit level
+/// (≈ Δ, exactly consistent for all same-level ciphertexts).
+pub fn evaluate_chebyshev(eval: &Evaluator, enc: &Encoder, ct: &Ciphertext, coeffs: &[f64]) -> Ciphertext {
+    // Trim trailing zeros.
+    let mut len = coeffs.len();
+    while len > 1 && coeffs[len - 1].abs() < 1e-13 {
+        len -= 1;
+    }
+    let coeffs = &coeffs[..len];
+    let d = len - 1;
+    assert!(d >= 1, "constant polynomials need no homomorphic evaluation");
+    assert!(
+        ct.level() >= fhe_eval_depth(d),
+        "level {} too low for degree-{d} evaluation (need {})",
+        ct.level(),
+        fhe_eval_depth(d)
+    );
+    let entry = ct.level();
+    // Baby-step count: m = 2^⌈log2(d+1)/2⌉ (≥ 2).
+    let logd = usize::BITS as usize - d.leading_zeros() as usize;
+    let m = 1usize << logd.div_ceil(2).max(1);
+    let baby_depth = usize::BITS as usize - (m - 1).max(1).leading_zeros() as usize;
+    let sched = Schedule::new(eval, entry, ct.scale);
+    let mut pe = PolyEvaluator {
+        eval,
+        enc,
+        sched,
+        basis: HashMap::from([(1, ct.clone())]),
+        entry_level: entry,
+        baby_m: m,
+        baby_depth,
+    };
+    pe.rec(coeffs)
+}
+
+/// Homomorphic ReLU: evaluates the composite sign stages, then the final
+/// `x · (sign(x)+1)/2` product. The alignment constant of `x` is chosen so
+/// the output scale is exactly Δ (no extra normalization level).
+pub fn relu_fhe(
+    eval: &Evaluator,
+    enc: &Encoder,
+    ct: &Ciphertext,
+    sign: &crate::sign::CompositeSign,
+) -> Ciphertext {
+    let ctx = eval.context();
+    let mut s = ct.clone();
+    for stage in &sign.stages {
+        s = evaluate_chebyshev(eval, enc, &s, &stage.coeffs);
+    }
+    // (s + 1)/2 folded into the product: relu = (x/2)·s + x/2.
+    let lc = s.level();
+    assert!(lc >= 1, "no level left for the final ReLU product");
+    assert!(ct.level() > lc, "input consumed too many levels");
+    let q = ctx.moduli[lc] as f64;
+    let delta = ctx.scale();
+    // Choose x/2's scale so the product rescales to exactly Δ.
+    let x_scale = delta * q / s.scale;
+    let half_x_hi = {
+        let mut c = ct.clone();
+        eval.drop_to_level(&mut c, lc + 1);
+        let qa = ctx.moduli[lc + 1] as f64;
+        let aux = qa * x_scale / c.scale;
+        let mut out = eval.mul_scalar(&c, 0.5, aux);
+        eval.rescale_assign(&mut out);
+        out.scale = x_scale; // value is x/2 at scale x_scale
+        out
+    };
+    let mut prod = eval.mul_relin(&half_x_hi, &s);
+    eval.rescale_assign(&mut prod);
+    prod.scale = delta; // x_scale·s.scale/q by construction
+    // + x/2 at (prod.level, Δ): produce raw x·(Δ/2) and read it at Δ.
+    let mut half_x = set_level_scale(eval, ct, prod.level(), delta * 0.5);
+    half_x.scale = delta;
+    eval.add(&prod, &half_x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cheb::ChebPoly;
+    use crate::sign::CompositeSign;
+    use orion_ckks::keys::KeyGenerator;
+    use orion_ckks::params::{CkksParams, Context};
+    use orion_ckks::{Decryptor, Encryptor};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    struct H {
+        ctx: Arc<Context>,
+        enc: Encoder,
+        encryptor: Encryptor,
+        dec: Decryptor,
+        eval: Evaluator,
+        rng: StdRng,
+    }
+
+    fn setup() -> H {
+        let ctx = Context::new(CkksParams::small());
+        let mut kg = KeyGenerator::new(ctx.clone(), StdRng::seed_from_u64(51));
+        let pk = Arc::new(kg.gen_public_key());
+        let keys = Arc::new(kg.gen_eval_keys(&[]));
+        let sk = kg.secret_key();
+        H {
+            ctx: ctx.clone(),
+            enc: Encoder::new(ctx.clone()),
+            encryptor: Encryptor::with_public_key(ctx.clone(), pk),
+            dec: Decryptor::new(ctx.clone(), sk),
+            eval: Evaluator::new(ctx, keys),
+            rng: StdRng::seed_from_u64(52),
+        }
+    }
+
+    fn test_inputs(n: usize) -> Vec<f64> {
+        (0..n).map(|i| -0.95 + 1.9 * (i % 97) as f64 / 96.0).collect()
+    }
+
+    #[test]
+    fn depth_formula() {
+        assert_eq!(fhe_eval_depth(3), 3);
+        assert_eq!(fhe_eval_depth(15), 5);
+        assert_eq!(fhe_eval_depth(27), 6);
+        assert_eq!(fhe_eval_depth(63), 7);
+        assert_eq!(fhe_eval_depth(127), 8);
+    }
+
+    #[test]
+    fn evaluates_low_degree_chebyshev() {
+        let mut h = setup();
+        let poly = ChebPoly::interpolate(|x| 0.5 * x * x * x - 0.25 * x, 3);
+        let vals = test_inputs(h.ctx.slots());
+        let level = h.ctx.max_level();
+        let ct = h.encryptor.encrypt(&h.enc.encode(&vals, h.ctx.scale(), level, false), &mut h.rng);
+        let out_ct = evaluate_chebyshev(&h.eval, &h.enc, &ct, &poly.coeffs);
+        let out = h.enc.decode(&h.dec.decrypt(&out_ct));
+        for i in (0..vals.len()).step_by(101) {
+            let expect = poly.eval(vals[i]);
+            assert!((out[i] - expect).abs() < 1e-3, "slot {i}: {} vs {expect}", out[i]);
+        }
+    }
+
+    #[test]
+    fn evaluates_degree_15_silu() {
+        let mut h = setup();
+        let silu = |x: f64| x / (1.0 + (-4.0 * x).exp());
+        let poly = ChebPoly::interpolate(silu, 15);
+        let vals = test_inputs(h.ctx.slots());
+        let level = h.ctx.max_level();
+        let ct = h.encryptor.encrypt(&h.enc.encode(&vals, h.ctx.scale(), level, false), &mut h.rng);
+        let out_ct = evaluate_chebyshev(&h.eval, &h.enc, &ct, &poly.coeffs);
+        assert_eq!(out_ct.level(), level - fhe_eval_depth(15));
+        let out = h.enc.decode(&h.dec.decrypt(&out_ct));
+        for i in (0..vals.len()).step_by(97) {
+            let expect = poly.eval(vals[i]);
+            assert!((out[i] - expect).abs() < 5e-3, "slot {i}: {} vs {expect}", out[i]);
+        }
+    }
+
+    #[test]
+    fn evaluates_degree_31() {
+        let mut h = setup();
+        let f = |x: f64| (3.0 * x).sin() * 0.3;
+        let poly = ChebPoly::interpolate(f, 31);
+        let vals = test_inputs(h.ctx.slots());
+        let level = h.ctx.max_level();
+        let ct = h.encryptor.encrypt(&h.enc.encode(&vals, h.ctx.scale(), level, false), &mut h.rng);
+        let out_ct = evaluate_chebyshev(&h.eval, &h.enc, &ct, &poly.coeffs);
+        let out = h.enc.decode(&h.dec.decrypt(&out_ct));
+        for i in (0..vals.len()).step_by(89) {
+            let expect = poly.eval(vals[i]);
+            assert!((out[i] - expect).abs() < 1e-2, "slot {i}: {} vs {expect}", out[i]);
+        }
+    }
+
+    #[test]
+    fn relu_via_single_stage_sign() {
+        // One degree-15 stage keeps the test fast; accuracy is the
+        // composite's job, tested in sign.rs.
+        let mut h = setup();
+        let sign = CompositeSign::fit(&[15], 0.15);
+        let vals = test_inputs(h.ctx.slots());
+        let level = h.ctx.max_level();
+        let ct = h.encryptor.encrypt(&h.enc.encode(&vals, h.ctx.scale(), level, false), &mut h.rng);
+        let out_ct = relu_fhe(&h.eval, &h.enc, &ct, &sign);
+        let out = h.enc.decode(&h.dec.decrypt(&out_ct));
+        for i in (0..vals.len()).step_by(61) {
+            let expect = sign.relu(vals[i]);
+            assert!(
+                (out[i] - expect).abs() < 2e-2,
+                "slot {i} (x={}): {} vs {expect}",
+                vals[i],
+                out[i]
+            );
+        }
+    }
+}

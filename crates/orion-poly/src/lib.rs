@@ -1,0 +1,21 @@
+//! Polynomial approximation of activation functions and their homomorphic
+//! evaluation (paper §6 "range estimation" and §7 "activation functions").
+//!
+//! * [`cheb`] — Chebyshev interpolation / least-squares fitting on
+//!   `[-1, 1]` (the paper fits activations "either through interpolation or
+//!   by the Remez algorithm"; Chebyshev interpolation is within a small
+//!   constant of minimax for smooth functions),
+//! * [`sign`] — composite minimax-style approximation of `sign(x)`, the
+//!   building block of ReLU = `x·sign(x)` (paper uses the Lee et al.
+//!   degree-\[15, 15, 27\] composition),
+//! * [`eval`] — scale-aware homomorphic evaluation of Chebyshev expansions
+//!   with the Paterson–Stockmeyer baby-step giant-step recursion (depth
+//!   `⌈log₂ d⌉ + 1`, `O(√d)` ciphertext multiplications).
+
+pub mod cheb;
+pub mod eval;
+pub mod sign;
+
+pub use cheb::ChebPoly;
+pub use eval::evaluate_chebyshev;
+pub use sign::CompositeSign;

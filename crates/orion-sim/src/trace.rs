@@ -1,0 +1,305 @@
+//! The cleartext trace backend.
+//!
+//! [`TraceEngine`] mirrors the real evaluator's instruction set on plain
+//! `f64` slot vectors while enforcing FHE legality: multiplications must be
+//! rescaled, rescales consume levels, level-0 ciphertexts must be
+//! bootstrapped before further depth, and bootstraps return to `L_eff`.
+//! Every operation is tallied with its modeled latency, so a network
+//! executed on this backend yields both a *numerically correct* output and
+//! the paper's reporting columns (# Rots, # Boots, latency) — without the
+//! 64-bit modular arithmetic that makes ImageNet-scale FHE runs take hours.
+
+use crate::cost::CostModel;
+use crate::counter::{OpCounter, OpKind};
+
+/// A "ciphertext" in the trace backend: cleartext slots plus the FHE
+/// bookkeeping (level, pending rescales).
+#[derive(Clone, Debug)]
+pub struct TraceCiphertext {
+    /// Slot values.
+    pub slots: Vec<f64>,
+    /// Current multiplicative level ℓ.
+    pub level: usize,
+    /// Multiplications applied since the last rescale (must be settled
+    /// before the next multiplication, as in real CKKS scale management).
+    pub pending: u32,
+}
+
+impl TraceCiphertext {
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the ciphertext has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+/// A hoisted trace ciphertext (digit decomposition already "paid").
+pub struct HoistedTrace {
+    inner: TraceCiphertext,
+}
+
+impl HoistedTrace {
+    /// The underlying ciphertext.
+    pub fn ciphertext(&self) -> &TraceCiphertext {
+        &self.inner
+    }
+}
+
+/// Cleartext executor with FHE-legality enforcement and op counting.
+pub struct TraceEngine {
+    /// Slot count per ciphertext.
+    pub slots: usize,
+    /// Maximum level `L`.
+    pub max_level: usize,
+    /// Post-bootstrap level `L_eff`.
+    pub effective_level: usize,
+    /// The latency model.
+    pub cost: CostModel,
+    /// Accumulated statistics.
+    pub counter: OpCounter,
+    /// When set, latency is also attributed to the linear-layer bucket
+    /// (Table 4's "Convs. (s)").
+    pub linear_mode: bool,
+}
+
+impl TraceEngine {
+    /// Creates an engine for `slots` slots and the given level budget.
+    pub fn new(slots: usize, max_level: usize, effective_level: usize, cost: CostModel) -> Self {
+        assert!(effective_level <= max_level);
+        Self { slots, max_level, effective_level, cost, counter: OpCounter::new(), linear_mode: false }
+    }
+
+    fn tally(&mut self, kind: OpKind, n: u64, secs: f64) {
+        self.counter.record(kind, n, secs);
+        if self.linear_mode {
+            self.counter.linear_seconds += secs;
+        }
+    }
+
+    /// "Encrypts" a slot vector at `level` (zero-padded/truncated to the
+    /// slot count).
+    pub fn encrypt(&self, vals: &[f64], level: usize) -> TraceCiphertext {
+        assert!(level <= self.max_level);
+        let mut slots = vals.to_vec();
+        slots.resize(self.slots, 0.0);
+        TraceCiphertext { slots, level, pending: 0 }
+    }
+
+    /// Reads the slot values back ("decrypt + decode").
+    pub fn decrypt(&self, ct: &TraceCiphertext) -> Vec<f64> {
+        ct.slots.clone()
+    }
+
+    fn check_mul_ready(ct: &TraceCiphertext) {
+        assert!(ct.pending == 0, "multiplying an unrescaled ciphertext (scale would drift)");
+    }
+
+    /// `HAdd` (levels must match, as in CKKS).
+    pub fn hadd(&mut self, a: &TraceCiphertext, b: &TraceCiphertext) -> TraceCiphertext {
+        assert_eq!(a.level, b.level, "HAdd level mismatch — the compiler must align levels");
+        assert_eq!(a.pending, b.pending, "HAdd scale mismatch");
+        let slots = a.slots.iter().zip(&b.slots).map(|(x, y)| x + y).collect();
+        self.tally(OpKind::HAdd, 1, self.cost.hadd(a.level));
+        TraceCiphertext { slots, level: a.level, pending: a.pending }
+    }
+
+    /// `PAdd` with a plaintext vector.
+    pub fn padd(&mut self, a: &TraceCiphertext, v: &[f64]) -> TraceCiphertext {
+        let slots = a.slots.iter().enumerate().map(|(i, x)| x + v.get(i).copied().unwrap_or(0.0)).collect();
+        self.tally(OpKind::PAdd, 1, self.cost.hadd(a.level));
+        TraceCiphertext { slots, level: a.level, pending: a.pending }
+    }
+
+    /// `PMult` with a plaintext vector; the result carries a pending
+    /// rescale.
+    pub fn pmult(&mut self, a: &TraceCiphertext, v: &[f64]) -> TraceCiphertext {
+        Self::check_mul_ready(a);
+        let slots = a.slots.iter().enumerate().map(|(i, x)| x * v.get(i).copied().unwrap_or(0.0)).collect();
+        self.tally(OpKind::PMult, 1, self.cost.pmult(a.level));
+        TraceCiphertext { slots, level: a.level, pending: 1 }
+    }
+
+    /// `PMult` by a replicated scalar.
+    pub fn pmult_scalar(&mut self, a: &TraceCiphertext, s: f64) -> TraceCiphertext {
+        Self::check_mul_ready(a);
+        let slots = a.slots.iter().map(|x| x * s).collect();
+        self.tally(OpKind::PMult, 1, self.cost.pmult(a.level));
+        TraceCiphertext { slots, level: a.level, pending: 1 }
+    }
+
+    /// `HMult` with relinearization.
+    pub fn hmult(&mut self, a: &TraceCiphertext, b: &TraceCiphertext) -> TraceCiphertext {
+        assert_eq!(a.level, b.level, "HMult level mismatch");
+        Self::check_mul_ready(a);
+        Self::check_mul_ready(b);
+        assert!(a.level >= 1, "HMult at level 0 — bootstrap required first");
+        let slots = a.slots.iter().zip(&b.slots).map(|(x, y)| x * y).collect();
+        self.tally(OpKind::HMult, 1, self.cost.hmult(a.level));
+        TraceCiphertext { slots, level: a.level, pending: 1 }
+    }
+
+    /// Rescale: settles one pending multiplication, consuming a level.
+    pub fn rescale(&mut self, a: &TraceCiphertext) -> TraceCiphertext {
+        assert!(a.pending > 0, "nothing to rescale");
+        assert!(a.level >= 1, "rescale at level 0 — bootstrap required");
+        self.tally(OpKind::Rescale, 1, self.cost.rescale(a.level));
+        TraceCiphertext { slots: a.slots.clone(), level: a.level - 1, pending: a.pending - 1 }
+    }
+
+    /// Free level drop (no latency counted, as in the real backend).
+    pub fn drop_to_level(&mut self, a: &TraceCiphertext, level: usize) -> TraceCiphertext {
+        assert!(level <= a.level, "cannot drop upward");
+        TraceCiphertext { slots: a.slots.clone(), level, pending: a.pending }
+    }
+
+    /// Full `HRot` by `k` (out[i] = in[(i+k) mod slots]).
+    pub fn rotate(&mut self, a: &TraceCiphertext, k: isize) -> TraceCiphertext {
+        if k == 0 {
+            return a.clone();
+        }
+        let n = self.slots as isize;
+        let slots = (0..self.slots)
+            .map(|i| a.slots[((i as isize + k).rem_euclid(n)) as usize])
+            .collect();
+        self.tally(OpKind::HRot, 1, self.cost.hrot(a.level));
+        TraceCiphertext { slots, level: a.level, pending: a.pending }
+    }
+
+    /// Pays the hoisting cost once; subsequent [`Self::rotate_hoisted`]
+    /// calls are cheap.
+    pub fn hoist(&mut self, a: &TraceCiphertext) -> HoistedTrace {
+        self.tally(OpKind::Hoist, 1, self.cost.ks_decompose(a.level));
+        HoistedTrace { inner: a.clone() }
+    }
+
+    /// A hoisted rotation.
+    pub fn rotate_hoisted(&mut self, h: &HoistedTrace, k: isize) -> TraceCiphertext {
+        if k == 0 {
+            return h.inner.clone();
+        }
+        let n = self.slots as isize;
+        let a = &h.inner;
+        let slots = (0..self.slots)
+            .map(|i| a.slots[((i as isize + k).rem_euclid(n)) as usize])
+            .collect();
+        self.tally(OpKind::HRotHoisted, 1, self.cost.hrot_hoisted(a.level));
+        TraceCiphertext { slots, level: a.level, pending: a.pending }
+    }
+
+    /// A deferred ModDown (double-hoisting bookkeeping; once per
+    /// giant-step group).
+    pub fn mod_down(&mut self, level: usize) {
+        self.tally(OpKind::ModDown, 1, self.cost.ks_moddown(level));
+    }
+
+    /// Bootstrap: resets to `L_eff` (paper §2.5.4).
+    pub fn bootstrap(&mut self, a: &TraceCiphertext) -> TraceCiphertext {
+        assert_eq!(a.pending, 0, "rescale before bootstrapping");
+        self.tally(OpKind::Bootstrap, 1, self.cost.bootstrap(self.effective_level));
+        TraceCiphertext { slots: a.slots.clone(), level: self.effective_level, pending: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> TraceEngine {
+        TraceEngine::new(8, 6, 4, CostModel::for_degree(1 << 13, 2))
+    }
+
+    #[test]
+    fn rotation_semantics_match_ckks() {
+        let mut e = engine();
+        let ct = e.encrypt(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0], 3);
+        let r = e.rotate(&ct, 3);
+        assert_eq!(r.slots, vec![3.0, 4.0, 5.0, 6.0, 7.0, 0.0, 1.0, 2.0]);
+        let r = e.rotate(&ct, -1);
+        assert_eq!(r.slots[0], 7.0);
+        assert_eq!(e.counter.rotations(), 2);
+    }
+
+    #[test]
+    fn mult_then_rescale_consumes_level() {
+        let mut e = engine();
+        let ct = e.encrypt(&[2.0; 8], 3);
+        let p = e.pmult(&ct, &[0.5; 8]);
+        assert_eq!(p.pending, 1);
+        let r = e.rescale(&p);
+        assert_eq!(r.level, 2);
+        assert_eq!(r.pending, 0);
+        assert_eq!(r.slots[0], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unrescaled")]
+    fn double_mult_without_rescale_is_illegal() {
+        let mut e = engine();
+        let ct = e.encrypt(&[1.0; 8], 3);
+        let p = e.pmult(&ct, &[1.0; 8]);
+        let _ = e.pmult(&p, &[1.0; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bootstrap required")]
+    fn rescale_at_level_zero_is_illegal() {
+        let mut e = engine();
+        let ct = e.encrypt(&[1.0; 8], 0);
+        let p = e.pmult(&ct, &[1.0; 8]);
+        let _ = e.rescale(&p);
+    }
+
+    #[test]
+    fn bootstrap_restores_effective_level() {
+        let mut e = engine();
+        let ct = e.encrypt(&[0.5; 8], 0);
+        let b = e.bootstrap(&ct);
+        assert_eq!(b.level, 4);
+        assert_eq!(b.slots[0], 0.5);
+        assert_eq!(e.counter.bootstraps(), 1);
+        assert!(e.counter.bootstrap_seconds > 0.0);
+    }
+
+    #[test]
+    fn hoisted_rotations_share_decomposition_cost() {
+        let mut e = engine();
+        let ct = e.encrypt(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0], 3);
+        let h = e.hoist(&ct);
+        let before = e.counter.seconds;
+        let r1 = e.rotate_hoisted(&h, 1);
+        let hoisted_cost = e.counter.seconds - before;
+        assert_eq!(r1.slots[0], 2.0);
+        let mut e2 = engine();
+        let before = e2.counter.seconds;
+        let _ = e2.rotate(&ct, 1);
+        let full_cost = e2.counter.seconds - before;
+        assert!(full_cost > hoisted_cost * 2.0, "{full_cost} vs {hoisted_cost}");
+    }
+
+    #[test]
+    fn hmult_multiplies_values() {
+        let mut e = engine();
+        let a = e.encrypt(&[3.0; 8], 2);
+        let b = e.encrypt(&[-0.5; 8], 2);
+        let m = e.hmult(&a, &b);
+        let m = e.rescale(&m);
+        assert_eq!(m.slots[0], -1.5);
+        assert_eq!(m.level, 1);
+    }
+
+    #[test]
+    fn linear_mode_attributes_latency() {
+        let mut e = engine();
+        let ct = e.encrypt(&[1.0; 8], 3);
+        e.linear_mode = true;
+        let _ = e.rotate(&ct, 1);
+        e.linear_mode = false;
+        let _ = e.rotate(&ct, 2);
+        assert!(e.counter.linear_seconds > 0.0);
+        assert!(e.counter.linear_seconds < e.counter.seconds);
+    }
+}

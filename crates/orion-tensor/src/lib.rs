@@ -1,0 +1,14 @@
+//! A small dense tensor library with *reference* deep-learning semantics.
+//!
+//! This is the "PyTorch" of the reproduction: every FHE layer in
+//! `orion-nn` is validated against the cleartext implementations here
+//! (the paper validates Orion's outputs against PyTorch the same way, §7).
+//! Only what the supported networks need: 1–4-D `f64` tensors, conv2d with
+//! arbitrary stride/padding/dilation/groups, linear, average pooling,
+//! batch-norm statistics, and a couple of initializers.
+
+pub mod ops;
+pub mod tensor;
+
+pub use ops::{avg_pool2d, batch_norm2d, conv2d, linear, Conv2dParams};
+pub use tensor::Tensor;

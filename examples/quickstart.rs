@@ -1,0 +1,89 @@
+//! Quickstart: raw CKKS operations, then a one-layer encrypted network.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use orion::ckks::keys::KeyGenerator;
+use orion::ckks::{CkksParams, Context, Decryptor, Encoder, Encryptor, Evaluator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn main() {
+    // 1. Parameters and keys. `small()` is a fast demo set (N = 2^12) —
+    //    see CkksParams::secure_n16() for deployment-scale parameters.
+    let params = CkksParams::small();
+    let ctx = Context::new(params);
+    println!("CKKS context: N = {}, {} slots, L = {}", ctx.degree(), ctx.slots(), ctx.max_level());
+
+    let mut kg = KeyGenerator::new(ctx.clone(), StdRng::seed_from_u64(1));
+    let pk = Arc::new(kg.gen_public_key());
+    let keys = Arc::new(kg.gen_eval_keys(&[1, 4]));
+    let sk = kg.secret_key();
+
+    let enc = Encoder::new(ctx.clone());
+    let encryptor = Encryptor::with_public_key(ctx.clone(), pk);
+    let dec = Decryptor::new(ctx.clone(), sk);
+    let eval = Evaluator::new(ctx.clone(), keys);
+    let mut rng = StdRng::seed_from_u64(2);
+
+    // 2. Encrypt a vector.
+    let xs: Vec<f64> = (0..8).map(|i| i as f64 * 0.25).collect();
+    let ct = encryptor.encrypt(&enc.encode(&xs, ctx.scale(), 3, false), &mut rng);
+    println!("\nencrypted {:?}…  ({} bytes)", &xs[..4], ct.size_bytes());
+
+    // 3. SIMD add, multiply (errorless weight encoding!), rotate.
+    let sum = eval.add(&ct, &ct);
+    let weights = enc.encode_at_prime_scale(&vec![0.5; ctx.slots()], 3, false);
+    let mut halved = eval.mul_plain(&ct, &weights);
+    eval.rescale_assign(&mut halved);
+    assert_eq!(halved.scale, ctx.scale(), "scale returned exactly to Δ");
+    let rotated = eval.rotate(&ct, 1);
+
+    let show = |name: &str, ct: &orion::ckks::Ciphertext| {
+        let out = enc.decode(&dec.decrypt(ct));
+        println!("{name:>10}: [{:.3}, {:.3}, {:.3}, {:.3}, …] at level {}", out[0], out[1], out[2], out[3], ct.level());
+    };
+    show("x", &ct);
+    show("x + x", &sum);
+    show("x / 2", &halved);
+    show("rot(x,1)", &rotated);
+
+    // 4. A packed matrix–vector product through the Orion engine: a 3×3
+    //    convolution in ONE multiplicative level (paper §4).
+    use orion::linear::exec::{exec_fhe, FheLinearContext};
+    use orion::linear::plan::{conv_plan, ConvSpec};
+    use orion::linear::values::ConvDiagSource;
+    use orion::linear::TensorLayout;
+    use orion::tensor::Tensor;
+
+    let in_l = TensorLayout::raster(1, 8, 8);
+    let spec = ConvSpec { co: 1, ci: 1, kh: 3, kw: 3, stride: 1, padding: 1, dilation: 1, groups: 1 };
+    let (plan, out_l) = conv_plan(&in_l, &spec, ctx.slots());
+    println!(
+        "\n3x3 same conv plan: {} diagonals, {} rotations (BSGS n1 = {})",
+        plan.counts.pmults,
+        plan.counts.rotations(),
+        plan.n1
+    );
+
+    let mut kg = KeyGenerator::new(ctx.clone(), StdRng::seed_from_u64(3));
+    let pk = Arc::new(kg.gen_public_key());
+    let keys = Arc::new(kg.gen_eval_keys(&plan.rotation_steps()));
+    let sk = kg.secret_key();
+    let encryptor = Encryptor::with_public_key(ctx.clone(), pk);
+    let dec = Decryptor::new(ctx.clone(), sk);
+    let eval = Evaluator::new(ctx.clone(), keys);
+
+    let image: Vec<f64> = (0..64).map(|i| ((i % 9) as f64 - 4.0) * 0.1).collect();
+    let weights = Tensor::from_vec(&[1, 1, 3, 3], vec![0.0, -1.0, 0.0, -1.0, 4.0, -1.0, 0.0, -1.0, 0.0]); // Laplacian
+    let src = ConvDiagSource { in_l, out_l, spec, weights: &weights };
+    let ct = encryptor.encrypt(&enc.encode(&in_l.pack(&image), ctx.scale(), 3, false), &mut rng);
+    let fctx = FheLinearContext { eval: &eval, enc: &enc };
+    let out = exec_fhe(&fctx, &plan, &src, None, &[ct]);
+    let decoded = enc.decode(&dec.decrypt(&out[0]));
+    println!("encrypted Laplacian of the image, first row: {:?}",
+        decoded[..4].iter().map(|x| (x * 100.0).round() / 100.0).collect::<Vec<_>>());
+    println!("output level {} (input was 3 — exactly one level consumed)", out[0].level());
+}

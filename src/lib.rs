@@ -1,0 +1,42 @@
+//! # Orion
+//!
+//! A Rust reproduction of *"Orion: A Fully Homomorphic Encryption Framework
+//! for Deep Learning"* (Ebel, Garimella, Reagen — ASPLOS 2025).
+//!
+//! This facade crate re-exports the whole workspace; see the README for a
+//! tour and `examples/` for runnable programs.
+//!
+//! ```no_run
+//! use orion::nn::Network;
+//! use orion::core::Orion;
+//! use orion::tensor::Tensor;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut net = Network::new(1, 8, 8);
+//! let x = net.input();
+//! let c = net.conv2d("conv", x, 4, 3, 1, 1, 1, &mut rng);
+//! let a = net.silu("act", c, 63);
+//! net.output(a);
+//!
+//! let calib = vec![Tensor::zeros(&[1, 8, 8])];
+//! let compiled = Orion::paper_scale().compile(&net, &calib);
+//! println!("{}", compiled.report());
+//! ```
+
+pub use orion_ckks as ckks;
+pub use orion_core as core;
+pub use orion_graph as graph;
+pub use orion_linear as linear;
+pub use orion_math as math;
+pub use orion_models as models;
+pub use orion_nn as nn;
+pub use orion_poly as poly;
+pub use orion_sim as sim;
+pub use orion_tensor as tensor;
+
+/// Commonly used items, importable with `use orion::prelude::*`.
+pub mod prelude {
+    pub use orion_ckks::{CkksParams, Context};
+    pub use orion_tensor::Tensor;
+}

@@ -1,0 +1,132 @@
+//! Cross-crate integration tests: the full Orion pipeline from the facade
+//! crate, plus paper-claim checks that span subsystems.
+
+use orion::ckks::CkksParams;
+use orion::core::{fhe_inference, fhe_session, trace_inference, Orion};
+use orion::models::data::{synthetic_digits, synthetic_images};
+use orion::models::train::{train_mlp, TrainConfig};
+use orion::models::{build, Act};
+use orion::nn::fit::calibrate_batch_norm;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The paper's central validation: a trained network classifies the same
+/// way encrypted as in the clear (Table 2 accuracy parity), end to end on
+/// real CKKS.
+#[test]
+fn trained_mlp_fhe_accuracy_matches_cleartext() {
+    let data = synthetic_digits(8, 8, 4, 80, 21);
+    let (net, acc) = train_mlp(&data, TrainConfig { epochs: 40, ..Default::default() });
+    assert!(acc > 0.9);
+    let params = CkksParams::tiny();
+    let orion = Orion::for_params(&params);
+    let compiled = orion.compile(&net, &data.images[..6]);
+    let session = fhe_session(params, &compiled, 22);
+    let mut agree = 0;
+    for img in data.images.iter().take(6) {
+        let run = fhe_inference(&compiled, &session, img);
+        if run.output.argmax() == net.forward_exact(img).argmax() {
+            agree += 1;
+        }
+    }
+    assert!(agree >= 5, "FHE classification diverged: {agree}/6");
+}
+
+/// Single-shot multiplexing claim (paper contribution 2): a network with
+/// strided convolutions consumes exactly one level per linear layer —
+/// verified through the compiled IR depths.
+#[test]
+fn every_linear_layer_has_depth_one() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let (mut net, _) = build("resnet20", Act::SiluDeg(31), &mut rng);
+    let calib = synthetic_images(3, 32, 32, 2, 32);
+    calibrate_batch_norm(&mut net, &calib);
+    let compiled = Orion::paper_scale().compile(&net, &calib);
+    for (node, prog) in compiled.graph.nodes.iter().zip(&compiled.prog) {
+        if matches!(
+            prog.step,
+            orion::nn::compile::Step::Conv { .. } | orion::nn::compile::Step::Dense { .. }
+        ) {
+            assert_eq!(node.depth, 1, "{} is not depth-1", prog.name);
+        }
+    }
+}
+
+/// Bootstrap placement claim (paper contribution 3): the shortest-path
+/// policy's modeled latency is never worse than the lazy baseline's.
+#[test]
+fn placement_beats_lazy_on_resnet() {
+    let mut rng = StdRng::seed_from_u64(41);
+    let (mut net, _) = build("resnet20", Act::SiluDeg(31), &mut rng);
+    let calib = synthetic_images(3, 32, 32, 2, 42);
+    calibrate_batch_norm(&mut net, &calib);
+    let compiled = Orion::paper_scale().compile(&net, &calib);
+    let lazy = orion::graph::place_lazy(
+        &compiled.graph,
+        compiled.opts.l_eff,
+        compiled.opts.cost.bootstrap(compiled.opts.l_eff),
+    );
+    assert!(
+        compiled.placement.total_latency <= lazy.total_latency + 1e-6,
+        "shortest path {} vs lazy {}",
+        compiled.placement.total_latency,
+        lazy.total_latency
+    );
+}
+
+/// SiLU-vs-ReLU trade-off (paper §8.2): SiLU halves activation depth and
+/// reduces bootstrap count.
+#[test]
+fn silu_cuts_depth_and_bootstraps_vs_relu() {
+    let prep = |act: Act| {
+        let mut rng = StdRng::seed_from_u64(51);
+        let (mut net, _) = build("resnet20", act, &mut rng);
+        let calib = synthetic_images(3, 32, 32, 2, 52);
+        calibrate_batch_norm(&mut net, &calib);
+        Orion::paper_scale().compile(&net, &calib)
+    };
+    let relu = prep(Act::Relu);
+    let silu = prep(Act::SiluDeg(63));
+    assert!(silu.activation_depth() * 2 <= relu.activation_depth() + 10);
+    assert!(silu.placement.boot_count < relu.placement.boot_count);
+}
+
+/// Trace and real-FHE backends execute the same compiled program and
+/// agree on both values and bootstrap counts (DESIGN.md substitution
+/// argument).
+#[test]
+fn trace_and_fhe_backends_agree_on_conv_net() {
+    let params = CkksParams { max_level: 10, boot_levels: 2, ..CkksParams::tiny() };
+    let mut rng = StdRng::seed_from_u64(61);
+    let mut net = orion::nn::Network::new(1, 8, 8);
+    let x = net.input();
+    let c1 = net.conv2d("conv1", x, 4, 3, 2, 1, 1, &mut rng);
+    let a1 = net.silu("act1", c1, 15);
+    let f = net.flatten("flat", a1);
+    let l = net.linear("fc", f, 4, &mut rng);
+    net.output(l);
+    let calib = synthetic_images(1, 8, 8, 4, 62);
+    let orion = Orion::for_params(&params);
+    let compiled = orion.compile(&net, &calib);
+    let input = &synthetic_images(1, 8, 8, 1, 63)[0];
+    let trace = trace_inference(&compiled, input);
+    let session = fhe_session(params, &compiled, 64);
+    let fhe = fhe_inference(&compiled, &session, input);
+    let prec = orion::ckks::precision::precision_bits(fhe.output.data(), trace.output.data());
+    assert!(prec > 6.0, "backends disagree: {prec} bits");
+    assert_eq!(trace.counter.bootstraps(), fhe.bootstraps);
+}
+
+/// The compiler rejects networks without fitted activation ranges.
+#[test]
+#[should_panic(expected = "no fitted range")]
+fn compile_requires_fit() {
+    let mut rng = StdRng::seed_from_u64(71);
+    let mut net = orion::nn::Network::new(1, 4, 4);
+    let x = net.input();
+    let c = net.conv2d("c", x, 2, 3, 1, 1, 1, &mut rng);
+    let a = net.silu("a", c, 15);
+    net.output(a);
+    let opts = orion::nn::compile::CompileOptions::paper();
+    orion::nn::compile::compile(&net, &orion::nn::fit::FitResult::default(), &opts);
+}

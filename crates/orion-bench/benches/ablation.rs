@@ -23,7 +23,16 @@ fn bench_hoisting_ablation(c: &mut Criterion) {
     let slots = ctx.slots();
     let mut rng = StdRng::seed_from_u64(1);
     let in_l = TensorLayout::raster(4, 16, 16);
-    let spec = ConvSpec { co: 4, ci: 4, kh: 3, kw: 3, stride: 1, padding: 1, dilation: 1, groups: 1 };
+    let spec = ConvSpec {
+        co: 4,
+        ci: 4,
+        kh: 3,
+        kw: 3,
+        stride: 1,
+        padding: 1,
+        dilation: 1,
+        groups: 1,
+    };
     let (plan, out_l) = conv_plan(&in_l, &spec, slots);
     let weights = Tensor::from_vec(
         &[4, 4, 3, 3],
@@ -35,10 +44,18 @@ fn bench_hoisting_ablation(c: &mut Criterion) {
     let enc = Encoder::new(ctx.clone());
     let encryptor = Encryptor::with_public_key(ctx.clone(), pk);
     let eval = Evaluator::new(ctx.clone(), keys);
-    let src = ConvDiagSource { in_l, out_l, spec, weights: &weights };
+    let src = ConvDiagSource {
+        in_l,
+        out_l,
+        spec,
+        weights: &weights,
+    };
     let packed = in_l.pack(&vec![0.25; 4 * 16 * 16]);
     let ct = encryptor.encrypt(&enc.encode(&packed, ctx.scale(), 4, false), &mut rng);
-    let fctx = FheLinearContext { eval: &eval, enc: &enc };
+    let fctx = FheLinearContext {
+        eval: &eval,
+        enc: &enc,
+    };
 
     let mut g = c.benchmark_group("conv_4ch_16x16_fhe");
     g.sample_size(10);

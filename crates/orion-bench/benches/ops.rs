@@ -30,7 +30,10 @@ fn setup() -> H {
 }
 
 fn bench_ntt(c: &mut Criterion) {
-    let table = orion_math::ntt::NttTable::new(1 << 12, orion_math::generate_ntt_primes(1 << 12, 50, 1, &[])[0]);
+    let table = orion_math::ntt::NttTable::new(
+        1 << 12,
+        orion_math::generate_ntt_primes(1 << 12, 50, 1, &[])[0],
+    );
     let data: Vec<u64> = (0..1 << 12).map(|i| i as u64).collect();
     c.bench_function("ntt_forward_n4096", |b| {
         b.iter(|| {
@@ -55,7 +58,9 @@ fn bench_level_ops(c: &mut Criterion) {
     let vals: Vec<f64> = (0..h.ctx.slots()).map(|i| (i % 9) as f64 * 0.1).collect();
     let mut g = c.benchmark_group("per_level");
     for level in [2usize, 5, 8] {
-        let ct = h.encryptor.encrypt(&h.enc.encode(&vals, h.ctx.scale(), level, false), &mut rng);
+        let ct = h
+            .encryptor
+            .encrypt(&h.enc.encode(&vals, h.ctx.scale(), level, false), &mut rng);
         let pt = h.enc.encode_at_prime_scale(&vals, level, false);
         g.bench_with_input(BenchmarkId::new("pmult", level), &level, |b, _| {
             b.iter(|| h.eval.mul_plain(&ct, &pt))

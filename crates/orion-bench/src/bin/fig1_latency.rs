@@ -13,7 +13,13 @@ use orion_sim::CostModel;
 fn model_tables() {
     let m = CostModel::paper();
     println!("Figure 1 (analytical model, N = 2^16):\n");
-    let mut t = Table::new(&["level", "PMult (ms)", "HAdd (ms)", "HRot (ms)", "HRot hoisted (ms)"]);
+    let mut t = Table::new(&[
+        "level",
+        "PMult (ms)",
+        "HAdd (ms)",
+        "HRot (ms)",
+        "HRot hoisted (ms)",
+    ]);
     for l in (0..=24).step_by(2) {
         t.row(vec![
             l.to_string(),
@@ -27,7 +33,10 @@ fn model_tables() {
     println!("\nFigure 1c (bootstrap vs L_eff, L_boot = 14):\n");
     let mut t = Table::new(&["L_eff", "bootstrap (s)"]);
     for l_eff in (2..=20).step_by(2) {
-        t.row(vec![l_eff.to_string(), format!("{:.2}", m.bootstrap(l_eff))]);
+        t.row(vec![
+            l_eff.to_string(),
+            format!("{:.2}", m.bootstrap(l_eff)),
+        ]);
     }
     t.print();
     println!();

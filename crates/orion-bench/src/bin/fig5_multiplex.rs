@@ -26,25 +26,61 @@ fn main() {
             "4ch 16x16 k3 s2",
             4,
             16,
-            ConvSpec { co: 8, ci: 4, kh: 3, kw: 3, stride: 2, padding: 1, dilation: 1, groups: 1 },
+            ConvSpec {
+                co: 8,
+                ci: 4,
+                kh: 3,
+                kw: 3,
+                stride: 2,
+                padding: 1,
+                dilation: 1,
+                groups: 1,
+            },
         ),
         (
             "16ch 16x16 k3 s2",
             16,
             16,
-            ConvSpec { co: 32, ci: 16, kh: 3, kw: 3, stride: 2, padding: 1, dilation: 1, groups: 1 },
+            ConvSpec {
+                co: 32,
+                ci: 16,
+                kh: 3,
+                kw: 3,
+                stride: 2,
+                padding: 1,
+                dilation: 1,
+                groups: 1,
+            },
         ),
         (
             "16ch 32x32 k3 s2",
             16,
             32,
-            ConvSpec { co: 32, ci: 16, kh: 3, kw: 3, stride: 2, padding: 1, dilation: 1, groups: 1 },
+            ConvSpec {
+                co: 32,
+                ci: 16,
+                kh: 3,
+                kw: 3,
+                stride: 2,
+                padding: 1,
+                dilation: 1,
+                groups: 1,
+            },
         ),
         (
             "paper fig5: 1ch 4x4 k2 s2",
             1,
             4,
-            ConvSpec { co: 4, ci: 1, kh: 2, kw: 2, stride: 2, padding: 0, dilation: 1, groups: 1 },
+            ConvSpec {
+                co: 4,
+                ci: 1,
+                kh: 2,
+                kw: 2,
+                stride: 2,
+                padding: 0,
+                dilation: 1,
+                groups: 1,
+            },
         ),
     ];
     for (name, c, hw, spec) in cases {

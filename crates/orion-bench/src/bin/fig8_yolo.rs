@@ -61,9 +61,26 @@ fn decode_yolo(pred: &[f64], threshold: f64) -> Vec<DetBox> {
 }
 
 const VOC_CLASSES: [&str; 20] = [
-    "aeroplane", "bicycle", "bird", "boat", "bottle", "bus", "car", "cat", "chair", "cow",
-    "diningtable", "dog", "horse", "motorbike", "person", "pottedplant", "sheep", "sofa",
-    "train", "tvmonitor",
+    "aeroplane",
+    "bicycle",
+    "bird",
+    "boat",
+    "bottle",
+    "bus",
+    "car",
+    "cat",
+    "chair",
+    "cow",
+    "diningtable",
+    "dog",
+    "horse",
+    "motorbike",
+    "person",
+    "pottedplant",
+    "sheep",
+    "sofa",
+    "train",
+    "tvmonitor",
 ];
 
 fn main() {
@@ -96,7 +113,10 @@ fn main() {
         fmt_secs(run.counter.seconds)
     );
     let exact = net.forward_exact(input);
-    println!("  output precision vs cleartext: {:.1} bits", run.precision_vs(&exact));
+    println!(
+        "  output precision vs cleartext: {:.1} bits",
+        run.precision_vs(&exact)
+    );
 
     let boxes = decode_yolo(run.output.data(), 0.0);
     println!("\ntop predictions (synthetic weights — the pipeline, not the task, is the point):");

@@ -18,10 +18,20 @@ use orion_nn::trace_exec::run_trace;
 fn main() {
     let large = std::env::args().any(|a| a == "--large");
     let fhe = std::env::args().any(|a| a == "--fhe");
-    println!("Table 2: Orion across networks and datasets (trace backend, paper-scale cost model)\n");
+    println!(
+        "Table 2: Orion across networks and datasets (trace backend, paper-scale cost model)\n"
+    );
     let mut t = Table::new(&[
-        "dataset", "model", "act", "params(M)", "FLOPs(M)", "# rots", "act depth", "# boots",
-        "prec (b)", "time (modeled)",
+        "dataset",
+        "model",
+        "act",
+        "params(M)",
+        "FLOPs(M)",
+        "# rots",
+        "act depth",
+        "# boots",
+        "prec (b)",
+        "time (modeled)",
     ]);
 
     let mut rows: Vec<(&str, Act, &str)> = vec![
@@ -43,7 +53,11 @@ fn main() {
     }
 
     for (name, act, act_name) in rows {
-        let calib = if matches!(name, "resnet34" | "resnet50") { 4 } else { 16 };
+        let calib = if matches!(name, "resnet34" | "resnet50") {
+            4
+        } else {
+            16
+        };
         let (net, compiled, _) = prepare_model(name, act, calib, 1000);
         let (c, h, w) = {
             let s = net.shape(net.input());

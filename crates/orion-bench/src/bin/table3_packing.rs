@@ -20,7 +20,13 @@ fn main() {
         let mut orion = 0usize;
         for p in &compiled.prog {
             match &p.step {
-                Step::Conv { plan, spec, in_l, out_l, .. } => {
+                Step::Conv {
+                    plan,
+                    spec,
+                    in_l,
+                    out_l,
+                    ..
+                } => {
                     lee += lee_et_al_rotations(in_l, out_l, spec, plan.slots);
                     orion += plan.counts.rotations();
                 }

@@ -9,12 +9,12 @@
 //! bootstrap placement.
 
 use orion_bench::{fmt_secs, prepare_model, Table};
-use orion_linear::baseline::lee_et_al_rotations;
 use orion_graph::place_lazy;
+use orion_linear::baseline::lee_et_al_rotations;
+use orion_models::data::synthetic_images;
 use orion_models::Act;
 use orion_nn::compile::Step;
 use orion_nn::trace_exec::run_trace;
-use orion_models::data::synthetic_images;
 use orion_sim::CostModel;
 
 fn main() {
@@ -34,7 +34,13 @@ fn main() {
     let mut orion_rots = 0usize;
     for (id, p) in compiled.prog.iter().enumerate() {
         match &p.step {
-            Step::Conv { plan, spec, in_l, out_l, .. } => {
+            Step::Conv {
+                plan,
+                spec,
+                in_l,
+                out_l,
+                ..
+            } => {
                 let level = compiled.placement.levels[id].unwrap_or(l_eff);
                 let rots = lee_et_al_rotations(in_l, out_l, spec, plan.slots);
                 base_rots += rots;
@@ -57,7 +63,8 @@ fn main() {
     }
     // Baseline bootstraps: lazy placement on the same IR.
     let lazy = place_lazy(&compiled.graph, l_eff, cost.bootstrap(l_eff));
-    let base_total = lazy.total_latency - (lazy.total_latency - lazy.boot_count as f64 * cost.bootstrap(l_eff))
+    let base_total = lazy.total_latency
+        - (lazy.total_latency - lazy.boot_count as f64 * cost.bootstrap(l_eff))
         + base_conv_secs
         + (run.counter.seconds - run.counter.linear_seconds - run.counter.bootstrap_seconds);
     let orion_total = run.counter.seconds;
@@ -81,7 +88,10 @@ fn main() {
     t.row(vec![
         "improvement".into(),
         format!("{:.2}x", base_rots as f64 / orion_rots as f64),
-        format!("{:.2}x", lazy.boot_count as f64 / compiled.placement.boot_count as f64),
+        format!(
+            "{:.2}x",
+            lazy.boot_count as f64 / compiled.placement.boot_count as f64
+        ),
         format!("{:.1}x", base_conv_secs / run.counter.linear_seconds),
         format!("{:.2}x", base_total / orion_total),
     ]);

@@ -60,7 +60,8 @@ impl BootstrapOracle {
     /// far outside would decode incorrectly in a real bootstrap, so the
     /// oracle does **not** clamp them — range bugs stay observable.
     pub fn refresh(&self, ct: &Ciphertext) -> Ciphertext {
-        self.count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.count
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let vals = self.encoder.decode_complex(&self.decryptor.decrypt(ct));
         let sigma = (-self.precision_bits).exp2();
         let mut rng = self.rng.lock();
@@ -73,7 +74,9 @@ impl BootstrapOracle {
             })
             .collect();
         let level = self.ctx.params.effective_level();
-        let pt = self.encoder.encode_complex(&noisy, self.ctx.scale(), level, false);
+        let pt = self
+            .encoder
+            .encode_complex(&noisy, self.ctx.scale(), level, false);
         self.encryptor.encrypt(&pt, &mut *rng)
     }
 
@@ -100,7 +103,9 @@ mod tests {
         let dec = Decryptor::new(ctx.clone(), sk);
         let mut rng = StdRng::seed_from_u64(42);
 
-        let vals: Vec<f64> = (0..ctx.slots()).map(|i| ((i % 8) as f64) / 8.0 - 0.5).collect();
+        let vals: Vec<f64> = (0..ctx.slots())
+            .map(|i| ((i % 8) as f64) / 8.0 - 0.5)
+            .collect();
         let ct = encryptor.encrypt(&enc.encode(&vals, ctx.scale(), 0, false), &mut rng);
         assert_eq!(ct.level(), 0);
         let fresh = oracle.refresh(&ct);
@@ -138,6 +143,9 @@ mod tests {
         let out = enc.decode(&dec.decrypt(&coarse.refresh(&ct)));
         let coarse_err = out.iter().map(|x| (x - 0.25).abs()).fold(0.0, f64::max);
         assert!(coarse_err > max_err, "coarser oracle should be noisier");
-        assert!(coarse_err < (-6.0f64).exp2(), "but still bounded by ~2^-8 half-width");
+        assert!(
+            coarse_err < (-6.0f64).exp2(),
+            "but still bounded by ~2^-8 half-width"
+        );
     }
 }

@@ -25,7 +25,13 @@ impl Encoder {
     /// at `level` with the given `scale`. `with_special` additionally
     /// carries a special-prime limb so the plaintext can multiply
     /// extended-basis accumulators (double-hoisting).
-    pub fn encode(&self, values: &[f64], scale: f64, level: usize, with_special: bool) -> Plaintext {
+    pub fn encode(
+        &self,
+        values: &[f64],
+        scale: f64,
+        level: usize,
+        with_special: bool,
+    ) -> Plaintext {
         let slots = self.ctx.slots();
         assert!(values.len() <= slots, "too many values for slot count");
         let mut vals = vec![Complex::default(); slots];
@@ -36,7 +42,13 @@ impl Encoder {
     }
 
     /// Encodes a complex slot vector (must be exactly `slots` long).
-    pub fn encode_complex(&self, slot_vals: &[Complex], scale: f64, level: usize, with_special: bool) -> Plaintext {
+    pub fn encode_complex(
+        &self,
+        slot_vals: &[Complex],
+        scale: f64,
+        level: usize,
+        with_special: bool,
+    ) -> Plaintext {
         let slots = self.ctx.slots();
         assert_eq!(slot_vals.len(), slots);
         let mut vals = slot_vals.to_vec();
@@ -80,7 +92,13 @@ impl Encoder {
     ///
     /// Constants are encoded without the FFT (a constant slot vector embeds
     /// as a constant polynomial), which keeps them exact.
-    pub fn encode_constant(&self, value: f64, scale: f64, level: usize, with_special: bool) -> Plaintext {
+    pub fn encode_constant(
+        &self,
+        value: f64,
+        scale: f64,
+        level: usize,
+        with_special: bool,
+    ) -> Plaintext {
         let n = self.ctx.degree();
         let mut coeffs = vec![0i128; n];
         coeffs[0] = (value * scale).round() as i128;
@@ -93,7 +111,12 @@ impl Encoder {
     /// (paper §6): the plaintext scale is exactly `q_level`, so after
     /// `PMult` + rescale the ciphertext scale returns to precisely its
     /// input scale.
-    pub fn encode_at_prime_scale(&self, values: &[f64], level: usize, with_special: bool) -> Plaintext {
+    pub fn encode_at_prime_scale(
+        &self,
+        values: &[f64],
+        level: usize,
+        with_special: bool,
+    ) -> Plaintext {
         let scale = self.ctx.moduli[level] as f64;
         self.encode(values, scale, level, with_special)
     }
@@ -120,7 +143,9 @@ mod tests {
     fn encode_decode_roundtrip() {
         let enc = setup();
         let slots = enc.context().slots();
-        let vals: Vec<f64> = (0..slots).map(|i| ((i as f64) * 0.01).sin() * 3.0).collect();
+        let vals: Vec<f64> = (0..slots)
+            .map(|i| ((i as f64) * 0.01).sin() * 3.0)
+            .collect();
         let pt = enc.encode(&vals, enc.context().scale(), 2, false);
         let out = enc.decode(&pt);
         for (a, b) in vals.iter().zip(&out) {

@@ -48,9 +48,15 @@ impl Ciphertext {
 /// Encrypts plaintexts under either the public or the secret key.
 pub enum Encryptor {
     /// Public-key encryption (the usual client setup).
-    Public { ctx: Arc<Context>, pk: Arc<PublicKey> },
+    Public {
+        ctx: Arc<Context>,
+        pk: Arc<PublicKey>,
+    },
     /// Secret-key encryption (used by the bootstrap oracle).
-    Secret { ctx: Arc<Context>, sk: Arc<SecretKey> },
+    Secret {
+        ctx: Arc<Context>,
+        sk: Arc<SecretKey>,
+    },
 }
 
 impl Encryptor {
@@ -94,7 +100,11 @@ impl Encryptor {
                 c0.add_assign(&m, &ctx);
                 let mut c1 = v.mul_pointwise(&pk_a, &ctx);
                 c1.add_assign(&e1, &ctx);
-                Ciphertext { c0, c1, scale: pt.scale }
+                Ciphertext {
+                    c0,
+                    c1,
+                    scale: pt.scale,
+                }
             }
             Self::Secret { sk, .. } => {
                 let a = RnsPoly::sample_uniform(&ctx, level, Form::Eval, false, rng);
@@ -111,7 +121,11 @@ impl Encryptor {
                 m.to_eval(&ctx);
                 m.special = None;
                 c0.add_assign(&m, &ctx);
-                Ciphertext { c0, c1: a, scale: pt.scale }
+                Ciphertext {
+                    c0,
+                    c1: a,
+                    scale: pt.scale,
+                }
             }
         }
     }
@@ -137,7 +151,10 @@ impl Decryptor {
         let mut m = ct.c1.mul_pointwise(&s, &self.ctx);
         m.add_assign(&ct.c0, &self.ctx);
         m.to_coeff(&self.ctx);
-        Plaintext { poly: m, scale: ct.scale }
+        Plaintext {
+            poly: m,
+            scale: ct.scale,
+        }
     }
 }
 

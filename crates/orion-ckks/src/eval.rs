@@ -17,6 +17,14 @@ fn truncate_key_part(p: &RnsPoly, level: usize) -> RnsPoly {
     }
 }
 
+/// True when two scales agree to within relative precision, computed as a
+/// difference against the larger magnitude rather than a quotient — safe
+/// when either operand is zero (a zero scale then *fails* the check with a
+/// finite message instead of producing NaN/∞ inside the comparison).
+pub(crate) fn scales_close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs())
+}
+
 /// Evaluator bound to a context and evaluation keys.
 pub struct Evaluator {
     ctx: Arc<Context>,
@@ -41,7 +49,7 @@ impl Evaluator {
 
     fn assert_scales_match(a: f64, b: f64) {
         assert!(
-            (a / b - 1.0).abs() < 1e-9,
+            scales_close(a, b),
             "operand scales must match (got {a} vs {b}); rescale or adjust first"
         );
     }
@@ -54,7 +62,11 @@ impl Evaluator {
         c0.add_assign(&b.c0, &self.ctx);
         let mut c1 = a.c1.clone();
         c1.add_assign(&b.c1, &self.ctx);
-        Ciphertext { c0, c1, scale: a.scale }
+        Ciphertext {
+            c0,
+            c1,
+            scale: a.scale,
+        }
     }
 
     /// Ciphertext − ciphertext.
@@ -65,7 +77,11 @@ impl Evaluator {
         c0.sub_assign(&b.c0, &self.ctx);
         let mut c1 = a.c1.clone();
         c1.sub_assign(&b.c1, &self.ctx);
-        Ciphertext { c0, c1, scale: a.scale }
+        Ciphertext {
+            c0,
+            c1,
+            scale: a.scale,
+        }
     }
 
     /// Negation.
@@ -74,7 +90,11 @@ impl Evaluator {
         c0.neg_assign(&self.ctx);
         let mut c1 = a.c1.clone();
         c1.neg_assign(&self.ctx);
-        Ciphertext { c0, c1, scale: a.scale }
+        Ciphertext {
+            c0,
+            c1,
+            scale: a.scale,
+        }
     }
 
     /// `PAdd`: ciphertext + plaintext.
@@ -86,7 +106,11 @@ impl Evaluator {
         m.special = None;
         let mut c0 = a.c0.clone();
         c0.add_assign(&m, &self.ctx);
-        Ciphertext { c0, c1: a.c1.clone(), scale: a.scale }
+        Ciphertext {
+            c0,
+            c1: a.c1.clone(),
+            scale: a.scale,
+        }
     }
 
     /// `PMult`: ciphertext × plaintext. Output scale is the product of
@@ -98,7 +122,11 @@ impl Evaluator {
         m.special = None;
         let c0 = a.c0.mul_pointwise(&m, &self.ctx);
         let c1 = a.c1.mul_pointwise(&m, &self.ctx);
-        Ciphertext { c0, c1, scale: a.scale * p.scale }
+        Ciphertext {
+            c0,
+            c1,
+            scale: a.scale * p.scale,
+        }
     }
 
     /// Multiplies by a scalar constant, encoding it at `aux_scale`
@@ -109,7 +137,13 @@ impl Evaluator {
         coeffs[0] = (v * aux_scale).round() as i128;
         let mut poly = RnsPoly::from_signed(&self.ctx, &coeffs, a.level(), false);
         poly.to_eval(&self.ctx);
-        self.mul_plain(a, &Plaintext { poly, scale: aux_scale })
+        self.mul_plain(
+            a,
+            &Plaintext {
+                poly,
+                scale: aux_scale,
+            },
+        )
     }
 
     /// The core key-switch: given `c` (evaluation form, no special limb) and
@@ -155,7 +189,11 @@ impl Evaluator {
         c0.add_assign(&ks_b, ctx);
         let mut c1 = d1;
         c1.add_assign(&ks_a, ctx);
-        Ciphertext { c0, c1, scale: a.scale * b.scale }
+        Ciphertext {
+            c0,
+            c1,
+            scale: a.scale * b.scale,
+        }
     }
 
     /// Squares a ciphertext (one key-switch, like `HMult`).
@@ -175,7 +213,11 @@ impl Evaluator {
         ct.c1.rescale_assign(&self.ctx);
         let new_scale = ct.scale / ql;
         let delta = self.ctx.scale();
-        ct.scale = if (new_scale / delta - 1.0).abs() < 1e-9 { delta } else { new_scale };
+        ct.scale = if (new_scale / delta - 1.0).abs() < 1e-9 {
+            delta
+        } else {
+            new_scale
+        };
     }
 
     /// Drops a ciphertext to a lower level without scaling (free level
@@ -199,20 +241,32 @@ impl Evaluator {
         let (ks_b, ks_a) = self.key_switch(&sc1, key);
         let mut c0 = sc0;
         c0.add_assign(&ks_b, &self.ctx);
-        Ciphertext { c0, c1: ks_a, scale: ct.scale }
+        Ciphertext {
+            c0,
+            c1: ks_a,
+            scale: ct.scale,
+        }
     }
 
     /// Complex conjugation of all slots (requires the conjugation key).
     pub fn conjugate(&self, ct: &Ciphertext) -> Ciphertext {
         let g = self.ctx.galois_element_conj();
-        let key = self.keys.conj.as_ref().expect("conjugation key not generated");
+        let key = self
+            .keys
+            .conj
+            .as_ref()
+            .expect("conjugation key not generated");
         let perm = self.ctx.galois_permutation(g);
         let sc0 = ct.c0.automorphism_eval(&perm);
         let sc1 = ct.c1.automorphism_eval(&perm);
         let (ks_b, ks_a) = self.key_switch(&sc1, key);
         let mut c0 = sc0;
         c0.add_assign(&ks_b, &self.ctx);
-        Ciphertext { c0, c1: ks_a, scale: ct.scale }
+        Ciphertext {
+            c0,
+            c1: ks_a,
+            scale: ct.scale,
+        }
     }
 }
 
@@ -252,7 +306,9 @@ mod tests {
     }
 
     fn ramp(h: &Harness) -> Vec<f64> {
-        (0..h.ctx.slots()).map(|i| ((i % 16) as f64) * 0.25 - 2.0).collect()
+        (0..h.ctx.slots())
+            .map(|i| ((i % 16) as f64) * 0.25 - 2.0)
+            .collect()
     }
 
     #[test]
@@ -260,8 +316,12 @@ mod tests {
         let mut h = setup(&[]);
         let a = ramp(&h);
         let b: Vec<f64> = a.iter().map(|x| x * 0.5 + 1.0).collect();
-        let ca = h.encryptor.encrypt(&h.enc.encode(&a, h.ctx.scale(), 2, false), &mut h.rng);
-        let cb = h.encryptor.encrypt(&h.enc.encode(&b, h.ctx.scale(), 2, false), &mut h.rng);
+        let ca = h
+            .encryptor
+            .encrypt(&h.enc.encode(&a, h.ctx.scale(), 2, false), &mut h.rng);
+        let cb = h
+            .encryptor
+            .encrypt(&h.enc.encode(&b, h.ctx.scale(), 2, false), &mut h.rng);
         let out = h.enc.decode(&h.dec.decrypt(&h.eval.add(&ca, &cb)));
         for i in 0..h.ctx.slots() {
             assert!((out[i] - (a[i] + b[i])).abs() < 1e-3);
@@ -274,7 +334,9 @@ mod tests {
         let a = ramp(&h);
         let w: Vec<f64> = (0..h.ctx.slots()).map(|i| ((i % 5) as f64) * 0.1).collect();
         let level = 3;
-        let ct = h.encryptor.encrypt(&h.enc.encode(&a, h.ctx.scale(), level, false), &mut h.rng);
+        let ct = h
+            .encryptor
+            .encrypt(&h.enc.encode(&a, h.ctx.scale(), level, false), &mut h.rng);
         // Errorless path: weights at scale q_level.
         let pw = h.enc.encode_at_prime_scale(&w, level, false);
         let mut prod = h.eval.mul_plain(&ct, &pw);
@@ -283,7 +345,12 @@ mod tests {
         assert_eq!(prod.level(), level - 1);
         let out = h.enc.decode(&h.dec.decrypt(&prod));
         for i in 0..h.ctx.slots() {
-            assert!((out[i] - a[i] * w[i]).abs() < 1e-2, "slot {i}: {} vs {}", out[i], a[i] * w[i]);
+            assert!(
+                (out[i] - a[i] * w[i]).abs() < 1e-2,
+                "slot {i}: {} vs {}",
+                out[i],
+                a[i] * w[i]
+            );
         }
     }
 
@@ -293,13 +360,22 @@ mod tests {
         let a = ramp(&h);
         let b: Vec<f64> = a.iter().map(|x| 0.5 - x * 0.25).collect();
         let level = 2;
-        let ca = h.encryptor.encrypt(&h.enc.encode(&a, h.ctx.scale(), level, false), &mut h.rng);
-        let cb = h.encryptor.encrypt(&h.enc.encode(&b, h.ctx.scale(), level, false), &mut h.rng);
+        let ca = h
+            .encryptor
+            .encrypt(&h.enc.encode(&a, h.ctx.scale(), level, false), &mut h.rng);
+        let cb = h
+            .encryptor
+            .encrypt(&h.enc.encode(&b, h.ctx.scale(), level, false), &mut h.rng);
         let mut prod = h.eval.mul_relin(&ca, &cb);
         h.eval.rescale_assign(&mut prod);
         let out = h.enc.decode(&h.dec.decrypt(&prod));
         for i in (0..h.ctx.slots()).step_by(13) {
-            assert!((out[i] - a[i] * b[i]).abs() < 1e-2, "slot {i}: {} vs {}", out[i], a[i] * b[i]);
+            assert!(
+                (out[i] - a[i] * b[i]).abs() < 1e-2,
+                "slot {i}: {} vs {}",
+                out[i],
+                a[i] * b[i]
+            );
         }
     }
 
@@ -308,7 +384,9 @@ mod tests {
         let mut h = setup(&[1, 5, -3]);
         let n = h.ctx.slots();
         let a: Vec<f64> = (0..n).map(|i| (i % 32) as f64 * 0.1).collect();
-        let ct = h.encryptor.encrypt(&h.enc.encode(&a, h.ctx.scale(), 1, false), &mut h.rng);
+        let ct = h
+            .encryptor
+            .encrypt(&h.enc.encode(&a, h.ctx.scale(), 1, false), &mut h.rng);
         for k in [1isize, 5, -3] {
             let out = h.enc.decode(&h.dec.decrypt(&h.eval.rotate(&ct, k)));
             for i in (0..n).step_by(17) {
@@ -326,7 +404,9 @@ mod tests {
     #[test]
     fn rotation_preserves_scale_and_level() {
         let mut h = setup(&[2]);
-        let ct = h.encryptor.encrypt(&h.enc.encode(&[1.0], h.ctx.scale(), 2, false), &mut h.rng);
+        let ct = h
+            .encryptor
+            .encrypt(&h.enc.encode(&[1.0], h.ctx.scale(), 2, false), &mut h.rng);
         let rot = h.eval.rotate(&ct, 2);
         assert_eq!(rot.level(), ct.level());
         assert_eq!(rot.scale, ct.scale);
@@ -338,7 +418,9 @@ mod tests {
         let mut h = setup(&[]);
         let n = h.ctx.slots();
         let a: Vec<f64> = (0..n).map(|i| 0.5 + (i % 4) as f64 * 0.1).collect();
-        let ct = h.encryptor.encrypt(&h.enc.encode(&a, h.ctx.scale(), 2, false), &mut h.rng);
+        let ct = h
+            .encryptor
+            .encrypt(&h.enc.encode(&a, h.ctx.scale(), 2, false), &mut h.rng);
         let mut sq = h.eval.square(&ct);
         h.eval.rescale_assign(&mut sq);
         let mut q4 = h.eval.square(&sq);
@@ -346,7 +428,12 @@ mod tests {
         assert_eq!(q4.level(), 0);
         let out = h.enc.decode(&h.dec.decrypt(&q4));
         for i in (0..n).step_by(29) {
-            assert!((out[i] - a[i].powi(4)).abs() < 5e-2, "slot {i}: {} vs {}", out[i], a[i].powi(4));
+            assert!(
+                (out[i] - a[i].powi(4)).abs() < 5e-2,
+                "slot {i}: {} vs {}",
+                out[i],
+                a[i].powi(4)
+            );
         }
     }
 
@@ -355,7 +442,9 @@ mod tests {
         let mut h = setup(&[]);
         let a = ramp(&h);
         let level = 2;
-        let ct = h.encryptor.encrypt(&h.enc.encode(&a, h.ctx.scale(), level, false), &mut h.rng);
+        let ct = h
+            .encryptor
+            .encrypt(&h.enc.encode(&a, h.ctx.scale(), level, false), &mut h.rng);
         let ql = h.ctx.moduli[level] as f64;
         let mut out_ct = h.eval.mul_scalar(&ct, 0.125, ql);
         h.eval.rescale_assign(&mut out_ct);
@@ -370,8 +459,13 @@ mod tests {
     #[should_panic(expected = "scales must match")]
     fn mismatched_scales_rejected() {
         let mut h = setup(&[]);
-        let ca = h.encryptor.encrypt(&h.enc.encode(&[1.0], h.ctx.scale(), 1, false), &mut h.rng);
-        let cb = h.encryptor.encrypt(&h.enc.encode(&[1.0], h.ctx.scale() * 2.0, 1, false), &mut h.rng);
+        let ca = h
+            .encryptor
+            .encrypt(&h.enc.encode(&[1.0], h.ctx.scale(), 1, false), &mut h.rng);
+        let cb = h.encryptor.encrypt(
+            &h.enc.encode(&[1.0], h.ctx.scale() * 2.0, 1, false),
+            &mut h.rng,
+        );
         let _ = h.eval.add(&ca, &cb);
     }
 
@@ -379,7 +473,9 @@ mod tests {
     fn level_drop_preserves_value() {
         let mut h = setup(&[]);
         let a = ramp(&h);
-        let ct = h.encryptor.encrypt(&h.enc.encode(&a, h.ctx.scale(), 3, false), &mut h.rng);
+        let ct = h
+            .encryptor
+            .encrypt(&h.enc.encode(&a, h.ctx.scale(), 3, false), &mut h.rng);
         let mut dropped = ct.clone();
         h.eval.drop_to_level(&mut dropped, 1);
         assert_eq!(dropped.level(), 1);

@@ -23,25 +23,31 @@ pub fn decompose_digits(ctx: &Context, c: &RnsPoly) -> Vec<RnsPoly> {
     assert!(!c.has_special());
     let level = c.level();
     let p = ctx.special;
-    (0..=level)
-        .map(|i| {
-            // Bring limb i to coefficient form.
-            let mut digit = c.limbs[i].clone();
-            ctx.ntt[i].inverse(&mut digit);
-            // Extend to every chain modulus and the special prime.
-            let limbs: Vec<Vec<u64>> = (0..=level)
-                .map(|j| {
-                    let qj = ctx.moduli[j];
-                    let mut l: Vec<u64> = digit.iter().map(|&x| x % qj).collect();
-                    ctx.ntt[j].forward(&mut l);
-                    l
-                })
-                .collect();
-            let mut sp: Vec<u64> = digit.iter().map(|&x| x % p).collect();
-            ctx.ntt_special.forward(&mut sp);
-            RnsPoly { limbs, special: Some(sp), form: Form::Eval }
-        })
-        .collect()
+    // Each digit's basis extension performs `level + 2` NTTs and digits are
+    // independent, so this is the key-switch hot loop the shared rayon pool
+    // attacks first.
+    let par = orion_math::parallel::ntt_parallel(ctx.degree(), level + 1);
+    orion_math::parallel::map_indexed(level + 1, par, |i| {
+        // Bring limb i to coefficient form.
+        let mut digit = c.limbs[i].clone();
+        ctx.ntt[i].inverse(&mut digit);
+        // Extend to every chain modulus and the special prime.
+        let limbs: Vec<Vec<u64>> = (0..=level)
+            .map(|j| {
+                let qj = ctx.moduli[j];
+                let mut l: Vec<u64> = digit.iter().map(|&x| x % qj).collect();
+                ctx.ntt[j].forward(&mut l);
+                l
+            })
+            .collect();
+        let mut sp: Vec<u64> = digit.iter().map(|&x| x % p).collect();
+        ctx.ntt_special.forward(&mut sp);
+        RnsPoly {
+            limbs,
+            special: Some(sp),
+            form: Form::Eval,
+        }
+    })
 }
 
 /// A ciphertext with its key-switch digit decomposition precomputed, ready
@@ -84,7 +90,11 @@ impl HoistedDigits {
     pub fn rotate(&self, eval: &Evaluator, k: isize) -> Ciphertext {
         let ctx = eval.context();
         if k == 0 {
-            return Ciphertext { c0: self.c0.clone(), c1: self.c1.clone(), scale: self.scale };
+            return Ciphertext {
+                c0: self.c0.clone(),
+                c1: self.c1.clone(),
+                scale: self.scale,
+            };
         }
         let g = ctx.galois_element(k);
         let perm = ctx.galois_permutation(g);
@@ -103,12 +113,20 @@ impl HoistedDigits {
         acc_a.mod_down_special_assign(ctx);
         let mut c0 = self.c0.automorphism_eval(&perm);
         c0.add_assign(&acc_b, ctx);
-        Ciphertext { c0, c1: acc_a, scale: self.scale }
+        Ciphertext {
+            c0,
+            c1: acc_a,
+            scale: self.scale,
+        }
     }
 }
 
 fn key_part(p: &RnsPoly, level: usize) -> RnsPoly {
-    RnsPoly { limbs: p.limbs[..=level].to_vec(), special: p.special.clone(), form: p.form }
+    RnsPoly {
+        limbs: p.limbs[..=level].to_vec(),
+        special: p.special.clone(),
+        form: p.form,
+    }
 }
 
 /// A rotation of a hoisted ciphertext kept in the extended basis — the
@@ -131,7 +149,12 @@ impl HoistedDigits {
     pub fn rotate_ext(&self, eval: &Evaluator, k: isize) -> RotatedExt {
         let ctx = eval.context();
         if k == 0 {
-            return RotatedExt { ext: None, c0: self.c0.clone(), c1: Some(self.c1.clone()), scale: self.scale };
+            return RotatedExt {
+                ext: None,
+                c0: self.c0.clone(),
+                c1: Some(self.c1.clone()),
+                scale: self.scale,
+            };
         }
         let g = ctx.galois_element(k);
         let perm = ctx.galois_permutation(g);
@@ -144,12 +167,21 @@ impl HoistedDigits {
             ks_b.add_mul_assign(&pd, &key_part(&key.parts[i].0, level), ctx);
             ks_a.add_mul_assign(&pd, &key_part(&key.parts[i].1, level), ctx);
         }
-        RotatedExt { ext: Some((ks_b, ks_a)), c0: self.c0.automorphism_eval(&perm), c1: None, scale: self.scale }
+        RotatedExt {
+            ext: Some((ks_b, ks_a)),
+            c0: self.c0.automorphism_eval(&perm),
+            c1: None,
+            scale: self.scale,
+        }
     }
 }
 
 fn strip_special(p: &RnsPoly) -> RnsPoly {
-    RnsPoly { limbs: p.limbs.clone(), special: None, form: p.form }
+    RnsPoly {
+        limbs: p.limbs.clone(),
+        special: None,
+        form: p.form,
+    }
 }
 
 /// Lazy-ModDown accumulator: sums `pt_k ⊙ HRot_k(ct)` terms while keeping
@@ -182,7 +214,7 @@ impl ExtAccumulator {
         match self.scale {
             None => self.scale = Some(s),
             Some(prev) => assert!(
-                (prev / s - 1.0).abs() < 1e-9,
+                crate::eval::scales_close(prev, s),
                 "accumulator terms must share one scale"
             ),
         }
@@ -193,7 +225,13 @@ impl ExtAccumulator {
     /// For `k ≠ 0` the plaintext must carry a special limb (encode with
     /// `with_special = true`); the rotation's key-switch output is consumed
     /// lazily in the extended basis.
-    pub fn add_rotated_pmult(&mut self, eval: &Evaluator, h: &HoistedDigits, k: isize, pt: &Plaintext) {
+    pub fn add_rotated_pmult(
+        &mut self,
+        eval: &Evaluator,
+        h: &HoistedDigits,
+        k: isize,
+        pt: &Plaintext,
+    ) {
         let ctx = eval.context();
         self.bump_scale(h.scale * pt.scale);
         if k == 0 {
@@ -202,7 +240,10 @@ impl ExtAccumulator {
             self.acc_a_base.add_mul_assign(&h.c1, &pt_base, ctx);
             return;
         }
-        assert!(pt.poly.has_special(), "double-hoisting needs extended-basis plaintexts");
+        assert!(
+            pt.poly.has_special(),
+            "double-hoisting needs extended-basis plaintexts"
+        );
         let g = ctx.galois_element(k);
         let perm = ctx.galois_permutation(g);
         let key = eval.keys().rotation(g);
@@ -215,10 +256,13 @@ impl ExtAccumulator {
             ks_a.add_mul_assign(&pd, &key_part(&key.parts[i].1, level), ctx);
         }
         // pt ⊙ key-switch parts stay extended; pt ⊙ σ(c0) is base-basis.
-        self.acc_b_ext.add_assign(&ks_b.mul_pointwise(&pt.poly, ctx), ctx);
-        self.acc_a_ext.add_assign(&ks_a.mul_pointwise(&pt.poly, ctx), ctx);
+        self.acc_b_ext
+            .add_assign(&ks_b.mul_pointwise(&pt.poly, ctx), ctx);
+        self.acc_a_ext
+            .add_assign(&ks_a.mul_pointwise(&pt.poly, ctx), ctx);
         let sc0 = h.c0.automorphism_eval(&perm);
-        self.acc_b_base.add_mul_assign(&sc0, &strip_special(&pt.poly), ctx);
+        self.acc_b_base
+            .add_mul_assign(&sc0, &strip_special(&pt.poly), ctx);
         self.any_ext = true;
         let _ = &self.any_ext;
     }
@@ -238,11 +282,15 @@ impl ExtAccumulator {
                 self.acc_a_base.add_mul_assign(c1, &pt_base, ctx);
             }
             Some((ks_b, ks_a)) => {
-                assert!(pt.poly.has_special(), "double-hoisting needs extended-basis plaintexts");
+                assert!(
+                    pt.poly.has_special(),
+                    "double-hoisting needs extended-basis plaintexts"
+                );
                 self.bump_scale_public(rot.scale * pt.scale);
                 self.acc_b_ext.add_mul_assign(ks_b, &pt.poly, ctx);
                 self.acc_a_ext.add_mul_assign(ks_a, &pt.poly, ctx);
-                self.acc_b_base.add_mul_assign(&rot.c0, &strip_special(&pt.poly), ctx);
+                self.acc_b_base
+                    .add_mul_assign(&rot.c0, &strip_special(&pt.poly), ctx);
                 self.any_ext = true;
             }
         }
@@ -252,7 +300,7 @@ impl ExtAccumulator {
         match self.scale {
             None => self.scale = Some(term_scale),
             Some(prev) => assert!(
-                (prev / term_scale - 1.0).abs() < 1e-9,
+                crate::eval::scales_close(prev, term_scale),
                 "accumulator terms must share one scale"
             ),
         }
@@ -268,7 +316,11 @@ impl ExtAccumulator {
         c0.add_assign(&self.acc_b_ext, ctx);
         let mut c1 = self.acc_a_base;
         c1.add_assign(&self.acc_a_ext, ctx);
-        Ciphertext { c0, c1, scale: self.scale.expect("empty accumulator") }
+        Ciphertext {
+            c0,
+            c1,
+            scale: self.scale.expect("empty accumulator"),
+        }
     }
 }
 
@@ -313,7 +365,9 @@ mod tests {
         let mut h = setup(&[1, 7]);
         let n = h.ctx.slots();
         let a: Vec<f64> = (0..n).map(|i| ((i * 3) % 11) as f64 * 0.2).collect();
-        let ct = h.encryptor.encrypt(&h.enc.encode(&a, h.ctx.scale(), 2, false), &mut h.rng);
+        let ct = h
+            .encryptor
+            .encrypt(&h.enc.encode(&a, h.ctx.scale(), 2, false), &mut h.rng);
         let hd = HoistedDigits::new(&h.ctx, &ct);
         for k in [0isize, 1, 7] {
             let via_hoist = h.enc.decode(&h.dec.decrypt(&hd.rotate(&h.eval, k)));
@@ -336,7 +390,9 @@ mod tests {
         let n = h.ctx.slots();
         let level = 2;
         let a: Vec<f64> = (0..n).map(|i| ((i % 9) as f64) * 0.3 - 1.0).collect();
-        let ct = h.encryptor.encrypt(&h.enc.encode(&a, h.ctx.scale(), level, false), &mut h.rng);
+        let ct = h
+            .encryptor
+            .encrypt(&h.enc.encode(&a, h.ctx.scale(), level, false), &mut h.rng);
         let weights: Vec<Vec<f64>> = (0..3)
             .map(|k| (0..n).map(|i| (((i + k) % 5) as f64) * 0.15).collect())
             .collect();
@@ -374,7 +430,10 @@ mod tests {
     fn accumulator_rejects_mixed_scales() {
         let mut h = setup(&[1]);
         let level = 1;
-        let ct = h.encryptor.encrypt(&h.enc.encode(&[1.0], h.ctx.scale(), level, false), &mut h.rng);
+        let ct = h.encryptor.encrypt(
+            &h.enc.encode(&[1.0], h.ctx.scale(), level, false),
+            &mut h.rng,
+        );
         let hd = HoistedDigits::new(&h.ctx, &ct);
         let mut acc = ExtAccumulator::new(&h.ctx, level);
         let p1 = h.enc.encode(&[1.0], h.ctx.scale(), level, true);

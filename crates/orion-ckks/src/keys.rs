@@ -66,7 +66,11 @@ impl<R: Rng> KeyGenerator<R> {
         let max = ctx.max_level();
         let mut s = RnsPoly::sample_ternary(&ctx, max, true, &mut rng);
         s.to_eval(&ctx);
-        Self { ctx, rng, sk: Arc::new(SecretKey { s }) }
+        Self {
+            ctx,
+            rng,
+            sk: Arc::new(SecretKey { s }),
+        }
     }
 
     /// The secret key (shared handle).
@@ -152,7 +156,11 @@ impl<R: Rng> KeyGenerator<R> {
             let (g, key) = self.gen_rotation_key(k);
             rot.insert(g, key);
         }
-        EvalKeys { relin, rot, conj: None }
+        EvalKeys {
+            relin,
+            rot,
+            conj: None,
+        }
     }
 }
 
@@ -177,7 +185,10 @@ mod tests {
         chk.to_coeff(&ctx);
         let lifted = chk.lift_centered(&ctx);
         let max = lifted.iter().map(|x| x.unsigned_abs()).max().unwrap();
-        assert!(max < (ctx.params.sigma * 8.0) as u128 + 1, "pk error too large: {max}");
+        assert!(
+            max < (ctx.params.sigma * 8.0) as u128 + 1,
+            "pk error too large: {max}"
+        );
     }
 
     #[test]

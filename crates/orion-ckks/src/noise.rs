@@ -60,12 +60,16 @@ impl<'a> NoiseEstimator<'a> {
         let encode = (n / 12.0).sqrt() / delta;
         // encryption: e0 + v·e1-ish, coefficients ~σ; slots see √(2N/3)·σ.
         let encrypt = self.ctx.params.sigma * (2.0 * n / 3.0).sqrt() / delta;
-        NoiseEstimate { sigma: (encode * encode + encrypt * encrypt).sqrt() }
+        NoiseEstimate {
+            sigma: (encode * encode + encrypt * encrypt).sqrt(),
+        }
     }
 
     /// Noise after `HAdd`.
     pub fn add(&self, a: NoiseEstimate, b: NoiseEstimate) -> NoiseEstimate {
-        NoiseEstimate { sigma: (a.sigma * a.sigma + b.sigma * b.sigma).sqrt() }
+        NoiseEstimate {
+            sigma: (a.sigma * a.sigma + b.sigma * b.sigma).sqrt(),
+        }
     }
 
     /// Noise after `PMult` by a plaintext of max magnitude `w_max` encoded
@@ -78,7 +82,9 @@ impl<'a> NoiseEstimator<'a> {
         // rescale rounding: coefficients gain U(±1/2) after division by q_ℓ
         let _ = level;
         let rounding = (n / 12.0).sqrt() / delta;
-        NoiseEstimate { sigma: (scaled * scaled + rounding * rounding).sqrt() }
+        NoiseEstimate {
+            sigma: (scaled * scaled + rounding * rounding).sqrt(),
+        }
     }
 
     /// Noise added by one key-switch (rotation or relinearization) at
@@ -94,8 +100,11 @@ impl<'a> NoiseEstimator<'a> {
             .fold(0.0, f64::max);
         // Σ_i ĉ_i·e_i has coefficient std ~ √(ℓ+1)·(q/√12)·σ·√N; ModDown
         // divides by p; slots see another √N.
-        let ks = ((level + 1) as f64).sqrt() * max_q * self.ctx.params.sigma * n / (p * 3.46 * delta);
-        NoiseEstimate { sigma: (a.sigma * a.sigma + ks * ks).sqrt() }
+        let ks =
+            ((level + 1) as f64).sqrt() * max_q * self.ctx.params.sigma * n / (p * 3.46 * delta);
+        NoiseEstimate {
+            sigma: (a.sigma * a.sigma + ks * ks).sqrt(),
+        }
     }
 
     /// Noise after `HMult` of two ciphertexts with value bounds `ma`, `mb`,
@@ -155,7 +164,13 @@ mod tests {
 
     fn measured_sigma(vals: &[f64], out: &[f64]) -> f64 {
         let n = vals.len() as f64;
-        (vals.iter().zip(out).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / n).sqrt()
+        (vals
+            .iter()
+            .zip(out)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            / n)
+            .sqrt()
     }
 
     fn within_two_orders(predicted: f64, measured: f64) -> bool {
@@ -168,8 +183,12 @@ mod tests {
         let h = setup();
         let est = NoiseEstimator::new(&h.ctx);
         let mut rng = StdRng::seed_from_u64(2);
-        let vals: Vec<f64> = (0..h.ctx.slots()).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let ct = h.encryptor.encrypt(&h.enc.encode(&vals, h.ctx.scale(), 2, false), &mut rng);
+        let vals: Vec<f64> = (0..h.ctx.slots())
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        let ct = h
+            .encryptor
+            .encrypt(&h.enc.encode(&vals, h.ctx.scale(), 2, false), &mut rng);
         let out = h.enc.decode(&h.dec.decrypt(&ct));
         let measured = measured_sigma(&vals, &out);
         let predicted = est.fresh().sigma;
@@ -184,12 +203,18 @@ mod tests {
         let h = setup();
         let est = NoiseEstimator::new(&h.ctx);
         let mut rng = StdRng::seed_from_u64(3);
-        let vals: Vec<f64> = (0..h.ctx.slots()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let vals: Vec<f64> = (0..h.ctx.slots())
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
         let level = 2;
-        let ct = h.encryptor.encrypt(&h.enc.encode(&vals, h.ctx.scale(), level, false), &mut rng);
+        let ct = h
+            .encryptor
+            .encrypt(&h.enc.encode(&vals, h.ctx.scale(), level, false), &mut rng);
         let rot = h.eval.rotate(&ct, 1);
         let out = h.enc.decode(&h.dec.decrypt(&rot));
-        let expect: Vec<f64> = (0..vals.len()).map(|i| vals[(i + 1) % vals.len()]).collect();
+        let expect: Vec<f64> = (0..vals.len())
+            .map(|i| vals[(i + 1) % vals.len()])
+            .collect();
         let measured = measured_sigma(&expect, &out);
         let predicted = est.key_switch(est.fresh(), level).sigma;
         assert!(
@@ -203,10 +228,16 @@ mod tests {
         let h = setup();
         let est = NoiseEstimator::new(&h.ctx);
         let mut rng = StdRng::seed_from_u64(4);
-        let vals: Vec<f64> = (0..h.ctx.slots()).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let w: Vec<f64> = (0..h.ctx.slots()).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let vals: Vec<f64> = (0..h.ctx.slots())
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        let w: Vec<f64> = (0..h.ctx.slots())
+            .map(|_| rng.gen_range(-2.0..2.0))
+            .collect();
         let level = 3;
-        let ct = h.encryptor.encrypt(&h.enc.encode(&vals, h.ctx.scale(), level, false), &mut rng);
+        let ct = h
+            .encryptor
+            .encrypt(&h.enc.encode(&vals, h.ctx.scale(), level, false), &mut rng);
         let pt = h.enc.encode_at_prime_scale(&w, level, false);
         let mut prod = h.eval.mul_plain(&ct, &pt);
         h.eval.rescale_assign(&mut prod);

@@ -31,18 +31,42 @@ pub struct CkksParams {
 impl CkksParams {
     /// Tiny parameters for fast unit tests (N = 2¹⁰). Not secure.
     pub fn tiny() -> Self {
-        Self { n: 1 << 10, log_scale: 30, q0_bits: 45, max_level: 4, special_bits: 45, sigma: 3.2, boot_levels: 2 }
+        Self {
+            n: 1 << 10,
+            log_scale: 30,
+            q0_bits: 45,
+            max_level: 4,
+            special_bits: 45,
+            sigma: 3.2,
+            boot_levels: 2,
+        }
     }
 
     /// Small demo parameters (N = 2¹², Δ = 2³⁵). Not secure.
     pub fn small() -> Self {
-        Self { n: 1 << 12, log_scale: 35, q0_bits: 50, max_level: 8, special_bits: 50, sigma: 3.2, boot_levels: 3 }
+        Self {
+            n: 1 << 12,
+            log_scale: 35,
+            q0_bits: 50,
+            max_level: 8,
+            special_bits: 50,
+            sigma: 3.2,
+            boot_levels: 3,
+        }
     }
 
     /// Medium demo parameters (N = 2¹³, Δ = 2⁴⁰), used by the examples and
     /// the real-FHE MNIST runs. Not secure.
     pub fn medium() -> Self {
-        Self { n: 1 << 13, log_scale: 40, q0_bits: 55, max_level: 12, special_bits: 55, sigma: 3.2, boot_levels: 4 }
+        Self {
+            n: 1 << 13,
+            log_scale: 40,
+            q0_bits: 55,
+            max_level: 12,
+            special_bits: 55,
+            sigma: 3.2,
+            boot_levels: 4,
+        }
     }
 
     /// Deployment-scale parameters matching the paper's evaluation
@@ -51,7 +75,15 @@ impl CkksParams {
     /// the context is slow and is only exercised by ignored tests and the
     /// figure harnesses.
     pub fn secure_n16() -> Self {
-        Self { n: 1 << 16, log_scale: 40, q0_bits: 60, max_level: 24, special_bits: 60, sigma: 3.2, boot_levels: 14 }
+        Self {
+            n: 1 << 16,
+            log_scale: 40,
+            q0_bits: 60,
+            max_level: 24,
+            special_bits: 60,
+            sigma: 3.2,
+            boot_levels: 14,
+        }
     }
 
     /// Number of plaintext slots (`N/2`, paper §2.2).
@@ -76,11 +108,11 @@ impl CkksParams {
     /// within the table bound.
     pub fn is_128_bit_secure(&self) -> bool {
         let bound = match self.n {
-            0x2000 => 218,       // N = 2^13
-            0x4000 => 438,       // N = 2^14
-            0x8000 => 881,       // N = 2^15
-            0x10000 => 1772,     // N = 2^16
-            0x20000 => 3576,     // N = 2^17
+            0x2000 => 218,   // N = 2^13
+            0x4000 => 438,   // N = 2^14
+            0x8000 => 881,   // N = 2^15
+            0x10000 => 1772, // N = 2^16
+            0x20000 => 3576, // N = 2^17
             _ => 0,
         };
         (self.log_qp() as usize) <= bound
@@ -129,7 +161,11 @@ impl Context {
         let ntt_special = NttTable::new(n, special);
         let fft = SpecialFft::new(n / 2);
         let exp_map = ntt[0].exponent_map();
-        debug_assert_eq!(exp_map, ntt_special.exponent_map(), "exponent map must be prime-independent");
+        debug_assert_eq!(
+            exp_map,
+            ntt_special.exponent_map(),
+            "exponent map must be prime-independent"
+        );
         let mut exp_index = vec![usize::MAX; 2 * n];
         for (i, &e) in exp_map.iter().enumerate() {
             exp_index[e] = i;

@@ -7,6 +7,9 @@
 
 use crate::params::Context;
 use orion_math::modular::{add_mod, mul_mod, neg_mod, reduce_i128, sub_mod};
+use orion_math::parallel::{
+    map_indexed, ntt_forward_batch, ntt_inverse_batch, ntt_parallel, pointwise_parallel,
+};
 use rand::Rng;
 
 /// Representation of the limbs.
@@ -66,12 +69,22 @@ impl RnsPoly {
             let p = ctx.special;
             coeffs.iter().map(|&c| reduce_i128(c, p)).collect()
         });
-        Self { limbs, special, form: Form::Coeff }
+        Self {
+            limbs,
+            special,
+            form: Form::Coeff,
+        }
     }
 
     /// Samples every limb uniformly (already valid in either form; we tag
     /// the requested one).
-    pub fn sample_uniform<R: Rng>(ctx: &Context, level: usize, form: Form, with_special: bool, rng: &mut R) -> Self {
+    pub fn sample_uniform<R: Rng>(
+        ctx: &Context,
+        level: usize,
+        form: Form,
+        with_special: bool,
+        rng: &mut R,
+    ) -> Self {
         let n = ctx.degree();
         let limbs = (0..=level)
             .map(|j| {
@@ -83,19 +96,33 @@ impl RnsPoly {
             let p = ctx.special;
             (0..n).map(|_| rng.gen_range(0..p)).collect()
         });
-        Self { limbs, special, form }
+        Self {
+            limbs,
+            special,
+            form,
+        }
     }
 
     /// Samples a ternary polynomial (coefficients in {−1, 0, 1}) in
     /// coefficient form, replicated across all limbs.
-    pub fn sample_ternary<R: Rng>(ctx: &Context, level: usize, with_special: bool, rng: &mut R) -> Self {
+    pub fn sample_ternary<R: Rng>(
+        ctx: &Context,
+        level: usize,
+        with_special: bool,
+        rng: &mut R,
+    ) -> Self {
         let n = ctx.degree();
         let signed: Vec<i128> = (0..n).map(|_| rng.gen_range(-1i128..=1)).collect();
         Self::from_signed(ctx, &signed, level, with_special)
     }
 
     /// Samples a rounded-Gaussian error polynomial (σ from the params).
-    pub fn sample_gaussian<R: Rng>(ctx: &Context, level: usize, with_special: bool, rng: &mut R) -> Self {
+    pub fn sample_gaussian<R: Rng>(
+        ctx: &Context,
+        level: usize,
+        with_special: bool,
+        rng: &mut R,
+    ) -> Self {
         let n = ctx.degree();
         let sigma = ctx.params.sigma;
         let signed: Vec<i128> = (0..n)
@@ -110,17 +137,31 @@ impl RnsPoly {
         Self::from_signed(ctx, &signed, level, with_special)
     }
 
+    /// Collects one `(table, limb)` NTT job per limb (special included).
+    fn ntt_jobs<'a>(
+        &'a mut self,
+        ctx: &'a Context,
+    ) -> Vec<(&'a orion_math::NttTable, &'a mut [u64])> {
+        let mut pairs: Vec<(&orion_math::NttTable, &mut [u64])> = self
+            .limbs
+            .iter_mut()
+            .enumerate()
+            .map(|(j, limb)| (&ctx.ntt[j], &mut limb[..]))
+            .collect();
+        if let Some(s) = &mut self.special {
+            pairs.push((&ctx.ntt_special, &mut s[..]));
+        }
+        pairs
+    }
+
     /// Converts all limbs to evaluation form (no-op if already there).
+    /// Limbs transform independently, so the batch fans out on the shared
+    /// rayon pool for large rings.
     pub fn to_eval(&mut self, ctx: &Context) {
         if self.form == Form::Eval {
             return;
         }
-        for (j, limb) in self.limbs.iter_mut().enumerate() {
-            ctx.ntt[j].forward(limb);
-        }
-        if let Some(s) = &mut self.special {
-            ctx.ntt_special.forward(s);
-        }
+        ntt_forward_batch(self.ntt_jobs(ctx));
         self.form = Form::Eval;
     }
 
@@ -129,85 +170,100 @@ impl RnsPoly {
         if self.form == Form::Coeff {
             return;
         }
-        for (j, limb) in self.limbs.iter_mut().enumerate() {
-            ctx.ntt[j].inverse(limb);
-        }
-        if let Some(s) = &mut self.special {
-            ctx.ntt_special.inverse(s);
-        }
+        ntt_inverse_batch(self.ntt_jobs(ctx));
         self.form = Form::Coeff;
     }
 
     fn check_compat(&self, other: &Self) {
         assert_eq!(self.form, other.form, "form mismatch");
         assert_eq!(self.limbs.len(), other.limbs.len(), "level mismatch");
-        assert_eq!(self.has_special(), other.has_special(), "special-limb mismatch");
+        assert_eq!(
+            self.has_special(),
+            other.has_special(),
+            "special-limb mismatch"
+        );
+    }
+
+    /// Whether this polynomial's pointwise limb loops should fan out.
+    fn pointwise_par(&self) -> bool {
+        let degree = self.limbs.first().map(Vec::len).unwrap_or(0);
+        pointwise_parallel(degree, self.limbs.len() + usize::from(self.has_special()))
+    }
+
+    /// Runs `op(modulus, dst_limb, j)` over every limb (special included,
+    /// with `j = limbs.len()`), fanning out on the shared pool for large
+    /// polynomials.
+    fn for_each_limb_mut(&mut self, ctx: &Context, op: impl Fn(u64, &mut [u64], usize) + Sync) {
+        let par = self.pointwise_par();
+        let n_chain = self.limbs.len();
+        let mut jobs: Vec<(u64, &mut Vec<u64>)> = self
+            .limbs
+            .iter_mut()
+            .enumerate()
+            .map(|(j, limb)| (ctx.moduli[j], limb))
+            .collect();
+        if let Some(s) = &mut self.special {
+            jobs.push((ctx.special, s));
+        }
+        orion_math::parallel::for_each_mut(&mut jobs, par, |j, (q, limb)| {
+            op(*q, limb, j.min(n_chain))
+        });
     }
 
     /// `self += other` (limbwise).
     pub fn add_assign(&mut self, other: &Self, ctx: &Context) {
         self.check_compat(other);
-        for (j, (a, b)) in self.limbs.iter_mut().zip(&other.limbs).enumerate() {
-            let q = ctx.moduli[j];
+        let n_chain = self.limbs.len();
+        self.for_each_limb_mut(ctx, |q, a, j| {
+            let b = if j < n_chain {
+                &other.limbs[j]
+            } else {
+                other.special.as_ref().unwrap()
+            };
             for (x, &y) in a.iter_mut().zip(b) {
                 *x = add_mod(*x, y, q);
             }
-        }
-        if let (Some(a), Some(b)) = (&mut self.special, &other.special) {
-            let p = ctx.special;
-            for (x, &y) in a.iter_mut().zip(b) {
-                *x = add_mod(*x, y, p);
-            }
-        }
+        });
     }
 
     /// `self -= other` (limbwise).
     pub fn sub_assign(&mut self, other: &Self, ctx: &Context) {
         self.check_compat(other);
-        for (j, (a, b)) in self.limbs.iter_mut().zip(&other.limbs).enumerate() {
-            let q = ctx.moduli[j];
+        let n_chain = self.limbs.len();
+        self.for_each_limb_mut(ctx, |q, a, j| {
+            let b = if j < n_chain {
+                &other.limbs[j]
+            } else {
+                other.special.as_ref().unwrap()
+            };
             for (x, &y) in a.iter_mut().zip(b) {
                 *x = sub_mod(*x, y, q);
             }
-        }
-        if let (Some(a), Some(b)) = (&mut self.special, &other.special) {
-            let p = ctx.special;
-            for (x, &y) in a.iter_mut().zip(b) {
-                *x = sub_mod(*x, y, p);
-            }
-        }
+        });
     }
 
     /// Negates in place.
     pub fn neg_assign(&mut self, ctx: &Context) {
-        for (j, a) in self.limbs.iter_mut().enumerate() {
-            let q = ctx.moduli[j];
+        self.for_each_limb_mut(ctx, |q, a, _| {
             for x in a.iter_mut() {
                 *x = neg_mod(*x, q);
             }
-        }
-        if let Some(a) = &mut self.special {
-            let p = ctx.special;
-            for x in a.iter_mut() {
-                *x = neg_mod(*x, p);
-            }
-        }
+        });
     }
 
     /// Pointwise product (both operands must be in evaluation form).
     pub fn mul_pointwise(&self, other: &Self, ctx: &Context) -> Self {
         assert_eq!(self.form, Form::Eval);
         self.check_compat(other);
-        let limbs = self
-            .limbs
-            .iter()
-            .zip(&other.limbs)
-            .enumerate()
-            .map(|(j, (a, b))| {
-                let q = ctx.moduli[j];
-                a.iter().zip(b).map(|(&x, &y)| mul_mod(x, y, q)).collect()
-            })
-            .collect();
+        let par = self.pointwise_par();
+        let limbs = map_indexed(self.limbs.len(), par, |j| {
+            let q = ctx.moduli[j];
+            self.limbs[j]
+                .iter()
+                .zip(&other.limbs[j])
+                .map(|(&x, &y)| mul_mod(x, y, q))
+                .collect()
+        });
         let special = match (&self.special, &other.special) {
             (Some(a), Some(b)) => {
                 let p = ctx.special;
@@ -215,7 +271,11 @@ impl RnsPoly {
             }
             _ => None,
         };
-        Self { limbs, special, form: Form::Eval }
+        Self {
+            limbs,
+            special,
+            form: Form::Eval,
+        }
     }
 
     /// Fused `self += a ⊙ b` (all evaluation form).
@@ -223,37 +283,31 @@ impl RnsPoly {
         assert_eq!(self.form, Form::Eval);
         a.check_compat(b);
         assert_eq!(self.limbs.len(), a.limbs.len());
-        for (j, (dst, (x, y))) in self.limbs.iter_mut().zip(a.limbs.iter().zip(&b.limbs)).enumerate() {
-            let q = ctx.moduli[j];
+        let n_chain = self.limbs.len();
+        let has_special = self.has_special() && a.has_special() && b.has_special();
+        self.for_each_limb_mut(ctx, |q, dst, j| {
+            let (x, y) = if j < n_chain {
+                (&a.limbs[j], &b.limbs[j])
+            } else if has_special {
+                (a.special.as_ref().unwrap(), b.special.as_ref().unwrap())
+            } else {
+                return;
+            };
             for ((d, &u), &v) in dst.iter_mut().zip(x).zip(y) {
                 *d = add_mod(*d, mul_mod(u, v, q), q);
             }
-        }
-        if let (Some(dst), Some(x), Some(y)) = (&mut self.special, &a.special, &b.special) {
-            let p = ctx.special;
-            for ((d, &u), &v) in dst.iter_mut().zip(x).zip(y) {
-                *d = add_mod(*d, mul_mod(u, v, p), p);
-            }
-        }
+        });
     }
 
     /// Multiplies every limb by a per-limb scalar (`scalars[j]` mod `q_j`,
     /// last entry for the special limb if present).
     pub fn mul_scalar_assign(&mut self, scalar: i128, ctx: &Context) {
-        for (j, a) in self.limbs.iter_mut().enumerate() {
-            let q = ctx.moduli[j];
+        self.for_each_limb_mut(ctx, |q, a, _| {
             let s = reduce_i128(scalar, q);
             for x in a.iter_mut() {
                 *x = mul_mod(*x, s, q);
             }
-        }
-        if let Some(a) = &mut self.special {
-            let p = ctx.special;
-            let s = reduce_i128(scalar, p);
-            for x in a.iter_mut() {
-                *x = mul_mod(*x, s, p);
-            }
-        }
+        });
     }
 
     /// Applies the Galois automorphism `a(X) → a(X^g)` in coefficient form.
@@ -292,8 +346,11 @@ impl RnsPoly {
     pub fn automorphism_eval(&self, perm: &[usize]) -> Self {
         assert_eq!(self.form, Form::Eval);
         let apply = |src: &Vec<u64>| -> Vec<u64> { perm.iter().map(|&j| src[j]).collect() };
+        let limbs = map_indexed(self.limbs.len(), self.pointwise_par(), |j| {
+            apply(&self.limbs[j])
+        });
         Self {
-            limbs: self.limbs.iter().map(apply).collect(),
+            limbs,
             special: self.special.as_ref().map(apply),
             form: Form::Eval,
         }
@@ -310,7 +367,10 @@ impl RnsPoly {
         // Bring the top limb to coefficient form.
         let mut top = self.limbs.pop().expect("top limb");
         ctx.ntt[l].inverse(&mut top);
-        for j in 0..l {
+        // Every remaining limb folds the lifted top limb in independently
+        // (one NTT each), so the loop fans out for large rings.
+        let par = ntt_parallel(top.len(), l);
+        orion_math::parallel::for_each_mut(&mut self.limbs, par, |j, limb| {
             let qj = ctx.moduli[j];
             let inv = ctx.rescale_constant(l, j);
             // Centered lift of the top limb into Z_{q_j}, NTT, subtract, scale.
@@ -322,11 +382,10 @@ impl RnsPoly {
                 })
                 .collect();
             ctx.ntt[j].forward(&mut lifted);
-            let limb = &mut self.limbs[j];
             for (x, &t) in limb.iter_mut().zip(&lifted) {
                 *x = mul_mod(sub_mod(*x, t, qj), inv, qj);
             }
-        }
+        });
     }
 
     /// Removes the special limb, dividing the polynomial by `p` with
@@ -336,7 +395,8 @@ impl RnsPoly {
         let p = ctx.special;
         let mut sp = self.special.take().expect("no special limb to remove");
         ctx.ntt_special.inverse(&mut sp);
-        for (j, limb) in self.limbs.iter_mut().enumerate() {
+        let par = ntt_parallel(sp.len(), self.limbs.len());
+        orion_math::parallel::for_each_mut(&mut self.limbs, par, |j, limb| {
             let qj = ctx.moduli[j];
             let inv = ctx.special_constant(j);
             let mut lifted: Vec<u64> = sp
@@ -350,7 +410,7 @@ impl RnsPoly {
             for (x, &t) in limb.iter_mut().zip(&lifted) {
                 *x = mul_mod(sub_mod(*x, t, qj), inv, qj);
             }
-        }
+        });
     }
 
     /// Drops limbs above `level` (a free level drop — no scaling).

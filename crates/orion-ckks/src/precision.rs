@@ -26,7 +26,10 @@ pub fn precision_bits(fhe: &[f64], reference: &[f64]) -> f64 {
 /// Maximum absolute error (worst slot).
 pub fn max_abs_error(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
 }
 
 #[cfg(test)]

@@ -36,7 +36,9 @@ fn harness() -> H {
 fn vec_from_seed(h: &H, seed: u64, amp: f64) -> Vec<f64> {
     use rand::Rng;
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..h.ctx.slots()).map(|_| rng.gen_range(-amp..amp)).collect()
+    (0..h.ctx.slots())
+        .map(|_| rng.gen_range(-amp..amp))
+        .collect()
 }
 
 proptest! {

@@ -18,13 +18,17 @@
 //! ```
 
 use orion_ckks::CkksParams;
-use orion_nn::compile::{compile, Compiled, CompileOptions};
+use orion_nn::backends::{run_plain, PlainRun};
+use orion_nn::compile::{compile, CompileOptions, Compiled};
 use orion_nn::fhe_exec::{run_fhe, FheRun, FheSession};
 use orion_nn::fit::fit_robust;
 use orion_nn::network::Network;
 use orion_nn::trace_exec::{run_trace, TraceRun};
 use orion_tensor::Tensor;
+use rayon::prelude::*;
 
+pub use orion_nn::backend::{run_program, Counting, EvalBackend};
+pub use orion_nn::backends::{CkksBackend, PlainBackend, TraceBackend};
 pub use orion_nn::compile::Step;
 pub use orion_nn::fhe_exec::FheSession as Session;
 
@@ -37,13 +41,17 @@ impl Orion {
     /// Compiler targeting the paper's deployment parameters
     /// (N = 2¹⁶ model, L_eff = 10) — use with the trace backend.
     pub fn paper_scale() -> Self {
-        Self { opts: CompileOptions::paper() }
+        Self {
+            opts: CompileOptions::paper(),
+        }
     }
 
     /// Compiler matching a concrete CKKS parameter set — use for real FHE
     /// execution.
     pub fn for_params(params: &CkksParams) -> Self {
-        Self { opts: CompileOptions::from_params(params) }
+        Self {
+            opts: CompileOptions::from_params(params),
+        }
     }
 
     /// Compiler with explicit options.
@@ -64,8 +72,20 @@ impl Orion {
     }
 
     /// Compiles with pre-computed ranges.
-    pub fn compile_with_ranges(&self, net: &Network, fitres: &orion_nn::fit::FitResult) -> Compiled {
+    pub fn compile_with_ranges(
+        &self,
+        net: &Network,
+        fitres: &orion_nn::fit::FitResult,
+    ) -> Compiled {
         compile(net, fitres, &self.opts)
+    }
+
+    /// Runs a compiled program over a batch of inputs on the trace
+    /// backend, one inference per input fanned out across the shared
+    /// rayon pool (each inference builds its own engine; results are in
+    /// input order).
+    pub fn run_batch(&self, compiled: &Compiled, inputs: &[Tensor]) -> Vec<TraceRun> {
+        trace_inference_batch(compiled, inputs)
     }
 }
 
@@ -82,6 +102,36 @@ pub fn fhe_session(params: CkksParams, compiled: &Compiled, seed: u64) -> FheSes
 /// Runs a compiled program under real CKKS.
 pub fn fhe_inference(compiled: &Compiled, session: &FheSession, input: &Tensor) -> FheRun {
     run_fhe(compiled, session, input)
+}
+
+/// Runs a compiled program through the cleartext rotation-algebra oracle
+/// (the packing-math correctness backend).
+pub fn plain_inference(compiled: &Compiled, input: &Tensor) -> PlainRun {
+    run_plain(compiled, input)
+}
+
+/// Trace inference over a batch of inputs, parallel across the shared
+/// rayon pool. Results are in input order.
+pub fn trace_inference_batch(compiled: &Compiled, inputs: &[Tensor]) -> Vec<TraceRun> {
+    inputs
+        .par_iter()
+        .map(|input| run_trace(compiled, input))
+        .collect()
+}
+
+/// Real-CKKS inference over a batch of inputs sharing one session's key
+/// material, parallel across the shared rayon pool (the evaluator is
+/// read-only during execution; the session RNG and bootstrap oracle are
+/// internally synchronized). Results are in input order.
+pub fn fhe_inference_batch(
+    compiled: &Compiled,
+    session: &FheSession,
+    inputs: &[Tensor],
+) -> Vec<FheRun> {
+    inputs
+        .par_iter()
+        .map(|input| run_fhe(compiled, session, input))
+        .collect()
 }
 
 #[cfg(test)]
@@ -105,6 +155,41 @@ mod tests {
         assert!(compiled.planned_rotations() > 100);
         // placement is fast (paper: 1.94 s for ResNet-20)
         assert!(compiled.placement.placement_seconds < 30.0);
+    }
+
+    #[test]
+    fn run_batch_matches_single_inference() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut net = orion_nn::Network::new(1, 8, 8);
+        let x = net.input();
+        let f = net.flatten("flat", x);
+        let l1 = net.linear("fc1", f, 16, &mut rng);
+        let a1 = net.square("act1", l1);
+        let l2 = net.linear("fc2", a1, 4, &mut rng);
+        net.output(l2);
+        let calib = synthetic_images(1, 8, 8, 4, 78);
+        let orion = Orion::with_options(orion_nn::compile::CompileOptions {
+            slots: 256,
+            l_eff: 10,
+            cost: orion_sim::CostModel::for_degree(1 << 9, 4),
+        });
+        let compiled = orion.compile(&net, &calib);
+        let inputs = synthetic_images(1, 8, 8, 3, 79);
+        let batch = orion.run_batch(&compiled, &inputs);
+        assert_eq!(batch.len(), inputs.len());
+        for (run, input) in batch.iter().zip(&inputs) {
+            let single = trace_inference(&compiled, input);
+            for (a, b) in run.output.data().iter().zip(single.output.data()) {
+                assert_eq!(a, b, "batched inference must match single inference");
+            }
+            assert_eq!(run.counter.rotations(), single.counter.rotations());
+        }
+        // the plain oracle agrees on the same program
+        let plain = plain_inference(&compiled, &inputs[0]);
+        let prec =
+            orion_ckks::precision::precision_bits(plain.output.data(), batch[0].output.data());
+        assert!(prec > 40.0, "plain oracle diverged: {prec} bits");
+        assert_eq!(plain.counter.rotations(), batch[0].counter.rotations());
     }
 
     #[test]

@@ -9,7 +9,9 @@ use crate::placement::PlacementResult;
 
 /// Renders `g` (with an optional placement) as Graphviz dot.
 pub fn to_dot(g: &Graph, placement: Option<&PlacementResult>) -> String {
-    let mut out = String::from("digraph orion {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+    let mut out = String::from(
+        "digraph orion {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n",
+    );
     for (id, node) in g.nodes.iter().enumerate() {
         let (shape, color) = match node.kind {
             NodeKind::Input => ("ellipse", "gray"),
@@ -22,9 +24,7 @@ pub fn to_dot(g: &Graph, placement: Option<&PlacementResult>) -> String {
             .and_then(|p| p.levels[id])
             .map(|l| format!("\\nlevel {l}"))
             .unwrap_or_default();
-        let boot = placement
-            .map(|p| p.boots_before[id] > 0)
-            .unwrap_or(false);
+        let boot = placement.map(|p| p.boots_before[id] > 0).unwrap_or(false);
         let extra = if boot { "\\n[bootstrap]" } else { "" };
         out.push_str(&format!(
             "  n{id} [label=\"{}{level}{extra}\", shape={shape}, style=filled, fillcolor={}];\n",
@@ -66,7 +66,10 @@ mod tests {
         let p = place(&g, 3, 10.0);
         let dot = to_dot(&g, Some(&p));
         assert!(dot.contains("level"));
-        assert!(dot.contains("[bootstrap]"), "7 layers at L_eff=3 must bootstrap");
+        assert!(
+            dot.contains("[bootstrap]"),
+            "7 layers at L_eff=3 must bootstrap"
+        );
         assert!(dot.contains("color=red"));
     }
 }

@@ -7,13 +7,11 @@
 //! on their input wire (a bootstrap on a multi-ciphertext wire refreshes
 //! every ciphertext).
 
-use serde::{Deserialize, Serialize};
-
 /// Index of a node in its graph.
 pub type NodeId = usize;
 
 /// What a node computes.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum NodeKind {
     /// The network input (fresh ciphertexts; zero cost; choice of starting
     /// level).
@@ -30,7 +28,7 @@ pub enum NodeKind {
 }
 
 /// A layer node.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Node {
     /// Display name (e.g. `layer2.conv1`).
     pub name: String,
@@ -47,8 +45,20 @@ pub struct Node {
 
 impl Node {
     /// Convenience constructor.
-    pub fn new(name: impl Into<String>, kind: NodeKind, depth: usize, latency: Vec<f64>, n_cts: usize) -> Self {
-        Self { name: name.into(), kind, depth, latency, n_cts }
+    pub fn new(
+        name: impl Into<String>,
+        kind: NodeKind,
+        depth: usize,
+        latency: Vec<f64>,
+        n_cts: usize,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            kind,
+            depth,
+            latency,
+            n_cts,
+        }
     }
 
     /// Latency at level ℓ (infinite when the node cannot run there).
@@ -62,7 +72,7 @@ impl Node {
 }
 
 /// A layer DAG with one input and one output.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Graph {
     /// Nodes, indexed by [`NodeId`].
     pub nodes: Vec<Node>,
@@ -169,7 +179,13 @@ impl Graph {
 /// Builds a simple feed-forward chain (helper for tests and benches).
 pub fn chain(layers: &[(NodeKind, usize, f64)], l_eff: usize, n_cts: usize) -> Graph {
     let mut g = Graph::new();
-    let input = g.add_node(Node::new("input", NodeKind::Input, 0, vec![0.0; l_eff + 1], n_cts));
+    let input = g.add_node(Node::new(
+        "input",
+        NodeKind::Input,
+        0,
+        vec![0.0; l_eff + 1],
+        n_cts,
+    ));
     let mut prev = input;
     for (i, &(kind, depth, lat)) in layers.iter().enumerate() {
         let latv: Vec<f64> = (0..=l_eff).map(|l| lat * (l + 1) as f64).collect();
@@ -177,7 +193,13 @@ pub fn chain(layers: &[(NodeKind, usize, f64)], l_eff: usize, n_cts: usize) -> G
         g.add_edge(prev, id);
         prev = id;
     }
-    let out = g.add_node(Node::new("output", NodeKind::Output, 0, vec![0.0; l_eff + 1], n_cts));
+    let out = g.add_node(Node::new(
+        "output",
+        NodeKind::Output,
+        0,
+        vec![0.0; l_eff + 1],
+        n_cts,
+    ));
     g.add_edge(prev, out);
     g
 }
@@ -188,7 +210,11 @@ mod tests {
 
     #[test]
     fn chain_has_input_and_output() {
-        let g = chain(&[(NodeKind::Linear, 1, 0.1), (NodeKind::Activation, 4, 0.2)], 6, 1);
+        let g = chain(
+            &[(NodeKind::Linear, 1, 0.1), (NodeKind::Activation, 4, 0.2)],
+            6,
+            1,
+        );
         assert_eq!(g.len(), 4);
         assert_eq!(g.input(), 0);
         assert_eq!(g.output(), 3);

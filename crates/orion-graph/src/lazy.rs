@@ -98,10 +98,34 @@ mod tests {
         // Three residual blocks, each: fork -> act(depth 3) -> conv -> add(skip).
         let mut adds = Vec::new();
         for i in 0..3 {
-            let fork = g.add_node(Node::new(format!("b{i}.conv1"), NodeKind::Linear, 1, flat(0.1), 1));
-            let act = g.add_node(Node::new(format!("b{i}.act"), NodeKind::Activation, 3, flat(0.5), 1));
-            let conv = g.add_node(Node::new(format!("b{i}.conv2"), NodeKind::Linear, 1, flat(0.1), 1));
-            let add = g.add_node(Node::new(format!("b{i}.add"), NodeKind::Add, 0, flat(0.01), 2));
+            let fork = g.add_node(Node::new(
+                format!("b{i}.conv1"),
+                NodeKind::Linear,
+                1,
+                flat(0.1),
+                1,
+            ));
+            let act = g.add_node(Node::new(
+                format!("b{i}.act"),
+                NodeKind::Activation,
+                3,
+                flat(0.5),
+                1,
+            ));
+            let conv = g.add_node(Node::new(
+                format!("b{i}.conv2"),
+                NodeKind::Linear,
+                1,
+                flat(0.1),
+                1,
+            ));
+            let add = g.add_node(Node::new(
+                format!("b{i}.add"),
+                NodeKind::Add,
+                0,
+                flat(0.01),
+                2,
+            ));
             g.add_edge(prev, fork);
             g.add_edge(fork, act);
             g.add_edge(act, conv);

@@ -59,8 +59,16 @@ struct RegionElem {
 }
 
 enum Back {
-    Simple { prev_out: usize, performed: usize, boot: bool },
-    Region { prev_out: usize, l_in: usize, boot: bool },
+    Simple {
+        prev_out: usize,
+        performed: usize,
+        boot: bool,
+    },
+    Region {
+        prev_out: usize,
+        l_in: usize,
+        boot: bool,
+    },
 }
 
 struct Solver<'g> {
@@ -79,14 +87,23 @@ impl<'g> Solver<'g> {
         while v != stop {
             if self.g.succs(v).len() > 1 {
                 let join = self.ipdom[v].expect("fork without post-dominator");
-                let branches: Vec<Vec<Elem>> =
-                    self.g.succs(v).iter().map(|&s| self.build_seq(s, join)).collect();
+                let branches: Vec<Vec<Elem>> = self
+                    .g
+                    .succs(v)
+                    .iter()
+                    .map(|&s| self.build_seq(s, join))
+                    .collect();
                 elems.push(Elem::Region(self.collapse_region(v, branches)));
                 v = join;
             } else {
                 elems.push(Elem::Simple(v));
                 let succs = self.g.succs(v);
-                assert_eq!(succs.len(), 1, "node {v} ({}) is a dead end", self.g.nodes[v].name);
+                assert_eq!(
+                    succs.len(),
+                    1,
+                    "node {v} ({}) is a dead end",
+                    self.g.nodes[v].name
+                );
                 v = succs[0];
             }
         }
@@ -107,7 +124,10 @@ impl<'g> Solver<'g> {
                         let count = skip_cts as u64;
                         (
                             count as f64 * self.boot_latency,
-                            Policy { levels: vec![], boots: vec![(usize::MAX, count)] },
+                            Policy {
+                                levels: vec![],
+                                boots: vec![(usize::MAX, count)],
+                            },
                         )
                     }
                 })
@@ -144,7 +164,10 @@ impl<'g> Solver<'g> {
                 .collect();
             for t in 0..l1 {
                 let mut total = lat;
-                let mut pol = Policy { levels: vec![(fork, l_in)], boots: vec![] };
+                let mut pol = Policy {
+                    levels: vec![(fork, l_in)],
+                    boots: vec![],
+                };
                 let mut ok = true;
                 for s in &solved {
                     let (c, p) = &s[t];
@@ -197,12 +220,19 @@ impl<'g> Solver<'g> {
                             if d.is_infinite() {
                                 continue;
                             }
-                            let (bridge, boot) =
-                                if performed <= prev_out { (0.0, false) } else { (boot_cost, true) };
+                            let (bridge, boot) = if performed <= prev_out {
+                                (0.0, false)
+                            } else {
+                                (boot_cost, true)
+                            };
                             let cand = d + bridge + lat;
                             if cand < next[out] {
                                 next[out] = cand;
-                                back[out] = Some(Back::Simple { prev_out, performed, boot });
+                                back[out] = Some(Back::Simple {
+                                    prev_out,
+                                    performed,
+                                    boot,
+                                });
                             }
                         }
                     }
@@ -219,8 +249,11 @@ impl<'g> Solver<'g> {
                             if d.is_infinite() {
                                 continue;
                             }
-                            let (bridge, boot) =
-                                if l_in <= prev_out { (0.0, false) } else { (boot_cost, true) };
+                            let (bridge, boot) = if l_in <= prev_out {
+                                (0.0, false)
+                            } else {
+                                (boot_cost, true)
+                            };
                             if d + bridge < best {
                                 best = d + bridge;
                                 best_prev = prev_out;
@@ -238,7 +271,11 @@ impl<'g> Solver<'g> {
                             let cand = best + wc;
                             if cand < next[t] {
                                 next[t] = cand;
-                                back[t] = Some(Back::Region { prev_out: best_prev, l_in, boot: best_boot });
+                                back[t] = Some(Back::Region {
+                                    prev_out: best_prev,
+                                    l_in,
+                                    boot: best_boot,
+                                });
                             }
                         }
                     }
@@ -258,14 +295,28 @@ impl<'g> Solver<'g> {
         for (elem, back) in elems.iter().zip(backs).rev() {
             let b = back[level].as_ref().expect("broken backpointer chain");
             match (elem, b) {
-                (Elem::Simple(v), Back::Simple { prev_out, performed, boot }) => {
+                (
+                    Elem::Simple(v),
+                    Back::Simple {
+                        prev_out,
+                        performed,
+                        boot,
+                    },
+                ) => {
                     pol.levels.push((*v, *performed));
                     if *boot {
                         pol.boots.push((*v, self.g.nodes[*v].n_cts as u64));
                     }
                     level = *prev_out;
                 }
-                (Elem::Region(r), Back::Region { prev_out, l_in, boot }) => {
+                (
+                    Elem::Region(r),
+                    Back::Region {
+                        prev_out,
+                        l_in,
+                        boot,
+                    },
+                ) => {
                     pol.extend(&r.policy[*l_in][level]);
                     if *boot {
                         pol.boots.push((r.fork, self.g.nodes[r.fork].n_cts as u64));
@@ -284,7 +335,12 @@ impl<'g> Solver<'g> {
 /// per-ciphertext bootstrap latency.
 pub fn place(g: &Graph, l_eff: usize, boot_latency: f64) -> PlacementResult {
     let t0 = std::time::Instant::now();
-    let solver = Solver { g, ipdom: immediate_post_dominators(g), l_eff, boot_latency };
+    let solver = Solver {
+        g,
+        ipdom: immediate_post_dominators(g),
+        l_eff,
+        boot_latency,
+    };
     let input = g.input();
     let output = g.output();
     assert_eq!(g.nodes[input].kind, NodeKind::Input);
@@ -298,7 +354,10 @@ pub fn place(g: &Graph, l_eff: usize, boot_latency: f64) -> PlacementResult {
         .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
         .map(|(t, &c)| (t, c))
         .expect("no feasible placement");
-    assert!(best_cost.is_finite(), "network depth exceeds level budget at every choice");
+    assert!(
+        best_cost.is_finite(),
+        "network depth exceeds level budget at every choice"
+    );
     let pol = solver.extract(&elems, &backs, best_t);
 
     let mut levels = vec![None; g.len()];
@@ -360,7 +419,13 @@ mod tests {
         // (paper §5.1: minimizing bootstrap count alone is suboptimal).
         let l_eff = 6;
         let mut g = Graph::new();
-        let input = g.add_node(Node::new("input", NodeKind::Input, 0, flat_lat(l_eff, 0.0), 1));
+        let input = g.add_node(Node::new(
+            "input",
+            NodeKind::Input,
+            0,
+            flat_lat(l_eff, 0.0),
+            1,
+        ));
         let mut prev = input;
         for i in 0..6 {
             let lat: Vec<f64> = (0..=l_eff).map(|l| 10.0 * (l as f64)).collect();
@@ -368,7 +433,13 @@ mod tests {
             g.add_edge(prev, id);
             prev = id;
         }
-        let out = g.add_node(Node::new("output", NodeKind::Output, 0, flat_lat(l_eff, 0.0), 1));
+        let out = g.add_node(Node::new(
+            "output",
+            NodeKind::Output,
+            0,
+            flat_lat(l_eff, 0.0),
+            1,
+        ));
         g.add_edge(prev, out);
         let cheap = place(&g, l_eff, 0.001);
         let dear = place(&g, l_eff, 1e6);
@@ -384,12 +455,42 @@ mod tests {
     fn residual_region_requires_bootstrap() {
         let l_eff = 3;
         let mut g = Graph::new();
-        let input = g.add_node(Node::new("input", NodeKind::Input, 0, flat_lat(l_eff, 0.0), 1));
-        let fc1 = g.add_node(Node::new("fc1", NodeKind::Linear, 1, flat_lat(l_eff, 0.1), 1));
-        let act = g.add_node(Node::new("ax^2", NodeKind::Activation, 2, flat_lat(l_eff, 0.2), 1));
-        let fc2 = g.add_node(Node::new("fc2", NodeKind::Linear, 1, flat_lat(l_eff, 0.1), 1));
+        let input = g.add_node(Node::new(
+            "input",
+            NodeKind::Input,
+            0,
+            flat_lat(l_eff, 0.0),
+            1,
+        ));
+        let fc1 = g.add_node(Node::new(
+            "fc1",
+            NodeKind::Linear,
+            1,
+            flat_lat(l_eff, 0.1),
+            1,
+        ));
+        let act = g.add_node(Node::new(
+            "ax^2",
+            NodeKind::Activation,
+            2,
+            flat_lat(l_eff, 0.2),
+            1,
+        ));
+        let fc2 = g.add_node(Node::new(
+            "fc2",
+            NodeKind::Linear,
+            1,
+            flat_lat(l_eff, 0.1),
+            1,
+        ));
         let add = g.add_node(Node::new("+", NodeKind::Add, 0, flat_lat(l_eff, 0.01), 2));
-        let out = g.add_node(Node::new("output", NodeKind::Output, 0, flat_lat(l_eff, 0.0), 1));
+        let out = g.add_node(Node::new(
+            "output",
+            NodeKind::Output,
+            0,
+            flat_lat(l_eff, 0.0),
+            1,
+        ));
         g.add_edge(input, fc1);
         g.add_edge(fc1, act);
         g.add_edge(act, fc2);
@@ -443,7 +544,10 @@ mod tests {
             let _ = place(&long, 10, 10.0);
             t.elapsed()
         };
-        assert!(t2 < t1 * 100, "placement not scaling linearly: {t1:?} vs {t2:?}");
+        assert!(
+            t2 < t1 * 100,
+            "placement not scaling linearly: {t1:?} vs {t2:?}"
+        );
     }
 
     #[test]
@@ -452,14 +556,26 @@ mod tests {
         let l_eff = 4;
         let mut g = Graph::new();
         let lat = flat_lat(l_eff, 0.1);
-        let input = g.add_node(Node::new("input", NodeKind::Input, 0, flat_lat(l_eff, 0.0), 1));
+        let input = g.add_node(Node::new(
+            "input",
+            NodeKind::Input,
+            0,
+            flat_lat(l_eff, 0.0),
+            1,
+        ));
         let f1 = g.add_node(Node::new("f1", NodeKind::Linear, 1, lat.clone(), 1));
         let f2 = g.add_node(Node::new("f2", NodeKind::Linear, 1, lat.clone(), 1));
         let act = g.add_node(Node::new("act", NodeKind::Activation, 3, lat.clone(), 1));
         let j2 = g.add_node(Node::new("j2", NodeKind::Add, 0, lat.clone(), 2));
         let mid = g.add_node(Node::new("mid", NodeKind::Linear, 1, lat.clone(), 1));
         let j1 = g.add_node(Node::new("j1", NodeKind::Add, 0, lat.clone(), 2));
-        let out = g.add_node(Node::new("output", NodeKind::Output, 0, flat_lat(l_eff, 0.0), 1));
+        let out = g.add_node(Node::new(
+            "output",
+            NodeKind::Output,
+            0,
+            flat_lat(l_eff, 0.0),
+            1,
+        ));
         g.add_edge(input, f1);
         g.add_edge(f1, f2);
         g.add_edge(f2, act);

@@ -18,16 +18,13 @@ pub fn immediate_post_dominators(g: &Graph) -> Vec<Option<NodeId>> {
     let words = n.div_ceil(64);
     let mut full = vec![u64::MAX; words];
     // mask off unused bits
-    if n % 64 != 0 {
+    if !n.is_multiple_of(64) {
         full[words - 1] = (1u64 << (n % 64)) - 1;
     }
     let mut pdom: Vec<Vec<u64>> = vec![full.clone(); n];
-    let only_self = |v: NodeId| {
-        let mut s = vec![0u64; words];
-        s[v / 64] |= 1u64 << (v % 64);
-        s
-    };
-    pdom[exit] = only_self(exit);
+    let mut exit_only = vec![0u64; words];
+    exit_only[exit / 64] |= 1u64 << (exit % 64);
+    pdom[exit] = exit_only;
     // Iterate to fixpoint in reverse topological order.
     let order = g.topo_order();
     let mut changed = true;
@@ -67,10 +64,11 @@ pub fn immediate_post_dominators(g: &Graph) -> Vec<Option<NodeId>> {
             }
             let mut best: Option<NodeId> = None;
             for u in 0..n {
-                if u != v && pdom[v][u / 64] >> (u % 64) & 1 == 1 {
-                    if best.map(|b| topo_pos[u] < topo_pos[b]).unwrap_or(true) {
-                        best = Some(u);
-                    }
+                if u != v
+                    && (pdom[v][u / 64] >> (u % 64)) & 1 == 1
+                    && best.map(|b| topo_pos[u] < topo_pos[b]).unwrap_or(true)
+                {
+                    best = Some(u);
                 }
             }
             best
@@ -92,7 +90,10 @@ pub fn regions(g: &Graph) -> Vec<Region> {
     let ipdom = immediate_post_dominators(g);
     (0..g.len())
         .filter(|&v| g.succs(v).len() > 1)
-        .map(|fork| Region { fork, join: ipdom[fork].expect("fork with no post-dominator") })
+        .map(|fork| Region {
+            fork,
+            join: ipdom[fork].expect("fork with no post-dominator"),
+        })
         .collect()
 }
 

@@ -32,16 +32,32 @@ fn brute_force_chain(depths: &[usize], lat_scale: &[f64], l_eff: usize, boot: f6
 
 fn chain_graph(depths: &[usize], lat_scale: &[f64], l_eff: usize) -> Graph {
     let mut g = Graph::new();
-    let input = g.add_node(Node::new("input", NodeKind::Input, 0, vec![0.0; l_eff + 1], 1));
+    let input = g.add_node(Node::new(
+        "input",
+        NodeKind::Input,
+        0,
+        vec![0.0; l_eff + 1],
+        1,
+    ));
     let mut prev = input;
     for (i, (&d, &s)) in depths.iter().zip(lat_scale).enumerate() {
         let lat: Vec<f64> = (0..=l_eff).map(|l| s * (l + 1) as f64).collect();
-        let kind = if d > 1 { NodeKind::Activation } else { NodeKind::Linear };
+        let kind = if d > 1 {
+            NodeKind::Activation
+        } else {
+            NodeKind::Linear
+        };
         let id = g.add_node(Node::new(format!("l{i}"), kind, d, lat, 1));
         g.add_edge(prev, id);
         prev = id;
     }
-    let out = g.add_node(Node::new("output", NodeKind::Output, 0, vec![0.0; l_eff + 1], 1));
+    let out = g.add_node(Node::new(
+        "output",
+        NodeKind::Output,
+        0,
+        vec![0.0; l_eff + 1],
+        1,
+    ));
     g.add_edge(prev, out);
     g
 }
@@ -90,12 +106,24 @@ fn region_joint_shortest_path_is_optimal() {
     let boot = 3.0;
     let mut g = Graph::new();
     let lat = |s: f64| -> Vec<f64> { (0..=l_eff).map(|l| s * (l + 1) as f64).collect() };
-    let input = g.add_node(Node::new("input", NodeKind::Input, 0, vec![0.0; l_eff + 1], 1));
+    let input = g.add_node(Node::new(
+        "input",
+        NodeKind::Input,
+        0,
+        vec![0.0; l_eff + 1],
+        1,
+    ));
     let fork = g.add_node(Node::new("fork", NodeKind::Linear, 1, lat(0.2), 1));
     let a = g.add_node(Node::new("a", NodeKind::Activation, 3, lat(0.5), 1));
     let b = g.add_node(Node::new("b", NodeKind::Linear, 1, lat(0.2), 1));
     let join = g.add_node(Node::new("join", NodeKind::Add, 0, lat(0.01), 2));
-    let out = g.add_node(Node::new("output", NodeKind::Output, 0, vec![0.0; l_eff + 1], 1));
+    let out = g.add_node(Node::new(
+        "output",
+        NodeKind::Output,
+        0,
+        vec![0.0; l_eff + 1],
+        1,
+    ));
     g.add_edge(input, fork);
     g.add_edge(fork, a);
     g.add_edge(a, b);

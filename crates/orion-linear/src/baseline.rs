@@ -32,7 +32,8 @@ impl LinearPlan {
                 }
             }
         }
-        babies.values().map(|s| s.len()).sum::<usize>() + giants.values().map(|s| s.len()).sum::<usize>()
+        babies.values().map(|s| s.len()).sum::<usize>()
+            + giants.values().map(|s| s.len()).sum::<usize>()
     }
 }
 
@@ -45,7 +46,12 @@ impl LinearPlan {
 /// per input ciphertext; strided convolutions add a mask-and-collect
 /// gather of `⌈log₂ t_out²⌉` rotations per output ciphertext (and a second
 /// level — see [`lee_level_cost`]).
-pub fn lee_et_al_rotations(in_l: &TensorLayout, out_l: &TensorLayout, spec: &ConvSpec, slots: usize) -> usize {
+pub fn lee_et_al_rotations(
+    in_l: &TensorLayout,
+    out_l: &TensorLayout,
+    spec: &ConvSpec,
+    slots: usize,
+) -> usize {
     let q = (spec.ci / spec.groups).div_ceil(in_l.t * in_l.t).max(1);
     let n_in = in_l.num_ciphertexts(slots);
     let per_ct = spec.kh * spec.kw * q - 1;
@@ -80,7 +86,10 @@ pub struct NaiveToeplitz {
 /// Builds the naive plan by brute-force row enumeration (the diff is *not*
 /// constant across a row segment, which is exactly the problem).
 pub fn naive_toeplitz(in_l: &TensorLayout, spec: &ConvSpec, slots: usize) -> NaiveToeplitz {
-    assert_eq!(in_l.t, 1, "the naive formulation starts from raster layouts");
+    assert_eq!(
+        in_l.t, 1,
+        "the naive formulation starts from raster layouts"
+    );
     let (ho, wo) = spec.out_hw(in_l.h, in_l.w);
     let out_l = TensorLayout::raster(spec.co, ho, wo);
     let ci_per_g = spec.ci / spec.groups;
@@ -95,12 +104,14 @@ pub fn naive_toeplitz(in_l: &TensorLayout, spec: &ConvSpec, slots: usize) -> Nai
                     for ic in 0..ci_per_g {
                         let ci = g * ci_per_g + ic;
                         for ky in 0..spec.kh {
-                            let iy = (oy * spec.stride + ky * spec.dilation) as isize - spec.padding as isize;
+                            let iy = (oy * spec.stride + ky * spec.dilation) as isize
+                                - spec.padding as isize;
                             if iy < 0 || iy >= in_l.h as isize {
                                 continue;
                             }
                             for kx in 0..spec.kw {
-                                let ix = (ox * spec.stride + kx * spec.dilation) as isize - spec.padding as isize;
+                                let ix = (ox * spec.stride + kx * spec.dilation) as isize
+                                    - spec.padding as isize;
                                 if ix < 0 || ix >= in_l.w as isize {
                                     continue;
                                 }
@@ -114,9 +125,16 @@ pub fn naive_toeplitz(in_l: &TensorLayout, spec: &ConvSpec, slots: usize) -> Nai
             }
         }
     }
-    let plan = b.finish(slots, in_l.num_ciphertexts(slots), out_l.num_ciphertexts(slots));
+    let plan = b.finish(
+        slots,
+        in_l.num_ciphertexts(slots),
+        out_l.num_ciphertexts(slots),
+    );
     let diagonals: usize = plan.blocks.values().map(|d| d.len()).sum();
-    NaiveToeplitz { diagonals, rotations: plan.rotations_with_n1(plan.slots) }
+    NaiveToeplitz {
+        diagonals,
+        rotations: plan.rotations_with_n1(plan.slots),
+    }
 }
 
 #[cfg(test)]
@@ -125,7 +143,16 @@ mod tests {
     use crate::plan::conv_plan;
 
     fn strided_spec() -> ConvSpec {
-        ConvSpec { co: 4, ci: 1, kh: 2, kw: 2, stride: 2, padding: 0, dilation: 1, groups: 1 }
+        ConvSpec {
+            co: 4,
+            ci: 1,
+            kh: 2,
+            kw: 2,
+            stride: 2,
+            padding: 0,
+            dilation: 1,
+            groups: 1,
+        }
     }
 
     #[test]
@@ -148,7 +175,16 @@ mod tests {
     fn same_style_conv_naive_equals_multiplexed() {
         // With stride 1 the naive Toeplitz IS the multiplexed plan.
         let in_l = TensorLayout::raster(2, 8, 8);
-        let spec = ConvSpec { co: 2, ci: 2, kh: 3, kw: 3, stride: 1, padding: 1, dilation: 1, groups: 1 };
+        let spec = ConvSpec {
+            co: 2,
+            ci: 2,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            padding: 1,
+            dilation: 1,
+            groups: 1,
+        };
         let naive = naive_toeplitz(&in_l, &spec, 512);
         let (mux, _) = conv_plan(&in_l, &spec, 512);
         let mux_diags: usize = mux.blocks.values().map(|d| d.len()).sum();
@@ -160,7 +196,16 @@ mod tests {
         // Orion (BSGS over the same matrix) must use fewer rotations than
         // the packed-SISO evaluation (Table 3's mechanism).
         let in_l = TensorLayout::raster(8, 8, 8);
-        let spec = ConvSpec { co: 8, ci: 8, kh: 3, kw: 3, stride: 1, padding: 1, dilation: 1, groups: 1 };
+        let spec = ConvSpec {
+            co: 8,
+            ci: 8,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            padding: 1,
+            dilation: 1,
+            groups: 1,
+        };
         let (plan, out_l) = conv_plan(&in_l, &spec, 4096);
         let lee = lee_et_al_rotations(&in_l, &out_l, &spec, 4096);
         let orion = plan.counts.rotations();
@@ -172,12 +217,32 @@ mod tests {
         // Paper §8.2: "our improvement over prior work increases with model
         // complexity" because BSGS saves O(f) → O(√f).
         let in_l = TensorLayout::raster(4, 8, 8);
-        let small = ConvSpec { co: 4, ci: 4, kh: 3, kw: 3, stride: 1, padding: 1, dilation: 1, groups: 1 };
-        let big = ConvSpec { co: 4, ci: 4, kh: 7, kw: 7, stride: 1, padding: 3, dilation: 1, groups: 1 };
+        let small = ConvSpec {
+            co: 4,
+            ci: 4,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            padding: 1,
+            dilation: 1,
+            groups: 1,
+        };
+        let big = ConvSpec {
+            co: 4,
+            ci: 4,
+            kh: 7,
+            kw: 7,
+            stride: 1,
+            padding: 3,
+            dilation: 1,
+            groups: 1,
+        };
         let (p_small, l_small) = conv_plan(&in_l, &small, 2048);
         let (p_big, l_big) = conv_plan(&in_l, &big, 2048);
-        let ratio_small = lee_et_al_rotations(&in_l, &l_small, &small, 2048) as f64 / p_small.counts.rotations() as f64;
-        let ratio_big = lee_et_al_rotations(&in_l, &l_big, &big, 2048) as f64 / p_big.counts.rotations() as f64;
+        let ratio_small = lee_et_al_rotations(&in_l, &l_small, &small, 2048) as f64
+            / p_small.counts.rotations() as f64;
+        let ratio_big =
+            lee_et_al_rotations(&in_l, &l_big, &big, 2048) as f64 / p_big.counts.rotations() as f64;
         assert!(ratio_big > ratio_small, "{ratio_big} vs {ratio_small}");
     }
 

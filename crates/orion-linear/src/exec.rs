@@ -18,6 +18,7 @@ use orion_ckks::encoder::Encoder;
 use orion_ckks::encrypt::Ciphertext;
 use orion_ckks::eval::Evaluator;
 use orion_ckks::hoist::{ExtAccumulator, HoistedDigits, RotatedExt};
+use rayon::prelude::*;
 use std::collections::BTreeMap;
 
 /// Rotates a cleartext slot vector "up" by `k` (CKKS `HRot` semantics).
@@ -30,9 +31,12 @@ fn rot_plain(v: &[f64], k: usize) -> Vec<f64> {
     out
 }
 
-/// Executes a plan on cleartext slot blocks with one worker thread per
-/// output ciphertext (paper §4.3: "each block performs independent work
-/// and is well-suited for parallel execution across multiple threads").
+/// Executes a plan on cleartext slot blocks with output ciphertexts fanned
+/// out over the shared rayon pool (paper §4.3: "each block performs
+/// independent work and is well-suited for parallel execution across
+/// multiple threads"). Unlike the earlier scope-per-call implementation,
+/// no threads are spawned here — block jobs are scheduled onto the same
+/// bounded pool the limb-parallel RNS engine uses.
 pub fn exec_plain_parallel(
     plan: &LinearPlan,
     source: &(dyn DiagSource + Sync),
@@ -42,42 +46,43 @@ pub fn exec_plain_parallel(
     let slots = plan.slots;
     let n1 = plan.n1;
     let mut out = vec![vec![0.0; slots]; plan.out_blocks];
-    crossbeam::thread::scope(|scope| {
-        for (i_out, out_block) in out.iter_mut().enumerate() {
-            scope.spawn(move |_| {
-                let mut groups: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
-                for (&(i_blk, j_blk), diags) in &plan.blocks {
-                    if i_blk as usize != i_out {
-                        continue;
-                    }
-                    let vals = source.block_diags(plan, i_blk, j_blk);
-                    let input = &inputs[j_blk as usize];
-                    for &k in diags {
-                        let Some(d) = vals.get(&k) else { continue };
-                        let i = (k as usize) % n1;
-                        let j = (k as usize) / n1;
-                        let rotated = rot_plain(input, i);
-                        let acc = groups.entry(j).or_insert_with(|| vec![0.0; slots]);
-                        for ((a, &dv), &xv) in acc.iter_mut().zip(d).zip(&rotated) {
-                            *a += dv * xv;
-                        }
+    out.par_iter_mut()
+        .enumerate()
+        .for_each(|(i_out, out_block)| {
+            let mut groups: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
+            for (&(i_blk, j_blk), diags) in &plan.blocks {
+                if i_blk as usize != i_out {
+                    continue;
+                }
+                let vals = source.block_diags(plan, i_blk, j_blk);
+                let input = &inputs[j_blk as usize];
+                for &k in diags {
+                    let Some(d) = vals.get(&k) else { continue };
+                    let i = (k as usize) % n1;
+                    let j = (k as usize) / n1;
+                    let rotated = rot_plain(input, i);
+                    let acc = groups.entry(j).or_insert_with(|| vec![0.0; slots]);
+                    for ((a, &dv), &xv) in acc.iter_mut().zip(d).zip(&rotated) {
+                        *a += dv * xv;
                     }
                 }
-                for (j, acc) in groups {
-                    let part = rot_plain(&acc, (j * n1) % slots);
-                    for (o, p) in out_block.iter_mut().zip(&part) {
-                        *o += p;
-                    }
+            }
+            for (j, acc) in groups {
+                let part = rot_plain(&acc, (j * n1) % slots);
+                for (o, p) in out_block.iter_mut().zip(&part) {
+                    *o += p;
                 }
-            });
-        }
-    })
-    .expect("block worker panicked");
+            }
+        });
     out
 }
 
 /// Executes a plan on cleartext slot blocks.
-pub fn exec_plain(plan: &LinearPlan, source: &dyn DiagSource, inputs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+pub fn exec_plain(
+    plan: &LinearPlan,
+    source: &dyn DiagSource,
+    inputs: &[Vec<f64>],
+) -> Vec<Vec<f64>> {
     assert_eq!(inputs.len(), plan.in_blocks);
     let slots = plan.slots;
     let n1 = plan.n1;
@@ -131,7 +136,8 @@ pub fn exec_fhe_unhoisted(
     let slots = ctx.eval.context().slots();
     let n1 = plan.n1;
     // Rotated inputs computed with full key-switches, cached per (J, i).
-    let mut rotated: std::collections::HashMap<(u32, usize), Ciphertext> = std::collections::HashMap::new();
+    let mut rotated: std::collections::HashMap<(u32, usize), Ciphertext> =
+        std::collections::HashMap::new();
     let mut groups: BTreeMap<(u32, usize), Ciphertext> = BTreeMap::new();
     for (&(i_blk, j_blk), diags) in &plan.blocks {
         let vals = source.block_diags(plan, i_blk, j_blk);
@@ -155,7 +161,11 @@ pub fn exec_fhe_unhoisted(
     let mut out: Vec<Option<Ciphertext>> = vec![None; plan.out_blocks];
     for ((i_blk, j), part) in groups {
         let g = (j * n1) % slots;
-        let part = if g != 0 { ctx.eval.rotate(&part, g as isize) } else { part };
+        let part = if g != 0 {
+            ctx.eval.rotate(&part, g as isize)
+        } else {
+            part
+        };
         let slot_ref = &mut out[i_blk as usize];
         *slot_ref = Some(match slot_ref.take() {
             None => part,
@@ -184,15 +194,22 @@ pub fn exec_fhe(
     assert_eq!(inputs.len(), plan.in_blocks);
     let level = inputs[0].level();
     let slots = plan.slots;
-    assert_eq!(slots, ctx.eval.context().slots(), "plan/context slot mismatch");
+    assert_eq!(
+        slots,
+        ctx.eval.context().slots(),
+        "plan/context slot mismatch"
+    );
     let n1 = plan.n1;
     // Hoist every input ciphertext once (shared digit decomposition), and
     // compute each distinct baby-step rotation's key-switch inner product
     // once in the extended basis, shared across every diagonal that uses
     // that rotation (Bossuat et al. Algorithm 6).
-    let hoisted: Vec<HoistedDigits> =
-        inputs.iter().map(|ct| HoistedDigits::new(ctx.eval.context(), ct)).collect();
-    let mut rotations: std::collections::HashMap<(u32, usize), RotatedExt> = std::collections::HashMap::new();
+    let hoisted: Vec<HoistedDigits> = inputs
+        .iter()
+        .map(|ct| HoistedDigits::new(ctx.eval.context(), ct))
+        .collect();
+    let mut rotations: std::collections::HashMap<(u32, usize), RotatedExt> =
+        std::collections::HashMap::new();
     // Giant-step groups with lazy ModDown.
     let mut groups: BTreeMap<(u32, usize), ExtAccumulator> = BTreeMap::new();
     for (&(i_blk, j_blk), diags) in &plan.blocks {
@@ -268,9 +285,17 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let in_l = TensorLayout::raster(c_in, h, w);
         let input = random_tensor(&[c_in, h, w], &mut rng);
-        let weights = random_tensor(&[spec.co, spec.ci / spec.groups, spec.kh, spec.kw], &mut rng);
+        let weights = random_tensor(
+            &[spec.co, spec.ci / spec.groups, spec.kh, spec.kw],
+            &mut rng,
+        );
         let (plan, out_l) = conv_plan(&in_l, &spec, slots);
-        let src = ConvDiagSource { in_l, out_l, spec, weights: &weights };
+        let src = ConvDiagSource {
+            in_l,
+            out_l,
+            spec,
+            weights: &weights,
+        };
 
         // pack input into blocks
         let packed = in_l.pack(input.data());
@@ -303,51 +328,123 @@ mod tests {
 
     #[test]
     fn plain_same_conv_matches_reference() {
-        let spec = ConvSpec { co: 4, ci: 3, kh: 3, kw: 3, stride: 1, padding: 1, dilation: 1, groups: 1 };
+        let spec = ConvSpec {
+            co: 4,
+            ci: 3,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            padding: 1,
+            dilation: 1,
+            groups: 1,
+        };
         check_conv_plain(3, 8, 8, spec, 512, 1);
     }
 
     #[test]
     fn plain_strided_conv_matches_reference() {
-        let spec = ConvSpec { co: 8, ci: 4, kh: 3, kw: 3, stride: 2, padding: 1, dilation: 1, groups: 1 };
+        let spec = ConvSpec {
+            co: 8,
+            ci: 4,
+            kh: 3,
+            kw: 3,
+            stride: 2,
+            padding: 1,
+            dilation: 1,
+            groups: 1,
+        };
         check_conv_plain(4, 8, 8, spec, 512, 2);
     }
 
     #[test]
     fn plain_stride3_valid_conv_matches_reference() {
-        let spec = ConvSpec { co: 2, ci: 2, kh: 3, kw: 3, stride: 3, padding: 0, dilation: 1, groups: 1 };
+        let spec = ConvSpec {
+            co: 2,
+            ci: 2,
+            kh: 3,
+            kw: 3,
+            stride: 3,
+            padding: 0,
+            dilation: 1,
+            groups: 1,
+        };
         check_conv_plain(2, 9, 9, spec, 256, 3);
     }
 
     #[test]
     fn plain_dilated_conv_matches_reference() {
-        let spec = ConvSpec { co: 3, ci: 2, kh: 3, kw: 3, stride: 1, padding: 2, dilation: 2, groups: 1 };
+        let spec = ConvSpec {
+            co: 3,
+            ci: 2,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            padding: 2,
+            dilation: 2,
+            groups: 1,
+        };
         check_conv_plain(2, 8, 8, spec, 256, 4);
     }
 
     #[test]
     fn plain_grouped_conv_matches_reference() {
-        let spec = ConvSpec { co: 8, ci: 8, kh: 3, kw: 3, stride: 1, padding: 1, dilation: 1, groups: 4 };
+        let spec = ConvSpec {
+            co: 8,
+            ci: 8,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            padding: 1,
+            dilation: 1,
+            groups: 4,
+        };
         check_conv_plain(8, 6, 6, spec, 512, 5);
     }
 
     #[test]
     fn plain_depthwise_strided_matches_reference() {
-        let spec = ConvSpec { co: 4, ci: 4, kh: 3, kw: 3, stride: 2, padding: 1, dilation: 1, groups: 4 };
+        let spec = ConvSpec {
+            co: 4,
+            ci: 4,
+            kh: 3,
+            kw: 3,
+            stride: 2,
+            padding: 1,
+            dilation: 1,
+            groups: 4,
+        };
         check_conv_plain(4, 8, 8, spec, 512, 6);
     }
 
     #[test]
     fn plain_multi_block_conv_matches_reference() {
         // Input spans 2 ciphertexts, output spans 2.
-        let spec = ConvSpec { co: 8, ci: 8, kh: 3, kw: 3, stride: 1, padding: 1, dilation: 1, groups: 1 };
+        let spec = ConvSpec {
+            co: 8,
+            ci: 8,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            padding: 1,
+            dilation: 1,
+            groups: 1,
+        };
         check_conv_plain(8, 8, 8, spec, 256, 7);
     }
 
     #[test]
     fn plain_1x1_downsample_matches_reference() {
         // ResNet shortcut: 1×1 stride-2.
-        let spec = ConvSpec { co: 8, ci: 4, kh: 1, kw: 1, stride: 2, padding: 0, dilation: 1, groups: 1 };
+        let spec = ConvSpec {
+            co: 8,
+            ci: 4,
+            kh: 1,
+            kw: 1,
+            stride: 2,
+            padding: 0,
+            dilation: 1,
+            groups: 1,
+        };
         check_conv_plain(4, 8, 8, spec, 256, 8);
     }
 
@@ -357,16 +454,44 @@ mod tests {
         // the first output (t = 2) feeds the second (t = 4).
         let mut rng = StdRng::seed_from_u64(9);
         let in_l = TensorLayout::raster(2, 8, 8);
-        let s1 = ConvSpec { co: 4, ci: 2, kh: 3, kw: 3, stride: 2, padding: 1, dilation: 1, groups: 1 };
-        let s2 = ConvSpec { co: 8, ci: 4, kh: 3, kw: 3, stride: 2, padding: 1, dilation: 1, groups: 1 };
+        let s1 = ConvSpec {
+            co: 4,
+            ci: 2,
+            kh: 3,
+            kw: 3,
+            stride: 2,
+            padding: 1,
+            dilation: 1,
+            groups: 1,
+        };
+        let s2 = ConvSpec {
+            co: 8,
+            ci: 4,
+            kh: 3,
+            kw: 3,
+            stride: 2,
+            padding: 1,
+            dilation: 1,
+            groups: 1,
+        };
         let input = random_tensor(&[2, 8, 8], &mut rng);
         let w1 = random_tensor(&[4, 2, 3, 3], &mut rng);
         let w2 = random_tensor(&[8, 4, 3, 3], &mut rng);
         let slots = 256;
         let (p1, l1) = conv_plan(&in_l, &s1, slots);
         let (p2, l2) = conv_plan(&l1, &s2, slots);
-        let src1 = ConvDiagSource { in_l, out_l: l1, spec: s1, weights: &w1 };
-        let src2 = ConvDiagSource { in_l: l1, out_l: l2, spec: s2, weights: &w2 };
+        let src1 = ConvDiagSource {
+            in_l,
+            out_l: l1,
+            spec: s1,
+            weights: &w1,
+        };
+        let src2 = ConvDiagSource {
+            in_l: l1,
+            out_l: l2,
+            spec: s2,
+            weights: &w2,
+        };
         let packed = in_l.pack(input.data());
         let mut blocks = vec![vec![0.0; slots]; p1.in_blocks];
         for (i, &v) in packed.iter().enumerate() {
@@ -379,8 +504,18 @@ mod tests {
             out_slots.extend_from_slice(b);
         }
         let got = l2.unpack(&out_slots);
-        let params = |s: &ConvSpec| Conv2dParams { stride: s.stride, padding: s.padding, dilation: s.dilation, groups: s.groups };
-        let expect = conv2d(&conv2d(&input, &w1, &[], params(&s1)), &w2, &[], params(&s2));
+        let params = |s: &ConvSpec| Conv2dParams {
+            stride: s.stride,
+            padding: s.padding,
+            dilation: s.dilation,
+            groups: s.groups,
+        };
+        let expect = conv2d(
+            &conv2d(&input, &w1, &[], params(&s1)),
+            &w2,
+            &[],
+            params(&s2),
+        );
         for (a, b) in got.iter().zip(expect.data()) {
             assert!((a - b).abs() < 1e-9);
         }
@@ -389,7 +524,12 @@ mod tests {
     #[test]
     fn plain_dense_matches_reference() {
         let mut rng = StdRng::seed_from_u64(10);
-        let in_l = TensorLayout { c: 8, h: 2, w: 2, t: 2 }; // multiplexed input
+        let in_l = TensorLayout {
+            c: 8,
+            h: 2,
+            w: 2,
+            t: 2,
+        }; // multiplexed input
         let n_out = 10;
         let w = random_tensor(&[n_out, 32], &mut rng);
         let input: Vec<f64> = (0..32).map(|_| rng.gen_range(-1.0..1.0)).collect();
@@ -404,7 +544,11 @@ mod tests {
         let out = exec_plain(&plan, &src, &blocks);
         let expect = linear(&input, &w, &[]);
         for (i, e) in expect.iter().enumerate() {
-            assert!((out[0][i] - e).abs() < 1e-9, "row {i}: {} vs {e}", out[0][i]);
+            assert!(
+                (out[0][i] - e).abs() < 1e-9,
+                "row {i}: {} vs {e}",
+                out[0][i]
+            );
         }
     }
 
@@ -416,7 +560,16 @@ mod tests {
         let slots = ctx.slots(); // 512
         let mut rng = StdRng::seed_from_u64(11);
         let in_l = TensorLayout::raster(2, 8, 8);
-        let spec = ConvSpec { co: 4, ci: 2, kh: 3, kw: 3, stride: 2, padding: 1, dilation: 1, groups: 1 };
+        let spec = ConvSpec {
+            co: 4,
+            ci: 2,
+            kh: 3,
+            kw: 3,
+            stride: 2,
+            padding: 1,
+            dilation: 1,
+            groups: 1,
+        };
         let input = random_tensor(&[2, 8, 8], &mut rng);
         let weights = random_tensor(&[4, 2, 3, 3], &mut rng);
         let bias = vec![0.1, -0.2, 0.3, 0.05];
@@ -435,9 +588,17 @@ mod tests {
         let packed = in_l.pack(input.data());
         let level = 2;
         let ct = encryptor.encrypt(&enc.encode(&packed, ctx.scale(), level, false), &mut rng);
-        let src = ConvDiagSource { in_l, out_l, spec, weights: &weights };
+        let src = ConvDiagSource {
+            in_l,
+            out_l,
+            spec,
+            weights: &weights,
+        };
         let bias_blocks = BiasValues::conv(&out_l, &bias, slots);
-        let fhe_ctx = FheLinearContext { eval: &eval, enc: &enc };
+        let fhe_ctx = FheLinearContext {
+            eval: &eval,
+            enc: &enc,
+        };
         let out = exec_fhe(&fhe_ctx, &plan, &src, Some(&bias_blocks), &[ct]);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].level(), level - 1, "single-shot: exactly one level");
@@ -445,7 +606,12 @@ mod tests {
 
         let got_slots = enc.decode(&dec.decrypt(&out[0]));
         let got = out_l.unpack(&got_slots);
-        let p = Conv2dParams { stride: 2, padding: 1, dilation: 1, groups: 1 };
+        let p = Conv2dParams {
+            stride: 2,
+            padding: 1,
+            dilation: 1,
+            groups: 1,
+        };
         let expect = conv2d(&input, &weights, &bias, p);
         for (i, (a, b)) in got.iter().zip(expect.data()).enumerate() {
             assert!((a - b).abs() < 1e-2, "slot {i}: {a} vs {b}");
@@ -459,7 +625,16 @@ mod tests {
         let slots = ctx.slots();
         let mut rng = StdRng::seed_from_u64(21);
         let in_l = TensorLayout::raster(2, 8, 8);
-        let spec = ConvSpec { co: 2, ci: 2, kh: 3, kw: 3, stride: 1, padding: 1, dilation: 1, groups: 1 };
+        let spec = ConvSpec {
+            co: 2,
+            ci: 2,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            padding: 1,
+            dilation: 1,
+            groups: 1,
+        };
         let input = random_tensor(&[2, 8, 8], &mut rng);
         let weights = random_tensor(&[2, 2, 3, 3], &mut rng);
         let (plan, out_l) = conv_plan(&in_l, &spec, slots);
@@ -473,9 +648,17 @@ mod tests {
         let eval = Evaluator::new(ctx.clone(), keys);
         let packed = in_l.pack(input.data());
         let ct = encryptor.encrypt(&enc.encode(&packed, ctx.scale(), 2, false), &mut rng);
-        let src = ConvDiagSource { in_l, out_l, spec, weights: &weights };
-        let fhe_ctx = FheLinearContext { eval: &eval, enc: &enc };
-        let hoisted = exec_fhe(&fhe_ctx, &plan, &src, None, &[ct.clone()]);
+        let src = ConvDiagSource {
+            in_l,
+            out_l,
+            spec,
+            weights: &weights,
+        };
+        let fhe_ctx = FheLinearContext {
+            eval: &eval,
+            enc: &enc,
+        };
+        let hoisted = exec_fhe(&fhe_ctx, &plan, &src, None, std::slice::from_ref(&ct));
         let unhoisted = exec_fhe_unhoisted(&fhe_ctx, &plan, &src, &[ct]);
         let a = enc.decode(&dec.decrypt(&hoisted[0]));
         let b = enc.decode(&dec.decrypt(&unhoisted[0]));
@@ -506,7 +689,10 @@ mod tests {
         let packed = in_l.pack(&input);
         let ct = encryptor.encrypt(&enc.encode(&packed, ctx.scale(), 1, false), &mut rng);
         let src = DenseDiagSource::new(w.clone(), &in_l);
-        let fhe_ctx = FheLinearContext { eval: &eval, enc: &enc };
+        let fhe_ctx = FheLinearContext {
+            eval: &eval,
+            enc: &enc,
+        };
         let out = exec_fhe(&fhe_ctx, &plan, &src, None, &[ct]);
         let got = enc.decode(&dec.decrypt(&out[0]));
         let expect = linear(&input, &w, &[]);
@@ -530,12 +716,29 @@ mod parallel_tests {
     fn parallel_blocks_match_sequential() {
         let mut rng = StdRng::seed_from_u64(77);
         let in_l = TensorLayout::raster(8, 8, 8);
-        let spec = ConvSpec { co: 8, ci: 8, kh: 3, kw: 3, stride: 1, padding: 1, dilation: 1, groups: 1 };
+        let spec = ConvSpec {
+            co: 8,
+            ci: 8,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            padding: 1,
+            dilation: 1,
+            groups: 1,
+        };
         let slots = 128; // 4 in-blocks, 4 out-blocks
         let (plan, out_l) = conv_plan(&in_l, &spec, slots);
         assert!(plan.out_blocks > 1, "test needs multiple output blocks");
-        let weights = Tensor::from_vec(&[8, 8, 3, 3], (0..576).map(|_| rng.gen_range(-1.0..1.0)).collect());
-        let src = ConvDiagSource { in_l, out_l, spec, weights: &weights };
+        let weights = Tensor::from_vec(
+            &[8, 8, 3, 3],
+            (0..576).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        );
+        let src = ConvDiagSource {
+            in_l,
+            out_l,
+            spec,
+            weights: &weights,
+        };
         let packed = in_l.pack(&(0..512).map(|i| (i % 17) as f64 * 0.1).collect::<Vec<_>>());
         let mut blocks = vec![vec![0.0; slots]; plan.in_blocks];
         for (i, &v) in packed.iter().enumerate() {

@@ -98,7 +98,12 @@ impl TensorLayout {
     /// non-strided convolutions maintain this gap, while strided
     /// convolutions increase it by a factor of s").
     pub fn after_conv(&self, c_out: usize, h_out: usize, w_out: usize, stride: usize) -> Self {
-        Self { c: c_out, h: h_out, w: w_out, t: self.t * stride }
+        Self {
+            c: c_out,
+            h: h_out,
+            w: w_out,
+            t: self.t * stride,
+        }
     }
 
     /// Number of ciphertexts needed for this layout at `slots` slots each.
@@ -123,7 +128,12 @@ mod tests {
     #[test]
     fn multiplexed_layout_interleaves_channels() {
         // 4 channels of a 2×2 image with t = 2: all in one 4×4 base grid.
-        let l = TensorLayout { c: 4, h: 2, w: 2, t: 2 };
+        let l = TensorLayout {
+            c: 4,
+            h: 2,
+            w: 2,
+            t: 2,
+        };
         assert_eq!(l.total_slots(), 16);
         assert_eq!(l.channel_groups(), 1);
         // channel 0 at (0,0) → grid (0,0); channel 1 → grid (0,1);
@@ -154,7 +164,11 @@ mod tests {
         let input = TensorLayout::raster(16, 32, 32);
         let out = input.after_conv(32, 16, 16, 2);
         assert_eq!(out.t, 2);
-        assert_eq!(out.h_full(), 32, "base grid is preserved by same-style stride-2");
+        assert_eq!(
+            out.h_full(),
+            32,
+            "base grid is preserved by same-style stride-2"
+        );
         // 32 channels, t²=4 per cell → 8 groups.
         assert_eq!(out.channel_groups(), 8);
     }

@@ -133,7 +133,14 @@ impl PlanBuilder {
     /// Records a run of `count` matrix entries starting at `(row, row+delta)`
     /// advancing by `step` slots per entry, splitting at ciphertext-block
     /// boundaries.
-    pub fn add_segment(&mut self, slots: usize, mut row: usize, delta: i64, step: usize, mut count: usize) {
+    pub fn add_segment(
+        &mut self,
+        slots: usize,
+        mut row: usize,
+        delta: i64,
+        step: usize,
+        mut count: usize,
+    ) {
         while count > 0 {
             let col = (row as i64 + delta) as usize;
             let i_blk = (row / slots) as u32;
@@ -170,7 +177,14 @@ impl PlanBuilder {
             n1 *= 2;
         }
         let (_, counts, n1) = best.expect("slots must be >= 1");
-        LinearPlan { slots, in_blocks, out_blocks, n1, blocks, counts }
+        LinearPlan {
+            slots,
+            in_blocks,
+            out_blocks,
+            n1,
+            blocks,
+            counts,
+        }
     }
 
     fn counts_for(
@@ -197,20 +211,38 @@ impl PlanBuilder {
         }
         let hoists = babies.len();
         let baby_rots: usize = babies.values().map(|s| s.len()).sum();
-        let giant_rots: usize = giants.values().map(|s| s.iter().filter(|&&j| j != 0).count()).sum();
+        let giant_rots: usize = giants
+            .values()
+            .map(|s| s.iter().filter(|&&j| j != 0).count())
+            .sum();
         let moddowns: usize = giants.values().map(|s| s.len()).sum();
-        PlanCounts { hoists, baby_rots, giant_rots, pmults, moddowns, rescales: out_blocks }
+        PlanCounts {
+            hoists,
+            baby_rots,
+            giant_rots,
+            pmults,
+            moddowns,
+            rescales: out_blocks,
+        }
     }
 }
 
 /// Iterates the Toeplitz entries of a convolution as row segments:
 /// `f(co, ci, ky, kx, row, delta, count)` where the segment's entries are
 /// `(row + m·t_out, row + m·t_out + delta)` for `m < count`.
-pub fn for_each_conv_segment<F>(in_l: &TensorLayout, out_l: &TensorLayout, spec: &ConvSpec, mut f: F)
-where
+pub fn for_each_conv_segment<F>(
+    in_l: &TensorLayout,
+    out_l: &TensorLayout,
+    spec: &ConvSpec,
+    mut f: F,
+) where
     F: FnMut(usize, usize, usize, usize, usize, i64, usize),
 {
-    assert_eq!(out_l.t, in_l.t * spec.stride, "output gap must be stride × input gap");
+    assert_eq!(
+        out_l.t,
+        in_l.t * spec.stride,
+        "output gap must be stride × input gap"
+    );
     assert_eq!(in_l.c, spec.ci);
     assert_eq!(out_l.c, spec.co);
     let (ho, wo) = (out_l.h, out_l.w);
@@ -230,7 +262,11 @@ where
                     for kx in 0..spec.kw {
                         // valid ox range (independent of oy)
                         let off_x = (kx * d) as isize - p;
-                        let ox_lo = if off_x < 0 { ((-off_x) as usize).div_ceil(s) } else { 0 };
+                        let ox_lo = if off_x < 0 {
+                            ((-off_x) as usize).div_ceil(s)
+                        } else {
+                            0
+                        };
                         let hi_x = wi as isize - 1 - off_x;
                         if hi_x < 0 {
                             continue;
@@ -267,10 +303,19 @@ pub fn conv_plan(in_l: &TensorLayout, spec: &ConvSpec, slots: usize) -> (LinearP
     let (ho, wo) = spec.out_hw(in_l.h, in_l.w);
     let out_l = in_l.after_conv(spec.co, ho, wo, spec.stride);
     let mut b = PlanBuilder::default();
-    for_each_conv_segment(in_l, &out_l, spec, |_co, _ci, _ky, _kx, row, delta, count| {
-        b.add_segment(slots, row, delta, out_l.t, count);
-    });
-    let plan = b.finish(slots, in_l.num_ciphertexts(slots), out_l.num_ciphertexts(slots));
+    for_each_conv_segment(
+        in_l,
+        &out_l,
+        spec,
+        |_co, _ci, _ky, _kx, row, delta, count| {
+            b.add_segment(slots, row, delta, out_l.t, count);
+        },
+    );
+    let plan = b.finish(
+        slots,
+        in_l.num_ciphertexts(slots),
+        out_l.num_ciphertexts(slots),
+    );
     (plan, out_l)
 }
 
@@ -288,7 +333,7 @@ pub fn dense_plan(in_l: &TensorLayout, n_out: usize, slots: usize) -> (LinearPla
         for j_blk in 0..in_blocks {
             let cb = slots.min(cols - j_blk * slots);
             let set = b.blocks.entry((i_blk as u32, j_blk as u32)).or_default();
-            if rb + cb - 1 >= slots {
+            if rb + cb > slots {
                 for k in 0..slots {
                     set.insert(k as u32);
                 }
@@ -314,7 +359,16 @@ mod tests {
     fn siso_same() -> (TensorLayout, ConvSpec) {
         (
             TensorLayout::raster(1, 8, 8),
-            ConvSpec { co: 1, ci: 1, kh: 3, kw: 3, stride: 1, padding: 1, dilation: 1, groups: 1 },
+            ConvSpec {
+                co: 1,
+                ci: 1,
+                kh: 3,
+                kw: 3,
+                stride: 1,
+                padding: 1,
+                dilation: 1,
+                groups: 1,
+            },
         )
     }
 
@@ -338,7 +392,10 @@ mod tests {
         let (plan, _) = dense_plan(&TensorLayout::raster(n, 1, 1), n, n);
         assert!(plan.n1 > 1);
         let rots = plan.counts.rotations();
-        assert!(rots <= 2 * ((n as f64).sqrt() as usize) + 2, "rots = {rots}");
+        assert!(
+            rots <= 2 * ((n as f64).sqrt() as usize) + 2,
+            "rots = {rots}"
+        );
         assert!(rots < n - 1);
         assert_eq!(plan.counts.pmults, n);
     }
@@ -348,7 +405,16 @@ mod tests {
         // Stride-2 single-shot multiplexed conv: diagonal count stays
         // O(f·c) — NOT O(c·h·w) as the naive Toeplitz would (Figure 5).
         let l = TensorLayout::raster(4, 8, 8);
-        let spec = ConvSpec { co: 8, ci: 4, kh: 3, kw: 3, stride: 2, padding: 1, dilation: 1, groups: 1 };
+        let spec = ConvSpec {
+            co: 8,
+            ci: 4,
+            kh: 3,
+            kw: 3,
+            stride: 2,
+            padding: 1,
+            dilation: 1,
+            groups: 1,
+        };
         let (plan, out_l) = conv_plan(&l, &spec, 512);
         assert_eq!(out_l.t, 2);
         assert_eq!(out_l.h, 4);
@@ -362,18 +428,37 @@ mod tests {
     fn multi_block_plan_covers_all_blocks() {
         // Force multiple ciphertexts: 4×8×8 = 256 slots with 128-slot cts.
         let l = TensorLayout::raster(4, 8, 8);
-        let spec = ConvSpec { co: 4, ci: 4, kh: 3, kw: 3, stride: 1, padding: 1, dilation: 1, groups: 1 };
+        let spec = ConvSpec {
+            co: 4,
+            ci: 4,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            padding: 1,
+            dilation: 1,
+            groups: 1,
+        };
         let (plan, _) = conv_plan(&l, &spec, 128);
         assert_eq!(plan.in_blocks, 2);
         assert_eq!(plan.out_blocks, 2);
-        let i_blocks: std::collections::BTreeSet<u32> = plan.blocks.keys().map(|&(i, _)| i).collect();
+        let i_blocks: std::collections::BTreeSet<u32> =
+            plan.blocks.keys().map(|&(i, _)| i).collect();
         assert_eq!(i_blocks.len(), 2);
     }
 
     #[test]
     fn grouped_conv_has_fewer_diagonals() {
         let l = TensorLayout::raster(8, 8, 8);
-        let full = ConvSpec { co: 8, ci: 8, kh: 3, kw: 3, stride: 1, padding: 1, dilation: 1, groups: 1 };
+        let full = ConvSpec {
+            co: 8,
+            ci: 8,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            padding: 1,
+            dilation: 1,
+            groups: 1,
+        };
         let depthwise = ConvSpec { groups: 8, ..full };
         let (plan_full, _) = conv_plan(&l, &full, 1024);
         let (plan_dw, _) = conv_plan(&l, &depthwise, 1024);

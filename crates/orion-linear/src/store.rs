@@ -25,7 +25,14 @@ pub fn plan_to_bytes(plan: &LinearPlan) -> Bytes {
     b.put_u32_le(plan.out_blocks as u32);
     b.put_u32_le(plan.n1 as u32);
     let c = &plan.counts;
-    for v in [c.hoists, c.baby_rots, c.giant_rots, c.pmults, c.moddowns, c.rescales] {
+    for v in [
+        c.hoists,
+        c.baby_rots,
+        c.giant_rots,
+        c.pmults,
+        c.moddowns,
+        c.rescales,
+    ] {
         b.put_u64_le(v as u64);
     }
     b.put_u32_le(plan.blocks.len() as u32);
@@ -79,7 +86,14 @@ pub fn plan_from_bytes(mut data: Bytes) -> Option<LinearPlan> {
         let diags: Vec<u32> = (0..len).map(|_| data.get_u32_le()).collect();
         blocks.insert((i, j), diags);
     }
-    Some(LinearPlan { slots, in_blocks, out_blocks, n1, blocks, counts })
+    Some(LinearPlan {
+        slots,
+        in_blocks,
+        out_blocks,
+        n1,
+        blocks,
+        counts,
+    })
 }
 
 /// Writes a plan to a file.
@@ -140,7 +154,12 @@ impl DiagStore {
     }
 
     /// Loads one block's diagonals.
-    pub fn load_block(&self, layer: &str, i: u32, j: u32) -> std::io::Result<std::collections::HashMap<u32, Vec<f64>>> {
+    pub fn load_block(
+        &self,
+        layer: &str,
+        i: u32,
+        j: u32,
+    ) -> std::io::Result<std::collections::HashMap<u32, Vec<f64>>> {
         let buf = std::fs::read(self.block_path(layer, i, j))?;
         let mut data = Bytes::from(buf);
         let n = data.get_u32_le() as usize;
@@ -163,7 +182,16 @@ mod tests {
 
     fn sample_plan() -> LinearPlan {
         let in_l = TensorLayout::raster(2, 8, 8);
-        let spec = ConvSpec { co: 4, ci: 2, kh: 3, kw: 3, stride: 2, padding: 1, dilation: 1, groups: 1 };
+        let spec = ConvSpec {
+            co: 4,
+            ci: 2,
+            kh: 3,
+            kw: 3,
+            stride: 2,
+            padding: 1,
+            dilation: 1,
+            groups: 1,
+        };
         conv_plan(&in_l, &spec, 128).0
     }
 

@@ -39,36 +39,42 @@ impl DiagSource for ConvDiagSource<'_> {
         let (kh, kw) = (self.spec.kh, self.spec.kw);
         let mut out: HashMap<u32, Vec<f64>> = HashMap::new();
         let step = self.out_l.t;
-        for_each_conv_segment(&self.in_l, &self.out_l, &self.spec, |co, ci, ky, kx, row0, delta, count| {
-            let w = self.weights.data()[((co * ci_per_g + (ci % ci_per_g)) * kh + ky) * kw + kx];
-            if w == 0.0 {
-                // zero weights still occupy plan diagonals (structure is
-                // weight-independent); write nothing.
-                return;
-            }
-            let mut row = row0;
-            let mut remaining = count;
-            while remaining > 0 {
-                let col = (row as i64 + delta) as usize;
-                let r0 = row % slots;
-                let c0 = col % slots;
-                let sr = (slots - 1 - r0) / step + 1;
-                let sc = (slots - 1 - c0) / step + 1;
-                let take = remaining.min(sr).min(sc);
-                if (row / slots) as u32 == i_blk && (col / slots) as u32 == j_blk {
-                    let k = ((c0 + slots - r0) % slots) as u32;
-                    let j = (k as usize) / n1;
-                    let pre_rot = (j * n1) % slots;
-                    let vec = out.entry(k).or_insert_with(|| vec![0.0; slots]);
-                    for m in 0..take {
-                        let r = r0 + m * step;
-                        vec[(r + pre_rot) % slots] += w;
-                    }
+        for_each_conv_segment(
+            &self.in_l,
+            &self.out_l,
+            &self.spec,
+            |co, ci, ky, kx, row0, delta, count| {
+                let w =
+                    self.weights.data()[((co * ci_per_g + (ci % ci_per_g)) * kh + ky) * kw + kx];
+                if w == 0.0 {
+                    // zero weights still occupy plan diagonals (structure is
+                    // weight-independent); write nothing.
+                    return;
                 }
-                row += take * step;
-                remaining -= take;
-            }
-        });
+                let mut row = row0;
+                let mut remaining = count;
+                while remaining > 0 {
+                    let col = (row as i64 + delta) as usize;
+                    let r0 = row % slots;
+                    let c0 = col % slots;
+                    let sr = (slots - 1 - r0) / step + 1;
+                    let sc = (slots - 1 - c0) / step + 1;
+                    let take = remaining.min(sr).min(sc);
+                    if (row / slots) as u32 == i_blk && (col / slots) as u32 == j_blk {
+                        let k = ((c0 + slots - r0) % slots) as u32;
+                        let j = (k as usize) / n1;
+                        let pre_rot = (j * n1) % slots;
+                        let vec = out.entry(k).or_insert_with(|| vec![0.0; slots]);
+                        for m in 0..take {
+                            let r = r0 + m * step;
+                            vec[(r + pre_rot) % slots] += w;
+                        }
+                    }
+                    row += take * step;
+                    remaining -= take;
+                }
+            },
+        );
         out
     }
 }
@@ -99,7 +105,11 @@ impl DenseDiagSource {
                 }
             }
         }
-        Self { weights, col_to_feature, n_out }
+        Self {
+            weights,
+            col_to_feature,
+            n_out,
+        }
     }
 }
 
@@ -185,10 +195,24 @@ mod tests {
     #[test]
     fn conv_diags_match_plan_structure() {
         let in_l = TensorLayout::raster(2, 6, 6);
-        let spec = ConvSpec { co: 2, ci: 2, kh: 3, kw: 3, stride: 1, padding: 1, dilation: 1, groups: 1 };
+        let spec = ConvSpec {
+            co: 2,
+            ci: 2,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            padding: 1,
+            dilation: 1,
+            groups: 1,
+        };
         let (plan, out_l) = conv_plan(&in_l, &spec, 128);
         let w = Tensor::from_vec(&[2, 2, 3, 3], (1..=36).map(|x| x as f64 * 0.1).collect());
-        let src = ConvDiagSource { in_l, out_l, spec, weights: &w };
+        let src = ConvDiagSource {
+            in_l,
+            out_l,
+            spec,
+            weights: &w,
+        };
         for (&(i, j), diags) in &plan.blocks {
             let vals = src.block_diags(&plan, i, j);
             // with all-nonzero weights, every plan diagonal has values
@@ -202,7 +226,12 @@ mod tests {
 
     #[test]
     fn bias_lands_on_layout_slots() {
-        let out_l = TensorLayout { c: 4, h: 2, w: 2, t: 2 };
+        let out_l = TensorLayout {
+            c: 4,
+            h: 2,
+            w: 2,
+            t: 2,
+        };
         let b = BiasValues::conv(&out_l, &[1.0, 2.0, 3.0, 4.0], 16);
         assert_eq!(b.len(), 1);
         assert_eq!(b[0][out_l.slot_of(2, 1, 1)], 3.0);

@@ -114,7 +114,12 @@ impl SpecialFft {
         let ksi: Vec<Complex> = (0..=m)
             .map(|k| Complex::cis(2.0 * std::f64::consts::PI * k as f64 / m as f64))
             .collect();
-        Self { n, m, rot_group, ksi }
+        Self {
+            n,
+            m,
+            rot_group,
+            ksi,
+        }
     }
 
     /// Forward transform (used in *decoding*: polynomial coefficients →
@@ -205,7 +210,9 @@ mod tests {
     fn transform_is_linear() {
         let n = 32;
         let fft = SpecialFft::new(n);
-        let a: Vec<Complex> = (0..n).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+        let a: Vec<Complex> = (0..n)
+            .map(|i| Complex::new(i as f64, -(i as f64)))
+            .collect();
         let b: Vec<Complex> = (0..n).map(|i| Complex::new(1.0, (i % 3) as f64)).collect();
         let sum: Vec<Complex> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
         let mut fa = a.clone();
@@ -225,7 +232,9 @@ mod tests {
         // transform is again (approximately) real.
         let n = 64;
         let fft = SpecialFft::new(n);
-        let mut v: Vec<Complex> = (0..n).map(|i| Complex::new((i * i % 13) as f64, 0.0)).collect();
+        let mut v: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i * i % 13) as f64, 0.0))
+            .collect();
         fft.inverse(&mut v);
         fft.forward(&mut v);
         for c in &v {

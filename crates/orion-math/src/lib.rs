@@ -10,7 +10,9 @@
 //! * [`fft`] — complex FFT plus the CKKS *special* FFT used by the
 //!   canonical-embedding encoder,
 //! * [`rns`] — Residue Number System helpers (CRT reconstruction for tests,
-//!   modulus-chain bookkeeping).
+//!   modulus-chain bookkeeping),
+//! * [`parallel`] — the shared limb-parallel engine: gated rayon fan-out
+//!   for per-limb NTT batches and pointwise RNS loops.
 //!
 //! Everything here is deterministic; NTT tables are precomputed once per
 //! `(N, q)` pair and shared.
@@ -18,6 +20,7 @@
 pub mod fft;
 pub mod modular;
 pub mod ntt;
+pub mod parallel;
 pub mod primes;
 pub mod rns;
 

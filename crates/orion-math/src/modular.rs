@@ -84,7 +84,7 @@ pub fn pow_mod(mut a: u64, mut e: u64, q: u64) -> u64 {
 /// Computes the multiplicative inverse of `a` modulo prime `q` via Fermat's
 /// little theorem. Panics if `a == 0`.
 pub fn inv_mod(a: u64, q: u64) -> u64 {
-    assert!(a % q != 0, "zero has no modular inverse");
+    assert!(!a.is_multiple_of(q), "zero has no modular inverse");
     pow_mod(a, q - 2, q)
 }
 
@@ -112,13 +112,13 @@ pub fn is_prime(n: u64) -> bool {
         return false;
     }
     for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return n == p;
         }
     }
     let mut d = n - 1;
     let mut s = 0u32;
-    while d % 2 == 0 {
+    while d.is_multiple_of(2) {
         d /= 2;
         s += 1;
     }

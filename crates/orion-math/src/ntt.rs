@@ -59,7 +59,10 @@ impl NttTable {
             inv_psi_brv[i] = inv_psi_pows[bit_reverse(i, bits)];
         }
         let psi_brv_shoup = psi_brv.iter().map(|&x| shoup_precompute(x, q)).collect();
-        let inv_psi_brv_shoup = inv_psi_brv.iter().map(|&x| shoup_precompute(x, q)).collect();
+        let inv_psi_brv_shoup = inv_psi_brv
+            .iter()
+            .map(|&x| shoup_precompute(x, q))
+            .collect();
         let n_inv = inv_mod(n as u64 % q, q);
         Self {
             n,
@@ -147,7 +150,11 @@ impl NttTable {
         x[1] = 1; // the monomial X
         self.forward(&mut x);
         x.iter()
-            .map(|v| *val_to_exp.get(v).expect("NTT output must be a power of psi"))
+            .map(|v| {
+                *val_to_exp
+                    .get(v)
+                    .expect("NTT output must be a power of psi")
+            })
             .collect()
     }
 }
@@ -172,7 +179,9 @@ mod tests {
                 }
             }
         }
-        c.into_iter().map(|x| crate::modular::reduce_i128(x, q)).collect()
+        c.into_iter()
+            .map(|x| crate::modular::reduce_i128(x, q))
+            .collect()
     }
 
     #[test]
@@ -200,7 +209,11 @@ mod tests {
         let mut eb = b.clone();
         t.forward(&mut ea);
         t.forward(&mut eb);
-        let mut ec: Vec<u64> = ea.iter().zip(&eb).map(|(&x, &y)| mul_mod(x, y, q)).collect();
+        let mut ec: Vec<u64> = ea
+            .iter()
+            .zip(&eb)
+            .map(|(&x, &y)| mul_mod(x, y, q))
+            .collect();
         t.inverse(&mut ec);
         assert_eq!(ec, expect);
     }

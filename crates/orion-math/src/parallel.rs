@@ -1,0 +1,147 @@
+//! The shared limb-parallel engine.
+//!
+//! RNS-CKKS spends almost all of its time in loops that are independent
+//! *per limb* (one residue vector per chain modulus): NTTs, pointwise
+//! modular arithmetic, key-switch digit decomposition. This module is the
+//! single place that decides when such a loop is worth fanning out onto
+//! the shared rayon pool and runs it there, so callers (`orion-ckks`'s
+//! `RnsPoly`, hoisting, the linear executors) never spawn threads
+//! themselves.
+//!
+//! The gate matters: at the tiny test ring (N = 2¹⁰, ≤ 5 limbs) dispatch
+//! overhead would dominate, so small workloads stay sequential and the
+//! unit-test suite is unaffected. Demo rings (N ≥ 2¹²) and paper-scale
+//! parameters clear the threshold and use every core.
+
+use crate::ntt::NttTable;
+use rayon::prelude::*;
+
+/// Minimum total element count (`degree × limbs`) before a pointwise
+/// limb loop is fanned out.
+pub const PAR_POINTWISE_MIN: usize = 1 << 15;
+
+/// Minimum ring degree before per-limb NTT batches are fanned out (an NTT
+/// is `O(N log N)`, so it clears overhead at a smaller element count).
+pub const PAR_NTT_MIN_DEGREE: usize = 1 << 12;
+
+/// Whether a pointwise loop over `limbs` vectors of `degree` elements
+/// should run in parallel.
+pub fn pointwise_parallel(degree: usize, limbs: usize) -> bool {
+    limbs >= 2 && degree * limbs >= PAR_POINTWISE_MIN && rayon::current_num_threads() > 1
+}
+
+/// Whether a batch of `limbs` NTTs of `degree` points should run in
+/// parallel.
+pub fn ntt_parallel(degree: usize, limbs: usize) -> bool {
+    limbs >= 2 && degree >= PAR_NTT_MIN_DEGREE && rayon::current_num_threads() > 1
+}
+
+/// Runs `f(index, item)` over every item, in parallel when `parallel`.
+pub fn for_each_mut<T, F>(items: &mut [T], parallel: bool, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    if parallel {
+        items.par_iter_mut().enumerate().for_each(|(i, x)| f(i, x));
+    } else {
+        for (i, x) in items.iter_mut().enumerate() {
+            f(i, x);
+        }
+    }
+}
+
+/// Builds a `Vec` from `f(0..n)`, in parallel when `parallel`. Order is
+/// preserved either way.
+pub fn map_indexed<T, F>(n: usize, parallel: bool, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if parallel {
+        (0..n).into_par_iter().map(f).collect()
+    } else {
+        (0..n).map(f).collect()
+    }
+}
+
+/// Forward-NTTs every `(table, limb)` pair, fanning out across limbs when
+/// the ring is large enough.
+pub fn ntt_forward_batch(pairs: Vec<(&NttTable, &mut [u64])>) {
+    let degree = pairs.first().map(|(t, _)| t.n).unwrap_or(0);
+    if ntt_parallel(degree, pairs.len()) {
+        pairs.into_par_iter().for_each(|(t, a)| t.forward(a));
+    } else {
+        for (t, a) in pairs {
+            t.forward(a);
+        }
+    }
+}
+
+/// Inverse-NTTs every `(table, limb)` pair (see [`ntt_forward_batch`]).
+pub fn ntt_inverse_batch(pairs: Vec<(&NttTable, &mut [u64])>) {
+    let degree = pairs.first().map(|(t, _)| t.n).unwrap_or(0);
+    if ntt_parallel(degree, pairs.len()) {
+        pairs.into_par_iter().for_each(|(t, a)| t.inverse(a));
+    } else {
+        for (t, a) in pairs {
+            t.inverse(a);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primes::generate_ntt_primes;
+
+    #[test]
+    fn gates_respect_thresholds() {
+        // tiny test ring stays sequential
+        assert!(!pointwise_parallel(1 << 10, 5));
+        assert!(!ntt_parallel(1 << 10, 5));
+        // single limb never parallelizes
+        assert!(!ntt_parallel(1 << 13, 1));
+    }
+
+    #[test]
+    fn ntt_batch_matches_sequential() {
+        let n = 1 << 12; // above PAR_NTT_MIN_DEGREE → parallel path
+        let primes = generate_ntt_primes(n, 45, 3, &[]);
+        let tables: Vec<NttTable> = primes.iter().map(|&q| NttTable::new(n, q)).collect();
+        let mk = |seed: u64| -> Vec<Vec<u64>> {
+            tables
+                .iter()
+                .map(|t| (0..n as u64).map(|i| (i * i + seed) % t.q).collect())
+                .collect()
+        };
+        let mut par = mk(7);
+        let mut seq = mk(7);
+        ntt_forward_batch(
+            tables
+                .iter()
+                .zip(par.iter_mut().map(|v| &mut v[..]))
+                .collect(),
+        );
+        for (t, a) in tables.iter().zip(seq.iter_mut()) {
+            t.forward(a);
+        }
+        assert_eq!(par, seq);
+        ntt_inverse_batch(
+            tables
+                .iter()
+                .zip(par.iter_mut().map(|v| &mut v[..]))
+                .collect(),
+        );
+        for (i, limb) in par.iter().enumerate() {
+            let orig: Vec<u64> = (0..n as u64).map(|k| (k * k + 7) % tables[i].q).collect();
+            assert_eq!(*limb, orig);
+        }
+    }
+
+    #[test]
+    fn map_indexed_preserves_order() {
+        let v = map_indexed(100, true, |i| i * 3);
+        assert_eq!(v, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+}

@@ -17,7 +17,10 @@ use crate::modular::is_prime;
 /// comfortably) or if not enough primes exist in range (never happens for
 /// realistic `n`, `bits`).
 pub fn generate_ntt_primes(n: usize, bits: u32, count: usize, exclude: &[u64]) -> Vec<u64> {
-    assert!(bits >= 20 && bits < 62, "prime size out of supported range");
+    assert!(
+        (20..62).contains(&bits),
+        "prime size out of supported range"
+    );
     assert!(n.is_power_of_two());
     let step = 2 * n as u64;
     let target = 1u64 << bits;
@@ -62,9 +65,9 @@ pub fn primitive_root(q: u64) -> u64 {
     let mut m = q - 1;
     let mut d = 2u64;
     while d * d <= m {
-        if m % d == 0 {
+        if m.is_multiple_of(d) {
             factors.push(d);
-            while m % d == 0 {
+            while m.is_multiple_of(d) {
                 m /= d;
             }
         }

@@ -71,7 +71,9 @@ pub fn crt_reconstruct_centered(limbs: &[u64], moduli: &[u64]) -> i128 {
     assert_eq!(limbs.len(), moduli.len());
     let mut q_prod: i128 = 1;
     for &m in moduli {
-        q_prod = q_prod.checked_mul(m as i128).expect("CRT overflow: too many limbs");
+        q_prod = q_prod
+            .checked_mul(m as i128)
+            .expect("CRT overflow: too many limbs");
     }
     let mut acc: i128 = 0;
     for (i, (&r, &qi)) in limbs.iter().zip(moduli).enumerate() {
@@ -100,7 +102,10 @@ mod tests {
     fn crt_roundtrip_small() {
         let moduli = [97u64, 101, 103];
         for x in [-5000i128, -1, 0, 1, 424242, -300000] {
-            let limbs: Vec<u64> = moduli.iter().map(|&q| x.rem_euclid(q as i128) as u64).collect();
+            let limbs: Vec<u64> = moduli
+                .iter()
+                .map(|&q| x.rem_euclid(q as i128) as u64)
+                .collect();
             assert_eq!(crt_reconstruct_centered(&limbs, &moduli), x);
         }
     }

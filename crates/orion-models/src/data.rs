@@ -62,7 +62,11 @@ pub fn synthetic_digits(h: usize, w: usize, classes: usize, count: usize, seed: 
         images.push(Tensor::from_vec(&[1, h, w], data));
         labels.push(cls);
     }
-    Digits { images, labels, classes }
+    Digits {
+        images,
+        labels,
+        classes,
+    }
 }
 
 #[cfg(test)]
@@ -82,7 +86,7 @@ mod tests {
     #[test]
     fn digits_are_balanced() {
         let d = synthetic_digits(8, 8, 4, 40, 1);
-        let mut counts = vec![0usize; 4];
+        let mut counts = [0usize; 4];
         for &l in &d.labels {
             counts[l] += 1;
         }

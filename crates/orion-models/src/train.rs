@@ -26,7 +26,12 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { hidden: 32, epochs: 60, lr: 0.02, seed: 7 }
+        Self {
+            hidden: 32,
+            epochs: 60,
+            lr: 0.02,
+            seed: 7,
+        }
     }
 }
 
@@ -43,7 +48,9 @@ impl Mat {
         Self {
             rows,
             cols,
-            w: (0..rows * cols).map(|_| rng.gen_range(-bound..bound)).collect(),
+            w: (0..rows * cols)
+                .map(|_| rng.gen_range(-bound..bound))
+                .collect(),
             b: vec![0.0; rows],
         }
     }
@@ -176,7 +183,13 @@ mod tests {
     #[test]
     fn mlp_learns_synthetic_digits() {
         let data = synthetic_digits(8, 8, 4, 80, 11);
-        let (net, acc) = train_mlp(&data, TrainConfig { epochs: 40, ..Default::default() });
+        let (net, acc) = train_mlp(
+            &data,
+            TrainConfig {
+                epochs: 40,
+                ..Default::default()
+            },
+        );
         assert!(acc > 0.9, "training failed: acc = {acc}");
         assert_eq!(net.shape(net.output_node()), (4, 1, 1));
     }
@@ -184,7 +197,13 @@ mod tests {
     #[test]
     fn untrained_network_is_near_chance() {
         let data = synthetic_digits(8, 8, 4, 80, 12);
-        let (_, acc) = train_mlp(&data, TrainConfig { epochs: 0, ..Default::default() });
+        let (_, acc) = train_mlp(
+            &data,
+            TrainConfig {
+                epochs: 0,
+                ..Default::default()
+            },
+        );
         assert!(acc < 0.6, "untrained accuracy suspiciously high: {acc}");
     }
 }

@@ -74,7 +74,8 @@ pub fn build<R: Rng>(name: &str, act: Act, rng: &mut R) -> (Network, ModelInfo) 
     let (c, h, w) = net.shape(net.input());
     let dataset = match name {
         "mlp" | "lola" | "lenet5" => "MNIST",
-        "alexnet" | "vgg16" | "resnet20" | "resnet32" | "resnet44" | "resnet56" | "resnet110" | "resnet1202" => "CIFAR-10",
+        "alexnet" | "vgg16" | "resnet20" | "resnet32" | "resnet44" | "resnet56" | "resnet110"
+        | "resnet1202" => "CIFAR-10",
         "resnet18" | "mobilenet" => "Tiny ImageNet",
         "resnet34" | "resnet50" => "ImageNet",
         _ => "PASCAL-VOC",
@@ -167,7 +168,13 @@ pub fn alexnet<R: Rng>(act: Act, rng: &mut R) -> Network {
 
 /// CIFAR-10 VGG-16 (~14.7 M parameters).
 pub fn vgg16<R: Rng>(act: Act, rng: &mut R) -> Network {
-    let cfg: &[&[usize]] = &[&[64, 64], &[128, 128], &[256, 256, 256], &[512, 512, 512], &[512, 512, 512]];
+    let cfg: &[&[usize]] = &[
+        &[64, 64],
+        &[128, 128],
+        &[256, 256, 256],
+        &[512, 512, 512],
+        &[512, 512, 512],
+    ];
     let mut net = Network::new(3, 32, 32);
     let mut cur = net.input();
     let mut idx = 0;
@@ -249,10 +256,21 @@ pub fn resnet_cifar<R: Rng>(n: usize, act: Act, rng: &mut R) -> Network {
     let mut cur = net.conv2d("conv1", x, 16, 3, 1, 1, 1, rng);
     cur = net.batch_norm2d("bn1", cur);
     cur = act.apply(&mut net, "act1", cur, rng);
-    for (stage, (co, s0)) in [(16usize, 1usize), (32, 2), (64, 2)].into_iter().enumerate() {
+    for (stage, (co, s0)) in [(16usize, 1usize), (32, 2), (64, 2)]
+        .into_iter()
+        .enumerate()
+    {
         for b in 0..n {
             let stride = if b == 0 { s0 } else { 1 };
-            cur = basic_block(&mut net, &format!("layer{}.{}", stage + 1, b), cur, co, stride, act, rng);
+            cur = basic_block(
+                &mut net,
+                &format!("layer{}.{}", stage + 1, b),
+                cur,
+                co,
+                stride,
+                act,
+                rng,
+            );
         }
     }
     cur = net.global_avg_pool("gap", cur);
@@ -359,7 +377,15 @@ pub fn yolo_v1<R: Rng>(act: Act, rng: &mut R) -> Network {
     for (stage, (&n, &w)) in blocks.iter().zip(&widths).enumerate() {
         for b in 0..n {
             let stride = if b == 0 && stage > 0 { 2 } else { 1 };
-            cur = basic_block(&mut net, &format!("layer{}.{}", stage + 1, b), cur, w, stride, act, rng);
+            cur = basic_block(
+                &mut net,
+                &format!("layer{}.{}", stage + 1, b),
+                cur,
+                w,
+                stride,
+                act,
+                rng,
+            );
         }
     }
     // Detection head: two stride/size reductions to 7×7, then FCs to the
@@ -394,23 +420,51 @@ mod tests {
     fn mnist_model_sizes_match_paper() {
         // Paper Table 2: MLP 0.12M, LoLA 0.10M, LeNet 1.66M.
         assert!((params_m("mlp") - 0.12).abs() < 0.02, "{}", params_m("mlp"));
-        assert!((params_m("lola") - 0.10).abs() < 0.03, "{}", params_m("lola"));
-        assert!((params_m("lenet5") - 1.66).abs() < 0.3, "{}", params_m("lenet5"));
+        assert!(
+            (params_m("lola") - 0.10).abs() < 0.03,
+            "{}",
+            params_m("lola")
+        );
+        assert!(
+            (params_m("lenet5") - 1.66).abs() < 0.3,
+            "{}",
+            params_m("lenet5")
+        );
     }
 
     #[test]
     fn cifar_model_sizes_match_paper() {
         // AlexNet 23.3M, VGG-16 14.7M, ResNet-20 0.27M.
-        assert!((params_m("alexnet") - 23.3).abs() < 2.0, "{}", params_m("alexnet"));
-        assert!((params_m("vgg16") - 14.7).abs() < 1.0, "{}", params_m("vgg16"));
-        assert!((params_m("resnet20") - 0.27).abs() < 0.05, "{}", params_m("resnet20"));
+        assert!(
+            (params_m("alexnet") - 23.3).abs() < 2.0,
+            "{}",
+            params_m("alexnet")
+        );
+        assert!(
+            (params_m("vgg16") - 14.7).abs() < 1.0,
+            "{}",
+            params_m("vgg16")
+        );
+        assert!(
+            (params_m("resnet20") - 0.27).abs() < 0.05,
+            "{}",
+            params_m("resnet20")
+        );
     }
 
     #[test]
     fn large_model_sizes_match_paper() {
         // MobileNet 3.25M, ResNet-18 11.3M (200 classes).
-        assert!((params_m("mobilenet") - 3.25).abs() < 0.7, "{}", params_m("mobilenet"));
-        assert!((params_m("resnet18") - 11.3).abs() < 1.0, "{}", params_m("resnet18"));
+        assert!(
+            (params_m("mobilenet") - 3.25).abs() < 0.7,
+            "{}",
+            params_m("mobilenet")
+        );
+        assert!(
+            (params_m("resnet18") - 11.3).abs() < 1.0,
+            "{}",
+            params_m("resnet18")
+        );
     }
 
     #[test]
@@ -442,7 +496,9 @@ mod tests {
         let depthwise = net
             .nodes
             .iter()
-            .filter(|n| matches!(n.layer, orion_nn::layer::Layer::Conv2d { groups, .. } if groups > 1))
+            .filter(
+                |n| matches!(n.layer, orion_nn::layer::Layer::Conv2d { groups, .. } if groups > 1),
+            )
             .count();
         assert_eq!(depthwise, 13);
     }

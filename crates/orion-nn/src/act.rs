@@ -98,7 +98,10 @@ pub fn compile_activation(layer: &Layer, range: f64) -> CompiledAct {
         }
         Layer::ReLU { degrees } => {
             let sign = CompositeSign::fit(degrees, 0.02);
-            CompiledAct::Relu { range, stages: sign.stages.into_iter().map(|s| s.coeffs).collect() }
+            CompiledAct::Relu {
+                range,
+                stages: sign.stages.into_iter().map(|s| s.coeffs).collect(),
+            }
         }
         Layer::Square => CompiledAct::Square,
         other => panic!("{} is not an activation", other.kind_name()),
@@ -140,17 +143,31 @@ mod tests {
 
     #[test]
     fn relu_poly_tracks_true_relu_within_range() {
-        let act = compile_activation(&Layer::ReLU { degrees: vec![15, 15, 27] }, 8.0);
+        let act = compile_activation(
+            &Layer::ReLU {
+                degrees: vec![15, 15, 27],
+            },
+            8.0,
+        );
         for i in 0..100 {
             let x = -8.0 + 16.0 * i as f64 / 99.0;
             let tol = if x.abs() < 0.02 * 8.0 { 0.2 } else { 0.25 };
-            assert!((act.eval(x) - x.max(0.0)).abs() < tol, "x={x}: {}", act.eval(x));
+            assert!(
+                (act.eval(x) - x.max(0.0)).abs() < tol,
+                "x={x}: {}",
+                act.eval(x)
+            );
         }
     }
 
     #[test]
     fn depths_follow_structure() {
-        let relu = compile_activation(&Layer::ReLU { degrees: vec![15, 15, 27] }, 1.0);
+        let relu = compile_activation(
+            &Layer::ReLU {
+                degrees: vec![15, 15, 27],
+            },
+            1.0,
+        );
         assert_eq!(relu.step_depths(), vec![1, 5, 5, 6, 1]);
         assert_eq!(relu.total_depth(), 18);
         let silu = compile_activation(&Layer::SiLU { degree: 127 }, 1.0);

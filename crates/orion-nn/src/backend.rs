@@ -1,0 +1,534 @@
+//! The unified execution layer: one interpreter, pluggable engines.
+//!
+//! A compiled Orion program (`compile::Step` list + placement policy) used
+//! to be interpreted three separate times — once for the cleartext trace
+//! model, once for real CKKS, and once for the plain rotation-algebra
+//! oracle. [`EvalBackend`] abstracts the engine behind associated
+//! `Ciphertext`/`Plaintext` types plus the primitive homomorphic
+//! instruction set (add / pmult / hmult / rotate / rescale / bootstrap)
+//! and the scale-schedule-aware composite steps (linear layer, activation
+//! stages); [`run_program`] is the **single** `Step` interpreter, generic
+//! over the backend. Three engines implement the trait (see
+//! [`crate::backends`]):
+//!
+//! * [`crate::backends::CkksBackend`] — real RNS-CKKS through
+//!   `Evaluator`/`FheSession`,
+//! * [`crate::backends::TraceBackend`] — exact cleartext semantics with
+//!   FHE-legality enforcement (levels, pending rescales),
+//! * [`crate::backends::PlainBackend`] — the cleartext rotation-algebra
+//!   oracle (`orion_linear::exec_plain_parallel`), validating the packing
+//!   math itself.
+//!
+//! Op-counting is a *decorator*: [`Counting`] wraps any backend and
+//! tallies every instruction into an [`OpCounter`] with modeled latency,
+//! so the paper's "# Rots" / "# Boots" columns are produced identically
+//! for every engine. Adding a GPU, multi-party, or sharded engine is one
+//! trait impl — the interpreter, the counting, and the placement logic
+//! are shared.
+
+use crate::compile::{stage_mult_estimate, Compiled, Step};
+use orion_linear::{ConvSpec, LinearPlan, TensorLayout};
+use orion_sim::counter::OpKind;
+use orion_sim::{CostModel, OpCounter};
+use orion_tensor::Tensor;
+
+/// A borrowed view of one linear layer's parameters (conv or dense),
+/// handed to [`EvalBackend::linear_layer`].
+pub enum LinearRef<'a> {
+    /// A packed convolution (also pooling / folded batch-norm).
+    Conv {
+        /// The BSGS packing plan.
+        plan: &'a LinearPlan,
+        /// Convolution geometry.
+        spec: &'a ConvSpec,
+        /// Folded weights.
+        weight: &'a Tensor,
+        /// Folded bias.
+        bias: &'a [f64],
+        /// Input layout.
+        in_l: &'a TensorLayout,
+        /// Output layout.
+        out_l: &'a TensorLayout,
+    },
+    /// A packed fully-connected layer.
+    Dense {
+        /// The BSGS packing plan.
+        plan: &'a LinearPlan,
+        /// Weights `(n_out, features)`.
+        weight: &'a Tensor,
+        /// Bias.
+        bias: &'a [f64],
+        /// Input layout (pre-flatten).
+        in_l: &'a TensorLayout,
+        /// Output width.
+        n_out: usize,
+    },
+}
+
+impl LinearRef<'_> {
+    /// The layer's packing plan.
+    pub fn plan(&self) -> &LinearPlan {
+        match self {
+            LinearRef::Conv { plan, .. } | LinearRef::Dense { plan, .. } => plan,
+        }
+    }
+}
+
+/// A homomorphic-evaluation engine a compiled program can run on.
+///
+/// Primitive methods mirror the CKKS instruction set; composite methods
+/// own the scale schedule of one program step (real CKKS needs exact-Δ
+/// bookkeeping a generic recipe cannot express, and modeled engines need
+/// to model at the step granularity). Levels passed in are the placement
+/// policy's assignments — inputs have already been dropped to the stated
+/// level by the interpreter.
+pub trait EvalBackend {
+    /// The engine's ciphertext representation.
+    type Ciphertext: Clone;
+    /// The engine's plaintext representation.
+    type Plaintext;
+
+    /// Engine name, for diagnostics.
+    fn name(&self) -> &'static str;
+    /// Slots per ciphertext.
+    fn slots(&self) -> usize;
+    /// Current level of a ciphertext.
+    fn level_of(&self, ct: &Self::Ciphertext) -> usize;
+
+    /// Encrypts one ciphertext's worth of slot values at `level`.
+    fn encrypt(&mut self, vals: &[f64], level: usize) -> Self::Ciphertext;
+    /// Decrypts and decodes one ciphertext.
+    fn decrypt(&mut self, ct: &Self::Ciphertext) -> Vec<f64>;
+    /// Encodes slot values at the standard scale Δ and `level`.
+    fn encode(&mut self, vals: &[f64], level: usize) -> Self::Plaintext;
+
+    /// `HAdd`: ciphertext + ciphertext.
+    fn add(&mut self, a: &Self::Ciphertext, b: &Self::Ciphertext) -> Self::Ciphertext;
+    /// `PAdd`: ciphertext + plaintext.
+    fn add_plain(&mut self, a: &Self::Ciphertext, p: &Self::Plaintext) -> Self::Ciphertext;
+    /// `PMult`: ciphertext × plaintext (unrescaled).
+    fn pmult(&mut self, a: &Self::Ciphertext, p: &Self::Plaintext) -> Self::Ciphertext;
+    /// `HMult`: ciphertext × ciphertext with relinearization (unrescaled).
+    fn hmult(&mut self, a: &Self::Ciphertext, b: &Self::Ciphertext) -> Self::Ciphertext;
+    /// `HRot`: rotates slots up by `k`.
+    fn rotate(&mut self, a: &Self::Ciphertext, k: isize) -> Self::Ciphertext;
+    /// Rescale: divides by the top prime, consuming a level.
+    fn rescale(&mut self, a: &Self::Ciphertext) -> Self::Ciphertext;
+    /// Free drop to a lower level.
+    fn drop_to_level(&mut self, a: &Self::Ciphertext, level: usize) -> Self::Ciphertext;
+    /// Bootstrap: refreshes to the engine's effective level.
+    fn bootstrap(&mut self, a: &Self::Ciphertext) -> Self::Ciphertext;
+
+    /// One packed linear layer over all input ciphertexts at `level`;
+    /// returns the output wire one level lower at exactly scale Δ.
+    fn linear_layer(
+        &mut self,
+        layer: &LinearRef<'_>,
+        inputs: &[Self::Ciphertext],
+        level: usize,
+    ) -> Vec<Self::Ciphertext>;
+    /// Multiplies by `factor ≤ 1` and rescales (activation normalization).
+    fn scale_down(&mut self, ct: &Self::Ciphertext, factor: f64, level: usize) -> Self::Ciphertext;
+    /// One Chebyshev stage; `normalize` re-aligns the output to exact Δ at
+    /// +1 depth.
+    fn poly_stage(
+        &mut self,
+        ct: &Self::Ciphertext,
+        coeffs: &[f64],
+        normalize: bool,
+        level: usize,
+    ) -> Self::Ciphertext;
+    /// The final ReLU product `m·u·(s+1)/2` (`u` at `level`, `sign` at
+    /// `level − 1`); depth 2.
+    fn relu_final(
+        &mut self,
+        u: &Self::Ciphertext,
+        sign: &Self::Ciphertext,
+        magnitude: f64,
+        level: usize,
+    ) -> Self::Ciphertext;
+    /// The `x²` activation (depth 2 including exact-Δ alignment).
+    fn square_activation(&mut self, ct: &Self::Ciphertext, level: usize) -> Self::Ciphertext;
+}
+
+/// Result of interpreting a compiled program on some backend.
+pub struct ProgramRun<Ct> {
+    /// The decoded network output.
+    pub output: Tensor,
+    /// The raw output wire (still "encrypted" in the engine's terms).
+    pub output_wire: Vec<Ct>,
+    /// Ciphertext bootstraps performed (per ciphertext, as the placement
+    /// policy's `boot_count` counts them).
+    pub bootstraps: u64,
+}
+
+/// Interprets a compiled program on `backend` — THE `Step` interpreter,
+/// shared by every engine. Follows the placement policy exactly: drops
+/// wires to their assigned level, bootstraps where the policy says, and
+/// dispatches each step to the backend.
+pub fn run_program<B: EvalBackend>(
+    c: &Compiled,
+    backend: &mut B,
+    input: &Tensor,
+) -> ProgramRun<B::Ciphertext> {
+    let slots = c.opts.slots;
+    assert_eq!(
+        backend.slots(),
+        slots,
+        "backend/program slot-count mismatch"
+    );
+    let l_eff = c.opts.l_eff;
+    let mut wires: Vec<Option<Vec<B::Ciphertext>>> = vec![None; c.prog.len()];
+    let mut bootstraps = 0u64;
+    let mut output: Option<Tensor> = None;
+    let mut output_wire: Vec<B::Ciphertext> = Vec::new();
+
+    for (id, node) in c.prog.iter().enumerate() {
+        // Bootstrap the input wires where the policy says so.
+        if c.placement.boots_before[id] > 0 {
+            for &i in &node.inputs {
+                let cts = wires[i].as_ref().expect("input wire missing").clone();
+                bootstraps += cts.len() as u64;
+                wires[i] = Some(cts.iter().map(|ct| backend.bootstrap(ct)).collect());
+            }
+        }
+        let level = c.placement.levels[id];
+        let take = |wires: &Vec<Option<Vec<B::Ciphertext>>>, i: usize| -> Vec<B::Ciphertext> {
+            wires[node.inputs[i]]
+                .as_ref()
+                .expect("wire not ready")
+                .clone()
+        };
+        let out: Vec<B::Ciphertext> = match &node.step {
+            Step::Input => {
+                let packed = c.input_layout.pack(input.data());
+                (0..c.input_layout.num_ciphertexts(slots))
+                    .map(|b| {
+                        let lo = b * slots;
+                        let hi = ((b + 1) * slots).min(packed.len());
+                        let mut chunk = packed[lo..hi].to_vec();
+                        chunk.resize(slots, 0.0);
+                        backend.encrypt(&chunk, l_eff)
+                    })
+                    .collect()
+            }
+            Step::Output => {
+                let cts = take(&wires, 0);
+                let prev = &c.prog[node.inputs[0]];
+                let mut slots_vec = Vec::with_capacity(cts.len() * slots);
+                for ct in &cts {
+                    slots_vec.extend(backend.decrypt(ct));
+                }
+                slots_vec.resize(prev.layout.total_slots(), 0.0);
+                let raster = prev.layout.unpack(&slots_vec);
+                let (cc, hh, ww) = (prev.layout.c, prev.layout.h, prev.layout.w);
+                output = Some(Tensor::from_vec(&[cc, hh, ww], raster));
+                output_wire = cts.clone();
+                cts
+            }
+            Step::Conv {
+                plan,
+                spec,
+                weight,
+                bias,
+                in_l,
+                out_l,
+            } => {
+                let lv = level.expect("linear layer unplaced");
+                let cts = drop_all(backend, &take(&wires, 0), lv);
+                let layer = LinearRef::Conv {
+                    plan,
+                    spec,
+                    weight,
+                    bias,
+                    in_l,
+                    out_l,
+                };
+                backend.linear_layer(&layer, &cts, lv)
+            }
+            Step::Dense {
+                plan,
+                weight,
+                bias,
+                in_l,
+                n_out,
+            } => {
+                let lv = level.expect("linear layer unplaced");
+                let cts = drop_all(backend, &take(&wires, 0), lv);
+                let layer = LinearRef::Dense {
+                    plan,
+                    weight,
+                    bias,
+                    in_l,
+                    n_out: *n_out,
+                };
+                backend.linear_layer(&layer, &cts, lv)
+            }
+            Step::ScaleDown { factor } => {
+                let lv = level.expect("scale-down unplaced");
+                let cts = drop_all(backend, &take(&wires, 0), lv);
+                cts.iter()
+                    .map(|ct| backend.scale_down(ct, *factor, lv))
+                    .collect()
+            }
+            Step::PolyStage { coeffs, normalize } => {
+                let lv = level.expect("poly stage unplaced");
+                let cts = drop_all(backend, &take(&wires, 0), lv);
+                cts.iter()
+                    .map(|ct| backend.poly_stage(ct, coeffs, *normalize, lv))
+                    .collect()
+            }
+            Step::ReluFinal { magnitude } => {
+                let lv = level.expect("relu final unplaced");
+                assert!(lv >= 2, "relu final needs 2 levels");
+                let u = drop_all(backend, &take(&wires, 0), lv);
+                let s = drop_all(backend, &take(&wires, 1), lv - 1);
+                u.iter()
+                    .zip(&s)
+                    .map(|(uc, sc)| backend.relu_final(uc, sc, *magnitude, lv))
+                    .collect()
+            }
+            Step::Square => {
+                let lv = level.expect("square unplaced");
+                assert!(lv >= 2, "square needs 2 levels");
+                let cts = drop_all(backend, &take(&wires, 0), lv);
+                cts.iter()
+                    .map(|ct| backend.square_activation(ct, lv))
+                    .collect()
+            }
+            Step::Add => {
+                let lv = level.expect("add unplaced");
+                let a = drop_all(backend, &take(&wires, 0), lv);
+                let b = drop_all(backend, &take(&wires, 1), lv);
+                a.iter().zip(&b).map(|(x, y)| backend.add(x, y)).collect()
+            }
+        };
+        wires[id] = Some(out);
+    }
+    ProgramRun {
+        output: output.expect("program has no output node"),
+        output_wire,
+        bootstraps,
+    }
+}
+
+fn drop_all<B: EvalBackend>(
+    backend: &mut B,
+    cts: &[B::Ciphertext],
+    level: usize,
+) -> Vec<B::Ciphertext> {
+    cts.iter()
+        .map(|ct| {
+            assert!(
+                backend.level_of(ct) >= level,
+                "wire at level {} but the policy needs {level} — placement violated",
+                backend.level_of(ct)
+            );
+            backend.drop_to_level(ct, level)
+        })
+        .collect()
+}
+
+/// The op-counting decorator: wraps any engine and tallies every
+/// instruction into an [`OpCounter`] with modeled latency, reproducing the
+/// paper's reporting columns uniformly. Composite steps are tallied from
+/// their static structure (plan counts, Chebyshev stage estimates), so the
+/// numbers are identical no matter which engine runs underneath.
+pub struct Counting<B> {
+    /// The wrapped engine.
+    pub inner: B,
+    /// Accumulated statistics.
+    pub counter: OpCounter,
+    cost: CostModel,
+    l_eff: usize,
+}
+
+impl<B> Counting<B> {
+    /// Wraps `inner`, tallying with `cost` (bootstraps modeled at `l_eff`).
+    pub fn new(inner: B, cost: CostModel, l_eff: usize) -> Self {
+        Self {
+            inner,
+            counter: OpCounter::new(),
+            cost,
+            l_eff,
+        }
+    }
+
+    /// Unwraps into the engine and the final counter.
+    pub fn into_parts(self) -> (B, OpCounter) {
+        (self.inner, self.counter)
+    }
+}
+
+impl<B: EvalBackend> Counting<B> {
+    fn tally(&mut self, kind: OpKind, n: u64, secs: f64) {
+        self.counter.record(kind, n, secs);
+    }
+
+    /// Tallies one linear layer's plan at the evaluation level (the static
+    /// op mix of the double-hoisted BSGS matvec).
+    fn tally_linear(&mut self, plan: &LinearPlan, level: usize) {
+        let c = self.cost.clone();
+        let counts = &plan.counts;
+        self.tally(
+            OpKind::Hoist,
+            counts.hoists as u64,
+            counts.hoists as f64 * c.ks_decompose(level),
+        );
+        self.tally(
+            OpKind::HRotHoisted,
+            counts.baby_rots as u64,
+            counts.baby_rots as f64 * c.hrot_hoisted(level),
+        );
+        self.tally(
+            OpKind::HRot,
+            counts.giant_rots as u64,
+            counts.giant_rots as f64 * c.hrot(level),
+        );
+        self.tally(
+            OpKind::PMult,
+            counts.pmults as u64,
+            counts.pmults as f64 * c.pmult(level),
+        );
+        self.tally(
+            OpKind::ModDown,
+            counts.moddowns as u64,
+            counts.moddowns as f64 * c.ks_moddown(level),
+        );
+        self.tally(
+            OpKind::Rescale,
+            counts.rescales as u64,
+            counts.rescales as f64 * c.rescale(level),
+        );
+        self.counter.linear_seconds += plan.latency(&c, level);
+    }
+}
+
+impl<B: EvalBackend> EvalBackend for Counting<B> {
+    type Ciphertext = B::Ciphertext;
+    type Plaintext = B::Plaintext;
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn slots(&self) -> usize {
+        self.inner.slots()
+    }
+
+    fn level_of(&self, ct: &Self::Ciphertext) -> usize {
+        self.inner.level_of(ct)
+    }
+
+    fn encrypt(&mut self, vals: &[f64], level: usize) -> Self::Ciphertext {
+        self.inner.encrypt(vals, level)
+    }
+
+    fn decrypt(&mut self, ct: &Self::Ciphertext) -> Vec<f64> {
+        self.inner.decrypt(ct)
+    }
+
+    fn encode(&mut self, vals: &[f64], level: usize) -> Self::Plaintext {
+        self.inner.encode(vals, level)
+    }
+
+    fn add(&mut self, a: &Self::Ciphertext, b: &Self::Ciphertext) -> Self::Ciphertext {
+        let lv = self.inner.level_of(a);
+        self.tally(OpKind::HAdd, 1, self.cost.hadd(lv));
+        self.inner.add(a, b)
+    }
+
+    fn add_plain(&mut self, a: &Self::Ciphertext, p: &Self::Plaintext) -> Self::Ciphertext {
+        let lv = self.inner.level_of(a);
+        self.tally(OpKind::PAdd, 1, self.cost.hadd(lv));
+        self.inner.add_plain(a, p)
+    }
+
+    fn pmult(&mut self, a: &Self::Ciphertext, p: &Self::Plaintext) -> Self::Ciphertext {
+        let lv = self.inner.level_of(a);
+        self.tally(OpKind::PMult, 1, self.cost.pmult(lv));
+        self.inner.pmult(a, p)
+    }
+
+    fn hmult(&mut self, a: &Self::Ciphertext, b: &Self::Ciphertext) -> Self::Ciphertext {
+        let lv = self.inner.level_of(a);
+        self.tally(OpKind::HMult, 1, self.cost.hmult(lv));
+        self.inner.hmult(a, b)
+    }
+
+    fn rotate(&mut self, a: &Self::Ciphertext, k: isize) -> Self::Ciphertext {
+        let lv = self.inner.level_of(a);
+        self.tally(OpKind::HRot, 1, self.cost.hrot(lv));
+        self.inner.rotate(a, k)
+    }
+
+    fn rescale(&mut self, a: &Self::Ciphertext) -> Self::Ciphertext {
+        let lv = self.inner.level_of(a);
+        self.tally(OpKind::Rescale, 1, self.cost.rescale(lv));
+        self.inner.rescale(a)
+    }
+
+    fn drop_to_level(&mut self, a: &Self::Ciphertext, level: usize) -> Self::Ciphertext {
+        self.inner.drop_to_level(a, level)
+    }
+
+    fn bootstrap(&mut self, a: &Self::Ciphertext) -> Self::Ciphertext {
+        self.tally(OpKind::Bootstrap, 1, self.cost.bootstrap(self.l_eff));
+        self.inner.bootstrap(a)
+    }
+
+    fn linear_layer(
+        &mut self,
+        layer: &LinearRef<'_>,
+        inputs: &[Self::Ciphertext],
+        level: usize,
+    ) -> Vec<Self::Ciphertext> {
+        self.tally_linear(layer.plan(), level);
+        self.inner.linear_layer(layer, inputs, level)
+    }
+
+    fn scale_down(&mut self, ct: &Self::Ciphertext, factor: f64, level: usize) -> Self::Ciphertext {
+        self.tally(OpKind::PMult, 1, self.cost.pmult(level));
+        self.tally(OpKind::Rescale, 1, self.cost.rescale(level));
+        self.inner.scale_down(ct, factor, level)
+    }
+
+    fn poly_stage(
+        &mut self,
+        ct: &Self::Ciphertext,
+        coeffs: &[f64],
+        normalize: bool,
+        level: usize,
+    ) -> Self::Ciphertext {
+        let d = coeffs.len() - 1;
+        let mults = stage_mult_estimate(d);
+        self.tally(
+            OpKind::HMult,
+            mults as u64,
+            mults as f64 * self.cost.hmult(level),
+        );
+        self.tally(OpKind::PMult, d as u64, d as f64 * self.cost.pmult(level));
+        self.tally(
+            OpKind::Rescale,
+            mults as u64,
+            mults as f64 * self.cost.rescale(level),
+        );
+        self.inner.poly_stage(ct, coeffs, normalize, level)
+    }
+
+    fn relu_final(
+        &mut self,
+        u: &Self::Ciphertext,
+        sign: &Self::Ciphertext,
+        magnitude: f64,
+        level: usize,
+    ) -> Self::Ciphertext {
+        self.tally(OpKind::HMult, 1, self.cost.hmult(level));
+        self.inner.relu_final(u, sign, magnitude, level)
+    }
+
+    fn square_activation(&mut self, ct: &Self::Ciphertext, level: usize) -> Self::Ciphertext {
+        self.tally(OpKind::HMult, 1, self.cost.hmult(level));
+        self.inner.square_activation(ct, level)
+    }
+}

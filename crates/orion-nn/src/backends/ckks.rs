@@ -1,0 +1,210 @@
+//! [`CkksBackend`]: the real RNS-CKKS engine.
+//!
+//! Borrows an [`FheSession`] (keys, encoder, evaluator, bootstrap oracle)
+//! and executes program steps homomorphically, keeping every wire at
+//! exactly scale Δ: linear layers run the double-hoisted BSGS executor
+//! with weights encoded at prime scale, activation stages follow the
+//! errorless Chebyshev scale schedule.
+
+use crate::backend::{EvalBackend, LinearRef};
+use crate::fhe_exec::FheSession;
+use orion_ckks::encrypt::Ciphertext;
+use orion_linear::exec::{exec_fhe as linear_exec, FheLinearContext};
+use orion_linear::values::{BiasValues, ConvDiagSource, DenseDiagSource};
+use orion_poly::eval::{evaluate_chebyshev, set_level_scale};
+
+/// The real-CKKS engine (see module docs).
+pub struct CkksBackend<'s> {
+    session: &'s FheSession,
+}
+
+impl<'s> CkksBackend<'s> {
+    /// Wraps a session.
+    pub fn new(session: &'s FheSession) -> Self {
+        Self { session }
+    }
+
+    /// The underlying session.
+    pub fn session(&self) -> &'s FheSession {
+        self.session
+    }
+}
+
+impl EvalBackend for CkksBackend<'_> {
+    type Ciphertext = Ciphertext;
+    type Plaintext = orion_ckks::encrypt::Plaintext;
+
+    fn name(&self) -> &'static str {
+        "ckks"
+    }
+
+    fn slots(&self) -> usize {
+        self.session.ctx.slots()
+    }
+
+    fn level_of(&self, ct: &Ciphertext) -> usize {
+        ct.level()
+    }
+
+    fn encrypt(&mut self, vals: &[f64], level: usize) -> Ciphertext {
+        let s = self.session;
+        let pt = s.enc.encode(vals, s.ctx.scale(), level, false);
+        let mut rng = s.rng.lock();
+        s.encryptor.encrypt(&pt, &mut *rng)
+    }
+
+    fn decrypt(&mut self, ct: &Ciphertext) -> Vec<f64> {
+        let s = self.session;
+        s.enc.decode(&s.decryptor.decrypt(ct))
+    }
+
+    fn encode(&mut self, vals: &[f64], level: usize) -> Self::Plaintext {
+        let s = self.session;
+        s.enc.encode(vals, s.ctx.scale(), level, false)
+    }
+
+    fn add(&mut self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        self.session.eval.add(a, b)
+    }
+
+    fn add_plain(&mut self, a: &Ciphertext, p: &Self::Plaintext) -> Ciphertext {
+        self.session.eval.add_plain(a, p)
+    }
+
+    fn pmult(&mut self, a: &Ciphertext, p: &Self::Plaintext) -> Ciphertext {
+        self.session.eval.mul_plain(a, p)
+    }
+
+    fn hmult(&mut self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        self.session.eval.mul_relin(a, b)
+    }
+
+    fn rotate(&mut self, a: &Ciphertext, k: isize) -> Ciphertext {
+        self.session.eval.rotate(a, k)
+    }
+
+    fn rescale(&mut self, a: &Ciphertext) -> Ciphertext {
+        let mut c = a.clone();
+        self.session.eval.rescale_assign(&mut c);
+        c
+    }
+
+    fn drop_to_level(&mut self, a: &Ciphertext, level: usize) -> Ciphertext {
+        let mut c = a.clone();
+        self.session.eval.drop_to_level(&mut c, level);
+        c
+    }
+
+    fn bootstrap(&mut self, a: &Ciphertext) -> Ciphertext {
+        self.session.oracle.refresh(a)
+    }
+
+    fn linear_layer(
+        &mut self,
+        layer: &LinearRef<'_>,
+        inputs: &[Ciphertext],
+        _level: usize,
+    ) -> Vec<Ciphertext> {
+        let s = self.session;
+        let slots = s.ctx.slots();
+        let fctx = FheLinearContext {
+            eval: &s.eval,
+            enc: &s.enc,
+        };
+        match layer {
+            LinearRef::Conv {
+                plan,
+                spec,
+                weight,
+                bias,
+                in_l,
+                out_l,
+            } => {
+                let src = ConvDiagSource {
+                    in_l: **in_l,
+                    out_l: **out_l,
+                    spec: **spec,
+                    weights: weight,
+                };
+                let bias_blocks = BiasValues::conv(out_l, bias, slots);
+                linear_exec(&fctx, plan, &src, Some(&bias_blocks), inputs)
+            }
+            LinearRef::Dense {
+                plan,
+                weight,
+                bias,
+                in_l,
+                n_out,
+            } => {
+                let src = DenseDiagSource::new((*weight).clone(), in_l);
+                let bias_blocks = BiasValues::dense(*n_out, bias, slots);
+                linear_exec(&fctx, plan, &src, Some(&bias_blocks), inputs)
+            }
+        }
+    }
+
+    fn scale_down(&mut self, ct: &Ciphertext, factor: f64, level: usize) -> Ciphertext {
+        let s = self.session;
+        let q = s.ctx.moduli[level] as f64;
+        let mut m = s.eval.mul_scalar(ct, factor, q);
+        s.eval.rescale_assign(&mut m);
+        m
+    }
+
+    fn poly_stage(
+        &mut self,
+        ct: &Ciphertext,
+        coeffs: &[f64],
+        normalize: bool,
+        _level: usize,
+    ) -> Ciphertext {
+        let s = self.session;
+        let out = evaluate_chebyshev(&s.eval, &s.enc, ct, coeffs);
+        if normalize {
+            set_level_scale(&s.eval, &out, out.level() - 1, s.ctx.scale())
+        } else {
+            out
+        }
+    }
+
+    fn relu_final(
+        &mut self,
+        uc: &Ciphertext,
+        sc: &Ciphertext,
+        magnitude: f64,
+        level: usize,
+    ) -> Ciphertext {
+        let s = self.session;
+        let delta = s.ctx.scale();
+        let lc = level - 1;
+        let q_lc = s.ctx.moduli[lc] as f64;
+        let q_lv = s.ctx.moduli[level] as f64;
+        // (m·u/2) at a scale making the product land on Δ.
+        let x_scale = delta * q_lc / sc.scale;
+        let aux = q_lv * x_scale / uc.scale;
+        let mut half = s.eval.mul_scalar(uc, 0.5 * magnitude, aux);
+        s.eval.rescale_assign(&mut half);
+        half.scale = x_scale;
+        let mut prod = s.eval.mul_relin(&half, sc);
+        s.eval.rescale_assign(&mut prod);
+        prod.scale = delta;
+        // + m·u/2 read at Δ.
+        let mut half_x = set_level_scale(&s.eval, uc, prod.level(), delta * magnitude * 0.5);
+        half_x.scale = delta;
+        s.eval.add(&prod, &half_x)
+    }
+
+    fn square_activation(&mut self, ct: &Ciphertext, level: usize) -> Ciphertext {
+        let s = self.session;
+        let delta = s.ctx.scale();
+        let q = s.ctx.moduli[level - 1] as f64;
+        // aligned copy at scale q so the product rescales to Δ
+        let aligned = set_level_scale(&s.eval, ct, level - 1, q);
+        let mut base = ct.clone();
+        s.eval.drop_to_level(&mut base, level - 1);
+        let mut prod = s.eval.mul_relin(&base, &aligned);
+        s.eval.rescale_assign(&mut prod);
+        prod.scale = delta;
+        prod
+    }
+}

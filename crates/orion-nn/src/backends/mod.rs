@@ -1,0 +1,19 @@
+//! The three [`EvalBackend`](crate::backend::EvalBackend) engines.
+//!
+//! | engine | ciphertext | linear layers | use |
+//! |---|---|---|---|
+//! | [`CkksBackend`] | real RNS-CKKS | double-hoisted BSGS over ciphertexts | encrypted inference |
+//! | [`TraceBackend`] | `f64` slots + level bookkeeping | reference conv/linear | paper-scale modeling |
+//! | [`PlainBackend`] | `f64` slots + level bookkeeping | exact rotation algebra (`exec_plain_parallel`) | packing-math oracle |
+//!
+//! All three run under the single interpreter
+//! ([`crate::backend::run_program`]) and count ops identically through
+//! [`crate::backend::Counting`].
+
+pub mod ckks;
+pub mod plain;
+pub mod trace;
+
+pub use ckks::CkksBackend;
+pub use plain::{run_plain, PlainBackend, PlainCiphertext, PlainRun};
+pub use trace::TraceBackend;

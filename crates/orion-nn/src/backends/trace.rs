@@ -1,0 +1,210 @@
+//! [`TraceBackend`]: the modeled cleartext engine.
+//!
+//! Values are computed exactly (reference convolutions + fitted
+//! polynomial activations) on plain `f64` slot vectors while the
+//! underlying [`TraceEngine`] enforces FHE legality — multiplications
+//! must be rescaled, rescales consume levels, level-0 wires must
+//! bootstrap. This is how the paper's ImageNet-scale reporting columns
+//! are regenerated without hours of modular arithmetic; wrap it in
+//! [`crate::backend::Counting`] to collect them.
+
+use crate::backend::{EvalBackend, LinearRef};
+use crate::compile::Compiled;
+use orion_poly::cheb::ChebPoly;
+use orion_sim::trace::{TraceCiphertext, TraceEngine};
+use orion_tensor::{conv2d, linear, Conv2dParams, Tensor};
+
+/// The modeled cleartext engine (see module docs).
+pub struct TraceBackend {
+    /// The legality-enforcing trace engine.
+    pub engine: TraceEngine,
+}
+
+impl TraceBackend {
+    /// Builds an engine matching a compiled program's options.
+    pub fn new(c: &Compiled) -> Self {
+        let l_eff = c.opts.l_eff;
+        Self {
+            engine: TraceEngine::new(c.opts.slots, l_eff, l_eff),
+        }
+    }
+}
+
+/// Splits a packed slot vector into ciphertext-sized blocks at `level`.
+pub(crate) fn chunk_blocks(
+    slots_vec: Vec<f64>,
+    slots: usize,
+    level: usize,
+) -> Vec<TraceCiphertext> {
+    let blocks = slots_vec.len().div_ceil(slots).max(1);
+    (0..blocks)
+        .map(|b| {
+            let mut s = vec![0.0; slots];
+            let lo = b * slots;
+            let hi = ((b + 1) * slots).min(slots_vec.len());
+            s[..hi - lo].copy_from_slice(&slots_vec[lo..hi]);
+            TraceCiphertext {
+                slots: s,
+                level,
+                pending: 0,
+            }
+        })
+        .collect()
+}
+
+/// Concatenates the first `n` slots across a wire's ciphertexts.
+pub(crate) fn gather_slots(cts: &[TraceCiphertext], n: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(n);
+    for ct in cts {
+        out.extend_from_slice(&ct.slots);
+    }
+    out.resize(n, 0.0);
+    out
+}
+
+impl EvalBackend for TraceBackend {
+    type Ciphertext = TraceCiphertext;
+    type Plaintext = Vec<f64>;
+
+    fn name(&self) -> &'static str {
+        "trace"
+    }
+
+    fn slots(&self) -> usize {
+        self.engine.slots
+    }
+
+    fn level_of(&self, ct: &TraceCiphertext) -> usize {
+        ct.level
+    }
+
+    fn encrypt(&mut self, vals: &[f64], level: usize) -> TraceCiphertext {
+        self.engine.encrypt(vals, level)
+    }
+
+    fn decrypt(&mut self, ct: &TraceCiphertext) -> Vec<f64> {
+        self.engine.decrypt(ct)
+    }
+
+    fn encode(&mut self, vals: &[f64], _level: usize) -> Vec<f64> {
+        vals.to_vec()
+    }
+
+    fn add(&mut self, a: &TraceCiphertext, b: &TraceCiphertext) -> TraceCiphertext {
+        self.engine.hadd(a, b)
+    }
+
+    fn add_plain(&mut self, a: &TraceCiphertext, p: &Vec<f64>) -> TraceCiphertext {
+        self.engine.padd(a, p)
+    }
+
+    fn pmult(&mut self, a: &TraceCiphertext, p: &Vec<f64>) -> TraceCiphertext {
+        self.engine.pmult(a, p)
+    }
+
+    fn hmult(&mut self, a: &TraceCiphertext, b: &TraceCiphertext) -> TraceCiphertext {
+        self.engine.hmult(a, b)
+    }
+
+    fn rotate(&mut self, a: &TraceCiphertext, k: isize) -> TraceCiphertext {
+        self.engine.rotate(a, k)
+    }
+
+    fn rescale(&mut self, a: &TraceCiphertext) -> TraceCiphertext {
+        self.engine.rescale(a)
+    }
+
+    fn drop_to_level(&mut self, a: &TraceCiphertext, level: usize) -> TraceCiphertext {
+        self.engine.drop_to_level(a, level)
+    }
+
+    fn bootstrap(&mut self, a: &TraceCiphertext) -> TraceCiphertext {
+        self.engine.bootstrap(a)
+    }
+
+    fn linear_layer(
+        &mut self,
+        layer: &LinearRef<'_>,
+        inputs: &[TraceCiphertext],
+        level: usize,
+    ) -> Vec<TraceCiphertext> {
+        let slots = self.engine.slots;
+        match layer {
+            LinearRef::Conv {
+                spec,
+                weight,
+                bias,
+                in_l,
+                out_l,
+                ..
+            } => {
+                let raster = in_l.unpack(&gather_slots(inputs, in_l.total_slots()));
+                let x = Tensor::from_vec(&[in_l.c, in_l.h, in_l.w], raster);
+                let p = Conv2dParams {
+                    stride: spec.stride,
+                    padding: spec.padding,
+                    dilation: spec.dilation,
+                    groups: spec.groups,
+                };
+                let y = conv2d(&x, weight, bias, p);
+                chunk_blocks(out_l.pack(y.data()), slots, level - 1)
+            }
+            LinearRef::Dense {
+                weight, bias, in_l, ..
+            } => {
+                let raster = in_l.unpack(&gather_slots(inputs, in_l.total_slots()));
+                let y = linear(&raster, weight, bias);
+                chunk_blocks(y, slots, level - 1)
+            }
+        }
+    }
+
+    fn scale_down(&mut self, ct: &TraceCiphertext, factor: f64, _level: usize) -> TraceCiphertext {
+        let m = self.engine.pmult_scalar(ct, factor);
+        self.engine.rescale(&m)
+    }
+
+    fn poly_stage(
+        &mut self,
+        ct: &TraceCiphertext,
+        coeffs: &[f64],
+        normalize: bool,
+        level: usize,
+    ) -> TraceCiphertext {
+        let d = coeffs.len() - 1;
+        let depth = orion_poly::eval::fhe_eval_depth(d) + usize::from(normalize);
+        let p = ChebPoly::new(coeffs.to_vec());
+        TraceCiphertext {
+            slots: ct.slots.iter().map(|&x| p.eval(x)).collect(),
+            level: level - depth,
+            pending: 0,
+        }
+    }
+
+    fn relu_final(
+        &mut self,
+        u: &TraceCiphertext,
+        sign: &TraceCiphertext,
+        magnitude: f64,
+        level: usize,
+    ) -> TraceCiphertext {
+        TraceCiphertext {
+            slots: u
+                .slots
+                .iter()
+                .zip(&sign.slots)
+                .map(|(&x, &sg)| magnitude * x * (sg + 1.0) * 0.5)
+                .collect(),
+            level: level - 2,
+            pending: 0,
+        }
+    }
+
+    fn square_activation(&mut self, ct: &TraceCiphertext, level: usize) -> TraceCiphertext {
+        TraceCiphertext {
+            slots: ct.slots.iter().map(|&x| x * x).collect(),
+            level: level - 2,
+            pending: 0,
+        }
+    }
+}

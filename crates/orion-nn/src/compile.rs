@@ -106,7 +106,11 @@ pub struct CompileOptions {
 impl CompileOptions {
     /// Paper-scale options: N = 2¹⁶ (32768 slots), L_eff = 10.
     pub fn paper() -> Self {
-        Self { slots: 1 << 15, l_eff: 10, cost: CostModel::paper() }
+        Self {
+            slots: 1 << 15,
+            l_eff: 10,
+            cost: CostModel::paper(),
+        }
     }
 
     /// Options matching a concrete CKKS parameter set (for real-FHE runs).
@@ -180,9 +184,7 @@ impl Compiled {
             self.activation_depth()
         );
         for (id, p) in self.prog.iter().enumerate() {
-            let lvl = self
-                .placement
-                .levels[id]
+            let lvl = self.placement.levels[id]
                 .map(|l| format!("@L{l}"))
                 .unwrap_or_default();
             let boot = if self.placement.boots_before[id] > 0 {
@@ -257,7 +259,12 @@ pub fn compile(net: &Network, fitres: &FitResult, opts: &CompileOptions) -> Comp
     // net node id → prog node id
     let mut map: Vec<usize> = vec![usize::MAX; net.nodes.len()];
 
-    let push = |prog: &mut Vec<ProgNode>, graph: &mut Graph, node: ProgNode, gnode: Node, inputs: &[usize]| -> usize {
+    let push = |prog: &mut Vec<ProgNode>,
+                graph: &mut Graph,
+                node: ProgNode,
+                gnode: Node,
+                inputs: &[usize]|
+     -> usize {
         let id = prog.len();
         prog.push(node);
         let gid = graph.add_node(gnode);
@@ -287,7 +294,13 @@ pub fn compile(net: &Network, fitres: &FitResult, opts: &CompileOptions) -> Comp
                     layout: input_layout,
                     n_cts: input_layout.num_ciphertexts(slots),
                 },
-                Node::new(node.name.clone(), NodeKind::Input, 0, lat_flat(0.0), input_layout.num_ciphertexts(slots)),
+                Node::new(
+                    node.name.clone(),
+                    NodeKind::Input,
+                    0,
+                    lat_flat(0.0),
+                    input_layout.num_ciphertexts(slots),
+                ),
                 &[],
             ),
             Layer::Output => {
@@ -295,12 +308,31 @@ pub fn compile(net: &Network, fitres: &FitResult, opts: &CompileOptions) -> Comp
                 push(
                     &mut prog,
                     &mut graph,
-                    ProgNode { name: node.name.clone(), step: Step::Output, inputs: pin.clone(), layout: l, n_cts: l.num_ciphertexts(slots) },
-                    Node::new(node.name.clone(), NodeKind::Output, 0, lat_flat(0.0), l.num_ciphertexts(slots)),
+                    ProgNode {
+                        name: node.name.clone(),
+                        step: Step::Output,
+                        inputs: pin.clone(),
+                        layout: l,
+                        n_cts: l.num_ciphertexts(slots),
+                    },
+                    Node::new(
+                        node.name.clone(),
+                        NodeKind::Output,
+                        0,
+                        lat_flat(0.0),
+                        l.num_ciphertexts(slots),
+                    ),
                     &pin,
                 )
             }
-            Layer::Conv2d { weight, bias, stride, padding, dilation, groups } => {
+            Layer::Conv2d {
+                weight,
+                bias,
+                stride,
+                padding,
+                dilation,
+                groups,
+            } => {
                 let in_l = in_layout.unwrap();
                 let spec = ConvSpec {
                     co: weight.shape()[0],
@@ -320,7 +352,14 @@ pub fn compile(net: &Network, fitres: &FitResult, opts: &CompileOptions) -> Comp
                     &mut graph,
                     ProgNode {
                         name: node.name.clone(),
-                        step: Step::Conv { plan, spec, weight: weight.clone(), bias: bias.clone(), in_l, out_l },
+                        step: Step::Conv {
+                            plan,
+                            spec,
+                            weight: weight.clone(),
+                            bias: bias.clone(),
+                            in_l,
+                            out_l,
+                        },
                         inputs: pin.clone(),
                         layout: out_l,
                         n_cts: out_l.num_ciphertexts(slots),
@@ -333,7 +372,10 @@ pub fn compile(net: &Network, fitres: &FitResult, opts: &CompileOptions) -> Comp
                 // Fold into the producing convolution when possible.
                 let pid = pin[0];
                 let aff = bn.affine();
-                if let Step::Conv { weight, bias, spec, .. } = &mut prog[pid].step {
+                if let Step::Conv {
+                    weight, bias, spec, ..
+                } = &mut prog[pid].step
+                {
                     let (co, cig, kh, kw) = (spec.co, spec.ci / spec.groups, spec.kh, spec.kw);
                     for c in 0..co {
                         let (s, b) = aff[c];
@@ -350,7 +392,16 @@ pub fn compile(net: &Network, fitres: &FitResult, opts: &CompileOptions) -> Comp
                 let c = in_l.c;
                 let weight = Tensor::from_vec(&[c, 1, 1, 1], aff.iter().map(|&(s, _)| s).collect());
                 let bias: Vec<f64> = aff.iter().map(|&(_, b)| b).collect();
-                let spec = ConvSpec { co: c, ci: c, kh: 1, kw: 1, stride: 1, padding: 0, dilation: 1, groups: c };
+                let spec = ConvSpec {
+                    co: c,
+                    ci: c,
+                    kh: 1,
+                    kw: 1,
+                    stride: 1,
+                    padding: 0,
+                    dilation: 1,
+                    groups: c,
+                };
                 let (plan, out_l) = conv_plan(&in_l, &spec, slots);
                 let lat = lat_fn(&|l| plan.latency(cost, l));
                 push(
@@ -358,20 +409,43 @@ pub fn compile(net: &Network, fitres: &FitResult, opts: &CompileOptions) -> Comp
                     &mut graph,
                     ProgNode {
                         name: node.name.clone(),
-                        step: Step::Conv { plan, spec, weight, bias, in_l, out_l },
+                        step: Step::Conv {
+                            plan,
+                            spec,
+                            weight,
+                            bias,
+                            in_l,
+                            out_l,
+                        },
                         inputs: pin.clone(),
                         layout: out_l,
                         n_cts: out_l.num_ciphertexts(slots),
                     },
-                    Node::new(node.name.clone(), NodeKind::Linear, 1, lat, in_l.num_ciphertexts(slots)),
+                    Node::new(
+                        node.name.clone(),
+                        NodeKind::Linear,
+                        1,
+                        lat,
+                        in_l.num_ciphertexts(slots),
+                    ),
                     &pin,
                 )
             }
             Layer::AvgPool2d { k, stride, padding } => {
                 let in_l = in_layout.unwrap();
                 let c = in_l.c;
-                let weight = Tensor::from_vec(&[c, 1, *k, *k], vec![1.0 / (k * k) as f64; c * k * k]);
-                let spec = ConvSpec { co: c, ci: c, kh: *k, kw: *k, stride: *stride, padding: *padding, dilation: 1, groups: c };
+                let weight =
+                    Tensor::from_vec(&[c, 1, *k, *k], vec![1.0 / (k * k) as f64; c * k * k]);
+                let spec = ConvSpec {
+                    co: c,
+                    ci: c,
+                    kh: *k,
+                    kw: *k,
+                    stride: *stride,
+                    padding: *padding,
+                    dilation: 1,
+                    groups: c,
+                };
                 let (plan, out_l) = conv_plan(&in_l, &spec, slots);
                 let lat = lat_fn(&|l| plan.latency(cost, l));
                 push(
@@ -379,12 +453,25 @@ pub fn compile(net: &Network, fitres: &FitResult, opts: &CompileOptions) -> Comp
                     &mut graph,
                     ProgNode {
                         name: node.name.clone(),
-                        step: Step::Conv { plan, spec, weight, bias: vec![0.0; c], in_l, out_l },
+                        step: Step::Conv {
+                            plan,
+                            spec,
+                            weight,
+                            bias: vec![0.0; c],
+                            in_l,
+                            out_l,
+                        },
                         inputs: pin.clone(),
                         layout: out_l,
                         n_cts: out_l.num_ciphertexts(slots),
                     },
-                    Node::new(node.name.clone(), NodeKind::Linear, 1, lat, in_l.num_ciphertexts(slots)),
+                    Node::new(
+                        node.name.clone(),
+                        NodeKind::Linear,
+                        1,
+                        lat,
+                        in_l.num_ciphertexts(slots),
+                    ),
                     &pin,
                 )
             }
@@ -392,8 +479,18 @@ pub fn compile(net: &Network, fitres: &FitResult, opts: &CompileOptions) -> Comp
                 let in_l = in_layout.unwrap();
                 let c = in_l.c;
                 let (kh, kw) = (in_l.h, in_l.w);
-                let weight = Tensor::from_vec(&[c, 1, kh, kw], vec![1.0 / (kh * kw) as f64; c * kh * kw]);
-                let spec = ConvSpec { co: c, ci: c, kh, kw, stride: 1, padding: 0, dilation: 1, groups: c };
+                let weight =
+                    Tensor::from_vec(&[c, 1, kh, kw], vec![1.0 / (kh * kw) as f64; c * kh * kw]);
+                let spec = ConvSpec {
+                    co: c,
+                    ci: c,
+                    kh,
+                    kw,
+                    stride: 1,
+                    padding: 0,
+                    dilation: 1,
+                    groups: c,
+                };
                 let (plan, out_l) = conv_plan(&in_l, &spec, slots);
                 let lat = lat_fn(&|l| plan.latency(cost, l));
                 push(
@@ -401,12 +498,25 @@ pub fn compile(net: &Network, fitres: &FitResult, opts: &CompileOptions) -> Comp
                     &mut graph,
                     ProgNode {
                         name: node.name.clone(),
-                        step: Step::Conv { plan, spec, weight, bias: vec![0.0; c], in_l, out_l },
+                        step: Step::Conv {
+                            plan,
+                            spec,
+                            weight,
+                            bias: vec![0.0; c],
+                            in_l,
+                            out_l,
+                        },
                         inputs: pin.clone(),
                         layout: out_l,
                         n_cts: out_l.num_ciphertexts(slots),
                     },
-                    Node::new(node.name.clone(), NodeKind::Linear, 1, lat, in_l.num_ciphertexts(slots)),
+                    Node::new(
+                        node.name.clone(),
+                        NodeKind::Linear,
+                        1,
+                        lat,
+                        in_l.num_ciphertexts(slots),
+                    ),
                     &pin,
                 )
             }
@@ -421,7 +531,13 @@ pub fn compile(net: &Network, fitres: &FitResult, opts: &CompileOptions) -> Comp
                     &mut graph,
                     ProgNode {
                         name: node.name.clone(),
-                        step: Step::Dense { plan, weight: weight.clone(), bias: bias.clone(), in_l, n_out },
+                        step: Step::Dense {
+                            plan,
+                            weight: weight.clone(),
+                            bias: bias.clone(),
+                            in_l,
+                            n_out,
+                        },
                         inputs: pin.clone(),
                         layout: out_l,
                         n_cts: out_l.num_ciphertexts(slots),
@@ -442,7 +558,13 @@ pub fn compile(net: &Network, fitres: &FitResult, opts: &CompileOptions) -> Comp
                 push(
                     &mut prog,
                     &mut graph,
-                    ProgNode { name: node.name.clone(), step: Step::Add, inputs: pin.clone(), layout: l, n_cts: n },
+                    ProgNode {
+                        name: node.name.clone(),
+                        step: Step::Add,
+                        inputs: pin.clone(),
+                        layout: l,
+                        n_cts: n,
+                    },
                     Node::new(node.name.clone(), NodeKind::Add, 0, lat, 2 * n),
                     &pin,
                 )
@@ -492,9 +614,22 @@ fn emit_activation(
     l_eff: usize,
 ) -> usize {
     let lat_fn = |f: &dyn Fn(usize) -> f64| -> Vec<f64> { (0..=l_eff).map(f).collect() };
-    let push = |prog: &mut Vec<ProgNode>, graph: &mut Graph, pname: String, step: Step, depth: usize, lat: Vec<f64>, inputs: Vec<usize>| -> usize {
+    let push = |prog: &mut Vec<ProgNode>,
+                graph: &mut Graph,
+                pname: String,
+                step: Step,
+                depth: usize,
+                lat: Vec<f64>,
+                inputs: Vec<usize>|
+     -> usize {
         let id = prog.len();
-        prog.push(ProgNode { name: pname.clone(), step, inputs: inputs.clone(), layout, n_cts });
+        prog.push(ProgNode {
+            name: pname.clone(),
+            step,
+            inputs: inputs.clone(),
+            layout,
+            n_cts,
+        });
         let gid = graph.add_node(Node::new(pname, NodeKind::Activation, depth, lat, n_cts));
         debug_assert_eq!(gid, id);
         for i in inputs {
@@ -504,8 +639,17 @@ fn emit_activation(
     };
     match act {
         CompiledAct::Square => {
-            let lat = lat_fn(&|l| n_cts as f64 * (cost.hmult(l) + cost.pmult(l) + 2.0 * cost.rescale(l)));
-            push(prog, graph, format!("{name}.sq"), Step::Square, 2, lat, vec![input])
+            let lat =
+                lat_fn(&|l| n_cts as f64 * (cost.hmult(l) + cost.pmult(l) + 2.0 * cost.rescale(l)));
+            push(
+                prog,
+                graph,
+                format!("{name}.sq"),
+                Step::Square,
+                2,
+                lat,
+                vec![input],
+            )
         }
         CompiledAct::Poly { range, coeffs } => {
             let sd_lat = lat_fn(&|l| n_cts as f64 * (cost.pmult(l) + cost.rescale(l)));
@@ -513,7 +657,9 @@ fn emit_activation(
                 prog,
                 graph,
                 format!("{name}.scale"),
-                Step::ScaleDown { factor: 1.0 / range },
+                Step::ScaleDown {
+                    factor: 1.0 / range,
+                },
                 1,
                 sd_lat,
                 vec![input],
@@ -521,12 +667,17 @@ fn emit_activation(
             let d = coeffs.len() - 1;
             let depth = orion_poly::eval::fhe_eval_depth(d) + 1;
             let mults = stage_mult_estimate(d);
-            let lat = lat_fn(&|l| n_cts as f64 * (mults as f64 * cost.hmult(l) + d as f64 * cost.pmult(l)));
+            let lat = lat_fn(&|l| {
+                n_cts as f64 * (mults as f64 * cost.hmult(l) + d as f64 * cost.pmult(l))
+            });
             push(
                 prog,
                 graph,
                 format!("{name}.poly"),
-                Step::PolyStage { coeffs: coeffs.clone(), normalize: true },
+                Step::PolyStage {
+                    coeffs: coeffs.clone(),
+                    normalize: true,
+                },
                 depth,
                 lat,
                 vec![sd],
@@ -538,7 +689,9 @@ fn emit_activation(
                 prog,
                 graph,
                 format!("{name}.scale"),
-                Step::ScaleDown { factor: 1.0 / range },
+                Step::ScaleDown {
+                    factor: 1.0 / range,
+                },
                 1,
                 sd_lat,
                 vec![input],
@@ -548,18 +701,24 @@ fn emit_activation(
                 let d = st.len() - 1;
                 let depth = orion_poly::eval::fhe_eval_depth(d);
                 let mults = stage_mult_estimate(d);
-                let lat = lat_fn(&|l| n_cts as f64 * (mults as f64 * cost.hmult(l) + d as f64 * cost.pmult(l)));
+                let lat = lat_fn(&|l| {
+                    n_cts as f64 * (mults as f64 * cost.hmult(l) + d as f64 * cost.pmult(l))
+                });
                 cur = push(
                     prog,
                     graph,
                     format!("{name}.sign{i}"),
-                    Step::PolyStage { coeffs: st.clone(), normalize: false },
+                    Step::PolyStage {
+                        coeffs: st.clone(),
+                        normalize: false,
+                    },
                     depth,
                     lat,
                     vec![cur],
                 );
             }
-            let lat = lat_fn(&|l| n_cts as f64 * (cost.hmult(l) + cost.pmult(l) + 2.0 * cost.rescale(l)));
+            let lat =
+                lat_fn(&|l| n_cts as f64 * (cost.hmult(l) + cost.pmult(l) + 2.0 * cost.rescale(l)));
             // The fork at `sd` (skip wire) and the sign chain join here: a
             // SESE region the placement solver black-boxes (paper §5.2).
             push(
@@ -583,7 +742,11 @@ mod tests {
     use rand::SeedableRng;
 
     fn small_opts() -> CompileOptions {
-        CompileOptions { slots: 512, l_eff: 10, cost: CostModel::for_degree(1 << 10, 4) }
+        CompileOptions {
+            slots: 512,
+            l_eff: 10,
+            cost: CostModel::for_degree(1 << 10, 4),
+        }
     }
 
     fn build_mlp(rng: &mut StdRng) -> Network {
@@ -651,9 +814,19 @@ mod tests {
         net.output(bn);
         let c = compile(&net, &fixed_ranges(&net, 1.0), &small_opts());
         // one conv node only (BN absorbed)
-        let convs = c.prog.iter().filter(|p| matches!(p.step, Step::Conv { .. })).count();
+        let convs = c
+            .prog
+            .iter()
+            .filter(|p| matches!(p.step, Step::Conv { .. }))
+            .count();
         assert_eq!(convs, 1);
-        if let Step::Conv { bias, .. } = &c.prog.iter().find(|p| matches!(p.step, Step::Conv { .. })).unwrap().step {
+        if let Step::Conv { bias, .. } = &c
+            .prog
+            .iter()
+            .find(|p| matches!(p.step, Step::Conv { .. }))
+            .unwrap()
+            .step
+        {
             assert!((bias[0] - 0.1).abs() < 1e-9);
         }
     }

@@ -1,4 +1,6 @@
-//! Real-CKKS execution of compiled programs.
+//! Real-CKKS execution of compiled programs — a thin wrapper over the
+//! unified interpreter ([`crate::backend::run_program`]) with the
+//! [`CkksBackend`] engine.
 //!
 //! An [`FheSession`] owns the key material (public, relinearization, and
 //! exactly the rotation keys the compiled plans need), the bootstrap
@@ -6,17 +8,16 @@
 //! the placement policy: drop to the assigned level, bootstrap where the
 //! policy says, keep every wire at exactly scale Δ.
 
-use crate::compile::{Compiled, Step};
+use crate::backend::run_program;
+use crate::backends::CkksBackend;
+use crate::compile::Compiled;
 use orion_ckks::bootstrap::BootstrapOracle;
 use orion_ckks::encoder::Encoder;
-use orion_ckks::encrypt::{Ciphertext, Decryptor, Encryptor};
+use orion_ckks::encrypt::{Decryptor, Encryptor};
 use orion_ckks::eval::Evaluator;
 use orion_ckks::keys::KeyGenerator;
 use orion_ckks::params::{CkksParams, Context};
 use orion_ckks::precision::precision_bits;
-use orion_linear::exec::{exec_fhe as linear_exec, FheLinearContext};
-use orion_linear::values::{BiasValues, ConvDiagSource, DenseDiagSource};
-use orion_poly::eval::{evaluate_chebyshev, set_level_scale};
 use orion_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -30,11 +31,11 @@ pub struct FheSession {
     pub enc: Encoder,
     /// Evaluator with all required rotation keys.
     pub eval: Evaluator,
-    encryptor: Encryptor,
-    decryptor: Decryptor,
+    pub(crate) encryptor: Encryptor,
+    pub(crate) decryptor: Decryptor,
     /// The bootstrap oracle (level reset; see DESIGN.md).
     pub oracle: BootstrapOracle,
-    rng: parking_lot::Mutex<StdRng>,
+    pub(crate) rng: parking_lot::Mutex<StdRng>,
 }
 
 impl FheSession {
@@ -80,168 +81,16 @@ impl FheRun {
     }
 }
 
-fn drop_all(eval: &Evaluator, cts: &[Ciphertext], level: usize) -> Vec<Ciphertext> {
-    cts.iter()
-        .map(|ct| {
-            assert!(
-                ct.level() >= level,
-                "wire at level {} but the policy needs {level} — placement violated",
-                ct.level()
-            );
-            let mut c = ct.clone();
-            eval.drop_to_level(&mut c, level);
-            c
-        })
-        .collect()
-}
-
 /// Runs a compiled program on real CKKS.
 pub fn run_fhe(c: &Compiled, s: &FheSession, input: &Tensor) -> FheRun {
     let t0 = std::time::Instant::now();
-    let slots = c.opts.slots;
-    let l_eff = c.opts.l_eff;
-    let delta = s.ctx.scale();
-    let boots0 = s.oracle.count();
-    let mut wires: Vec<Option<Vec<Ciphertext>>> = vec![None; c.prog.len()];
-    let mut output = None;
-    for (id, node) in c.prog.iter().enumerate() {
-        if c.placement.boots_before[id] > 0 {
-            for &i in &node.inputs {
-                let cts = wires[i].as_ref().expect("input wire missing").clone();
-                wires[i] = Some(cts.iter().map(|ct| s.oracle.refresh(ct)).collect());
-            }
-        }
-        let level = c.placement.levels[id];
-        let take = |wires: &Vec<Option<Vec<Ciphertext>>>, i: usize| -> Vec<Ciphertext> {
-            wires[node.inputs[i]].as_ref().expect("wire not ready").clone()
-        };
-        let out: Vec<Ciphertext> = match &node.step {
-            Step::Input => {
-                let packed = c.input_layout.pack(input.data());
-                let mut rng = s.rng.lock();
-                (0..c.input_layout.num_ciphertexts(slots))
-                    .map(|b| {
-                        let lo = b * slots;
-                        let hi = ((b + 1) * slots).min(packed.len());
-                        let mut chunk = packed[lo..hi].to_vec();
-                        chunk.resize(slots, 0.0);
-                        let pt = s.enc.encode(&chunk, delta, l_eff, false);
-                        s.encryptor.encrypt(&pt, &mut *rng)
-                    })
-                    .collect()
-            }
-            Step::Output => {
-                let cts = take(&wires, 0);
-                let prev = &c.prog[node.inputs[0]];
-                let mut slots_vec = Vec::new();
-                for ct in &cts {
-                    slots_vec.extend(s.enc.decode(&s.decryptor.decrypt(ct)));
-                }
-                slots_vec.resize(prev.layout.total_slots(), 0.0);
-                let raster = prev.layout.unpack(&slots_vec);
-                let (cc, hh, ww) = (prev.layout.c, prev.layout.h, prev.layout.w);
-                output = Some(Tensor::from_vec(&[cc, hh, ww], raster));
-                cts
-            }
-            Step::Conv { plan, spec, weight, bias, in_l, out_l } => {
-                let lv = level.expect("linear unplaced");
-                let cts = drop_all(&s.eval, &take(&wires, 0), lv);
-                let src = ConvDiagSource { in_l: *in_l, out_l: *out_l, spec: *spec, weights: weight };
-                let bias_blocks = BiasValues::conv(out_l, bias, slots);
-                let fctx = FheLinearContext { eval: &s.eval, enc: &s.enc };
-                linear_exec(&fctx, plan, &src, Some(&bias_blocks), &cts)
-            }
-            Step::Dense { plan, weight, bias, in_l, n_out } => {
-                let lv = level.expect("linear unplaced");
-                let cts = drop_all(&s.eval, &take(&wires, 0), lv);
-                let src = DenseDiagSource::new(weight.clone(), in_l);
-                let bias_blocks = BiasValues::dense(*n_out, bias, slots);
-                let fctx = FheLinearContext { eval: &s.eval, enc: &s.enc };
-                linear_exec(&fctx, plan, &src, Some(&bias_blocks), &cts)
-            }
-            Step::ScaleDown { factor } => {
-                let lv = level.expect("scale-down unplaced");
-                let cts = drop_all(&s.eval, &take(&wires, 0), lv);
-                let q = s.ctx.moduli[lv] as f64;
-                cts.iter()
-                    .map(|ct| {
-                        let mut m = s.eval.mul_scalar(ct, *factor, q);
-                        s.eval.rescale_assign(&mut m);
-                        m
-                    })
-                    .collect()
-            }
-            Step::PolyStage { coeffs, normalize } => {
-                let lv = level.expect("poly unplaced");
-                let cts = drop_all(&s.eval, &take(&wires, 0), lv);
-                cts.iter()
-                    .map(|ct| {
-                        let out = evaluate_chebyshev(&s.eval, &s.enc, ct, coeffs);
-                        if *normalize {
-                            set_level_scale(&s.eval, &out, out.level() - 1, delta)
-                        } else {
-                            out
-                        }
-                    })
-                    .collect()
-            }
-            Step::ReluFinal { magnitude } => {
-                let lv = level.expect("relu final unplaced");
-                assert!(lv >= 2);
-                let u = drop_all(&s.eval, &take(&wires, 0), lv);
-                let sg = drop_all(&s.eval, &take(&wires, 1), lv - 1);
-                u.iter()
-                    .zip(&sg)
-                    .map(|(uc, sc)| {
-                        let lc = lv - 1;
-                        let q_lc = s.ctx.moduli[lc] as f64;
-                        let q_lv = s.ctx.moduli[lv] as f64;
-                        // (m·u/2) at a scale making the product land on Δ.
-                        let x_scale = delta * q_lc / sc.scale;
-                        let aux = q_lv * x_scale / uc.scale;
-                        let mut half = s.eval.mul_scalar(uc, 0.5 * magnitude, aux);
-                        s.eval.rescale_assign(&mut half);
-                        half.scale = x_scale;
-                        let mut prod = s.eval.mul_relin(&half, sc);
-                        s.eval.rescale_assign(&mut prod);
-                        prod.scale = delta;
-                        // + m·u/2 read at Δ.
-                        let mut half_x = set_level_scale(&s.eval, uc, prod.level(), delta * magnitude * 0.5);
-                        half_x.scale = delta;
-                        s.eval.add(&prod, &half_x)
-                    })
-                    .collect()
-            }
-            Step::Square => {
-                let lv = level.expect("square unplaced");
-                assert!(lv >= 2);
-                let cts = drop_all(&s.eval, &take(&wires, 0), lv);
-                cts.iter()
-                    .map(|ct| {
-                        let q = s.ctx.moduli[lv - 1] as f64;
-                        // aligned copy at scale q so the product rescales to Δ
-                        let aligned = set_level_scale(&s.eval, ct, lv - 1, q);
-                        let mut base = ct.clone();
-                        s.eval.drop_to_level(&mut base, lv - 1);
-                        let mut prod = s.eval.mul_relin(&base, &aligned);
-                        s.eval.rescale_assign(&mut prod);
-                        prod.scale = delta;
-                        prod
-                    })
-                    .collect()
-            }
-            Step::Add => {
-                let lv = level.expect("add unplaced");
-                let a = drop_all(&s.eval, &take(&wires, 0), lv);
-                let b = drop_all(&s.eval, &take(&wires, 1), lv);
-                a.iter().zip(&b).map(|(x, y)| s.eval.add(x, y)).collect()
-            }
-        };
-        wires[id] = Some(out);
-    }
+    let mut backend = CkksBackend::new(s);
+    let run = run_program(c, &mut backend, input);
     FheRun {
-        output: output.expect("program has no output"),
+        output: run.output,
         wall_seconds: t0.elapsed().as_secs_f64(),
-        bootstraps: s.oracle.count() - boots0,
+        // counted per run by the interpreter — the session-global oracle
+        // counter would interleave across concurrent batch inferences
+        bootstraps: run.bootstraps,
     }
 }

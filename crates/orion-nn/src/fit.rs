@@ -25,7 +25,10 @@ pub const RANGE_MARGIN: f64 = 1.5;
 /// Runs the calibration set through the exact network, recording every
 /// activation's input range.
 pub fn fit(net: &Network, samples: &[Tensor]) -> FitResult {
-    assert!(!samples.is_empty(), "fit needs at least one calibration sample");
+    assert!(
+        !samples.is_empty(),
+        "fit needs at least one calibration sample"
+    );
     let mut maxima: HashMap<usize, f64> = HashMap::new();
     for s in samples {
         let outs = net.forward_all_exact(s);
@@ -68,7 +71,11 @@ pub fn fit_robust(net: &Network, samples: &[Tensor], iterations: usize) -> FitRe
                     // extrapolation gone non-linear) must not poison the
                     // range with astronomically large values — grow
                     // geometrically and let the next iteration re-measure.
-                    let m = if observed.is_finite() { (observed * RANGE_MARGIN).min(*e * 8.0) } else { *e * 8.0 };
+                    let m = if observed.is_finite() {
+                        (observed * RANGE_MARGIN).min(*e * 8.0)
+                    } else {
+                        *e * 8.0
+                    };
                     if m > *e {
                         *e = m;
                         changed = true;
@@ -87,7 +94,10 @@ fn compile_all_acts(net: &Network, fitres: &FitResult) -> crate::act::CompiledAc
     let mut acts = crate::act::CompiledActs::default();
     for (id, node) in net.nodes.iter().enumerate() {
         if node.layer.is_activation() {
-            acts.map.insert(id, crate::act::compile_activation(&node.layer, fitres.ranges[&id]));
+            acts.map.insert(
+                id,
+                crate::act::compile_activation(&node.layer, fitres.ranges[&id]),
+            );
         }
     }
     acts
@@ -164,8 +174,20 @@ fn eval_single(
     let x = &vals[node.inputs[0]][sample];
     match &node.layer {
         Layer::Input => x.clone(),
-        Layer::Conv2d { weight, bias, stride, padding, dilation, groups } => {
-            let p = Conv2dParams { stride: *stride, padding: *padding, dilation: *dilation, groups: *groups };
+        Layer::Conv2d {
+            weight,
+            bias,
+            stride,
+            padding,
+            dilation,
+            groups,
+        } => {
+            let p = Conv2dParams {
+                stride: *stride,
+                padding: *padding,
+                dilation: *dilation,
+                groups: *groups,
+            };
             conv2d(x, weight, bias, p)
         }
         Layer::BatchNorm2d(bn) => batch_norm2d(x, &bn.gamma, &bn.beta, &bn.mean, &bn.var, bn.eps),
@@ -253,7 +275,9 @@ mod tests {
     #[test]
     fn fit_records_activation_ranges() {
         let (net, mut rng) = net_with_act();
-        let samples: Vec<Tensor> = (0..4).map(|_| Tensor::kaiming(&[1, 4, 4], 16, &mut rng)).collect();
+        let samples: Vec<Tensor> = (0..4)
+            .map(|_| Tensor::kaiming(&[1, 4, 4], 16, &mut rng))
+            .collect();
         let f = fit(&net, &samples);
         assert_eq!(f.ranges.len(), 1);
         let &m = f.ranges.values().next().unwrap();
@@ -295,18 +319,26 @@ mod bn_tests {
         let x = net.input();
         // a conv with deliberately large weights: without calibration the
         // BN output would be far from unit scale
-        let w = Tensor::from_vec(&[4, 2, 3, 3], (0..72).map(|_| rng.gen_range(-3.0..3.0)).collect());
+        let w = Tensor::from_vec(
+            &[4, 2, 3, 3],
+            (0..72).map(|_| rng.gen_range(-3.0..3.0)).collect(),
+        );
         let c = net.conv2d_with("conv", x, w, vec![0.5; 4], 1, 1, 1, 1);
         let b = net.batch_norm2d("bn", c);
         net.output(b);
         let samples: Vec<Tensor> = (0..6)
-            .map(|_| Tensor::from_vec(&[2, 8, 8], (0..128).map(|_| rng.gen_range(-1.0..1.0)).collect()))
+            .map(|_| {
+                Tensor::from_vec(
+                    &[2, 8, 8],
+                    (0..128).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+                )
+            })
             .collect();
         calibrate_batch_norm(&mut net, &samples);
         // After calibration, per-channel statistics of the BN output over
         // the calibration set are ~N(0, 1).
-        let mut sum = vec![0.0f64; 4];
-        let mut sumsq = vec![0.0f64; 4];
+        let mut sum = [0.0f64; 4];
+        let mut sumsq = [0.0f64; 4];
         let mut n = 0usize;
         for s in &samples {
             let out = net.forward_exact(s);
@@ -343,12 +375,20 @@ mod bn_tests {
         }
         net.output(cur);
         let samples: Vec<Tensor> = (0..4)
-            .map(|_| Tensor::from_vec(&[2, 8, 8], (0..128).map(|_| rng.gen_range(-1.0..1.0)).collect()))
+            .map(|_| {
+                Tensor::from_vec(
+                    &[2, 8, 8],
+                    (0..128).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+                )
+            })
             .collect();
         let before = net.forward_exact(&samples[0]).max_abs();
         calibrate_batch_norm(&mut net, &samples);
         let after = net.forward_exact(&samples[0]).max_abs();
-        assert!(after > before, "calibration should prevent decay: {before} -> {after}");
+        assert!(
+            after > before,
+            "calibration should prevent decay: {before} -> {after}"
+        );
         assert!(after > 0.1, "deep output still healthy: {after}");
     }
 }

@@ -20,7 +20,13 @@ pub struct BnParams {
 impl BnParams {
     /// Identity batch-norm over `c` channels.
     pub fn identity(c: usize) -> Self {
-        Self { gamma: vec![1.0; c], beta: vec![0.0; c], mean: vec![0.0; c], var: vec![1.0; c], eps: 1e-5 }
+        Self {
+            gamma: vec![1.0; c],
+            beta: vec![0.0; c],
+            mean: vec![0.0; c],
+            var: vec![1.0; c],
+            eps: 1e-5,
+        }
     }
 
     /// Per-channel `(scale, shift)` of the folded affine map.

@@ -20,6 +20,8 @@
 //!    (`run_fhe`).
 
 pub mod act;
+pub mod backend;
+pub mod backends;
 pub mod compile;
 pub mod fhe_exec;
 pub mod fit;
@@ -27,7 +29,9 @@ pub mod layer;
 pub mod network;
 pub mod trace_exec;
 
-pub use compile::{compile, Compiled, CompileOptions};
+pub use backend::{run_program, Counting, EvalBackend, LinearRef, ProgramRun};
+pub use backends::{CkksBackend, PlainBackend, TraceBackend};
+pub use compile::{compile, CompileOptions, Compiled};
 pub use fhe_exec::FheSession;
 pub use layer::Layer;
 pub use network::{Network, NodeId};

@@ -52,9 +52,20 @@ impl Network {
         0
     }
 
-    fn push(&mut self, name: impl Into<String>, layer: Layer, inputs: Vec<NodeId>, shape: (usize, usize, usize)) -> NodeId {
+    fn push(
+        &mut self,
+        name: impl Into<String>,
+        layer: Layer,
+        inputs: Vec<NodeId>,
+        shape: (usize, usize, usize),
+    ) -> NodeId {
         assert!(self.output.is_none(), "network already sealed");
-        self.nodes.push(ModuleNode { name: name.into(), layer, inputs, shape });
+        self.nodes.push(ModuleNode {
+            name: name.into(),
+            layer,
+            inputs,
+            shape,
+        });
         self.nodes.len() - 1
     }
 
@@ -78,13 +89,29 @@ impl Network {
     ) -> NodeId {
         let (c, h, w) = self.shape(prev);
         let co = weight.shape()[0];
-        assert_eq!(weight.shape()[1] * groups, c, "conv input channels mismatch at {name}");
-        let p = Conv2dParams { stride, padding, dilation, groups };
+        assert_eq!(
+            weight.shape()[1] * groups,
+            c,
+            "conv input channels mismatch at {name}"
+        );
+        let p = Conv2dParams {
+            stride,
+            padding,
+            dilation,
+            groups,
+        };
         let ho = p.out_size(h, weight.shape()[2]);
         let wo = p.out_size(w, weight.shape()[3]);
         self.push(
             name,
-            Layer::Conv2d { weight, bias, stride, padding, dilation, groups },
+            Layer::Conv2d {
+                weight,
+                bias,
+                stride,
+                padding,
+                dilation,
+                groups,
+            },
             vec![prev],
             (co, ho, wo),
         )
@@ -106,7 +133,16 @@ impl Network {
         let (c, _, _) = self.shape(prev);
         let fan_in = (c / groups) * k * k;
         let weight = Tensor::kaiming(&[co, c / groups, k, k], fan_in, rng);
-        self.conv2d_with(name, prev, weight, vec![0.0; co], stride, padding, 1, groups)
+        self.conv2d_with(
+            name,
+            prev,
+            weight,
+            vec![0.0; co],
+            stride,
+            padding,
+            1,
+            groups,
+        )
     }
 
     /// Adds a batch-norm layer (random-identity-ish statistics unless set
@@ -124,15 +160,36 @@ impl Network {
     }
 
     /// Adds a fully-connected layer with explicit weights.
-    pub fn linear_with(&mut self, name: &str, prev: NodeId, weight: Tensor, bias: Vec<f64>) -> NodeId {
+    pub fn linear_with(
+        &mut self,
+        name: &str,
+        prev: NodeId,
+        weight: Tensor,
+        bias: Vec<f64>,
+    ) -> NodeId {
         let (c, h, w) = self.shape(prev);
-        assert_eq!(weight.shape()[1], c * h * w, "linear input size mismatch at {name}");
+        assert_eq!(
+            weight.shape()[1],
+            c * h * w,
+            "linear input size mismatch at {name}"
+        );
         let n_out = weight.shape()[0];
-        self.push(name, Layer::Linear { weight, bias }, vec![prev], (n_out, 1, 1))
+        self.push(
+            name,
+            Layer::Linear { weight, bias },
+            vec![prev],
+            (n_out, 1, 1),
+        )
     }
 
     /// Adds a fully-connected layer with Kaiming-initialized weights.
-    pub fn linear<R: Rng>(&mut self, name: &str, prev: NodeId, n_out: usize, rng: &mut R) -> NodeId {
+    pub fn linear<R: Rng>(
+        &mut self,
+        name: &str,
+        prev: NodeId,
+        n_out: usize,
+        rng: &mut R,
+    ) -> NodeId {
         let (c, h, w) = self.shape(prev);
         let n_in = c * h * w;
         let weight = Tensor::kaiming(&[n_out, n_in], n_in, rng);
@@ -145,11 +202,23 @@ impl Network {
     }
 
     /// Adds average pooling with zero padding.
-    pub fn avg_pool2d_pad(&mut self, name: &str, prev: NodeId, k: usize, stride: usize, padding: usize) -> NodeId {
+    pub fn avg_pool2d_pad(
+        &mut self,
+        name: &str,
+        prev: NodeId,
+        k: usize,
+        stride: usize,
+        padding: usize,
+    ) -> NodeId {
         let (c, h, w) = self.shape(prev);
         let ho = (h + 2 * padding - k) / stride + 1;
         let wo = (w + 2 * padding - k) / stride + 1;
-        self.push(name, Layer::AvgPool2d { k, stride, padding }, vec![prev], (c, ho, wo))
+        self.push(
+            name,
+            Layer::AvgPool2d { k, stride, padding },
+            vec![prev],
+            (c, ho, wo),
+        )
     }
 
     /// Adds global average pooling.
@@ -161,7 +230,14 @@ impl Network {
     /// Adds a ReLU with the given composite sign degrees.
     pub fn relu(&mut self, name: &str, prev: NodeId, degrees: &[usize]) -> NodeId {
         let shape = self.shape(prev);
-        self.push(name, Layer::ReLU { degrees: degrees.to_vec() }, vec![prev], shape)
+        self.push(
+            name,
+            Layer::ReLU {
+                degrees: degrees.to_vec(),
+            },
+            vec![prev],
+            shape,
+        )
     }
 
     /// Adds a SiLU of the given degree.
@@ -178,11 +254,21 @@ impl Network {
 
     /// Adds a custom activation (paper: "Orion supports arbitrary
     /// activation functions that can be fit with high-degree polynomials").
-    pub fn activation(&mut self, name: &str, prev: NodeId, degree: usize, f: fn(f64) -> f64) -> NodeId {
+    pub fn activation(
+        &mut self,
+        name: &str,
+        prev: NodeId,
+        degree: usize,
+        f: fn(f64) -> f64,
+    ) -> NodeId {
         let shape = self.shape(prev);
         self.push(
             name,
-            Layer::Activation { name: name.to_string(), degree, table: f },
+            Layer::Activation {
+                name: name.to_string(),
+                degree,
+                table: f,
+            },
             vec![prev],
             shape,
         )
@@ -196,7 +282,11 @@ impl Network {
 
     /// Adds a residual join.
     pub fn add(&mut self, name: &str, a: NodeId, b: NodeId) -> NodeId {
-        assert_eq!(self.shape(a), self.shape(b), "residual shapes must match at {name}");
+        assert_eq!(
+            self.shape(a),
+            self.shape(b),
+            "residual shapes must match at {name}"
+        );
         let shape = self.shape(a);
         self.push(name, Layer::Add, vec![a, b], shape)
     }
@@ -253,17 +343,26 @@ impl Network {
     /// estimation).
     pub fn forward_all_exact(&self, input: &Tensor) -> Vec<Tensor> {
         let vals = self.forward_nodes(input, true, None);
-        vals.into_iter().map(|v| v.expect("all nodes evaluated")).collect()
+        vals.into_iter()
+            .map(|v| v.expect("all nodes evaluated"))
+            .collect()
     }
 
     /// Polynomial-activation forward pass returning every node's output
     /// (used by the poly-aware range-estimation refinement).
     pub fn forward_all_poly(&self, input: &Tensor, acts: &crate::act::CompiledActs) -> Vec<Tensor> {
         let vals = self.forward_nodes(input, false, Some(acts));
-        vals.into_iter().map(|v| v.expect("all nodes evaluated")).collect()
+        vals.into_iter()
+            .map(|v| v.expect("all nodes evaluated"))
+            .collect()
     }
 
-    fn forward_impl(&self, input: &Tensor, exact: bool, acts: Option<&crate::act::CompiledActs>) -> Tensor {
+    fn forward_impl(
+        &self,
+        input: &Tensor,
+        exact: bool,
+        acts: Option<&crate::act::CompiledActs>,
+    ) -> Tensor {
         let mut vals = self.forward_nodes(input, exact, acts);
         vals[self.output_node()].take().unwrap()
     }
@@ -277,14 +376,31 @@ impl Network {
         let mut vals: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
         vals[0] = Some(input.clone());
         for (id, node) in self.nodes.iter().enumerate().skip(1) {
-            let x = vals[node.inputs[0]].as_ref().expect("topological order violated").clone();
+            let x = vals[node.inputs[0]]
+                .as_ref()
+                .expect("topological order violated")
+                .clone();
             let out = match &node.layer {
                 Layer::Input => unreachable!(),
-                Layer::Conv2d { weight, bias, stride, padding, dilation, groups } => {
-                    let p = Conv2dParams { stride: *stride, padding: *padding, dilation: *dilation, groups: *groups };
+                Layer::Conv2d {
+                    weight,
+                    bias,
+                    stride,
+                    padding,
+                    dilation,
+                    groups,
+                } => {
+                    let p = Conv2dParams {
+                        stride: *stride,
+                        padding: *padding,
+                        dilation: *dilation,
+                        groups: *groups,
+                    };
                     conv2d(&x, weight, bias, p)
                 }
-                Layer::BatchNorm2d(bn) => batch_norm2d(&x, &bn.gamma, &bn.beta, &bn.mean, &bn.var, bn.eps),
+                Layer::BatchNorm2d(bn) => {
+                    batch_norm2d(&x, &bn.gamma, &bn.beta, &bn.mean, &bn.var, bn.eps)
+                }
                 Layer::Linear { weight, bias } => {
                     let out = linear(x.data(), weight, bias);
                     let n = out.len();

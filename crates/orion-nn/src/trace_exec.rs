@@ -1,4 +1,6 @@
-//! Trace-backend execution of compiled programs.
+//! Trace-backend execution of compiled programs — a thin wrapper over the
+//! unified interpreter ([`crate::backend::run_program`]) with the
+//! [`TraceBackend`] engine and the [`Counting`] decorator.
 //!
 //! Values are computed exactly (reference semantics + fitted polynomial
 //! activations), levels/bootstraps follow the placement policy, and every
@@ -6,13 +8,12 @@
 //! paper's reporting columns for networks far too large to run through
 //! 64-bit modular arithmetic in CI (see DESIGN.md §2).
 
-use crate::compile::{Compiled, Step};
+use crate::backend::{run_program, Counting};
+use crate::backends::TraceBackend;
+use crate::compile::Compiled;
 use orion_ckks::precision::precision_bits;
-use orion_poly::cheb::ChebPoly;
-use orion_sim::counter::OpKind;
-use orion_sim::trace::{TraceCiphertext, TraceEngine};
 use orion_sim::OpCounter;
-use orion_tensor::{conv2d, linear, Conv2dParams, Tensor};
+use orion_tensor::Tensor;
 
 /// Result of a trace run.
 pub struct TraceRun {
@@ -29,190 +30,12 @@ impl TraceRun {
     }
 }
 
-fn chunk_blocks(slots_vec: Vec<f64>, slots: usize, level: usize) -> Vec<TraceCiphertext> {
-    let blocks = slots_vec.len().div_ceil(slots).max(1);
-    (0..blocks)
-        .map(|b| {
-            let mut s = vec![0.0; slots];
-            let lo = b * slots;
-            let hi = ((b + 1) * slots).min(slots_vec.len());
-            s[..hi - lo].copy_from_slice(&slots_vec[lo..hi]);
-            TraceCiphertext { slots: s, level, pending: 0 }
-        })
-        .collect()
-}
-
-fn gather_slots(cts: &[TraceCiphertext], n: usize) -> Vec<f64> {
-    let mut out = Vec::with_capacity(n);
-    for ct in cts {
-        out.extend_from_slice(&ct.slots);
-    }
-    out.truncate(n);
-    out
-}
-
-/// Tallies one linear layer's plan at the evaluation level.
-fn tally_linear(engine: &mut TraceEngine, plan: &orion_linear::LinearPlan, level: usize) {
-    let c = engine.cost.clone();
-    engine.linear_mode = true;
-    let counts = &plan.counts;
-    engine.counter.record(OpKind::Hoist, counts.hoists as u64, counts.hoists as f64 * c.ks_decompose(level));
-    engine.counter.record(OpKind::HRotHoisted, counts.baby_rots as u64, counts.baby_rots as f64 * c.hrot_hoisted(level));
-    engine.counter.record(OpKind::HRot, counts.giant_rots as u64, counts.giant_rots as f64 * c.hrot(level));
-    engine.counter.record(OpKind::PMult, counts.pmults as u64, counts.pmults as f64 * c.pmult(level));
-    engine.counter.record(OpKind::ModDown, counts.moddowns as u64, counts.moddowns as f64 * c.ks_moddown(level));
-    engine.counter.record(OpKind::Rescale, counts.rescales as u64, counts.rescales as f64 * c.rescale(level));
-    engine.counter.linear_seconds += plan.latency(&c, level);
-    engine.linear_mode = false;
-}
-
-/// Tallies one polynomial stage.
-fn tally_poly(engine: &mut TraceEngine, degree: usize, level: usize, n_cts: usize) {
-    let c = engine.cost.clone();
-    let mults = crate::compile::stage_mult_estimate(degree);
-    engine.counter.record(OpKind::HMult, (mults * n_cts) as u64, (mults * n_cts) as f64 * c.hmult(level));
-    engine.counter.record(OpKind::PMult, (degree * n_cts) as u64, (degree * n_cts) as f64 * c.pmult(level));
-    engine.counter.record(OpKind::Rescale, (mults * n_cts) as u64, (mults * n_cts) as f64 * c.rescale(level));
-}
-
 /// Runs a compiled program on the trace backend.
 pub fn run_trace(c: &Compiled, input: &Tensor) -> TraceRun {
-    let slots = c.opts.slots;
-    let l_eff = c.opts.l_eff;
-    let mut engine = TraceEngine::new(slots, l_eff, l_eff, c.opts.cost.clone());
-    let mut wires: Vec<Option<Vec<TraceCiphertext>>> = vec![None; c.prog.len()];
-    let mut output = None;
-    for (id, node) in c.prog.iter().enumerate() {
-        // Bootstrap inputs where the policy says so.
-        if c.placement.boots_before[id] > 0 {
-            for &i in &node.inputs {
-                let cts = wires[i].as_ref().expect("input wire missing").clone();
-                let fresh: Vec<TraceCiphertext> = cts.iter().map(|ct| engine.bootstrap(ct)).collect();
-                wires[i] = Some(fresh);
-            }
-        }
-        let level = c.placement.levels[id];
-        let take = |wires: &Vec<Option<Vec<TraceCiphertext>>>, i: usize| -> Vec<TraceCiphertext> {
-            wires[node.inputs[i]].as_ref().expect("wire not ready").clone()
-        };
-        let dropped = |engine: &mut TraceEngine, cts: Vec<TraceCiphertext>, lv: usize| -> Vec<TraceCiphertext> {
-            cts.into_iter().map(|ct| engine.drop_to_level(&ct, lv)).collect()
-        };
-        let out: Vec<TraceCiphertext> = match &node.step {
-            Step::Input => {
-                let packed = c.input_layout.pack(input.data());
-                chunk_blocks(packed, slots, l_eff)
-            }
-            Step::Output => {
-                let cts = take(&wires, 0);
-                let prev = &c.prog[node.inputs[0]];
-                let n = prev.layout.total_slots();
-                let raster = prev.layout.unpack(&{
-                    let mut s = gather_slots(&cts, n);
-                    s.resize(n, 0.0);
-                    s
-                });
-                let (cc, hh, ww) = (prev.layout.c, prev.layout.h, prev.layout.w);
-                output = Some(Tensor::from_vec(&[cc, hh, ww], raster));
-                cts
-            }
-            Step::Conv { plan, spec, weight, bias, in_l, out_l } => {
-                let lv = level.expect("linear layer unplaced");
-                let cts = dropped(&mut engine, take(&wires, 0), lv);
-                let raster = in_l.unpack(&{
-                    let mut s = gather_slots(&cts, in_l.total_slots());
-                    s.resize(in_l.total_slots(), 0.0);
-                    s
-                });
-                let x = Tensor::from_vec(&[in_l.c, in_l.h, in_l.w], raster);
-                let p = Conv2dParams { stride: spec.stride, padding: spec.padding, dilation: spec.dilation, groups: spec.groups };
-                let y = conv2d(&x, weight, bias, p);
-                tally_linear(&mut engine, plan, lv);
-                chunk_blocks(out_l.pack(y.data()), slots, lv - 1)
-            }
-            Step::Dense { plan, weight, bias, in_l, n_out } => {
-                let lv = level.expect("linear layer unplaced");
-                let cts = dropped(&mut engine, take(&wires, 0), lv);
-                let raster = in_l.unpack(&{
-                    let mut s = gather_slots(&cts, in_l.total_slots());
-                    s.resize(in_l.total_slots(), 0.0);
-                    s
-                });
-                let y = linear(&raster, weight, bias);
-                let _ = n_out;
-                tally_linear(&mut engine, plan, lv);
-                chunk_blocks(y, slots, lv - 1)
-            }
-            Step::ScaleDown { factor } => {
-                let lv = level.expect("scale-down unplaced");
-                let cts = dropped(&mut engine, take(&wires, 0), lv);
-                cts.iter()
-                    .map(|ct| {
-                        let m = engine.pmult_scalar(ct, *factor);
-                        engine.rescale(&m)
-                    })
-                    .collect()
-            }
-            Step::PolyStage { coeffs, normalize } => {
-                let lv = level.expect("poly stage unplaced");
-                let cts = dropped(&mut engine, take(&wires, 0), lv);
-                let d = coeffs.len() - 1;
-                let depth = orion_poly::eval::fhe_eval_depth(d) + usize::from(*normalize);
-                tally_poly(&mut engine, d, lv, cts.len());
-                let p = ChebPoly::new(coeffs.clone());
-                cts.iter()
-                    .map(|ct| TraceCiphertext {
-                        slots: ct.slots.iter().map(|&x| p.eval(x)).collect(),
-                        level: lv - depth,
-                        pending: 0,
-                    })
-                    .collect()
-            }
-            Step::ReluFinal { magnitude } => {
-                let lv = level.expect("relu final unplaced");
-                let u = dropped(&mut engine, take(&wires, 0), lv);
-                let s = dropped(&mut engine, take(&wires, 1), lv.saturating_sub(1).max(lv.min(1)));
-                let cost = engine.cost.clone();
-                engine
-                    .counter
-                    .record(OpKind::HMult, u.len() as u64, u.len() as f64 * cost.hmult(lv));
-                u.iter()
-                    .zip(&s)
-                    .map(|(uc, sc)| TraceCiphertext {
-                        slots: uc
-                            .slots
-                            .iter()
-                            .zip(&sc.slots)
-                            .map(|(&x, &sg)| magnitude * x * (sg + 1.0) * 0.5)
-                            .collect(),
-                        level: lv - 2,
-                        pending: 0,
-                    })
-                    .collect()
-            }
-            Step::Square => {
-                let lv = level.expect("square unplaced");
-                let cts = dropped(&mut engine, take(&wires, 0), lv);
-                let cost = engine.cost.clone();
-                engine
-                    .counter
-                    .record(OpKind::HMult, cts.len() as u64, cts.len() as f64 * cost.hmult(lv));
-                cts.iter()
-                    .map(|ct| TraceCiphertext {
-                        slots: ct.slots.iter().map(|&x| x * x).collect(),
-                        level: lv - 2,
-                        pending: 0,
-                    })
-                    .collect()
-            }
-            Step::Add => {
-                let lv = level.expect("add unplaced");
-                let a = dropped(&mut engine, take(&wires, 0), lv);
-                let b = dropped(&mut engine, take(&wires, 1), lv);
-                a.iter().zip(&b).map(|(x, y)| engine.hadd(x, y)).collect()
-            }
-        };
-        wires[id] = Some(out);
+    let mut backend = Counting::new(TraceBackend::new(c), c.opts.cost.clone(), c.opts.l_eff);
+    let run = run_program(c, &mut backend, input);
+    TraceRun {
+        output: run.output,
+        counter: backend.counter,
     }
-    TraceRun { output: output.expect("program has no output node"), counter: engine.counter }
 }

@@ -16,7 +16,10 @@ use rand::{Rng, SeedableRng};
 
 fn random_input(c: usize, h: usize, w: usize, rng: &mut StdRng) -> Tensor {
     let n = c * h * w;
-    Tensor::from_vec(&[c, h, w], (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect())
+    Tensor::from_vec(
+        &[c, h, w],
+        (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    )
 }
 
 #[test]
@@ -34,7 +37,11 @@ fn trace_run_matches_polynomial_reference() {
 
     let samples: Vec<Tensor> = (0..4).map(|_| random_input(3, 8, 8, &mut rng)).collect();
     let fitres = fit(&net, &samples);
-    let opts = CompileOptions { slots: 1024, l_eff: 10, cost: CostModel::for_degree(1 << 11, 4) };
+    let opts = CompileOptions {
+        slots: 1024,
+        l_eff: 10,
+        cost: CostModel::for_degree(1 << 11, 4),
+    };
     let compiled = compile(&net, &fitres, &opts);
 
     let input = random_input(3, 8, 8, &mut rng);
@@ -47,7 +54,10 @@ fn trace_run_matches_polynomial_reference() {
     // error of the activations).
     let exact = net.forward_exact(&input);
     let prec_exact = precision_bits(run.output.data(), exact.data());
-    assert!(prec_exact > 4.0, "polynomial approximation too loose: {prec_exact} bits");
+    assert!(
+        prec_exact > 4.0,
+        "polynomial approximation too loose: {prec_exact} bits"
+    );
     // Statistics flowed.
     assert!(run.counter.rotations() > 0);
     assert!(run.counter.seconds > 0.0);
@@ -67,7 +77,11 @@ fn trace_run_places_bootstraps_on_deep_networks() {
     let fitres = fixed_ranges(&net, 8.0);
     // Each conv(1) + scale(1) + silu(d31: 6+1) = 9 levels per block; with
     // l_eff = 9 bootstraps are mandatory.
-    let opts = CompileOptions { slots: 256, l_eff: 9, cost: CostModel::for_degree(1 << 9, 4) };
+    let opts = CompileOptions {
+        slots: 256,
+        l_eff: 9,
+        cost: CostModel::for_degree(1 << 9, 4),
+    };
     let compiled = compile(&net, &fitres, &opts);
     assert!(compiled.placement.boot_count > 0);
     let input = random_input(2, 8, 8, &mut rng);
@@ -111,7 +125,11 @@ fn fhe_mlp_with_square_activation_end_to_end() {
 #[test]
 fn fhe_conv_silu_network_end_to_end() {
     // A convolutional network with a SiLU activation on real CKKS.
-    let params = CkksParams { max_level: 10, boot_levels: 2, ..CkksParams::tiny() };
+    let params = CkksParams {
+        max_level: 10,
+        boot_levels: 2,
+        ..CkksParams::tiny()
+    };
     let mut rng = StdRng::seed_from_u64(104);
     let mut net = Network::new(1, 8, 8);
     let x = net.input();
@@ -137,7 +155,11 @@ fn fhe_conv_silu_network_end_to_end() {
 #[test]
 fn fhe_relu_network_end_to_end() {
     // ReLU through the composite sign, on real CKKS, with a residual skip.
-    let params = CkksParams { max_level: 12, boot_levels: 2, ..CkksParams::tiny() };
+    let params = CkksParams {
+        max_level: 12,
+        boot_levels: 2,
+        ..CkksParams::tiny()
+    };
     let mut rng = StdRng::seed_from_u64(106);
     let mut net = Network::new(2, 4, 4);
     let x = net.input();
@@ -186,7 +208,11 @@ fn fhe_multi_ciphertext_wire() {
     // Input tensor spans TWO ciphertexts (4·16·16 = 1024 > 512 slots at
     // N = 2^10): the blocked matvec, residual adds, and activations must
     // all handle multi-ciphertext wires on real CKKS.
-    let params = CkksParams { max_level: 8, boot_levels: 2, ..CkksParams::tiny() };
+    let params = CkksParams {
+        max_level: 8,
+        boot_levels: 2,
+        ..CkksParams::tiny()
+    };
     let mut rng = StdRng::seed_from_u64(200);
     let mut net = Network::new(4, 16, 16);
     let x = net.input();
@@ -201,7 +227,10 @@ fn fhe_multi_ciphertext_wire() {
     let opts = CompileOptions::from_params(&params);
     let compiled = compile(&net, &fitres, &opts);
     // verify the wire really spans 2 ciphertexts
-    assert!(compiled.prog.iter().any(|p| p.n_cts >= 2), "test needs a multi-ct wire");
+    assert!(
+        compiled.prog.iter().any(|p| p.n_cts >= 2),
+        "test needs a multi-ct wire"
+    );
     let session = FheSession::new(params, &compiled, 201);
     let input = random_input(4, 16, 16, &mut rng);
     let run = run_fhe(&compiled, &session, &input);
@@ -218,7 +247,11 @@ fn report_and_dot_render() {
     let c = net.conv2d("conv", x, 2, 3, 1, 1, 1, &mut rng);
     let a = net.silu("act", c, 15);
     net.output(a);
-    let opts = CompileOptions { slots: 256, l_eff: 8, cost: CostModel::for_degree(1 << 9, 3) };
+    let opts = CompileOptions {
+        slots: 256,
+        l_eff: 8,
+        cost: CostModel::for_degree(1 << 9, 3),
+    };
     let compiled = compile(&net, &fixed_ranges(&net, 4.0), &opts);
     let report = compiled.report();
     assert!(report.contains("conv 3x3"));

@@ -46,7 +46,8 @@ impl ChebPoly {
             .map(|k| {
                 let mut acc = 0.0;
                 for (j, &v) in vals.iter().enumerate() {
-                    acc += v * (std::f64::consts::PI * k as f64 * (j as f64 + 0.5) / n as f64).cos();
+                    acc +=
+                        v * (std::f64::consts::PI * k as f64 * (j as f64 + 0.5) / n as f64).cos();
                 }
                 acc * 2.0 / n as f64 * if k == 0 { 0.5 } else { 1.0 }
             })
@@ -94,7 +95,9 @@ impl ChebPoly {
             ata[i][n] = s;
         }
         for col in 0..n {
-            let piv = (col..n).max_by(|&i, &j| ata[i][col].abs().partial_cmp(&ata[j][col].abs()).unwrap()).unwrap();
+            let piv = (col..n)
+                .max_by(|&i, &j| ata[i][col].abs().partial_cmp(&ata[j][col].abs()).unwrap())
+                .unwrap();
             ata.swap(col, piv);
             let d = ata[col][col];
             assert!(d.abs() > 1e-300, "singular normal equations");
@@ -110,7 +113,9 @@ impl ChebPoly {
                 }
             }
         }
-        Self { coeffs: (0..n).map(|i| ata[i][n]).collect() }
+        Self {
+            coeffs: (0..n).map(|i| ata[i][n]).collect(),
+        }
     }
 
     /// Evaluates via the Clenshaw recurrence (cleartext reference).
@@ -171,7 +176,11 @@ mod tests {
     fn interpolates_smooth_function_accurately() {
         let silu = |x: f64| x / (1.0 + (-4.0 * x).exp());
         let p = ChebPoly::interpolate(silu, 63);
-        assert!(p.max_error(silu, 501) < 1e-6, "err = {}", p.max_error(silu, 501));
+        assert!(
+            p.max_error(silu, 501) < 1e-6,
+            "err = {}",
+            p.max_error(silu, 501)
+        );
     }
 
     #[test]
@@ -186,10 +195,12 @@ mod tests {
 
     #[test]
     fn least_squares_recovers_line() {
-        let pts: Vec<(f64, f64)> = (0..50).map(|i| {
-            let x = -1.0 + 0.04 * i as f64;
-            (x, 3.0 * x)
-        }).collect();
+        let pts: Vec<(f64, f64)> = (0..50)
+            .map(|i| {
+                let x = -1.0 + 0.04 * i as f64;
+                (x, 3.0 * x)
+            })
+            .collect();
         let p = ChebPoly::fit_least_squares(&pts, 3);
         assert!((p.eval(0.5) - 1.5).abs() < 1e-9);
     }

@@ -99,7 +99,9 @@ impl<'a> PolyEvaluator<'a> {
         let two_prod = self.eval.add(&prod, &prod);
         let out = if a == b {
             // T_{2a} = 2·T_a² − 1
-            let neg_one = self.enc.encode_constant(-1.0, two_prod.scale, two_prod.level(), false);
+            let neg_one = self
+                .enc
+                .encode_constant(-1.0, two_prod.scale, two_prod.level(), false);
             self.eval.add_plain(&two_prod, &neg_one)
         } else {
             // T_{a+b} = 2·T_a·T_b − T_{a−b}; a−b = 1 by construction.
@@ -128,7 +130,9 @@ impl<'a> PolyEvaluator<'a> {
         self.eval.rescale_assign(&mut acc);
         acc.scale = target_scale;
         if coeffs[0] != 0.0 {
-            let c0 = self.enc.encode_constant(coeffs[0], target_scale, target_level, false);
+            let c0 = self
+                .enc
+                .encode_constant(coeffs[0], target_scale, target_level, false);
             acc = self.eval.add_plain(&acc, &c0);
         }
         for (k, &c) in coeffs.iter().enumerate().skip(1) {
@@ -191,7 +195,12 @@ impl<'a> PolyEvaluator<'a> {
 /// values in `[-1, 1]` (Orion's range estimation guarantees this upstream —
 /// paper §6). The output scale is the schedule's value at the exit level
 /// (≈ Δ, exactly consistent for all same-level ciphertexts).
-pub fn evaluate_chebyshev(eval: &Evaluator, enc: &Encoder, ct: &Ciphertext, coeffs: &[f64]) -> Ciphertext {
+pub fn evaluate_chebyshev(
+    eval: &Evaluator,
+    enc: &Encoder,
+    ct: &Ciphertext,
+    coeffs: &[f64],
+) -> Ciphertext {
     // Trim trailing zeros.
     let mut len = coeffs.len();
     while len > 1 && coeffs[len - 1].abs() < 1e-13 {
@@ -199,7 +208,10 @@ pub fn evaluate_chebyshev(eval: &Evaluator, enc: &Encoder, ct: &Ciphertext, coef
     }
     let coeffs = &coeffs[..len];
     let d = len - 1;
-    assert!(d >= 1, "constant polynomials need no homomorphic evaluation");
+    assert!(
+        d >= 1,
+        "constant polynomials need no homomorphic evaluation"
+    );
     assert!(
         ct.level() >= fhe_eval_depth(d),
         "level {} too low for degree-{d} evaluation (need {})",
@@ -259,7 +271,7 @@ pub fn relu_fhe(
     let mut prod = eval.mul_relin(&half_x_hi, &s);
     eval.rescale_assign(&mut prod);
     prod.scale = delta; // x_scale·s.scale/q by construction
-    // + x/2 at (prod.level, Δ): produce raw x·(Δ/2) and read it at Δ.
+                        // + x/2 at (prod.level, Δ): produce raw x·(Δ/2) and read it at Δ.
     let mut half_x = set_level_scale(eval, ct, prod.level(), delta * 0.5);
     half_x.scale = delta;
     eval.add(&prod, &half_x)
@@ -303,7 +315,9 @@ mod tests {
     }
 
     fn test_inputs(n: usize) -> Vec<f64> {
-        (0..n).map(|i| -0.95 + 1.9 * (i % 97) as f64 / 96.0).collect()
+        (0..n)
+            .map(|i| -0.95 + 1.9 * (i % 97) as f64 / 96.0)
+            .collect()
     }
 
     #[test]
@@ -321,12 +335,19 @@ mod tests {
         let poly = ChebPoly::interpolate(|x| 0.5 * x * x * x - 0.25 * x, 3);
         let vals = test_inputs(h.ctx.slots());
         let level = h.ctx.max_level();
-        let ct = h.encryptor.encrypt(&h.enc.encode(&vals, h.ctx.scale(), level, false), &mut h.rng);
+        let ct = h.encryptor.encrypt(
+            &h.enc.encode(&vals, h.ctx.scale(), level, false),
+            &mut h.rng,
+        );
         let out_ct = evaluate_chebyshev(&h.eval, &h.enc, &ct, &poly.coeffs);
         let out = h.enc.decode(&h.dec.decrypt(&out_ct));
         for i in (0..vals.len()).step_by(101) {
             let expect = poly.eval(vals[i]);
-            assert!((out[i] - expect).abs() < 1e-3, "slot {i}: {} vs {expect}", out[i]);
+            assert!(
+                (out[i] - expect).abs() < 1e-3,
+                "slot {i}: {} vs {expect}",
+                out[i]
+            );
         }
     }
 
@@ -337,13 +358,20 @@ mod tests {
         let poly = ChebPoly::interpolate(silu, 15);
         let vals = test_inputs(h.ctx.slots());
         let level = h.ctx.max_level();
-        let ct = h.encryptor.encrypt(&h.enc.encode(&vals, h.ctx.scale(), level, false), &mut h.rng);
+        let ct = h.encryptor.encrypt(
+            &h.enc.encode(&vals, h.ctx.scale(), level, false),
+            &mut h.rng,
+        );
         let out_ct = evaluate_chebyshev(&h.eval, &h.enc, &ct, &poly.coeffs);
         assert_eq!(out_ct.level(), level - fhe_eval_depth(15));
         let out = h.enc.decode(&h.dec.decrypt(&out_ct));
         for i in (0..vals.len()).step_by(97) {
             let expect = poly.eval(vals[i]);
-            assert!((out[i] - expect).abs() < 5e-3, "slot {i}: {} vs {expect}", out[i]);
+            assert!(
+                (out[i] - expect).abs() < 5e-3,
+                "slot {i}: {} vs {expect}",
+                out[i]
+            );
         }
     }
 
@@ -354,12 +382,19 @@ mod tests {
         let poly = ChebPoly::interpolate(f, 31);
         let vals = test_inputs(h.ctx.slots());
         let level = h.ctx.max_level();
-        let ct = h.encryptor.encrypt(&h.enc.encode(&vals, h.ctx.scale(), level, false), &mut h.rng);
+        let ct = h.encryptor.encrypt(
+            &h.enc.encode(&vals, h.ctx.scale(), level, false),
+            &mut h.rng,
+        );
         let out_ct = evaluate_chebyshev(&h.eval, &h.enc, &ct, &poly.coeffs);
         let out = h.enc.decode(&h.dec.decrypt(&out_ct));
         for i in (0..vals.len()).step_by(89) {
             let expect = poly.eval(vals[i]);
-            assert!((out[i] - expect).abs() < 1e-2, "slot {i}: {} vs {expect}", out[i]);
+            assert!(
+                (out[i] - expect).abs() < 1e-2,
+                "slot {i}: {} vs {expect}",
+                out[i]
+            );
         }
     }
 
@@ -371,7 +406,10 @@ mod tests {
         let sign = CompositeSign::fit(&[15], 0.15);
         let vals = test_inputs(h.ctx.slots());
         let level = h.ctx.max_level();
-        let ct = h.encryptor.encrypt(&h.enc.encode(&vals, h.ctx.scale(), level, false), &mut h.rng);
+        let ct = h.encryptor.encrypt(
+            &h.enc.encode(&vals, h.ctx.scale(), level, false),
+            &mut h.rng,
+        );
         let out_ct = relu_fhe(&h.eval, &h.enc, &ct, &sign);
         let out = h.enc.decode(&h.dec.decrypt(&out_ct));
         for i in (0..vals.len()).step_by(61) {

@@ -71,7 +71,10 @@ impl CompositeSign {
                 let x = lo * j as f64 / 999.0;
                 pmax = pmax.max(p.eval(x).abs());
             }
-            assert!(pmin > 0.0, "stage {si} failed to separate signs (band [{lo}, 1])");
+            assert!(
+                pmin > 0.0,
+                "stage {si} failed to separate signs (band [{lo}, 1])"
+            );
             p.scale_output(1.0 / pmax);
             lo = pmin / pmax;
             stages.push(p);

@@ -13,10 +13,8 @@
 //!   decomposition does `(ℓ+1)(ℓ+2)` NTTs),
 //! * bootstrap: super-linear in `L_eff` (dnum growth; Figure 1c).
 
-use serde::{Deserialize, Serialize};
-
 /// Analytical cost model for one CKKS parameter set.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CostModel {
     /// Ring degree `N`.
     pub n: usize,
@@ -33,7 +31,13 @@ pub struct CostModel {
 impl CostModel {
     /// Model for a given ring degree with paper-calibrated constants.
     pub fn for_degree(n: usize, boot_levels: usize) -> Self {
-        Self { n, boot_levels, ntt_unit: 2.5e-9, mul_unit: 4.0e-10, boot_unit: 1.9e-2 }
+        Self {
+            n,
+            boot_levels,
+            ntt_unit: 2.5e-9,
+            mul_unit: 4.0e-10,
+            boot_unit: 1.9e-2,
+        }
     }
 
     /// Model matching the paper's evaluation parameters (N = 2¹⁶,
@@ -155,7 +159,10 @@ mod tests {
     fn bootstrap_matches_paper_regime() {
         let m = CostModel::paper();
         let b = m.bootstrap(10);
-        assert!(b > 5.0 && b < 20.0, "L_eff=10 bootstrap should be ~10s, got {b}");
+        assert!(
+            b > 5.0 && b < 20.0,
+            "L_eff=10 bootstrap should be ~10s, got {b}"
+        );
         // Figure 1c: increasing L_eff increases bootstrap latency
         // super-linearly.
         assert!(m.bootstrap(20) > 1.5 * m.bootstrap(10));

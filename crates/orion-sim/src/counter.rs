@@ -1,11 +1,11 @@
 //! Operation counters: the statistics behind the paper's "# Rots" and
 //! "# Boots" columns (Tables 2–4).
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::collections::BTreeMap;
 
 /// Kinds of homomorphic operations tallied during execution.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum OpKind {
     /// Ciphertext + ciphertext.
     HAdd,
@@ -29,8 +29,60 @@ pub enum OpKind {
     Bootstrap,
 }
 
+impl OpKind {
+    /// All kinds, in `Ord` order.
+    pub const ALL: [OpKind; 10] = [
+        OpKind::HAdd,
+        OpKind::PAdd,
+        OpKind::PMult,
+        OpKind::HMult,
+        OpKind::HRot,
+        OpKind::HRotHoisted,
+        OpKind::Hoist,
+        OpKind::ModDown,
+        OpKind::Rescale,
+        OpKind::Bootstrap,
+    ];
+
+    /// Stable serialization name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OpKind::HAdd => "HAdd",
+            OpKind::PAdd => "PAdd",
+            OpKind::PMult => "PMult",
+            OpKind::HMult => "HMult",
+            OpKind::HRot => "HRot",
+            OpKind::HRotHoisted => "HRotHoisted",
+            OpKind::Hoist => "Hoist",
+            OpKind::ModDown => "ModDown",
+            OpKind::Rescale => "Rescale",
+            OpKind::Bootstrap => "Bootstrap",
+        }
+    }
+
+    /// Inverse of [`OpKind::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        OpKind::ALL.iter().copied().find(|k| k.name() == name)
+    }
+}
+
+impl Serialize for OpKind {
+    fn to_value(&self) -> Value {
+        Value::Str(self.name().to_string())
+    }
+}
+
+impl Deserialize for OpKind {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| format!("expected op-kind string, got {v:?}"))?;
+        Self::from_name(s).ok_or_else(|| format!("unknown op kind {s:?}"))
+    }
+}
+
 /// Tallies operations and accumulates modeled latency.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct OpCounter {
     counts: BTreeMap<OpKind, u64>,
     /// Total modeled latency (seconds).
@@ -86,6 +138,57 @@ impl OpCounter {
     /// All counts, for reports.
     pub fn all(&self) -> &BTreeMap<OpKind, u64> {
         &self.counts
+    }
+}
+
+impl Serialize for OpCounter {
+    fn to_value(&self) -> Value {
+        let counts = self
+            .counts
+            .iter()
+            .map(|(k, &n)| (k.name().to_string(), Value::Num(n as f64)))
+            .collect();
+        Value::Obj(vec![
+            ("counts".to_string(), Value::Obj(counts)),
+            ("seconds".to_string(), Value::Num(self.seconds)),
+            (
+                "linear_seconds".to_string(),
+                Value::Num(self.linear_seconds),
+            ),
+            (
+                "bootstrap_seconds".to_string(),
+                Value::Num(self.bootstrap_seconds),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for OpCounter {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let counts_obj = match v.get("counts") {
+            Some(Value::Obj(fields)) => fields,
+            other => return Err(format!("expected counts object, got {other:?}")),
+        };
+        let mut counts = BTreeMap::new();
+        for (name, n) in counts_obj {
+            let kind =
+                OpKind::from_name(name).ok_or_else(|| format!("unknown op kind {name:?}"))?;
+            let n = n
+                .as_f64()
+                .ok_or_else(|| format!("count {name:?} is not a number"))?;
+            counts.insert(kind, n as u64);
+        }
+        let field = |key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("missing numeric field {key:?}"))
+        };
+        Ok(Self {
+            counts,
+            seconds: field("seconds")?,
+            linear_seconds: field("linear_seconds")?,
+            bootstrap_seconds: field("bootstrap_seconds")?,
+        })
     }
 }
 

@@ -1,16 +1,15 @@
-//! The cleartext trace backend.
+//! The cleartext trace engine.
 //!
 //! [`TraceEngine`] mirrors the real evaluator's instruction set on plain
 //! `f64` slot vectors while enforcing FHE legality: multiplications must be
 //! rescaled, rescales consume levels, level-0 ciphertexts must be
 //! bootstrapped before further depth, and bootstraps return to `L_eff`.
-//! Every operation is tallied with its modeled latency, so a network
-//! executed on this backend yields both a *numerically correct* output and
-//! the paper's reporting columns (# Rots, # Boots, latency) — without the
-//! 64-bit modular arithmetic that makes ImageNet-scale FHE runs take hours.
-
-use crate::cost::CostModel;
-use crate::counter::{OpCounter, OpKind};
+//!
+//! The engine models *semantics and legality only* — operation counting
+//! and modeled latency live in one place, the `Counting` backend decorator
+//! in `orion-nn` (`orion_nn::backend::Counting`), so the paper's reporting
+//! columns are produced identically for every execution engine rather
+//! than re-tallied per engine.
 
 /// A "ciphertext" in the trace backend: cleartext slots plus the FHE
 /// bookkeeping (level, pending rescales).
@@ -49,7 +48,7 @@ impl HoistedTrace {
     }
 }
 
-/// Cleartext executor with FHE-legality enforcement and op counting.
+/// Cleartext executor with FHE-legality enforcement.
 pub struct TraceEngine {
     /// Slot count per ciphertext.
     pub slots: usize,
@@ -57,26 +56,16 @@ pub struct TraceEngine {
     pub max_level: usize,
     /// Post-bootstrap level `L_eff`.
     pub effective_level: usize,
-    /// The latency model.
-    pub cost: CostModel,
-    /// Accumulated statistics.
-    pub counter: OpCounter,
-    /// When set, latency is also attributed to the linear-layer bucket
-    /// (Table 4's "Convs. (s)").
-    pub linear_mode: bool,
 }
 
 impl TraceEngine {
     /// Creates an engine for `slots` slots and the given level budget.
-    pub fn new(slots: usize, max_level: usize, effective_level: usize, cost: CostModel) -> Self {
+    pub fn new(slots: usize, max_level: usize, effective_level: usize) -> Self {
         assert!(effective_level <= max_level);
-        Self { slots, max_level, effective_level, cost, counter: OpCounter::new(), linear_mode: false }
-    }
-
-    fn tally(&mut self, kind: OpKind, n: u64, secs: f64) {
-        self.counter.record(kind, n, secs);
-        if self.linear_mode {
-            self.counter.linear_seconds += secs;
+        Self {
+            slots,
+            max_level,
+            effective_level,
         }
     }
 
@@ -86,7 +75,11 @@ impl TraceEngine {
         assert!(level <= self.max_level);
         let mut slots = vals.to_vec();
         slots.resize(self.slots, 0.0);
-        TraceCiphertext { slots, level, pending: 0 }
+        TraceCiphertext {
+            slots,
+            level,
+            pending: 0,
+        }
     }
 
     /// Reads the slot values back ("decrypt + decode").
@@ -95,40 +88,68 @@ impl TraceEngine {
     }
 
     fn check_mul_ready(ct: &TraceCiphertext) {
-        assert!(ct.pending == 0, "multiplying an unrescaled ciphertext (scale would drift)");
+        assert!(
+            ct.pending == 0,
+            "multiplying an unrescaled ciphertext (scale would drift)"
+        );
     }
 
     /// `HAdd` (levels must match, as in CKKS).
     pub fn hadd(&mut self, a: &TraceCiphertext, b: &TraceCiphertext) -> TraceCiphertext {
-        assert_eq!(a.level, b.level, "HAdd level mismatch — the compiler must align levels");
+        assert_eq!(
+            a.level, b.level,
+            "HAdd level mismatch — the compiler must align levels"
+        );
         assert_eq!(a.pending, b.pending, "HAdd scale mismatch");
         let slots = a.slots.iter().zip(&b.slots).map(|(x, y)| x + y).collect();
-        self.tally(OpKind::HAdd, 1, self.cost.hadd(a.level));
-        TraceCiphertext { slots, level: a.level, pending: a.pending }
+        TraceCiphertext {
+            slots,
+            level: a.level,
+            pending: a.pending,
+        }
     }
 
     /// `PAdd` with a plaintext vector.
     pub fn padd(&mut self, a: &TraceCiphertext, v: &[f64]) -> TraceCiphertext {
-        let slots = a.slots.iter().enumerate().map(|(i, x)| x + v.get(i).copied().unwrap_or(0.0)).collect();
-        self.tally(OpKind::PAdd, 1, self.cost.hadd(a.level));
-        TraceCiphertext { slots, level: a.level, pending: a.pending }
+        let slots = a
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x + v.get(i).copied().unwrap_or(0.0))
+            .collect();
+        TraceCiphertext {
+            slots,
+            level: a.level,
+            pending: a.pending,
+        }
     }
 
     /// `PMult` with a plaintext vector; the result carries a pending
     /// rescale.
     pub fn pmult(&mut self, a: &TraceCiphertext, v: &[f64]) -> TraceCiphertext {
         Self::check_mul_ready(a);
-        let slots = a.slots.iter().enumerate().map(|(i, x)| x * v.get(i).copied().unwrap_or(0.0)).collect();
-        self.tally(OpKind::PMult, 1, self.cost.pmult(a.level));
-        TraceCiphertext { slots, level: a.level, pending: 1 }
+        let slots = a
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x * v.get(i).copied().unwrap_or(0.0))
+            .collect();
+        TraceCiphertext {
+            slots,
+            level: a.level,
+            pending: 1,
+        }
     }
 
     /// `PMult` by a replicated scalar.
     pub fn pmult_scalar(&mut self, a: &TraceCiphertext, s: f64) -> TraceCiphertext {
         Self::check_mul_ready(a);
         let slots = a.slots.iter().map(|x| x * s).collect();
-        self.tally(OpKind::PMult, 1, self.cost.pmult(a.level));
-        TraceCiphertext { slots, level: a.level, pending: 1 }
+        TraceCiphertext {
+            slots,
+            level: a.level,
+            pending: 1,
+        }
     }
 
     /// `HMult` with relinearization.
@@ -138,22 +159,32 @@ impl TraceEngine {
         Self::check_mul_ready(b);
         assert!(a.level >= 1, "HMult at level 0 — bootstrap required first");
         let slots = a.slots.iter().zip(&b.slots).map(|(x, y)| x * y).collect();
-        self.tally(OpKind::HMult, 1, self.cost.hmult(a.level));
-        TraceCiphertext { slots, level: a.level, pending: 1 }
+        TraceCiphertext {
+            slots,
+            level: a.level,
+            pending: 1,
+        }
     }
 
     /// Rescale: settles one pending multiplication, consuming a level.
     pub fn rescale(&mut self, a: &TraceCiphertext) -> TraceCiphertext {
         assert!(a.pending > 0, "nothing to rescale");
         assert!(a.level >= 1, "rescale at level 0 — bootstrap required");
-        self.tally(OpKind::Rescale, 1, self.cost.rescale(a.level));
-        TraceCiphertext { slots: a.slots.clone(), level: a.level - 1, pending: a.pending - 1 }
+        TraceCiphertext {
+            slots: a.slots.clone(),
+            level: a.level - 1,
+            pending: a.pending - 1,
+        }
     }
 
-    /// Free level drop (no latency counted, as in the real backend).
+    /// Free level drop.
     pub fn drop_to_level(&mut self, a: &TraceCiphertext, level: usize) -> TraceCiphertext {
         assert!(level <= a.level, "cannot drop upward");
-        TraceCiphertext { slots: a.slots.clone(), level, pending: a.pending }
+        TraceCiphertext {
+            slots: a.slots.clone(),
+            level,
+            pending: a.pending,
+        }
     }
 
     /// Full `HRot` by `k` (out[i] = in[(i+k) mod slots]).
@@ -165,14 +196,16 @@ impl TraceEngine {
         let slots = (0..self.slots)
             .map(|i| a.slots[((i as isize + k).rem_euclid(n)) as usize])
             .collect();
-        self.tally(OpKind::HRot, 1, self.cost.hrot(a.level));
-        TraceCiphertext { slots, level: a.level, pending: a.pending }
+        TraceCiphertext {
+            slots,
+            level: a.level,
+            pending: a.pending,
+        }
     }
 
-    /// Pays the hoisting cost once; subsequent [`Self::rotate_hoisted`]
-    /// calls are cheap.
+    /// Marks a ciphertext hoisted; subsequent [`Self::rotate_hoisted`]
+    /// calls model the shared digit decomposition.
     pub fn hoist(&mut self, a: &TraceCiphertext) -> HoistedTrace {
-        self.tally(OpKind::Hoist, 1, self.cost.ks_decompose(a.level));
         HoistedTrace { inner: a.clone() }
     }
 
@@ -186,21 +219,21 @@ impl TraceEngine {
         let slots = (0..self.slots)
             .map(|i| a.slots[((i as isize + k).rem_euclid(n)) as usize])
             .collect();
-        self.tally(OpKind::HRotHoisted, 1, self.cost.hrot_hoisted(a.level));
-        TraceCiphertext { slots, level: a.level, pending: a.pending }
-    }
-
-    /// A deferred ModDown (double-hoisting bookkeeping; once per
-    /// giant-step group).
-    pub fn mod_down(&mut self, level: usize) {
-        self.tally(OpKind::ModDown, 1, self.cost.ks_moddown(level));
+        TraceCiphertext {
+            slots,
+            level: a.level,
+            pending: a.pending,
+        }
     }
 
     /// Bootstrap: resets to `L_eff` (paper §2.5.4).
     pub fn bootstrap(&mut self, a: &TraceCiphertext) -> TraceCiphertext {
         assert_eq!(a.pending, 0, "rescale before bootstrapping");
-        self.tally(OpKind::Bootstrap, 1, self.cost.bootstrap(self.effective_level));
-        TraceCiphertext { slots: a.slots.clone(), level: self.effective_level, pending: 0 }
+        TraceCiphertext {
+            slots: a.slots.clone(),
+            level: self.effective_level,
+            pending: 0,
+        }
     }
 }
 
@@ -209,7 +242,7 @@ mod tests {
     use super::*;
 
     fn engine() -> TraceEngine {
-        TraceEngine::new(8, 6, 4, CostModel::for_degree(1 << 13, 2))
+        TraceEngine::new(8, 6, 4)
     }
 
     #[test]
@@ -220,7 +253,6 @@ mod tests {
         assert_eq!(r.slots, vec![3.0, 4.0, 5.0, 6.0, 7.0, 0.0, 1.0, 2.0]);
         let r = e.rotate(&ct, -1);
         assert_eq!(r.slots[0], 7.0);
-        assert_eq!(e.counter.rotations(), 2);
     }
 
     #[test]
@@ -260,24 +292,17 @@ mod tests {
         let b = e.bootstrap(&ct);
         assert_eq!(b.level, 4);
         assert_eq!(b.slots[0], 0.5);
-        assert_eq!(e.counter.bootstraps(), 1);
-        assert!(e.counter.bootstrap_seconds > 0.0);
     }
 
     #[test]
-    fn hoisted_rotations_share_decomposition_cost() {
+    fn hoisted_rotation_matches_full_rotation() {
         let mut e = engine();
         let ct = e.encrypt(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0], 3);
         let h = e.hoist(&ct);
-        let before = e.counter.seconds;
         let r1 = e.rotate_hoisted(&h, 1);
-        let hoisted_cost = e.counter.seconds - before;
+        let r2 = e.rotate(&ct, 1);
+        assert_eq!(r1.slots, r2.slots);
         assert_eq!(r1.slots[0], 2.0);
-        let mut e2 = engine();
-        let before = e2.counter.seconds;
-        let _ = e2.rotate(&ct, 1);
-        let full_cost = e2.counter.seconds - before;
-        assert!(full_cost > hoisted_cost * 2.0, "{full_cost} vs {hoisted_cost}");
     }
 
     #[test]
@@ -289,17 +314,5 @@ mod tests {
         let m = e.rescale(&m);
         assert_eq!(m.slots[0], -1.5);
         assert_eq!(m.level, 1);
-    }
-
-    #[test]
-    fn linear_mode_attributes_latency() {
-        let mut e = engine();
-        let ct = e.encrypt(&[1.0; 8], 3);
-        e.linear_mode = true;
-        let _ = e.rotate(&ct, 1);
-        e.linear_mode = false;
-        let _ = e.rotate(&ct, 2);
-        assert!(e.counter.linear_seconds > 0.0);
-        assert!(e.counter.linear_seconds < e.counter.seconds);
     }
 }

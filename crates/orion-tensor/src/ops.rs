@@ -22,7 +22,12 @@ pub struct Conv2dParams {
 
 impl Default for Conv2dParams {
     fn default() -> Self {
-        Self { stride: 1, padding: 0, dilation: 1, groups: 1 }
+        Self {
+            stride: 1,
+            padding: 0,
+            dilation: 1,
+            groups: 1,
+        }
     }
 }
 
@@ -61,17 +66,18 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &[f64], p: Conv2dParams) ->
                     for ic in 0..cig {
                         let ci_idx = g * cig + ic;
                         for ky in 0..kh {
-                            let iy = (oy * p.stride + ky * p.dilation) as isize - p.padding as isize;
+                            let iy =
+                                (oy * p.stride + ky * p.dilation) as isize - p.padding as isize;
                             if iy < 0 || iy >= h as isize {
                                 continue;
                             }
                             for kx in 0..kw {
-                                let ix = (ox * p.stride + kx * p.dilation) as isize - p.padding as isize;
+                                let ix =
+                                    (ox * p.stride + kx * p.dilation) as isize - p.padding as isize;
                                 if ix < 0 || ix >= w as isize {
                                     continue;
                                 }
-                                let wv = weight.data()
-                                    [((co_idx * cig + ic) * kh + ky) * kw + kx];
+                                let wv = weight.data()[((co_idx * cig + ic) * kh + ky) * kw + kx];
                                 acc += wv * input.at3(ci_idx, iy as usize, ix as usize);
                             }
                         }
@@ -135,7 +141,14 @@ pub fn avg_pool2d(input: &Tensor, k: usize, stride: usize, padding: usize) -> Te
 
 /// Applies batch-norm as the affine map `y = gamma·(x−mean)/√(var+eps) + beta`
 /// per channel (inference mode, running statistics).
-pub fn batch_norm2d(input: &Tensor, gamma: &[f64], beta: &[f64], mean: &[f64], var: &[f64], eps: f64) -> Tensor {
+pub fn batch_norm2d(
+    input: &Tensor,
+    gamma: &[f64],
+    beta: &[f64],
+    mean: &[f64],
+    var: &[f64],
+    eps: f64,
+) -> Tensor {
     let c = input.shape()[0];
     assert!(gamma.len() == c && beta.len() == c && mean.len() == c && var.len() == c);
     let mut out = input.clone();
@@ -169,7 +182,10 @@ mod tests {
         // stride 1, padding 1 (same-style).
         let input = Tensor::from_vec(&[1, 3, 3], (1..=9).map(|x| x as f64).collect()); // a..i = 1..9
         let weight = Tensor::from_vec(&[1, 1, 3, 3], (1..=9).map(|x| x as f64).collect());
-        let p = Conv2dParams { padding: 1, ..Default::default() };
+        let p = Conv2dParams {
+            padding: 1,
+            ..Default::default()
+        };
         let out = conv2d(&input, &weight, &[], p);
         // Top-left output: filter {5,6,8,9} over pixels {1,2,4,5}.
         assert_eq!(out.data()[0], 5.0 * 1.0 + 6.0 * 2.0 + 8.0 * 4.0 + 9.0 * 5.0);
@@ -180,7 +196,11 @@ mod tests {
     fn stride_reduces_output() {
         let input = Tensor::zeros(&[2, 8, 8]);
         let weight = Tensor::zeros(&[4, 2, 3, 3]);
-        let p = Conv2dParams { stride: 2, padding: 1, ..Default::default() };
+        let p = Conv2dParams {
+            stride: 2,
+            padding: 1,
+            ..Default::default()
+        };
         let out = conv2d(&input, &weight, &[], p);
         assert_eq!(out.shape(), &[4, 4, 4]);
     }
@@ -191,7 +211,10 @@ mod tests {
         // input channel.
         let input = Tensor::from_vec(&[2, 2, 2], vec![1.0, 1.0, 1.0, 1.0, 10.0, 10.0, 10.0, 10.0]);
         let weight = Tensor::from_vec(&[2, 1, 1, 1], vec![2.0, 3.0]);
-        let p = Conv2dParams { groups: 2, ..Default::default() };
+        let p = Conv2dParams {
+            groups: 2,
+            ..Default::default()
+        };
         let out = conv2d(&input, &weight, &[], p);
         assert_eq!(out.data()[0], 2.0);
         assert_eq!(out.data()[4], 30.0);
@@ -201,7 +224,10 @@ mod tests {
     fn dilation_enlarges_receptive_field() {
         let input = Tensor::from_vec(&[1, 5, 5], (0..25).map(|x| x as f64).collect());
         let weight = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0; 4]);
-        let p = Conv2dParams { dilation: 2, ..Default::default() };
+        let p = Conv2dParams {
+            dilation: 2,
+            ..Default::default()
+        };
         let out = conv2d(&input, &weight, &[], p);
         // out[0,0,0] = in[0,0] + in[0,2] + in[2,0] + in[2,2]
         assert_eq!(out.data()[0], 0.0 + 2.0 + 10.0 + 12.0);

@@ -13,13 +13,23 @@ impl Tensor {
     /// Zero tensor of the given shape.
     pub fn zeros(shape: &[usize]) -> Self {
         let n: usize = shape.iter().product();
-        Self { shape: shape.to_vec(), data: vec![0.0; n] }
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0.0; n],
+        }
     }
 
     /// Tensor from existing data (length must match the shape product).
     pub fn from_vec(shape: &[usize], data: Vec<f64>) -> Self {
-        assert_eq!(shape.iter().product::<usize>(), data.len(), "shape/data mismatch");
-        Self { shape: shape.to_vec(), data }
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            data.len(),
+            "shape/data mismatch"
+        );
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// Kaiming-uniform initialization (fan-in based), the PyTorch default
@@ -28,7 +38,10 @@ impl Tensor {
         let bound = (1.0 / fan_in as f64).sqrt();
         let n: usize = shape.iter().product();
         let data = (0..n).map(|_| rng.gen_range(-bound..bound)).collect();
-        Self { shape: shape.to_vec(), data }
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// The shape.
@@ -83,7 +96,10 @@ impl Tensor {
 
     /// Element-wise map.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Self {
-        Self { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+        Self {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// Element-wise addition.
@@ -91,7 +107,12 @@ impl Tensor {
         assert_eq!(self.shape, other.shape);
         Self {
             shape: self.shape.clone(),
-            data: self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a + b)
+                .collect(),
         }
     }
 

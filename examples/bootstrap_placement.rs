@@ -17,13 +17,20 @@ fn flat(l_eff: usize, v: f64) -> Vec<f64> {
 
 fn print_policy(g: &Graph, r: &orion::graph::PlacementResult) {
     for (id, node) in g.nodes.iter().enumerate() {
-        let boot = if r.boots_before[id] > 0 { "  ← bootstrap before" } else { "" };
+        let boot = if r.boots_before[id] > 0 {
+            "  ← bootstrap before"
+        } else {
+            ""
+        };
         match r.levels[id] {
             Some(l) => println!("    {:<10} @ level {l}{boot}", node.name),
             None => println!("    {:<10} (no compute)", node.name),
         }
     }
-    println!("    total: {} bootstraps, modeled latency {:.2}s", r.boot_count, r.total_latency);
+    println!(
+        "    total: {} bootstraps, modeled latency {:.2}s",
+        r.boot_count, r.total_latency
+    );
 }
 
 fn main() {
@@ -38,7 +45,13 @@ fn main() {
         g.add_edge(prev, id);
         prev = id;
     }
-    let out = g.add_node(Node::new("output", NodeKind::Output, 0, flat(l_eff, 0.0), 1));
+    let out = g.add_node(Node::new(
+        "output",
+        NodeKind::Output,
+        0,
+        flat(l_eff, 0.0),
+        1,
+    ));
     g.add_edge(prev, out);
     println!("Figure 6a: fc1→fc2→fc3 with L_eff = 3 (paper: zero bootstraps needed)");
     print_policy(&g, &place(&g, l_eff, 10.0));
@@ -47,10 +60,22 @@ fn main() {
     let mut g = Graph::new();
     let input = g.add_node(Node::new("input", NodeKind::Input, 0, flat(l_eff, 0.0), 1));
     let fc1 = g.add_node(Node::new("fc1", NodeKind::Linear, 1, flat(l_eff, 0.1), 1));
-    let act = g.add_node(Node::new("ax^2", NodeKind::Activation, 2, flat(l_eff, 0.3), 1));
+    let act = g.add_node(Node::new(
+        "ax^2",
+        NodeKind::Activation,
+        2,
+        flat(l_eff, 0.3),
+        1,
+    ));
     let fc2 = g.add_node(Node::new("fc2", NodeKind::Linear, 1, flat(l_eff, 0.1), 1));
     let add = g.add_node(Node::new("+", NodeKind::Add, 0, flat(l_eff, 0.01), 2));
-    let out = g.add_node(Node::new("output", NodeKind::Output, 0, flat(l_eff, 0.0), 1));
+    let out = g.add_node(Node::new(
+        "output",
+        NodeKind::Output,
+        0,
+        flat(l_eff, 0.0),
+        1,
+    ));
     g.add_edge(input, fc1);
     g.add_edge(fc1, act);
     g.add_edge(act, fc2);
@@ -66,10 +91,34 @@ fn main() {
     let input = g.add_node(Node::new("input", NodeKind::Input, 0, flat(l_eff, 0.0), 1));
     let mut prev = input;
     for i in 0..6 {
-        let conv1 = g.add_node(Node::new(format!("b{i}.conv1"), NodeKind::Linear, 1, (0..=l_eff).map(|l| 0.2 * (l + 1) as f64).collect(), 1));
-        let act = g.add_node(Node::new(format!("b{i}.act"), NodeKind::Activation, 5, (0..=l_eff).map(|l| 0.8 * (l + 1) as f64).collect(), 1));
-        let conv2 = g.add_node(Node::new(format!("b{i}.conv2"), NodeKind::Linear, 1, (0..=l_eff).map(|l| 0.2 * (l + 1) as f64).collect(), 1));
-        let add = g.add_node(Node::new(format!("b{i}.add"), NodeKind::Add, 0, flat(l_eff, 0.01), 2));
+        let conv1 = g.add_node(Node::new(
+            format!("b{i}.conv1"),
+            NodeKind::Linear,
+            1,
+            (0..=l_eff).map(|l| 0.2 * (l + 1) as f64).collect(),
+            1,
+        ));
+        let act = g.add_node(Node::new(
+            format!("b{i}.act"),
+            NodeKind::Activation,
+            5,
+            (0..=l_eff).map(|l| 0.8 * (l + 1) as f64).collect(),
+            1,
+        ));
+        let conv2 = g.add_node(Node::new(
+            format!("b{i}.conv2"),
+            NodeKind::Linear,
+            1,
+            (0..=l_eff).map(|l| 0.2 * (l + 1) as f64).collect(),
+            1,
+        ));
+        let add = g.add_node(Node::new(
+            format!("b{i}.add"),
+            NodeKind::Add,
+            0,
+            flat(l_eff, 0.01),
+            2,
+        ));
         g.add_edge(prev, conv1);
         g.add_edge(conv1, act);
         g.add_edge(act, conv2);
@@ -77,16 +126,28 @@ fn main() {
         g.add_edge(prev, add);
         prev = add;
     }
-    let out = g.add_node(Node::new("output", NodeKind::Output, 0, flat(l_eff, 0.0), 1));
+    let out = g.add_node(Node::new(
+        "output",
+        NodeKind::Output,
+        0,
+        flat(l_eff, 0.0),
+        1,
+    ));
     g.add_edge(prev, out);
 
     let opt = place(&g, l_eff, 11.0);
     let lazy = place_lazy(&g, l_eff, 11.0);
     println!("\n6-block residual network, L_eff = 6:");
-    println!("  shortest-path: {} boots, latency {:.1}s (placement {:.2} ms)",
-        opt.boot_count, opt.total_latency, opt.placement_seconds * 1e3);
-    println!("  lazy baseline: {} boots, latency {:.1}s",
-        lazy.boot_count, lazy.total_latency);
+    println!(
+        "  shortest-path: {} boots, latency {:.1}s (placement {:.2} ms)",
+        opt.boot_count,
+        opt.total_latency,
+        opt.placement_seconds * 1e3
+    );
+    println!(
+        "  lazy baseline: {} boots, latency {:.1}s",
+        lazy.boot_count, lazy.total_latency
+    );
     assert!(opt.total_latency <= lazy.total_latency + 1e-9);
     println!("  → the level digraph solution is never slower, and runs layers at");
     println!("    cheaper (lower) levels when bootstrapping is worth it (paper §5.1).");

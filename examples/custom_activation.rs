@@ -19,7 +19,11 @@ fn gelu(x: f64) -> f64 {
 }
 
 fn main() {
-    let params = CkksParams { max_level: 10, boot_levels: 2, ..CkksParams::tiny() };
+    let params = CkksParams {
+        max_level: 10,
+        boot_levels: 2,
+        ..CkksParams::tiny()
+    };
     let mut rng = StdRng::seed_from_u64(9);
 
     // A small conv net with a GELU activation — one extra builder call is
@@ -44,9 +48,27 @@ fn main() {
     let input = &synthetic_images(1, 8, 8, 1, 12)[0];
     let run = fhe_inference(&compiled, &session, input);
     let exact = net.forward_exact(input);
-    println!("encrypted output:  {:?}", run.output.data().iter().map(|x| (x * 1e3).round() / 1e3).collect::<Vec<_>>());
-    println!("cleartext output:  {:?}", exact.data().iter().map(|x| (x * 1e3).round() / 1e3).collect::<Vec<_>>());
-    println!("precision: {:.1} bits, {} bootstraps, {:.2}s wall",
-        run.precision_vs(&exact), run.bootstraps, run.wall_seconds);
+    println!(
+        "encrypted output:  {:?}",
+        run.output
+            .data()
+            .iter()
+            .map(|x| (x * 1e3).round() / 1e3)
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "cleartext output:  {:?}",
+        exact
+            .data()
+            .iter()
+            .map(|x| (x * 1e3).round() / 1e3)
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "precision: {:.1} bits, {} bootstraps, {:.2}s wall",
+        run.precision_vs(&exact),
+        run.bootstraps,
+        run.wall_seconds
+    );
     assert!(run.precision_vs(&exact) > 5.0);
 }

@@ -40,7 +40,11 @@ fn main() {
         .zip(&test.labels)
         .filter(|(img, &l)| net.forward_exact(img).argmax() == l)
         .count();
-    println!("  cleartext test accuracy: {}/{}", clear_correct, test.images.len());
+    println!(
+        "  cleartext test accuracy: {}/{}",
+        clear_correct,
+        test.images.len()
+    );
 
     // 3. Compile for FHE and create a session (keys, oracle).
     let params = CkksParams::medium(); // N = 2^13, Δ = 2^40 (demo scale)
@@ -67,9 +71,16 @@ fn main() {
     }
     let fhe_acc = accuracy_of_outputs(&outputs, &test);
     let mean_prec = precisions.iter().sum::<f64>() / precisions.len() as f64;
-    println!("  FHE test accuracy:       {}/{}", (fhe_acc * test.images.len() as f64).round() as usize, test.images.len());
+    println!(
+        "  FHE test accuracy:       {}/{}",
+        (fhe_acc * test.images.len() as f64).round() as usize,
+        test.images.len()
+    );
     println!("  mean output precision:   {mean_prec:.1} bits");
-    println!("  mean encrypted latency:  {:.2} s/inference (single-threaded, N = 2^13)", total_secs / test.images.len() as f64);
+    println!(
+        "  mean encrypted latency:  {:.2} s/inference (single-threaded, N = 2^13)",
+        total_secs / test.images.len() as f64
+    );
     println!("\nFHE and cleartext classification agree — the paper's validation result.");
     assert!(fhe_acc * test.images.len() as f64 >= clear_correct as f64 - 1.0);
 }

@@ -15,7 +15,12 @@ fn main() {
     //    see CkksParams::secure_n16() for deployment-scale parameters.
     let params = CkksParams::small();
     let ctx = Context::new(params);
-    println!("CKKS context: N = {}, {} slots, L = {}", ctx.degree(), ctx.slots(), ctx.max_level());
+    println!(
+        "CKKS context: N = {}, {} slots, L = {}",
+        ctx.degree(),
+        ctx.slots(),
+        ctx.max_level()
+    );
 
     let mut kg = KeyGenerator::new(ctx.clone(), StdRng::seed_from_u64(1));
     let pk = Arc::new(kg.gen_public_key());
@@ -43,7 +48,14 @@ fn main() {
 
     let show = |name: &str, ct: &orion::ckks::Ciphertext| {
         let out = enc.decode(&dec.decrypt(ct));
-        println!("{name:>10}: [{:.3}, {:.3}, {:.3}, {:.3}, …] at level {}", out[0], out[1], out[2], out[3], ct.level());
+        println!(
+            "{name:>10}: [{:.3}, {:.3}, {:.3}, {:.3}, …] at level {}",
+            out[0],
+            out[1],
+            out[2],
+            out[3],
+            ct.level()
+        );
     };
     show("x", &ct);
     show("x + x", &sum);
@@ -59,7 +71,16 @@ fn main() {
     use orion::tensor::Tensor;
 
     let in_l = TensorLayout::raster(1, 8, 8);
-    let spec = ConvSpec { co: 1, ci: 1, kh: 3, kw: 3, stride: 1, padding: 1, dilation: 1, groups: 1 };
+    let spec = ConvSpec {
+        co: 1,
+        ci: 1,
+        kh: 3,
+        kw: 3,
+        stride: 1,
+        padding: 1,
+        dilation: 1,
+        groups: 1,
+    };
     let (plan, out_l) = conv_plan(&in_l, &spec, ctx.slots());
     println!(
         "\n3x3 same conv plan: {} diagonals, {} rotations (BSGS n1 = {})",
@@ -77,13 +98,35 @@ fn main() {
     let eval = Evaluator::new(ctx.clone(), keys);
 
     let image: Vec<f64> = (0..64).map(|i| ((i % 9) as f64 - 4.0) * 0.1).collect();
-    let weights = Tensor::from_vec(&[1, 1, 3, 3], vec![0.0, -1.0, 0.0, -1.0, 4.0, -1.0, 0.0, -1.0, 0.0]); // Laplacian
-    let src = ConvDiagSource { in_l, out_l, spec, weights: &weights };
-    let ct = encryptor.encrypt(&enc.encode(&in_l.pack(&image), ctx.scale(), 3, false), &mut rng);
-    let fctx = FheLinearContext { eval: &eval, enc: &enc };
+    let weights = Tensor::from_vec(
+        &[1, 1, 3, 3],
+        vec![0.0, -1.0, 0.0, -1.0, 4.0, -1.0, 0.0, -1.0, 0.0],
+    ); // Laplacian
+    let src = ConvDiagSource {
+        in_l,
+        out_l,
+        spec,
+        weights: &weights,
+    };
+    let ct = encryptor.encrypt(
+        &enc.encode(&in_l.pack(&image), ctx.scale(), 3, false),
+        &mut rng,
+    );
+    let fctx = FheLinearContext {
+        eval: &eval,
+        enc: &enc,
+    };
     let out = exec_fhe(&fctx, &plan, &src, None, &[ct]);
     let decoded = enc.decode(&dec.decrypt(&out[0]));
-    println!("encrypted Laplacian of the image, first row: {:?}",
-        decoded[..4].iter().map(|x| (x * 100.0).round() / 100.0).collect::<Vec<_>>());
-    println!("output level {} (input was 3 — exactly one level consumed)", out[0].level());
+    println!(
+        "encrypted Laplacian of the image, first row: {:?}",
+        decoded[..4]
+            .iter()
+            .map(|x| (x * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "output level {} (input was 3 — exactly one level consumed)",
+        out[0].level()
+    );
 }

@@ -26,16 +26,32 @@ fn run(act: Act, label: &str) {
     let run = trace_inference(&compiled, input);
     let exact = net.forward_exact(input);
     println!("\nResNet-20 / {label}:");
-    println!("  params {:.2}M, FLOPs {:.0}M", info.params as f64 / 1e6, info.flops as f64 / 1e6);
+    println!(
+        "  params {:.2}M, FLOPs {:.0}M",
+        info.params as f64 / 1e6,
+        info.flops as f64 / 1e6
+    );
     println!("  rotations        {}", run.counter.rotations());
     println!("  activation depth {}", compiled.activation_depth());
     println!("  bootstraps       {}", run.counter.bootstraps());
-    println!("  precision        {:.1} bits vs cleartext", run.precision_vs(&exact));
-    println!("  modeled latency  {:.0} s single-threaded (paper {}: {})",
+    println!(
+        "  precision        {:.1} bits vs cleartext",
+        run.precision_vs(&exact)
+    );
+    println!(
+        "  modeled latency  {:.0} s single-threaded (paper {}: {})",
         run.counter.seconds,
         label,
-        if matches!(act, Act::Relu) { "618 s" } else { "301 s" });
-    println!("  placement took   {:.2} s (paper: 1.94 s)", compiled.placement.placement_seconds);
+        if matches!(act, Act::Relu) {
+            "618 s"
+        } else {
+            "301 s"
+        }
+    );
+    println!(
+        "  placement took   {:.2} s (paper: 1.94 s)",
+        compiled.placement.placement_seconds
+    );
 }
 
 fn main() {

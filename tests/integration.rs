@@ -16,7 +16,13 @@ use rand::SeedableRng;
 #[test]
 fn trained_mlp_fhe_accuracy_matches_cleartext() {
     let data = synthetic_digits(8, 8, 4, 80, 21);
-    let (net, acc) = train_mlp(&data, TrainConfig { epochs: 40, ..Default::default() });
+    let (net, acc) = train_mlp(
+        &data,
+        TrainConfig {
+            epochs: 40,
+            ..Default::default()
+        },
+    );
     assert!(acc > 0.9);
     let params = CkksParams::tiny();
     let orion = Orion::for_params(&params);
@@ -96,7 +102,11 @@ fn silu_cuts_depth_and_bootstraps_vs_relu() {
 /// argument).
 #[test]
 fn trace_and_fhe_backends_agree_on_conv_net() {
-    let params = CkksParams { max_level: 10, boot_levels: 2, ..CkksParams::tiny() };
+    let params = CkksParams {
+        max_level: 10,
+        boot_levels: 2,
+        ..CkksParams::tiny()
+    };
     let mut rng = StdRng::seed_from_u64(61);
     let mut net = orion::nn::Network::new(1, 8, 8);
     let x = net.input();

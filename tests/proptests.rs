@@ -15,7 +15,7 @@ proptest! {
     /// Modular arithmetic laws over a real NTT prime.
     #[test]
     fn modular_field_laws(a in 0u64..0x3fff_ffff, b in 0u64..0x3fff_ffff) {
-        let q = 0x3fff_ffff_ffe8_0001u64 % (1u64 << 50) | 1; // arbitrary odd modulus for add/mul laws
+        let q = (0x3fff_ffff_ffe8_0001u64 % (1u64 << 50)) | 1; // arbitrary odd modulus for add/mul laws
         let q = if q < 3 { 3 } else { q };
         let (a, b) = (a % q, b % q);
         prop_assert_eq!(add_mod(a, b, q), add_mod(b, a, q));

@@ -1,0 +1,268 @@
+//! Vendored micro-benchmark harness exposing the `criterion` API subset
+//! the workspace uses: [`Criterion::bench_function`], benchmark groups
+//! with [`BenchmarkId`], `sample_size`, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Measurement is simple but honest: a warmup
+//! phase sizes the per-sample iteration count, then `sample_size` samples
+//! are timed and the median/mean/min are reported on stdout.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One measured benchmark result.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Benchmark id (group/function/parameter).
+    pub name: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// The measurement driver for one benchmark body.
+pub struct Bencher<'a> {
+    iters_per_sample: u64,
+    sample_size: usize,
+    samples_ns: &'a mut Vec<f64>,
+}
+
+impl Bencher<'_> {
+    /// Times `f`, storing per-iteration samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            let dt = t0.elapsed().as_nanos() as f64 / self.iters_per_sample as f64;
+            self.samples_ns.push(dt);
+        }
+    }
+}
+
+/// Identifies a parameterized benchmark (`group/function/param`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates `function/parameter`.
+    pub fn new<F: std::fmt::Display, P: std::fmt::Display>(function: F, parameter: P) -> Self {
+        Self {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Creates a parameter-only id.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        Self {
+            id: format!("{parameter}"),
+        }
+    }
+}
+
+/// The benchmark manager.
+pub struct Criterion {
+    sample_size: usize,
+    warmup: Duration,
+    /// All measurements taken so far (available to harness code that wants
+    /// to emit machine-readable summaries).
+    pub measurements: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            warmup: Duration::from_millis(200),
+            measurements: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Sets the warmup duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warmup = d;
+        self
+    }
+
+    /// Accepts CLI args for API compatibility (no-op).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        // Warmup: let the body run once to observe its cost, then size the
+        // per-sample iteration count so one sample takes ≳ warmup/10.
+        let mut samples = Vec::new();
+        {
+            let mut b = Bencher {
+                iters_per_sample: 1,
+                sample_size: 1,
+                samples_ns: &mut samples,
+            };
+            f(&mut b);
+        }
+        let once_ns = samples.last().copied().unwrap_or(1.0).max(1.0);
+        let target_ns = (self.warmup.as_nanos() as f64 / 10.0).max(1e5);
+        let iters = ((target_ns / once_ns).ceil() as u64).clamp(1, 1_000_000);
+
+        samples.clear();
+        let mut b = Bencher {
+            iters_per_sample: iters,
+            sample_size: self.sample_size,
+            samples_ns: &mut samples,
+        };
+        f(&mut b);
+
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples[0];
+        println!(
+            "bench {name:<40} median {:>12}  mean {:>12}  min {:>12}  ({} samples x {iters} iters)",
+            fmt_ns(median),
+            fmt_ns(mean),
+            fmt_ns(min),
+            samples.len(),
+        );
+        self.measurements.push(Measurement {
+            name: name.to_string(),
+            median_ns: median,
+            mean_ns: mean,
+            min_ns: min,
+            samples: samples.len(),
+        });
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_one(name, f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            cr: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    cr: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(3));
+        self
+    }
+
+    fn scoped<F: FnOnce(&mut Criterion, &str)>(&mut self, id: &str, f: F) {
+        let full = format!("{}/{id}", self.name);
+        let saved = self.cr.sample_size;
+        if let Some(n) = self.sample_size {
+            self.cr.sample_size = n;
+        }
+        f(self.cr, &full);
+        self.cr.sample_size = saved;
+    }
+
+    /// Benchmarks a closure within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.scoped(id, |cr, full| cr.run_one(full, f));
+        self
+    }
+
+    /// Benchmarks a closure with an input parameter.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.scoped(&id.id, |cr, full| cr.run_one(full, |b| f(b, input)));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function (both criterion forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(4);
+        g.bench_with_input(BenchmarkId::new("sq", 3), &3u64, |b, &x| b.iter(|| x * x));
+        g.finish();
+        assert_eq!(c.measurements.len(), 2);
+        assert!(c.measurements[0].median_ns >= 0.0);
+        assert_eq!(c.measurements[1].name, "grp/sq/3");
+    }
+}

@@ -1,0 +1,62 @@
+//! Vendored, API-compatible subset of `crossbeam`: `thread::scope` over
+//! `std::thread::scope` (stable since Rust 1.63). The build environment
+//! has no network access; the workspace pins this shim so manifests that
+//! reference `crossbeam` keep building. New code should prefer the shared
+//! `rayon` pool instead of ad-hoc scoped spawning.
+
+pub mod thread {
+    /// A scope handle mirroring `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope (for
+        /// crossbeam signature compatibility).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope; all spawned threads are joined before this
+    /// returns. Returns `Err` with the panic payload if any thread (or the
+    /// closure itself) panicked — crossbeam's reporting contract.
+    #[allow(clippy::type_complexity)]
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_threads() {
+        let mut data = vec![0u32; 4];
+        let chunks: Vec<&mut u32> = data.iter_mut().collect();
+        super::thread::scope(|s| {
+            for (i, slot) in chunks.into_iter().enumerate() {
+                s.spawn(move |_| *slot = i as u32 + 1);
+            }
+        })
+        .unwrap();
+        assert_eq!(data, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn scope_reports_panics() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|_| panic!("worker down"));
+        });
+        assert!(r.is_err());
+    }
+}

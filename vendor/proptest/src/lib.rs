@@ -1,0 +1,251 @@
+//! Vendored subset of `proptest`: the [`proptest!`] macro over simple
+//! strategies (integer/float ranges, [`sample::select`]), deterministic
+//! seeded case generation, and the `prop_assert*` / [`prop_assume!`]
+//! macros. No shrinking — a failing case reports its inputs via the
+//! assertion message and the case index instead.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+
+/// Test-run configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A source of random values for one macro argument.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+    /// Draws one value.
+    fn sample_value(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> Strategy for std::ops::Range<T> {
+    type Value = T;
+    fn sample_value(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+    fn sample_value(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Value-set strategies.
+pub mod sample {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Uniform choice from a fixed list.
+    pub struct Select<T: Clone>(Vec<T>);
+
+    /// Builds a [`Select`] strategy.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select(options)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample_value(&self, rng: &mut StdRng) -> T {
+            let i = rng.gen_range(0..self.0.len());
+            self.0[i].clone()
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A length specification: fixed or ranged.
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            Self {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    /// Vector-of-elements strategy.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// Builds a [`VecStrategy`] with a fixed or ranged length.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi_exclusive);
+            (0..len).map(|_| self.elem.sample_value(rng)).collect()
+        }
+    }
+}
+
+/// Deterministic per-test RNG (stable across runs and platforms).
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    StdRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9e3779b97f4a7c15))
+}
+
+/// Asserts inside a property (reports instead of panicking mid-case).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left), stringify!($right), l, r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// Discards a case when its precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Declares property tests (the `proptest!` block form).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ cfg = [$cfg]; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ cfg = [$crate::ProptestConfig::default()]; $($rest)* }
+    };
+}
+
+/// Internal item muncher for [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (cfg = [$cfg:expr];) => {};
+    (cfg = [$cfg:expr];
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::case_rng(stringify!($name), case);
+                $(let $arg = $crate::Strategy::sample_value(&($strat), &mut rng);)+
+                let outcome: ::std::result::Result<(), ::std::string::String> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(msg) = outcome {
+                    panic!("property {} failed at case {}: {}", stringify!($name), case, msg);
+                }
+            }
+        }
+        $crate::__proptest_items!{ cfg = [$cfg]; $($rest)* }
+    };
+}
+
+/// Everything needed for `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Addition commutes.
+        #[test]
+        fn add_commutes(a in 0u64..1000, b in 0u64..1000) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        /// Select only yields listed options; assume discards cases.
+        #[test]
+        fn select_and_assume(k in prop::sample::select(vec![2usize, 4, 8]), n in 0usize..100) {
+            prop_assume!(n > 10);
+            prop_assert!(k.is_power_of_two());
+            prop_assert!(n > 10, "n was {n}");
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Eager parallel iterators.
+//!
+//! The shim materializes the item list up front (cheap for the workspace's
+//! uses: limb references, block indices, input batches) and runs the mapped
+//! closure over contiguous chunks on the shared pool. Order is preserved.
+
+use crate::pool::run_chunked;
+
+/// A materialized parallel iterator over items of type `X`.
+pub struct ParIter<X: Send> {
+    items: Vec<X>,
+}
+
+impl<X: Send> ParIter<X> {
+    pub(crate) fn new(items: Vec<X>) -> Self {
+        Self { items }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Pairs every item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, X)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Hint accepted for rayon compatibility (chunking is automatic).
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Lazily maps every item (applied in parallel by the terminal op).
+    pub fn map<'f, Y: Send, F: Fn(X) -> Y + Sync + 'f>(self, f: F) -> ParMap<'f, X, Y> {
+        ParMap {
+            items: self.items,
+            f: Box::new(f),
+        }
+    }
+
+    /// Runs `f` over every item in parallel.
+    pub fn for_each<F: Fn(X) + Sync>(self, f: F) {
+        run_chunked(self.items, &|x| f(x));
+    }
+
+    /// Collects the (unmapped) items.
+    pub fn collect<C: FromIterator<X>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// A parallel iterator with a pending map stage.
+pub struct ParMap<'f, X: Send, Y: Send> {
+    items: Vec<X>,
+    f: Box<dyn Fn(X) -> Y + Sync + 'f>,
+}
+
+impl<'f, X: Send + 'f, Y: Send + 'f> ParMap<'f, X, Y> {
+    /// Composes another map stage.
+    pub fn map<Z: Send, G: Fn(Y) -> Z + Sync + 'f>(self, g: G) -> ParMap<'f, X, Z> {
+        let f = self.f;
+        ParMap {
+            items: self.items,
+            f: Box::new(move |x| g(f(x))),
+        }
+    }
+
+    /// Runs the pipeline in parallel, discarding results.
+    pub fn for_each<G: Fn(Y) + Sync>(self, g: G) {
+        let f = self.f;
+        run_chunked(self.items, &|x| g(f(x)));
+    }
+
+    /// Runs the pipeline in parallel and collects results in order.
+    pub fn collect<C: FromIterator<Y>>(self) -> C {
+        run_chunked(self.items, &*self.f).into_iter().collect()
+    }
+
+    /// Runs the pipeline and sums the results.
+    pub fn sum<S: std::iter::Sum<Y>>(self) -> S {
+        run_chunked(self.items, &*self.f).into_iter().sum()
+    }
+}
+
+/// Conversion into a parallel iterator (by value).
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Builds the iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter::new(self)
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter::new(self.collect())
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter::new(self.iter().collect())
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelIterator for &'a mut [T] {
+    type Item = &'a mut T;
+    fn into_par_iter(self) -> ParIter<&'a mut T> {
+        ParIter::new(self.iter_mut().collect())
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter::new(self.iter().collect())
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelIterator for &'a mut Vec<T> {
+    type Item = &'a mut T;
+    fn into_par_iter(self) -> ParIter<&'a mut T> {
+        ParIter::new(self.iter_mut().collect())
+    }
+}
+
+/// `par_iter()` on shared references.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type.
+    type Item: Send;
+    /// Builds the iterator.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a, C: ?Sized + 'a> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoParallelIterator<Item = &'a T>,
+{
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        self.into_par_iter()
+    }
+}
+
+/// `par_iter_mut()` on exclusive references.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Item type.
+    type Item: Send;
+    /// Builds the iterator.
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Send + 'a, C: ?Sized + 'a> IntoParallelRefMutIterator<'a> for C
+where
+    &'a mut C: IntoParallelIterator<Item = &'a mut T>,
+{
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        self.into_par_iter()
+    }
+}
+
+/// `par_chunks_mut()` on slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits into mutable chunks of at most `size` items.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]> {
+        ParIter::new(self.chunks_mut(size).collect())
+    }
+}

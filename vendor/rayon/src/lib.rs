@@ -1,0 +1,96 @@
+//! Vendored, API-compatible subset of the `rayon` crate.
+//!
+//! The build environment has no network access, so the workspace pins this
+//! shim: a single shared worker pool ([`current_num_threads`] threads,
+//! work-helping waiters so nested parallelism cannot deadlock) plus eager
+//! order-preserving parallel iterators ([`iter::ParIter`]) and [`join`].
+//!
+//! Supported surface: `into_par_iter` / `par_iter` / `par_iter_mut` /
+//! `par_chunks_mut`, `enumerate`, `map`, `for_each`, `collect`, `sum`,
+//! `join`, `current_num_threads`. That is exactly what the Orion
+//! workspace uses; swap in real rayon by flipping the workspace
+//! dependency when a registry is available.
+
+pub mod iter;
+mod pool;
+
+pub use pool::current_num_threads;
+
+/// Everything needed for `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSliceMut,
+    };
+}
+
+/// Runs both closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let mut out_b: Option<RB> = None;
+    let ra = std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        out_b = Some(hb.join().unwrap_or_else(|p| std::panic::resume_unwind(p)));
+        ra
+    });
+    (ra, out_b.expect("join: second branch missing"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_every_item() {
+        let mut v = vec![1u64; 257];
+        v.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, x)| *x += i as u64);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, 1 + i as u64);
+        }
+    }
+
+    #[test]
+    fn nested_parallelism_completes() {
+        let hits = AtomicUsize::new(0);
+        (0..8usize).into_par_iter().for_each(|_| {
+            (0..8usize).into_par_iter().for_each(|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let r = std::panic::catch_unwind(|| {
+            (0..64usize).into_par_iter().for_each(|i| {
+                if i == 33 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(r.is_err());
+    }
+}

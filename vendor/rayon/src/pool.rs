@@ -1,0 +1,193 @@
+//! The shared worker pool.
+//!
+//! One global pool of `available_parallelism() - 1` workers services every
+//! parallel call in the process (the rayon model: no per-call thread
+//! spawning). Jobs are type-erased closures in a single injector queue.
+//!
+//! Waiting callers *help*: while their batch is unfinished they pop and run
+//! pending jobs instead of blocking, so nested parallel calls (a parallel
+//! linear layer whose RNS ops are themselves limb-parallel) cannot
+//! deadlock the fixed-size pool.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Pool {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    workers: usize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        // RAYON_NUM_THREADS overrides detection, as in real rayon.
+        let threads = std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        // The caller participates via helping, so spawn one fewer worker.
+        let workers = threads.saturating_sub(1);
+        let p = Pool {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            workers,
+        };
+        for i in 0..workers {
+            std::thread::Builder::new()
+                .name(format!("orion-pool-{i}"))
+                .spawn(worker_loop)
+                .expect("failed to spawn pool worker");
+        }
+        p
+    })
+}
+
+fn worker_loop() {
+    let p = pool();
+    loop {
+        let job = {
+            let mut q = p.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                q = p.available.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        job();
+    }
+}
+
+fn push_job(job: Job) {
+    let p = pool();
+    p.queue
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push_back(job);
+    p.available.notify_one();
+}
+
+fn try_pop_job() -> Option<Job> {
+    pool()
+        .queue
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .pop_front()
+}
+
+/// Number of threads contributing to parallel work (workers + the caller).
+pub fn current_num_threads() -> usize {
+    pool().workers + 1
+}
+
+/// Runs `f` over every item in parallel, preserving order in the result.
+///
+/// Items are partitioned into at most `current_num_threads()` contiguous
+/// chunks; the first chunk runs on the calling thread while the rest are
+/// serviced by the pool. Panics in any chunk are propagated to the caller
+/// after every chunk has finished (so borrowed data never escapes).
+pub fn run_chunked<X, Y, F>(items: Vec<X>, f: &F) -> Vec<Y>
+where
+    X: Send,
+    Y: Send,
+    F: Fn(X) -> Y + Sync + ?Sized,
+{
+    let n = items.len();
+    let threads = current_num_threads();
+    if n <= 1 || threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n_chunks = threads.min(n);
+    let chunk_len = n.div_ceil(n_chunks);
+
+    let mut chunks: Vec<Vec<X>> = Vec::with_capacity(n_chunks);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<X> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+
+    let slots: Vec<Mutex<Option<Vec<Y>>>> = chunks.iter().map(|_| Mutex::new(None)).collect();
+    let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    let remaining = AtomicUsize::new(chunks.len());
+
+    {
+        let run_chunk = |idx: usize, chunk: Vec<X>| {
+            match catch_unwind(AssertUnwindSafe(|| {
+                chunk.into_iter().map(f).collect::<Vec<Y>>()
+            })) {
+                Ok(v) => *slots[idx].lock().unwrap_or_else(|e| e.into_inner()) = Some(v),
+                Err(p) => {
+                    let mut ps = panic_slot.lock().unwrap_or_else(|e| e.into_inner());
+                    if ps.is_none() {
+                        *ps = Some(p);
+                    }
+                }
+            }
+            remaining.fetch_sub(1, Ordering::Release);
+        };
+
+        let mut local = None;
+        for (idx, chunk) in chunks.into_iter().enumerate() {
+            if idx == 0 {
+                local = Some(chunk);
+                continue;
+            }
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new({
+                let run_chunk = &run_chunk;
+                move || run_chunk(idx, chunk)
+            });
+            // SAFETY: the job borrows `run_chunk`/`slots`/`remaining` from
+            // this stack frame. We do not return from this function until
+            // `remaining` reaches zero, i.e. until every job has run to
+            // completion, so the borrows cannot outlive the frame.
+            let job: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
+            push_job(job);
+        }
+        if let Some(chunk) = local {
+            run_chunk(0, chunk);
+        }
+
+        // Help: run pending jobs (possibly other batches') while waiting.
+        let mut idle_spins = 0u32;
+        while remaining.load(Ordering::Acquire) > 0 {
+            if let Some(job) = try_pop_job() {
+                job();
+                idle_spins = 0;
+            } else if idle_spins < 64 {
+                idle_spins += 1;
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }
+    }
+
+    if let Some(p) = panic_slot.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        resume_unwind(p);
+    }
+    slots
+        .into_iter()
+        .flat_map(|s| {
+            s.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("pool chunk finished without a result")
+        })
+        .collect()
+}

@@ -153,8 +153,8 @@ fn write_summary(c: &Criterion) {
         ("speedup".into(), Value::Obj(speedups)),
     ]);
     let text = serde_json::to_string_pretty(&summary).expect("summary serializes");
-    let path = std::path::Path::new("target");
-    std::fs::create_dir_all(path).ok();
+    let path = orion_bench::workspace_target_dir();
+    std::fs::create_dir_all(&path).ok();
     let file = path.join("parallel_bench.json");
     match std::fs::write(&file, &text) {
         Ok(()) => println!("wrote {}", file.display()),

@@ -1,0 +1,140 @@
+//! Cold (on-the-fly weight encoding) vs prepared (setup-time cache +
+//! parallel BSGS scheduling) linear-layer latency, with a
+//! machine-readable summary for the perf trajectory written to
+//! `target/prepared_bench.json`.
+//!
+//! "Cold" is what every inference paid before the prepared path existed:
+//! extract + FFT-encode every weight diagonal inside the BSGS loop.
+//! "Prepared" consumes the one-time cache, so the steady-state
+//! (second-inference-onwards) request cost is pure ciphertext math.
+//!
+//! Run with `cargo bench --bench prepared`.
+
+use criterion::Criterion;
+use orion_ckks::encoder::Encoder;
+use orion_ckks::encrypt::Encryptor;
+use orion_ckks::eval::Evaluator;
+use orion_ckks::keys::KeyGenerator;
+use orion_ckks::params::{CkksParams, Context};
+use orion_linear::exec::{exec_fhe, exec_fhe_prepared, FheLinearContext};
+use orion_linear::layout::TensorLayout;
+use orion_linear::plan::{conv_plan, ConvSpec};
+use orion_linear::prepared::PreparedLayer;
+use orion_linear::values::{BiasValues, ConvDiagSource};
+use orion_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Value;
+
+fn main() {
+    let mut c = Criterion::default();
+
+    // A realistic small conv: 8→8 channels, 3×3, stride 1 on an 8×8 image
+    // (512 slots at tiny parameters — one ciphertext block, 72 diagonals).
+    let ctx = Context::new(CkksParams::tiny());
+    let slots = ctx.slots();
+    let mut rng = StdRng::seed_from_u64(0xbe_0c4);
+    let in_l = TensorLayout::raster(8, 8, 8);
+    let spec = ConvSpec {
+        co: 8,
+        ci: 8,
+        kh: 3,
+        kw: 3,
+        stride: 1,
+        padding: 1,
+        dilation: 1,
+        groups: 1,
+    };
+    let (plan, out_l) = conv_plan(&in_l, &spec, slots);
+    let weights = Tensor::from_vec(
+        &[8, 8, 3, 3],
+        (0..576).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    );
+    let bias: Vec<f64> = (0..8).map(|_| rng.gen_range(-0.5..0.5)).collect();
+    let src = ConvDiagSource {
+        in_l,
+        out_l,
+        spec,
+        weights: &weights,
+    };
+    let bias_blocks = BiasValues::conv(&out_l, &bias, slots);
+
+    let mut kg = KeyGenerator::new(ctx.clone(), StdRng::seed_from_u64(0xbe_0c5));
+    let pk = std::sync::Arc::new(kg.gen_public_key());
+    let keys = std::sync::Arc::new(kg.gen_eval_keys(&plan.rotation_steps()));
+    let enc = Encoder::new(ctx.clone());
+    let encryptor = Encryptor::with_public_key(ctx.clone(), pk);
+    let eval = Evaluator::new(ctx.clone(), keys);
+    let fctx = FheLinearContext {
+        eval: &eval,
+        enc: &enc,
+    };
+
+    let level = 2;
+    let input: Vec<f64> = (0..in_l.total_slots())
+        .map(|_| rng.gen_range(-1.0..1.0))
+        .collect();
+    let mut packed = in_l.pack(&input);
+    packed.resize(slots, 0.0);
+    let ct = encryptor.encrypt(&enc.encode(&packed, ctx.scale(), level, false), &mut rng);
+    let inputs = vec![ct];
+
+    // One-time setup cost (amortized across every later inference).
+    let t0 = std::time::Instant::now();
+    let prepared = PreparedLayer::build(&enc, &plan, &src, Some(&bias_blocks), level);
+    let prepare_seconds = t0.elapsed().as_secs_f64();
+
+    let mut g = c.benchmark_group("linear_layer");
+    g.sample_size(10);
+    g.bench_function("on_the_fly", |b| {
+        b.iter(|| exec_fhe(&fctx, &plan, &src, Some(&bias_blocks), &inputs))
+    });
+    g.bench_function("prepared", |b| {
+        b.iter(|| exec_fhe_prepared(&fctx, &plan, &prepared, &inputs))
+    });
+    g.finish();
+
+    let median = |name: &str| -> f64 {
+        c.measurements
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| m.median_ns)
+            .expect("bench ran")
+    };
+    let cold_ns = median("linear_layer/on_the_fly");
+    let warm_ns = median("linear_layer/prepared");
+    let speedup = cold_ns / warm_ns;
+    println!(
+        "on-the-fly {:.2} ms, prepared {:.2} ms ({speedup:.2}x), one-time prepare {:.2} ms",
+        cold_ns / 1e6,
+        warm_ns / 1e6,
+        prepare_seconds * 1e3,
+    );
+    let summary = Value::Obj(vec![
+        ("slots".into(), Value::Num(slots as f64)),
+        (
+            "diagonals".into(),
+            Value::Num(prepared.num_plaintexts() as f64),
+        ),
+        (
+            "threads".into(),
+            Value::Num(rayon::current_num_threads() as f64),
+        ),
+        ("on_the_fly_ns".into(), Value::Num(cold_ns)),
+        ("prepared_ns".into(), Value::Num(warm_ns)),
+        ("prepare_once_ns".into(), Value::Num(prepare_seconds * 1e9)),
+        (
+            "speedup".into(),
+            Value::Num((speedup * 100.0).round() / 100.0),
+        ),
+        ("prepared_faster".into(), Value::Bool(warm_ns < cold_ns)),
+    ]);
+    let text = serde_json::to_string_pretty(&summary).expect("summary serializes");
+    let path = orion_bench::workspace_target_dir();
+    std::fs::create_dir_all(&path).ok();
+    let file = path.join("prepared_bench.json");
+    match std::fs::write(&file, &text) {
+        Ok(()) => println!("wrote {}", file.display()),
+        Err(e) => eprintln!("could not write {}: {e}", file.display()),
+    }
+}

@@ -89,6 +89,17 @@ impl Table {
     }
 }
 
+/// The workspace-level `target/` directory, from a bench/bin's point of
+/// view. Criterion harnesses run with the *package* directory as CWD, so a
+/// bare `"target"` would scatter JSON summaries under
+/// `crates/orion-bench/target/`; CI and the perf trajectory read them from
+/// the workspace root instead.
+pub fn workspace_target_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("target")
+}
+
 /// Formats seconds human-readably.
 pub fn fmt_secs(s: f64) -> String {
     if s < 1.0 {

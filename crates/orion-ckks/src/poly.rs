@@ -367,25 +367,32 @@ impl RnsPoly {
         // Bring the top limb to coefficient form.
         let mut top = self.limbs.pop().expect("top limb");
         ctx.ntt[l].inverse(&mut top);
+        // The centered lift of the top limb is limb-independent: compute it
+        // once, then reduce into each Z_{q_j} through a reused scratch
+        // buffer instead of allocating a fresh vector per limb.
+        let centered: Vec<i128> = top
+            .iter()
+            .map(|&c| orion_math::modular::center(c, ql) as i128)
+            .collect();
+        let degree = top.len();
         // Every remaining limb folds the lifted top limb in independently
         // (one NTT each), so the loop fans out for large rings.
-        let par = ntt_parallel(top.len(), l);
-        orion_math::parallel::for_each_mut(&mut self.limbs, par, |j, limb| {
-            let qj = ctx.moduli[j];
-            let inv = ctx.rescale_constant(l, j);
-            // Centered lift of the top limb into Z_{q_j}, NTT, subtract, scale.
-            let mut lifted: Vec<u64> = top
-                .iter()
-                .map(|&c| {
-                    let centered = orion_math::modular::center(c, ql);
-                    reduce_i128(centered as i128, qj)
-                })
-                .collect();
-            ctx.ntt[j].forward(&mut lifted);
-            for (x, &t) in limb.iter_mut().zip(&lifted) {
-                *x = mul_mod(sub_mod(*x, t, qj), inv, qj);
-            }
-        });
+        let par = ntt_parallel(degree, l);
+        orion_math::parallel::for_each_mut_scratch(
+            &mut self.limbs,
+            par,
+            || Vec::<u64>::with_capacity(degree),
+            |j, limb, lifted| {
+                let qj = ctx.moduli[j];
+                let inv = ctx.rescale_constant(l, j);
+                lifted.clear();
+                lifted.extend(centered.iter().map(|&c| reduce_i128(c, qj)));
+                ctx.ntt[j].forward(lifted);
+                for (x, &t) in limb.iter_mut().zip(lifted.iter()) {
+                    *x = mul_mod(sub_mod(*x, t, qj), inv, qj);
+                }
+            },
+        );
     }
 
     /// Removes the special limb, dividing the polynomial by `p` with
@@ -395,22 +402,29 @@ impl RnsPoly {
         let p = ctx.special;
         let mut sp = self.special.take().expect("no special limb to remove");
         ctx.ntt_special.inverse(&mut sp);
-        let par = ntt_parallel(sp.len(), self.limbs.len());
-        orion_math::parallel::for_each_mut(&mut self.limbs, par, |j, limb| {
-            let qj = ctx.moduli[j];
-            let inv = ctx.special_constant(j);
-            let mut lifted: Vec<u64> = sp
-                .iter()
-                .map(|&c| {
-                    let centered = orion_math::modular::center(c, p);
-                    reduce_i128(centered as i128, qj)
-                })
-                .collect();
-            ctx.ntt[j].forward(&mut lifted);
-            for (x, &t) in limb.iter_mut().zip(&lifted) {
-                *x = mul_mod(sub_mod(*x, t, qj), inv, qj);
-            }
-        });
+        // As in `rescale_assign`: one shared centered lift, one reused
+        // scratch buffer per worker instead of an allocation per limb.
+        let centered: Vec<i128> = sp
+            .iter()
+            .map(|&c| orion_math::modular::center(c, p) as i128)
+            .collect();
+        let degree = sp.len();
+        let par = ntt_parallel(degree, self.limbs.len());
+        orion_math::parallel::for_each_mut_scratch(
+            &mut self.limbs,
+            par,
+            || Vec::<u64>::with_capacity(degree),
+            |j, limb, lifted| {
+                let qj = ctx.moduli[j];
+                let inv = ctx.special_constant(j);
+                lifted.clear();
+                lifted.extend(centered.iter().map(|&c| reduce_i128(c, qj)));
+                ctx.ntt[j].forward(lifted);
+                for (x, &t) in limb.iter_mut().zip(lifted.iter()) {
+                    *x = mul_mod(sub_mod(*x, t, qj), inv, qj);
+                }
+            },
+        );
     }
 
     /// Drops limbs above `level` (a free level drop — no scaling).

@@ -18,15 +18,18 @@
 //! ```
 
 use orion_ckks::CkksParams;
+use orion_linear::prepared::PreparedProgram;
 use orion_nn::backends::{run_plain, PlainRun};
 use orion_nn::compile::{compile, CompileOptions, Compiled};
-use orion_nn::fhe_exec::{run_fhe, FheRun, FheSession};
+use orion_nn::fhe_exec::{run_fhe, run_fhe_prepared, FheRun, FheSession};
 use orion_nn::fit::fit_robust;
 use orion_nn::network::Network;
 use orion_nn::trace_exec::{run_trace, TraceRun};
 use orion_tensor::Tensor;
 use rayon::prelude::*;
+use std::sync::Arc;
 
+pub use orion_linear::prepared::{PreparedLayer, PreparedProgram as Prepared};
 pub use orion_nn::backend::{run_program, Counting, EvalBackend};
 pub use orion_nn::backends::{CkksBackend, PlainBackend, TraceBackend};
 pub use orion_nn::compile::Step;
@@ -87,6 +90,16 @@ impl Orion {
     pub fn run_batch(&self, compiled: &Compiled, inputs: &[Tensor]) -> Vec<TraceRun> {
         trace_inference_batch(compiled, inputs)
     }
+
+    /// One-time setup of the serving path: encodes every linear layer's
+    /// weight diagonals, bias blocks, and zero plaintexts at their
+    /// placement-assigned levels (the paper's offline weight artifacts,
+    /// §6). The returned cache is `Arc`-shared — hand clones of it to any
+    /// number of concurrent [`fhe_inference_prepared`] /
+    /// [`fhe_inference_batch`] calls.
+    pub fn prepare_fhe(&self, compiled: &Compiled, session: &FheSession) -> Arc<PreparedProgram> {
+        session.prepare(compiled)
+    }
 }
 
 /// Runs a compiled program on the cleartext trace backend.
@@ -119,18 +132,43 @@ pub fn trace_inference_batch(compiled: &Compiled, inputs: &[Tensor]) -> Vec<Trac
         .collect()
 }
 
+/// Runs a compiled program under real CKKS serving from a prepared cache
+/// (zero per-inference weight encodes; see [`Orion::prepare_fhe`]).
+pub fn fhe_inference_prepared(
+    compiled: &Compiled,
+    session: &FheSession,
+    prepared: &Arc<PreparedProgram>,
+    input: &Tensor,
+) -> FheRun {
+    run_fhe_prepared(compiled, session, prepared, input)
+}
+
 /// Real-CKKS inference over a batch of inputs sharing one session's key
 /// material, parallel across the shared rayon pool (the evaluator is
 /// read-only during execution; the session RNG and bootstrap oracle are
-/// internally synchronized). Results are in input order.
+/// internally synchronized). The weight cache is built **once** and shared
+/// by every inference in the batch, so the per-request encode cost is
+/// amortized to zero. Results are in input order.
 pub fn fhe_inference_batch(
     compiled: &Compiled,
     session: &FheSession,
     inputs: &[Tensor],
 ) -> Vec<FheRun> {
+    let prepared = session.prepare(compiled);
+    fhe_inference_batch_prepared(compiled, session, &prepared, inputs)
+}
+
+/// Batch inference against an already-built prepared cache (the serving
+/// hot path: setup cost fully off the request path).
+pub fn fhe_inference_batch_prepared(
+    compiled: &Compiled,
+    session: &FheSession,
+    prepared: &Arc<PreparedProgram>,
+    inputs: &[Tensor],
+) -> Vec<FheRun> {
     inputs
         .par_iter()
-        .map(|input| run_fhe(compiled, session, input))
+        .map(|input| run_fhe_prepared(compiled, session, prepared, input))
         .collect()
 }
 
@@ -190,6 +228,42 @@ mod tests {
             orion_ckks::precision::precision_bits(plain.output.data(), batch[0].output.data());
         assert!(prec > 40.0, "plain oracle diverged: {prec} bits");
         assert_eq!(plain.counter.rotations(), batch[0].counter.rotations());
+    }
+
+    #[test]
+    fn concurrent_prepared_batch_matches_sequential() {
+        // A batch fanned out on the rayon pool, all workers sharing ONE
+        // Arc'd PreparedProgram, must agree with sequential prepared
+        // inference (same cache) on every input — and with the on-the-fly
+        // path within CKKS noise.
+        let mut rng = StdRng::seed_from_u64(91);
+        let mut net = orion_nn::Network::new(1, 8, 8);
+        let x = net.input();
+        let f = net.flatten("flat", x);
+        let l1 = net.linear("fc1", f, 16, &mut rng);
+        let a1 = net.square("act1", l1);
+        let l2 = net.linear("fc2", a1, 4, &mut rng);
+        net.output(l2);
+        let params = orion_ckks::CkksParams::tiny();
+        let orion = Orion::for_params(&params);
+        let calib = synthetic_images(1, 8, 8, 4, 92);
+        let compiled = orion.compile(&net, &calib);
+        let session = fhe_session(params, &compiled, 93);
+        let prepared = orion.prepare_fhe(&compiled, &session);
+
+        let inputs = synthetic_images(1, 8, 8, 3, 94);
+        let batch = fhe_inference_batch_prepared(&compiled, &session, &prepared, &inputs);
+        assert_eq!(batch.len(), inputs.len());
+        for (run, input) in batch.iter().zip(&inputs) {
+            let seq = fhe_inference_prepared(&compiled, &session, &prepared, input);
+            let prec = orion_ckks::precision::precision_bits(run.output.data(), seq.output.data());
+            assert!(prec > 8.0, "concurrent vs sequential prepared: {prec} bits");
+            let cold = fhe_inference(&compiled, &session, input);
+            let prec_cold =
+                orion_ckks::precision::precision_bits(run.output.data(), cold.output.data());
+            assert!(prec_cold > 8.0, "prepared vs on-the-fly: {prec_cold} bits");
+            assert_eq!(run.bootstraps, cold.bootstraps);
+        }
     }
 
     #[test]

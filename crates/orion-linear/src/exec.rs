@@ -13,13 +13,14 @@
 //! the ciphertext scale to precisely Δ.
 
 use crate::plan::LinearPlan;
+use crate::prepared::PreparedLayer;
 use crate::values::DiagSource;
 use orion_ckks::encoder::Encoder;
-use orion_ckks::encrypt::Ciphertext;
+use orion_ckks::encrypt::{Ciphertext, Plaintext};
 use orion_ckks::eval::Evaluator;
 use orion_ckks::hoist::{ExtAccumulator, HoistedDigits, RotatedExt};
 use rayon::prelude::*;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Rotates a cleartext slot vector "up" by `k` (CKKS `HRot` semantics).
 fn rot_plain(v: &[f64], k: usize) -> Vec<f64> {
@@ -145,13 +146,14 @@ pub fn exec_fhe_unhoisted(
             let Some(d) = vals.get(&k) else { continue };
             let i = (k as usize) % n1;
             let j = (k as usize) / n1;
+            // borrow the cached rotation straight from the map — a full
+            // ciphertext clone per diagonal would dwarf the mul_plain
             let rot = rotated
                 .entry((j_blk, i))
-                .or_insert_with(|| ctx.eval.rotate(&inputs[j_blk as usize], i as isize))
-                .clone();
+                .or_insert_with(|| ctx.eval.rotate(&inputs[j_blk as usize], i as isize));
             // on-the-fly encoding (the ablation's point)
             let pt = ctx.enc.encode_at_prime_scale(d, level, false);
-            let term = ctx.eval.mul_plain(&rot, &pt);
+            let term = ctx.eval.mul_plain(rot, &pt);
             groups
                 .entry((i_blk, j))
                 .and_modify(|acc| *acc = ctx.eval.add(acc, &term))
@@ -255,6 +257,120 @@ pub fn exec_fhe(
             if let Some(b) = bias {
                 let pt = ctx.enc.encode(&b[i_blk], ct.scale, ct.level(), false);
                 ct = ctx.eval.add_plain(&ct, &pt);
+            }
+            ct
+        })
+        .collect()
+}
+
+/// One giant-step group's work list: `((input block, baby step), cached
+/// plaintext)` per diagonal, in plan order.
+type GroupTerms<'p> = Vec<((u32, usize), &'p Plaintext)>;
+
+/// Executes a plan homomorphically from a [`PreparedLayer`]: identical
+/// math to [`exec_fhe`] (modular arithmetic is exact, so the result is
+/// bit-for-bit the same) but with **zero plaintext encodes** — every
+/// diagonal, bias block, and the zero plaintext come from the setup-time
+/// cache — and with the two expensive per-request stages fanned out on the
+/// shared rayon pool:
+///
+/// 1. the distinct baby-step `rotate_ext` key-switch inner products
+///    (independent per `(input block, baby step)`), and
+/// 2. the per-giant-step [`ExtAccumulator`] groups (independent per
+///    `(output block, giant step)`), each finishing with its own deferred
+///    ModDown and giant rotation.
+///
+/// This lands the ROADMAP "per-wire (intra-inference) parallel scheduling"
+/// item for linear layers — the dominant cost of a served inference.
+pub fn exec_fhe_prepared(
+    ctx: &FheLinearContext<'_>,
+    plan: &LinearPlan,
+    prepared: &PreparedLayer,
+    inputs: &[Ciphertext],
+) -> Vec<Ciphertext> {
+    assert_eq!(inputs.len(), plan.in_blocks);
+    let level = inputs[0].level();
+    assert_eq!(
+        level, prepared.level,
+        "inputs must arrive at the prepared level"
+    );
+    let slots = plan.slots;
+    assert_eq!(
+        slots,
+        ctx.eval.context().slots(),
+        "plan/context slot mismatch"
+    );
+    let n1 = plan.n1;
+    // One digit decomposition per input ciphertext (internally
+    // limb-parallel already).
+    let hoisted: Vec<HoistedDigits> = inputs
+        .iter()
+        .map(|ct| HoistedDigits::new(ctx.eval.context(), ct))
+        .collect();
+    // Gather the work lists: distinct baby-step rotations and the terms of
+    // every giant-step group, in the same deterministic plan order the
+    // on-the-fly executor uses.
+    let mut rot_set: BTreeSet<(u32, usize)> = BTreeSet::new();
+    let mut groups: BTreeMap<(u32, usize), GroupTerms<'_>> = BTreeMap::new();
+    for (&(i_blk, j_blk), diags) in &plan.blocks {
+        let Some(block) = prepared.diags.get(&(i_blk, j_blk)) else {
+            continue;
+        };
+        for &k in diags {
+            let Some(pt) = block.get(&k) else { continue };
+            let i = (k as usize) % n1;
+            let j = (k as usize) / n1;
+            rot_set.insert((j_blk, i));
+            groups.entry((i_blk, j)).or_default().push(((j_blk, i), pt));
+        }
+    }
+    // Stage 1: every distinct baby-step key-switch inner product, in
+    // parallel (shared across all diagonals that use the rotation).
+    let rot_keys: Vec<(u32, usize)> = rot_set.into_iter().collect();
+    let rotations: HashMap<(u32, usize), RotatedExt> = rot_keys
+        .par_iter()
+        .map(|&(j_blk, i)| {
+            (
+                (j_blk, i),
+                hoisted[j_blk as usize].rotate_ext(ctx.eval, i as isize),
+            )
+        })
+        .collect();
+    // Stage 2: accumulate each giant-step group and its deferred ModDown +
+    // giant rotation, in parallel. Modular adds are exact, so per-group
+    // order (plan order, preserved above) fixes the result bit-for-bit.
+    let group_vec: Vec<((u32, usize), GroupTerms<'_>)> = groups.into_iter().collect();
+    let parts: Vec<((u32, usize), Ciphertext)> = group_vec
+        .par_iter()
+        .map(|((i_blk, j), terms)| {
+            let mut acc = ExtAccumulator::new(ctx.eval.context(), level);
+            for (rk, pt) in terms {
+                acc.add_pmult_rotated(ctx.eval, &rotations[rk], pt);
+            }
+            let mut part = acc.finalize(ctx.eval);
+            let g = (j * n1) % slots;
+            if g != 0 {
+                part = ctx.eval.rotate(&part, g as isize);
+            }
+            ((*i_blk, *j), part)
+        })
+        .collect();
+    // Deterministic per-output-block sum, rescale, cached bias.
+    let mut out: Vec<Option<Ciphertext>> = vec![None; plan.out_blocks];
+    for ((i_blk, _), part) in parts {
+        let slot_ref = &mut out[i_blk as usize];
+        *slot_ref = Some(match slot_ref.take() {
+            None => part,
+            Some(prev) => ctx.eval.add(&prev, &part),
+        });
+    }
+    out.into_iter()
+        .enumerate()
+        .map(|(i_blk, o)| {
+            let mut ct = o.unwrap_or_else(|| ctx.eval.mul_plain(&inputs[0], &prepared.zero));
+            ctx.eval.rescale_assign(&mut ct);
+            if let Some(bias) = &prepared.bias {
+                ct = ctx.eval.add_plain(&ct, &bias[i_blk]);
             }
             ct
         })

@@ -19,8 +19,15 @@
 //! * [`values`] — materializes diagonal plaintext vectors block-by-block
 //!   (only needed by the real-FHE and plan-validation paths);
 //! * [`exec`] — executors: `exec_plain` (cleartext slots through the exact
-//!   plan — the packing correctness oracle) and `exec_fhe` (real CKKS with
-//!   hoisted baby steps and lazy-ModDown giant groups);
+//!   plan — the packing correctness oracle), `exec_fhe` (real CKKS with
+//!   hoisted baby steps and lazy-ModDown giant groups, weights encoded on
+//!   the fly) and `exec_fhe_prepared` (the serving path: consumes a
+//!   [`prepared`] cache — zero per-inference encodes — and fans the
+//!   baby-step key switches and giant-step groups out on the shared rayon
+//!   pool);
+//! * [`prepared`] — the setup-time weight-encoding cache
+//!   (`PreparedLayer` / `PreparedProgram`, paper §6: weight diagonals as
+//!   offline artifacts), spillable to disk through [`store`];
 //! * [`baseline`] — rotation-count baselines: the diagonal method without
 //!   BSGS (Lee et al.-style multiplexed parallel convolutions, Table 3)
 //!   and the naive strided Toeplitz with maximal diagonals (Figure 5a).
@@ -29,10 +36,15 @@ pub mod baseline;
 pub mod exec;
 pub mod layout;
 pub mod plan;
+pub mod prepared;
 pub mod store;
 pub mod values;
 
-pub use exec::{exec_fhe, exec_fhe_unhoisted, exec_plain, exec_plain_parallel, FheLinearContext};
+pub use exec::{
+    exec_fhe, exec_fhe_prepared, exec_fhe_unhoisted, exec_plain, exec_plain_parallel,
+    FheLinearContext,
+};
 pub use layout::TensorLayout;
 pub use plan::{ConvSpec, LinearPlan, PlanCounts};
+pub use prepared::{PreparedLayer, PreparedProgram};
 pub use values::{BiasValues, ConvDiagSource, DenseDiagSource, DiagSource};

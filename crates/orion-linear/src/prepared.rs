@@ -1,0 +1,213 @@
+//! Prepared inference plans: one-time weight encoding (paper §6 "Handling
+//! large data structures").
+//!
+//! The paper treats weight diagonals as offline artifacts: a fixed model's
+//! diagonal plaintexts never change between inferences, so extracting and
+//! FFT-encoding them per request is pure waste. A [`PreparedLayer`] holds
+//! one linear layer's diagonals *already encoded* at its placement-assigned
+//! level (prime scale, extended basis, evaluation form) together with its
+//! bias plaintexts and the zero plaintext used for untouched output blocks;
+//! a [`PreparedProgram`] maps program step ids to shared prepared layers so
+//! a whole compiled network can be served with **zero per-inference
+//! encodes** (machine-checked through `OpCounter::encodes`).
+//!
+//! Layers are `Arc`-shared and immutable after build, so any number of
+//! concurrent inferences can consume one cache; [`PreparedLayer::spill`] /
+//! [`PreparedLayer::load`] integrate with [`crate::store::DiagStore`] so
+//! ImageNet-scale weight sets can live on disk and be loaded per layer.
+
+use crate::plan::LinearPlan;
+use crate::store::DiagStore;
+use crate::values::DiagSource;
+use orion_ckks::encoder::Encoder;
+use orion_ckks::encrypt::Plaintext;
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One linear layer's setup-time artifacts: every weight-diagonal
+/// plaintext encoded once, keyed by ciphertext-block pair and diagonal.
+pub struct PreparedLayer {
+    /// The level the inputs must arrive at (the placement assignment).
+    pub level: usize,
+    /// `(out_block, in_block) → diagonal k → encoded plaintext` (prime
+    /// scale, special limb, evaluation form — ready for
+    /// `ExtAccumulator::add_pmult_rotated`).
+    pub diags: HashMap<(u32, u32), HashMap<u32, Plaintext>>,
+    /// Per-output-block bias plaintexts at scale Δ, `level − 1`.
+    pub bias: Option<Vec<Plaintext>>,
+    /// The zero plaintext for output blocks no diagonal touches.
+    pub zero: Plaintext,
+}
+
+impl PreparedLayer {
+    /// Extracts and encodes every diagonal of `plan` once. Extraction fans
+    /// out per block pair and encoding per diagonal on the shared rayon
+    /// pool; the result is bit-identical to what the on-the-fly executor
+    /// would encode per request.
+    pub fn build(
+        enc: &Encoder,
+        plan: &LinearPlan,
+        source: &(dyn DiagSource + Sync),
+        bias: Option<&[Vec<f64>]>,
+        level: usize,
+    ) -> Self {
+        assert!(level >= 1, "a linear layer consumes one level");
+        let block_keys: Vec<(u32, u32)> = plan.blocks.keys().copied().collect();
+        type RawBlock = ((u32, u32), HashMap<u32, Vec<f64>>);
+        let extracted: Vec<RawBlock> = block_keys
+            .par_iter()
+            .map(|&(i, j)| ((i, j), source.block_diags(plan, i, j)))
+            .collect();
+        // Flatten in plan order (deterministic), batch-encode, regroup.
+        let mut meta: Vec<((u32, u32), u32)> = Vec::new();
+        let mut flat: Vec<Vec<f64>> = Vec::new();
+        for ((i, j), mut vals) in extracted {
+            for &k in &plan.blocks[&(i, j)] {
+                if let Some(d) = vals.remove(&k) {
+                    meta.push(((i, j), k));
+                    flat.push(d);
+                }
+            }
+        }
+        let encoded = enc.encode_prime_scale_ws_batch(&flat, level);
+        let mut diags: HashMap<(u32, u32), HashMap<u32, Plaintext>> = HashMap::new();
+        for ((blk, k), pt) in meta.into_iter().zip(encoded) {
+            diags.entry(blk).or_default().insert(k, pt);
+        }
+        let delta = enc.context().scale();
+        let bias = bias.map(|blocks| {
+            blocks
+                .iter()
+                .map(|b| enc.encode(b, delta, level - 1, false))
+                .collect()
+        });
+        let zero = enc.encode_at_prime_scale_ws(&vec![0.0; plan.slots], level);
+        Self {
+            level,
+            diags,
+            bias,
+            zero,
+        }
+    }
+
+    /// Total encoded diagonal plaintexts held (diagnostics / memory
+    /// accounting).
+    pub fn num_plaintexts(&self) -> usize {
+        self.diags.values().map(|m| m.len()).sum()
+    }
+
+    /// Spills the layer to `store` under `name` (one file per ciphertext
+    /// block pair plus bias/zero/meta sections), so large weight sets can
+    /// be dropped from memory and reloaded per layer during inference.
+    pub fn spill(&self, store: &DiagStore, name: &str) -> std::io::Result<()> {
+        let mut blocks: Vec<(u32, u32)> = self.diags.keys().copied().collect();
+        blocks.sort_unstable();
+        store.save_prepared_meta(name, self.level, &blocks, self.bias.as_deref(), &self.zero)?;
+        for &(i, j) in &blocks {
+            store.save_prepared_block(name, i, j, &self.diags[&(i, j)])?;
+        }
+        Ok(())
+    }
+
+    /// Loads a layer previously written by [`PreparedLayer::spill`].
+    pub fn load(store: &DiagStore, name: &str) -> std::io::Result<Self> {
+        let (level, blocks, bias, zero) = store.load_prepared_meta(name)?;
+        let mut diags = HashMap::with_capacity(blocks.len());
+        for (i, j) in blocks {
+            diags.insert((i, j), store.load_prepared_block(name, i, j)?);
+        }
+        Ok(Self {
+            level,
+            diags,
+            bias,
+            zero,
+        })
+    }
+}
+
+/// A compiled program's full cache of prepared layers, keyed by program
+/// step id. Immutable and `Arc`-shared after build: one cache serves any
+/// number of concurrent inferences.
+#[derive(Default)]
+pub struct PreparedProgram {
+    layers: HashMap<usize, Arc<PreparedLayer>>,
+}
+
+impl PreparedProgram {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `layer` for program step `step`.
+    pub fn insert(&mut self, step: usize, layer: PreparedLayer) {
+        self.layers.insert(step, Arc::new(layer));
+    }
+
+    /// The prepared layer for `step`, if any.
+    pub fn layer(&self, step: usize) -> Option<&PreparedLayer> {
+        self.layers.get(&step).map(Arc::as_ref)
+    }
+
+    /// Number of prepared layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Total encoded diagonal plaintexts across all layers.
+    pub fn num_plaintexts(&self) -> usize {
+        self.layers.values().map(|l| l.num_plaintexts()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::TensorLayout;
+    use crate::plan::{conv_plan, ConvSpec};
+    use crate::values::ConvDiagSource;
+    use orion_ckks::params::{CkksParams, Context};
+    use orion_tensor::Tensor;
+
+    #[test]
+    fn build_covers_every_plan_diagonal() {
+        let ctx = Context::new(CkksParams::tiny());
+        let enc = Encoder::new(ctx.clone());
+        let in_l = TensorLayout::raster(2, 8, 8);
+        let spec = ConvSpec {
+            co: 4,
+            ci: 2,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            padding: 1,
+            dilation: 1,
+            groups: 1,
+        };
+        let (plan, out_l) = conv_plan(&in_l, &spec, ctx.slots());
+        let weights = Tensor::from_vec(&[4, 2, 3, 3], (1..=72).map(|x| x as f64 * 0.05).collect());
+        let src = ConvDiagSource {
+            in_l,
+            out_l,
+            spec,
+            weights: &weights,
+        };
+        let prepared = PreparedLayer::build(&enc, &plan, &src, None, 2);
+        // all-nonzero weights: every plan diagonal must be cached
+        let plan_diags: usize = plan.blocks.values().map(|d| d.len()).sum();
+        assert_eq!(prepared.num_plaintexts(), plan_diags);
+        assert_eq!(prepared.level, 2);
+        for ((i, j), m) in &prepared.diags {
+            for (k, pt) in m {
+                assert!(pt.poly.has_special(), "block ({i},{j}) diag {k} not ws");
+                assert_eq!(pt.scale, ctx.moduli[2] as f64);
+            }
+        }
+    }
+}

@@ -10,11 +10,14 @@
 
 use crate::plan::{LinearPlan, PlanCounts};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use orion_ckks::encrypt::Plaintext;
+use orion_ckks::poly::{Form, RnsPoly};
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"ORIONPL1";
+const PREP_MAGIC: &[u8; 8] = b"ORIONPP1";
 
 /// Serializes a plan to bytes.
 pub fn plan_to_bytes(plan: &LinearPlan) -> Bytes {
@@ -153,6 +156,132 @@ impl DiagStore {
         std::fs::write(self.block_path(layer, i, j), &b)
     }
 
+    fn prepared_block_path(&self, layer: &str, i: u32, j: u32) -> std::path::PathBuf {
+        self.dir.join(format!("{layer}.p{i}_{j}.prep"))
+    }
+
+    fn prepared_meta_path(&self, layer: &str) -> std::path::PathBuf {
+        self.dir.join(format!("{layer}.prep.meta"))
+    }
+
+    /// Persists one prepared block's *encoded* diagonals (`k → plaintext`),
+    /// so setup-time encodings survive process restarts and large layers
+    /// can be spilled out of memory (paper §6's on-disk diagonals, but at
+    /// the post-encode stage the serving path actually consumes).
+    pub fn save_prepared_block(
+        &self,
+        layer: &str,
+        i: u32,
+        j: u32,
+        diags: &std::collections::HashMap<u32, Plaintext>,
+    ) -> std::io::Result<()> {
+        let mut b = BytesMut::new();
+        b.put_u32_le(diags.len() as u32);
+        let mut keys: Vec<&u32> = diags.keys().collect();
+        keys.sort();
+        for &k in keys {
+            b.put_u32_le(k);
+            put_plaintext(&mut b, &diags[&k]);
+        }
+        std::fs::write(self.prepared_block_path(layer, i, j), &b)
+    }
+
+    /// Loads one prepared block's encoded diagonals.
+    pub fn load_prepared_block(
+        &self,
+        layer: &str,
+        i: u32,
+        j: u32,
+    ) -> std::io::Result<std::collections::HashMap<u32, Plaintext>> {
+        let buf = std::fs::read(self.prepared_block_path(layer, i, j))?;
+        let mut data = Bytes::from(buf);
+        if data.remaining() < 4 {
+            return Err(malformed("prepared block truncated"));
+        }
+        let n = data.get_u32_le() as usize;
+        // capacity from untrusted input: reserve lazily past a sane bound
+        let mut out = std::collections::HashMap::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            if data.remaining() < 4 {
+                return Err(malformed("prepared block truncated"));
+            }
+            let k = data.get_u32_le();
+            let pt = get_plaintext(&mut data).ok_or_else(|| malformed("bad plaintext"))?;
+            out.insert(k, pt);
+        }
+        Ok(out)
+    }
+
+    /// Persists a prepared layer's metadata: level, block index, bias and
+    /// zero plaintexts.
+    pub fn save_prepared_meta(
+        &self,
+        layer: &str,
+        level: usize,
+        blocks: &[(u32, u32)],
+        bias: Option<&[Plaintext]>,
+        zero: &Plaintext,
+    ) -> std::io::Result<()> {
+        let mut b = BytesMut::new();
+        b.put_slice(PREP_MAGIC);
+        b.put_u64_le(level as u64);
+        b.put_u32_le(blocks.len() as u32);
+        for &(i, j) in blocks {
+            b.put_u32_le(i);
+            b.put_u32_le(j);
+        }
+        match bias {
+            None => b.put_u32_le(u32::MAX),
+            Some(pts) => {
+                b.put_u32_le(pts.len() as u32);
+                for pt in pts {
+                    put_plaintext(&mut b, pt);
+                }
+            }
+        }
+        put_plaintext(&mut b, zero);
+        std::fs::write(self.prepared_meta_path(layer), &b)
+    }
+
+    /// Loads prepared-layer metadata written by
+    /// [`DiagStore::save_prepared_meta`]: `(level, block pairs, bias,
+    /// zero)`.
+    #[allow(clippy::type_complexity)]
+    pub fn load_prepared_meta(
+        &self,
+        layer: &str,
+    ) -> std::io::Result<(usize, Vec<(u32, u32)>, Option<Vec<Plaintext>>, Plaintext)> {
+        let buf = std::fs::read(self.prepared_meta_path(layer))?;
+        let mut data = Bytes::from(buf);
+        if data.remaining() < 8 + 8 + 4 || &data.copy_to_bytes(8)[..] != PREP_MAGIC {
+            return Err(malformed("bad prepared meta header"));
+        }
+        let level = data.get_u64_le() as usize;
+        let n_blocks = data.get_u32_le() as usize;
+        let mut blocks = Vec::with_capacity(n_blocks);
+        for _ in 0..n_blocks {
+            if data.remaining() < 8 {
+                return Err(malformed("prepared meta truncated"));
+            }
+            blocks.push((data.get_u32_le(), data.get_u32_le()));
+        }
+        if data.remaining() < 4 {
+            return Err(malformed("prepared meta truncated"));
+        }
+        let n_bias = data.get_u32_le();
+        let bias = if n_bias == u32::MAX {
+            None
+        } else {
+            let mut pts = Vec::with_capacity(n_bias as usize);
+            for _ in 0..n_bias {
+                pts.push(get_plaintext(&mut data).ok_or_else(|| malformed("bad bias"))?);
+            }
+            Some(pts)
+        };
+        let zero = get_plaintext(&mut data).ok_or_else(|| malformed("bad zero plaintext"))?;
+        Ok((level, blocks, bias, zero))
+    }
+
     /// Loads one block's diagonals.
     pub fn load_block(
         &self,
@@ -172,6 +301,80 @@ impl DiagStore {
         }
         Ok(out)
     }
+}
+
+fn malformed(what: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string())
+}
+
+/// Serializes an encoded plaintext: scale, form, limb data, special limb.
+fn put_plaintext(b: &mut BytesMut, pt: &Plaintext) {
+    b.put_f64_le(pt.scale);
+    b.put_u8(match pt.poly.form {
+        Form::Coeff => 0,
+        Form::Eval => 1,
+    });
+    b.put_u32_le(pt.poly.limbs.len() as u32);
+    let degree = pt.poly.limbs.first().map(Vec::len).unwrap_or(0);
+    b.put_u64_le(degree as u64);
+    for limb in &pt.poly.limbs {
+        for &x in limb {
+            b.put_u64_le(x);
+        }
+    }
+    match &pt.poly.special {
+        None => b.put_u8(0),
+        Some(sp) => {
+            b.put_u8(1);
+            for &x in sp {
+                b.put_u64_le(x);
+            }
+        }
+    }
+}
+
+/// Inverse of [`put_plaintext`]; returns `None` on malformed input.
+fn get_plaintext(data: &mut Bytes) -> Option<Plaintext> {
+    if data.remaining() < 8 + 1 + 4 + 8 {
+        return None;
+    }
+    let scale = data.get_f64_le();
+    let form = match data.get_u8() {
+        0 => Form::Coeff,
+        1 => Form::Eval,
+        _ => return None,
+    };
+    let n_limbs = data.get_u32_le() as usize;
+    let degree = data.get_u64_le() as usize;
+    // overflow-safe bound: corrupt headers must yield None, not a panic
+    let limb_bytes = n_limbs.checked_mul(degree).and_then(|n| n.checked_mul(8))?;
+    if data.remaining() < limb_bytes {
+        return None;
+    }
+    let limbs: Vec<Vec<u64>> = (0..n_limbs)
+        .map(|_| (0..degree).map(|_| data.get_u64_le()).collect())
+        .collect();
+    if data.remaining() < 1 {
+        return None;
+    }
+    let special = match data.get_u8() {
+        0 => None,
+        1 => {
+            if data.remaining() < 8 * degree {
+                return None;
+            }
+            Some((0..degree).map(|_| data.get_u64_le()).collect())
+        }
+        _ => return None,
+    };
+    Some(Plaintext {
+        poly: RnsPoly {
+            limbs,
+            special,
+            form,
+        },
+        scale,
+    })
 }
 
 #[cfg(test)]
@@ -221,6 +424,67 @@ mod tests {
     fn malformed_bytes_rejected() {
         assert!(plan_from_bytes(Bytes::from_static(b"garbage")).is_none());
         assert!(plan_from_bytes(Bytes::from_static(b"ORIONPL1short")).is_none());
+    }
+
+    #[test]
+    fn prepared_block_and_meta_roundtrip() {
+        use orion_ckks::encoder::Encoder;
+        use orion_ckks::params::{CkksParams, Context};
+        let ctx = Context::new(CkksParams::tiny());
+        let enc = Encoder::new(ctx.clone());
+        let dir = std::env::temp_dir().join("orion_prepared_store_test");
+        let store = DiagStore::open(&dir).unwrap();
+
+        let mk = |seed: usize| -> Vec<f64> {
+            (0..ctx.slots())
+                .map(|i| ((i + seed) % 5) as f64 * 0.2)
+                .collect()
+        };
+        let mut diags = std::collections::HashMap::new();
+        diags.insert(3u32, enc.encode_at_prime_scale_ws(&mk(1), 2));
+        diags.insert(9u32, enc.encode_at_prime_scale_ws(&mk(2), 2));
+        store.save_prepared_block("conv1", 0, 1, &diags).unwrap();
+        let back = store.load_prepared_block("conv1", 0, 1).unwrap();
+        assert_eq!(back.len(), 2);
+        for (k, pt) in &diags {
+            assert_eq!(back[k].poly, pt.poly, "diag {k} plaintext diverged");
+            assert_eq!(back[k].scale, pt.scale);
+        }
+
+        let bias = vec![enc.encode(&mk(3), ctx.scale(), 1, false)];
+        let zero = enc.encode_at_prime_scale_ws(&vec![0.0; ctx.slots()], 2);
+        store
+            .save_prepared_meta("conv1", 2, &[(0, 1)], Some(&bias), &zero)
+            .unwrap();
+        let (level, blocks, bias_back, zero_back) = store.load_prepared_meta("conv1").unwrap();
+        assert_eq!(level, 2);
+        assert_eq!(blocks, vec![(0, 1)]);
+        assert_eq!(bias_back.unwrap()[0].poly, bias[0].poly);
+        assert_eq!(zero_back.poly, zero.poly);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn malformed_prepared_files_error_not_panic() {
+        let dir = std::env::temp_dir().join("orion_prepared_malformed_test");
+        let store = DiagStore::open(&dir).unwrap();
+        // empty file: count header missing
+        std::fs::write(store.prepared_block_path("bad", 0, 0), b"").unwrap();
+        assert!(store.load_prepared_block("bad", 0, 0).is_err());
+        // plausible count, absurd plaintext header (overflow-bait sizes)
+        let mut b = BytesMut::new();
+        b.put_u32_le(1); // one diagonal
+        b.put_u32_le(3); // k
+        b.put_f64_le(1.0); // scale
+        b.put_u8(1); // eval form
+        b.put_u32_le(u32::MAX); // n_limbs
+        b.put_u64_le(1 << 61); // degree
+        std::fs::write(store.prepared_block_path("bad", 0, 1), &b).unwrap();
+        assert!(store.load_prepared_block("bad", 0, 1).is_err());
+        // truncated meta
+        std::fs::write(store.prepared_meta_path("bad"), b"ORIONPP1").unwrap();
+        assert!(store.load_prepared_meta("bad").is_err());
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]

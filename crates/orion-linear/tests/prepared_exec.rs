@@ -1,0 +1,167 @@
+//! Prepared-vs-on-the-fly equivalence: `exec_fhe_prepared` consumes
+//! setup-time encodings and parallel group scheduling, but the modular
+//! arithmetic is exact — so on the *same* input ciphertext it must be
+//! **bit-for-bit** identical to `exec_fhe`, on a convolution and on a
+//! dense layer, including the spill-to-disk round trip.
+
+use orion_ckks::encoder::Encoder;
+use orion_ckks::encrypt::{Ciphertext, Decryptor, Encryptor};
+use orion_ckks::eval::Evaluator;
+use orion_ckks::keys::KeyGenerator;
+use orion_ckks::params::{CkksParams, Context};
+use orion_linear::exec::{exec_fhe, exec_fhe_prepared, FheLinearContext};
+use orion_linear::layout::TensorLayout;
+use orion_linear::plan::{conv_plan, dense_plan, ConvSpec};
+use orion_linear::prepared::PreparedLayer;
+use orion_linear::store::DiagStore;
+use orion_linear::values::{BiasValues, ConvDiagSource, DenseDiagSource, DiagSource};
+use orion_linear::LinearPlan;
+use orion_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Harness {
+    ctx: std::sync::Arc<Context>,
+    enc: Encoder,
+    encryptor: Encryptor,
+    #[allow(dead_code)]
+    dec: Decryptor,
+    eval: Evaluator,
+    rng: StdRng,
+}
+
+fn setup(rotations: &[isize], seed: u64) -> Harness {
+    let ctx = Context::new(CkksParams::tiny());
+    let mut kg = KeyGenerator::new(ctx.clone(), StdRng::seed_from_u64(seed));
+    let pk = std::sync::Arc::new(kg.gen_public_key());
+    let keys = std::sync::Arc::new(kg.gen_eval_keys(rotations));
+    let sk = kg.secret_key();
+    Harness {
+        enc: Encoder::new(ctx.clone()),
+        encryptor: Encryptor::with_public_key(ctx.clone(), pk),
+        dec: Decryptor::new(ctx.clone(), sk),
+        eval: Evaluator::new(ctx.clone(), keys),
+        ctx,
+        rng: StdRng::seed_from_u64(seed ^ 0xabcd),
+    }
+}
+
+fn assert_bit_exact(a: &[Ciphertext], b: &[Ciphertext], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: block count");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.c0, y.c0, "{what}: block {i} c0 diverged");
+        assert_eq!(x.c1, y.c1, "{what}: block {i} c1 diverged");
+        assert_eq!(x.scale, y.scale, "{what}: block {i} scale diverged");
+    }
+}
+
+fn run_both(
+    h: &mut Harness,
+    plan: &LinearPlan,
+    source: &(dyn DiagSource + Sync),
+    bias: Option<&[Vec<f64>]>,
+    packed: &[f64],
+    level: usize,
+    what: &str,
+) -> PreparedLayer {
+    let slots = h.ctx.slots();
+    let mut inputs = Vec::new();
+    for b in 0..plan.in_blocks {
+        let lo = b * slots;
+        let hi = ((b + 1) * slots).min(packed.len());
+        let mut chunk = packed[lo..hi].to_vec();
+        chunk.resize(slots, 0.0);
+        let pt = h.enc.encode(&chunk, h.ctx.scale(), level, false);
+        inputs.push(h.encryptor.encrypt(&pt, &mut h.rng));
+    }
+    let fctx = FheLinearContext {
+        eval: &h.eval,
+        enc: &h.enc,
+    };
+    let on_the_fly = exec_fhe(&fctx, plan, source, bias, &inputs);
+    let prepared = PreparedLayer::build(&h.enc, plan, source, bias, level);
+    assert!(prepared.num_plaintexts() > 0, "{what}: empty cache");
+    let cached = exec_fhe_prepared(&fctx, plan, &prepared, &inputs);
+    assert_bit_exact(&on_the_fly, &cached, what);
+    prepared
+}
+
+#[test]
+fn prepared_conv_is_bit_exact_and_survives_disk() {
+    let mut rng = StdRng::seed_from_u64(501);
+    let in_l = TensorLayout::raster(8, 8, 8);
+    let spec = ConvSpec {
+        co: 8,
+        ci: 8,
+        kh: 3,
+        kw: 3,
+        stride: 2,
+        padding: 1,
+        dilation: 1,
+        groups: 1,
+    };
+    // slots = 512 at tiny params → one in-block; use full ring
+    let ctx = Context::new(CkksParams::tiny());
+    let slots = ctx.slots();
+    let (plan, out_l) = conv_plan(&in_l, &spec, slots);
+    let weights = Tensor::from_vec(
+        &[8, 8, 3, 3],
+        (0..576).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    );
+    let bias: Vec<f64> = (0..8).map(|_| rng.gen_range(-0.5..0.5)).collect();
+    let src = ConvDiagSource {
+        in_l,
+        out_l,
+        spec,
+        weights: &weights,
+    };
+    let bias_blocks = BiasValues::conv(&out_l, &bias, slots);
+    let mut h = setup(&plan.rotation_steps(), 502);
+    let input: Vec<f64> = (0..in_l.total_slots())
+        .map(|_| rng.gen_range(-1.0..1.0))
+        .collect();
+    let packed = in_l.pack(&input);
+    let prepared = run_both(&mut h, &plan, &src, Some(&bias_blocks), &packed, 2, "conv");
+
+    // spill → load → the reloaded cache is still bit-exact
+    let dir = std::env::temp_dir().join("orion_prepared_exec_test");
+    let store = DiagStore::open(&dir).unwrap();
+    prepared.spill(&store, "conv").unwrap();
+    let reloaded = PreparedLayer::load(&store, "conv").unwrap();
+    assert_eq!(reloaded.level, prepared.level);
+    assert_eq!(reloaded.num_plaintexts(), prepared.num_plaintexts());
+    let slots_v = h.ctx.slots();
+    let mut chunk = packed.clone();
+    chunk.resize(slots_v, 0.0);
+    let pt = h.enc.encode(&chunk, h.ctx.scale(), 2, false);
+    let ct = h.encryptor.encrypt(&pt, &mut h.rng);
+    let fctx = FheLinearContext {
+        eval: &h.eval,
+        enc: &h.enc,
+    };
+    let from_mem = exec_fhe_prepared(&fctx, &plan, &prepared, std::slice::from_ref(&ct));
+    let from_disk = exec_fhe_prepared(&fctx, &plan, &reloaded, std::slice::from_ref(&ct));
+    assert_bit_exact(&from_mem, &from_disk, "conv reloaded");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn prepared_dense_is_bit_exact() {
+    let mut rng = StdRng::seed_from_u64(601);
+    let in_l = TensorLayout::raster(16, 4, 4); // 256 features
+    let n_out = 10;
+    let ctx = Context::new(CkksParams::tiny());
+    let slots = ctx.slots();
+    let (plan, _) = dense_plan(&in_l, n_out, slots);
+    let w = Tensor::from_vec(
+        &[n_out, 256],
+        (0..n_out * 256).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    );
+    let bias: Vec<f64> = (0..n_out).map(|_| rng.gen_range(-0.5..0.5)).collect();
+    let src = DenseDiagSource::new(w, &in_l);
+    let bias_blocks = BiasValues::dense(n_out, &bias, slots);
+    let mut h = setup(&plan.rotation_steps(), 602);
+    let input: Vec<f64> = (0..256).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let packed = in_l.pack(&input);
+    run_both(&mut h, &plan, &src, Some(&bias_blocks), &packed, 1, "dense");
+}

@@ -51,6 +51,42 @@ where
     }
 }
 
+/// Runs `f(index, item, scratch)` over every item with a reusable scratch
+/// buffer, so per-item allocations are hoisted out of hot loops: one
+/// scratch per worker chunk in parallel mode, a single scratch for the
+/// whole loop sequentially.
+pub fn for_each_mut_scratch<T, S, I, F>(items: &mut [T], parallel: bool, init: I, f: F)
+where
+    T: Send,
+    S: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(usize, &mut T, &mut S) + Sync,
+{
+    if parallel && items.len() > 1 {
+        let chunk = items.len().div_ceil(rayon::current_num_threads().max(1));
+        items
+            .par_chunks_mut(chunk)
+            .enumerate()
+            .for_each(|(ci, part)| {
+                let mut scratch = init();
+                for (k, x) in part.iter_mut().enumerate() {
+                    f(ci * chunk + k, x, &mut scratch);
+                }
+            });
+    } else {
+        let mut scratch = init();
+        for (i, x) in items.iter_mut().enumerate() {
+            f(i, x, &mut scratch);
+        }
+    }
+}
+
+/// Whether a batch of `n` independent coarse-grained jobs (e.g. plaintext
+/// encodes at setup time) is worth fanning out.
+pub fn batch_parallel(n: usize) -> bool {
+    n >= 4 && rayon::current_num_threads() > 1
+}
+
 /// Builds a `Vec` from `f(0..n)`, in parallel when `parallel`. Order is
 /// preserved either way.
 pub fn map_indexed<T, F>(n: usize, parallel: bool, f: F) -> Vec<T>
@@ -143,5 +179,25 @@ mod tests {
     fn map_indexed_preserves_order() {
         let v = map_indexed(100, true, |i| i * 3);
         assert_eq!(v, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scratch_loop_matches_plain_loop_both_modes() {
+        for parallel in [false, true] {
+            let mut items: Vec<u64> = (0..97).collect();
+            for_each_mut_scratch(&mut items, parallel, Vec::<u64>::new, |i, x, scratch| {
+                scratch.clear();
+                scratch.extend((0..4).map(|k| i as u64 + k));
+                *x += scratch.iter().sum::<u64>();
+            });
+            let expect: Vec<u64> = (0..97u64).map(|i| i + 4 * i + 6).collect();
+            assert_eq!(items, expect, "parallel={parallel}");
+        }
+    }
+
+    #[test]
+    fn batch_gate_needs_multiple_jobs() {
+        assert!(!batch_parallel(1));
+        assert!(!batch_parallel(3));
     }
 }

@@ -33,10 +33,14 @@ use orion_sim::{CostModel, OpCounter};
 use orion_tensor::Tensor;
 
 /// A borrowed view of one linear layer's parameters (conv or dense),
-/// handed to [`EvalBackend::linear_layer`].
+/// handed to [`EvalBackend::linear_layer`]. `step` is the program node id,
+/// the key engines use to find the layer's setup-time artifacts in a
+/// `PreparedProgram`.
 pub enum LinearRef<'a> {
     /// A packed convolution (also pooling / folded batch-norm).
     Conv {
+        /// Program step id.
+        step: usize,
         /// The BSGS packing plan.
         plan: &'a LinearPlan,
         /// Convolution geometry.
@@ -52,6 +56,8 @@ pub enum LinearRef<'a> {
     },
     /// A packed fully-connected layer.
     Dense {
+        /// Program step id.
+        step: usize,
         /// The BSGS packing plan.
         plan: &'a LinearPlan,
         /// Weights `(n_out, features)`.
@@ -70,6 +76,13 @@ impl LinearRef<'_> {
     pub fn plan(&self) -> &LinearPlan {
         match self {
             LinearRef::Conv { plan, .. } | LinearRef::Dense { plan, .. } => plan,
+        }
+    }
+
+    /// The program step id.
+    pub fn step(&self) -> usize {
+        match self {
+            LinearRef::Conv { step, .. } | LinearRef::Dense { step, .. } => *step,
         }
     }
 }
@@ -118,6 +131,17 @@ pub trait EvalBackend {
     fn drop_to_level(&mut self, a: &Self::Ciphertext, level: usize) -> Self::Ciphertext;
     /// Bootstrap: refreshes to the engine's effective level.
     fn bootstrap(&mut self, a: &Self::Ciphertext) -> Self::Ciphertext;
+
+    /// Whether the linear layer at program step `step` encodes
+    /// weight/bias plaintexts **per inference** (the on-the-fly path).
+    /// Engines serving that step from a prepared cache return `false`, and
+    /// the [`Counting`] decorator then moves the encode cost out of the
+    /// per-inference tally (see `OpCounter::encodes`). Queried per step so
+    /// a partially prepared cache is tallied honestly.
+    fn linear_encodes_per_inference(&self, step: usize) -> bool {
+        let _ = step;
+        true
+    }
 
     /// One packed linear layer over all input ciphertexts at `level`;
     /// returns the output wire one level lower at exactly scale Δ.
@@ -237,6 +261,7 @@ pub fn run_program<B: EvalBackend>(
                 let lv = level.expect("linear layer unplaced");
                 let cts = drop_all(backend, &take(&wires, 0), lv);
                 let layer = LinearRef::Conv {
+                    step: id,
                     plan,
                     spec,
                     weight,
@@ -256,6 +281,7 @@ pub fn run_program<B: EvalBackend>(
                 let lv = level.expect("linear layer unplaced");
                 let cts = drop_all(backend, &take(&wires, 0), lv);
                 let layer = LinearRef::Dense {
+                    step: id,
                     plan,
                     weight,
                     bias,
@@ -366,8 +392,15 @@ impl<B: EvalBackend> Counting<B> {
     }
 
     /// Tallies one linear layer's plan at the evaluation level (the static
-    /// op mix of the double-hoisted BSGS matvec).
-    fn tally_linear(&mut self, plan: &LinearPlan, level: usize) {
+    /// op mix of the double-hoisted BSGS matvec). On-the-fly engines also
+    /// pay one slot-vector encode per diagonal pmult plus one per output
+    /// block (bias); steps served from a prepared cache pay none per
+    /// inference.
+    fn tally_linear(&mut self, plan: &LinearPlan, step: usize, level: usize) {
+        if self.inner.linear_encodes_per_inference(step) {
+            self.counter
+                .record_encodes((plan.counts.pmults + plan.out_blocks) as u64);
+        }
         let c = self.cost.clone();
         let counts = &plan.counts;
         self.tally(
@@ -429,7 +462,12 @@ impl<B: EvalBackend> EvalBackend for Counting<B> {
     }
 
     fn encode(&mut self, vals: &[f64], level: usize) -> Self::Plaintext {
+        self.counter.record_encodes(1);
         self.inner.encode(vals, level)
+    }
+
+    fn linear_encodes_per_inference(&self, step: usize) -> bool {
+        self.inner.linear_encodes_per_inference(step)
     }
 
     fn add(&mut self, a: &Self::Ciphertext, b: &Self::Ciphertext) -> Self::Ciphertext {
@@ -483,7 +521,7 @@ impl<B: EvalBackend> EvalBackend for Counting<B> {
         inputs: &[Self::Ciphertext],
         level: usize,
     ) -> Vec<Self::Ciphertext> {
-        self.tally_linear(layer.plan(), level);
+        self.tally_linear(layer.plan(), layer.step(), level);
         self.inner.linear_layer(layer, inputs, level)
     }
 

@@ -9,19 +9,37 @@
 use crate::backend::{EvalBackend, LinearRef};
 use crate::fhe_exec::FheSession;
 use orion_ckks::encrypt::Ciphertext;
-use orion_linear::exec::{exec_fhe as linear_exec, FheLinearContext};
+use orion_linear::exec::{exec_fhe as linear_exec, exec_fhe_prepared, FheLinearContext};
+use orion_linear::prepared::PreparedProgram;
 use orion_linear::values::{BiasValues, ConvDiagSource, DenseDiagSource};
 use orion_poly::eval::{evaluate_chebyshev, set_level_scale};
+use std::sync::Arc;
 
-/// The real-CKKS engine (see module docs).
+/// The real-CKKS engine (see module docs). With a prepared cache attached
+/// ([`CkksBackend::with_prepared`]) linear layers consume setup-time
+/// weight encodings through the parallel BSGS executor instead of
+/// re-encoding diagonals per inference.
 pub struct CkksBackend<'s> {
     session: &'s FheSession,
+    prepared: Option<Arc<PreparedProgram>>,
 }
 
 impl<'s> CkksBackend<'s> {
-    /// Wraps a session.
+    /// Wraps a session (on-the-fly weight encoding).
     pub fn new(session: &'s FheSession) -> Self {
-        Self { session }
+        Self {
+            session,
+            prepared: None,
+        }
+    }
+
+    /// Wraps a session with a prepared-program cache: linear layers whose
+    /// step id is in the cache run with zero per-inference encodes.
+    pub fn with_prepared(session: &'s FheSession, prepared: Arc<PreparedProgram>) -> Self {
+        Self {
+            session,
+            prepared: Some(prepared),
+        }
     }
 
     /// The underlying session.
@@ -99,6 +117,14 @@ impl EvalBackend for CkksBackend<'_> {
         self.session.oracle.refresh(a)
     }
 
+    fn linear_encodes_per_inference(&self, step: usize) -> bool {
+        // per step: a partially populated cache still encodes on the fly
+        // for the steps it misses, and the tally must say so
+        self.prepared
+            .as_ref()
+            .is_none_or(|p| p.layer(step).is_none())
+    }
+
     fn linear_layer(
         &mut self,
         layer: &LinearRef<'_>,
@@ -111,6 +137,10 @@ impl EvalBackend for CkksBackend<'_> {
             eval: &s.eval,
             enc: &s.enc,
         };
+        // Serving path: consume the setup-time cache when this step has one.
+        if let Some(p) = self.prepared.as_ref().and_then(|p| p.layer(layer.step())) {
+            return exec_fhe_prepared(&fctx, layer.plan(), p, inputs);
+        }
         match layer {
             LinearRef::Conv {
                 plan,
@@ -119,6 +149,7 @@ impl EvalBackend for CkksBackend<'_> {
                 bias,
                 in_l,
                 out_l,
+                ..
             } => {
                 let src = ConvDiagSource {
                     in_l: **in_l,
@@ -135,6 +166,7 @@ impl EvalBackend for CkksBackend<'_> {
                 bias,
                 in_l,
                 n_out,
+                ..
             } => {
                 let src = DenseDiagSource::new((*weight).clone(), in_l);
                 let bias_blocks = BiasValues::dense(*n_out, bias, slots);

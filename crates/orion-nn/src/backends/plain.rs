@@ -33,6 +33,7 @@ pub struct PlainCiphertext {
 pub struct PlainBackend {
     slots: usize,
     l_eff: usize,
+    prepared: bool,
 }
 
 impl PlainBackend {
@@ -41,12 +42,26 @@ impl PlainBackend {
         Self {
             slots: c.opts.slots,
             l_eff: c.opts.l_eff,
+            prepared: false,
         }
     }
 
     /// Builds an oracle with explicit geometry.
     pub fn with_geometry(slots: usize, l_eff: usize) -> Self {
-        Self { slots, l_eff }
+        Self {
+            slots,
+            l_eff,
+            prepared: false,
+        }
+    }
+
+    /// Models the prepared serving mode (zero per-inference encodes in the
+    /// tally); see `TraceBackend::prepared`.
+    pub fn prepared(c: &Compiled) -> Self {
+        Self {
+            prepared: true,
+            ..Self::new(c)
+        }
     }
 }
 
@@ -158,6 +173,10 @@ impl EvalBackend for PlainBackend {
         }
     }
 
+    fn linear_encodes_per_inference(&self, _step: usize) -> bool {
+        !self.prepared
+    }
+
     fn linear_layer(
         &mut self,
         layer: &LinearRef<'_>,
@@ -174,6 +193,7 @@ impl EvalBackend for PlainBackend {
                 bias,
                 in_l,
                 out_l,
+                ..
             } => {
                 let src = ConvDiagSource {
                     in_l: **in_l,
@@ -192,6 +212,7 @@ impl EvalBackend for PlainBackend {
                 bias,
                 in_l,
                 n_out,
+                ..
             } => {
                 let src = DenseDiagSource::new((*weight).clone(), in_l);
                 (

@@ -18,6 +18,7 @@ use orion_tensor::{conv2d, linear, Conv2dParams, Tensor};
 pub struct TraceBackend {
     /// The legality-enforcing trace engine.
     pub engine: TraceEngine,
+    prepared: bool,
 }
 
 impl TraceBackend {
@@ -26,6 +27,18 @@ impl TraceBackend {
         let l_eff = c.opts.l_eff;
         Self {
             engine: TraceEngine::new(c.opts.slots, l_eff, l_eff),
+            prepared: false,
+        }
+    }
+
+    /// Builds an engine that models the *prepared* serving mode: weight
+    /// encodes happen at setup, so the per-inference tally records zero
+    /// encodes — mirroring `CkksBackend::with_prepared` so modeled and
+    /// real runs stay counter-identical.
+    pub fn prepared(c: &Compiled) -> Self {
+        Self {
+            prepared: true,
+            ..Self::new(c)
         }
     }
 }
@@ -120,6 +133,10 @@ impl EvalBackend for TraceBackend {
 
     fn bootstrap(&mut self, a: &TraceCiphertext) -> TraceCiphertext {
         self.engine.bootstrap(a)
+    }
+
+    fn linear_encodes_per_inference(&self, _step: usize) -> bool {
+        !self.prepared
     }
 
     fn linear_layer(

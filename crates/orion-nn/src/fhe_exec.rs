@@ -10,7 +10,7 @@
 
 use crate::backend::run_program;
 use crate::backends::CkksBackend;
-use crate::compile::Compiled;
+use crate::compile::{Compiled, Step};
 use orion_ckks::bootstrap::BootstrapOracle;
 use orion_ckks::encoder::Encoder;
 use orion_ckks::encrypt::{Decryptor, Encryptor};
@@ -18,6 +18,8 @@ use orion_ckks::eval::Evaluator;
 use orion_ckks::keys::KeyGenerator;
 use orion_ckks::params::{CkksParams, Context};
 use orion_ckks::precision::precision_bits;
+use orion_linear::prepared::{PreparedLayer, PreparedProgram};
+use orion_linear::values::{BiasValues, ConvDiagSource, DenseDiagSource};
 use orion_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -62,6 +64,65 @@ impl FheSession {
             rng: parking_lot::Mutex::new(StdRng::seed_from_u64(seed ^ 0x5eed)),
         }
     }
+
+    /// Builds the compiled program's setup-time weight cache (see
+    /// [`prepare_program`]), `Arc`-shared so any number of concurrent
+    /// inferences can serve from it.
+    pub fn prepare(&self, compiled: &Compiled) -> Arc<PreparedProgram> {
+        Arc::new(prepare_program(compiled, self))
+    }
+}
+
+/// Walks a compiled program once and encodes every linear layer's weight
+/// diagonals, bias blocks, and zero plaintext at their placement-assigned
+/// levels (paper §6: weight diagonals as offline artifacts). The returned
+/// cache is keyed by program step id; serve with [`run_fhe_prepared`].
+pub fn prepare_program(c: &Compiled, s: &FheSession) -> PreparedProgram {
+    let slots = s.ctx.slots();
+    let mut prog = PreparedProgram::new();
+    for (id, node) in c.prog.iter().enumerate() {
+        let Some(level) = c.placement.levels[id] else {
+            continue;
+        };
+        match &node.step {
+            Step::Conv {
+                plan,
+                spec,
+                weight,
+                bias,
+                in_l,
+                out_l,
+            } => {
+                let src = ConvDiagSource {
+                    in_l: *in_l,
+                    out_l: *out_l,
+                    spec: *spec,
+                    weights: weight,
+                };
+                let bias_blocks = BiasValues::conv(out_l, bias, slots);
+                prog.insert(
+                    id,
+                    PreparedLayer::build(&s.enc, plan, &src, Some(&bias_blocks), level),
+                );
+            }
+            Step::Dense {
+                plan,
+                weight,
+                bias,
+                in_l,
+                n_out,
+            } => {
+                let src = DenseDiagSource::new(weight.clone(), in_l);
+                let bias_blocks = BiasValues::dense(*n_out, bias, slots);
+                prog.insert(
+                    id,
+                    PreparedLayer::build(&s.enc, plan, &src, Some(&bias_blocks), level),
+                );
+            }
+            _ => {}
+        }
+    }
+    prog
 }
 
 /// Result of a real FHE run.
@@ -91,6 +152,26 @@ pub fn run_fhe(c: &Compiled, s: &FheSession, input: &Tensor) -> FheRun {
         wall_seconds: t0.elapsed().as_secs_f64(),
         // counted per run by the interpreter — the session-global oracle
         // counter would interleave across concurrent batch inferences
+        bootstraps: run.bootstraps,
+    }
+}
+
+/// Runs a compiled program on real CKKS serving linear layers from a
+/// prepared cache: zero per-inference weight encodes, parallel BSGS
+/// baby-step/giant-group scheduling. The cache is read-only — clone the
+/// `Arc` to share it across concurrent inferences.
+pub fn run_fhe_prepared(
+    c: &Compiled,
+    s: &FheSession,
+    prepared: &Arc<PreparedProgram>,
+    input: &Tensor,
+) -> FheRun {
+    let t0 = std::time::Instant::now();
+    let mut backend = CkksBackend::with_prepared(s, Arc::clone(prepared));
+    let run = run_program(c, &mut backend, input);
+    FheRun {
+        output: run.output,
+        wall_seconds: t0.elapsed().as_secs_f64(),
         bootstraps: run.bootstraps,
     }
 }

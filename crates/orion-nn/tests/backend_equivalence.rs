@@ -27,6 +27,7 @@ fn random_input(c: usize, h: usize, w: usize, rng: &mut StdRng) -> Tensor {
 
 fn assert_counters_identical(a: &OpCounter, b: &OpCounter, what: &str) {
     assert_eq!(a.all(), b.all(), "{what}: op tallies diverged");
+    assert_eq!(a.encodes, b.encodes, "{what}: encode tallies diverged");
     assert_eq!(
         a.rotations(),
         b.rotations(),
@@ -99,6 +100,10 @@ fn mlp_agrees_across_all_three_backends() {
     assert_counters_identical(&plain.counter, &trace.counter, "plain vs trace");
     assert_counters_identical(&ckks.counter, &trace.counter, "ckks vs trace");
     assert!(trace.counter.rotations() > 0, "program should rotate");
+    assert!(
+        trace.counter.encodes > 0,
+        "on-the-fly engines pay per-inference encodes"
+    );
     assert_eq!(trace.counter.bootstraps(), compiled.placement.boot_count);
     assert_eq!(plain_run.bootstraps, trace_run.bootstraps);
     assert_eq!(ckks_run.bootstraps, trace_run.bootstraps);

@@ -1,0 +1,162 @@
+//! The prepared serving path end to end: `run_fhe_prepared` computes the
+//! same function as `run_fhe` on a real conv + dense network, the
+//! `Counting` decorator machine-checks the zero-per-inference-encodes
+//! claim, and prepared engines stay counter-identical across CKKS and the
+//! modeled backends.
+
+use orion_ckks::precision::precision_bits;
+use orion_ckks::CkksParams;
+use orion_nn::backend::{run_program, Counting};
+use orion_nn::backends::{CkksBackend, TraceBackend};
+use orion_nn::compile::{compile, CompileOptions};
+use orion_nn::fhe_exec::{run_fhe, run_fhe_prepared, FheSession};
+use orion_nn::fit::fixed_ranges;
+use orion_nn::network::Network;
+use orion_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn conv_dense_net(rng: &mut StdRng) -> Network {
+    let mut net = Network::new(2, 8, 8);
+    let x = net.input();
+    let c1 = net.conv2d("conv1", x, 4, 3, 2, 1, 1, rng);
+    let a1 = net.square("act1", c1);
+    let f = net.flatten("flat", a1);
+    let l = net.linear("fc", f, 6, rng);
+    net.output(l);
+    net
+}
+
+#[test]
+fn prepared_run_matches_on_the_fly_with_zero_encodes() {
+    let params = CkksParams::tiny();
+    let mut rng = StdRng::seed_from_u64(0x9e_0001);
+    let net = conv_dense_net(&mut rng);
+    let opts = CompileOptions::from_params(&params);
+    let compiled = compile(&net, &fixed_ranges(&net, 4.0), &opts);
+    let session = FheSession::new(params, &compiled, 7);
+    let prepared = session.prepare(&compiled);
+    assert!(
+        prepared.len() >= 2,
+        "conv and dense should both be prepared"
+    );
+    assert!(prepared.num_plaintexts() > 0);
+
+    let input = Tensor::from_vec(
+        &[2, 8, 8],
+        (0..128).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    );
+
+    // Both paths compute the same function (fresh encryption randomness
+    // per run, so compare decrypted values, not ciphertext bits — the
+    // bit-exact executor check lives in orion-linear's prepared_exec).
+    let on_the_fly = run_fhe(&compiled, &session, &input);
+    let served = run_fhe_prepared(&compiled, &session, &prepared, &input);
+    let prec = precision_bits(served.output.data(), on_the_fly.output.data());
+    assert!(prec > 8.0, "prepared diverged from on-the-fly: {prec} bits");
+    assert_eq!(served.bootstraps, on_the_fly.bootstraps);
+
+    // Op tallies: the prepared run records ZERO per-inference encodes,
+    // everything else identical to the on-the-fly run.
+    let cost = compiled.opts.cost.clone();
+    let l_eff = compiled.opts.l_eff;
+    let mut cold = Counting::new(CkksBackend::new(&session), cost.clone(), l_eff);
+    run_program(&compiled, &mut cold, &input);
+    let mut warm = Counting::new(
+        CkksBackend::with_prepared(&session, prepared.clone()),
+        cost.clone(),
+        l_eff,
+    );
+    run_program(&compiled, &mut warm, &input);
+    assert!(cold.counter.encodes > 0, "on-the-fly path must encode");
+    assert_eq!(
+        warm.counter.encodes, 0,
+        "prepared path must encode NOTHING per inference"
+    );
+    assert_eq!(cold.counter.all(), warm.counter.all());
+    assert_eq!(cold.counter.rotations(), warm.counter.rotations());
+
+    // The modeled trace engine mirrors the serving mode, so prepared CKKS
+    // and prepared trace stay counter-identical (including encodes).
+    let mut trace = Counting::new(TraceBackend::prepared(&compiled), cost, l_eff);
+    run_program(&compiled, &mut trace, &input);
+    assert_eq!(trace.counter.encodes, 0);
+    assert_eq!(trace.counter.all(), warm.counter.all());
+}
+
+#[test]
+fn partially_prepared_cache_is_tallied_honestly() {
+    // Encode accounting is per step: a cache covering only some linear
+    // layers must still charge the uncached steps' on-the-fly encodes.
+    let params = CkksParams::tiny();
+    let mut rng = StdRng::seed_from_u64(0x9e_0002);
+    let net = conv_dense_net(&mut rng);
+    let opts = CompileOptions::from_params(&params);
+    let compiled = compile(&net, &fixed_ranges(&net, 4.0), &opts);
+    let session = FheSession::new(params, &compiled, 8);
+    let full = session.prepare(&compiled);
+    assert!(full.len() >= 2);
+
+    // Rebuild a cache holding only ONE of the prepared steps.
+    let some_step = (0..compiled.prog.len())
+        .find(|&id| full.layer(id).is_some())
+        .unwrap();
+    let mut partial = orion_linear::prepared::PreparedProgram::new();
+    {
+        use orion_linear::values::{BiasValues, ConvDiagSource};
+        use orion_nn::compile::Step;
+        let Step::Conv {
+            plan,
+            spec,
+            weight,
+            bias,
+            in_l,
+            out_l,
+        } = &compiled.prog[some_step].step
+        else {
+            panic!("first prepared step should be the conv");
+        };
+        let src = ConvDiagSource {
+            in_l: *in_l,
+            out_l: *out_l,
+            spec: *spec,
+            weights: weight,
+        };
+        let bias_blocks = BiasValues::conv(out_l, bias, session.ctx.slots());
+        partial.insert(
+            some_step,
+            orion_linear::prepared::PreparedLayer::build(
+                &session.enc,
+                plan,
+                &src,
+                Some(&bias_blocks),
+                compiled.placement.levels[some_step].unwrap(),
+            ),
+        );
+    }
+    let partial = std::sync::Arc::new(partial);
+
+    let cost = compiled.opts.cost.clone();
+    let l_eff = compiled.opts.l_eff;
+    let input = Tensor::from_vec(
+        &[2, 8, 8],
+        (0..128).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    );
+    let mut cold = Counting::new(CkksBackend::new(&session), cost.clone(), l_eff);
+    run_program(&compiled, &mut cold, &input);
+    let mut mixed = Counting::new(
+        CkksBackend::with_prepared(&session, partial),
+        cost.clone(),
+        l_eff,
+    );
+    run_program(&compiled, &mut mixed, &input);
+    let mut warm = Counting::new(CkksBackend::with_prepared(&session, full), cost, l_eff);
+    run_program(&compiled, &mut warm, &input);
+    assert_eq!(warm.counter.encodes, 0);
+    assert!(
+        mixed.counter.encodes > 0 && mixed.counter.encodes < cold.counter.encodes,
+        "partial cache must charge only the uncached steps: {} vs cold {}",
+        mixed.counter.encodes,
+        cold.counter.encodes
+    );
+}

@@ -92,6 +92,12 @@ pub struct OpCounter {
     pub linear_seconds: f64,
     /// Modeled latency attributed to bootstrapping.
     pub bootstrap_seconds: f64,
+    /// Per-inference slot-vector plaintext encodes (inverse FFT + NTT per
+    /// limb). The on-the-fly linear path encodes every weight diagonal and
+    /// bias block per request; the prepared path pays them once at setup,
+    /// so this field is **zero** per inference there. FFT-free constant
+    /// encodes (activation scalars) are exempt.
+    pub encodes: u64,
 }
 
 impl OpCounter {
@@ -107,6 +113,12 @@ impl OpCounter {
         if kind == OpKind::Bootstrap {
             self.bootstrap_seconds += secs;
         }
+    }
+
+    /// Records `n` per-inference plaintext encodes (see
+    /// [`OpCounter::encodes`]).
+    pub fn record_encodes(&mut self, n: u64) {
+        self.encodes += n;
     }
 
     /// Count of a given kind.
@@ -133,6 +145,7 @@ impl OpCounter {
         self.seconds += other.seconds;
         self.linear_seconds += other.linear_seconds;
         self.bootstrap_seconds += other.bootstrap_seconds;
+        self.encodes += other.encodes;
     }
 
     /// All counts, for reports.
@@ -159,6 +172,7 @@ impl Serialize for OpCounter {
                 "bootstrap_seconds".to_string(),
                 Value::Num(self.bootstrap_seconds),
             ),
+            ("encodes".to_string(), Value::Num(self.encodes as f64)),
         ])
     }
 }
@@ -188,6 +202,8 @@ impl Deserialize for OpCounter {
             seconds: field("seconds")?,
             linear_seconds: field("linear_seconds")?,
             bootstrap_seconds: field("bootstrap_seconds")?,
+            // absent in pre-prepared-path logs
+            encodes: v.get("encodes").and_then(Value::as_f64).unwrap_or(0.0) as u64,
         })
     }
 }
@@ -212,12 +228,15 @@ mod tests {
     fn merge_accumulates() {
         let mut a = OpCounter::new();
         a.record(OpKind::PMult, 2, 0.1);
+        a.record_encodes(2);
         let mut b = OpCounter::new();
         b.record(OpKind::PMult, 3, 0.2);
         b.record(OpKind::HRot, 1, 0.05);
+        b.record_encodes(3);
         a.merge(&b);
         assert_eq!(a.count(OpKind::PMult), 5);
         assert_eq!(a.rotations(), 1);
+        assert_eq!(a.encodes, 5);
         assert!((a.seconds - 0.35).abs() < 1e-12);
     }
 }
@@ -237,11 +256,23 @@ mod json_tests {
         let mut c = OpCounter::new();
         c.record(OpKind::HRot, 7, 1.5);
         c.record(OpKind::Bootstrap, 2, 20.0);
+        c.record_encodes(9);
         let json = to_json(&c);
         assert!(json.contains("HRot"));
         let back: OpCounter = serde_json::from_str(&json).unwrap();
         assert_eq!(back.rotations(), 7);
         assert_eq!(back.bootstraps(), 2);
+        assert_eq!(back.encodes, 9);
         assert!((back.seconds - c.seconds).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_without_encodes_field_still_parses() {
+        // pre-prepared-path logs lack the field; it defaults to zero
+        let json = r#"{"counts": {"HRot": 1}, "seconds": 0.1,
+                       "linear_seconds": 0.0, "bootstrap_seconds": 0.0}"#;
+        let back: OpCounter = serde_json::from_str(json).unwrap();
+        assert_eq!(back.encodes, 0);
+        assert_eq!(back.rotations(), 1);
     }
 }

@@ -9,6 +9,8 @@ pub trait Buf {
     fn remaining(&self) -> usize;
     /// Copies out the next `n` bytes (panics when short).
     fn copy_to_bytes(&mut self, n: usize) -> Bytes;
+    /// Reads a single byte.
+    fn get_u8(&mut self) -> u8;
     /// Reads a little-endian `u32`.
     fn get_u32_le(&mut self) -> u32;
     /// Reads a little-endian `u64`.
@@ -21,6 +23,10 @@ pub trait Buf {
 pub trait BufMut {
     /// Appends raw bytes.
     fn put_slice(&mut self, src: &[u8]);
+    /// Appends a single byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
     /// Appends a little-endian `u32`.
     fn put_u32_le(&mut self, v: u32) {
         self.put_slice(&v.to_le_bytes());
@@ -88,6 +94,10 @@ impl Buf for Bytes {
             data: self.take(n).to_vec(),
             pos: 0,
         }
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
     }
 
     fn get_u32_le(&mut self) -> u32 {
@@ -168,11 +178,13 @@ mod tests {
     fn roundtrip_all_accessors() {
         let mut b = BytesMut::new();
         b.put_slice(b"hdr");
+        b.put_u8(0xa5);
         b.put_u32_le(7);
         b.put_u64_le(1 << 40);
         b.put_f64_le(-0.5);
         let mut r = b.freeze();
         assert_eq!(&r.copy_to_bytes(3)[..], b"hdr");
+        assert_eq!(r.get_u8(), 0xa5);
         assert_eq!(r.get_u32_le(), 7);
         assert_eq!(r.get_u64_le(), 1 << 40);
         assert_eq!(r.get_f64_le(), -0.5);

@@ -1,0 +1,164 @@
+//! Serving throughput: concurrent clients through the orion-serve queue /
+//! batcher / worker pool (paged weights under a memory cap) versus the
+//! same requests run directly and sequentially on one thread, with a
+//! machine-readable summary written to `target/serve_bench.json`.
+//!
+//! Run with `cargo bench --bench serve`.
+
+use orion_ckks::CkksParams;
+use orion_nn::compile::{compile, CompileOptions};
+use orion_nn::fhe_exec::{run_fhe_prepared_cts, FheSession};
+use orion_nn::fit::fixed_ranges;
+use orion_nn::network::Network;
+use orion_serve::{ServeConfig, Server};
+use orion_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Value;
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 2;
+const REQUESTS_PER_CLIENT: usize = 4;
+
+fn main() {
+    // Bootstrap-free square MLP at tiny-ish parameters (see the serve
+    // smoke test): requests stay deterministic and cheap enough for CI.
+    let params = CkksParams {
+        n: 1 << 10,
+        log_scale: 30,
+        q0_bits: 45,
+        max_level: 6,
+        special_bits: 45,
+        sigma: 3.2,
+        boot_levels: 1,
+    };
+    let mut rng = StdRng::seed_from_u64(0xbe_5e1);
+    let mut net = Network::new(1, 8, 8);
+    let x = net.input();
+    let f = net.flatten("flat", x);
+    let l1 = net.linear("fc1", f, 16, &mut rng);
+    let a = net.square("act", l1);
+    let l2 = net.linear("fc2", a, 4, &mut rng);
+    net.output(l2);
+    let compiled = compile(
+        &net,
+        &fixed_ranges(&net, 4.0),
+        &CompileOptions::from_params(&params),
+    );
+    assert_eq!(compiled.placement.boot_count, 0);
+
+    // Direct baseline: one session, resident prepared cache, sequential.
+    let session = FheSession::new(params.clone(), &compiled, 1);
+    let prepared = session.prepare(&compiled);
+    let footprint = prepared.approx_bytes();
+    let inputs: Vec<Tensor> = (0..CLIENTS * REQUESTS_PER_CLIENT)
+        .map(|_| {
+            Tensor::from_vec(
+                &[1, 8, 8],
+                (0..64).map(|_| rng.gen_range(-0.5..0.5)).collect(),
+            )
+        })
+        .collect();
+    let direct_requests: Vec<_> = inputs
+        .iter()
+        .map(|t| session.encrypt_input(&compiled, t))
+        .collect();
+    let t0 = Instant::now();
+    let mut encodes_direct = 0u64;
+    for cts in &direct_requests {
+        let (_, counter) = run_fhe_prepared_cts(&compiled, &session, &prepared, cts.clone());
+        encodes_direct += counter.encodes;
+    }
+    let direct_seconds = t0.elapsed().as_secs_f64();
+
+    // Served: same total request count from concurrent clients, paged
+    // weights capped below the full footprint.
+    let mut server = Server::new(ServeConfig {
+        max_batch: 4,
+        max_wait: Duration::from_millis(2),
+        workers: 2,
+        queue_capacity: 64,
+    });
+    let store_dir = std::env::temp_dir().join("orion_serve_bench_store");
+    std::fs::remove_dir_all(&store_dir).ok();
+    let model = server
+        .add_model_paged("bench", compiled, params, 2, &store_dir, footprint * 2 / 3)
+        .expect("register");
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|i| server.add_client(model, 100 + i as u64).expect("client"))
+        .collect();
+    server.start();
+
+    let t1 = Instant::now();
+    let encodes_served = std::thread::scope(|scope| {
+        let handles: Vec<_> = clients
+            .iter()
+            .enumerate()
+            .map(|(tid, &client)| {
+                let server = &server;
+                let inputs = &inputs;
+                scope.spawn(move || {
+                    let mut encodes = 0u64;
+                    let mine = &inputs[tid * REQUESTS_PER_CLIENT..(tid + 1) * REQUESTS_PER_CLIENT];
+                    let tickets: Vec<_> = mine
+                        .iter()
+                        .map(|input| {
+                            let cts = server.encrypt(client, input).expect("encrypt");
+                            server.submit(client, cts).expect("submit")
+                        })
+                        .collect();
+                    for t in tickets {
+                        encodes += t.wait().expect("serve").counter.encodes;
+                    }
+                    encodes
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+    });
+    let serve_seconds = t1.elapsed().as_secs_f64();
+    let stats = server.page_stats(model).expect("paged stats");
+
+    let total = (CLIENTS * REQUESTS_PER_CLIENT) as f64;
+    println!(
+        "direct sequential: {direct_seconds:.3} s ({:.2} req/s); \
+         served (paged, {CLIENTS} clients, 2 workers): {serve_seconds:.3} s ({:.2} req/s)",
+        total / direct_seconds,
+        total / serve_seconds,
+    );
+    println!("page stats: {stats:?}; encodes: direct {encodes_direct}, served {encodes_served}");
+
+    let summary = Value::Obj(vec![
+        ("requests".into(), Value::Num(total)),
+        ("clients".into(), Value::Num(CLIENTS as f64)),
+        ("workers".into(), Value::Num(2.0)),
+        ("direct_seconds".into(), Value::Num(direct_seconds)),
+        ("serve_seconds".into(), Value::Num(serve_seconds)),
+        ("direct_rps".into(), Value::Num(total / direct_seconds)),
+        ("serve_rps".into(), Value::Num(total / serve_seconds)),
+        (
+            "weight_footprint_bytes".into(),
+            Value::Num(footprint as f64),
+        ),
+        (
+            "page_budget_bytes".into(),
+            Value::Num((footprint * 2 / 3) as f64),
+        ),
+        ("page_faults".into(), Value::Num(stats.faults as f64)),
+        ("page_evictions".into(), Value::Num(stats.evictions as f64)),
+        (
+            "encodes_per_request_total".into(),
+            Value::Num(encodes_served as f64),
+        ),
+    ]);
+    let text = serde_json::to_string_pretty(&summary).expect("summary serializes");
+    let path = orion_bench::workspace_target_dir();
+    std::fs::create_dir_all(&path).ok();
+    let file = path.join("serve_bench.json");
+    match std::fs::write(&file, &text) {
+        Ok(()) => println!("wrote {}", file.display()),
+        Err(e) => eprintln!("could not write {}: {e}", file.display()),
+    }
+    server.shutdown();
+    std::fs::remove_dir_all(&store_dir).ok();
+}

@@ -29,11 +29,24 @@ use orion_tensor::Tensor;
 use rayon::prelude::*;
 use std::sync::Arc;
 
+pub use orion_linear::paged::{LayerSource, PageStats, PagedProgram};
 pub use orion_linear::prepared::{PreparedLayer, PreparedProgram as Prepared};
+pub use orion_linear::store::{DiagStore, StoreError};
 pub use orion_nn::backend::{run_program, Counting, EvalBackend};
 pub use orion_nn::backends::{CkksBackend, PlainBackend, TraceBackend};
 pub use orion_nn::compile::Step;
 pub use orion_nn::fhe_exec::FheSession as Session;
+
+/// The multi-tenant serving layer: session registry, admission queue +
+/// dynamic batcher, memory-capped paged weights, serving metrics. See
+/// `orion-serve`'s crate docs; re-exported here so `orion_core` remains
+/// the single public entry point.
+pub mod serve {
+    pub use orion_serve::{
+        ClientId, ModelId, ModelMetrics, ServeConfig, ServeError, ServeOutput, Server, Ticket,
+    };
+}
+pub use serve::{ServeConfig, Server};
 
 /// The Orion compiler front end.
 pub struct Orion {

@@ -35,6 +35,7 @@
 pub mod baseline;
 pub mod exec;
 pub mod layout;
+pub mod paged;
 pub mod plan;
 pub mod prepared;
 pub mod store;
@@ -45,6 +46,8 @@ pub use exec::{
     FheLinearContext,
 };
 pub use layout::TensorLayout;
+pub use paged::{LayerSource, PageStats, PagedProgram};
 pub use plan::{ConvSpec, LinearPlan, PlanCounts};
-pub use prepared::{PreparedLayer, PreparedProgram};
+pub use prepared::{PreparedActivation, PreparedLayer, PreparedProgram};
+pub use store::{DiagStore, StoreError};
 pub use values::{BiasValues, ConvDiagSource, DenseDiagSource, DiagSource};

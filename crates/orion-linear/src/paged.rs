@@ -1,0 +1,299 @@
+//! Memory-capped serving of prepared weight sets (paper §6 "Handling
+//! large data structures", taken to its serving conclusion).
+//!
+//! A [`crate::prepared::PreparedProgram`] holds every layer's encoded
+//! diagonals resident; at ImageNet scale those artifacts are "hundreds of
+//! gigabytes" and cannot all live in RAM. [`PagedProgram`] keeps the
+//! layers in [`DiagStore`] spill files and faults each one in on first
+//! touch, evicting least-recently-used layers whenever the resident set
+//! exceeds a configurable byte budget. Loads are bit-exact round trips of
+//! the setup-time encodings, so a paged inference produces bit-identical
+//! ciphertexts to the fully-resident path — the budget only trades memory
+//! for fault latency.
+//!
+//! [`LayerSource`] is the engine-facing abstraction: the CKKS backend asks
+//! it for a step's prepared layer without knowing whether the answer comes
+//! from RAM or disk. A corrupt or missing spill file surfaces as a typed
+//! [`StoreError`] the serving layer turns into a per-request error.
+
+use crate::prepared::{PreparedActivation, PreparedLayer, PreparedProgram};
+use crate::store::{DiagStore, StoreError};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Where a program's prepared artifacts come from: fully resident
+/// ([`PreparedProgram`]) or faulted in under a byte budget
+/// ([`PagedProgram`]). Engines hold `Arc<dyn LayerSource>` so the two are
+/// interchangeable per model.
+pub trait LayerSource: Send + Sync {
+    /// Whether step `step` has a prepared layer, without faulting it in
+    /// (drives per-step encode accounting).
+    fn contains_layer(&self, step: usize) -> bool;
+
+    /// The prepared layer for `step`, faulting it in if the source pages.
+    fn fetch_layer(&self, step: usize) -> Result<Option<Arc<PreparedLayer>>, StoreError>;
+
+    /// The recorded activation constants for poly-stage `step`, if any
+    /// (small, always resident).
+    fn activation(&self, step: usize) -> Option<Arc<PreparedActivation>>;
+}
+
+impl LayerSource for PreparedProgram {
+    fn contains_layer(&self, step: usize) -> bool {
+        self.layer(step).is_some()
+    }
+
+    fn fetch_layer(&self, step: usize) -> Result<Option<Arc<PreparedLayer>>, StoreError> {
+        Ok(self.layer_arc(step))
+    }
+
+    fn activation(&self, step: usize) -> Option<Arc<PreparedActivation>> {
+        self.act(step)
+    }
+}
+
+/// Counters describing a pager's behaviour so far.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PageStats {
+    /// Layer loads from disk (first touch or touch-after-eviction).
+    pub faults: u64,
+    /// Layers dropped from the resident set to respect the budget.
+    pub evictions: u64,
+    /// Fetches served from the resident set.
+    pub hits: u64,
+    /// Bytes currently resident.
+    pub resident_bytes: u64,
+    /// Layers currently resident.
+    pub resident_layers: u64,
+}
+
+#[derive(Default)]
+struct Resident {
+    map: HashMap<usize, Arc<PreparedLayer>>,
+    /// Front = least recently used.
+    order: VecDeque<usize>,
+    bytes: usize,
+}
+
+struct PagedEntry {
+    name: String,
+    bytes: usize,
+}
+
+/// A prepared program whose layers live in [`DiagStore`] spill files and
+/// are faulted in on first touch, LRU-evicted under `budget_bytes` (see
+/// module docs). Activation constants stay resident — they are a rounding
+/// error next to the weight diagonals.
+pub struct PagedProgram {
+    store: DiagStore,
+    budget_bytes: usize,
+    entries: HashMap<usize, PagedEntry>,
+    acts: HashMap<usize, Arc<PreparedActivation>>,
+    state: Mutex<Resident>,
+    faults: AtomicU64,
+    evictions: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl PagedProgram {
+    /// Spills every layer of `prepared` into `store` under
+    /// `prefix.step<N>` names and returns a pager with an **empty**
+    /// resident set capped at `budget_bytes`. The caller can drop the
+    /// resident `PreparedProgram` afterwards — that is the point.
+    pub fn page_out(
+        prepared: &PreparedProgram,
+        store: DiagStore,
+        prefix: &str,
+        budget_bytes: usize,
+    ) -> Result<Self, StoreError> {
+        let mut entries = HashMap::new();
+        for step in prepared.steps() {
+            let layer = prepared.layer(step).expect("steps() lists present layers");
+            let name = format!("{prefix}.step{step}");
+            layer.spill(&store, &name)?;
+            entries.insert(
+                step,
+                PagedEntry {
+                    name,
+                    bytes: layer.approx_bytes(),
+                },
+            );
+        }
+        Ok(Self {
+            store,
+            budget_bytes,
+            entries,
+            acts: prepared.acts().clone(),
+            state: Mutex::new(Resident::default()),
+            faults: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+        })
+    }
+
+    /// Total spilled weight bytes across all registered layers (the
+    /// footprint a fully-resident cache would occupy).
+    pub fn total_bytes(&self) -> usize {
+        self.entries.values().map(|e| e.bytes).sum()
+    }
+
+    /// The configured budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// Current paging counters.
+    pub fn stats(&self) -> PageStats {
+        let st = self.state.lock();
+        PageStats {
+            faults: self.faults.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            resident_bytes: st.bytes as u64,
+            resident_layers: st.map.len() as u64,
+        }
+    }
+}
+
+impl LayerSource for PagedProgram {
+    fn contains_layer(&self, step: usize) -> bool {
+        self.entries.contains_key(&step)
+    }
+
+    fn fetch_layer(&self, step: usize) -> Result<Option<Arc<PreparedLayer>>, StoreError> {
+        let Some(entry) = self.entries.get(&step) else {
+            return Ok(None);
+        };
+        // The lock covers the disk load: concurrent faults serialize, which
+        // keeps the resident accounting exact (and double-loading the same
+        // layer from two threads would waste the budget it protects).
+        let mut st = self.state.lock();
+        if let Some(layer) = st.map.get(&step).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            st.order.retain(|&s| s != step);
+            st.order.push_back(step);
+            return Ok(Some(layer));
+        }
+        let layer = Arc::new(PreparedLayer::load(&self.store, &entry.name)?);
+        self.faults.fetch_add(1, Ordering::Relaxed);
+        st.bytes += entry.bytes;
+        st.map.insert(step, layer.clone());
+        st.order.push_back(step);
+        // Evict LRU-first until within budget; the just-faulted layer is
+        // never evicted here (an in-flight inference holds it anyway), so a
+        // single layer larger than the budget stays resident until the next
+        // fault pushes it out.
+        while st.bytes > self.budget_bytes && st.order.len() > 1 {
+            let victim = st.order.pop_front().expect("len > 1");
+            st.map.remove(&victim);
+            st.bytes -= self.entries[&victim].bytes;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(Some(layer))
+    }
+
+    fn activation(&self, step: usize) -> Option<Arc<PreparedActivation>> {
+        self.acts.get(&step).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::TensorLayout;
+    use crate::plan::{conv_plan, ConvSpec};
+    use crate::values::ConvDiagSource;
+    use orion_ckks::encoder::Encoder;
+    use orion_ckks::params::{CkksParams, Context};
+    use orion_tensor::Tensor;
+
+    fn sample_program(enc: &Encoder, n_layers: usize) -> PreparedProgram {
+        let in_l = TensorLayout::raster(2, 8, 8);
+        let spec = ConvSpec {
+            co: 2,
+            ci: 2,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            padding: 1,
+            dilation: 1,
+            groups: 1,
+        };
+        let (plan, out_l) = conv_plan(&in_l, &spec, enc.context().slots());
+        let mut prog = PreparedProgram::new();
+        for step in 0..n_layers {
+            let weights = Tensor::from_vec(
+                &[2, 2, 3, 3],
+                (0..36).map(|x| (x + step) as f64 * 0.05).collect(),
+            );
+            let src = ConvDiagSource {
+                in_l,
+                out_l,
+                spec,
+                weights: &weights,
+            };
+            prog.insert(step, PreparedLayer::build(enc, &plan, &src, None, 2));
+        }
+        prog
+    }
+
+    #[test]
+    fn paged_fetch_is_bit_exact_and_evicts_under_budget() {
+        let ctx = Context::new(CkksParams::tiny());
+        let enc = Encoder::new(ctx);
+        let prog = sample_program(&enc, 3);
+        let layer_bytes = prog.layer(0).unwrap().approx_bytes();
+        assert!(layer_bytes > 0);
+
+        let dir = std::env::temp_dir().join("orion_paged_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = DiagStore::open(&dir).unwrap();
+        // Budget fits ~1.5 layers: every cross-layer access pattern faults.
+        let paged = PagedProgram::page_out(&prog, store, "m", layer_bytes * 3 / 2).unwrap();
+        assert_eq!(paged.total_bytes(), 3 * layer_bytes);
+        assert!(!paged.contains_layer(99));
+        assert!(paged.fetch_layer(99).unwrap().is_none());
+
+        // Touch 0, 1 (evicts 0), 0 again (re-fault, evicts 1), 0 (hit).
+        for (step, want_faults, want_evicts) in [(0, 1, 0), (1, 2, 1), (0, 3, 2), (0, 3, 2)] {
+            let got = paged.fetch_layer(step).unwrap().unwrap();
+            let want = prog.layer(step).unwrap();
+            assert_eq!(got.level, want.level);
+            assert_eq!(got.num_plaintexts(), want.num_plaintexts());
+            for (blk, diags) in &want.diags {
+                for (k, pt) in diags {
+                    assert_eq!(
+                        got.diags[blk][k].poly, pt.poly,
+                        "paged layer {step} block {blk:?} diag {k} diverged"
+                    );
+                }
+            }
+            let stats = paged.stats();
+            assert_eq!(stats.faults, want_faults, "after touching {step}");
+            assert_eq!(stats.evictions, want_evicts, "after touching {step}");
+            assert!(stats.resident_bytes <= (layer_bytes * 3 / 2) as u64);
+        }
+        assert_eq!(paged.stats().hits, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_spill_file_surfaces_as_store_error() {
+        let ctx = Context::new(CkksParams::tiny());
+        let enc = Encoder::new(ctx);
+        let prog = sample_program(&enc, 1);
+        let dir = std::env::temp_dir().join("orion_paged_corrupt_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = DiagStore::open(&dir).unwrap();
+        let paged = PagedProgram::page_out(&prog, store, "m", usize::MAX).unwrap();
+        // Truncate the layer's meta file behind the pager's back.
+        std::fs::write(dir.join("m.step0.prep.meta"), b"ORIONPP1").unwrap();
+        match paged.fetch_layer(0) {
+            Err(StoreError::Malformed { .. }) => {}
+            other => panic!("expected Malformed, got {:?}", other.map(|o| o.is_some())),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

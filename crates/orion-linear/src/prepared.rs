@@ -17,13 +17,32 @@
 //! ImageNet-scale weight sets can live on disk and be loaded per layer.
 
 use crate::plan::LinearPlan;
-use crate::store::DiagStore;
+use crate::store::{DiagStore, StoreError};
 use crate::values::DiagSource;
 use orion_ckks::encoder::Encoder;
 use orion_ckks::encrypt::Plaintext;
+use orion_poly::eval::StageConst;
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Approximate heap footprint of one encoded plaintext: every limb plus
+/// the optional special limb, 8 bytes per coefficient. Used by the paging
+/// byte budget, so it only needs to be proportional and stable.
+pub(crate) fn plaintext_bytes(pt: &Plaintext) -> usize {
+    let degree = pt.poly.limbs.first().map(Vec::len).unwrap_or(0);
+    let limbs = pt.poly.limbs.len() + usize::from(pt.poly.special.is_some());
+    limbs * degree * 8
+}
+
+/// One activation stage's setup-time artifacts: the constant plaintexts
+/// the Chebyshev evaluation consumes, recorded in evaluation order (see
+/// `orion_poly::eval::RecordingConsts`). Replaying them makes activations
+/// hit zero per-inference encodes, like the linear layers.
+pub struct PreparedActivation {
+    /// `(spec, plaintext)` per constant, in evaluation order.
+    pub consts: Vec<(StageConst, Plaintext)>,
+}
 
 /// One linear layer's setup-time artifacts: every weight-diagonal
 /// plaintext encoded once, keyed by ciphertext-block pair and diagonal.
@@ -97,10 +116,28 @@ impl PreparedLayer {
         self.diags.values().map(|m| m.len()).sum()
     }
 
+    /// Approximate in-memory footprint of the layer's encoded plaintexts,
+    /// the quantity the paging byte budget caps.
+    pub fn approx_bytes(&self) -> usize {
+        let diag_bytes: usize = self
+            .diags
+            .values()
+            .flat_map(|m| m.values())
+            .map(plaintext_bytes)
+            .sum();
+        let bias_bytes: usize = self
+            .bias
+            .iter()
+            .flat_map(|b| b.iter())
+            .map(plaintext_bytes)
+            .sum();
+        diag_bytes + bias_bytes + plaintext_bytes(&self.zero)
+    }
+
     /// Spills the layer to `store` under `name` (one file per ciphertext
     /// block pair plus bias/zero/meta sections), so large weight sets can
     /// be dropped from memory and reloaded per layer during inference.
-    pub fn spill(&self, store: &DiagStore, name: &str) -> std::io::Result<()> {
+    pub fn spill(&self, store: &DiagStore, name: &str) -> Result<(), StoreError> {
         let mut blocks: Vec<(u32, u32)> = self.diags.keys().copied().collect();
         blocks.sort_unstable();
         store.save_prepared_meta(name, self.level, &blocks, self.bias.as_deref(), &self.zero)?;
@@ -111,7 +148,7 @@ impl PreparedLayer {
     }
 
     /// Loads a layer previously written by [`PreparedLayer::spill`].
-    pub fn load(store: &DiagStore, name: &str) -> std::io::Result<Self> {
+    pub fn load(store: &DiagStore, name: &str) -> Result<Self, StoreError> {
         let (level, blocks, bias, zero) = store.load_prepared_meta(name)?;
         let mut diags = HashMap::with_capacity(blocks.len());
         for (i, j) in blocks {
@@ -126,12 +163,13 @@ impl PreparedLayer {
     }
 }
 
-/// A compiled program's full cache of prepared layers, keyed by program
-/// step id. Immutable and `Arc`-shared after build: one cache serves any
-/// number of concurrent inferences.
+/// A compiled program's full cache of prepared layers and activation
+/// constants, keyed by program step id. Immutable and `Arc`-shared after
+/// build: one cache serves any number of concurrent inferences.
 #[derive(Default)]
 pub struct PreparedProgram {
     layers: HashMap<usize, Arc<PreparedLayer>>,
+    acts: HashMap<usize, Arc<PreparedActivation>>,
 }
 
 impl PreparedProgram {
@@ -145,9 +183,31 @@ impl PreparedProgram {
         self.layers.insert(step, Arc::new(layer));
     }
 
+    /// Registers the recorded activation constants of poly-stage `step`.
+    pub fn insert_act(&mut self, step: usize, act: PreparedActivation) {
+        self.acts.insert(step, Arc::new(act));
+    }
+
     /// The prepared layer for `step`, if any.
     pub fn layer(&self, step: usize) -> Option<&PreparedLayer> {
         self.layers.get(&step).map(Arc::as_ref)
+    }
+
+    /// The prepared layer for `step` as a shared handle.
+    pub fn layer_arc(&self, step: usize) -> Option<Arc<PreparedLayer>> {
+        self.layers.get(&step).cloned()
+    }
+
+    /// The prepared activation constants for poly-stage `step`, if any.
+    pub fn act(&self, step: usize) -> Option<Arc<PreparedActivation>> {
+        self.acts.get(&step).cloned()
+    }
+
+    /// Step ids with a prepared layer, ascending.
+    pub fn steps(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.layers.keys().copied().collect();
+        v.sort_unstable();
+        v
     }
 
     /// Number of prepared layers.
@@ -155,14 +215,30 @@ impl PreparedProgram {
         self.layers.len()
     }
 
+    /// Number of poly stages with prepared activation constants.
+    pub fn act_count(&self) -> usize {
+        self.acts.len()
+    }
+
+    /// All activation-constant entries, keyed by step id.
+    pub fn acts(&self) -> &HashMap<usize, Arc<PreparedActivation>> {
+        &self.acts
+    }
+
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.layers.is_empty()
+        self.layers.is_empty() && self.acts.is_empty()
     }
 
     /// Total encoded diagonal plaintexts across all layers.
     pub fn num_plaintexts(&self) -> usize {
         self.layers.values().map(|l| l.num_plaintexts()).sum()
+    }
+
+    /// Approximate in-memory footprint of every prepared layer (the
+    /// encoded-weight bytes a [`crate::paged::PagedProgram`] budget caps).
+    pub fn approx_bytes(&self) -> usize {
+        self.layers.values().map(|l| l.approx_bytes()).sum()
     }
 }
 

@@ -19,6 +19,52 @@ use std::path::Path;
 const MAGIC: &[u8; 8] = b"ORIONPL1";
 const PREP_MAGIC: &[u8; 8] = b"ORIONPP1";
 
+/// A typed store failure: either the filesystem failed or a file's content
+/// is not what the format says it should be. Load paths return this instead
+/// of panicking so a corrupt or missing spill file surfaces as a
+/// per-request serve error rather than killing a worker pool.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The underlying filesystem operation failed (missing file,
+    /// permissions, short write, …).
+    Io(std::io::Error),
+    /// The file exists but its bytes do not parse as the expected format.
+    Malformed {
+        /// What was being parsed when the format broke.
+        what: String,
+    },
+}
+
+impl StoreError {
+    fn malformed(what: impl Into<String>) -> Self {
+        StoreError::Malformed { what: what.into() }
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Malformed { what } => write!(f, "malformed store data: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
 /// Serializes a plan to bytes.
 pub fn plan_to_bytes(plan: &LinearPlan) -> Bytes {
     let mut b = BytesMut::new();
@@ -100,18 +146,18 @@ pub fn plan_from_bytes(mut data: Bytes) -> Option<LinearPlan> {
 }
 
 /// Writes a plan to a file.
-pub fn save_plan(plan: &LinearPlan, path: &Path) -> std::io::Result<()> {
+pub fn save_plan(plan: &LinearPlan, path: &Path) -> Result<(), StoreError> {
     let mut f = std::fs::File::create(path)?;
-    f.write_all(&plan_to_bytes(plan))
+    f.write_all(&plan_to_bytes(plan))?;
+    Ok(())
 }
 
 /// Reads a plan from a file.
-pub fn load_plan(path: &Path) -> std::io::Result<LinearPlan> {
+pub fn load_plan(path: &Path) -> Result<LinearPlan, StoreError> {
     let mut f = std::fs::File::open(path)?;
     let mut buf = Vec::new();
     f.read_to_end(&mut buf)?;
-    plan_from_bytes(Bytes::from(buf))
-        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed plan file"))
+    plan_from_bytes(Bytes::from(buf)).ok_or_else(|| StoreError::malformed("plan file"))
 }
 
 /// On-disk cache of diagonal value blocks: each `(out_block, in_block)`
@@ -123,7 +169,7 @@ pub struct DiagStore {
 
 impl DiagStore {
     /// Opens (creating if needed) a store rooted at `dir`.
-    pub fn open(dir: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
+    pub fn open(dir: impl Into<std::path::PathBuf>) -> Result<Self, StoreError> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
         Ok(Self { dir })
@@ -140,7 +186,7 @@ impl DiagStore {
         i: u32,
         j: u32,
         diags: &std::collections::HashMap<u32, Vec<f64>>,
-    ) -> std::io::Result<()> {
+    ) -> Result<(), StoreError> {
         let mut b = BytesMut::new();
         b.put_u32_le(diags.len() as u32);
         let mut keys: Vec<&u32> = diags.keys().collect();
@@ -153,7 +199,8 @@ impl DiagStore {
                 b.put_f64_le(x);
             }
         }
-        std::fs::write(self.block_path(layer, i, j), &b)
+        std::fs::write(self.block_path(layer, i, j), &b)?;
+        Ok(())
     }
 
     fn prepared_block_path(&self, layer: &str, i: u32, j: u32) -> std::path::PathBuf {
@@ -174,7 +221,7 @@ impl DiagStore {
         i: u32,
         j: u32,
         diags: &std::collections::HashMap<u32, Plaintext>,
-    ) -> std::io::Result<()> {
+    ) -> Result<(), StoreError> {
         let mut b = BytesMut::new();
         b.put_u32_le(diags.len() as u32);
         let mut keys: Vec<&u32> = diags.keys().collect();
@@ -183,7 +230,8 @@ impl DiagStore {
             b.put_u32_le(k);
             put_plaintext(&mut b, &diags[&k]);
         }
-        std::fs::write(self.prepared_block_path(layer, i, j), &b)
+        std::fs::write(self.prepared_block_path(layer, i, j), &b)?;
+        Ok(())
     }
 
     /// Loads one prepared block's encoded diagonals.
@@ -192,21 +240,22 @@ impl DiagStore {
         layer: &str,
         i: u32,
         j: u32,
-    ) -> std::io::Result<std::collections::HashMap<u32, Plaintext>> {
+    ) -> Result<std::collections::HashMap<u32, Plaintext>, StoreError> {
         let buf = std::fs::read(self.prepared_block_path(layer, i, j))?;
         let mut data = Bytes::from(buf);
         if data.remaining() < 4 {
-            return Err(malformed("prepared block truncated"));
+            return Err(StoreError::malformed("prepared block truncated"));
         }
         let n = data.get_u32_le() as usize;
         // capacity from untrusted input: reserve lazily past a sane bound
         let mut out = std::collections::HashMap::with_capacity(n.min(1 << 16));
         for _ in 0..n {
             if data.remaining() < 4 {
-                return Err(malformed("prepared block truncated"));
+                return Err(StoreError::malformed("prepared block truncated"));
             }
             let k = data.get_u32_le();
-            let pt = get_plaintext(&mut data).ok_or_else(|| malformed("bad plaintext"))?;
+            let pt =
+                get_plaintext(&mut data).ok_or_else(|| StoreError::malformed("bad plaintext"))?;
             out.insert(k, pt);
         }
         Ok(out)
@@ -221,7 +270,7 @@ impl DiagStore {
         blocks: &[(u32, u32)],
         bias: Option<&[Plaintext]>,
         zero: &Plaintext,
-    ) -> std::io::Result<()> {
+    ) -> Result<(), StoreError> {
         let mut b = BytesMut::new();
         b.put_slice(PREP_MAGIC);
         b.put_u64_le(level as u64);
@@ -240,7 +289,8 @@ impl DiagStore {
             }
         }
         put_plaintext(&mut b, zero);
-        std::fs::write(self.prepared_meta_path(layer), &b)
+        std::fs::write(self.prepared_meta_path(layer), &b)?;
+        Ok(())
     }
 
     /// Loads prepared-layer metadata written by
@@ -250,35 +300,38 @@ impl DiagStore {
     pub fn load_prepared_meta(
         &self,
         layer: &str,
-    ) -> std::io::Result<(usize, Vec<(u32, u32)>, Option<Vec<Plaintext>>, Plaintext)> {
+    ) -> Result<(usize, Vec<(u32, u32)>, Option<Vec<Plaintext>>, Plaintext), StoreError> {
         let buf = std::fs::read(self.prepared_meta_path(layer))?;
         let mut data = Bytes::from(buf);
         if data.remaining() < 8 + 8 + 4 || &data.copy_to_bytes(8)[..] != PREP_MAGIC {
-            return Err(malformed("bad prepared meta header"));
+            return Err(StoreError::malformed("bad prepared meta header"));
         }
         let level = data.get_u64_le() as usize;
         let n_blocks = data.get_u32_le() as usize;
-        let mut blocks = Vec::with_capacity(n_blocks);
+        let mut blocks = Vec::with_capacity(n_blocks.min(1 << 16));
         for _ in 0..n_blocks {
             if data.remaining() < 8 {
-                return Err(malformed("prepared meta truncated"));
+                return Err(StoreError::malformed("prepared meta truncated"));
             }
             blocks.push((data.get_u32_le(), data.get_u32_le()));
         }
         if data.remaining() < 4 {
-            return Err(malformed("prepared meta truncated"));
+            return Err(StoreError::malformed("prepared meta truncated"));
         }
         let n_bias = data.get_u32_le();
         let bias = if n_bias == u32::MAX {
             None
         } else {
-            let mut pts = Vec::with_capacity(n_bias as usize);
+            let mut pts = Vec::with_capacity((n_bias as usize).min(1 << 16));
             for _ in 0..n_bias {
-                pts.push(get_plaintext(&mut data).ok_or_else(|| malformed("bad bias"))?);
+                pts.push(
+                    get_plaintext(&mut data).ok_or_else(|| StoreError::malformed("bad bias"))?,
+                );
             }
             Some(pts)
         };
-        let zero = get_plaintext(&mut data).ok_or_else(|| malformed("bad zero plaintext"))?;
+        let zero =
+            get_plaintext(&mut data).ok_or_else(|| StoreError::malformed("bad zero plaintext"))?;
         Ok((level, blocks, bias, zero))
     }
 
@@ -288,23 +341,31 @@ impl DiagStore {
         layer: &str,
         i: u32,
         j: u32,
-    ) -> std::io::Result<std::collections::HashMap<u32, Vec<f64>>> {
+    ) -> Result<std::collections::HashMap<u32, Vec<f64>>, StoreError> {
         let buf = std::fs::read(self.block_path(layer, i, j))?;
         let mut data = Bytes::from(buf);
+        if data.remaining() < 4 {
+            return Err(StoreError::malformed("diag block truncated"));
+        }
         let n = data.get_u32_le() as usize;
-        let mut out = std::collections::HashMap::with_capacity(n);
+        let mut out = std::collections::HashMap::with_capacity(n.min(1 << 16));
         for _ in 0..n {
+            if data.remaining() < 4 + 8 {
+                return Err(StoreError::malformed("diag block truncated"));
+            }
             let k = data.get_u32_le();
             let len = data.get_u64_le() as usize;
+            let byte_len = len
+                .checked_mul(8)
+                .ok_or_else(|| StoreError::malformed("diag length overflow"))?;
+            if data.remaining() < byte_len {
+                return Err(StoreError::malformed("diag block truncated"));
+            }
             let v: Vec<f64> = (0..len).map(|_| data.get_f64_le()).collect();
             out.insert(k, v);
         }
         Ok(out)
     }
-}
-
-fn malformed(what: &str) -> std::io::Error {
-    std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string())
 }
 
 /// Serializes an encoded plaintext: scale, form, limb data, special limb.
@@ -484,6 +545,24 @@ mod tests {
         // truncated meta
         std::fs::write(store.prepared_meta_path("bad"), b"ORIONPP1").unwrap();
         assert!(store.load_prepared_meta("bad").is_err());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn truncated_diag_block_is_typed_error_not_panic() {
+        let dir = std::env::temp_dir().join("orion_diag_malformed_test");
+        let store = DiagStore::open(&dir).unwrap();
+        // count says 2 diagonals, body holds one dangling byte
+        std::fs::write(store.block_path("bad", 0, 0), b"\x02\x00\x00\x00\x07").unwrap();
+        match store.load_block("bad", 0, 0) {
+            Err(StoreError::Malformed { .. }) => {}
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        // a missing file is an I/O error, distinguishable by type
+        assert!(matches!(
+            store.load_block("nope", 1, 2),
+            Err(StoreError::Io(_))
+        ));
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -143,6 +143,16 @@ pub trait EvalBackend {
         true
     }
 
+    /// Whether the poly stage at program step `step` encodes its constant
+    /// plaintexts (Chebyshev coefficients, alignment constants) **per
+    /// inference**. Engines replaying a setup-time recording return
+    /// `false`; the [`Counting`] decorator then skips the stage's
+    /// per-inference encode tally (`orion_poly::eval::stage_const_count`).
+    fn activation_encodes_per_inference(&self, step: usize) -> bool {
+        let _ = step;
+        true
+    }
+
     /// One packed linear layer over all input ciphertexts at `level`;
     /// returns the output wire one level lower at exactly scale Δ.
     fn linear_layer(
@@ -154,13 +164,15 @@ pub trait EvalBackend {
     /// Multiplies by `factor ≤ 1` and rescales (activation normalization).
     fn scale_down(&mut self, ct: &Self::Ciphertext, factor: f64, level: usize) -> Self::Ciphertext;
     /// One Chebyshev stage; `normalize` re-aligns the output to exact Δ at
-    /// +1 depth.
+    /// +1 depth. `step` is the program node id, the key engines use to
+    /// find the stage's recorded constants in a prepared cache.
     fn poly_stage(
         &mut self,
         ct: &Self::Ciphertext,
         coeffs: &[f64],
         normalize: bool,
         level: usize,
+        step: usize,
     ) -> Self::Ciphertext;
     /// The final ReLU product `m·u·(s+1)/2` (`u` at `level`, `sign` at
     /// `level − 1`); depth 2.
@@ -224,18 +236,10 @@ pub fn run_program<B: EvalBackend>(
                 .clone()
         };
         let out: Vec<B::Ciphertext> = match &node.step {
-            Step::Input => {
-                let packed = c.input_layout.pack(input.data());
-                (0..c.input_layout.num_ciphertexts(slots))
-                    .map(|b| {
-                        let lo = b * slots;
-                        let hi = ((b + 1) * slots).min(packed.len());
-                        let mut chunk = packed[lo..hi].to_vec();
-                        chunk.resize(slots, 0.0);
-                        backend.encrypt(&chunk, l_eff)
-                    })
-                    .collect()
-            }
+            Step::Input => input_slot_chunks(c, slots, input)
+                .into_iter()
+                .map(|chunk| backend.encrypt(&chunk, l_eff))
+                .collect(),
             Step::Output => {
                 let cts = take(&wires, 0);
                 let prev = &c.prog[node.inputs[0]];
@@ -301,7 +305,7 @@ pub fn run_program<B: EvalBackend>(
                 let lv = level.expect("poly stage unplaced");
                 let cts = drop_all(backend, &take(&wires, 0), lv);
                 cts.iter()
-                    .map(|ct| backend.poly_stage(ct, coeffs, *normalize, lv))
+                    .map(|ct| backend.poly_stage(ct, coeffs, *normalize, lv, id))
                     .collect()
             }
             Step::ReluFinal { magnitude } => {
@@ -336,6 +340,23 @@ pub fn run_program<B: EvalBackend>(
         output_wire,
         bootstraps,
     }
+}
+
+/// Packs an input tensor into ciphertext-sized slot chunks exactly as the
+/// `Input` step consumes them. Shared by the interpreter and the
+/// client-side `FheSession::encrypt_input`, so the two packings cannot
+/// drift (pre-encrypted requests are only checked for count and level).
+pub fn input_slot_chunks(c: &Compiled, slots: usize, input: &Tensor) -> Vec<Vec<f64>> {
+    let packed = c.input_layout.pack(input.data());
+    (0..c.input_layout.num_ciphertexts(slots))
+        .map(|b| {
+            let lo = b * slots;
+            let hi = ((b + 1) * slots).min(packed.len());
+            let mut chunk = packed[lo..hi].to_vec();
+            chunk.resize(slots, 0.0);
+            chunk
+        })
+        .collect()
 }
 
 fn drop_all<B: EvalBackend>(
@@ -470,6 +491,10 @@ impl<B: EvalBackend> EvalBackend for Counting<B> {
         self.inner.linear_encodes_per_inference(step)
     }
 
+    fn activation_encodes_per_inference(&self, step: usize) -> bool {
+        self.inner.activation_encodes_per_inference(step)
+    }
+
     fn add(&mut self, a: &Self::Ciphertext, b: &Self::Ciphertext) -> Self::Ciphertext {
         let lv = self.inner.level_of(a);
         self.tally(OpKind::HAdd, 1, self.cost.hadd(lv));
@@ -537,7 +562,18 @@ impl<B: EvalBackend> EvalBackend for Counting<B> {
         coeffs: &[f64],
         normalize: bool,
         level: usize,
+        step: usize,
     ) -> Self::Ciphertext {
+        // On-the-fly engines pay one FFT-free constant encode per stage
+        // constant; engines replaying a prepared recording pay none. The
+        // count is a level-only replay of the evaluation recursion, so it
+        // is identical for every engine.
+        if self.inner.activation_encodes_per_inference(step) {
+            self.counter
+                .record_encodes(orion_poly::eval::stage_const_count(
+                    coeffs, normalize, level,
+                ));
+        }
         let d = coeffs.len() - 1;
         let mults = stage_mult_estimate(d);
         self.tally(
@@ -551,7 +587,7 @@ impl<B: EvalBackend> EvalBackend for Counting<B> {
             mults as u64,
             mults as f64 * self.cost.rescale(level),
         );
-        self.inner.poly_stage(ct, coeffs, normalize, level)
+        self.inner.poly_stage(ct, coeffs, normalize, level, step)
     }
 
     fn relu_final(

@@ -10,18 +10,44 @@ use crate::backend::{EvalBackend, LinearRef};
 use crate::fhe_exec::FheSession;
 use orion_ckks::encrypt::Ciphertext;
 use orion_linear::exec::{exec_fhe as linear_exec, exec_fhe_prepared, FheLinearContext};
+use orion_linear::paged::LayerSource;
 use orion_linear::prepared::PreparedProgram;
+use orion_linear::store::StoreError;
 use orion_linear::values::{BiasValues, ConvDiagSource, DenseDiagSource};
-use orion_poly::eval::{evaluate_chebyshev, set_level_scale};
+use orion_poly::eval::{
+    evaluate_chebyshev_src, set_level_scale, set_level_scale_src, CachedConsts, ConstSource,
+    FreshConsts,
+};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
-/// The real-CKKS engine (see module docs). With a prepared cache attached
-/// ([`CkksBackend::with_prepared`]) linear layers consume setup-time
-/// weight encodings through the parallel BSGS executor instead of
-/// re-encoding diagonals per inference.
+/// Panic payload thrown when a paged prepared layer cannot be faulted in
+/// (corrupt or missing spill file). `EvalBackend::linear_layer` cannot
+/// return a `Result`, so the engine unwinds with this typed payload; the
+/// serving layer catches the unwind and turns it into a per-request error
+/// instead of letting it kill a worker pool.
+#[derive(Debug)]
+pub struct PreparedLayerFault {
+    /// The program step whose layer failed to load.
+    pub step: usize,
+    /// The underlying store failure.
+    pub error: StoreError,
+}
+
+/// The real-CKKS engine (see module docs). With a prepared source attached
+/// ([`CkksBackend::with_prepared`] / [`CkksBackend::with_source`]) linear
+/// layers consume setup-time weight encodings through the parallel BSGS
+/// executor — possibly faulted in from disk under a memory cap — and poly
+/// stages replay recorded constant plaintexts instead of re-encoding
+/// anything per inference.
 pub struct CkksBackend<'s> {
     session: &'s FheSession,
-    prepared: Option<Arc<PreparedProgram>>,
+    prepared: Option<Arc<dyn LayerSource>>,
+    /// Pre-encrypted input ciphertexts (the serving path: clients submit
+    /// encrypted requests); `encrypt` pops them in packing order.
+    injected: Option<VecDeque<Ciphertext>>,
+    act_fresh_encodes: u64,
+    act_cache_misses: u64,
 }
 
 impl<'s> CkksBackend<'s> {
@@ -30,21 +56,71 @@ impl<'s> CkksBackend<'s> {
         Self {
             session,
             prepared: None,
+            injected: None,
+            act_fresh_encodes: 0,
+            act_cache_misses: 0,
         }
     }
 
-    /// Wraps a session with a prepared-program cache: linear layers whose
-    /// step id is in the cache run with zero per-inference encodes.
+    /// Wraps a session with a fully-resident prepared cache: linear layers
+    /// and poly stages whose step id is in the cache run with zero
+    /// per-inference encodes.
     pub fn with_prepared(session: &'s FheSession, prepared: Arc<PreparedProgram>) -> Self {
+        Self::with_source(session, prepared)
+    }
+
+    /// Wraps a session with any [`LayerSource`] — a resident
+    /// `PreparedProgram` or a memory-capped `PagedProgram` that faults
+    /// layers in from disk.
+    pub fn with_source(session: &'s FheSession, source: Arc<dyn LayerSource>) -> Self {
         Self {
-            session,
-            prepared: Some(prepared),
+            prepared: Some(source),
+            ..Self::new(session)
         }
+    }
+
+    /// Runs on pre-encrypted inputs: `encrypt` hands out `cts` in packing
+    /// order instead of encrypting the (ignored) input tensor values.
+    pub fn inject_inputs(mut self, cts: Vec<Ciphertext>) -> Self {
+        self.injected = Some(cts.into());
+        self
+    }
+
+    /// Constant plaintexts encoded fresh inside poly stages (on-the-fly
+    /// activation path).
+    pub fn act_fresh_encodes(&self) -> u64 {
+        self.act_fresh_encodes
+    }
+
+    /// Prepared-constant cache misses inside poly stages (0 on a faithful
+    /// replay; nonzero means the recording drifted and the engine fell
+    /// back to fresh encodes).
+    pub fn act_cache_misses(&self) -> u64 {
+        self.act_cache_misses
     }
 
     /// The underlying session.
     pub fn session(&self) -> &'s FheSession {
         self.session
+    }
+
+    /// The shared evaluation core of `poly_stage`: one Chebyshev stage
+    /// plus the optional exact-Δ normalization, all constants drawn from
+    /// `src`.
+    fn poly_stage_with(
+        &self,
+        src: &dyn ConstSource,
+        ct: &Ciphertext,
+        coeffs: &[f64],
+        normalize: bool,
+    ) -> Ciphertext {
+        let s = self.session;
+        let out = evaluate_chebyshev_src(&s.eval, &s.enc, src, ct, coeffs);
+        if normalize {
+            set_level_scale_src(&s.eval, &s.enc, src, &out, out.level() - 1, s.ctx.scale())
+        } else {
+            out
+        }
     }
 }
 
@@ -65,6 +141,13 @@ impl EvalBackend for CkksBackend<'_> {
     }
 
     fn encrypt(&mut self, vals: &[f64], level: usize) -> Ciphertext {
+        if let Some(queue) = self.injected.as_mut() {
+            let ct = queue
+                .pop_front()
+                .expect("not enough injected input ciphertexts for the program's input wire");
+            assert_eq!(ct.level(), level, "injected ciphertext at the wrong level");
+            return ct;
+        }
         let s = self.session;
         let pt = s.enc.encode(vals, s.ctx.scale(), level, false);
         let mut rng = s.rng.lock();
@@ -122,7 +205,13 @@ impl EvalBackend for CkksBackend<'_> {
         // for the steps it misses, and the tally must say so
         self.prepared
             .as_ref()
-            .is_none_or(|p| p.layer(step).is_none())
+            .is_none_or(|p| !p.contains_layer(step))
+    }
+
+    fn activation_encodes_per_inference(&self, step: usize) -> bool {
+        self.prepared
+            .as_ref()
+            .is_none_or(|p| p.activation(step).is_none())
     }
 
     fn linear_layer(
@@ -137,9 +226,18 @@ impl EvalBackend for CkksBackend<'_> {
             eval: &s.eval,
             enc: &s.enc,
         };
-        // Serving path: consume the setup-time cache when this step has one.
-        if let Some(p) = self.prepared.as_ref().and_then(|p| p.layer(layer.step())) {
-            return exec_fhe_prepared(&fctx, layer.plan(), p, inputs);
+        // Serving path: consume the setup-time cache when this step has
+        // one, faulting it in from disk if the source pages. A failed
+        // fault unwinds with a typed payload (see [`PreparedLayerFault`]).
+        if let Some(src) = self.prepared.as_ref() {
+            match src.fetch_layer(layer.step()) {
+                Ok(Some(p)) => return exec_fhe_prepared(&fctx, layer.plan(), &p, inputs),
+                Ok(None) => {}
+                Err(error) => std::panic::panic_any(PreparedLayerFault {
+                    step: layer.step(),
+                    error,
+                }),
+            }
         }
         match layer {
             LinearRef::Conv {
@@ -189,13 +287,24 @@ impl EvalBackend for CkksBackend<'_> {
         coeffs: &[f64],
         normalize: bool,
         _level: usize,
+        step: usize,
     ) -> Ciphertext {
-        let s = self.session;
-        let out = evaluate_chebyshev(&s.eval, &s.enc, ct, coeffs);
-        if normalize {
-            set_level_scale(&s.eval, &out, out.level() - 1, s.ctx.scale())
-        } else {
-            out
+        let act = self.prepared.as_ref().and_then(|p| p.activation(step));
+        match act {
+            // Serving path: replay the setup-time constant recording —
+            // bit-identical math, zero per-inference encodes.
+            Some(act) => {
+                let src = CachedConsts::new(&act.consts);
+                let out = self.poly_stage_with(&src, ct, coeffs, normalize);
+                self.act_cache_misses += src.misses();
+                out
+            }
+            None => {
+                let src = FreshConsts::new();
+                let out = self.poly_stage_with(&src, ct, coeffs, normalize);
+                self.act_fresh_encodes += src.count();
+                out
+            }
         }
     }
 

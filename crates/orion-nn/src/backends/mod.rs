@@ -14,6 +14,6 @@ pub mod ckks;
 pub mod plain;
 pub mod trace;
 
-pub use ckks::CkksBackend;
+pub use ckks::{CkksBackend, PreparedLayerFault};
 pub use plain::{run_plain, PlainBackend, PlainCiphertext, PlainRun};
 pub use trace::TraceBackend;

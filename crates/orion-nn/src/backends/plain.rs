@@ -177,6 +177,10 @@ impl EvalBackend for PlainBackend {
         !self.prepared
     }
 
+    fn activation_encodes_per_inference(&self, _step: usize) -> bool {
+        !self.prepared
+    }
+
     fn linear_layer(
         &mut self,
         layer: &LinearRef<'_>,
@@ -251,6 +255,7 @@ impl EvalBackend for PlainBackend {
         coeffs: &[f64],
         normalize: bool,
         level: usize,
+        _step: usize,
     ) -> PlainCiphertext {
         let d = coeffs.len() - 1;
         let depth = orion_poly::eval::fhe_eval_depth(d) + usize::from(normalize);

@@ -139,6 +139,10 @@ impl EvalBackend for TraceBackend {
         !self.prepared
     }
 
+    fn activation_encodes_per_inference(&self, _step: usize) -> bool {
+        !self.prepared
+    }
+
     fn linear_layer(
         &mut self,
         layer: &LinearRef<'_>,
@@ -187,6 +191,7 @@ impl EvalBackend for TraceBackend {
         coeffs: &[f64],
         normalize: bool,
         level: usize,
+        _step: usize,
     ) -> TraceCiphertext {
         let d = coeffs.len() - 1;
         let depth = orion_poly::eval::fhe_eval_depth(d) + usize::from(normalize);

@@ -8,21 +8,25 @@
 //! the placement policy: drop to the assigned level, bootstrap where the
 //! policy says, keep every wire at exactly scale Δ.
 
-use crate::backend::run_program;
+use crate::backend::{run_program, Counting};
 use crate::backends::CkksBackend;
 use crate::compile::{Compiled, Step};
 use orion_ckks::bootstrap::BootstrapOracle;
 use orion_ckks::encoder::Encoder;
-use orion_ckks::encrypt::{Decryptor, Encryptor};
+use orion_ckks::encrypt::{Ciphertext, Decryptor, Encryptor};
 use orion_ckks::eval::Evaluator;
 use orion_ckks::keys::KeyGenerator;
 use orion_ckks::params::{CkksParams, Context};
 use orion_ckks::precision::precision_bits;
-use orion_linear::prepared::{PreparedLayer, PreparedProgram};
+use orion_linear::paged::LayerSource;
+use orion_linear::prepared::{PreparedActivation, PreparedLayer, PreparedProgram};
 use orion_linear::values::{BiasValues, ConvDiagSource, DenseDiagSource};
+use orion_poly::eval::{evaluate_chebyshev_src, set_level_scale_src, RecordingConsts};
+use orion_sim::OpCounter;
 use orion_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Key material and helpers for running compiled programs on real CKKS.
@@ -71,12 +75,33 @@ impl FheSession {
     pub fn prepare(&self, compiled: &Compiled) -> Arc<PreparedProgram> {
         Arc::new(prepare_program(compiled, self))
     }
+
+    /// Packs and encrypts `input` exactly as the interpreter's `Input`
+    /// step does — the client-side half of the serving path, where
+    /// requests arrive already encrypted and the server only ever touches
+    /// ciphertexts (run them with [`run_fhe_source_counted`]).
+    pub fn encrypt_input(&self, c: &Compiled, input: &Tensor) -> Vec<Ciphertext> {
+        crate::backend::input_slot_chunks(c, self.ctx.slots(), input)
+            .into_iter()
+            .map(|chunk| {
+                let pt = self
+                    .enc
+                    .encode(&chunk, self.ctx.scale(), c.opts.l_eff, false);
+                let mut rng = self.rng.lock();
+                self.encryptor.encrypt(&pt, &mut *rng)
+            })
+            .collect()
+    }
 }
 
 /// Walks a compiled program once and encodes every linear layer's weight
-/// diagonals, bias blocks, and zero plaintext at their placement-assigned
-/// levels (paper §6: weight diagonals as offline artifacts). The returned
-/// cache is keyed by program step id; serve with [`run_fhe_prepared`].
+/// diagonals, bias blocks, and zero plaintexts at their placement-assigned
+/// levels (paper §6: weight diagonals as offline artifacts), then replays
+/// every poly stage once to record its constant plaintexts (Chebyshev
+/// coefficients and alignment constants) at the exact (level, scale) the
+/// serving path will present — so activations, like linear layers, hit
+/// zero per-inference encodes. The returned cache is keyed by program step
+/// id; serve with [`run_fhe_prepared`].
 pub fn prepare_program(c: &Compiled, s: &FheSession) -> PreparedProgram {
     let slots = s.ctx.slots();
     let mut prog = PreparedProgram::new();
@@ -122,7 +147,56 @@ pub fn prepare_program(c: &Compiled, s: &FheSession) -> PreparedProgram {
             _ => {}
         }
     }
+    record_activation_consts(c, s, &mut prog);
     prog
+}
+
+/// Replays each poly stage once on a throwaway ciphertext at the stage's
+/// serving (level, scale) and records every constant plaintext it
+/// consumes, in evaluation order. The recursion's constant identities
+/// depend only on the entry level and scale — both deterministic under the
+/// exact-Δ invariant (every non-poly step hands its consumer a wire at
+/// precisely scale Δ; chained, non-normalized stages hand over their
+/// schedule exit scale, which the replay reproduces by feeding each
+/// stage's recorded output into the next).
+fn record_activation_consts(c: &Compiled, s: &FheSession, prog: &mut PreparedProgram) {
+    let delta = s.ctx.scale();
+    let mut poly_out: HashMap<usize, Ciphertext> = HashMap::new();
+    for (id, node) in c.prog.iter().enumerate() {
+        let Step::PolyStage { coeffs, normalize } = &node.step else {
+            continue;
+        };
+        let lv = c.placement.levels[id].expect("poly stage unplaced");
+        let booted = c.placement.boots_before[id] > 0;
+        let mut ct = match poly_out.get(&node.inputs[0]) {
+            Some(prev) if !booted => prev.clone(),
+            // every other predecessor (or a bootstrap) hands the stage a
+            // wire at exactly scale Δ — the slot values are irrelevant
+            _ => {
+                let pt = s.enc.encode(&vec![0.0; s.ctx.slots()], delta, lv, false);
+                let mut rng = s.rng.lock();
+                s.encryptor.encrypt(&pt, &mut *rng)
+            }
+        };
+        if ct.level() > lv {
+            s.eval.drop_to_level(&mut ct, lv);
+        }
+        debug_assert_eq!(ct.level(), lv, "stage input below its placement level");
+        let rec = RecordingConsts::new();
+        let out = evaluate_chebyshev_src(&s.eval, &s.enc, &rec, &ct, coeffs);
+        let out = if *normalize {
+            set_level_scale_src(&s.eval, &s.enc, &rec, &out, out.level() - 1, delta)
+        } else {
+            out
+        };
+        prog.insert_act(
+            id,
+            PreparedActivation {
+                consts: rec.into_consts(),
+            },
+        );
+        poly_out.insert(id, out);
+    }
 }
 
 /// Result of a real FHE run.
@@ -174,4 +248,58 @@ pub fn run_fhe_prepared(
         wall_seconds: t0.elapsed().as_secs_f64(),
         bootstraps: run.bootstraps,
     }
+}
+
+/// A zero tensor shaped like the program's input — the placeholder handed
+/// to the interpreter when the real input arrives pre-encrypted.
+fn zero_input(c: &Compiled) -> Tensor {
+    let l = &c.input_layout;
+    Tensor::from_vec(&[l.c, l.h, l.w], vec![0.0; l.c * l.h * l.w])
+}
+
+/// The serving hot path: runs a compiled program over **pre-encrypted**
+/// input ciphertexts (see [`FheSession::encrypt_input`]) against any
+/// prepared-layer source — resident or memory-capped paged — with uniform
+/// op-counting. The returned counter's `encodes` field is the complete
+/// per-request encode tally (declared stage/layer encodes plus any
+/// prepared-constant cache misses), so a fully prepared model serves with
+/// `encodes == 0`, machine-checked.
+pub fn run_fhe_source_counted(
+    c: &Compiled,
+    s: &FheSession,
+    source: Arc<dyn LayerSource>,
+    input_cts: Vec<Ciphertext>,
+) -> (FheRun, OpCounter) {
+    let t0 = std::time::Instant::now();
+    let dummy = zero_input(c);
+    let backend = CkksBackend::with_source(s, source).inject_inputs(input_cts);
+    let mut counting = Counting::new(backend, c.opts.cost.clone(), c.opts.l_eff);
+    let run = run_program(c, &mut counting, &dummy);
+    let (backend, mut counter) = counting.into_parts();
+    counter.record_encodes(backend.act_cache_misses());
+    (
+        FheRun {
+            output: run.output,
+            wall_seconds: t0.elapsed().as_secs_f64(),
+            bootstraps: run.bootstraps,
+        },
+        counter,
+    )
+}
+
+/// [`run_fhe_source_counted`] against a fully-resident prepared cache —
+/// the direct (no queue, no paging) reference the serve smoke tests
+/// compare bit-exactly against.
+pub fn run_fhe_prepared_cts(
+    c: &Compiled,
+    s: &FheSession,
+    prepared: &Arc<PreparedProgram>,
+    input_cts: Vec<Ciphertext>,
+) -> (FheRun, OpCounter) {
+    run_fhe_source_counted(
+        c,
+        s,
+        Arc::clone(prepared) as Arc<dyn LayerSource>,
+        input_cts,
+    )
 }

@@ -8,13 +8,28 @@ use orion_ckks::precision::precision_bits;
 use orion_ckks::CkksParams;
 use orion_nn::backend::{run_program, Counting};
 use orion_nn::backends::{CkksBackend, TraceBackend};
-use orion_nn::compile::{compile, CompileOptions};
-use orion_nn::fhe_exec::{run_fhe, run_fhe_prepared, FheSession};
+use orion_nn::compile::{compile, CompileOptions, Step};
+use orion_nn::fhe_exec::{run_fhe, run_fhe_prepared, run_fhe_prepared_cts, FheSession};
 use orion_nn::fit::fixed_ranges;
 use orion_nn::network::Network;
 use orion_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Insecure test parameters with `l_eff = max_level − 1` headroom so small
+/// nets run bootstrap-free (a bootstrap draws from the shared oracle RNG,
+/// which would break run-to-run determinism).
+fn headroom_params(max_level: usize) -> CkksParams {
+    CkksParams {
+        n: 1 << 10,
+        log_scale: 30,
+        q0_bits: 45,
+        max_level,
+        special_bits: 45,
+        sigma: 3.2,
+        boot_levels: 1,
+    }
+}
 
 fn conv_dense_net(rng: &mut StdRng) -> Network {
     let mut net = Network::new(2, 8, 8);
@@ -82,6 +97,115 @@ fn prepared_run_matches_on_the_fly_with_zero_encodes() {
     run_program(&compiled, &mut trace, &input);
     assert_eq!(trace.counter.encodes, 0);
     assert_eq!(trace.counter.all(), warm.counter.all());
+}
+
+#[test]
+fn prepared_activation_constants_hit_zero_encodes() {
+    // A SiLU net compiles to a real PolyStage; the prepared cache must
+    // cover its Chebyshev constants so the whole inference — linear AND
+    // activation — runs with zero per-inference encodes.
+    let params = headroom_params(8); // depth 7: dense + scale-down + deg-3 stage(+norm) + dense
+    let mut rng = StdRng::seed_from_u64(0x9e_0003);
+    let mut net = Network::new(1, 4, 4);
+    let x = net.input();
+    let f = net.flatten("flat", x);
+    let l1 = net.linear("fc1", f, 8, &mut rng);
+    let a = net.silu("act", l1, 3);
+    let l2 = net.linear("fc2", a, 3, &mut rng);
+    net.output(l2);
+    let opts = CompileOptions::from_params(&params);
+    let compiled = compile(&net, &fixed_ranges(&net, 4.0), &opts);
+    let stage_encodes: u64 = compiled
+        .prog
+        .iter()
+        .enumerate()
+        .filter_map(|(id, node)| match &node.step {
+            Step::PolyStage { coeffs, normalize } => Some(orion_poly::eval::stage_const_count(
+                coeffs,
+                *normalize,
+                compiled.placement.levels[id].unwrap(),
+            )),
+            _ => None,
+        })
+        .sum();
+    assert!(stage_encodes > 0, "net must compile to a real poly stage");
+
+    let session = FheSession::new(params, &compiled, 11);
+    let prepared = session.prepare(&compiled);
+    assert!(prepared.act_count() >= 1, "poly stage must be recorded");
+
+    let input = Tensor::from_vec(
+        &[1, 4, 4],
+        (0..16).map(|i| (i as f64) * 0.05 - 0.4).collect(),
+    );
+    let cost = compiled.opts.cost.clone();
+    let l_eff = compiled.opts.l_eff;
+    let mut cold = Counting::new(CkksBackend::new(&session), cost.clone(), l_eff);
+    let cold_run = run_program(&compiled, &mut cold, &input);
+    // the declarative stage tally and the engine-observed fresh encodes
+    // must agree — this pins the level-only replay to the real recursion
+    assert_eq!(cold.inner.act_fresh_encodes(), stage_encodes);
+    assert!(cold.counter.encodes >= stage_encodes);
+
+    let mut warm = Counting::new(
+        CkksBackend::with_prepared(&session, prepared.clone()),
+        cost.clone(),
+        l_eff,
+    );
+    let warm_run = run_program(&compiled, &mut warm, &input);
+    assert_eq!(warm.counter.encodes, 0, "linear AND activation cached");
+    assert_eq!(warm.inner.act_fresh_encodes(), 0);
+    assert_eq!(warm.inner.act_cache_misses(), 0, "recording must replay");
+
+    // same function, and modeled prepared engines stay counter-identical
+    let prec = precision_bits(warm_run.output.data(), cold_run.output.data());
+    assert!(prec > 8.0, "prepared activation diverged: {prec} bits");
+    let mut trace = Counting::new(TraceBackend::prepared(&compiled), cost, l_eff);
+    run_program(&compiled, &mut trace, &input);
+    assert_eq!(trace.counter.encodes, 0);
+    assert_eq!(trace.counter.all(), warm.counter.all());
+}
+
+#[test]
+fn preencrypted_requests_replay_bit_exact() {
+    // The serving path takes pre-encrypted inputs; with no bootstraps the
+    // server side is fully deterministic, so the same request ciphertexts
+    // must produce bit-identical outputs on every run.
+    let params = headroom_params(6); // dense + square + dense, one level spare
+    let mut rng = StdRng::seed_from_u64(0x9e_0004);
+    let mut net = Network::new(1, 8, 8);
+    let x = net.input();
+    let f = net.flatten("flat", x);
+    let l1 = net.linear("fc1", f, 16, &mut rng);
+    let a = net.square("act", l1);
+    let l2 = net.linear("fc2", a, 4, &mut rng);
+    net.output(l2);
+    let opts = CompileOptions::from_params(&params);
+    let compiled = compile(&net, &fixed_ranges(&net, 4.0), &opts);
+    assert_eq!(
+        compiled.placement.boot_count, 0,
+        "determinism needs a bootstrap-free program"
+    );
+    let session = FheSession::new(params, &compiled, 12);
+    let prepared = session.prepare(&compiled);
+    let input = Tensor::from_vec(
+        &[1, 8, 8],
+        (0..64).map(|_| rng.gen_range(-0.5..0.5)).collect(),
+    );
+    let cts = session.encrypt_input(&compiled, &input);
+    let (a_run, a_counter) = run_fhe_prepared_cts(&compiled, &session, &prepared, cts.clone());
+    let (b_run, b_counter) = run_fhe_prepared_cts(&compiled, &session, &prepared, cts);
+    assert_eq!(
+        a_run.output.data(),
+        b_run.output.data(),
+        "not deterministic"
+    );
+    assert_eq!(a_counter.encodes, 0);
+    assert_eq!(b_counter.encodes, 0);
+    // and the decrypted result matches a plaintext-input prepared run
+    let direct = run_fhe_prepared(&compiled, &session, &prepared, &input);
+    let prec = precision_bits(a_run.output.data(), direct.output.data());
+    assert!(prec > 8.0, "pre-encrypted diverged: {prec} bits");
 }
 
 #[test]

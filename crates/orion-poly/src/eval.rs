@@ -17,9 +17,137 @@
 //! accounting").
 
 use orion_ckks::encoder::Encoder;
-use orion_ckks::encrypt::Ciphertext;
+use orion_ckks::encrypt::{Ciphertext, Plaintext};
 use orion_ckks::eval::Evaluator;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+
+/// The identity of one constant plaintext a Chebyshev stage consumes:
+/// the replicated slot value, the encoding scale, and the level. Constants
+/// are produced in a deterministic order fixed by the recursion, so a
+/// recorded `Vec<(StageConst, Plaintext)>` replays exactly.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StageConst {
+    /// The replicated slot value.
+    pub value: f64,
+    /// The encoding scale (schedule-derived, bit-reproducible).
+    pub scale: f64,
+    /// The chain level the plaintext lives at.
+    pub level: usize,
+}
+
+/// Where a Chebyshev stage's constant plaintexts come from. The on-the-fly
+/// path encodes them per inference; the prepared serving path replays a
+/// setup-time recording so activations hit zero per-inference encodes
+/// (tallied through `OpCounter::encodes`).
+pub trait ConstSource {
+    /// Returns the plaintext for `value` replicated at (`scale`, `level`).
+    fn constant(&self, enc: &Encoder, value: f64, scale: f64, level: usize) -> Plaintext;
+}
+
+/// Encodes every constant fresh and counts how many (the on-the-fly path;
+/// the count cross-checks [`stage_const_count`]).
+#[derive(Default)]
+pub struct FreshConsts {
+    count: Cell<u64>,
+}
+
+impl FreshConsts {
+    /// A fresh, zero-count source.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Constants encoded so far.
+    pub fn count(&self) -> u64 {
+        self.count.get()
+    }
+}
+
+impl ConstSource for FreshConsts {
+    fn constant(&self, enc: &Encoder, value: f64, scale: f64, level: usize) -> Plaintext {
+        self.count.set(self.count.get() + 1);
+        enc.encode_constant(value, scale, level, false)
+    }
+}
+
+/// Encodes every constant fresh *and* records it, in evaluation order —
+/// the prepare-time pass that builds a stage's cached constants.
+#[derive(Default)]
+pub struct RecordingConsts {
+    out: RefCell<Vec<(StageConst, Plaintext)>>,
+}
+
+impl RecordingConsts {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded constants, in the order the stage consumed them.
+    pub fn into_consts(self) -> Vec<(StageConst, Plaintext)> {
+        self.out.into_inner()
+    }
+}
+
+impl ConstSource for RecordingConsts {
+    fn constant(&self, enc: &Encoder, value: f64, scale: f64, level: usize) -> Plaintext {
+        let pt = enc.encode_constant(value, scale, level, false);
+        self.out.borrow_mut().push((
+            StageConst {
+                value,
+                scale,
+                level,
+            },
+            pt.clone(),
+        ));
+        pt
+    }
+}
+
+/// Serves constants from a setup-time recording in evaluation order. Every
+/// request is checked (bit-exact value/scale, exact level) against the
+/// recording; a mismatch falls back to a fresh encode and is counted as a
+/// miss, so a drifted cache degrades to the on-the-fly path instead of
+/// corrupting the result.
+pub struct CachedConsts<'a> {
+    consts: &'a [(StageConst, Plaintext)],
+    next: Cell<usize>,
+    misses: Cell<u64>,
+}
+
+impl<'a> CachedConsts<'a> {
+    /// Serves from `consts` (a [`RecordingConsts`] recording).
+    pub fn new(consts: &'a [(StageConst, Plaintext)]) -> Self {
+        Self {
+            consts,
+            next: Cell::new(0),
+            misses: Cell::new(0),
+        }
+    }
+
+    /// Cache misses (0 on a faithful replay).
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
+    }
+}
+
+impl ConstSource for CachedConsts<'_> {
+    fn constant(&self, enc: &Encoder, value: f64, scale: f64, level: usize) -> Plaintext {
+        let i = self.next.get();
+        self.next.set(i + 1);
+        if let Some((spec, pt)) = self.consts.get(i) {
+            if spec.value.to_bits() == value.to_bits()
+                && spec.scale.to_bits() == scale.to_bits()
+                && spec.level == level
+            {
+                return pt.clone();
+            }
+        }
+        self.misses.set(self.misses.get() + 1);
+        enc.encode_constant(value, scale, level, false)
+    }
+}
 
 /// Multiplicative depth consumed by [`evaluate_chebyshev`] for degree `d`.
 pub fn fhe_eval_depth(d: usize) -> usize {
@@ -68,9 +196,46 @@ pub fn set_level_scale(eval: &Evaluator, ct: &Ciphertext, level: usize, target: 
     out
 }
 
+/// Chebyshev division: `p = q·T_n + r` with `deg q, deg r < n`.
+fn cheb_divide(coeffs: &[f64], n: usize) -> (Vec<f64>, Vec<f64>) {
+    let len = coeffs.len();
+    assert!(len > n && len <= 2 * n);
+    let mut q = vec![0.0; len - n];
+    let mut r = coeffs[..n].to_vec();
+    for k in (n..len).rev() {
+        let c = coeffs[k];
+        if k == n {
+            q[0] += c;
+        } else {
+            q[k - n] += 2.0 * c;
+            r[2 * n - k] -= c;
+        }
+    }
+    (q, r)
+}
+
+/// The stage geometry shared by the evaluator and its counting replica:
+/// trimmed coefficient count, baby-step count `m`, and baby depth.
+fn stage_shape(coeffs: &[f64]) -> (usize, usize, usize) {
+    let mut len = coeffs.len();
+    while len > 1 && coeffs[len - 1].abs() < 1e-13 {
+        len -= 1;
+    }
+    let d = len - 1;
+    assert!(
+        d >= 1,
+        "constant polynomials need no homomorphic evaluation"
+    );
+    let logd = usize::BITS as usize - d.leading_zeros() as usize;
+    let m = 1usize << logd.div_ceil(2).max(1);
+    let baby_depth = usize::BITS as usize - (m - 1).max(1).leading_zeros() as usize;
+    (len, m, baby_depth)
+}
+
 struct PolyEvaluator<'a> {
     eval: &'a Evaluator,
     enc: &'a Encoder,
+    src: &'a dyn ConstSource,
     sched: Schedule,
     /// Memoized Chebyshev basis ciphertexts T_k.
     basis: HashMap<usize, Ciphertext>,
@@ -79,7 +244,13 @@ struct PolyEvaluator<'a> {
     baby_depth: usize,
 }
 
-impl<'a> PolyEvaluator<'a> {
+impl PolyEvaluator<'_> {
+    /// [`set_level_scale`] with the constant plaintext routed through the
+    /// stage's [`ConstSource`] (bit-identical result).
+    fn set_ls(&mut self, ct: &Ciphertext, level: usize, target: f64) -> Ciphertext {
+        set_level_scale_src(self.eval, self.enc, self.src, ct, level, target)
+    }
+
     /// T_k via T_{a+b} = 2·T_a·T_b − T_{|a−b|}, a = ⌈k/2⌉ (depth ⌈log₂ k⌉).
     fn basis_ct(&mut self, k: usize) -> Ciphertext {
         if let Some(c) = self.basis.get(&k) {
@@ -91,8 +262,8 @@ impl<'a> PolyEvaluator<'a> {
         let ta = self.basis_ct(a);
         let tb = self.basis_ct(b);
         let lc = ta.level().min(tb.level());
-        let ta = set_level_scale(self.eval, &ta, lc, self.sched.s[lc]);
-        let tb = set_level_scale(self.eval, &tb, lc, self.sched.s[lc]);
+        let ta = self.set_ls(&ta, lc, self.sched.s[lc]);
+        let tb = self.set_ls(&tb, lc, self.sched.s[lc]);
         let mut prod = self.eval.mul_relin(&ta, &tb);
         self.eval.rescale_assign(&mut prod);
         prod.scale = self.sched.s[lc - 1];
@@ -100,14 +271,14 @@ impl<'a> PolyEvaluator<'a> {
         let out = if a == b {
             // T_{2a} = 2·T_a² − 1
             let neg_one = self
-                .enc
-                .encode_constant(-1.0, two_prod.scale, two_prod.level(), false);
+                .src
+                .constant(self.enc, -1.0, two_prod.scale, two_prod.level());
             self.eval.add_plain(&two_prod, &neg_one)
         } else {
             // T_{a+b} = 2·T_a·T_b − T_{a−b}; a−b = 1 by construction.
             debug_assert_eq!(a - b, 1);
             let t1 = self.basis_ct(1);
-            let t1 = set_level_scale(self.eval, &t1, two_prod.level(), two_prod.scale);
+            let t1 = self.set_ls(&t1, two_prod.level(), two_prod.scale);
             self.eval.sub(&two_prod, &t1)
         };
         self.basis.insert(k, out.clone());
@@ -125,14 +296,15 @@ impl<'a> PolyEvaluator<'a> {
         let pt_scale = q * target_scale / self.sched.s[lb];
         // Start from the constant term.
         let t1 = self.basis_ct(1);
-        let t1b = set_level_scale(self.eval, &t1, lb, self.sched.s[lb]);
-        let mut acc = self.eval.mul_scalar(&t1b, 0.0, pt_scale);
+        let t1b = self.set_ls(&t1, lb, self.sched.s[lb]);
+        let zero = self.src.constant(self.enc, 0.0, pt_scale, t1b.level());
+        let mut acc = self.eval.mul_plain(&t1b, &zero);
         self.eval.rescale_assign(&mut acc);
         acc.scale = target_scale;
         if coeffs[0] != 0.0 {
             let c0 = self
-                .enc
-                .encode_constant(coeffs[0], target_scale, target_level, false);
+                .src
+                .constant(self.enc, coeffs[0], target_scale, target_level);
             acc = self.eval.add_plain(&acc, &c0);
         }
         for (k, &c) in coeffs.iter().enumerate().skip(1) {
@@ -140,31 +312,14 @@ impl<'a> PolyEvaluator<'a> {
                 continue;
             }
             let tk = self.basis_ct(k);
-            let tk = set_level_scale(self.eval, &tk, lb, self.sched.s[lb]);
-            let mut term = self.eval.mul_scalar(&tk, c, pt_scale);
+            let tk = self.set_ls(&tk, lb, self.sched.s[lb]);
+            let ck = self.src.constant(self.enc, c, pt_scale, tk.level());
+            let mut term = self.eval.mul_plain(&tk, &ck);
             self.eval.rescale_assign(&mut term);
             term.scale = target_scale;
             acc = self.eval.add(&acc, &term);
         }
         acc
-    }
-
-    /// Chebyshev division: `p = q·T_n + r` with `deg q, deg r < n`.
-    fn cheb_divide(coeffs: &[f64], n: usize) -> (Vec<f64>, Vec<f64>) {
-        let len = coeffs.len();
-        assert!(len > n && len <= 2 * n);
-        let mut q = vec![0.0; len - n];
-        let mut r = coeffs[..n].to_vec();
-        for k in (n..len).rev() {
-            let c = coeffs[k];
-            if k == n {
-                q[0] += c;
-            } else {
-                q[k - n] += 2.0 * c;
-                r[2 * n - k] -= c;
-            }
-        }
-        (q, r)
     }
 
     fn rec(&mut self, coeffs: &[f64]) -> Ciphertext {
@@ -176,17 +331,17 @@ impl<'a> PolyEvaluator<'a> {
         while 2 * n < coeffs.len() {
             n *= 2;
         }
-        let (q, r) = Self::cheb_divide(coeffs, n);
+        let (q, r) = cheb_divide(coeffs, n);
         let cq = self.rec(&q);
         let cr = self.rec(&r);
         let tn = self.basis_ct(n);
         let lc = cq.level().min(tn.level());
-        let cq = set_level_scale(self.eval, &cq, lc, self.sched.s[lc]);
-        let tn = set_level_scale(self.eval, &tn, lc, self.sched.s[lc]);
+        let cq = self.set_ls(&cq, lc, self.sched.s[lc]);
+        let tn = self.set_ls(&tn, lc, self.sched.s[lc]);
         let mut prod = self.eval.mul_relin(&cq, &tn);
         self.eval.rescale_assign(&mut prod);
         prod.scale = self.sched.s[lc - 1];
-        let cr = set_level_scale(self.eval, &cr, prod.level(), prod.scale);
+        let cr = self.set_ls(&cr, prod.level(), prod.scale);
         self.eval.add(&prod, &cr)
     }
 }
@@ -201,17 +356,23 @@ pub fn evaluate_chebyshev(
     ct: &Ciphertext,
     coeffs: &[f64],
 ) -> Ciphertext {
-    // Trim trailing zeros.
-    let mut len = coeffs.len();
-    while len > 1 && coeffs[len - 1].abs() < 1e-13 {
-        len -= 1;
-    }
+    evaluate_chebyshev_src(eval, enc, &FreshConsts::new(), ct, coeffs)
+}
+
+/// [`evaluate_chebyshev`] with every constant plaintext routed through
+/// `src` — the prepared serving path passes a [`CachedConsts`] recording so
+/// the stage performs zero per-inference encodes; the result is
+/// bit-identical no matter the source.
+pub fn evaluate_chebyshev_src(
+    eval: &Evaluator,
+    enc: &Encoder,
+    src: &dyn ConstSource,
+    ct: &Ciphertext,
+    coeffs: &[f64],
+) -> Ciphertext {
+    let (len, m, baby_depth) = stage_shape(coeffs);
     let coeffs = &coeffs[..len];
     let d = len - 1;
-    assert!(
-        d >= 1,
-        "constant polynomials need no homomorphic evaluation"
-    );
     assert!(
         ct.level() >= fhe_eval_depth(d),
         "level {} too low for degree-{d} evaluation (need {})",
@@ -219,14 +380,11 @@ pub fn evaluate_chebyshev(
         fhe_eval_depth(d)
     );
     let entry = ct.level();
-    // Baby-step count: m = 2^⌈log2(d+1)/2⌉ (≥ 2).
-    let logd = usize::BITS as usize - d.leading_zeros() as usize;
-    let m = 1usize << logd.div_ceil(2).max(1);
-    let baby_depth = usize::BITS as usize - (m - 1).max(1).leading_zeros() as usize;
     let sched = Schedule::new(eval, entry, ct.scale);
     let mut pe = PolyEvaluator {
         eval,
         enc,
+        src,
         sched,
         basis: HashMap::from([(1, ct.clone())]),
         entry_level: entry,
@@ -234,6 +392,149 @@ pub fn evaluate_chebyshev(
         baby_depth,
     };
     pe.rec(coeffs)
+}
+
+/// [`set_level_scale`] with the alignment constant routed through `src`
+/// (bit-identical result; used by the prepared activation path for the
+/// output-normalization constant).
+pub fn set_level_scale_src(
+    eval: &Evaluator,
+    enc: &Encoder,
+    src: &dyn ConstSource,
+    ct: &Ciphertext,
+    level: usize,
+    target: f64,
+) -> Ciphertext {
+    let ctx = eval.context();
+    if ct.level() == level {
+        assert!(
+            (ct.scale / target - 1.0).abs() < 1e-9,
+            "cannot adjust scale without a spare level ({} vs {target} at level {level})",
+            ct.scale
+        );
+        return ct.clone();
+    }
+    assert!(ct.level() > level, "cannot raise a ciphertext's level");
+    let mut c = ct.clone();
+    eval.drop_to_level(&mut c, level + 1);
+    let q = ctx.moduli[level + 1] as f64;
+    let aux = q * target / c.scale;
+    let one = src.constant(enc, 1.0, aux, c.level());
+    let mut out = eval.mul_plain(&c, &one);
+    eval.rescale_assign(&mut out);
+    out.scale = target; // snap within float ulps of the true value
+    out
+}
+
+/// The number of constant plaintexts [`evaluate_chebyshev`] (plus the
+/// optional output normalization) consumes for `coeffs` entered at
+/// `entry_level` — a cheap level-only replay of the recursion, used by the
+/// op-counting decorator to charge on-the-fly engines without running any
+/// crypto. Scale values never influence the count, only levels do.
+pub fn stage_const_count(coeffs: &[f64], normalize: bool, entry_level: usize) -> u64 {
+    let (len, m, baby_depth) = stage_shape(coeffs);
+    let coeffs = &coeffs[..len];
+    let mut replay = CountReplay {
+        basis: HashMap::from([(1usize, entry_level)]),
+        entry_level,
+        baby_m: m,
+        baby_depth,
+        consts: 0,
+    };
+    let exit = replay.rec(coeffs);
+    if normalize {
+        // set_level_scale to (exit − 1, Δ) always spends the alignment
+        // constant because the level strictly drops
+        debug_assert!(exit >= 1);
+        replay.consts += 1;
+    }
+    replay.consts
+}
+
+/// Level-only mirror of [`PolyEvaluator`]: same recursion, same branch
+/// structure, no ciphertexts — it counts [`ConstSource::constant`] calls.
+/// `recorded_counts_match_replay` in the tests pins the two together.
+struct CountReplay {
+    basis: HashMap<usize, usize>,
+    entry_level: usize,
+    baby_m: usize,
+    baby_depth: usize,
+    consts: u64,
+}
+
+impl CountReplay {
+    /// Mirrors `set_level_scale`: one constant when the level drops.
+    fn set_ls(&mut self, ct_level: usize, level: usize) -> usize {
+        if ct_level == level {
+            return level;
+        }
+        assert!(ct_level > level, "cannot raise a ciphertext's level");
+        self.consts += 1;
+        level
+    }
+
+    fn basis_ct(&mut self, k: usize) -> usize {
+        if let Some(&l) = self.basis.get(&k) {
+            return l;
+        }
+        assert!(k >= 2);
+        let a = k.div_ceil(2);
+        let b = k / 2;
+        let la = self.basis_ct(a);
+        let lb = self.basis_ct(b);
+        let lc = la.min(lb);
+        self.set_ls(la, lc);
+        self.set_ls(lb, lc);
+        let l_prod = lc - 1;
+        if a == b {
+            self.consts += 1; // the −1 constant of T_{2a} = 2·T_a² − 1
+        } else {
+            let l1 = self.basis_ct(1);
+            self.set_ls(l1, l_prod);
+        }
+        self.basis.insert(k, l_prod);
+        l_prod
+    }
+
+    fn base_case(&mut self, coeffs: &[f64]) -> usize {
+        let lb = self.entry_level - self.baby_depth;
+        let target_level = lb - 1;
+        let l1 = self.basis_ct(1);
+        self.set_ls(l1, lb);
+        self.consts += 1; // the zero accumulator seed
+        if coeffs[0] != 0.0 {
+            self.consts += 1;
+        }
+        for (k, &c) in coeffs.iter().enumerate().skip(1) {
+            if c.abs() < 1e-13 {
+                continue;
+            }
+            let lk = self.basis_ct(k);
+            self.set_ls(lk, lb);
+            self.consts += 1; // the coefficient plaintext
+        }
+        target_level
+    }
+
+    fn rec(&mut self, coeffs: &[f64]) -> usize {
+        if coeffs.len() <= self.baby_m {
+            return self.base_case(coeffs);
+        }
+        let mut n = self.baby_m;
+        while 2 * n < coeffs.len() {
+            n *= 2;
+        }
+        let (q, r) = cheb_divide(coeffs, n);
+        let lq = self.rec(&q);
+        let lr = self.rec(&r);
+        let ln = self.basis_ct(n);
+        let lc = lq.min(ln);
+        self.set_ls(lq, lc);
+        self.set_ls(ln, lc);
+        let l_prod = lc - 1;
+        self.set_ls(lr, l_prod);
+        l_prod
+    }
 }
 
 /// Homomorphic ReLU: evaluates the composite sign stages, then the final
@@ -396,6 +697,73 @@ mod tests {
                 out[i]
             );
         }
+    }
+
+    #[test]
+    fn recorded_counts_match_replay_and_cache_replays_bit_exact() {
+        // The level-only counting replay, the fresh-encode counter, and a
+        // real recording must all agree — and replaying the recording must
+        // reproduce the ciphertext bit-for-bit with zero cache misses.
+        let mut h = setup();
+        let vals = test_inputs(h.ctx.slots());
+        let level = h.ctx.max_level();
+        let delta = h.ctx.scale();
+        for (degree, normalize) in [(3usize, true), (7, false), (15, true), (31, false)] {
+            let f = |x: f64| x / (1.0 + (-3.0 * x).exp());
+            let poly = ChebPoly::interpolate(f, degree);
+            let ct = h
+                .encryptor
+                .encrypt(&h.enc.encode(&vals, delta, level, false), &mut h.rng);
+            let run = |src: &dyn ConstSource| -> Ciphertext {
+                let out = evaluate_chebyshev_src(&h.eval, &h.enc, src, &ct, &poly.coeffs);
+                if normalize {
+                    set_level_scale_src(&h.eval, &h.enc, src, &out, out.level() - 1, delta)
+                } else {
+                    out
+                }
+            };
+            let rec = RecordingConsts::new();
+            let out_rec = run(&rec);
+            let consts = rec.into_consts();
+            assert_eq!(
+                consts.len() as u64,
+                stage_const_count(&poly.coeffs, normalize, level),
+                "replay diverged from recording at degree {degree}"
+            );
+            let fresh = FreshConsts::new();
+            let out_fresh = run(&fresh);
+            assert_eq!(fresh.count(), consts.len() as u64, "degree {degree}");
+            let cached = CachedConsts::new(&consts);
+            let out_cached = run(&cached);
+            assert_eq!(cached.misses(), 0, "degree {degree}: cache must replay");
+            for (a, b) in [(&out_fresh, &out_rec), (&out_cached, &out_rec)] {
+                assert_eq!(a.c0, b.c0, "degree {degree}: sources must be bit-exact");
+                assert_eq!(a.c1, b.c1, "degree {degree}");
+                assert_eq!(a.scale, b.scale, "degree {degree}");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_miss_degrades_to_fresh_encode() {
+        let mut h = setup();
+        let poly = ChebPoly::interpolate(|x| 0.5 * x * x * x - 0.25 * x, 3);
+        let vals = test_inputs(h.ctx.slots());
+        let level = h.ctx.max_level();
+        let ct = h.encryptor.encrypt(
+            &h.enc.encode(&vals, h.ctx.scale(), level, false),
+            &mut h.rng,
+        );
+        let rec = RecordingConsts::new();
+        let expect = evaluate_chebyshev_src(&h.eval, &h.enc, &rec, &ct, &poly.coeffs);
+        let mut consts = rec.into_consts();
+        // corrupt one entry's spec so the replay must re-encode it
+        consts[1].0.value += 1.0;
+        let cached = CachedConsts::new(&consts);
+        let out = evaluate_chebyshev_src(&h.eval, &h.enc, &cached, &ct, &poly.coeffs);
+        assert_eq!(cached.misses(), 1);
+        assert_eq!(out.c0, expect.c0, "miss fallback must stay bit-exact");
+        assert_eq!(out.c1, expect.c1);
     }
 
     #[test]

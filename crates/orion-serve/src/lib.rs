@@ -1,0 +1,37 @@
+//! `orion-serve`: a multi-tenant FHE inference server over prepared
+//! inference plans.
+//!
+//! The compiler (orion-core) produces fast single-request primitives —
+//! `PreparedProgram` and `run_fhe_prepared` — but a production deployment
+//! needs a layer above them: many clients with their own keys, several
+//! models hosted side by side, admission control under load, batching to
+//! amortize per-model costs, and weight sets larger than RAM. This crate
+//! is that layer:
+//!
+//! * **Session registry** — models (compiled program + shared prepared
+//!   weights; encodings are key-independent) and clients (one
+//!   `FheSession` each, bound to a model). See [`Server::add_model`],
+//!   [`Server::add_model_paged`], [`Server::add_client`].
+//! * **Admission queue + dynamic batcher** — a bounded queue of encrypted
+//!   requests drained into per-model batches under a
+//!   max-batch-size/max-wait policy ([`ServeConfig`]), executed by a
+//!   worker pool over the shared rayon pool.
+//! * **Memory-capped paging** — models registered with
+//!   [`Server::add_model_paged`] serve from an
+//!   `orion_linear::paged::PagedProgram`: prepared layers live in spill
+//!   files, fault in on first touch, and are LRU-evicted under a byte
+//!   budget, bit-exact versus the fully-resident path.
+//! * **Serving metrics** — per-model queue depth, batch occupancy, page
+//!   faults/evictions, latency percentiles, and per-request encode
+//!   tallies as a JSON snapshot ([`Server::metrics_json`]).
+//!
+//! The serving contract, machine-checked by the smoke tests: a fully
+//! prepared model serves every request with **zero per-inference encodes**
+//! (weights *and* activation constants), and a paged model's outputs are
+//! **bit-exact** against the direct resident path.
+
+pub mod metrics;
+pub mod server;
+
+pub use metrics::ModelMetrics;
+pub use server::{ClientId, ModelId, ServeConfig, ServeError, ServeOutput, Server, Ticket};

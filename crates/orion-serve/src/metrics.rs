@@ -1,0 +1,189 @@
+//! Serving metrics: per-model counters the operator watches to know the
+//! queue is healthy — depth, batch occupancy, error rate, latency
+//! percentiles, per-request encode tallies, and the pager's fault/eviction
+//! counters — exported as one JSON snapshot (`Server::metrics_json`).
+
+use orion_linear::paged::PageStats;
+use parking_lot::Mutex;
+use serde::Value;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The latency window: percentiles are computed over the most recent
+/// completions only, so a long-running server's metrics stay O(1) in
+/// memory and snapshot cost no matter how many requests it has served.
+const LATENCY_WINDOW: usize = 4096;
+
+/// Lock-free per-model counters plus a bounded latency window. Writers are
+/// the admission path and the workers; readers take snapshots.
+#[derive(Default)]
+pub struct ModelMetrics {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    errors: AtomicU64,
+    batches: AtomicU64,
+    batch_occupancy_sum: AtomicU64,
+    queue_depth: AtomicU64,
+    peak_queue_depth: AtomicU64,
+    encodes: AtomicU64,
+    /// End-to-end (queue + execution) seconds of the last
+    /// [`LATENCY_WINDOW`] completed requests.
+    latencies: Mutex<VecDeque<f64>>,
+}
+
+impl ModelMetrics {
+    /// One request admitted to the queue.
+    pub fn note_submit(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// A batch of `occupancy` requests left the queue for a worker.
+    pub fn note_batch(&self, occupancy: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_occupancy_sum
+            .fetch_add(occupancy as u64, Ordering::Relaxed);
+        self.queue_depth
+            .fetch_sub(occupancy as u64, Ordering::Relaxed);
+    }
+
+    /// One request finished successfully.
+    pub fn note_done(&self, total_seconds: f64, encodes: u64) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.encodes.fetch_add(encodes, Ordering::Relaxed);
+        let mut lat = self.latencies.lock();
+        if lat.len() == LATENCY_WINDOW {
+            lat.pop_front();
+        }
+        lat.push_back(total_seconds);
+    }
+
+    /// One request failed.
+    pub fn note_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current queue depth (requests admitted but not yet batched out).
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Completed requests so far.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Failed requests so far.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Total per-request encodes observed (0 for a fully prepared model).
+    pub fn encodes(&self) -> u64 {
+        self.encodes.load(Ordering::Relaxed)
+    }
+
+    /// JSON snapshot of this model's counters, with `page` stats attached
+    /// when the model serves from a memory-capped pager.
+    pub fn snapshot(&self, name: &str, page: Option<PageStats>) -> Value {
+        let lat: Vec<f64> = self.latencies.lock().iter().copied().collect();
+        let batches = self.batches.load(Ordering::Relaxed);
+        let occupancy_sum = self.batch_occupancy_sum.load(Ordering::Relaxed);
+        let mut fields = vec![
+            ("model".to_string(), Value::Str(name.to_string())),
+            num("submitted", self.submitted.load(Ordering::Relaxed)),
+            num("completed", self.completed.load(Ordering::Relaxed)),
+            num("errors", self.errors.load(Ordering::Relaxed)),
+            num("queue_depth", self.queue_depth.load(Ordering::Relaxed)),
+            num(
+                "peak_queue_depth",
+                self.peak_queue_depth.load(Ordering::Relaxed),
+            ),
+            num("batches", batches),
+            (
+                "batch_occupancy_avg".to_string(),
+                Value::Num(if batches == 0 {
+                    0.0
+                } else {
+                    occupancy_sum as f64 / batches as f64
+                }),
+            ),
+            num(
+                "encodes_per_inference_total",
+                self.encodes.load(Ordering::Relaxed),
+            ),
+            ("latency_ms".to_string(), latency_percentiles(lat)),
+        ];
+        if let Some(p) = page {
+            fields.push((
+                "page".to_string(),
+                Value::Obj(vec![
+                    num("faults", p.faults),
+                    num("evictions", p.evictions),
+                    num("hits", p.hits),
+                    num("resident_bytes", p.resident_bytes),
+                    num("resident_layers", p.resident_layers),
+                ]),
+            ));
+        }
+        Value::Obj(fields)
+    }
+}
+
+fn num(key: &str, v: u64) -> (String, Value) {
+    (key.to_string(), Value::Num(v as f64))
+}
+
+/// p50/p95/p99/max in milliseconds over the latency window (the most
+/// recent [`LATENCY_WINDOW`] completions).
+fn latency_percentiles(mut lat: Vec<f64>) -> Value {
+    if lat.is_empty() {
+        return Value::Null;
+    }
+    lat.sort_by(|a, b| a.total_cmp(b));
+    let pick = |p: f64| -> f64 {
+        let idx = ((lat.len() as f64 - 1.0) * p).round() as usize;
+        lat[idx] * 1e3
+    };
+    Value::Obj(vec![
+        ("p50".to_string(), Value::Num(pick(0.50))),
+        ("p95".to_string(), Value::Num(pick(0.95))),
+        ("p99".to_string(), Value::Num(pick(0.99))),
+        ("max".to_string(), Value::Num(lat[lat.len() - 1] * 1e3)),
+        ("count".to_string(), Value::Num(lat.len() as f64)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_and_occupancy_track_queue_flow() {
+        let m = ModelMetrics::default();
+        for _ in 0..5 {
+            m.note_submit();
+        }
+        assert_eq!(m.queue_depth(), 5);
+        m.note_batch(3);
+        m.note_batch(2);
+        assert_eq!(m.queue_depth(), 0);
+        m.note_done(0.010, 0);
+        m.note_done(0.020, 0);
+        m.note_error();
+        let snap = m.snapshot("m", None);
+        let get = |k: &str| snap.get(k).and_then(Value::as_f64).unwrap();
+        assert_eq!(get("submitted"), 5.0);
+        assert_eq!(get("completed"), 2.0);
+        assert_eq!(get("errors"), 1.0);
+        assert_eq!(get("peak_queue_depth"), 5.0);
+        assert_eq!(get("batch_occupancy_avg"), 2.5);
+        let p50 = snap
+            .get("latency_ms")
+            .and_then(|l| l.get("p50"))
+            .and_then(Value::as_f64)
+            .unwrap();
+        assert!((10.0..=20.0).contains(&p50));
+    }
+}

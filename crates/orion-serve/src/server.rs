@@ -1,0 +1,635 @@
+//! The server: session registry → admission queue → dynamic batcher →
+//! worker pool, over prepared (optionally memory-capped paged) weights.
+//!
+//! ```text
+//!  clients (own keys, encrypt locally)
+//!     │ submit(ClientId, Vec<Ciphertext>)
+//!     ▼
+//!  bounded admission queue (per-model FIFOs)
+//!     │ scheduler: flush a model when its queue reaches max_batch
+//!     ▼             or its oldest request waits past max_wait
+//!  batch queue ──► workers (catch_unwind per request)
+//!                     │ run_fhe_source_counted
+//!                     ▼
+//!                  LayerSource: resident PreparedProgram
+//!                               or LRU PagedProgram under a byte budget
+//! ```
+//!
+//! Tenancy model: a *model* is a compiled program plus one shared
+//! prepared-weight source (weight encodings are key-independent, so every
+//! client of a model serves from the same artifacts — that is what makes
+//! multi-tenant serving affordable); a *client* is an [`FheSession`] with
+//! its own keys bound to one model. Requests arrive already encrypted and
+//! the server never touches client plaintexts on the request path.
+
+use crate::metrics::ModelMetrics;
+use orion_ckks::encrypt::Ciphertext;
+use orion_ckks::CkksParams;
+use orion_linear::paged::{LayerSource, PageStats, PagedProgram};
+use orion_linear::store::{DiagStore, StoreError};
+use orion_nn::backends::PreparedLayerFault;
+use orion_nn::compile::Compiled;
+use orion_nn::fhe_exec::{run_fhe_source_counted, FheSession};
+use orion_sim::OpCounter;
+use orion_tensor::Tensor;
+use parking_lot::{Mutex, RwLock};
+use serde::Value;
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar};
+use std::time::{Duration, Instant};
+
+/// A hosted model's handle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ModelId(pub usize);
+
+/// A registered client's handle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ClientId(pub usize);
+
+/// Admission and batching policy.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Maximum requests per dispatched batch.
+    pub max_batch: usize,
+    /// How long the batcher holds a partial batch open waiting for
+    /// more same-model requests.
+    pub max_wait: Duration,
+    /// Worker threads executing batches (each inference additionally
+    /// parallelizes internally on the shared rayon pool).
+    pub workers: usize,
+    /// Admission-queue capacity across all models; submissions beyond it
+    /// are rejected with [`ServeError::QueueFull`] (backpressure).
+    pub queue_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 4,
+            max_wait: Duration::from_millis(2),
+            workers: 2,
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// Why a request (or registration) failed.
+#[derive(Debug)]
+pub enum ServeError {
+    /// No such model.
+    UnknownModel(ModelId),
+    /// No such client.
+    UnknownClient(ClientId),
+    /// The admission queue is at capacity — retry later.
+    QueueFull {
+        /// The configured capacity that was hit.
+        capacity: usize,
+    },
+    /// A prepared layer could not be faulted in (corrupt/missing spill
+    /// file); only this request failed, the workers keep serving.
+    Store {
+        /// The program step whose layer failed to load.
+        step: usize,
+        /// The underlying store failure.
+        error: StoreError,
+    },
+    /// The inference panicked for a reason other than a store fault.
+    WorkerPanic(String),
+    /// The server is shutting down (or already gone).
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownModel(m) => write!(f, "unknown model {m:?}"),
+            ServeError::UnknownClient(c) => write!(f, "unknown client {c:?}"),
+            ServeError::QueueFull { capacity } => {
+                write!(f, "admission queue full ({capacity} requests)")
+            }
+            ServeError::Store { step, error } => {
+                write!(f, "prepared layer for step {step} unavailable: {error}")
+            }
+            ServeError::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A served inference result.
+pub struct ServeOutput {
+    /// The decrypted network output.
+    pub output: Tensor,
+    /// Uniform per-request op tallies; `counter.encodes == 0` for a fully
+    /// prepared model — the serving contract.
+    pub counter: OpCounter,
+    /// Execution seconds (excludes queueing).
+    pub wall_seconds: f64,
+    /// Seconds spent in the admission queue before execution started.
+    pub queue_seconds: f64,
+    /// Occupancy of the batch that carried this request.
+    pub batch_size: usize,
+}
+
+/// The receiving end of one submitted request.
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<ServeOutput, ServeError>>,
+}
+
+impl Ticket {
+    /// Blocks until the request completes (or the server goes away).
+    pub fn wait(self) -> Result<ServeOutput, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
+    }
+}
+
+struct Request {
+    client: ClientId,
+    enqueued: Instant,
+    cts: Vec<Ciphertext>,
+    tx: mpsc::Sender<Result<ServeOutput, ServeError>>,
+}
+
+struct Batch {
+    model: ModelId,
+    reqs: Vec<Request>,
+}
+
+struct ModelEntry {
+    name: String,
+    compiled: Arc<Compiled>,
+    params: CkksParams,
+    source: Arc<dyn LayerSource>,
+    /// Same object as `source` when the model pages, kept for stats.
+    paged: Option<Arc<PagedProgram>>,
+    /// `Arc` so writers can update counters without holding the registry
+    /// lock (workers run seconds of FHE per request).
+    metrics: Arc<ModelMetrics>,
+}
+
+struct ClientEntry {
+    model: ModelId,
+    session: Arc<FheSession>,
+}
+
+#[derive(Default)]
+struct Admission {
+    per_model: HashMap<usize, VecDeque<Request>>,
+    total: usize,
+}
+
+struct Inner {
+    cfg: ServeConfig,
+    models: RwLock<Vec<ModelEntry>>,
+    clients: RwLock<Vec<ClientEntry>>,
+    queue: Mutex<Admission>,
+    queue_cv: Condvar,
+    batches: Mutex<VecDeque<Batch>>,
+    batch_cv: Condvar,
+    shutdown: AtomicBool,
+    scheduler_done: AtomicBool,
+    /// Monotone registration counter namespacing paged spill files, so
+    /// same-named models sharing a store directory cannot clobber (and
+    /// then silently serve) each other's weights.
+    model_seq: std::sync::atomic::AtomicUsize,
+}
+
+/// The multi-tenant inference server (see module docs). Register models
+/// and clients, [`Server::start`] the scheduler + workers, then submit
+/// encrypted requests from any thread.
+pub struct Server {
+    inner: Arc<Inner>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// A stopped server with the given policy.
+    pub fn new(cfg: ServeConfig) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                cfg,
+                models: RwLock::new(Vec::new()),
+                clients: RwLock::new(Vec::new()),
+                queue: Mutex::new(Admission::default()),
+                queue_cv: Condvar::new(),
+                batches: Mutex::new(VecDeque::new()),
+                batch_cv: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+                scheduler_done: AtomicBool::new(false),
+                model_seq: std::sync::atomic::AtomicUsize::new(0),
+            }),
+            threads: Vec::new(),
+        }
+    }
+
+    /// Hosts a compiled model with **fully resident** prepared weights:
+    /// builds a preparation session from `prep_seed` (its keys only serve
+    /// the setup-time activation replay; the encoded artifacts themselves
+    /// are key-independent and shared by every client of the model).
+    pub fn add_model(
+        &self,
+        name: &str,
+        compiled: Compiled,
+        params: CkksParams,
+        prep_seed: u64,
+    ) -> ModelId {
+        let prep = FheSession::new(params.clone(), &compiled, prep_seed);
+        let prepared = prep.prepare(&compiled);
+        self.install_model(name, compiled, params, prepared, None)
+    }
+
+    /// Hosts a compiled model with **memory-capped paged** weights: the
+    /// prepared layers are spilled into a [`DiagStore`] under `store_dir`
+    /// and faulted in on demand, LRU-evicted beyond `budget_bytes` — so
+    /// the model's encoded weight set may exceed RAM.
+    pub fn add_model_paged(
+        &self,
+        name: &str,
+        compiled: Compiled,
+        params: CkksParams,
+        prep_seed: u64,
+        store_dir: &Path,
+        budget_bytes: usize,
+    ) -> Result<ModelId, ServeError> {
+        let prep = FheSession::new(params.clone(), &compiled, prep_seed);
+        let prepared = prep.prepare(&compiled);
+        let store = DiagStore::open(store_dir).map_err(|error| ServeError::Store {
+            step: usize::MAX,
+            error,
+        })?;
+        // Per-registration sequence in the spill prefix: two same-named
+        // models sharing a store directory must not overwrite — and then
+        // silently serve — each other's encoded weights.
+        let seq = self
+            .inner
+            .model_seq
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let prefix = format!("{name}.m{seq}");
+        let paged =
+            PagedProgram::page_out(&prepared, store, &prefix, budget_bytes).map_err(|error| {
+                ServeError::Store {
+                    step: usize::MAX,
+                    error,
+                }
+            })?;
+        // `prepared` (the resident copy) drops here: only the pager's
+        // resident set occupies memory from now on.
+        let paged = Arc::new(paged);
+        Ok(self.install_model(name, compiled, params, paged.clone(), Some(paged)))
+    }
+
+    fn install_model(
+        &self,
+        name: &str,
+        compiled: Compiled,
+        params: CkksParams,
+        source: Arc<dyn LayerSource>,
+        paged: Option<Arc<PagedProgram>>,
+    ) -> ModelId {
+        let mut models = self.inner.models.write();
+        models.push(ModelEntry {
+            name: name.to_string(),
+            compiled: Arc::new(compiled),
+            params,
+            source,
+            paged,
+            metrics: Arc::new(ModelMetrics::default()),
+        });
+        ModelId(models.len() - 1)
+    }
+
+    /// Registers a client of `model`: generates the client's own key
+    /// material (seeded) and binds its session to the model's program.
+    pub fn add_client(&self, model: ModelId, seed: u64) -> Result<ClientId, ServeError> {
+        let models = self.inner.models.read();
+        let entry = models.get(model.0).ok_or(ServeError::UnknownModel(model))?;
+        let session = Arc::new(FheSession::new(entry.params.clone(), &entry.compiled, seed));
+        drop(models);
+        let mut clients = self.inner.clients.write();
+        clients.push(ClientEntry { model, session });
+        Ok(ClientId(clients.len() - 1))
+    }
+
+    /// The client's session (for client-side encrypt/decrypt in tests and
+    /// examples; a real deployment keeps this on the client).
+    pub fn session(&self, client: ClientId) -> Result<Arc<FheSession>, ServeError> {
+        let clients = self.inner.clients.read();
+        clients
+            .get(client.0)
+            .map(|c| c.session.clone())
+            .ok_or(ServeError::UnknownClient(client))
+    }
+
+    /// The compiled program a client is bound to.
+    pub fn compiled(&self, client: ClientId) -> Result<Arc<Compiled>, ServeError> {
+        let clients = self.inner.clients.read();
+        let entry = clients
+            .get(client.0)
+            .ok_or(ServeError::UnknownClient(client))?;
+        let models = self.inner.models.read();
+        Ok(models[entry.model.0].compiled.clone())
+    }
+
+    /// Client-side encryption helper: packs and encrypts `input` under the
+    /// client's keys, ready for [`Server::submit`].
+    pub fn encrypt(&self, client: ClientId, input: &Tensor) -> Result<Vec<Ciphertext>, ServeError> {
+        let session = self.session(client)?;
+        let compiled = self.compiled(client)?;
+        Ok(session.encrypt_input(&compiled, input))
+    }
+
+    /// Paging counters for a model (`None` when it serves resident).
+    pub fn page_stats(&self, model: ModelId) -> Option<PageStats> {
+        let models = self.inner.models.read();
+        models.get(model.0)?.paged.as_ref().map(|p| p.stats())
+    }
+
+    /// Spawns the scheduler and worker threads. Idempotent-ish: call once.
+    pub fn start(&mut self) {
+        assert!(self.threads.is_empty(), "server already started");
+        let workers = self.inner.cfg.workers.max(1);
+        let inner = self.inner.clone();
+        self.threads.push(
+            std::thread::Builder::new()
+                .name("orion-serve-scheduler".into())
+                .spawn(move || scheduler_loop(&inner))
+                .expect("spawn scheduler"),
+        );
+        for w in 0..workers {
+            let inner = self.inner.clone();
+            self.threads.push(
+                std::thread::Builder::new()
+                    .name(format!("orion-serve-worker-{w}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker"),
+            );
+        }
+    }
+
+    /// Submits one encrypted request for `client`'s model. Returns a
+    /// [`Ticket`] immediately; rejects with [`ServeError::QueueFull`] when
+    /// the admission queue is at capacity.
+    pub fn submit(&self, client: ClientId, cts: Vec<Ciphertext>) -> Result<Ticket, ServeError> {
+        let inner = &self.inner;
+        if inner.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let model = {
+            let clients = inner.clients.read();
+            clients
+                .get(client.0)
+                .ok_or(ServeError::UnknownClient(client))?
+                .model
+        };
+        let metrics = inner.models.read()[model.0].metrics.clone();
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut q = inner.queue.lock();
+            // re-check under the lock: a request admitted after the
+            // scheduler drains and exits would never be scheduled
+            if inner.shutdown.load(Ordering::Acquire) {
+                return Err(ServeError::ShuttingDown);
+            }
+            if q.total >= inner.cfg.queue_capacity {
+                return Err(ServeError::QueueFull {
+                    capacity: inner.cfg.queue_capacity,
+                });
+            }
+            q.per_model.entry(model.0).or_default().push_back(Request {
+                client,
+                enqueued: Instant::now(),
+                cts,
+                tx,
+            });
+            q.total += 1;
+            // depth is bumped before the queue lock drops, so the scheduler
+            // can never note_batch this request first and underflow the gauge
+            metrics.note_submit();
+        }
+        inner.queue_cv.notify_all();
+        Ok(Ticket { rx })
+    }
+
+    /// Convenience: submit and block until the result arrives.
+    pub fn infer(&self, client: ClientId, cts: Vec<Ciphertext>) -> Result<ServeOutput, ServeError> {
+        self.submit(client, cts)?.wait()
+    }
+
+    /// One JSON snapshot of every model's serving metrics.
+    pub fn metrics(&self) -> Value {
+        let queue_total = self.inner.queue.lock().total;
+        let models = self.inner.models.read();
+        Value::Obj(vec![
+            ("queue_total".to_string(), Value::Num(queue_total as f64)),
+            (
+                "workers".to_string(),
+                Value::Num(self.inner.cfg.workers as f64),
+            ),
+            (
+                "models".to_string(),
+                Value::Arr(
+                    models
+                        .iter()
+                        .map(|m| {
+                            m.metrics
+                                .snapshot(&m.name, m.paged.as_ref().map(|p| p.stats()))
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// [`Server::metrics`] pretty-printed.
+    pub fn metrics_json(&self) -> String {
+        serde_json::to_string_pretty(&self.metrics()).expect("metrics serialize")
+    }
+
+    /// Stops accepting requests, drains the queue, and joins all threads.
+    /// Already-admitted requests complete; `wait()` on anything submitted
+    /// afterwards reports [`ServeError::ShuttingDown`].
+    pub fn shutdown(&mut self) {
+        if self.inner.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.inner.queue_cv.notify_all();
+        self.inner.batch_cv.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The batcher: flushes a model's FIFO when it reaches `max_batch` or its
+/// oldest request has waited `max_wait`; otherwise sleeps until the
+/// nearest deadline or a new submission.
+fn scheduler_loop(inner: &Inner) {
+    let max_batch = inner.cfg.max_batch.max(1);
+    let max_wait = inner.cfg.max_wait;
+    let mut guard = inner.queue.lock();
+    loop {
+        let draining = inner.shutdown.load(Ordering::Acquire);
+        let now = Instant::now();
+        // Among qualifying models, flush the one whose front request is
+        // oldest — first-in-iteration-order would let one busy tenant
+        // starve the others indefinitely.
+        let mut flush: Option<(usize, Instant)> = None;
+        let mut nearest: Option<Duration> = None;
+        for (&m, q) in guard.per_model.iter() {
+            let Some(front) = q.front() else { continue };
+            if draining || q.len() >= max_batch || now.duration_since(front.enqueued) >= max_wait {
+                if flush.is_none_or(|(_, t)| front.enqueued < t) {
+                    flush = Some((m, front.enqueued));
+                }
+            } else {
+                let remain = max_wait - now.duration_since(front.enqueued);
+                nearest = Some(nearest.map_or(remain, |d| d.min(remain)));
+            }
+        }
+        if let Some((m, _)) = flush {
+            let q = guard.per_model.get_mut(&m).expect("flushable model");
+            let n = q.len().min(max_batch);
+            let reqs: Vec<Request> = q.drain(..n).collect();
+            guard.total -= n;
+            drop(guard);
+            inner.models.read()[m].metrics.note_batch(reqs.len());
+            {
+                let mut batches = inner.batches.lock();
+                batches.push_back(Batch {
+                    model: ModelId(m),
+                    reqs,
+                });
+            }
+            inner.batch_cv.notify_one();
+            guard = inner.queue.lock();
+            continue;
+        }
+        if draining {
+            // queue fully drained into batches
+            break;
+        }
+        guard = match nearest {
+            Some(d) => {
+                inner
+                    .queue_cv
+                    .wait_timeout(guard, d)
+                    .unwrap_or_else(|e| e.into_inner())
+                    .0
+            }
+            None => inner
+                .queue_cv
+                .wait(guard)
+                .unwrap_or_else(|e| e.into_inner()),
+        };
+    }
+    drop(guard);
+    inner.scheduler_done.store(true, Ordering::Release);
+    inner.batch_cv.notify_all();
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let batch = {
+            let mut guard = inner.batches.lock();
+            loop {
+                if let Some(b) = guard.pop_front() {
+                    break b;
+                }
+                if inner.scheduler_done.load(Ordering::Acquire) {
+                    return;
+                }
+                guard = inner
+                    .batch_cv
+                    .wait(guard)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        run_batch(inner, batch);
+    }
+}
+
+/// Executes a batch's requests in admission order. One shared fault of a
+/// paged layer serves every request in the batch — the amortization
+/// batching buys under a memory cap. Each request is isolated with
+/// `catch_unwind`, so a store fault (or any panic) fails that request
+/// alone and the worker keeps serving.
+fn run_batch(inner: &Inner, batch: Batch) {
+    let occupancy = batch.reqs.len();
+    // Clone the model's shared handles and release the registry lock
+    // before executing: a worker runs seconds of FHE per request, and
+    // holding the read guard that long would stall model registration
+    // (and, on writer-preferring RwLocks, every reader behind it).
+    let (compiled, source, metrics) = {
+        let models = inner.models.read();
+        let model = &models[batch.model.0];
+        (
+            model.compiled.clone(),
+            model.source.clone(),
+            model.metrics.clone(),
+        )
+    };
+    for req in batch.reqs {
+        let Request {
+            client,
+            enqueued,
+            cts,
+            tx,
+        } = req;
+        let session = {
+            let clients = inner.clients.read();
+            clients[client.0].session.clone()
+        };
+        let queue_seconds = enqueued.elapsed().as_secs_f64();
+        let compiled = compiled.clone();
+        let source = source.clone();
+        let result = catch_unwind(AssertUnwindSafe(move || {
+            run_fhe_source_counted(&compiled, &session, source, cts)
+        }));
+        let resp = match result {
+            Ok((run, counter)) => {
+                metrics.note_done(queue_seconds + run.wall_seconds, counter.encodes);
+                Ok(ServeOutput {
+                    output: run.output,
+                    counter,
+                    wall_seconds: run.wall_seconds,
+                    queue_seconds,
+                    batch_size: occupancy,
+                })
+            }
+            Err(payload) => {
+                metrics.note_error();
+                Err(fault_to_error(payload))
+            }
+        };
+        // a dropped ticket is fine — the client stopped listening
+        let _ = tx.send(resp);
+    }
+}
+
+fn fault_to_error(payload: Box<dyn std::any::Any + Send>) -> ServeError {
+    match payload.downcast::<PreparedLayerFault>() {
+        Ok(fault) => ServeError::Store {
+            step: fault.step,
+            error: fault.error,
+        },
+        Err(other) => {
+            let msg = other
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| other.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            ServeError::WorkerPanic(msg)
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! The serving acceptance test: two models hosted side by side, two
+//! concurrent clients per model, all requests flowing through the
+//! admission queue and dynamic batcher, weights served from LRU pagers
+//! whose byte budgets are **smaller than the encoded-weight footprint** —
+//! and every response bit-exact against the direct (no queue, no paging)
+//! prepared path with zero per-inference encodes, linear *and* activation.
+
+use orion_ckks::CkksParams;
+use orion_nn::compile::{compile, CompileOptions, Compiled};
+use orion_nn::fhe_exec::{run_fhe_prepared_cts, FheSession};
+use orion_nn::fit::fixed_ranges;
+use orion_nn::network::Network;
+use orion_serve::{ClientId, ServeConfig, ServeError, Server};
+use orion_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Value;
+use std::time::Duration;
+
+/// Insecure test parameters with enough level headroom that the nets below
+/// run bootstrap-free (the bootstrap oracle draws shared randomness, which
+/// would break request-level determinism).
+fn headroom_params(max_level: usize) -> CkksParams {
+    CkksParams {
+        n: 1 << 10,
+        log_scale: 30,
+        q0_bits: 45,
+        max_level,
+        special_bits: 45,
+        sigma: 3.2,
+        boot_levels: 1,
+    }
+}
+
+/// Model A: dense → square → dense on 1×8×8 (square activation).
+fn square_model(seed: u64) -> (Compiled, CkksParams, [usize; 3]) {
+    let params = headroom_params(6);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = Network::new(1, 8, 8);
+    let x = net.input();
+    let f = net.flatten("flat", x);
+    let l1 = net.linear("fc1", f, 16, &mut rng);
+    let a = net.square("act", l1);
+    let l2 = net.linear("fc2", a, 4, &mut rng);
+    net.output(l2);
+    let compiled = compile(
+        &net,
+        &fixed_ranges(&net, 4.0),
+        &CompileOptions::from_params(&params),
+    );
+    (compiled, params, [1, 8, 8])
+}
+
+/// Model B: dense → SiLU(deg 3) → dense on 1×4×4 (a real poly stage, so
+/// the zero-encode claim covers cached activation constants too).
+fn silu_model(seed: u64) -> (Compiled, CkksParams, [usize; 3]) {
+    let params = headroom_params(9);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = Network::new(1, 4, 4);
+    let x = net.input();
+    let f = net.flatten("flat", x);
+    let l1 = net.linear("fc1", f, 8, &mut rng);
+    let a = net.silu("act", l1, 3);
+    let l2 = net.linear("fc2", a, 3, &mut rng);
+    net.output(l2);
+    let compiled = compile(
+        &net,
+        &fixed_ranges(&net, 4.0),
+        &CompileOptions::from_params(&params),
+    );
+    (compiled, params, [1, 4, 4])
+}
+
+fn random_input(shape: &[usize; 3], rng: &mut StdRng) -> Tensor {
+    let n = shape.iter().product();
+    Tensor::from_vec(
+        &shape[..],
+        (0..n).map(|_| rng.gen_range(-0.5..0.5)).collect(),
+    )
+}
+
+#[test]
+fn serve_two_models_two_clients_under_memory_cap() {
+    let mut server = Server::new(ServeConfig {
+        max_batch: 3,
+        max_wait: Duration::from_millis(20),
+        workers: 2,
+        queue_capacity: 64,
+    });
+
+    let mut model_ids = Vec::new();
+    let mut references = Vec::new();
+    let mut shapes = Vec::new();
+    for (idx, (compiled, params, shape)) in [square_model(0x5e_001), silu_model(0x5e_002)]
+        .into_iter()
+        .enumerate()
+    {
+        assert_eq!(
+            compiled.placement.boot_count, 0,
+            "model {idx}: bit-exactness needs a bootstrap-free program"
+        );
+        // The direct-path reference cache; encodings are key-independent,
+        // so this also tells us the footprint the pager's budget must undercut.
+        let prep = FheSession::new(params.clone(), &compiled, 0x0eed + idx as u64);
+        let reference = prep.prepare(&compiled);
+        let footprint = reference.approx_bytes();
+        assert!(footprint > 0);
+        let dir = std::env::temp_dir().join(format!("orion_serve_smoke_m{idx}"));
+        std::fs::remove_dir_all(&dir).ok();
+        let model = server
+            .add_model_paged(
+                &format!("model-{idx}"),
+                compiled,
+                params,
+                0x9e_e0 + idx as u64,
+                &dir,
+                footprint * 2 / 3, // cap < total encoded-weight footprint
+            )
+            .expect("paged registration");
+        model_ids.push(model);
+        references.push(reference);
+        shapes.push(shape);
+    }
+
+    // Two clients per model, each with its own keys.
+    let clients: Vec<(usize, ClientId)> = (0..4)
+        .map(|i| {
+            let model_idx = i / 2;
+            (
+                model_idx,
+                server
+                    .add_client(model_ids[model_idx], 0xc11e_0000 + i as u64)
+                    .expect("client registration"),
+            )
+        })
+        .collect();
+
+    server.start();
+
+    const REQUESTS_PER_CLIENT: usize = 3;
+    std::thread::scope(|scope| {
+        for (tid, &(model_idx, client)) in clients.iter().enumerate() {
+            let server = &server;
+            let reference = &references[model_idx];
+            let shape = shapes[model_idx];
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0x1234_5678 + tid as u64);
+                let session = server.session(client).expect("session");
+                let compiled = server.compiled(client).expect("compiled");
+                // Encrypt everything up front and submit before waiting, so
+                // the batcher sees genuine concurrency per model.
+                let inputs: Vec<Tensor> = (0..REQUESTS_PER_CLIENT)
+                    .map(|_| random_input(&shape, &mut rng))
+                    .collect();
+                let requests: Vec<_> = inputs
+                    .iter()
+                    .map(|input| server.encrypt(client, input).expect("encrypt"))
+                    .collect();
+                let tickets: Vec<_> = requests
+                    .iter()
+                    .map(|cts| server.submit(client, cts.clone()).expect("submit"))
+                    .collect();
+                for (ticket, cts) in tickets.into_iter().zip(requests) {
+                    let served = ticket.wait().expect("serve result");
+                    assert_eq!(
+                        served.counter.encodes, 0,
+                        "client {tid}: a prepared model must serve with zero \
+                         per-inference encodes (linear and activation)"
+                    );
+                    assert!(served.batch_size >= 1);
+                    // Bit-exact against the direct resident prepared path on
+                    // the same encrypted request.
+                    let (direct, direct_counter) =
+                        run_fhe_prepared_cts(&compiled, &session, reference, cts);
+                    assert_eq!(
+                        served.output.data(),
+                        direct.output.data(),
+                        "client {tid}: paged+batched serving must be bit-exact"
+                    );
+                    assert_eq!(served.counter.all(), direct_counter.all());
+                }
+            });
+        }
+    });
+
+    // Paging really happened: the cap forced evictions on both models.
+    for (idx, &model) in model_ids.iter().enumerate() {
+        let stats = server.page_stats(model).expect("paged model has stats");
+        assert!(stats.faults > 0, "model {idx}: no page faults recorded");
+        assert!(
+            stats.evictions > 0,
+            "model {idx}: a cap below the footprint must evict (stats: {stats:?})"
+        );
+    }
+
+    // Metrics snapshot: everything completed, queues drained.
+    let metrics = server.metrics();
+    let models = match metrics.get("models") {
+        Some(Value::Arr(models)) => models,
+        other => panic!("metrics.models missing: {other:?}"),
+    };
+    let total_completed: f64 = models
+        .iter()
+        .map(|m| m.get("completed").and_then(Value::as_f64).unwrap())
+        .sum();
+    assert_eq!(
+        total_completed,
+        (clients.len() * REQUESTS_PER_CLIENT) as f64
+    );
+    for m in models {
+        assert_eq!(m.get("errors").and_then(Value::as_f64).unwrap(), 0.0);
+        assert_eq!(m.get("queue_depth").and_then(Value::as_f64).unwrap(), 0.0);
+        assert!(m.get("page").is_some());
+        assert_eq!(
+            m.get("encodes_per_inference_total")
+                .and_then(Value::as_f64)
+                .unwrap(),
+            0.0
+        );
+    }
+    println!("{}", server.metrics_json());
+    server.shutdown();
+    for idx in 0..model_ids.len() {
+        std::fs::remove_dir_all(std::env::temp_dir().join(format!("orion_serve_smoke_m{idx}")))
+            .ok();
+    }
+}
+
+#[test]
+fn corrupt_spill_file_fails_one_request_not_the_pool() {
+    let mut server = Server::new(ServeConfig {
+        max_batch: 1,
+        max_wait: Duration::from_millis(1),
+        workers: 1,
+        queue_capacity: 8,
+    });
+    let (compiled, params, shape) = square_model(0x5e_003);
+    let dir = std::env::temp_dir().join("orion_serve_corrupt");
+    std::fs::remove_dir_all(&dir).ok();
+    let model = server
+        .add_model_paged("fragile", compiled, params, 7, &dir, 1)
+        .expect("register");
+    let client = server.add_client(model, 8).expect("client");
+    server.start();
+
+    let mut rng = StdRng::seed_from_u64(9);
+    let input = random_input(&shape, &mut rng);
+    let cts = server.encrypt(client, &input).expect("encrypt");
+
+    // Healthy request first.
+    let ok = server.infer(client, cts.clone()).expect("healthy serve");
+    assert_eq!(ok.counter.encodes, 0);
+
+    // Truncate one layer's spill meta behind the pager's back. Budget 1
+    // byte ⇒ nothing stays resident, so the next request must re-fault it.
+    let victim = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "meta"))
+        .expect("a spill meta file exists");
+    std::fs::write(&victim, b"ORIONPP1").unwrap();
+    match server.infer(client, cts.clone()) {
+        Err(ServeError::Store { .. }) => {}
+        other => panic!(
+            "expected a typed per-request store error, got {:?}",
+            other.map(|o| o.counter.encodes)
+        ),
+    }
+
+    // The worker survived: repair the file and serve again.
+    std::fs::remove_dir_all(&dir).ok();
+    // (file gone entirely now → still an error, but a *per-request* one)
+    match server.infer(client, cts) {
+        Err(ServeError::Store { .. }) => {}
+        other => panic!("expected store error, got {:?}", other.is_ok()),
+    }
+    let metrics = server.metrics_json();
+    assert!(metrics.contains("\"errors\": 2"));
+    server.shutdown();
+}

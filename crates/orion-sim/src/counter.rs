@@ -92,11 +92,13 @@ pub struct OpCounter {
     pub linear_seconds: f64,
     /// Modeled latency attributed to bootstrapping.
     pub bootstrap_seconds: f64,
-    /// Per-inference slot-vector plaintext encodes (inverse FFT + NTT per
-    /// limb). The on-the-fly linear path encodes every weight diagonal and
-    /// bias block per request; the prepared path pays them once at setup,
-    /// so this field is **zero** per inference there. FFT-free constant
-    /// encodes (activation scalars) are exempt.
+    /// Per-inference plaintext encodes. The on-the-fly linear path encodes
+    /// every weight diagonal and bias block per request (inverse FFT + NTT
+    /// per limb), and every on-the-fly poly stage encodes its Chebyshev
+    /// coefficient / alignment constants (FFT-free but still per-limb NTT
+    /// work); the prepared path pays all of them once at setup, so this
+    /// field is **zero** per inference there. The single-constant scalar
+    /// multiplies of scale-down / relu-final / square steps are exempt.
     pub encodes: u64,
 }
 

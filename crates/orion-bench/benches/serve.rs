@@ -146,6 +146,16 @@ fn main() {
         ),
         ("page_faults".into(), Value::Num(stats.faults as f64)),
         ("page_evictions".into(), Value::Num(stats.evictions as f64)),
+        // scheduler-issued prefetches that turned would-be blocking
+        // faults (page_faults) into hits
+        (
+            "page_prefetches".into(),
+            Value::Num(stats.prefetches as f64),
+        ),
+        (
+            "page_prefetch_hits".into(),
+            Value::Num(stats.prefetch_hits as f64),
+        ),
         (
             "encodes_per_request_total".into(),
             Value::Num(encodes_served as f64),

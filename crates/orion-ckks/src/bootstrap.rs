@@ -25,12 +25,21 @@ use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
 /// Level-reset oracle standing in for true CKKS bootstrapping.
+///
+/// `refresh` is a **pure function** of the input ciphertext: the noise and
+/// re-encryption randomness are drawn from an RNG seeded by hashing the
+/// ciphertext's limbs with the oracle's base seed. Refreshing the same
+/// ciphertext always yields the same result, no matter which thread does
+/// it or in what order — the property the wire-level parallel scheduler
+/// needs (bootstraps of independent ciphertexts run concurrently, and
+/// scheduler order must not change results), and what makes
+/// bootstrap-deep models serve bit-reproducibly.
 pub struct BootstrapOracle {
     ctx: Arc<Context>,
     encoder: Encoder,
     encryptor: Encryptor,
     decryptor: Decryptor,
-    rng: parking_lot::Mutex<StdRng>,
+    seed: u64,
     /// Relative precision of the simulated bootstrap (bits); real
     /// high-precision CKKS bootstraps land around 20–30 bits.
     pub precision_bits: f64,
@@ -45,10 +54,31 @@ impl BootstrapOracle {
             encryptor: Encryptor::with_secret_key(ctx.clone(), sk.clone()),
             decryptor: Decryptor::new(ctx.clone(), sk),
             ctx,
-            rng: parking_lot::Mutex::new(StdRng::seed_from_u64(0x0b007)),
+            seed: 0x0b007,
             precision_bits: 24.0,
             count: std::sync::atomic::AtomicU64::new(0),
         }
+    }
+
+    /// FNV-1a over the ciphertext's content — the per-refresh RNG seed, so
+    /// identical inputs refresh identically (determinism, not security:
+    /// the oracle already holds the secret key).
+    fn ct_seed(&self, ct: &Ciphertext) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        mix(self.seed);
+        mix(ct.scale.to_bits());
+        for poly in [&ct.c0, &ct.c1] {
+            for limb in &poly.limbs {
+                for &v in limb {
+                    mix(v);
+                }
+            }
+        }
+        h
     }
 
     /// Refreshes `ct` to level `L_eff` at scale Δ, adding
@@ -64,7 +94,7 @@ impl BootstrapOracle {
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let vals = self.encoder.decode_complex(&self.decryptor.decrypt(ct));
         let sigma = (-self.precision_bits).exp2();
-        let mut rng = self.rng.lock();
+        let mut rng = StdRng::seed_from_u64(self.ct_seed(ct));
         let noisy: Vec<orion_math::fft::Complex> = vals
             .iter()
             .map(|v| {
@@ -77,7 +107,7 @@ impl BootstrapOracle {
         let pt = self
             .encoder
             .encode_complex(&noisy, self.ctx.scale(), level, false);
-        self.encryptor.encrypt(&pt, &mut *rng)
+        self.encryptor.encrypt(&pt, &mut rng)
     }
 
     /// Number of refreshes performed so far.
@@ -116,6 +146,29 @@ mod tests {
         for (a, b) in vals.iter().zip(&out) {
             assert!((a - b).abs() < 1e-4, "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn refresh_is_a_pure_function_of_the_ciphertext() {
+        let ctx = Context::new(CkksParams::tiny());
+        let kg = KeyGenerator::new(ctx.clone(), StdRng::seed_from_u64(45));
+        let sk = kg.secret_key();
+        let enc = Encoder::new(ctx.clone());
+        let encryptor = Encryptor::with_secret_key(ctx.clone(), sk.clone());
+        let oracle = BootstrapOracle::new(ctx.clone(), sk);
+        let mut rng = StdRng::seed_from_u64(46);
+        let vals: Vec<f64> = (0..ctx.slots()).map(|i| (i % 5) as f64 * 0.1).collect();
+        let ct = encryptor.encrypt(&enc.encode(&vals, ctx.scale(), 0, false), &mut rng);
+        // same input → bit-identical refresh, regardless of call order
+        let a = oracle.refresh(&ct);
+        let other = encryptor.encrypt(&enc.encode(&vals, ctx.scale(), 1, false), &mut rng);
+        let interleaved = oracle.refresh(&other);
+        let b = oracle.refresh(&ct);
+        assert_eq!(a.c0, b.c0, "refresh must be deterministic per ciphertext");
+        assert_eq!(a.c1, b.c1);
+        assert_eq!(a.scale, b.scale);
+        // distinct inputs draw distinct noise streams
+        assert_ne!(a.c0, interleaved.c0);
     }
 
     #[test]

@@ -32,10 +32,11 @@ use std::sync::Arc;
 pub use orion_linear::paged::{LayerSource, PageStats, PagedProgram};
 pub use orion_linear::prepared::{PreparedLayer, PreparedProgram as Prepared};
 pub use orion_linear::store::{DiagStore, StoreError};
-pub use orion_nn::backend::{run_program, Counting, EvalBackend};
+pub use orion_nn::backend::{run_program, run_program_mode, Counting, EvalBackend};
 pub use orion_nn::backends::{CkksBackend, PlainBackend, TraceBackend};
 pub use orion_nn::compile::Step;
 pub use orion_nn::fhe_exec::FheSession as Session;
+pub use orion_nn::sched::{ExecPlan, SchedMode};
 
 /// The multi-tenant serving layer: session registry, admission queue +
 /// dynamic batcher, memory-capped paged weights, serving metrics. See
@@ -158,8 +159,10 @@ pub fn fhe_inference_prepared(
 
 /// Real-CKKS inference over a batch of inputs sharing one session's key
 /// material, parallel across the shared rayon pool (the evaluator is
-/// read-only during execution; the session RNG and bootstrap oracle are
-/// internally synchronized). The weight cache is built **once** and shared
+/// read-only during execution, the session RNG is internally synchronized,
+/// and the bootstrap oracle is a deterministic per-ciphertext function —
+/// each inference additionally runs as a wire-level parallel dataflow
+/// plan). The weight cache is built **once** and shared
 /// by every inference in the batch, so the per-request encode cost is
 /// amortized to zero. Results are in input order.
 pub fn fhe_inference_batch(

@@ -35,6 +35,15 @@ pub trait LayerSource: Send + Sync {
     /// The prepared layer for `step`, faulting it in if the source pages.
     fn fetch_layer(&self, step: usize) -> Result<Option<Arc<PreparedLayer>>, StoreError>;
 
+    /// Advisory: the scheduler announces that `step`'s layer is about to
+    /// be needed, so a paging source can fault it into residency off the
+    /// execution path (the call runs as its own pool task). Must not
+    /// affect results; errors are swallowed here and surfaced by the real
+    /// [`LayerSource::fetch_layer`]. Default: no-op (resident sources).
+    fn prefetch(&self, step: usize) {
+        let _ = step;
+    }
+
     /// The recorded activation constants for poly-stage `step`, if any
     /// (small, always resident).
     fn activation(&self, step: usize) -> Option<Arc<PreparedActivation>>;
@@ -57,12 +66,19 @@ impl LayerSource for PreparedProgram {
 /// Counters describing a pager's behaviour so far.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PageStats {
-    /// Layer loads from disk (first touch or touch-after-eviction).
+    /// Blocking layer loads from disk on the fetch path (first touch or
+    /// touch-after-eviction, paid for by an executing inference).
     pub faults: u64,
     /// Layers dropped from the resident set to respect the budget.
     pub evictions: u64,
     /// Fetches served from the resident set.
     pub hits: u64,
+    /// Layer loads performed by [`LayerSource::prefetch`] off the
+    /// execution path.
+    pub prefetches: u64,
+    /// Fetches whose layer had been brought resident by a prefetch — the
+    /// blocking faults the prefetcher converted into hits.
+    pub prefetch_hits: u64,
     /// Bytes currently resident.
     pub resident_bytes: u64,
     /// Layers currently resident.
@@ -75,6 +91,12 @@ struct Resident {
     /// Front = least recently used.
     order: VecDeque<usize>,
     bytes: usize,
+    /// Steps whose resident copy was loaded by a prefetch and not yet
+    /// touched by a fetch (each prefetch gets credited at most once).
+    prefetched: std::collections::HashSet<usize>,
+    /// Steps with a disk load in flight — the lock is released during
+    /// the read, and this set keeps same-layer loads single-flight.
+    loading: std::collections::HashSet<usize>,
 }
 
 struct PagedEntry {
@@ -95,6 +117,8 @@ pub struct PagedProgram {
     faults: AtomicU64,
     evictions: AtomicU64,
     hits: AtomicU64,
+    prefetches: AtomicU64,
+    prefetch_hits: AtomicU64,
 }
 
 impl PagedProgram {
@@ -130,6 +154,8 @@ impl PagedProgram {
             faults: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             hits: AtomicU64::new(0),
+            prefetches: AtomicU64::new(0),
+            prefetch_hits: AtomicU64::new(0),
         })
     }
 
@@ -151,8 +177,28 @@ impl PagedProgram {
             faults: self.faults.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
+            prefetches: self.prefetches.load(Ordering::Relaxed),
+            prefetch_hits: self.prefetch_hits.load(Ordering::Relaxed),
             resident_bytes: st.bytes as u64,
             resident_layers: st.map.len() as u64,
+        }
+    }
+
+    /// Inserts a freshly loaded layer into the resident set (caller holds
+    /// the state lock), evicting LRU-first down to the budget. The
+    /// just-inserted layer is never evicted here (an in-flight inference
+    /// holds it anyway), so a single layer larger than the budget stays
+    /// resident until the next load pushes it out.
+    fn admit(&self, st: &mut Resident, step: usize, layer: Arc<PreparedLayer>, bytes: usize) {
+        st.bytes += bytes;
+        st.map.insert(step, layer);
+        st.order.push_back(step);
+        while st.bytes > self.budget_bytes && st.order.len() > 1 {
+            let victim = st.order.pop_front().expect("len > 1");
+            st.map.remove(&victim);
+            st.prefetched.remove(&victim);
+            st.bytes -= self.entries[&victim].bytes;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -166,32 +212,65 @@ impl LayerSource for PagedProgram {
         let Some(entry) = self.entries.get(&step) else {
             return Ok(None);
         };
-        // The lock covers the disk load: concurrent faults serialize, which
-        // keeps the resident accounting exact (and double-loading the same
-        // layer from two threads would waste the budget it protects).
+        // Disk loads happen OUTSIDE the lock (an in-flight load of one
+        // layer must not stall hits on other layers); the `loading` set
+        // keeps concurrent loads of the SAME layer single-flight, so the
+        // resident accounting and the byte budget stay exact.
         let mut st = self.state.lock();
-        if let Some(layer) = st.map.get(&step).cloned() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            st.order.retain(|&s| s != step);
-            st.order.push_back(step);
-            return Ok(Some(layer));
+        loop {
+            if let Some(layer) = st.map.get(&step).cloned() {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                if st.prefetched.remove(&step) {
+                    // a prefetch turned this blocking fault into a hit
+                    self.prefetch_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                st.order.retain(|&s| s != step);
+                st.order.push_back(step);
+                return Ok(Some(layer));
+            }
+            if !st.loading.contains(&step) {
+                break;
+            }
+            // someone else (a prefetch unit or another fetch) is reading
+            // this layer from disk — wait without holding the lock
+            drop(st);
+            std::thread::sleep(std::time::Duration::from_micros(50));
+            st = self.state.lock();
         }
-        let layer = Arc::new(PreparedLayer::load(&self.store, &entry.name)?);
+        st.loading.insert(step);
+        drop(st);
+        let loaded = PreparedLayer::load(&self.store, &entry.name);
+        let mut st = self.state.lock();
+        st.loading.remove(&step);
+        let layer = Arc::new(loaded?);
         self.faults.fetch_add(1, Ordering::Relaxed);
-        st.bytes += entry.bytes;
-        st.map.insert(step, layer.clone());
-        st.order.push_back(step);
-        // Evict LRU-first until within budget; the just-faulted layer is
-        // never evicted here (an in-flight inference holds it anyway), so a
-        // single layer larger than the budget stays resident until the next
-        // fault pushes it out.
-        while st.bytes > self.budget_bytes && st.order.len() > 1 {
-            let victim = st.order.pop_front().expect("len > 1");
-            st.map.remove(&victim);
-            st.bytes -= self.entries[&victim].bytes;
-            self.evictions.fetch_add(1, Ordering::Relaxed);
-        }
+        self.admit(&mut st, step, layer.clone(), entry.bytes);
         Ok(Some(layer))
+    }
+
+    fn prefetch(&self, step: usize) {
+        let Some(entry) = self.entries.get(&step) else {
+            return;
+        };
+        {
+            let mut st = self.state.lock();
+            if st.map.contains_key(&step) || st.loading.contains(&step) {
+                return; // resident or already being read — nothing to do
+            }
+            st.loading.insert(step);
+        }
+        // The read happens with the lock RELEASED: concurrent fetches of
+        // other layers (and hits) proceed; a fetch of THIS layer waits on
+        // the `loading` guard and then scores a prefetch hit.
+        let loaded = PreparedLayer::load(&self.store, &entry.name);
+        let mut st = self.state.lock();
+        st.loading.remove(&step);
+        let Ok(layer) = loaded else {
+            return; // the consuming fetch will surface the typed error
+        };
+        self.prefetches.fetch_add(1, Ordering::Relaxed);
+        self.admit(&mut st, step, Arc::new(layer), entry.bytes);
+        st.prefetched.insert(step);
     }
 
     fn activation(&self, step: usize) -> Option<Arc<PreparedActivation>> {
@@ -276,6 +355,50 @@ mod tests {
             assert!(stats.resident_bytes <= (layer_bytes * 3 / 2) as u64);
         }
         assert_eq!(paged.stats().hits, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prefetch_converts_blocking_faults_into_hits() {
+        let ctx = Context::new(CkksParams::tiny());
+        let enc = Encoder::new(ctx);
+        let prog = sample_program(&enc, 3);
+        let layer_bytes = prog.layer(0).unwrap().approx_bytes();
+        let dir = std::env::temp_dir().join("orion_paged_prefetch_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = DiagStore::open(&dir).unwrap();
+        let paged = PagedProgram::page_out(&prog, store, "m", layer_bytes * 3 / 2).unwrap();
+
+        // prefetch then fetch: the load is a prefetch, the fetch a hit
+        paged.prefetch(0);
+        let s = paged.stats();
+        assert_eq!((s.prefetches, s.faults, s.prefetch_hits), (1, 0, 0));
+        let a = paged.fetch_layer(0).unwrap().unwrap();
+        let s = paged.stats();
+        assert_eq!(
+            (s.prefetches, s.faults, s.prefetch_hits, s.hits),
+            (1, 0, 1, 1)
+        );
+        // the prefetched copy is bit-identical to the spilled layer
+        let want = prog.layer(0).unwrap();
+        for (blk, diags) in &want.diags {
+            for (k, pt) in diags {
+                assert_eq!(a.diags[blk][k].poly, pt.poly);
+            }
+        }
+        // prefetching a resident layer is a no-op; a later plain fetch of
+        // an unprefetched layer is a blocking fault
+        paged.prefetch(0);
+        paged.fetch_layer(1).unwrap().unwrap();
+        let s = paged.stats();
+        assert_eq!((s.prefetches, s.faults), (1, 1));
+        // a prefetched layer evicted before use never earns a hit credit
+        paged.prefetch(2); // evicts 0 (budget ~1.5 layers holds 1,2)
+        paged.fetch_layer(0).unwrap().unwrap(); // blocking re-fault
+        let s = paged.stats();
+        assert_eq!(s.prefetches, 2);
+        assert_eq!(s.prefetch_hits, 1, "evicted prefetch must not be credited");
+        assert!(s.faults >= 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,4 +1,4 @@
-//! The unified execution layer: one interpreter, pluggable engines.
+//! The unified execution layer: one dataflow scheduler, pluggable engines.
 //!
 //! A compiled Orion program (`compile::Step` list + placement policy) used
 //! to be interpreted three separate times — once for the cleartext trace
@@ -7,9 +7,12 @@
 //! `Ciphertext`/`Plaintext` types plus the primitive homomorphic
 //! instruction set (add / pmult / hmult / rotate / rescale / bootstrap)
 //! and the scale-schedule-aware composite steps (linear layer, activation
-//! stages); [`run_program`] is the **single** `Step` interpreter, generic
-//! over the backend. Three engines implement the trait (see
-//! [`crate::backends`]):
+//! stages). Engines are **`&self`**: keys, encoders, and evaluators are
+//! read-only at run time, and what little per-run state exists (injected
+//! request ciphertexts, drift counters) lives behind interior mutability —
+//! which is what lets [`run_program`] execute a program as a wire-level
+//! parallel dataflow plan ([`crate::sched`]) instead of a one-step-at-a-
+//! time loop. Three engines implement the trait (see [`crate::backends`]):
 //!
 //! * [`crate::backends::CkksBackend`] — real RNS-CKKS through
 //!   `Evaluator`/`FheSession`,
@@ -22,15 +25,20 @@
 //! Op-counting is a *decorator*: [`Counting`] wraps any backend and
 //! tallies every instruction into an [`OpCounter`] with modeled latency,
 //! so the paper's "# Rots" / "# Boots" columns are produced identically
-//! for every engine. Adding a GPU, multi-party, or sharded engine is one
-//! trait impl — the interpreter, the counting, and the placement logic
-//! are shared.
+//! for every engine. Tallies are sharded per scheduled unit and merged in
+//! plan order, so a parallel run's counter — including its accumulated
+//! `f64` model seconds — is bit-identical to the sequential run's. Adding
+//! a GPU, multi-party, or sharded engine is one trait impl — the
+//! scheduler, the counting, and the placement logic are shared.
 
-use crate::compile::{stage_mult_estimate, Compiled, Step};
+use crate::compile::{stage_mult_estimate, Compiled};
+use crate::sched::{run_plan, ExecPlan, SchedMode};
 use orion_linear::{ConvSpec, LinearPlan, TensorLayout};
 use orion_sim::counter::OpKind;
 use orion_sim::{CostModel, OpCounter};
 use orion_tensor::Tensor;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
 
 /// A borrowed view of one linear layer's parameters (conv or dense),
 /// handed to [`EvalBackend::linear_layer`]. `step` is the program node id,
@@ -94,10 +102,17 @@ impl LinearRef<'_> {
 /// bookkeeping a generic recipe cannot express, and modeled engines need
 /// to model at the step granularity). Levels passed in are the placement
 /// policy's assignments — inputs have already been dropped to the stated
-/// level by the interpreter.
+/// level by the scheduler.
+///
+/// All methods take `&self`: the scheduler calls them concurrently from
+/// the shared pool, and every operation must be a pure, deterministic
+/// function of its arguments (engines keep incidental state — injected
+/// ciphertext queues, drift counters — behind atomics or mutexes).
 pub trait EvalBackend {
-    /// The engine's ciphertext representation.
-    type Ciphertext: Clone;
+    /// The engine's ciphertext representation (`Send + Sync`: the
+    /// scheduler moves values between pool threads and shares them across
+    /// concurrent consumer units).
+    type Ciphertext: Clone + Send + Sync;
     /// The engine's plaintext representation.
     type Plaintext;
 
@@ -109,28 +124,31 @@ pub trait EvalBackend {
     fn level_of(&self, ct: &Self::Ciphertext) -> usize;
 
     /// Encrypts one ciphertext's worth of slot values at `level`.
-    fn encrypt(&mut self, vals: &[f64], level: usize) -> Self::Ciphertext;
+    fn encrypt(&self, vals: &[f64], level: usize) -> Self::Ciphertext;
     /// Decrypts and decodes one ciphertext.
-    fn decrypt(&mut self, ct: &Self::Ciphertext) -> Vec<f64>;
+    fn decrypt(&self, ct: &Self::Ciphertext) -> Vec<f64>;
     /// Encodes slot values at the standard scale Δ and `level`.
-    fn encode(&mut self, vals: &[f64], level: usize) -> Self::Plaintext;
+    fn encode(&self, vals: &[f64], level: usize) -> Self::Plaintext;
 
     /// `HAdd`: ciphertext + ciphertext.
-    fn add(&mut self, a: &Self::Ciphertext, b: &Self::Ciphertext) -> Self::Ciphertext;
+    fn add(&self, a: &Self::Ciphertext, b: &Self::Ciphertext) -> Self::Ciphertext;
     /// `PAdd`: ciphertext + plaintext.
-    fn add_plain(&mut self, a: &Self::Ciphertext, p: &Self::Plaintext) -> Self::Ciphertext;
+    fn add_plain(&self, a: &Self::Ciphertext, p: &Self::Plaintext) -> Self::Ciphertext;
     /// `PMult`: ciphertext × plaintext (unrescaled).
-    fn pmult(&mut self, a: &Self::Ciphertext, p: &Self::Plaintext) -> Self::Ciphertext;
+    fn pmult(&self, a: &Self::Ciphertext, p: &Self::Plaintext) -> Self::Ciphertext;
     /// `HMult`: ciphertext × ciphertext with relinearization (unrescaled).
-    fn hmult(&mut self, a: &Self::Ciphertext, b: &Self::Ciphertext) -> Self::Ciphertext;
+    fn hmult(&self, a: &Self::Ciphertext, b: &Self::Ciphertext) -> Self::Ciphertext;
     /// `HRot`: rotates slots up by `k`.
-    fn rotate(&mut self, a: &Self::Ciphertext, k: isize) -> Self::Ciphertext;
+    fn rotate(&self, a: &Self::Ciphertext, k: isize) -> Self::Ciphertext;
     /// Rescale: divides by the top prime, consuming a level.
-    fn rescale(&mut self, a: &Self::Ciphertext) -> Self::Ciphertext;
+    fn rescale(&self, a: &Self::Ciphertext) -> Self::Ciphertext;
     /// Free drop to a lower level.
-    fn drop_to_level(&mut self, a: &Self::Ciphertext, level: usize) -> Self::Ciphertext;
-    /// Bootstrap: refreshes to the engine's effective level.
-    fn bootstrap(&mut self, a: &Self::Ciphertext) -> Self::Ciphertext;
+    fn drop_to_level(&self, a: &Self::Ciphertext, level: usize) -> Self::Ciphertext;
+    /// Bootstrap: refreshes to the engine's effective level. Must be a
+    /// deterministic function of the input ciphertext — the scheduler
+    /// bootstraps independent ciphertexts concurrently, and scheduler
+    /// order must not change results.
+    fn bootstrap(&self, a: &Self::Ciphertext) -> Self::Ciphertext;
 
     /// Whether the linear layer at program step `step` encodes
     /// weight/bias plaintexts **per inference** (the on-the-fly path).
@@ -153,21 +171,29 @@ pub trait EvalBackend {
         true
     }
 
+    /// Advisory: the scheduler announces that the linear layer at `step`
+    /// has become ready, so a paging engine can start faulting its
+    /// prepared artifacts into residency off the critical path. Default
+    /// no-op; must not affect results.
+    fn prefetch_linear(&self, step: usize) {
+        let _ = step;
+    }
+
     /// One packed linear layer over all input ciphertexts at `level`;
     /// returns the output wire one level lower at exactly scale Δ.
     fn linear_layer(
-        &mut self,
+        &self,
         layer: &LinearRef<'_>,
         inputs: &[Self::Ciphertext],
         level: usize,
     ) -> Vec<Self::Ciphertext>;
     /// Multiplies by `factor ≤ 1` and rescales (activation normalization).
-    fn scale_down(&mut self, ct: &Self::Ciphertext, factor: f64, level: usize) -> Self::Ciphertext;
+    fn scale_down(&self, ct: &Self::Ciphertext, factor: f64, level: usize) -> Self::Ciphertext;
     /// One Chebyshev stage; `normalize` re-aligns the output to exact Δ at
     /// +1 depth. `step` is the program node id, the key engines use to
     /// find the stage's recorded constants in a prepared cache.
     fn poly_stage(
-        &mut self,
+        &self,
         ct: &Self::Ciphertext,
         coeffs: &[f64],
         normalize: bool,
@@ -177,14 +203,14 @@ pub trait EvalBackend {
     /// The final ReLU product `m·u·(s+1)/2` (`u` at `level`, `sign` at
     /// `level − 1`); depth 2.
     fn relu_final(
-        &mut self,
+        &self,
         u: &Self::Ciphertext,
         sign: &Self::Ciphertext,
         magnitude: f64,
         level: usize,
     ) -> Self::Ciphertext;
     /// The `x²` activation (depth 2 including exact-Δ alignment).
-    fn square_activation(&mut self, ct: &Self::Ciphertext, level: usize) -> Self::Ciphertext;
+    fn square_activation(&self, ct: &Self::Ciphertext, level: usize) -> Self::Ciphertext;
 }
 
 /// Result of interpreting a compiled program on some backend.
@@ -198,152 +224,39 @@ pub struct ProgramRun<Ct> {
     pub bootstraps: u64,
 }
 
-/// Interprets a compiled program on `backend` — THE `Step` interpreter,
-/// shared by every engine. Follows the placement policy exactly: drops
-/// wires to their assigned level, bootstraps where the policy says, and
-/// dispatches each step to the backend.
-pub fn run_program<B: EvalBackend>(
+/// Runs a compiled program on `backend` through the dataflow scheduler —
+/// THE execution entry point, shared by every engine. Builds the program's
+/// [`ExecPlan`] and walks it in parallel when the shared pool has more
+/// than one thread, sequentially otherwise; both walks follow the
+/// placement policy exactly (drop wires to their assigned level, bootstrap
+/// where the policy says) and produce bit-identical results and counters.
+pub fn run_program<B: EvalBackend + Sync>(
     c: &Compiled,
-    backend: &mut B,
+    backend: &B,
     input: &Tensor,
 ) -> ProgramRun<B::Ciphertext> {
-    let slots = c.opts.slots;
-    assert_eq!(
-        backend.slots(),
-        slots,
-        "backend/program slot-count mismatch"
-    );
-    let l_eff = c.opts.l_eff;
-    let mut wires: Vec<Option<Vec<B::Ciphertext>>> = vec![None; c.prog.len()];
-    let mut bootstraps = 0u64;
-    let mut output: Option<Tensor> = None;
-    let mut output_wire: Vec<B::Ciphertext> = Vec::new();
+    let mode = if rayon::current_num_threads() > 1 {
+        SchedMode::Parallel
+    } else {
+        SchedMode::Sequential
+    };
+    run_program_mode(c, backend, input, mode)
+}
 
-    for (id, node) in c.prog.iter().enumerate() {
-        // Bootstrap the input wires where the policy says so.
-        if c.placement.boots_before[id] > 0 {
-            for &i in &node.inputs {
-                let cts = wires[i].as_ref().expect("input wire missing").clone();
-                bootstraps += cts.len() as u64;
-                wires[i] = Some(cts.iter().map(|ct| backend.bootstrap(ct)).collect());
-            }
-        }
-        let level = c.placement.levels[id];
-        let take = |wires: &Vec<Option<Vec<B::Ciphertext>>>, i: usize| -> Vec<B::Ciphertext> {
-            wires[node.inputs[i]]
-                .as_ref()
-                .expect("wire not ready")
-                .clone()
-        };
-        let out: Vec<B::Ciphertext> = match &node.step {
-            Step::Input => input_slot_chunks(c, slots, input)
-                .into_iter()
-                .map(|chunk| backend.encrypt(&chunk, l_eff))
-                .collect(),
-            Step::Output => {
-                let cts = take(&wires, 0);
-                let prev = &c.prog[node.inputs[0]];
-                let mut slots_vec = Vec::with_capacity(cts.len() * slots);
-                for ct in &cts {
-                    slots_vec.extend(backend.decrypt(ct));
-                }
-                slots_vec.resize(prev.layout.total_slots(), 0.0);
-                let raster = prev.layout.unpack(&slots_vec);
-                let (cc, hh, ww) = (prev.layout.c, prev.layout.h, prev.layout.w);
-                output = Some(Tensor::from_vec(&[cc, hh, ww], raster));
-                output_wire = cts.clone();
-                cts
-            }
-            Step::Conv {
-                plan,
-                spec,
-                weight,
-                bias,
-                in_l,
-                out_l,
-            } => {
-                let lv = level.expect("linear layer unplaced");
-                let cts = drop_all(backend, &take(&wires, 0), lv);
-                let layer = LinearRef::Conv {
-                    step: id,
-                    plan,
-                    spec,
-                    weight,
-                    bias,
-                    in_l,
-                    out_l,
-                };
-                backend.linear_layer(&layer, &cts, lv)
-            }
-            Step::Dense {
-                plan,
-                weight,
-                bias,
-                in_l,
-                n_out,
-            } => {
-                let lv = level.expect("linear layer unplaced");
-                let cts = drop_all(backend, &take(&wires, 0), lv);
-                let layer = LinearRef::Dense {
-                    step: id,
-                    plan,
-                    weight,
-                    bias,
-                    in_l,
-                    n_out: *n_out,
-                };
-                backend.linear_layer(&layer, &cts, lv)
-            }
-            Step::ScaleDown { factor } => {
-                let lv = level.expect("scale-down unplaced");
-                let cts = drop_all(backend, &take(&wires, 0), lv);
-                cts.iter()
-                    .map(|ct| backend.scale_down(ct, *factor, lv))
-                    .collect()
-            }
-            Step::PolyStage { coeffs, normalize } => {
-                let lv = level.expect("poly stage unplaced");
-                let cts = drop_all(backend, &take(&wires, 0), lv);
-                cts.iter()
-                    .map(|ct| backend.poly_stage(ct, coeffs, *normalize, lv, id))
-                    .collect()
-            }
-            Step::ReluFinal { magnitude } => {
-                let lv = level.expect("relu final unplaced");
-                assert!(lv >= 2, "relu final needs 2 levels");
-                let u = drop_all(backend, &take(&wires, 0), lv);
-                let s = drop_all(backend, &take(&wires, 1), lv - 1);
-                u.iter()
-                    .zip(&s)
-                    .map(|(uc, sc)| backend.relu_final(uc, sc, *magnitude, lv))
-                    .collect()
-            }
-            Step::Square => {
-                let lv = level.expect("square unplaced");
-                assert!(lv >= 2, "square needs 2 levels");
-                let cts = drop_all(backend, &take(&wires, 0), lv);
-                cts.iter()
-                    .map(|ct| backend.square_activation(ct, lv))
-                    .collect()
-            }
-            Step::Add => {
-                let lv = level.expect("add unplaced");
-                let a = drop_all(backend, &take(&wires, 0), lv);
-                let b = drop_all(backend, &take(&wires, 1), lv);
-                a.iter().zip(&b).map(|(x, y)| backend.add(x, y)).collect()
-            }
-        };
-        wires[id] = Some(out);
-    }
-    ProgramRun {
-        output: output.expect("program has no output node"),
-        output_wire,
-        bootstraps,
-    }
+/// [`run_program`] with an explicit scheduling mode — the equivalence
+/// suite runs both and asserts bit-exact, counter-identical results.
+pub fn run_program_mode<B: EvalBackend + Sync>(
+    c: &Compiled,
+    backend: &B,
+    input: &Tensor,
+    mode: SchedMode,
+) -> ProgramRun<B::Ciphertext> {
+    let plan = ExecPlan::build(c);
+    run_plan(&plan, c, backend, input, mode)
 }
 
 /// Packs an input tensor into ciphertext-sized slot chunks exactly as the
-/// `Input` step consumes them. Shared by the interpreter and the
+/// `Input` step consumes them. Shared by the scheduler and the
 /// client-side `FheSession::encrypt_input`, so the two packings cannot
 /// drift (pre-encrypted requests are only checked for count and level).
 pub fn input_slot_chunks(c: &Compiled, slots: usize, input: &Tensor) -> Vec<Vec<f64>> {
@@ -359,33 +272,22 @@ pub fn input_slot_chunks(c: &Compiled, slots: usize, input: &Tensor) -> Vec<Vec<
         .collect()
 }
 
-fn drop_all<B: EvalBackend>(
-    backend: &mut B,
-    cts: &[B::Ciphertext],
-    level: usize,
-) -> Vec<B::Ciphertext> {
-    cts.iter()
-        .map(|ct| {
-            assert!(
-                backend.level_of(ct) >= level,
-                "wire at level {} but the policy needs {level} — placement violated",
-                backend.level_of(ct)
-            );
-            backend.drop_to_level(ct, level)
-        })
-        .collect()
-}
-
 /// The op-counting decorator: wraps any engine and tallies every
 /// instruction into an [`OpCounter`] with modeled latency, reproducing the
 /// paper's reporting columns uniformly. Composite steps are tallied from
 /// their static structure (plan counts, Chebyshev stage estimates), so the
 /// numbers are identical no matter which engine runs underneath.
+///
+/// Thread safety: tallies go into per-scheduled-unit shards (keyed by the
+/// unit id the scheduler pins to the calling thread) and
+/// [`Counting::counter`] merges them in ascending unit order. Counts are
+/// exact under any interleaving; the deterministic merge order makes the
+/// accumulated `f64` model seconds bit-identical between sequential and
+/// parallel runs as well — no counter drift.
 pub struct Counting<B> {
     /// The wrapped engine.
     pub inner: B,
-    /// Accumulated statistics.
-    pub counter: OpCounter,
+    shards: Mutex<BTreeMap<usize, OpCounter>>,
     cost: CostModel,
     l_eff: usize,
 }
@@ -395,21 +297,43 @@ impl<B> Counting<B> {
     pub fn new(inner: B, cost: CostModel, l_eff: usize) -> Self {
         Self {
             inner,
-            counter: OpCounter::new(),
+            shards: Mutex::new(BTreeMap::new()),
             cost,
             l_eff,
         }
     }
 
-    /// Unwraps into the engine and the final counter.
+    /// The merged statistics so far (shards merged in plan-unit order —
+    /// deterministic, scheduler-independent).
+    pub fn counter(&self) -> OpCounter {
+        let shards = self.shards.lock();
+        let mut total = OpCounter::new();
+        for c in shards.values() {
+            total.merge(c);
+        }
+        total
+    }
+
+    /// Unwraps into the engine and the final merged counter.
     pub fn into_parts(self) -> (B, OpCounter) {
-        (self.inner, self.counter)
+        let mut total = OpCounter::new();
+        for c in self.shards.into_inner().values() {
+            total.merge(c);
+        }
+        (self.inner, total)
+    }
+
+    /// Runs `f` on the calling unit's tally shard.
+    fn shard<R>(&self, f: impl FnOnce(&mut OpCounter) -> R) -> R {
+        let unit = crate::sched::current_unit();
+        let mut shards = self.shards.lock();
+        f(shards.entry(unit).or_default())
     }
 }
 
 impl<B: EvalBackend> Counting<B> {
-    fn tally(&mut self, kind: OpKind, n: u64, secs: f64) {
-        self.counter.record(kind, n, secs);
+    fn tally(&self, kind: OpKind, n: u64, secs: f64) {
+        self.shard(|c| c.record(kind, n, secs));
     }
 
     /// Tallies one linear layer's plan at the evaluation level (the static
@@ -417,44 +341,48 @@ impl<B: EvalBackend> Counting<B> {
     /// pay one slot-vector encode per diagonal pmult plus one per output
     /// block (bias); steps served from a prepared cache pay none per
     /// inference.
-    fn tally_linear(&mut self, plan: &LinearPlan, step: usize, level: usize) {
-        if self.inner.linear_encodes_per_inference(step) {
-            self.counter
-                .record_encodes((plan.counts.pmults + plan.out_blocks) as u64);
-        }
+    fn tally_linear(&self, plan: &LinearPlan, step: usize, level: usize) {
+        let encodes = if self.inner.linear_encodes_per_inference(step) {
+            (plan.counts.pmults + plan.out_blocks) as u64
+        } else {
+            0
+        };
         let c = self.cost.clone();
         let counts = &plan.counts;
-        self.tally(
-            OpKind::Hoist,
-            counts.hoists as u64,
-            counts.hoists as f64 * c.ks_decompose(level),
-        );
-        self.tally(
-            OpKind::HRotHoisted,
-            counts.baby_rots as u64,
-            counts.baby_rots as f64 * c.hrot_hoisted(level),
-        );
-        self.tally(
-            OpKind::HRot,
-            counts.giant_rots as u64,
-            counts.giant_rots as f64 * c.hrot(level),
-        );
-        self.tally(
-            OpKind::PMult,
-            counts.pmults as u64,
-            counts.pmults as f64 * c.pmult(level),
-        );
-        self.tally(
-            OpKind::ModDown,
-            counts.moddowns as u64,
-            counts.moddowns as f64 * c.ks_moddown(level),
-        );
-        self.tally(
-            OpKind::Rescale,
-            counts.rescales as u64,
-            counts.rescales as f64 * c.rescale(level),
-        );
-        self.counter.linear_seconds += plan.latency(&c, level);
+        self.shard(|ctr| {
+            ctr.record_encodes(encodes);
+            ctr.record(
+                OpKind::Hoist,
+                counts.hoists as u64,
+                counts.hoists as f64 * c.ks_decompose(level),
+            );
+            ctr.record(
+                OpKind::HRotHoisted,
+                counts.baby_rots as u64,
+                counts.baby_rots as f64 * c.hrot_hoisted(level),
+            );
+            ctr.record(
+                OpKind::HRot,
+                counts.giant_rots as u64,
+                counts.giant_rots as f64 * c.hrot(level),
+            );
+            ctr.record(
+                OpKind::PMult,
+                counts.pmults as u64,
+                counts.pmults as f64 * c.pmult(level),
+            );
+            ctr.record(
+                OpKind::ModDown,
+                counts.moddowns as u64,
+                counts.moddowns as f64 * c.ks_moddown(level),
+            );
+            ctr.record(
+                OpKind::Rescale,
+                counts.rescales as u64,
+                counts.rescales as f64 * c.rescale(level),
+            );
+            ctr.linear_seconds += plan.latency(&c, level);
+        });
     }
 }
 
@@ -474,16 +402,16 @@ impl<B: EvalBackend> EvalBackend for Counting<B> {
         self.inner.level_of(ct)
     }
 
-    fn encrypt(&mut self, vals: &[f64], level: usize) -> Self::Ciphertext {
+    fn encrypt(&self, vals: &[f64], level: usize) -> Self::Ciphertext {
         self.inner.encrypt(vals, level)
     }
 
-    fn decrypt(&mut self, ct: &Self::Ciphertext) -> Vec<f64> {
+    fn decrypt(&self, ct: &Self::Ciphertext) -> Vec<f64> {
         self.inner.decrypt(ct)
     }
 
-    fn encode(&mut self, vals: &[f64], level: usize) -> Self::Plaintext {
-        self.counter.record_encodes(1);
+    fn encode(&self, vals: &[f64], level: usize) -> Self::Plaintext {
+        self.shard(|c| c.record_encodes(1));
         self.inner.encode(vals, level)
     }
 
@@ -495,53 +423,58 @@ impl<B: EvalBackend> EvalBackend for Counting<B> {
         self.inner.activation_encodes_per_inference(step)
     }
 
-    fn add(&mut self, a: &Self::Ciphertext, b: &Self::Ciphertext) -> Self::Ciphertext {
+    fn prefetch_linear(&self, step: usize) {
+        // advisory — never tallied, so prefetching cannot drift counters
+        self.inner.prefetch_linear(step);
+    }
+
+    fn add(&self, a: &Self::Ciphertext, b: &Self::Ciphertext) -> Self::Ciphertext {
         let lv = self.inner.level_of(a);
         self.tally(OpKind::HAdd, 1, self.cost.hadd(lv));
         self.inner.add(a, b)
     }
 
-    fn add_plain(&mut self, a: &Self::Ciphertext, p: &Self::Plaintext) -> Self::Ciphertext {
+    fn add_plain(&self, a: &Self::Ciphertext, p: &Self::Plaintext) -> Self::Ciphertext {
         let lv = self.inner.level_of(a);
         self.tally(OpKind::PAdd, 1, self.cost.hadd(lv));
         self.inner.add_plain(a, p)
     }
 
-    fn pmult(&mut self, a: &Self::Ciphertext, p: &Self::Plaintext) -> Self::Ciphertext {
+    fn pmult(&self, a: &Self::Ciphertext, p: &Self::Plaintext) -> Self::Ciphertext {
         let lv = self.inner.level_of(a);
         self.tally(OpKind::PMult, 1, self.cost.pmult(lv));
         self.inner.pmult(a, p)
     }
 
-    fn hmult(&mut self, a: &Self::Ciphertext, b: &Self::Ciphertext) -> Self::Ciphertext {
+    fn hmult(&self, a: &Self::Ciphertext, b: &Self::Ciphertext) -> Self::Ciphertext {
         let lv = self.inner.level_of(a);
         self.tally(OpKind::HMult, 1, self.cost.hmult(lv));
         self.inner.hmult(a, b)
     }
 
-    fn rotate(&mut self, a: &Self::Ciphertext, k: isize) -> Self::Ciphertext {
+    fn rotate(&self, a: &Self::Ciphertext, k: isize) -> Self::Ciphertext {
         let lv = self.inner.level_of(a);
         self.tally(OpKind::HRot, 1, self.cost.hrot(lv));
         self.inner.rotate(a, k)
     }
 
-    fn rescale(&mut self, a: &Self::Ciphertext) -> Self::Ciphertext {
+    fn rescale(&self, a: &Self::Ciphertext) -> Self::Ciphertext {
         let lv = self.inner.level_of(a);
         self.tally(OpKind::Rescale, 1, self.cost.rescale(lv));
         self.inner.rescale(a)
     }
 
-    fn drop_to_level(&mut self, a: &Self::Ciphertext, level: usize) -> Self::Ciphertext {
+    fn drop_to_level(&self, a: &Self::Ciphertext, level: usize) -> Self::Ciphertext {
         self.inner.drop_to_level(a, level)
     }
 
-    fn bootstrap(&mut self, a: &Self::Ciphertext) -> Self::Ciphertext {
+    fn bootstrap(&self, a: &Self::Ciphertext) -> Self::Ciphertext {
         self.tally(OpKind::Bootstrap, 1, self.cost.bootstrap(self.l_eff));
         self.inner.bootstrap(a)
     }
 
     fn linear_layer(
-        &mut self,
+        &self,
         layer: &LinearRef<'_>,
         inputs: &[Self::Ciphertext],
         level: usize,
@@ -550,14 +483,14 @@ impl<B: EvalBackend> EvalBackend for Counting<B> {
         self.inner.linear_layer(layer, inputs, level)
     }
 
-    fn scale_down(&mut self, ct: &Self::Ciphertext, factor: f64, level: usize) -> Self::Ciphertext {
+    fn scale_down(&self, ct: &Self::Ciphertext, factor: f64, level: usize) -> Self::Ciphertext {
         self.tally(OpKind::PMult, 1, self.cost.pmult(level));
         self.tally(OpKind::Rescale, 1, self.cost.rescale(level));
         self.inner.scale_down(ct, factor, level)
     }
 
     fn poly_stage(
-        &mut self,
+        &self,
         ct: &Self::Ciphertext,
         coeffs: &[f64],
         normalize: bool,
@@ -569,10 +502,8 @@ impl<B: EvalBackend> EvalBackend for Counting<B> {
         // count is a level-only replay of the evaluation recursion, so it
         // is identical for every engine.
         if self.inner.activation_encodes_per_inference(step) {
-            self.counter
-                .record_encodes(orion_poly::eval::stage_const_count(
-                    coeffs, normalize, level,
-                ));
+            let n = orion_poly::eval::stage_const_count(coeffs, normalize, level);
+            self.shard(|c| c.record_encodes(n));
         }
         let d = coeffs.len() - 1;
         let mults = stage_mult_estimate(d);
@@ -591,7 +522,7 @@ impl<B: EvalBackend> EvalBackend for Counting<B> {
     }
 
     fn relu_final(
-        &mut self,
+        &self,
         u: &Self::Ciphertext,
         sign: &Self::Ciphertext,
         magnitude: f64,
@@ -601,7 +532,7 @@ impl<B: EvalBackend> EvalBackend for Counting<B> {
         self.inner.relu_final(u, sign, magnitude, level)
     }
 
-    fn square_activation(&mut self, ct: &Self::Ciphertext, level: usize) -> Self::Ciphertext {
+    fn square_activation(&self, ct: &Self::Ciphertext, level: usize) -> Self::Ciphertext {
         self.tally(OpKind::HMult, 1, self.cost.hmult(level));
         self.inner.square_activation(ct, level)
     }

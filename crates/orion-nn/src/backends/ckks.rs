@@ -19,6 +19,7 @@ use orion_poly::eval::{
     FreshConsts,
 };
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Panic payload thrown when a paged prepared layer cannot be faulted in
@@ -40,14 +41,19 @@ pub struct PreparedLayerFault {
 /// executor — possibly faulted in from disk under a memory cap — and poly
 /// stages replay recorded constant plaintexts instead of re-encoding
 /// anything per inference.
+///
+/// All run-time state is interior-mutable (the injected request queue
+/// behind a mutex, drift counters as atomics), so the engine is `Sync` and
+/// the dataflow scheduler can drive it from many pool threads at once.
 pub struct CkksBackend<'s> {
     session: &'s FheSession,
     prepared: Option<Arc<dyn LayerSource>>,
     /// Pre-encrypted input ciphertexts (the serving path: clients submit
-    /// encrypted requests); `encrypt` pops them in packing order.
-    injected: Option<VecDeque<Ciphertext>>,
-    act_fresh_encodes: u64,
-    act_cache_misses: u64,
+    /// encrypted requests); `encrypt` pops them in packing order (the
+    /// `Input` step is a single scheduled unit, so pops are ordered).
+    injected: Option<parking_lot::Mutex<VecDeque<Ciphertext>>>,
+    act_fresh_encodes: AtomicU64,
+    act_cache_misses: AtomicU64,
 }
 
 impl<'s> CkksBackend<'s> {
@@ -57,8 +63,8 @@ impl<'s> CkksBackend<'s> {
             session,
             prepared: None,
             injected: None,
-            act_fresh_encodes: 0,
-            act_cache_misses: 0,
+            act_fresh_encodes: AtomicU64::new(0),
+            act_cache_misses: AtomicU64::new(0),
         }
     }
 
@@ -82,21 +88,21 @@ impl<'s> CkksBackend<'s> {
     /// Runs on pre-encrypted inputs: `encrypt` hands out `cts` in packing
     /// order instead of encrypting the (ignored) input tensor values.
     pub fn inject_inputs(mut self, cts: Vec<Ciphertext>) -> Self {
-        self.injected = Some(cts.into());
+        self.injected = Some(parking_lot::Mutex::new(cts.into()));
         self
     }
 
     /// Constant plaintexts encoded fresh inside poly stages (on-the-fly
     /// activation path).
     pub fn act_fresh_encodes(&self) -> u64 {
-        self.act_fresh_encodes
+        self.act_fresh_encodes.load(Ordering::Relaxed)
     }
 
     /// Prepared-constant cache misses inside poly stages (0 on a faithful
     /// replay; nonzero means the recording drifted and the engine fell
     /// back to fresh encodes).
     pub fn act_cache_misses(&self) -> u64 {
-        self.act_cache_misses
+        self.act_cache_misses.load(Ordering::Relaxed)
     }
 
     /// The underlying session.
@@ -140,9 +146,10 @@ impl EvalBackend for CkksBackend<'_> {
         ct.level()
     }
 
-    fn encrypt(&mut self, vals: &[f64], level: usize) -> Ciphertext {
-        if let Some(queue) = self.injected.as_mut() {
+    fn encrypt(&self, vals: &[f64], level: usize) -> Ciphertext {
+        if let Some(queue) = self.injected.as_ref() {
             let ct = queue
+                .lock()
                 .pop_front()
                 .expect("not enough injected input ciphertexts for the program's input wire");
             assert_eq!(ct.level(), level, "injected ciphertext at the wrong level");
@@ -154,49 +161,49 @@ impl EvalBackend for CkksBackend<'_> {
         s.encryptor.encrypt(&pt, &mut *rng)
     }
 
-    fn decrypt(&mut self, ct: &Ciphertext) -> Vec<f64> {
+    fn decrypt(&self, ct: &Ciphertext) -> Vec<f64> {
         let s = self.session;
         s.enc.decode(&s.decryptor.decrypt(ct))
     }
 
-    fn encode(&mut self, vals: &[f64], level: usize) -> Self::Plaintext {
+    fn encode(&self, vals: &[f64], level: usize) -> Self::Plaintext {
         let s = self.session;
         s.enc.encode(vals, s.ctx.scale(), level, false)
     }
 
-    fn add(&mut self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+    fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
         self.session.eval.add(a, b)
     }
 
-    fn add_plain(&mut self, a: &Ciphertext, p: &Self::Plaintext) -> Ciphertext {
+    fn add_plain(&self, a: &Ciphertext, p: &Self::Plaintext) -> Ciphertext {
         self.session.eval.add_plain(a, p)
     }
 
-    fn pmult(&mut self, a: &Ciphertext, p: &Self::Plaintext) -> Ciphertext {
+    fn pmult(&self, a: &Ciphertext, p: &Self::Plaintext) -> Ciphertext {
         self.session.eval.mul_plain(a, p)
     }
 
-    fn hmult(&mut self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+    fn hmult(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
         self.session.eval.mul_relin(a, b)
     }
 
-    fn rotate(&mut self, a: &Ciphertext, k: isize) -> Ciphertext {
+    fn rotate(&self, a: &Ciphertext, k: isize) -> Ciphertext {
         self.session.eval.rotate(a, k)
     }
 
-    fn rescale(&mut self, a: &Ciphertext) -> Ciphertext {
+    fn rescale(&self, a: &Ciphertext) -> Ciphertext {
         let mut c = a.clone();
         self.session.eval.rescale_assign(&mut c);
         c
     }
 
-    fn drop_to_level(&mut self, a: &Ciphertext, level: usize) -> Ciphertext {
+    fn drop_to_level(&self, a: &Ciphertext, level: usize) -> Ciphertext {
         let mut c = a.clone();
         self.session.eval.drop_to_level(&mut c, level);
         c
     }
 
-    fn bootstrap(&mut self, a: &Ciphertext) -> Ciphertext {
+    fn bootstrap(&self, a: &Ciphertext) -> Ciphertext {
         self.session.oracle.refresh(a)
     }
 
@@ -214,8 +221,18 @@ impl EvalBackend for CkksBackend<'_> {
             .is_none_or(|p| p.activation(step).is_none())
     }
 
+    fn prefetch_linear(&self, step: usize) {
+        // Advisory: start faulting the layer into residency (a no-op for
+        // resident sources). Runs as its own scheduled unit on the pool,
+        // so execution never blocks on it; the real `fetch_layer` below
+        // surfaces any store error.
+        if let Some(src) = self.prepared.as_ref() {
+            src.prefetch(step);
+        }
+    }
+
     fn linear_layer(
-        &mut self,
+        &self,
         layer: &LinearRef<'_>,
         inputs: &[Ciphertext],
         _level: usize,
@@ -273,7 +290,7 @@ impl EvalBackend for CkksBackend<'_> {
         }
     }
 
-    fn scale_down(&mut self, ct: &Ciphertext, factor: f64, level: usize) -> Ciphertext {
+    fn scale_down(&self, ct: &Ciphertext, factor: f64, level: usize) -> Ciphertext {
         let s = self.session;
         let q = s.ctx.moduli[level] as f64;
         let mut m = s.eval.mul_scalar(ct, factor, q);
@@ -282,7 +299,7 @@ impl EvalBackend for CkksBackend<'_> {
     }
 
     fn poly_stage(
-        &mut self,
+        &self,
         ct: &Ciphertext,
         coeffs: &[f64],
         normalize: bool,
@@ -296,20 +313,22 @@ impl EvalBackend for CkksBackend<'_> {
             Some(act) => {
                 let src = CachedConsts::new(&act.consts);
                 let out = self.poly_stage_with(&src, ct, coeffs, normalize);
-                self.act_cache_misses += src.misses();
+                self.act_cache_misses
+                    .fetch_add(src.misses(), Ordering::Relaxed);
                 out
             }
             None => {
                 let src = FreshConsts::new();
                 let out = self.poly_stage_with(&src, ct, coeffs, normalize);
-                self.act_fresh_encodes += src.count();
+                self.act_fresh_encodes
+                    .fetch_add(src.count(), Ordering::Relaxed);
                 out
             }
         }
     }
 
     fn relu_final(
-        &mut self,
+        &self,
         uc: &Ciphertext,
         sc: &Ciphertext,
         magnitude: f64,
@@ -335,7 +354,7 @@ impl EvalBackend for CkksBackend<'_> {
         s.eval.add(&prod, &half_x)
     }
 
-    fn square_activation(&mut self, ct: &Ciphertext, level: usize) -> Ciphertext {
+    fn square_activation(&self, ct: &Ciphertext, level: usize) -> Ciphertext {
         let s = self.session;
         let delta = s.ctx.scale();
         let q = s.ctx.moduli[level - 1] as f64;

@@ -6,9 +6,9 @@
 //! | [`TraceBackend`] | `f64` slots + level bookkeeping | reference conv/linear | paper-scale modeling |
 //! | [`PlainBackend`] | `f64` slots + level bookkeeping | exact rotation algebra (`exec_plain_parallel`) | packing-math oracle |
 //!
-//! All three run under the single interpreter
-//! ([`crate::backend::run_program`]) and count ops identically through
-//! [`crate::backend::Counting`].
+//! All three are `&self` engines driven by the single dataflow scheduler
+//! ([`crate::backend::run_program`] over [`crate::sched`]) and count ops
+//! identically through [`crate::backend::Counting`].
 
 pub mod ckks;
 pub mod plain;

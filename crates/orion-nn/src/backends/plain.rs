@@ -89,21 +89,21 @@ impl EvalBackend for PlainBackend {
         ct.level
     }
 
-    fn encrypt(&mut self, vals: &[f64], level: usize) -> PlainCiphertext {
+    fn encrypt(&self, vals: &[f64], level: usize) -> PlainCiphertext {
         let mut slots = vals.to_vec();
         slots.resize(self.slots, 0.0);
         PlainCiphertext { slots, level }
     }
 
-    fn decrypt(&mut self, ct: &PlainCiphertext) -> Vec<f64> {
+    fn decrypt(&self, ct: &PlainCiphertext) -> Vec<f64> {
         ct.slots.clone()
     }
 
-    fn encode(&mut self, vals: &[f64], _level: usize) -> Vec<f64> {
+    fn encode(&self, vals: &[f64], _level: usize) -> Vec<f64> {
         vals.to_vec()
     }
 
-    fn add(&mut self, a: &PlainCiphertext, b: &PlainCiphertext) -> PlainCiphertext {
+    fn add(&self, a: &PlainCiphertext, b: &PlainCiphertext) -> PlainCiphertext {
         assert_eq!(a.level, b.level, "HAdd level mismatch");
         PlainCiphertext {
             slots: a.slots.iter().zip(&b.slots).map(|(x, y)| x + y).collect(),
@@ -111,7 +111,7 @@ impl EvalBackend for PlainBackend {
         }
     }
 
-    fn add_plain(&mut self, a: &PlainCiphertext, p: &Vec<f64>) -> PlainCiphertext {
+    fn add_plain(&self, a: &PlainCiphertext, p: &Vec<f64>) -> PlainCiphertext {
         PlainCiphertext {
             slots: a
                 .slots
@@ -123,7 +123,7 @@ impl EvalBackend for PlainBackend {
         }
     }
 
-    fn pmult(&mut self, a: &PlainCiphertext, p: &Vec<f64>) -> PlainCiphertext {
+    fn pmult(&self, a: &PlainCiphertext, p: &Vec<f64>) -> PlainCiphertext {
         PlainCiphertext {
             slots: a
                 .slots
@@ -135,7 +135,7 @@ impl EvalBackend for PlainBackend {
         }
     }
 
-    fn hmult(&mut self, a: &PlainCiphertext, b: &PlainCiphertext) -> PlainCiphertext {
+    fn hmult(&self, a: &PlainCiphertext, b: &PlainCiphertext) -> PlainCiphertext {
         assert_eq!(a.level, b.level, "HMult level mismatch");
         PlainCiphertext {
             slots: a.slots.iter().zip(&b.slots).map(|(x, y)| x * y).collect(),
@@ -143,14 +143,14 @@ impl EvalBackend for PlainBackend {
         }
     }
 
-    fn rotate(&mut self, a: &PlainCiphertext, k: isize) -> PlainCiphertext {
+    fn rotate(&self, a: &PlainCiphertext, k: isize) -> PlainCiphertext {
         PlainCiphertext {
             slots: rot_slots(&a.slots, k),
             level: a.level,
         }
     }
 
-    fn rescale(&mut self, a: &PlainCiphertext) -> PlainCiphertext {
+    fn rescale(&self, a: &PlainCiphertext) -> PlainCiphertext {
         assert!(a.level >= 1, "rescale at level 0 — bootstrap required");
         PlainCiphertext {
             slots: a.slots.clone(),
@@ -158,7 +158,7 @@ impl EvalBackend for PlainBackend {
         }
     }
 
-    fn drop_to_level(&mut self, a: &PlainCiphertext, level: usize) -> PlainCiphertext {
+    fn drop_to_level(&self, a: &PlainCiphertext, level: usize) -> PlainCiphertext {
         assert!(level <= a.level, "cannot drop upward");
         PlainCiphertext {
             slots: a.slots.clone(),
@@ -166,7 +166,7 @@ impl EvalBackend for PlainBackend {
         }
     }
 
-    fn bootstrap(&mut self, a: &PlainCiphertext) -> PlainCiphertext {
+    fn bootstrap(&self, a: &PlainCiphertext) -> PlainCiphertext {
         PlainCiphertext {
             slots: a.slots.clone(),
             level: self.l_eff,
@@ -182,7 +182,7 @@ impl EvalBackend for PlainBackend {
     }
 
     fn linear_layer(
-        &mut self,
+        &self,
         layer: &LinearRef<'_>,
         inputs: &[PlainCiphertext],
         level: usize,
@@ -242,7 +242,7 @@ impl EvalBackend for PlainBackend {
             .collect()
     }
 
-    fn scale_down(&mut self, ct: &PlainCiphertext, factor: f64, level: usize) -> PlainCiphertext {
+    fn scale_down(&self, ct: &PlainCiphertext, factor: f64, level: usize) -> PlainCiphertext {
         PlainCiphertext {
             slots: ct.slots.iter().map(|x| x * factor).collect(),
             level: level - 1,
@@ -250,7 +250,7 @@ impl EvalBackend for PlainBackend {
     }
 
     fn poly_stage(
-        &mut self,
+        &self,
         ct: &PlainCiphertext,
         coeffs: &[f64],
         normalize: bool,
@@ -267,7 +267,7 @@ impl EvalBackend for PlainBackend {
     }
 
     fn relu_final(
-        &mut self,
+        &self,
         u: &PlainCiphertext,
         sign: &PlainCiphertext,
         magnitude: f64,
@@ -284,7 +284,7 @@ impl EvalBackend for PlainBackend {
         }
     }
 
-    fn square_activation(&mut self, ct: &PlainCiphertext, level: usize) -> PlainCiphertext {
+    fn square_activation(&self, ct: &PlainCiphertext, level: usize) -> PlainCiphertext {
         PlainCiphertext {
             slots: ct.slots.iter().map(|&x| x * x).collect(),
             level: level - 2,
@@ -303,10 +303,10 @@ pub struct PlainRun {
 /// Runs a compiled program through the plain rotation-algebra oracle with
 /// uniform op-counting.
 pub fn run_plain(c: &Compiled, input: &Tensor) -> PlainRun {
-    let mut backend = Counting::new(PlainBackend::new(c), c.opts.cost.clone(), c.opts.l_eff);
-    let run = run_program(c, &mut backend, input);
+    let backend = Counting::new(PlainBackend::new(c), c.opts.cost.clone(), c.opts.l_eff);
+    let run = run_program(c, &backend, input);
     PlainRun {
         output: run.output,
-        counter: backend.counter,
+        counter: backend.into_parts().1,
     }
 }

@@ -91,47 +91,47 @@ impl EvalBackend for TraceBackend {
         ct.level
     }
 
-    fn encrypt(&mut self, vals: &[f64], level: usize) -> TraceCiphertext {
+    fn encrypt(&self, vals: &[f64], level: usize) -> TraceCiphertext {
         self.engine.encrypt(vals, level)
     }
 
-    fn decrypt(&mut self, ct: &TraceCiphertext) -> Vec<f64> {
+    fn decrypt(&self, ct: &TraceCiphertext) -> Vec<f64> {
         self.engine.decrypt(ct)
     }
 
-    fn encode(&mut self, vals: &[f64], _level: usize) -> Vec<f64> {
+    fn encode(&self, vals: &[f64], _level: usize) -> Vec<f64> {
         vals.to_vec()
     }
 
-    fn add(&mut self, a: &TraceCiphertext, b: &TraceCiphertext) -> TraceCiphertext {
+    fn add(&self, a: &TraceCiphertext, b: &TraceCiphertext) -> TraceCiphertext {
         self.engine.hadd(a, b)
     }
 
-    fn add_plain(&mut self, a: &TraceCiphertext, p: &Vec<f64>) -> TraceCiphertext {
+    fn add_plain(&self, a: &TraceCiphertext, p: &Vec<f64>) -> TraceCiphertext {
         self.engine.padd(a, p)
     }
 
-    fn pmult(&mut self, a: &TraceCiphertext, p: &Vec<f64>) -> TraceCiphertext {
+    fn pmult(&self, a: &TraceCiphertext, p: &Vec<f64>) -> TraceCiphertext {
         self.engine.pmult(a, p)
     }
 
-    fn hmult(&mut self, a: &TraceCiphertext, b: &TraceCiphertext) -> TraceCiphertext {
+    fn hmult(&self, a: &TraceCiphertext, b: &TraceCiphertext) -> TraceCiphertext {
         self.engine.hmult(a, b)
     }
 
-    fn rotate(&mut self, a: &TraceCiphertext, k: isize) -> TraceCiphertext {
+    fn rotate(&self, a: &TraceCiphertext, k: isize) -> TraceCiphertext {
         self.engine.rotate(a, k)
     }
 
-    fn rescale(&mut self, a: &TraceCiphertext) -> TraceCiphertext {
+    fn rescale(&self, a: &TraceCiphertext) -> TraceCiphertext {
         self.engine.rescale(a)
     }
 
-    fn drop_to_level(&mut self, a: &TraceCiphertext, level: usize) -> TraceCiphertext {
+    fn drop_to_level(&self, a: &TraceCiphertext, level: usize) -> TraceCiphertext {
         self.engine.drop_to_level(a, level)
     }
 
-    fn bootstrap(&mut self, a: &TraceCiphertext) -> TraceCiphertext {
+    fn bootstrap(&self, a: &TraceCiphertext) -> TraceCiphertext {
         self.engine.bootstrap(a)
     }
 
@@ -144,7 +144,7 @@ impl EvalBackend for TraceBackend {
     }
 
     fn linear_layer(
-        &mut self,
+        &self,
         layer: &LinearRef<'_>,
         inputs: &[TraceCiphertext],
         level: usize,
@@ -180,13 +180,13 @@ impl EvalBackend for TraceBackend {
         }
     }
 
-    fn scale_down(&mut self, ct: &TraceCiphertext, factor: f64, _level: usize) -> TraceCiphertext {
+    fn scale_down(&self, ct: &TraceCiphertext, factor: f64, _level: usize) -> TraceCiphertext {
         let m = self.engine.pmult_scalar(ct, factor);
         self.engine.rescale(&m)
     }
 
     fn poly_stage(
-        &mut self,
+        &self,
         ct: &TraceCiphertext,
         coeffs: &[f64],
         normalize: bool,
@@ -204,7 +204,7 @@ impl EvalBackend for TraceBackend {
     }
 
     fn relu_final(
-        &mut self,
+        &self,
         u: &TraceCiphertext,
         sign: &TraceCiphertext,
         magnitude: f64,
@@ -222,7 +222,7 @@ impl EvalBackend for TraceBackend {
         }
     }
 
-    fn square_activation(&mut self, ct: &TraceCiphertext, level: usize) -> TraceCiphertext {
+    fn square_activation(&self, ct: &TraceCiphertext, level: usize) -> TraceCiphertext {
         TraceCiphertext {
             slots: ct.slots.iter().map(|&x| x * x).collect(),
             level: level - 2,

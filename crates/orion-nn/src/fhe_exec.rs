@@ -1,12 +1,13 @@
 //! Real-CKKS execution of compiled programs — a thin wrapper over the
-//! unified interpreter ([`crate::backend::run_program`]) with the
+//! unified dataflow scheduler ([`crate::backend::run_program`]) with the
 //! [`CkksBackend`] engine.
 //!
 //! An [`FheSession`] owns the key material (public, relinearization, and
 //! exactly the rotation keys the compiled plans need), the bootstrap
-//! oracle, and the evaluator. [`run_fhe`] interprets the program following
-//! the placement policy: drop to the assigned level, bootstrap where the
-//! policy says, keep every wire at exactly scale Δ.
+//! oracle, and the evaluator. [`run_fhe`] executes the program's
+//! dataflow plan following the placement policy: drop to the assigned
+//! level, bootstrap where the policy says, keep every wire at exactly
+//! scale Δ — wire-level units in parallel on the shared pool.
 
 use crate::backend::{run_program, Counting};
 use crate::backends::CkksBackend;
@@ -219,8 +220,8 @@ impl FheRun {
 /// Runs a compiled program on real CKKS.
 pub fn run_fhe(c: &Compiled, s: &FheSession, input: &Tensor) -> FheRun {
     let t0 = std::time::Instant::now();
-    let mut backend = CkksBackend::new(s);
-    let run = run_program(c, &mut backend, input);
+    let backend = CkksBackend::new(s);
+    let run = run_program(c, &backend, input);
     FheRun {
         output: run.output,
         wall_seconds: t0.elapsed().as_secs_f64(),
@@ -241,8 +242,8 @@ pub fn run_fhe_prepared(
     input: &Tensor,
 ) -> FheRun {
     let t0 = std::time::Instant::now();
-    let mut backend = CkksBackend::with_prepared(s, Arc::clone(prepared));
-    let run = run_program(c, &mut backend, input);
+    let backend = CkksBackend::with_prepared(s, Arc::clone(prepared));
+    let run = run_program(c, &backend, input);
     FheRun {
         output: run.output,
         wall_seconds: t0.elapsed().as_secs_f64(),
@@ -273,8 +274,8 @@ pub fn run_fhe_source_counted(
     let t0 = std::time::Instant::now();
     let dummy = zero_input(c);
     let backend = CkksBackend::with_source(s, source).inject_inputs(input_cts);
-    let mut counting = Counting::new(backend, c.opts.cost.clone(), c.opts.l_eff);
-    let run = run_program(c, &mut counting, &dummy);
+    let counting = Counting::new(backend, c.opts.cost.clone(), c.opts.l_eff);
+    let run = run_program(c, &counting, &dummy);
     let (backend, mut counter) = counting.into_parts();
     counter.record_encodes(backend.act_cache_misses());
     (

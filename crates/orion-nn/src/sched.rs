@@ -1,0 +1,674 @@
+//! Dataflow execution plans: the compiled step list turned into an
+//! explicit DAG of wire-level work units, executed by a generic scheduler.
+//!
+//! The paper's key systems observation is that once bootstrap placement
+//! and levels are fixed at compile time, the per-step dependency structure
+//! of an FHE inference is fully static. [`ExecPlan::build`] exploits that:
+//! it walks a [`Compiled`] program once and emits one [`Unit`] per
+//! (step, wire-ciphertext) — elementwise steps (activation stages,
+//! scale-downs, residual adds) split into one unit per ciphertext,
+//! bootstraps become standalone units per refreshed ciphertext, and linear
+//! layers stay whole-step units (their internal BSGS parallelism is the
+//! prepared executor's job). Edges come from the program's
+//! producer/consumer structure and the bootstrap placement; linear steps
+//! additionally get an advisory [`UnitWork::Prefetch`] twin with one-step
+//! lookahead (ready when the layer's inputs *start* being computed) so a
+//! pager can fault the layer's `PreparedLayer` in while execution is
+//! still busy upstream, instead of blocking under the fault lock.
+//!
+//! [`run_plan`] executes a plan on any [`EvalBackend`]:
+//!
+//! * [`SchedMode::Sequential`] runs units in plan order — which is, by
+//!   construction, exactly the op stream of the classic one-step-at-a-time
+//!   interpreter, so it *is* the sequential reference.
+//! * [`SchedMode::Parallel`] runs the ready frontier on the shared rayon
+//!   pool (Kahn's algorithm over the unit DAG), so independent
+//!   ciphertexts' activation stages, Chebyshev stages, and bootstraps
+//!   execute concurrently.
+//!
+//! Scheduler order cannot change results: every unit is a pure function
+//! of its input ciphertexts (engines are `&self` and deterministic —
+//! including the bootstrap oracle, whose noise is derived from the
+//! ciphertext being refreshed), values land in per-(wire, version, ct)
+//! [`OnceLock`] slots, and the [`Counting`](crate::backend::Counting)
+//! decorator shards its tallies per unit and merges them in unit order, so
+//! parallel and sequential runs are bit-exact **and** counter-identical.
+//!
+//! Wire versions: the classic interpreter bootstraps a wire *in place*,
+//! so a consumer sees the pre- or post-bootstrap value depending on its
+//! program position. The plan makes this explicit — each bootstrap event
+//! produces a new version (a fresh buffer) of the wire, and every consumer
+//! is wired to the version current at its position. Double bootstraps
+//! (two bootstrapping consumers of one wire) replay exactly.
+
+use crate::backend::{input_slot_chunks, EvalBackend, LinearRef, ProgramRun};
+use crate::compile::{Compiled, Step};
+use orion_tensor::Tensor;
+use parking_lot::Mutex;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// How [`run_plan`] walks the unit DAG.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedMode {
+    /// Units in plan order on the calling thread — the sequential
+    /// reference (identical op stream to the classic interpreter).
+    Sequential,
+    /// Ready-frontier execution on the shared rayon pool.
+    Parallel,
+}
+
+/// What one scheduled unit computes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UnitWork {
+    /// A whole program step (Input, Output, Conv, Dense): one unit
+    /// produces the full output wire (linear layers parallelize
+    /// internally via the BSGS executor).
+    Step {
+        /// Program node id.
+        node: usize,
+    },
+    /// One output ciphertext of an elementwise step (scale-down, poly
+    /// stage, relu-final, square, residual add).
+    StepCt {
+        /// Program node id.
+        node: usize,
+        /// Ciphertext index within the wire.
+        ct: usize,
+    },
+    /// Bootstrap of one ciphertext of `wire`, placed before `consumer` —
+    /// produces the wire's next version.
+    Boot {
+        /// The wire (program node id) being refreshed.
+        wire: usize,
+        /// The consumer whose placement entry demanded the refresh.
+        consumer: usize,
+        /// Ciphertext index within the wire.
+        ct: usize,
+    },
+    /// Advisory prefetch of a linear step's prepared layer: becomes
+    /// ready one dependency step AHEAD of the step unit (see
+    /// [`ExecPlan::build`]), nothing depends on it, and the sequential
+    /// walk skips it. Engines without a paged source treat it as a no-op.
+    Prefetch {
+        /// Program node id of the linear step.
+        node: usize,
+    },
+}
+
+/// One schedulable node of the dataflow plan.
+#[derive(Clone, Debug)]
+pub struct Unit {
+    /// The work.
+    pub work: UnitWork,
+    /// Plan-unit ids this unit waits on (all strictly smaller — plan
+    /// order is a topological order).
+    pub deps: Vec<usize>,
+    /// First value slot this unit writes (`Prefetch`/`Output` write none).
+    out_slot: usize,
+    /// Number of value slots written.
+    out_len: usize,
+    /// For `Boot` units: the value slot being refreshed.
+    in_slot: usize,
+}
+
+/// A value buffer: one (wire, version)'s ciphertexts.
+#[derive(Clone, Copy, Debug)]
+struct Buffer {
+    /// First slot index.
+    offset: usize,
+    /// Ciphertext count.
+    len: usize,
+}
+
+/// The dataflow execution plan of one compiled program (see module docs).
+pub struct ExecPlan {
+    /// Units in a topological order (deps always precede).
+    pub units: Vec<Unit>,
+    /// Reverse edges: `succs[u]` = units depending on `u`.
+    succs: Vec<Vec<usize>>,
+    /// Input buffers per program node, per input position — the (wire,
+    /// version) each consumer reads, bootstrap rewrites applied.
+    in_bufs: Vec<Vec<Buffer>>,
+    /// Total value slots.
+    n_slots: usize,
+    /// Total bootstrap units (the run's `bootstraps` tally).
+    bootstraps: u64,
+}
+
+impl ExecPlan {
+    /// Compiles the step list + placement into the unit DAG.
+    pub fn build(c: &Compiled) -> Self {
+        let slots = c.opts.slots;
+        let mut units: Vec<Unit> = Vec::new();
+        let mut n_slots = 0usize;
+        let mut alloc = |len: usize| -> Buffer {
+            let b = Buffer {
+                offset: n_slots,
+                len,
+            };
+            n_slots += len;
+            b
+        };
+        // Current buffer and per-ct producer unit of every wire.
+        let mut cur_buf: Vec<Option<Buffer>> = vec![None; c.prog.len()];
+        let mut cur_prod: Vec<Vec<usize>> = vec![Vec::new(); c.prog.len()];
+        let mut in_bufs: Vec<Vec<Buffer>> = Vec::with_capacity(c.prog.len());
+        let mut bootstraps = 0u64;
+        let mut saw_output = false;
+
+        for (id, node) in c.prog.iter().enumerate() {
+            // Bootstrap events: rewrite each input wire to a new version,
+            // one unit per ciphertext — exactly the classic interpreter's
+            // in-place refresh, made explicit.
+            if c.placement.boots_before[id] > 0 {
+                for &w in &node.inputs {
+                    let old = cur_buf[w].expect("bootstrapping an unproduced wire");
+                    let new = alloc(old.len);
+                    let mut prods = Vec::with_capacity(old.len);
+                    for ct in 0..old.len {
+                        let uid = units.len();
+                        units.push(Unit {
+                            work: UnitWork::Boot {
+                                wire: w,
+                                consumer: id,
+                                ct,
+                            },
+                            deps: vec![cur_prod[w][ct]],
+                            out_slot: new.offset + ct,
+                            out_len: 1,
+                            in_slot: old.offset + ct,
+                        });
+                        prods.push(uid);
+                        bootstraps += 1;
+                    }
+                    cur_buf[w] = Some(new);
+                    cur_prod[w] = prods;
+                }
+            }
+            let ins: Vec<Buffer> = node
+                .inputs
+                .iter()
+                .map(|&w| cur_buf[w].expect("wire consumed before production"))
+                .collect();
+            let all_dep_units = |inputs: &[usize]| -> Vec<usize> {
+                let mut deps: Vec<usize> = inputs
+                    .iter()
+                    .flat_map(|&w| cur_prod[w].iter().copied())
+                    .collect();
+                deps.sort_unstable();
+                deps.dedup();
+                deps
+            };
+            let n_out = node.n_cts.max(1);
+            match &node.step {
+                Step::Input => {
+                    let out = alloc(node.layout.num_ciphertexts(slots));
+                    let uid = units.len();
+                    units.push(Unit {
+                        work: UnitWork::Step { node: id },
+                        deps: Vec::new(),
+                        out_slot: out.offset,
+                        out_len: out.len,
+                        in_slot: usize::MAX,
+                    });
+                    cur_buf[id] = Some(out);
+                    cur_prod[id] = vec![uid; out.len];
+                }
+                Step::Output => {
+                    saw_output = true;
+                    let uid = units.len();
+                    units.push(Unit {
+                        work: UnitWork::Step { node: id },
+                        deps: all_dep_units(&node.inputs),
+                        out_slot: usize::MAX,
+                        out_len: 0,
+                        in_slot: usize::MAX,
+                    });
+                    // nothing consumes the output wire; keep bookkeeping
+                    // consistent anyway
+                    cur_buf[id] = ins.first().copied();
+                    cur_prod[id] = vec![uid; ins.first().map_or(0, |b| b.len)];
+                }
+                Step::Conv { .. } | Step::Dense { .. } => {
+                    let deps = all_dep_units(&node.inputs);
+                    // Advisory prefetch twin with ONE-STEP LOOKAHEAD: it
+                    // becomes ready when the layer's input wires *start*
+                    // being computed (the dependencies of their
+                    // producers), so a paged load overlaps the input
+                    // computation instead of merely sharing the step's
+                    // own readiness. For a layer fed by the Input step
+                    // this is empty — the prefetch is ready at plan
+                    // start. (The sequential walk skips prefetch units
+                    // entirely; see `run_plan`.)
+                    let mut pre_deps: Vec<usize> = deps
+                        .iter()
+                        .flat_map(|&p| units[p].deps.iter().copied())
+                        .collect();
+                    pre_deps.sort_unstable();
+                    pre_deps.dedup();
+                    units.push(Unit {
+                        work: UnitWork::Prefetch { node: id },
+                        deps: pre_deps,
+                        out_slot: usize::MAX,
+                        out_len: 0,
+                        in_slot: usize::MAX,
+                    });
+                    let out = alloc(n_out);
+                    let uid = units.len();
+                    units.push(Unit {
+                        work: UnitWork::Step { node: id },
+                        deps,
+                        out_slot: out.offset,
+                        out_len: out.len,
+                        in_slot: usize::MAX,
+                    });
+                    cur_buf[id] = Some(out);
+                    cur_prod[id] = vec![uid; out.len];
+                }
+                Step::ScaleDown { .. }
+                | Step::PolyStage { .. }
+                | Step::Square
+                | Step::Add
+                | Step::ReluFinal { .. } => {
+                    // Elementwise: output ct j depends only on input ct j
+                    // of every input wire.
+                    for b in &ins {
+                        assert_eq!(
+                            b.len, n_out,
+                            "elementwise step {id} with mismatched wire widths"
+                        );
+                    }
+                    let out = alloc(n_out);
+                    let mut prods = Vec::with_capacity(n_out);
+                    for ct in 0..n_out {
+                        let uid = units.len();
+                        units.push(Unit {
+                            work: UnitWork::StepCt { node: id, ct },
+                            deps: node.inputs.iter().map(|&w| cur_prod[w][ct]).collect(),
+                            out_slot: out.offset + ct,
+                            out_len: 1,
+                            in_slot: usize::MAX,
+                        });
+                        prods.push(uid);
+                    }
+                    cur_buf[id] = Some(out);
+                    cur_prod[id] = prods;
+                }
+            }
+            in_bufs.push(ins);
+        }
+
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); units.len()];
+        for (uid, unit) in units.iter().enumerate() {
+            for &d in &unit.deps {
+                succs[d].push(uid);
+            }
+        }
+        assert!(saw_output, "program has no output node");
+        Self {
+            units,
+            succs,
+            in_bufs,
+            n_slots,
+            bootstraps,
+        }
+    }
+
+    /// Bootstrap units in the plan (== the interpreter's bootstrap count).
+    pub fn bootstraps(&self) -> u64 {
+        self.bootstraps
+    }
+
+    /// Total value slots the plan writes.
+    pub fn value_slots(&self) -> usize {
+        self.n_slots
+    }
+}
+
+thread_local! {
+    /// The unit currently executing on this thread — the shard key the
+    /// `Counting` decorator tallies under, so parallel runs aggregate
+    /// identically to sequential ones (see `Counting::counter`).
+    static CURRENT_UNIT: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// The unit id executing on this thread (`usize::MAX` outside a plan).
+pub(crate) fn current_unit() -> usize {
+    CURRENT_UNIT.with(|c| c.get())
+}
+
+/// Runs `f` attributed to unit `uid`. Save/restore nesting keeps the
+/// attribution correct when a pool thread *helps* with another unit's
+/// sub-jobs while waiting inside this one.
+fn with_unit<R>(uid: usize, f: impl FnOnce() -> R) -> R {
+    CURRENT_UNIT.with(|c| {
+        let prev = c.replace(uid);
+        let r = f();
+        c.set(prev);
+        r
+    })
+}
+
+struct RunState<'a, B: EvalBackend> {
+    plan: &'a ExecPlan,
+    c: &'a Compiled,
+    backend: &'a B,
+    input: &'a Tensor,
+    values: Vec<OnceLock<B::Ciphertext>>,
+    out: Mutex<Option<(Tensor, Vec<B::Ciphertext>)>>,
+}
+
+impl<B: EvalBackend> RunState<'_, B> {
+    fn value(&self, slot: usize) -> &B::Ciphertext {
+        self.values[slot]
+            .get()
+            .expect("scheduler dependency violation: value not ready")
+    }
+
+    /// Clones buffer `b`'s ciphertexts and drops them to `level`,
+    /// asserting the placement invariant like the classic interpreter.
+    fn take_dropped(&self, b: Buffer, level: usize) -> Vec<B::Ciphertext> {
+        (b.offset..b.offset + b.len)
+            .map(|s| self.drop_one(self.value(s), level))
+            .collect()
+    }
+
+    fn drop_one(&self, ct: &B::Ciphertext, level: usize) -> B::Ciphertext {
+        assert!(
+            self.backend.level_of(ct) >= level,
+            "wire at level {} but the policy needs {level} — placement violated",
+            self.backend.level_of(ct)
+        );
+        self.backend.drop_to_level(ct, level)
+    }
+
+    fn store(&self, unit: &Unit, cts: Vec<B::Ciphertext>) {
+        // hard assert: a backend returning the wrong ciphertext count
+        // must fail HERE, not corrupt a neighboring wire's value slots
+        assert_eq!(
+            cts.len(),
+            unit.out_len,
+            "backend produced {} ciphertexts for a unit expecting {}",
+            cts.len(),
+            unit.out_len
+        );
+        for (i, ct) in cts.into_iter().enumerate() {
+            if self.values[unit.out_slot + i].set(ct).is_err() {
+                panic!("scheduler wrote a value slot twice");
+            }
+        }
+    }
+
+    fn run_unit(&self, uid: usize) {
+        let unit = &self.plan.units[uid];
+        with_unit(uid, || self.exec_unit(unit));
+    }
+
+    fn exec_unit(&self, unit: &Unit) {
+        let backend = self.backend;
+        match unit.work {
+            UnitWork::Prefetch { node } => backend.prefetch_linear(node),
+            UnitWork::Boot { .. } => {
+                let out = backend.bootstrap(self.value(unit.in_slot));
+                self.store(unit, vec![out]);
+            }
+            UnitWork::Step { node } => self.exec_step(unit, node),
+            UnitWork::StepCt { node, ct } => self.exec_step_ct(unit, node, ct),
+        }
+    }
+
+    fn exec_step(&self, unit: &Unit, id: usize) {
+        let backend = self.backend;
+        let c = self.c;
+        let slots = c.opts.slots;
+        let node = &c.prog[id];
+        match &node.step {
+            Step::Input => {
+                let cts: Vec<B::Ciphertext> = input_slot_chunks(c, slots, self.input)
+                    .into_iter()
+                    .map(|chunk| backend.encrypt(&chunk, c.opts.l_eff))
+                    .collect();
+                self.store(unit, cts);
+            }
+            Step::Output => {
+                let b = self.plan.in_bufs[id][0];
+                let cts: Vec<B::Ciphertext> = (b.offset..b.offset + b.len)
+                    .map(|s| self.value(s).clone())
+                    .collect();
+                let prev = &c.prog[node.inputs[0]];
+                let mut slots_vec = Vec::with_capacity(cts.len() * slots);
+                for ct in &cts {
+                    slots_vec.extend(backend.decrypt(ct));
+                }
+                slots_vec.resize(prev.layout.total_slots(), 0.0);
+                let raster = prev.layout.unpack(&slots_vec);
+                let (cc, hh, ww) = (prev.layout.c, prev.layout.h, prev.layout.w);
+                *self.out.lock() = Some((Tensor::from_vec(&[cc, hh, ww], raster), cts));
+            }
+            Step::Conv {
+                plan,
+                spec,
+                weight,
+                bias,
+                in_l,
+                out_l,
+            } => {
+                let lv = c.placement.levels[id].expect("linear layer unplaced");
+                let cts = self.take_dropped(self.plan.in_bufs[id][0], lv);
+                let layer = LinearRef::Conv {
+                    step: id,
+                    plan,
+                    spec,
+                    weight,
+                    bias,
+                    in_l,
+                    out_l,
+                };
+                self.store(unit, backend.linear_layer(&layer, &cts, lv));
+            }
+            Step::Dense {
+                plan,
+                weight,
+                bias,
+                in_l,
+                n_out,
+            } => {
+                let lv = c.placement.levels[id].expect("linear layer unplaced");
+                let cts = self.take_dropped(self.plan.in_bufs[id][0], lv);
+                let layer = LinearRef::Dense {
+                    step: id,
+                    plan,
+                    weight,
+                    bias,
+                    in_l,
+                    n_out: *n_out,
+                };
+                self.store(unit, backend.linear_layer(&layer, &cts, lv));
+            }
+            other => panic!("step {other:?} is not a whole-step unit"),
+        }
+    }
+
+    fn exec_step_ct(&self, unit: &Unit, id: usize, ct: usize) {
+        let backend = self.backend;
+        let c = self.c;
+        let node = &c.prog[id];
+        let lv = c.placement.levels[id].expect("elementwise step unplaced");
+        let in_ct = |pos: usize, level: usize| -> B::Ciphertext {
+            let b = self.plan.in_bufs[id][pos];
+            self.drop_one(self.value(b.offset + ct), level)
+        };
+        let out = match &node.step {
+            Step::ScaleDown { factor } => backend.scale_down(&in_ct(0, lv), *factor, lv),
+            Step::PolyStage { coeffs, normalize } => {
+                backend.poly_stage(&in_ct(0, lv), coeffs, *normalize, lv, id)
+            }
+            Step::ReluFinal { magnitude } => {
+                assert!(lv >= 2, "relu final needs 2 levels");
+                backend.relu_final(&in_ct(0, lv), &in_ct(1, lv - 1), *magnitude, lv)
+            }
+            Step::Square => {
+                assert!(lv >= 2, "square needs 2 levels");
+                backend.square_activation(&in_ct(0, lv), lv)
+            }
+            Step::Add => backend.add(&in_ct(0, lv), &in_ct(1, lv)),
+            other => panic!("step {other:?} is not an elementwise unit"),
+        };
+        self.store(unit, vec![out]);
+    }
+}
+
+/// Executes a plan on `backend`. See [`SchedMode`] for the two walks; both
+/// produce bit-identical results and counters.
+pub fn run_plan<B: EvalBackend + Sync>(
+    plan: &ExecPlan,
+    c: &Compiled,
+    backend: &B,
+    input: &Tensor,
+    mode: SchedMode,
+) -> ProgramRun<B::Ciphertext> {
+    assert_eq!(
+        backend.slots(),
+        c.opts.slots,
+        "backend/program slot-count mismatch"
+    );
+    let state = RunState {
+        plan,
+        c,
+        backend,
+        input,
+        values: (0..plan.n_slots).map(|_| OnceLock::new()).collect(),
+        out: Mutex::new(None),
+    };
+    match mode {
+        SchedMode::Sequential => {
+            // Plan order is a topological order AND the classic
+            // interpreter's op order. Prefetch units are skipped: with no
+            // concurrency there is nothing to overlap a load with, and
+            // running them would merely relabel every blocking fault as a
+            // "prefetch hit" in the pager's stats.
+            for uid in 0..plan.units.len() {
+                if !matches!(plan.units[uid].work, UnitWork::Prefetch { .. }) {
+                    state.run_unit(uid);
+                }
+            }
+        }
+        SchedMode::Parallel => run_frontier(&state),
+    }
+    let (output, output_wire) = state.out.into_inner().expect("output unit did not run");
+    ProgramRun {
+        output,
+        output_wire,
+        bootstraps: plan.bootstraps,
+    }
+}
+
+/// Kahn's-algorithm frontier execution: all ready units run concurrently
+/// on the shared pool; a unit's completion releases its successors. The
+/// frontier is collected order-preservingly, so the walk is reproducible
+/// modulo thread interleaving — which cannot affect results (see module
+/// docs).
+fn run_frontier<B: EvalBackend + Sync>(state: &RunState<'_, B>) {
+    let plan = state.plan;
+    let indeg: Vec<AtomicUsize> = plan
+        .units
+        .iter()
+        .map(|u| AtomicUsize::new(u.deps.len()))
+        .collect();
+    let mut frontier: Vec<usize> = plan
+        .units
+        .iter()
+        .enumerate()
+        .filter(|(_, u)| u.deps.is_empty())
+        .map(|(i, _)| i)
+        .collect();
+    let mut done = 0usize;
+    while !frontier.is_empty() {
+        done += frontier.len();
+        let released: Vec<Vec<usize>> =
+            orion_math::parallel::map_indexed(frontier.len(), frontier.len() > 1, |i| {
+                let uid = frontier[i];
+                state.run_unit(uid);
+                plan.succs[uid]
+                    .iter()
+                    .copied()
+                    .filter(|&s| indeg[s].fetch_sub(1, Ordering::AcqRel) == 1)
+                    .collect()
+            });
+        frontier = released.into_iter().flatten().collect();
+    }
+    assert_eq!(done, plan.units.len(), "scheduler stalled: cyclic plan?");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile, CompileOptions};
+    use crate::fit::fixed_ranges;
+    use crate::network::Network;
+    use orion_sim::CostModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn opts() -> CompileOptions {
+        CompileOptions {
+            slots: 256,
+            l_eff: 10,
+            cost: CostModel::for_degree(1 << 9, 4),
+        }
+    }
+
+    #[test]
+    fn plan_is_topologically_ordered_and_covers_every_step() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut net = Network::new(4, 8, 8);
+        let x = net.input();
+        let c1 = net.conv2d("c1", x, 4, 3, 1, 1, 1, &mut rng);
+        let a1 = net.relu("a1", c1, &[15, 15, 27]);
+        let c2 = net.conv2d("c2", a1, 4, 3, 1, 1, 1, &mut rng);
+        let add = net.add("res", c2, x);
+        net.output(add);
+        let c = compile(&net, &fixed_ranges(&net, 4.0), &opts());
+        assert!(c.placement.boot_count > 0, "want a bootstrap-deep plan");
+        let plan = ExecPlan::build(&c);
+        // deps strictly precede (plan order is topological)
+        for (uid, unit) in plan.units.iter().enumerate() {
+            for &d in &unit.deps {
+                assert!(d < uid, "unit {uid} depends on later unit {d}");
+            }
+        }
+        // every program node appears as a unit
+        for id in 0..c.prog.len() {
+            assert!(
+                plan.units.iter().any(|u| matches!(
+                    u.work,
+                    UnitWork::Step { node } | UnitWork::StepCt { node, .. } if node == id
+                )),
+                "node {id} missing from plan"
+            );
+        }
+        // bootstrap units match the placement's count
+        assert_eq!(plan.bootstraps(), {
+            let mut n = 0u64;
+            for (id, node) in c.prog.iter().enumerate() {
+                if c.placement.boots_before[id] > 0 {
+                    for &w in &node.inputs {
+                        n += c.prog[w].n_cts.max(1) as u64;
+                    }
+                }
+            }
+            n
+        });
+        // linear steps have an advisory prefetch twin
+        for (id, node) in c.prog.iter().enumerate() {
+            if matches!(node.step, Step::Conv { .. } | Step::Dense { .. }) {
+                assert!(plan
+                    .units
+                    .iter()
+                    .any(|u| matches!(u.work, UnitWork::Prefetch { node } if node == id)));
+            }
+        }
+    }
+}

@@ -1,5 +1,5 @@
 //! Trace-backend execution of compiled programs — a thin wrapper over the
-//! unified interpreter ([`crate::backend::run_program`]) with the
+//! unified dataflow scheduler ([`crate::backend::run_program`]) with the
 //! [`TraceBackend`] engine and the [`Counting`] decorator.
 //!
 //! Values are computed exactly (reference semantics + fitted polynomial
@@ -32,10 +32,10 @@ impl TraceRun {
 
 /// Runs a compiled program on the trace backend.
 pub fn run_trace(c: &Compiled, input: &Tensor) -> TraceRun {
-    let mut backend = Counting::new(TraceBackend::new(c), c.opts.cost.clone(), c.opts.l_eff);
-    let run = run_program(c, &mut backend, input);
+    let backend = Counting::new(TraceBackend::new(c), c.opts.cost.clone(), c.opts.l_eff);
+    let run = run_program(c, &backend, input);
     TraceRun {
         output: run.output,
-        counter: backend.counter,
+        counter: backend.into_parts().1,
     }
 }

@@ -73,15 +73,15 @@ fn mlp_agrees_across_all_three_backends() {
     let cost = compiled.opts.cost.clone();
     let l_eff = compiled.opts.l_eff;
 
-    let mut plain = Counting::new(PlainBackend::new(&compiled), cost.clone(), l_eff);
-    let plain_run = run_program(&compiled, &mut plain, &input);
+    let plain = Counting::new(PlainBackend::new(&compiled), cost.clone(), l_eff);
+    let plain_run = run_program(&compiled, &plain, &input);
 
-    let mut trace = Counting::new(TraceBackend::new(&compiled), cost.clone(), l_eff);
-    let trace_run = run_program(&compiled, &mut trace, &input);
+    let trace = Counting::new(TraceBackend::new(&compiled), cost.clone(), l_eff);
+    let trace_run = run_program(&compiled, &trace, &input);
 
     let session = FheSession::new(params, &compiled, 42);
-    let mut ckks = Counting::new(CkksBackend::new(&session), cost, l_eff);
-    let ckks_run = run_program(&compiled, &mut ckks, &input);
+    let ckks = Counting::new(CkksBackend::new(&session), cost, l_eff);
+    let ckks_run = run_program(&compiled, &ckks, &input);
 
     // Values: plain (exact rotation algebra) vs trace (reference linear
     // algebra) agree to float precision; CKKS carries encryption noise.
@@ -97,14 +97,14 @@ fn mlp_agrees_across_all_three_backends() {
     );
 
     // Tallies: identical regardless of engine.
-    assert_counters_identical(&plain.counter, &trace.counter, "plain vs trace");
-    assert_counters_identical(&ckks.counter, &trace.counter, "ckks vs trace");
-    assert!(trace.counter.rotations() > 0, "program should rotate");
+    assert_counters_identical(&plain.counter(), &trace.counter(), "plain vs trace");
+    assert_counters_identical(&ckks.counter(), &trace.counter(), "ckks vs trace");
+    assert!(trace.counter().rotations() > 0, "program should rotate");
     assert!(
-        trace.counter.encodes > 0,
+        trace.counter().encodes > 0,
         "on-the-fly engines pay per-inference encodes"
     );
-    assert_eq!(trace.counter.bootstraps(), compiled.placement.boot_count);
+    assert_eq!(trace.counter().bootstraps(), compiled.placement.boot_count);
     assert_eq!(plain_run.bootstraps, trace_run.bootstraps);
     assert_eq!(ckks_run.bootstraps, trace_run.bootstraps);
 }
@@ -134,17 +134,17 @@ fn conv_net_plain_oracle_matches_trace_reference() {
     let input = random_input(2, 8, 8, &mut rng);
     let cost = compiled.opts.cost.clone();
 
-    let mut plain = Counting::new(PlainBackend::new(&compiled), cost.clone(), opts.l_eff);
-    let plain_run = run_program(&compiled, &mut plain, &input);
-    let mut trace = Counting::new(TraceBackend::new(&compiled), cost, opts.l_eff);
-    let trace_run = run_program(&compiled, &mut trace, &input);
+    let plain = Counting::new(PlainBackend::new(&compiled), cost.clone(), opts.l_eff);
+    let plain_run = run_program(&compiled, &plain, &input);
+    let trace = Counting::new(TraceBackend::new(&compiled), cost, opts.l_eff);
+    let trace_run = run_program(&compiled, &trace, &input);
 
     let prec = precision_bits(plain_run.output.data(), trace_run.output.data());
     assert!(
         prec > 35.0,
         "conv packing oracle diverged from reference: {prec} bits"
     );
-    assert_counters_identical(&plain.counter, &trace.counter, "conv plain vs trace");
+    assert_counters_identical(&plain.counter(), &trace.counter(), "conv plain vs trace");
     // Multi-ciphertext wires were actually exercised.
     assert!(
         compiled.prog.iter().any(|p| p.n_cts >= 2),

@@ -17,8 +17,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Insecure test parameters with `l_eff = max_level − 1` headroom so small
-/// nets run bootstrap-free (a bootstrap draws from the shared oracle RNG,
-/// which would break run-to-run determinism).
+/// nets run bootstrap-free and cheap. (Bootstraps are deterministic per
+/// ciphertext since the oracle derives its noise from the input, so they
+/// no longer break replay determinism — see `sched_equivalence` — but
+/// skipping them keeps these tests fast.)
 fn headroom_params(max_level: usize) -> CkksParams {
     CkksParams {
         n: 1 << 10,
@@ -75,28 +77,29 @@ fn prepared_run_matches_on_the_fly_with_zero_encodes() {
     // everything else identical to the on-the-fly run.
     let cost = compiled.opts.cost.clone();
     let l_eff = compiled.opts.l_eff;
-    let mut cold = Counting::new(CkksBackend::new(&session), cost.clone(), l_eff);
-    run_program(&compiled, &mut cold, &input);
-    let mut warm = Counting::new(
+    let cold = Counting::new(CkksBackend::new(&session), cost.clone(), l_eff);
+    run_program(&compiled, &cold, &input);
+    let warm = Counting::new(
         CkksBackend::with_prepared(&session, prepared.clone()),
         cost.clone(),
         l_eff,
     );
-    run_program(&compiled, &mut warm, &input);
-    assert!(cold.counter.encodes > 0, "on-the-fly path must encode");
+    run_program(&compiled, &warm, &input);
+    assert!(cold.counter().encodes > 0, "on-the-fly path must encode");
     assert_eq!(
-        warm.counter.encodes, 0,
+        warm.counter().encodes,
+        0,
         "prepared path must encode NOTHING per inference"
     );
-    assert_eq!(cold.counter.all(), warm.counter.all());
-    assert_eq!(cold.counter.rotations(), warm.counter.rotations());
+    assert_eq!(cold.counter().all(), warm.counter().all());
+    assert_eq!(cold.counter().rotations(), warm.counter().rotations());
 
     // The modeled trace engine mirrors the serving mode, so prepared CKKS
     // and prepared trace stay counter-identical (including encodes).
-    let mut trace = Counting::new(TraceBackend::prepared(&compiled), cost, l_eff);
-    run_program(&compiled, &mut trace, &input);
-    assert_eq!(trace.counter.encodes, 0);
-    assert_eq!(trace.counter.all(), warm.counter.all());
+    let trace = Counting::new(TraceBackend::prepared(&compiled), cost, l_eff);
+    run_program(&compiled, &trace, &input);
+    assert_eq!(trace.counter().encodes, 0);
+    assert_eq!(trace.counter().all(), warm.counter().all());
 }
 
 #[test]
@@ -140,30 +143,30 @@ fn prepared_activation_constants_hit_zero_encodes() {
     );
     let cost = compiled.opts.cost.clone();
     let l_eff = compiled.opts.l_eff;
-    let mut cold = Counting::new(CkksBackend::new(&session), cost.clone(), l_eff);
-    let cold_run = run_program(&compiled, &mut cold, &input);
+    let cold = Counting::new(CkksBackend::new(&session), cost.clone(), l_eff);
+    let cold_run = run_program(&compiled, &cold, &input);
     // the declarative stage tally and the engine-observed fresh encodes
     // must agree — this pins the level-only replay to the real recursion
     assert_eq!(cold.inner.act_fresh_encodes(), stage_encodes);
-    assert!(cold.counter.encodes >= stage_encodes);
+    assert!(cold.counter().encodes >= stage_encodes);
 
-    let mut warm = Counting::new(
+    let warm = Counting::new(
         CkksBackend::with_prepared(&session, prepared.clone()),
         cost.clone(),
         l_eff,
     );
-    let warm_run = run_program(&compiled, &mut warm, &input);
-    assert_eq!(warm.counter.encodes, 0, "linear AND activation cached");
+    let warm_run = run_program(&compiled, &warm, &input);
+    assert_eq!(warm.counter().encodes, 0, "linear AND activation cached");
     assert_eq!(warm.inner.act_fresh_encodes(), 0);
     assert_eq!(warm.inner.act_cache_misses(), 0, "recording must replay");
 
     // same function, and modeled prepared engines stay counter-identical
     let prec = precision_bits(warm_run.output.data(), cold_run.output.data());
     assert!(prec > 8.0, "prepared activation diverged: {prec} bits");
-    let mut trace = Counting::new(TraceBackend::prepared(&compiled), cost, l_eff);
-    run_program(&compiled, &mut trace, &input);
-    assert_eq!(trace.counter.encodes, 0);
-    assert_eq!(trace.counter.all(), warm.counter.all());
+    let trace = Counting::new(TraceBackend::prepared(&compiled), cost, l_eff);
+    run_program(&compiled, &trace, &input);
+    assert_eq!(trace.counter().encodes, 0);
+    assert_eq!(trace.counter().all(), warm.counter().all());
 }
 
 #[test]
@@ -266,21 +269,21 @@ fn partially_prepared_cache_is_tallied_honestly() {
         &[2, 8, 8],
         (0..128).map(|_| rng.gen_range(-1.0..1.0)).collect(),
     );
-    let mut cold = Counting::new(CkksBackend::new(&session), cost.clone(), l_eff);
-    run_program(&compiled, &mut cold, &input);
-    let mut mixed = Counting::new(
+    let cold = Counting::new(CkksBackend::new(&session), cost.clone(), l_eff);
+    run_program(&compiled, &cold, &input);
+    let mixed = Counting::new(
         CkksBackend::with_prepared(&session, partial),
         cost.clone(),
         l_eff,
     );
-    run_program(&compiled, &mut mixed, &input);
-    let mut warm = Counting::new(CkksBackend::with_prepared(&session, full), cost, l_eff);
-    run_program(&compiled, &mut warm, &input);
-    assert_eq!(warm.counter.encodes, 0);
+    run_program(&compiled, &mixed, &input);
+    let warm = Counting::new(CkksBackend::with_prepared(&session, full), cost, l_eff);
+    run_program(&compiled, &warm, &input);
+    assert_eq!(warm.counter().encodes, 0);
     assert!(
-        mixed.counter.encodes > 0 && mixed.counter.encodes < cold.counter.encodes,
+        mixed.counter().encodes > 0 && mixed.counter().encodes < cold.counter().encodes,
         "partial cache must charge only the uncached steps: {} vs cold {}",
-        mixed.counter.encodes,
-        cold.counter.encodes
+        mixed.counter().encodes,
+        cold.counter().encodes
     );
 }

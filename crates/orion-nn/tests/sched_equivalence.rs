@@ -1,0 +1,207 @@
+//! Scheduler equivalence: the dataflow plan executed in parallel must be
+//! **bit-exact** and **counter-identical** to the sequential walk on every
+//! engine — scheduler order must not change results. This is the
+//! refactor's core invariant: per-(wire, version, ct) value slots make the
+//! data flow explicit, every backend op (including the bootstrap oracle)
+//! is a pure function, and the `Counting` decorator shards tallies per
+//! unit and merges them in plan order, so even the accumulated `f64`
+//! model seconds agree to the last bit.
+
+use orion_ckks::CkksParams;
+use orion_nn::backend::{run_program_mode, Counting};
+use orion_nn::backends::{CkksBackend, PlainBackend, TraceBackend};
+use orion_nn::compile::{compile, CompileOptions, Compiled};
+use orion_nn::fhe_exec::FheSession;
+use orion_nn::fit::fixed_ranges;
+use orion_nn::network::Network;
+use orion_nn::sched::SchedMode;
+use orion_sim::{CostModel, OpCounter};
+use orion_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_input(c: usize, h: usize, w: usize, rng: &mut StdRng) -> Tensor {
+    let n = c * h * w;
+    Tensor::from_vec(
+        &[c, h, w],
+        (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    )
+}
+
+/// Counters must agree EXACTLY — counts, encodes, and the accumulated
+/// floating-point model seconds down to the bit (the shard-merge order is
+/// deterministic, so any drift is a scheduler bug).
+fn assert_counters_bit_identical(a: &OpCounter, b: &OpCounter, what: &str) {
+    assert_eq!(a.all(), b.all(), "{what}: op tallies diverged");
+    assert_eq!(a.encodes, b.encodes, "{what}: encode tallies diverged");
+    assert_eq!(
+        a.seconds.to_bits(),
+        b.seconds.to_bits(),
+        "{what}: modeled seconds drifted ({} vs {})",
+        a.seconds,
+        b.seconds
+    );
+    assert_eq!(
+        a.linear_seconds.to_bits(),
+        b.linear_seconds.to_bits(),
+        "{what}: linear seconds drifted"
+    );
+    assert_eq!(
+        a.bootstrap_seconds.to_bits(),
+        b.bootstrap_seconds.to_bits(),
+        "{what}: bootstrap seconds drifted"
+    );
+}
+
+/// Runs `c` in both modes on a fresh `Counting<B>` built by `mk` and
+/// checks outputs bit-exact + counters bit-identical. Returns the
+/// sequential run's bootstraps.
+fn check_modes<B, F>(c: &Compiled, input: &Tensor, what: &str, mk: F) -> u64
+where
+    B: orion_nn::EvalBackend + Sync,
+    F: Fn() -> B,
+{
+    let cost = c.opts.cost.clone();
+    let seq = Counting::new(mk(), cost.clone(), c.opts.l_eff);
+    let seq_run = run_program_mode(c, &seq, input, SchedMode::Sequential);
+    let par = Counting::new(mk(), cost, c.opts.l_eff);
+    let par_run = run_program_mode(c, &par, input, SchedMode::Parallel);
+    assert_eq!(
+        seq_run.output.data(),
+        par_run.output.data(),
+        "{what}: parallel output diverged from sequential"
+    );
+    assert_eq!(seq_run.bootstraps, par_run.bootstraps, "{what}: bootstraps");
+    assert_counters_bit_identical(&seq.counter(), &par.counter(), what);
+    seq_run.bootstraps
+}
+
+fn mlp(rng: &mut StdRng) -> Network {
+    let mut net = Network::new(1, 8, 8);
+    let x = net.input();
+    let f = net.flatten("flat", x);
+    let l1 = net.linear("fc1", f, 16, rng);
+    let a1 = net.square("act1", l1);
+    let l2 = net.linear("fc2", a1, 4, rng);
+    net.output(l2);
+    net
+}
+
+/// The MLP at tiny real-CKKS parameters is bootstrap-deep; all three
+/// engines must agree with themselves across scheduling modes, bit for
+/// bit. CKKS runs on pre-encrypted inputs so both modes see identical
+/// request ciphertexts (the bootstrap oracle derives its noise from the
+/// ciphertext being refreshed, so bootstraps replay deterministically).
+#[test]
+fn mlp_parallel_matches_sequential_on_all_three_engines() {
+    let params = CkksParams::tiny();
+    let mut rng = StdRng::seed_from_u64(0x5c4ed);
+    let net = mlp(&mut rng);
+    let opts = CompileOptions::from_params(&params);
+    let compiled = compile(&net, &fixed_ranges(&net, 2.0), &opts);
+    assert!(
+        compiled.placement.boot_count > 0,
+        "test must exercise bootstrap units"
+    );
+    let input = random_input(1, 8, 8, &mut rng);
+
+    let boots = check_modes(&compiled, &input, "plain mlp", || {
+        PlainBackend::new(&compiled)
+    });
+    assert_eq!(boots, compiled.placement.boot_count);
+    check_modes(&compiled, &input, "trace mlp", || {
+        TraceBackend::new(&compiled)
+    });
+
+    let session = FheSession::new(params, &compiled, 99);
+    let cts = session.encrypt_input(&compiled, &input);
+    let dummy = Tensor::from_vec(&[1, 8, 8], vec![0.0; 64]);
+    let boots = check_modes(&compiled, &dummy, "ckks mlp", || {
+        CkksBackend::new(&session).inject_inputs(cts.clone())
+    });
+    assert_eq!(boots, compiled.placement.boot_count);
+}
+
+/// A conv net with a ReLU (scale-down fork → sign chain → final product:
+/// the SESE region whose shared wire gets bootstrapped mid-region, so the
+/// plan's wire *versioning* is on trial) and a residual add, on the two
+/// cleartext engines — multi-ciphertext wires, ≥1 bootstrap site.
+#[test]
+fn conv_relu_residual_parallel_matches_sequential() {
+    let mut rng = StdRng::seed_from_u64(0x5c4ee);
+    let mut net = Network::new(4, 8, 8);
+    let x = net.input();
+    let c1 = net.conv2d("c1", x, 4, 3, 1, 1, 1, &mut rng);
+    let a1 = net.relu("a1", c1, &[15, 15, 27]);
+    let c2 = net.conv2d("c2", a1, 4, 3, 1, 1, 1, &mut rng);
+    let add = net.add("res", c2, x);
+    let a2 = net.square("a2", add);
+    net.output(a2);
+    let opts = CompileOptions {
+        slots: 128,
+        l_eff: 10,
+        cost: CostModel::for_degree(1 << 9, 4),
+    };
+    let compiled = compile(&net, &fixed_ranges(&net, 4.0), &opts);
+    assert!(compiled.placement.boot_count > 0, "want bootstrap sites");
+    assert!(
+        compiled.prog.iter().any(|p| p.n_cts >= 2),
+        "want multi-ciphertext wires"
+    );
+    let input = random_input(4, 8, 8, &mut rng);
+    check_modes(&compiled, &input, "plain conv", || {
+        PlainBackend::new(&compiled)
+    });
+    check_modes(&compiled, &input, "trace conv", || {
+        TraceBackend::new(&compiled)
+    });
+}
+
+/// A bootstrap-deep CKKS conv net (square activations keep the depth
+/// affordable at tiny parameters): the real-crypto engine, prepared mode,
+/// pre-encrypted inputs — the serving hot path — must replay bit-exactly
+/// under the parallel scheduler, with zero per-inference encodes in both
+/// modes.
+#[test]
+fn ckks_prepared_conv_parallel_matches_sequential() {
+    let params = CkksParams::tiny();
+    let mut rng = StdRng::seed_from_u64(0x5c4ef);
+    let mut net = Network::new(2, 8, 8);
+    let x = net.input();
+    let c1 = net.conv2d("conv1", x, 4, 3, 2, 1, 1, &mut rng);
+    let a1 = net.square("act1", c1);
+    let f = net.flatten("flat", a1);
+    let l = net.linear("fc", f, 6, &mut rng);
+    net.output(l);
+    let opts = CompileOptions::from_params(&params);
+    let compiled = compile(&net, &fixed_ranges(&net, 4.0), &opts);
+    assert!(compiled.placement.boot_count > 0, "want bootstrap units");
+    let session = FheSession::new(params, &compiled, 17);
+    let prepared = session.prepare(&compiled);
+    let input = random_input(2, 8, 8, &mut rng);
+    let cts = session.encrypt_input(&compiled, &input);
+    let dummy = Tensor::from_vec(&[2, 8, 8], vec![0.0; 128]);
+
+    let cost = compiled.opts.cost.clone();
+    let seq = Counting::new(
+        CkksBackend::with_prepared(&session, prepared.clone()).inject_inputs(cts.clone()),
+        cost.clone(),
+        compiled.opts.l_eff,
+    );
+    let seq_run = run_program_mode(&compiled, &seq, &dummy, SchedMode::Sequential);
+    let par = Counting::new(
+        CkksBackend::with_prepared(&session, prepared).inject_inputs(cts),
+        cost,
+        compiled.opts.l_eff,
+    );
+    let par_run = run_program_mode(&compiled, &par, &dummy, SchedMode::Parallel);
+    assert_eq!(seq_run.output.data(), par_run.output.data());
+    // raw output ciphertexts, not just decodes, must match bit for bit
+    for (a, b) in seq_run.output_wire.iter().zip(&par_run.output_wire) {
+        assert_eq!(a.c0, b.c0, "output ciphertext diverged");
+        assert_eq!(a.c1, b.c1);
+        assert_eq!(a.scale, b.scale);
+    }
+    assert_counters_bit_identical(&seq.counter(), &par.counter(), "ckks prepared conv");
+    assert_eq!(seq.counter().encodes, 0, "prepared path must not encode");
+}

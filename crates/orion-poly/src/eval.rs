@@ -19,8 +19,9 @@
 use orion_ckks::encoder::Encoder;
 use orion_ckks::encrypt::{Ciphertext, Plaintext};
 use orion_ckks::eval::Evaluator;
-use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// The identity of one constant plaintext a Chebyshev stage consumes:
 /// the replicated slot value, the encoding scale, and the level. Constants
@@ -40,7 +41,12 @@ pub struct StageConst {
 /// path encodes them per inference; the prepared serving path replays a
 /// setup-time recording so activations hit zero per-inference encodes
 /// (tallied through `OpCounter::encodes`).
-pub trait ConstSource {
+///
+/// Sources are `Sync` (counters are atomics, recordings sit behind a
+/// mutex): the wire-level parallel scheduler evaluates independent
+/// ciphertexts' stages concurrently, and a source must tolerate being
+/// shared across those units.
+pub trait ConstSource: Sync {
     /// Returns the plaintext for `value` replicated at (`scale`, `level`).
     fn constant(&self, enc: &Encoder, value: f64, scale: f64, level: usize) -> Plaintext;
 }
@@ -49,7 +55,7 @@ pub trait ConstSource {
 /// the count cross-checks [`stage_const_count`]).
 #[derive(Default)]
 pub struct FreshConsts {
-    count: Cell<u64>,
+    count: AtomicU64,
 }
 
 impl FreshConsts {
@@ -60,13 +66,13 @@ impl FreshConsts {
 
     /// Constants encoded so far.
     pub fn count(&self) -> u64 {
-        self.count.get()
+        self.count.load(Ordering::Relaxed)
     }
 }
 
 impl ConstSource for FreshConsts {
     fn constant(&self, enc: &Encoder, value: f64, scale: f64, level: usize) -> Plaintext {
-        self.count.set(self.count.get() + 1);
+        self.count.fetch_add(1, Ordering::Relaxed);
         enc.encode_constant(value, scale, level, false)
     }
 }
@@ -75,7 +81,7 @@ impl ConstSource for FreshConsts {
 /// the prepare-time pass that builds a stage's cached constants.
 #[derive(Default)]
 pub struct RecordingConsts {
-    out: RefCell<Vec<(StageConst, Plaintext)>>,
+    out: Mutex<Vec<(StageConst, Plaintext)>>,
 }
 
 impl RecordingConsts {
@@ -86,14 +92,14 @@ impl RecordingConsts {
 
     /// The recorded constants, in the order the stage consumed them.
     pub fn into_consts(self) -> Vec<(StageConst, Plaintext)> {
-        self.out.into_inner()
+        self.out.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 impl ConstSource for RecordingConsts {
     fn constant(&self, enc: &Encoder, value: f64, scale: f64, level: usize) -> Plaintext {
         let pt = enc.encode_constant(value, scale, level, false);
-        self.out.borrow_mut().push((
+        self.out.lock().unwrap_or_else(|e| e.into_inner()).push((
             StageConst {
                 value,
                 scale,
@@ -112,8 +118,8 @@ impl ConstSource for RecordingConsts {
 /// corrupting the result.
 pub struct CachedConsts<'a> {
     consts: &'a [(StageConst, Plaintext)],
-    next: Cell<usize>,
-    misses: Cell<u64>,
+    next: AtomicUsize,
+    misses: AtomicU64,
 }
 
 impl<'a> CachedConsts<'a> {
@@ -121,21 +127,20 @@ impl<'a> CachedConsts<'a> {
     pub fn new(consts: &'a [(StageConst, Plaintext)]) -> Self {
         Self {
             consts,
-            next: Cell::new(0),
-            misses: Cell::new(0),
+            next: AtomicUsize::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
     /// Cache misses (0 on a faithful replay).
     pub fn misses(&self) -> u64 {
-        self.misses.get()
+        self.misses.load(Ordering::Relaxed)
     }
 }
 
 impl ConstSource for CachedConsts<'_> {
     fn constant(&self, enc: &Encoder, value: f64, scale: f64, level: usize) -> Plaintext {
-        let i = self.next.get();
-        self.next.set(i + 1);
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
         if let Some((spec, pt)) = self.consts.get(i) {
             if spec.value.to_bits() == value.to_bits()
                 && spec.scale.to_bits() == scale.to_bits()
@@ -144,7 +149,7 @@ impl ConstSource for CachedConsts<'_> {
                 return pt.clone();
             }
         }
-        self.misses.set(self.misses.get() + 1);
+        self.misses.fetch_add(1, Ordering::Relaxed);
         enc.encode_constant(value, scale, level, false)
     }
 }

@@ -122,6 +122,8 @@ impl ModelMetrics {
                     num("faults", p.faults),
                     num("evictions", p.evictions),
                     num("hits", p.hits),
+                    num("prefetches", p.prefetches),
+                    num("prefetch_hits", p.prefetch_hits),
                     num("resident_bytes", p.resident_bytes),
                     num("resident_layers", p.resident_layers),
                 ]),

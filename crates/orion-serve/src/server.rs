@@ -471,33 +471,68 @@ impl Drop for Server {
     }
 }
 
+/// Which model the batcher should flush next, round-robin across the
+/// per-model FIFOs. A model *qualifies* when its queue reached
+/// `max_batch`, its oldest request waited past `max_wait`, or the server
+/// is draining. Among qualifying models the one closest after `cursor`
+/// (cyclically, by model id) wins — strict oldest-front-first would hand
+/// every slot to a hot tenant whose queue always holds the oldest
+/// request, starving light tenants behind it. Returns the winning model
+/// and, when nothing qualifies yet, the sleep until the nearest deadline.
+fn pick_flush<R>(
+    per_model: &HashMap<usize, VecDeque<R>>,
+    enqueued_at: impl Fn(&R) -> Instant,
+    cursor: usize,
+    now: Instant,
+    max_batch: usize,
+    max_wait: Duration,
+    draining: bool,
+) -> (Option<usize>, Option<Duration>) {
+    let mut flush: Option<usize> = None;
+    let mut nearest: Option<Duration> = None;
+    // cyclic distance from the cursor, so the rotation is fair even with
+    // sparse/unbounded model ids
+    let key = |m: usize| m.wrapping_sub(cursor);
+    for (&m, q) in per_model.iter() {
+        let Some(front) = q.front() else { continue };
+        let waited = now.saturating_duration_since(enqueued_at(front));
+        if draining || q.len() >= max_batch || waited >= max_wait {
+            if flush.is_none_or(|best| key(m) < key(best)) {
+                flush = Some(m);
+            }
+        } else {
+            let remain = max_wait - waited;
+            nearest = Some(nearest.map_or(remain, |d| d.min(remain)));
+        }
+    }
+    (flush, nearest)
+}
+
 /// The batcher: flushes a model's FIFO when it reaches `max_batch` or its
-/// oldest request has waited `max_wait`; otherwise sleeps until the
-/// nearest deadline or a new submission.
+/// oldest request has waited `max_wait`, rotating fairly across tenants
+/// (see [`pick_flush`]); otherwise sleeps until the nearest deadline or a
+/// new submission.
 fn scheduler_loop(inner: &Inner) {
     let max_batch = inner.cfg.max_batch.max(1);
     let max_wait = inner.cfg.max_wait;
+    // Round-robin cursor: the next flush starts looking just past the
+    // last flushed model.
+    let mut cursor = 0usize;
     let mut guard = inner.queue.lock();
     loop {
         let draining = inner.shutdown.load(Ordering::Acquire);
         let now = Instant::now();
-        // Among qualifying models, flush the one whose front request is
-        // oldest — first-in-iteration-order would let one busy tenant
-        // starve the others indefinitely.
-        let mut flush: Option<(usize, Instant)> = None;
-        let mut nearest: Option<Duration> = None;
-        for (&m, q) in guard.per_model.iter() {
-            let Some(front) = q.front() else { continue };
-            if draining || q.len() >= max_batch || now.duration_since(front.enqueued) >= max_wait {
-                if flush.is_none_or(|(_, t)| front.enqueued < t) {
-                    flush = Some((m, front.enqueued));
-                }
-            } else {
-                let remain = max_wait - now.duration_since(front.enqueued);
-                nearest = Some(nearest.map_or(remain, |d| d.min(remain)));
-            }
-        }
-        if let Some((m, _)) = flush {
+        let (flush, nearest) = pick_flush(
+            &guard.per_model,
+            |r: &Request| r.enqueued,
+            cursor,
+            now,
+            max_batch,
+            max_wait,
+            draining,
+        );
+        if let Some(m) = flush {
+            cursor = m.wrapping_add(1);
             let q = guard.per_model.get_mut(&m).expect("flushable model");
             let n = q.len().min(max_batch);
             let reqs: Vec<Request> = q.drain(..n).collect();
@@ -631,5 +666,102 @@ fn fault_to_error(payload: Box<dyn std::any::Any + Send>) -> ServeError {
                 .unwrap_or_else(|| "opaque panic payload".to_string());
             ServeError::WorkerPanic(msg)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives [`pick_flush`] the way the scheduler does: drain up to
+    /// `max_batch` from the winner, advance the cursor, repeat. Requests
+    /// are bare timestamps.
+    fn drain_order(queues: &mut HashMap<usize, VecDeque<Instant>>, max_batch: usize) -> Vec<usize> {
+        let now = Instant::now();
+        let mut cursor = 0usize;
+        let mut order = Vec::new();
+        loop {
+            let (flush, _) = pick_flush(
+                queues,
+                |&t: &Instant| t,
+                cursor,
+                now,
+                max_batch,
+                Duration::ZERO, // everything has waited long enough
+                false,
+            );
+            let Some(m) = flush else { break };
+            cursor = m.wrapping_add(1);
+            let q = queues.get_mut(&m).unwrap();
+            let n = q.len().min(max_batch);
+            q.drain(..n);
+            order.push(m);
+        }
+        order
+    }
+
+    #[test]
+    fn round_robin_interleaves_a_hot_tenant_with_a_light_one() {
+        // Model 0 is hot (12 queued, all OLDER than model 1's); model 1
+        // has 2. Oldest-front-first would serve every model-0 batch before
+        // model 1 sees a single slot; round-robin alternates.
+        let base = Instant::now() - Duration::from_secs(60);
+        let mut queues: HashMap<usize, VecDeque<Instant>> = HashMap::new();
+        queues.insert(
+            0,
+            (0..12).map(|i| base + Duration::from_millis(i)).collect(),
+        );
+        queues.insert(
+            1,
+            (0..2)
+                .map(|i| base + Duration::from_secs(1) + Duration::from_millis(i))
+                .collect(),
+        );
+        let order = drain_order(&mut queues, 4);
+        // 12/4 = 3 batches of model 0, 2/4 → 1 batch of model 1
+        assert_eq!(order.len(), 4);
+        let first_light = order.iter().position(|&m| m == 1).unwrap();
+        assert!(
+            first_light <= 1,
+            "light tenant starved: drain order {order:?}"
+        );
+        assert_eq!(order.iter().filter(|&&m| m == 0).count(), 3);
+    }
+
+    #[test]
+    fn round_robin_cycles_through_many_tenants() {
+        let base = Instant::now() - Duration::from_secs(60);
+        let mut queues: HashMap<usize, VecDeque<Instant>> = HashMap::new();
+        for m in 0..4usize {
+            // later models carry OLDER requests: oldest-first would
+            // always pick model 3 first
+            queues.insert(
+                m,
+                (0..2)
+                    .map(|i| base - Duration::from_secs(m as u64) + Duration::from_millis(i))
+                    .collect(),
+            );
+        }
+        let order = drain_order(&mut queues, 1);
+        // each model drains one request per full rotation
+        assert_eq!(order.len(), 8);
+        assert_eq!(&order[..4], &[0, 1, 2, 3], "rotation broken: {order:?}");
+        assert_eq!(&order[4..], &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn unqualified_models_report_the_nearest_deadline() {
+        let now = Instant::now();
+        let mut queues: HashMap<usize, VecDeque<Instant>> = HashMap::new();
+        queues.insert(0, [now - Duration::from_millis(3)].into());
+        queues.insert(1, [now - Duration::from_millis(7)].into());
+        let max_wait = Duration::from_millis(10);
+        let (flush, nearest) = pick_flush(&queues, |&t| t, 0, now, 8, max_wait, false);
+        assert_eq!(flush, None);
+        let d = nearest.expect("a deadline must be reported");
+        assert_eq!(d, Duration::from_millis(3), "nearest deadline wins");
+        // draining flushes regardless of deadlines
+        let (flush, _) = pick_flush(&queues, |&t| t, 0, now, 8, max_wait, true);
+        assert_eq!(flush, Some(0));
     }
 }

@@ -48,7 +48,9 @@ impl HoistedTrace {
     }
 }
 
-/// Cleartext executor with FHE-legality enforcement.
+/// Cleartext executor with FHE-legality enforcement. The engine itself is
+/// stateless (geometry only) and every operation takes `&self`, so one
+/// engine can serve concurrent wire-level units of the dataflow scheduler.
 pub struct TraceEngine {
     /// Slot count per ciphertext.
     pub slots: usize,
@@ -95,7 +97,7 @@ impl TraceEngine {
     }
 
     /// `HAdd` (levels must match, as in CKKS).
-    pub fn hadd(&mut self, a: &TraceCiphertext, b: &TraceCiphertext) -> TraceCiphertext {
+    pub fn hadd(&self, a: &TraceCiphertext, b: &TraceCiphertext) -> TraceCiphertext {
         assert_eq!(
             a.level, b.level,
             "HAdd level mismatch — the compiler must align levels"
@@ -110,7 +112,7 @@ impl TraceEngine {
     }
 
     /// `PAdd` with a plaintext vector.
-    pub fn padd(&mut self, a: &TraceCiphertext, v: &[f64]) -> TraceCiphertext {
+    pub fn padd(&self, a: &TraceCiphertext, v: &[f64]) -> TraceCiphertext {
         let slots = a
             .slots
             .iter()
@@ -126,7 +128,7 @@ impl TraceEngine {
 
     /// `PMult` with a plaintext vector; the result carries a pending
     /// rescale.
-    pub fn pmult(&mut self, a: &TraceCiphertext, v: &[f64]) -> TraceCiphertext {
+    pub fn pmult(&self, a: &TraceCiphertext, v: &[f64]) -> TraceCiphertext {
         Self::check_mul_ready(a);
         let slots = a
             .slots
@@ -142,7 +144,7 @@ impl TraceEngine {
     }
 
     /// `PMult` by a replicated scalar.
-    pub fn pmult_scalar(&mut self, a: &TraceCiphertext, s: f64) -> TraceCiphertext {
+    pub fn pmult_scalar(&self, a: &TraceCiphertext, s: f64) -> TraceCiphertext {
         Self::check_mul_ready(a);
         let slots = a.slots.iter().map(|x| x * s).collect();
         TraceCiphertext {
@@ -153,7 +155,7 @@ impl TraceEngine {
     }
 
     /// `HMult` with relinearization.
-    pub fn hmult(&mut self, a: &TraceCiphertext, b: &TraceCiphertext) -> TraceCiphertext {
+    pub fn hmult(&self, a: &TraceCiphertext, b: &TraceCiphertext) -> TraceCiphertext {
         assert_eq!(a.level, b.level, "HMult level mismatch");
         Self::check_mul_ready(a);
         Self::check_mul_ready(b);
@@ -167,7 +169,7 @@ impl TraceEngine {
     }
 
     /// Rescale: settles one pending multiplication, consuming a level.
-    pub fn rescale(&mut self, a: &TraceCiphertext) -> TraceCiphertext {
+    pub fn rescale(&self, a: &TraceCiphertext) -> TraceCiphertext {
         assert!(a.pending > 0, "nothing to rescale");
         assert!(a.level >= 1, "rescale at level 0 — bootstrap required");
         TraceCiphertext {
@@ -178,7 +180,7 @@ impl TraceEngine {
     }
 
     /// Free level drop.
-    pub fn drop_to_level(&mut self, a: &TraceCiphertext, level: usize) -> TraceCiphertext {
+    pub fn drop_to_level(&self, a: &TraceCiphertext, level: usize) -> TraceCiphertext {
         assert!(level <= a.level, "cannot drop upward");
         TraceCiphertext {
             slots: a.slots.clone(),
@@ -188,7 +190,7 @@ impl TraceEngine {
     }
 
     /// Full `HRot` by `k` (out[i] = in[(i+k) mod slots]).
-    pub fn rotate(&mut self, a: &TraceCiphertext, k: isize) -> TraceCiphertext {
+    pub fn rotate(&self, a: &TraceCiphertext, k: isize) -> TraceCiphertext {
         if k == 0 {
             return a.clone();
         }
@@ -205,12 +207,12 @@ impl TraceEngine {
 
     /// Marks a ciphertext hoisted; subsequent [`Self::rotate_hoisted`]
     /// calls model the shared digit decomposition.
-    pub fn hoist(&mut self, a: &TraceCiphertext) -> HoistedTrace {
+    pub fn hoist(&self, a: &TraceCiphertext) -> HoistedTrace {
         HoistedTrace { inner: a.clone() }
     }
 
     /// A hoisted rotation.
-    pub fn rotate_hoisted(&mut self, h: &HoistedTrace, k: isize) -> TraceCiphertext {
+    pub fn rotate_hoisted(&self, h: &HoistedTrace, k: isize) -> TraceCiphertext {
         if k == 0 {
             return h.inner.clone();
         }
@@ -227,7 +229,7 @@ impl TraceEngine {
     }
 
     /// Bootstrap: resets to `L_eff` (paper §2.5.4).
-    pub fn bootstrap(&mut self, a: &TraceCiphertext) -> TraceCiphertext {
+    pub fn bootstrap(&self, a: &TraceCiphertext) -> TraceCiphertext {
         assert_eq!(a.pending, 0, "rescale before bootstrapping");
         TraceCiphertext {
             slots: a.slots.clone(),
@@ -247,7 +249,7 @@ mod tests {
 
     #[test]
     fn rotation_semantics_match_ckks() {
-        let mut e = engine();
+        let e = engine();
         let ct = e.encrypt(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0], 3);
         let r = e.rotate(&ct, 3);
         assert_eq!(r.slots, vec![3.0, 4.0, 5.0, 6.0, 7.0, 0.0, 1.0, 2.0]);
@@ -257,7 +259,7 @@ mod tests {
 
     #[test]
     fn mult_then_rescale_consumes_level() {
-        let mut e = engine();
+        let e = engine();
         let ct = e.encrypt(&[2.0; 8], 3);
         let p = e.pmult(&ct, &[0.5; 8]);
         assert_eq!(p.pending, 1);
@@ -270,7 +272,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "unrescaled")]
     fn double_mult_without_rescale_is_illegal() {
-        let mut e = engine();
+        let e = engine();
         let ct = e.encrypt(&[1.0; 8], 3);
         let p = e.pmult(&ct, &[1.0; 8]);
         let _ = e.pmult(&p, &[1.0; 8]);
@@ -279,7 +281,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "bootstrap required")]
     fn rescale_at_level_zero_is_illegal() {
-        let mut e = engine();
+        let e = engine();
         let ct = e.encrypt(&[1.0; 8], 0);
         let p = e.pmult(&ct, &[1.0; 8]);
         let _ = e.rescale(&p);
@@ -287,7 +289,7 @@ mod tests {
 
     #[test]
     fn bootstrap_restores_effective_level() {
-        let mut e = engine();
+        let e = engine();
         let ct = e.encrypt(&[0.5; 8], 0);
         let b = e.bootstrap(&ct);
         assert_eq!(b.level, 4);
@@ -296,7 +298,7 @@ mod tests {
 
     #[test]
     fn hoisted_rotation_matches_full_rotation() {
-        let mut e = engine();
+        let e = engine();
         let ct = e.encrypt(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0], 3);
         let h = e.hoist(&ct);
         let r1 = e.rotate_hoisted(&h, 1);
@@ -307,7 +309,7 @@ mod tests {
 
     #[test]
     fn hmult_multiplies_values() {
-        let mut e = engine();
+        let e = engine();
         let a = e.encrypt(&[3.0; 8], 2);
         let b = e.encrypt(&[-0.5; 8], 2);
         let m = e.hmult(&a, &b);

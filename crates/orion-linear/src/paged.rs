@@ -15,11 +15,22 @@
 //! it for a step's prepared layer without knowing whether the answer comes
 //! from RAM or disk. A corrupt or missing spill file surfaces as a typed
 //! [`StoreError`] the serving layer turns into a per-request error.
+//!
+//! **Wait protocol.** Disk reads run with the state lock *released*, so
+//! loads of different layers (and hits on resident ones) always overlap.
+//! A per-step `loading` marker keeps same-layer loads single-flight:
+//! fetchers of an in-flight layer sleep on a condvar — no poll loop, no
+//! CPU burn — and are woken by a drop-guard that clears the marker on
+//! every exit path, including a load that returns a typed error or
+//! panics, so waiters can never be stranded. On a failed load each woken
+//! waiter retries the load itself and surfaces its own error. Recency is
+//! a monotonic-stamp map (hit = restamp, O(log n); evict = min stamp), so
+//! hot fetches no longer pay an O(n) scan of the recency list.
 
 use crate::prepared::{PreparedActivation, PreparedLayer, PreparedProgram};
 use crate::store::{DiagStore, StoreError};
-use parking_lot::Mutex;
-use std::collections::{HashMap, VecDeque};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -88,15 +99,42 @@ pub struct PageStats {
 #[derive(Default)]
 struct Resident {
     map: HashMap<usize, Arc<PreparedLayer>>,
-    /// Front = least recently used.
-    order: VecDeque<usize>,
+    /// Monotonic recency clock, bumped on every touch.
+    clock: u64,
+    /// Step → its last-touch stamp (every resident step has exactly one).
+    stamp: HashMap<usize, u64>,
+    /// Stamp → step, the mirror of `stamp`: the smallest key is the LRU
+    /// victim, so a hit is O(log n) (restamp) instead of the old
+    /// `VecDeque::retain` O(n) scan.
+    by_stamp: BTreeMap<u64, usize>,
     bytes: usize,
     /// Steps whose resident copy was loaded by a prefetch and not yet
     /// touched by a fetch (each prefetch gets credited at most once).
-    prefetched: std::collections::HashSet<usize>,
+    prefetched: HashSet<usize>,
     /// Steps with a disk load in flight — the lock is released during
     /// the read, and this set keeps same-layer loads single-flight.
-    loading: std::collections::HashSet<usize>,
+    loading: HashSet<usize>,
+}
+
+impl Resident {
+    /// Marks `step` most-recently-used.
+    fn touch(&mut self, step: usize) {
+        let now = self.clock;
+        self.clock += 1;
+        if let Some(old) = self.stamp.insert(step, now) {
+            self.by_stamp.remove(&old);
+        }
+        self.by_stamp.insert(now, step);
+    }
+
+    /// Drops `step` from every recency structure.
+    fn forget(&mut self, step: usize) {
+        self.map.remove(&step);
+        self.prefetched.remove(&step);
+        if let Some(old) = self.stamp.remove(&step) {
+            self.by_stamp.remove(&old);
+        }
+    }
 }
 
 struct PagedEntry {
@@ -114,6 +152,10 @@ pub struct PagedProgram {
     entries: HashMap<usize, PagedEntry>,
     acts: HashMap<usize, Arc<PreparedActivation>>,
     state: Mutex<Resident>,
+    /// Signaled whenever an in-flight load finishes (success, error, or
+    /// panic — see [`LoadingGuard`]); fetchers of a loading layer sleep
+    /// here instead of poll-looping.
+    load_done: Condvar,
     faults: AtomicU64,
     evictions: AtomicU64,
     hits: AtomicU64,
@@ -151,6 +193,7 @@ impl PagedProgram {
             entries,
             acts: prepared.acts().clone(),
             state: Mutex::new(Resident::default()),
+            load_done: Condvar::new(),
             faults: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             hits: AtomicU64::new(0),
@@ -191,15 +234,38 @@ impl PagedProgram {
     /// resident until the next load pushes it out.
     fn admit(&self, st: &mut Resident, step: usize, layer: Arc<PreparedLayer>, bytes: usize) {
         st.bytes += bytes;
-        st.map.insert(step, layer);
-        st.order.push_back(step);
-        while st.bytes > self.budget_bytes && st.order.len() > 1 {
-            let victim = st.order.pop_front().expect("len > 1");
-            st.map.remove(&victim);
-            st.prefetched.remove(&victim);
+        let prev = st.map.insert(step, layer);
+        assert!(
+            prev.is_none(),
+            "layer {step} admitted twice (single-flight broken)"
+        );
+        st.touch(step);
+        while st.bytes > self.budget_bytes && st.map.len() > 1 {
+            // the just-admitted layer carries the max stamp, so with more
+            // than one resident the minimum is never it
+            let victim = *st.by_stamp.values().next().expect("len > 1");
+            st.forget(victim);
             st.bytes -= self.entries[&victim].bytes;
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
+    }
+}
+
+/// Clears a step's in-flight `loading` marker and wakes every fetcher
+/// sleeping on [`PagedProgram::load_done`] when dropped — including during
+/// an unwind, so a panicking or erroring [`PreparedLayer::load`] can never
+/// strand waiters on a marker nobody will clear.
+struct LoadingGuard<'a> {
+    pager: &'a PagedProgram,
+    step: usize,
+}
+
+impl Drop for LoadingGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = self.pager.state.lock();
+        st.loading.remove(&self.step);
+        drop(st);
+        self.pager.load_done.notify_all();
     }
 }
 
@@ -213,9 +279,10 @@ impl LayerSource for PagedProgram {
             return Ok(None);
         };
         // Disk loads happen OUTSIDE the lock (an in-flight load of one
-        // layer must not stall hits on other layers); the `loading` set
-        // keeps concurrent loads of the SAME layer single-flight, so the
-        // resident accounting and the byte budget stay exact.
+        // layer must not stall hits on — or loads of — other layers); the
+        // `loading` set keeps concurrent loads of the SAME layer
+        // single-flight, so the resident accounting and the byte budget
+        // stay exact.
         let mut st = self.state.lock();
         loop {
             if let Some(layer) = st.map.get(&step).cloned() {
@@ -224,27 +291,30 @@ impl LayerSource for PagedProgram {
                     // a prefetch turned this blocking fault into a hit
                     self.prefetch_hits.fetch_add(1, Ordering::Relaxed);
                 }
-                st.order.retain(|&s| s != step);
-                st.order.push_back(step);
+                st.touch(step);
                 return Ok(Some(layer));
             }
             if !st.loading.contains(&step) {
                 break;
             }
             // someone else (a prefetch unit or another fetch) is reading
-            // this layer from disk — wait without holding the lock
-            drop(st);
-            std::thread::sleep(std::time::Duration::from_micros(50));
-            st = self.state.lock();
+            // this layer from disk — sleep until its LoadingGuard signals
+            // completion, then re-check (the load may have failed, in
+            // which case this fetch retries and surfaces its own error)
+            self.load_done.wait(&mut st);
         }
         st.loading.insert(step);
         drop(st);
-        let loaded = PreparedLayer::load(&self.store, &entry.name);
-        let mut st = self.state.lock();
-        st.loading.remove(&step);
-        let layer = Arc::new(loaded?);
+        // The guard clears `loading` and wakes waiters on EVERY exit path:
+        // admitted, typed load error, or a panic unwinding through us.
+        let _clear = LoadingGuard { pager: self, step };
+        let layer = Arc::new(PreparedLayer::load(&self.store, &entry.name)?);
         self.faults.fetch_add(1, Ordering::Relaxed);
+        let mut st = self.state.lock();
         self.admit(&mut st, step, layer.clone(), entry.bytes);
+        drop(st);
+        // `_clear` drops here — after the layer is resident — so woken
+        // waiters always find it in the map
         Ok(Some(layer))
     }
 
@@ -260,15 +330,15 @@ impl LayerSource for PagedProgram {
             st.loading.insert(step);
         }
         // The read happens with the lock RELEASED: concurrent fetches of
-        // other layers (and hits) proceed; a fetch of THIS layer waits on
-        // the `loading` guard and then scores a prefetch hit.
-        let loaded = PreparedLayer::load(&self.store, &entry.name);
-        let mut st = self.state.lock();
-        st.loading.remove(&step);
-        let Ok(layer) = loaded else {
-            return; // the consuming fetch will surface the typed error
+        // other layers (hits AND loads) proceed; a fetch of THIS layer
+        // sleeps on the condvar and then scores a prefetch hit. The guard
+        // clears the marker even if the load errors or panics.
+        let _clear = LoadingGuard { pager: self, step };
+        let Ok(layer) = PreparedLayer::load(&self.store, &entry.name) else {
+            return; // the consuming fetch will retry and surface the error
         };
         self.prefetches.fetch_add(1, Ordering::Relaxed);
+        let mut st = self.state.lock();
         self.admit(&mut st, step, Arc::new(layer), entry.bytes);
         st.prefetched.insert(step);
     }

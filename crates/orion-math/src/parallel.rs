@@ -101,6 +101,27 @@ where
     }
 }
 
+/// A spawn scope on the shared pool — see [`rayon::Scope`].
+pub use rayon::Scope;
+
+/// Runs `op` with a spawn [`Scope`] on the shared pool and waits (by
+/// helping with queued work, not spin-sleeping) until every task spawned
+/// on the scope has completed.
+///
+/// This is the pool's *event-driven* primitive, complementing the
+/// fork-join shape of [`map_indexed`]: spawned tasks may borrow from the
+/// caller's frame and may spawn further tasks onto the same scope, so a
+/// completing task can enqueue its newly-ready successors directly — no
+/// barrier between "waves" of work. A panic in any task is rethrown at
+/// scope exit, after all spawned tasks have drained.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    rayon::scope(op)
+}
+
 /// Forward-NTTs every `(table, limb)` pair, fanning out across limbs when
 /// the ring is large enough.
 pub fn ntt_forward_batch(pairs: Vec<(&NttTable, &mut [u64])>) {
@@ -199,5 +220,24 @@ mod tests {
     fn batch_gate_needs_multiple_jobs() {
         assert!(!batch_parallel(1));
         assert!(!batch_parallel(3));
+    }
+
+    #[test]
+    fn scope_drains_spawned_and_respawned_tasks() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                let hits = &hits;
+                s.spawn(move |s| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    // a task enqueues a successor, event-driven style
+                    s.spawn(move |_| {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 16);
     }
 }

@@ -21,10 +21,17 @@
 //! * [`SchedMode::Sequential`] runs units in plan order — which is, by
 //!   construction, exactly the op stream of the classic one-step-at-a-time
 //!   interpreter, so it *is* the sequential reference.
-//! * [`SchedMode::Parallel`] runs the ready frontier on the shared rayon
-//!   pool (Kahn's algorithm over the unit DAG), so independent
-//!   ciphertexts' activation stages, Chebyshev stages, and bootstraps
-//!   execute concurrently.
+//! * [`SchedMode::Parallel`] is **event-driven**: every initially-ready
+//!   unit is spawned onto the shared rayon pool, and a completing unit
+//!   decrements its successors' in-degrees and enqueues the newly-ready
+//!   ones directly (one continues on the same thread, the rest are
+//!   spawned). There is no inter-wave barrier, so a long bootstrap no
+//!   longer stalls independent activation chains, and a linear layer's
+//!   prefetch twin fires the moment its trigger completes.
+//! * [`SchedMode::ParallelWaves`] is the retired wave-synchronized walk
+//!   (Kahn's algorithm, one `map_indexed` barrier per frontier), kept
+//!   only as the measurement baseline the sched bench compares the
+//!   event-driven walk against.
 //!
 //! Scheduler order cannot change results: every unit is a pure function
 //! of its input ciphertexts (engines are `&self` and deterministic —
@@ -55,8 +62,14 @@ pub enum SchedMode {
     /// Units in plan order on the calling thread — the sequential
     /// reference (identical op stream to the classic interpreter).
     Sequential,
-    /// Ready-frontier execution on the shared rayon pool.
+    /// Event-driven execution on the shared rayon pool: completed units
+    /// release their successors directly, with no inter-wave barrier.
     Parallel,
+    /// The wave-synchronized frontier walk (each Kahn wave barriers on
+    /// its slowest unit). Superseded by [`SchedMode::Parallel`]; kept as
+    /// the baseline the sched bench measures the event-driven walk
+    /// against.
+    ParallelWaves,
 }
 
 /// What one scheduled unit computes.
@@ -555,7 +568,8 @@ pub fn run_plan<B: EvalBackend + Sync>(
                 }
             }
         }
-        SchedMode::Parallel => run_frontier(&state),
+        SchedMode::Parallel => run_event_driven(&state),
+        SchedMode::ParallelWaves => run_frontier_waves(&state),
     }
     let (output, output_wire) = state.out.into_inner().expect("output unit did not run");
     ProgramRun {
@@ -565,12 +579,88 @@ pub fn run_plan<B: EvalBackend + Sync>(
     }
 }
 
-/// Kahn's-algorithm frontier execution: all ready units run concurrently
-/// on the shared pool; a unit's completion releases its successors. The
-/// frontier is collected order-preservingly, so the walk is reproducible
-/// modulo thread interleaving — which cannot affect results (see module
-/// docs).
-fn run_frontier<B: EvalBackend + Sync>(state: &RunState<'_, B>) {
+/// Event-driven execution: every initially-ready unit is spawned onto the
+/// shared pool, and a completing unit decrements its successors'
+/// in-degrees and releases the newly-ready ones itself — one continues on
+/// the completing thread (locality: a bootstrap's consumer usually wants
+/// the ciphertext still hot in cache), the rest are spawned. No barrier
+/// anywhere: a straggling unit delays only its own transitive successors.
+/// Thread interleaving cannot affect results (see module docs); panics
+/// from any unit are rethrown by the scope after in-flight units drain.
+fn run_event_driven<B: EvalBackend + Sync>(state: &RunState<'_, B>) {
+    let plan = state.plan;
+    // A one-thread pool has nothing to overlap, and the injector queue
+    // only costs cache locality — plan order IS the optimal single-thread
+    // schedule (it is the reference op stream). Prefetch units still run,
+    // right before the step they feed, exactly where the queue walk would
+    // place them with no concurrency — so paging stats keep their meaning.
+    if rayon::current_num_threads() <= 1 {
+        for uid in 0..plan.units.len() {
+            state.run_unit(uid);
+        }
+        return;
+    }
+    let indeg: Vec<AtomicUsize> = plan
+        .units
+        .iter()
+        .map(|u| AtomicUsize::new(u.deps.len()))
+        .collect();
+    let completed = AtomicUsize::new(0);
+    orion_math::parallel::scope(|s| {
+        for (uid, unit) in plan.units.iter().enumerate() {
+            if unit.deps.is_empty() {
+                let (indeg, completed) = (&indeg, &completed);
+                s.spawn(move |s| run_chain(s, state, indeg, completed, uid));
+            }
+        }
+    });
+    // A panic would have propagated out of the scope above, so a shortfall
+    // here can only mean the plan had a cycle (impossible by construction)
+    // or lost a wakeup.
+    assert_eq!(
+        completed.load(Ordering::Relaxed),
+        plan.units.len(),
+        "scheduler stalled: not every unit completed"
+    );
+}
+
+/// Runs `uid`, then releases its successors: the first newly-ready one
+/// continues in this loop (same thread), the rest are spawned onto the
+/// scope. The AcqRel in-degree decrement makes every dependency's value
+/// stores visible to whichever thread releases the successor.
+fn run_chain<'a, B: EvalBackend + Sync>(
+    s: &orion_math::parallel::Scope<'a>,
+    state: &'a RunState<'a, B>,
+    indeg: &'a [AtomicUsize],
+    completed: &'a AtomicUsize,
+    mut uid: usize,
+) {
+    loop {
+        state.run_unit(uid);
+        completed.fetch_add(1, Ordering::Relaxed);
+        let mut next = None;
+        for &succ in &state.plan.succs[uid] {
+            if indeg[succ].fetch_sub(1, Ordering::AcqRel) == 1 {
+                if next.is_none() {
+                    next = Some(succ);
+                } else {
+                    s.spawn(move |s| run_chain(s, state, indeg, completed, succ));
+                }
+            }
+        }
+        match next {
+            Some(n) => uid = n,
+            None => return,
+        }
+    }
+}
+
+/// The retired wave-synchronized walk (Kahn's algorithm with one barrier
+/// per frontier): every wave waits for its slowest unit before the next
+/// wave starts. Kept only as the measurement baseline for
+/// [`SchedMode::ParallelWaves`] — the sched bench compares the
+/// event-driven walk against it.
+fn run_frontier_waves<B: EvalBackend + Sync>(state: &RunState<'_, B>) {
     let plan = state.plan;
     let indeg: Vec<AtomicUsize> = plan
         .units
@@ -670,5 +760,54 @@ mod tests {
                     .any(|u| matches!(u.work, UnitWork::Prefetch { node } if node == id)));
             }
         }
+    }
+
+    #[test]
+    fn all_three_walks_agree_bit_for_bit() {
+        use crate::backends::PlainBackend;
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut net = Network::new(4, 8, 8);
+        let x = net.input();
+        let c1 = net.conv2d("c1", x, 4, 3, 1, 1, 1, &mut rng);
+        let a1 = net.relu("a1", c1, &[15, 15, 27]);
+        let c2 = net.conv2d("c2", a1, 4, 3, 1, 1, 1, &mut rng);
+        let add = net.add("res", c2, x);
+        net.output(add);
+        let c = compile(&net, &fixed_ranges(&net, 4.0), &opts());
+        assert!(c.placement.boot_count > 0, "want bootstrap units");
+        let plan = ExecPlan::build(&c);
+        let input = Tensor::from_vec(&[4, 8, 8], (0..256).map(|i| (i % 7) as f64 * 0.1).collect());
+        let runs: Vec<_> = [
+            SchedMode::Sequential,
+            SchedMode::Parallel,
+            SchedMode::ParallelWaves,
+        ]
+        .into_iter()
+        .map(|mode| run_plan(&plan, &c, &PlainBackend::new(&c), &input, mode))
+        .collect();
+        for run in &runs[1..] {
+            assert_eq!(run.output.data(), runs[0].output.data());
+            assert_eq!(run.bootstraps, runs[0].bootstraps);
+        }
+    }
+
+    #[test]
+    fn event_driven_walk_propagates_unit_panics() {
+        use crate::backends::PlainBackend;
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut net = Network::new(4, 8, 8);
+        let x = net.input();
+        let c1 = net.conv2d("c1", x, 4, 3, 1, 1, 1, &mut rng);
+        let a1 = net.relu("a1", c1, &[15, 15, 27]);
+        net.output(a1);
+        let c = compile(&net, &fixed_ranges(&net, 4.0), &opts());
+        let plan = ExecPlan::build(&c);
+        // wrong input shape → the Input unit panics inside the pool; the
+        // executor must rethrow instead of hanging or stalling silently
+        let bad = Tensor::from_vec(&[1, 2, 2], vec![0.0; 4]);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_plan(&plan, &c, &PlainBackend::new(&c), &bad, SchedMode::Parallel)
+        }));
+        assert!(r.is_err(), "unit panic must propagate to the caller");
     }
 }

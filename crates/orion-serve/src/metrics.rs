@@ -144,9 +144,15 @@ fn latency_percentiles(mut lat: Vec<f64>) -> Value {
         return Value::Null;
     }
     lat.sort_by(|a, b| a.total_cmp(b));
+    // Ceil-based nearest-rank: the smallest sample ≥ fraction p of the
+    // window, rank ⌈p·n⌉ (1-based). The old ((n-1)·p).round() selection
+    // drifted both ways on small windows — it under-reported tails
+    // whenever the fractional rank fell below .5 (p99 of 67 samples
+    // picked sample 66 of 67) and over-reported medians (p50 of 4 picked
+    // sample 3 of 4).
     let pick = |p: f64| -> f64 {
-        let idx = ((lat.len() as f64 - 1.0) * p).round() as usize;
-        lat[idx] * 1e3
+        let rank = (p * lat.len() as f64).ceil().max(1.0) as usize;
+        lat[rank.min(lat.len()) - 1] * 1e3
     };
     Value::Obj(vec![
         ("p50".to_string(), Value::Num(pick(0.50))),
@@ -160,6 +166,43 @@ fn latency_percentiles(mut lat: Vec<f64>) -> Value {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Percentile of `n` synthetic samples `1..=n` ms, in ms.
+    fn pctl(n: usize, key: &str) -> f64 {
+        let lat: Vec<f64> = (1..=n).map(|i| i as f64 * 1e-3).collect();
+        latency_percentiles(lat)
+            .get(key)
+            .and_then(Value::as_f64)
+            .unwrap()
+    }
+
+    #[test]
+    fn nearest_rank_boundaries() {
+        // one sample: every percentile is that sample
+        for key in ["p50", "p95", "p99", "max"] {
+            assert_eq!(pctl(1, key), 1.0, "{key} of a single sample");
+        }
+        // p50 of 4 = rank ⌈2⌉ = sample 2 (the old rounding picked 3)
+        assert_eq!(pctl(4, "p50"), 2.0);
+        // p50 of an odd window is the true median
+        assert_eq!(pctl(9, "p50"), 5.0);
+        // p95 of 10 = rank ⌈9.5⌉ = sample 10
+        assert_eq!(pctl(10, "p95"), 10.0);
+        // p99 of 67 = rank ⌈66.33⌉ = sample 67 (the old rounding
+        // under-reported the tail as sample 66)
+        assert_eq!(pctl(67, "p99"), 67.0);
+        // p99 of 100 = rank 99 exactly — NOT the max
+        assert_eq!(pctl(100, "p99"), 99.0);
+        assert_eq!(pctl(100, "max"), 100.0);
+        // p95 of 100 = rank 95
+        assert_eq!(pctl(100, "p95"), 95.0);
+        // tail percentiles are monotone in p
+        for n in [2, 3, 10, 50, 101] {
+            assert!(pctl(n, "p50") <= pctl(n, "p95"));
+            assert!(pctl(n, "p95") <= pctl(n, "p99"));
+            assert!(pctl(n, "p99") <= pctl(n, "max"));
+        }
+    }
 
     #[test]
     fn depth_and_occupancy_track_queue_flow() {

@@ -45,6 +45,57 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// A condition variable with parking_lot's in-place `wait` API: the guard
+/// is passed by `&mut` and is valid (re-acquired) again when `wait`
+/// returns, instead of std's move-in/move-out signature.
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub fn new() -> Self {
+        Self(sync::Condvar::new())
+    }
+
+    /// Blocks until notified, releasing the guard's lock while parked and
+    /// re-acquiring it before returning. Spurious wakeups are possible, as
+    /// with any condvar — callers must re-check their predicate.
+    pub fn wait<T>(&self, guard: &mut sync::MutexGuard<'_, T>) {
+        // std's wait consumes the guard and returns it; move it out and
+        // back in place so the caller keeps borrowing the same slot.
+        // SAFETY: `read` duplicates the guard only for the duration of
+        // `wait` (a poisoned result is recovered, not propagated), and
+        // `write` overwrites the duplicate without dropping. The one way
+        // `wait` itself can unwind is misuse — one condvar paired with
+        // two different mutexes — and an unwind past the duplicated
+        // guard would double-unlock; the abort bomb turns that into a
+        // process abort instead of undefined behavior.
+        unsafe {
+            struct AbortOnUnwind;
+            impl Drop for AbortOnUnwind {
+                fn drop(&mut self) {
+                    std::process::abort();
+                }
+            }
+            let taken = std::ptr::read(guard);
+            let bomb = AbortOnUnwind;
+            let reacquired = self.0.wait(taken).unwrap_or_else(|e| e.into_inner());
+            std::mem::forget(bomb);
+            std::ptr::write(guard, reacquired);
+        }
+    }
+
+    /// Wakes one parked waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every parked waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
 /// A reader–writer lock whose guards never report poisoning.
 #[derive(Debug, Default)]
 pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
@@ -88,6 +139,27 @@ mod tests {
         *m.lock() += 1;
         assert_eq!(*m.lock(), 2);
         assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn condvar_signals_predicate_change() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = pair.clone();
+        let t = std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            let mut done = lock.lock();
+            while !*done {
+                cv.wait(&mut done);
+            }
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        {
+            let (lock, cv) = &*pair;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
+        t.join().expect("waiter completed");
     }
 
     #[test]

@@ -7,14 +7,15 @@
 //!
 //! Supported surface: `into_par_iter` / `par_iter` / `par_iter_mut` /
 //! `par_chunks_mut`, `enumerate`, `map`, `for_each`, `collect`, `sum`,
-//! `join`, `current_num_threads`. That is exactly what the Orion
-//! workspace uses; swap in real rayon by flipping the workspace
-//! dependency when a registry is available.
+//! `join`, `scope` (borrowed tasks that can spawn further tasks — the
+//! event-driven scheduler's primitive), `current_num_threads`. That is
+//! exactly what the Orion workspace uses; swap in real rayon by flipping
+//! the workspace dependency when a registry is available.
 
 pub mod iter;
 mod pool;
 
-pub use pool::current_num_threads;
+pub use pool::{current_num_threads, scope, Scope};
 
 /// Everything needed for `use rayon::prelude::*`.
 pub mod prelude {
@@ -92,5 +93,68 @@ mod tests {
             });
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn scope_runs_borrowed_tasks() {
+        let hits = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..32 {
+                s.spawn(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn scope_tasks_can_spawn_tasks() {
+        // chains of continuations: each task spawns its successor — the
+        // event-driven scheduler's shape
+        let hits = AtomicUsize::new(0);
+        fn chain<'a>(s: &super::Scope<'a>, hits: &'a AtomicUsize, depth: usize) {
+            hits.fetch_add(1, Ordering::Relaxed);
+            if depth > 0 {
+                s.spawn(move |s| chain(s, hits, depth - 1));
+            }
+        }
+        super::scope(|s| {
+            for _ in 0..4 {
+                let hits = &hits;
+                s.spawn(move |s| chain(s, hits, 15));
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 4 * 16);
+    }
+
+    #[test]
+    fn scope_propagates_task_panics_after_draining() {
+        let ran = AtomicUsize::new(0);
+        let r = std::panic::catch_unwind(|| {
+            super::scope(|s| {
+                for i in 0..16 {
+                    let ran = &ran;
+                    s.spawn(move |_| {
+                        if i == 7 {
+                            panic!("task boom");
+                        }
+                        ran.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        });
+        assert!(r.is_err());
+        // every non-panicking task still ran before the rethrow
+        assert_eq!(ran.load(Ordering::Relaxed), 15);
+    }
+
+    #[test]
+    fn scope_returns_op_result() {
+        let n = super::scope(|s| {
+            s.spawn(|_| {});
+            41 + 1
+        });
+        assert_eq!(n, 42);
     }
 }

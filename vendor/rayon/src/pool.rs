@@ -10,10 +10,10 @@
 //! deadlock the fixed-size pool.
 
 use std::collections::VecDeque;
+use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
-use std::time::Duration;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -79,12 +79,45 @@ fn push_job(job: Job) {
     p.available.notify_one();
 }
 
-fn try_pop_job() -> Option<Job> {
-    pool()
-        .queue
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
-        .pop_front()
+/// Wakes every thread parked in [`help_until`]. Takes (and drops) the
+/// queue lock first so a waiter that just checked its predicate and the
+/// queue cannot miss the notification between the check and the park.
+fn notify_waiters() {
+    let p = pool();
+    drop(p.queue.lock().unwrap_or_else(|e| e.into_inner()));
+    p.available.notify_all();
+}
+
+/// Runs queued jobs (possibly other batches') until `done()` holds. When
+/// the queue is empty the caller parks on the pool condvar instead of
+/// spin-sleeping; it is woken by new work ([`push_job`]) or by a batch /
+/// scope completion ([`notify_waiters`]).
+fn help_until(done: impl Fn() -> bool) {
+    let p = pool();
+    loop {
+        if done() {
+            return;
+        }
+        let job = {
+            let mut q = p.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break Some(job);
+                }
+                // Re-check under the lock: completions notify while
+                // holding it, so a true predicate here cannot race with a
+                // missed wakeup.
+                if done() {
+                    break None;
+                }
+                q = p.available.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        match job {
+            Some(job) => job(),
+            None => return,
+        }
+    }
 }
 
 /// Number of threads contributing to parallel work (workers + the caller).
@@ -139,7 +172,9 @@ where
                     }
                 }
             }
-            remaining.fetch_sub(1, Ordering::Release);
+            if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                notify_waiters();
+            }
         };
 
         let mut local = None;
@@ -164,19 +199,9 @@ where
             run_chunk(0, chunk);
         }
 
-        // Help: run pending jobs (possibly other batches') while waiting.
-        let mut idle_spins = 0u32;
-        while remaining.load(Ordering::Acquire) > 0 {
-            if let Some(job) = try_pop_job() {
-                job();
-                idle_spins = 0;
-            } else if idle_spins < 64 {
-                idle_spins += 1;
-                std::thread::yield_now();
-            } else {
-                std::thread::sleep(Duration::from_micros(50));
-            }
-        }
+        // Help: run pending jobs (possibly other batches') while waiting,
+        // parking on the pool condvar when the queue is empty.
+        help_until(|| remaining.load(Ordering::Acquire) == 0);
     }
 
     if let Some(p) = panic_slot.into_inner().unwrap_or_else(|e| e.into_inner()) {
@@ -190,4 +215,85 @@ where
                 .expect("pool chunk finished without a result")
         })
         .collect()
+}
+
+/// A spawn scope (the `rayon::scope` model): tasks spawned on it may
+/// borrow from the enclosing stack frame and may themselves spawn further
+/// tasks onto the same scope. [`scope`] does not return until every
+/// spawned task has completed, helping with queued work while it waits.
+pub struct Scope<'scope> {
+    /// Spawned-but-unfinished task count; the scope exit waits on zero.
+    pending: AtomicUsize,
+    /// First panic from any task, rethrown at scope exit.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Invariant in `'scope`, like real rayon's `Scope`.
+    _marker: PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns `body` onto the shared pool. The task may borrow anything
+    /// that outlives the scope and may spawn more tasks via the `&Scope`
+    /// it receives — which is what makes an event-driven executor
+    /// possible: a finishing task enqueues its newly-ready successors
+    /// directly, with no barrier.
+    pub fn spawn<BODY>(&self, body: BODY)
+    where
+        BODY: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.pending.fetch_add(1, Ordering::Relaxed);
+        // Smuggle the scope reference as an address: the job type is
+        // 'static, but the scope provably outlives the job (see SAFETY).
+        let addr = self as *const Scope<'scope> as usize;
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            // SAFETY: `scope` does not return until `pending` reaches
+            // zero, i.e. until this job (counted before the push) has run
+            // to completion — the Scope and everything `body` borrows
+            // outlive the job.
+            let scope: &Scope<'scope> = unsafe { &*(addr as *const Scope<'scope>) };
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| body(scope))) {
+                let mut ps = scope.panic.lock().unwrap_or_else(|e| e.into_inner());
+                if ps.is_none() {
+                    *ps = Some(p);
+                }
+            }
+            if scope.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                notify_waiters();
+            }
+        });
+        // SAFETY: as above — the job cannot outlive the scope's stack
+        // frame because `scope` blocks until it has completed.
+        let job: Job = unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
+        push_job(job);
+    }
+}
+
+/// Creates a [`Scope`] for spawning borrowed tasks, runs `op` on the
+/// calling thread, then helps with queued work until every task spawned
+/// on the scope (transitively) has completed. The first panic from `op`
+/// or any task is rethrown after all tasks have finished, so borrowed
+/// data never escapes.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let s = Scope {
+        pending: AtomicUsize::new(0),
+        panic: Mutex::new(None),
+        _marker: PhantomData,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| op(&s)));
+    // Must drain even if `op` panicked: already-spawned tasks borrow from
+    // this frame and hold an address of `s`.
+    help_until(|| s.pending.load(Ordering::Acquire) == 0);
+    let task_panic = s.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
+    match result {
+        Err(p) => resume_unwind(p),
+        Ok(r) => {
+            if let Some(p) = task_panic {
+                resume_unwind(p);
+            }
+            r
+        }
+    }
 }

@@ -1,0 +1,268 @@
+//! Thread-local scratch arenas for limb-sized buffers.
+//!
+//! RNS kernels allocate the same few shapes over and over: `vec![0u64; N]`
+//! limb vectors (one per chain modulus, per temporary polynomial) and
+//! `vec![0i128; N]` centered-lift scratch. At paper-scale rings those are
+//! hundreds of kilobytes each, so the allocator — and the page faults of
+//! freshly-mapped zero pages — shows up squarely in rescale / ModDown /
+//! key-switch profiles. This module recycles them instead.
+//!
+//! ## Ownership rules
+//!
+//! * Each worker thread owns an independent freelist (a `thread_local!`),
+//!   so takes and recycles are lock-free. A buffer recycled on a different
+//!   thread than it was taken from is *safe* — the arena is purely a
+//!   cache — it just seeds that thread's freelist instead.
+//! * [`take_u64`] / [`take_i128`] return zeroed buffers of exactly the
+//!   requested length; [`take_u64_raw`] / [`take_i128_raw`] skip the zero
+//!   fill and may return **stale contents** — callers must overwrite every
+//!   element before reading.
+//! * Returning a buffer is optional (dropping it is just a deallocation)
+//!   and always correct: buffers are keyed by length, and a freelist keeps
+//!   at most [`MAX_BUFS_PER_LEN`] buffers per length and
+//!   [`MAX_RETAINED_BYTES`] bytes in total, so the cache cannot grow
+//!   without bound.
+//! * The RAII guards ([`ScratchU64`], [`ScratchI128`]) recycle on drop and
+//!   are the right tool for scratch that never escapes the caller; use the
+//!   explicit `take_*`/`recycle_*` pair when the buffer is moved into a
+//!   longer-lived structure (e.g. an `RnsPoly` limb).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Maximum buffers retained per distinct length, per thread.
+pub const MAX_BUFS_PER_LEN: usize = 64;
+
+/// Maximum bytes retained per element type, per thread (64 MiB).
+pub const MAX_RETAINED_BYTES: usize = 64 << 20;
+
+/// Reuse statistics of one thread's pool (for tests and diagnostics).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Takes served from the freelist.
+    pub hits: u64,
+    /// Takes that fell through to a fresh allocation.
+    pub misses: u64,
+    /// Bytes currently parked in the freelist.
+    pub retained_bytes: usize,
+}
+
+struct Pool<T> {
+    by_len: HashMap<usize, Vec<Vec<T>>>,
+    stats: ArenaStats,
+}
+
+impl<T: Copy + Default> Pool<T> {
+    fn new() -> Self {
+        Self {
+            by_len: HashMap::new(),
+            stats: ArenaStats::default(),
+        }
+    }
+
+    fn take(&mut self, n: usize, zero: bool) -> Vec<T> {
+        if let Some(mut buf) = self.by_len.get_mut(&n).and_then(Vec::pop) {
+            self.stats.retained_bytes -= n * std::mem::size_of::<T>();
+            self.stats.hits += 1;
+            debug_assert_eq!(buf.len(), n);
+            if zero {
+                buf.fill(T::default());
+            }
+            return buf;
+        }
+        self.stats.misses += 1;
+        // A fresh `vec![0; n]` is already zeroed, so `zero` is free here.
+        vec![T::default(); n]
+    }
+
+    fn put(&mut self, buf: Vec<T>) {
+        let n = buf.len();
+        let bytes = n * std::mem::size_of::<T>();
+        if n == 0 || self.stats.retained_bytes + bytes > MAX_RETAINED_BYTES {
+            return;
+        }
+        let list = self.by_len.entry(n).or_default();
+        if list.len() >= MAX_BUFS_PER_LEN {
+            return;
+        }
+        list.push(buf);
+        self.stats.retained_bytes += bytes;
+    }
+}
+
+thread_local! {
+    static U64_POOL: RefCell<Pool<u64>> = RefCell::new(Pool::new());
+    static I128_POOL: RefCell<Pool<i128>> = RefCell::new(Pool::new());
+}
+
+/// Takes a zeroed `Vec<u64>` of length `n` from this thread's pool.
+pub fn take_u64(n: usize) -> Vec<u64> {
+    U64_POOL.with(|p| p.borrow_mut().take(n, true))
+}
+
+/// Takes a `Vec<u64>` of length `n` whose contents may be stale; the
+/// caller must overwrite every element before reading.
+pub fn take_u64_raw(n: usize) -> Vec<u64> {
+    U64_POOL.with(|p| p.borrow_mut().take(n, false))
+}
+
+/// Returns a `u64` buffer to this thread's pool for reuse.
+pub fn recycle_u64(buf: Vec<u64>) {
+    U64_POOL.with(|p| p.borrow_mut().put(buf));
+}
+
+/// Takes a zeroed `Vec<i128>` of length `n` from this thread's pool.
+pub fn take_i128(n: usize) -> Vec<i128> {
+    I128_POOL.with(|p| p.borrow_mut().take(n, true))
+}
+
+/// Takes a stale-content `Vec<i128>` of length `n` (see [`take_u64_raw`]).
+pub fn take_i128_raw(n: usize) -> Vec<i128> {
+    I128_POOL.with(|p| p.borrow_mut().take(n, false))
+}
+
+/// Returns an `i128` buffer to this thread's pool for reuse.
+pub fn recycle_i128(buf: Vec<i128>) {
+    I128_POOL.with(|p| p.borrow_mut().put(buf));
+}
+
+/// This thread's `u64` pool statistics.
+pub fn stats_u64() -> ArenaStats {
+    U64_POOL.with(|p| p.borrow().stats)
+}
+
+/// This thread's `i128` pool statistics.
+pub fn stats_i128() -> ArenaStats {
+    I128_POOL.with(|p| p.borrow().stats)
+}
+
+macro_rules! scratch_guard {
+    ($name:ident, $elem:ty, $take:ident, $take_raw:ident, $recycle:ident,
+     $ctor:ident, $ctor_raw:ident) => {
+        /// RAII arena scratch: derefs to the underlying `Vec` and recycles
+        /// it on drop. Length changes (`clear`/`extend`) are fine — the
+        /// buffer is re-keyed by its final length when returned.
+        pub struct $name {
+            buf: Vec<$elem>,
+        }
+
+        /// Takes a zeroed scratch guard of length `n`.
+        pub fn $ctor(n: usize) -> $name {
+            $name { buf: $take(n) }
+        }
+
+        /// Takes a stale-content scratch guard of length `n`; overwrite
+        /// every element before reading.
+        pub fn $ctor_raw(n: usize) -> $name {
+            $name { buf: $take_raw(n) }
+        }
+
+        impl std::ops::Deref for $name {
+            type Target = Vec<$elem>;
+            fn deref(&self) -> &Vec<$elem> {
+                &self.buf
+            }
+        }
+
+        impl std::ops::DerefMut for $name {
+            fn deref_mut(&mut self) -> &mut Vec<$elem> {
+                &mut self.buf
+            }
+        }
+
+        impl Drop for $name {
+            fn drop(&mut self) {
+                $recycle(std::mem::take(&mut self.buf));
+            }
+        }
+    };
+}
+
+scratch_guard!(
+    ScratchU64,
+    u64,
+    take_u64,
+    take_u64_raw,
+    recycle_u64,
+    scratch_u64,
+    scratch_u64_raw
+);
+scratch_guard!(
+    ScratchI128,
+    i128,
+    take_i128,
+    take_i128_raw,
+    recycle_i128,
+    scratch_i128,
+    scratch_i128_raw
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_is_zeroed_after_dirty_recycle() {
+        let mut b = take_u64(257);
+        assert!(b.iter().all(|&x| x == 0));
+        b.iter_mut().for_each(|x| *x = 0xdead_beef);
+        recycle_u64(b);
+        let b2 = take_u64(257);
+        assert!(b2.iter().all(|&x| x == 0), "recycled buffer must be zeroed");
+        recycle_u64(b2);
+    }
+
+    #[test]
+    fn raw_take_reuses_without_zeroing_cost() {
+        let mut b = take_i128(31);
+        b[0] = 42;
+        recycle_i128(b);
+        let before = stats_i128();
+        let b2 = take_i128_raw(31);
+        let after = stats_i128();
+        assert_eq!(after.hits, before.hits + 1, "raw take must hit the pool");
+        assert_eq!(b2.len(), 31);
+        recycle_i128(b2);
+    }
+
+    #[test]
+    fn lengths_do_not_mix() {
+        recycle_u64(vec![7u64; 16]);
+        let b = take_u64_raw(32);
+        assert_eq!(b.len(), 32);
+    }
+
+    #[test]
+    fn guard_recycles_on_drop() {
+        let before = stats_u64();
+        {
+            let mut s = scratch_u64(999);
+            s[3] = 1;
+        }
+        let s2 = scratch_u64_raw(999);
+        assert_eq!(s2.len(), 999);
+        let after = stats_u64();
+        assert!(after.hits > before.hits, "guard drop must feed the pool");
+    }
+
+    #[test]
+    fn retention_caps_hold() {
+        // Flooding the pool with one length must not retain more than the
+        // per-length cap.
+        for _ in 0..(MAX_BUFS_PER_LEN * 2) {
+            recycle_u64(vec![0u64; 128]);
+        }
+        let retained = stats_u64().retained_bytes;
+        assert!(retained <= MAX_RETAINED_BYTES);
+        let mut hits = 0;
+        for _ in 0..(MAX_BUFS_PER_LEN * 2) {
+            let before = stats_u64().hits;
+            let b = take_u64_raw(128);
+            if stats_u64().hits > before {
+                hits += 1;
+            }
+            drop(b); // do not recycle — drain the pool
+        }
+        assert!(hits <= MAX_BUFS_PER_LEN, "per-length cap exceeded: {hits}");
+    }
+}

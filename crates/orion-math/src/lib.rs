@@ -17,6 +17,7 @@
 //! Everything here is deterministic; NTT tables are precomputed once per
 //! `(N, q)` pair and shared.
 
+pub mod arena;
 pub mod fft;
 pub mod modular;
 pub mod ntt;

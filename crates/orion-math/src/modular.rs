@@ -67,6 +67,21 @@ pub fn mul_mod_shoup(a: u64, b: u64, b_shoup: u64, q: u64) -> u64 {
     }
 }
 
+/// Shoup multiplication *without* the final correction: returns a value
+/// congruent to `a·b (mod q)` in `[0, 2q)`.
+///
+/// This is the Harvey lazy-butterfly primitive. Unlike [`mul_mod_shoup`],
+/// the input `a` may be **any** `u64` (in particular a lazily-reduced value
+/// in `[0, 4q)`): with `h = ⌊a·b_shoup/2⁶⁴⌋` the remainder
+/// `a·b − h·q` always lies in `[0, a·q/2⁶⁴ + q) ⊆ [0, 2q)`. Requires
+/// `b < q` and `q < 2⁶³` so the result is unambiguous in wrapping `u64`
+/// arithmetic (Orion moduli are < 2⁶²).
+#[inline(always)]
+pub fn mul_mod_shoup_lazy(a: u64, b: u64, b_shoup: u64, q: u64) -> u64 {
+    let hi = ((a as u128 * b_shoup as u128) >> 64) as u64;
+    a.wrapping_mul(b).wrapping_sub(hi.wrapping_mul(q))
+}
+
 /// Raises `a` to the power `e` modulo `q` by square-and-multiply.
 pub fn pow_mod(mut a: u64, mut e: u64, q: u64) -> u64 {
     let mut r: u64 = 1 % q;
@@ -189,6 +204,21 @@ mod tests {
         let bs = shoup_precompute(b, q);
         for a in [0u64, 1, q - 1, q / 2, 0xdead_beef] {
             assert_eq!(mul_mod_shoup(a, b, bs, q), mul_mod(a, b, q));
+        }
+    }
+
+    #[test]
+    fn lazy_shoup_stays_below_2q_for_unreduced_inputs() {
+        let q = 0x1fff_ffff_ffe0_0001u64; // 61-bit prime
+        let b = 0x00da_bbad_00b5_00b5_u64 % q;
+        let bs = shoup_precompute(b, q);
+        // `a` ranges over fully-reduced, lazily-reduced ([0, 4q)) and
+        // arbitrary u64 values — the lazy product must stay in [0, 2q)
+        // and agree with plain multiplication mod q.
+        for a in [0u64, 1, q - 1, q, 2 * q - 1, 3 * q + 17, u64::MAX] {
+            let r = mul_mod_shoup_lazy(a, b, bs, q);
+            assert!(r < 2 * q, "a={a}: lazy result {r} out of [0, 2q)");
+            assert_eq!(r % q, mul_mod(a % q, b, q), "a={a}");
         }
     }
 

@@ -6,12 +6,23 @@
 //! evaluation domain are negacyclic convolutions in the coefficient domain,
 //! which is what makes CKKS multiplication `O(N log N)` (paper §2.5).
 //!
-//! The butterflies follow Longa–Naehrig with Shoup precomputation.
+//! The butterflies follow Longa–Naehrig with Shoup precomputation. The
+//! `*_lazy` entry points additionally use Harvey's lazy reduction: forward
+//! butterflies keep values in `[0, 4q)` and inverse butterflies in
+//! `[0, 2q)`, deferring the per-butterfly corrections to one final sweep.
+//! Both paths produce bit-identical fully-reduced output.
 
-use crate::modular::{add_mod, inv_mod, mul_mod_shoup, pow_mod, shoup_precompute, sub_mod};
+use crate::modular::{
+    add_mod, inv_mod, mul_mod_shoup, mul_mod_shoup_lazy, pow_mod, shoup_precompute, sub_mod,
+};
 use crate::primes::primitive_2n_root;
+use std::sync::OnceLock;
 
 /// Precomputed twiddle tables for the negacyclic NTT modulo one prime.
+///
+/// Only the forward tables are built eagerly; the inverse tables (needed by
+/// decryption/rescale/decompose but not by encode-only paths) are built on
+/// first use, halving `new`'s cost in prepare-time profiles.
 #[derive(Clone)]
 pub struct NttTable {
     /// Ring degree (power of two).
@@ -23,10 +34,15 @@ pub struct NttTable {
     /// ψ powers in bit-reversed order.
     psi_brv: Vec<u64>,
     psi_brv_shoup: Vec<u64>,
-    /// ψ⁻¹ powers in bit-reversed order.
+    /// Inverse-direction tables, built lazily on first inverse transform.
+    inv: OnceLock<InvTables>,
+}
+
+/// ψ⁻¹ twiddles and the N⁻¹ scaling constant.
+#[derive(Clone)]
+struct InvTables {
     inv_psi_brv: Vec<u64>,
     inv_psi_brv_shoup: Vec<u64>,
-    /// N⁻¹ mod q with Shoup constant.
     n_inv: u64,
     n_inv_shoup: u64,
 }
@@ -35,46 +51,53 @@ fn bit_reverse(x: usize, bits: u32) -> usize {
     x.reverse_bits() >> (usize::BITS - bits)
 }
 
+/// Successive powers of `base` (starting at 1) in bit-reversed order, each
+/// paired with its Shoup constant. The power chain itself runs on Shoup
+/// multiplication — no `u128 %` in the loop.
+fn powers_brv(base: u64, n: usize, q: u64) -> (Vec<u64>, Vec<u64>) {
+    let bits = n.trailing_zeros();
+    let base_shoup = shoup_precompute(base, q);
+    let mut pows = vec![0u64; n];
+    let mut p = 1u64;
+    for slot in pows.iter_mut() {
+        *slot = p;
+        p = mul_mod_shoup(p, base, base_shoup, q);
+    }
+    let brv: Vec<u64> = (0..n).map(|i| pows[bit_reverse(i, bits)]).collect();
+    let brv_shoup = brv.iter().map(|&x| shoup_precompute(x, q)).collect();
+    (brv, brv_shoup)
+}
+
 impl NttTable {
     /// Builds the table for ring degree `n` and prime `q ≡ 1 (mod 2n)`.
     pub fn new(n: usize, q: u64) -> Self {
         assert!(n.is_power_of_two() && n >= 2);
+        debug_assert!(q < 1 << 62, "lazy reduction needs 4q < 2^64");
         let psi = primitive_2n_root(q, n);
-        let inv_psi = inv_mod(psi, q);
-        let bits = n.trailing_zeros();
-        let mut psi_brv = vec![0u64; n];
-        let mut inv_psi_brv = vec![0u64; n];
-        let mut p = 1u64;
-        let mut ip = 1u64;
-        let mut psi_pows = vec![0u64; n];
-        let mut inv_psi_pows = vec![0u64; n];
-        for i in 0..n {
-            psi_pows[i] = p;
-            inv_psi_pows[i] = ip;
-            p = crate::modular::mul_mod(p, psi, q);
-            ip = crate::modular::mul_mod(ip, inv_psi, q);
-        }
-        for i in 0..n {
-            psi_brv[i] = psi_pows[bit_reverse(i, bits)];
-            inv_psi_brv[i] = inv_psi_pows[bit_reverse(i, bits)];
-        }
-        let psi_brv_shoup = psi_brv.iter().map(|&x| shoup_precompute(x, q)).collect();
-        let inv_psi_brv_shoup = inv_psi_brv
-            .iter()
-            .map(|&x| shoup_precompute(x, q))
-            .collect();
-        let n_inv = inv_mod(n as u64 % q, q);
+        let (psi_brv, psi_brv_shoup) = powers_brv(psi, n, q);
         Self {
             n,
             q,
             psi,
             psi_brv,
             psi_brv_shoup,
-            inv_psi_brv,
-            inv_psi_brv_shoup,
-            n_inv,
-            n_inv_shoup: shoup_precompute(n_inv, q),
+            inv: OnceLock::new(),
         }
+    }
+
+    fn inv_tables(&self) -> &InvTables {
+        self.inv.get_or_init(|| {
+            let (n, q) = (self.n, self.q);
+            let inv_psi = inv_mod(self.psi, q);
+            let (inv_psi_brv, inv_psi_brv_shoup) = powers_brv(inv_psi, n, q);
+            let n_inv = inv_mod(n as u64 % q, q);
+            InvTables {
+                inv_psi_brv,
+                inv_psi_brv_shoup,
+                n_inv,
+                n_inv_shoup: shoup_precompute(n_inv, q),
+            }
+        })
     }
 
     /// In-place forward NTT: coefficient → evaluation representation.
@@ -104,6 +127,7 @@ impl NttTable {
     /// In-place inverse NTT: evaluation → coefficient representation.
     pub fn inverse(&self, a: &mut [u64]) {
         debug_assert_eq!(a.len(), self.n);
+        let it = self.inv_tables();
         let q = self.q;
         let n = self.n;
         let mut t = 1;
@@ -112,8 +136,8 @@ impl NttTable {
             let h = m >> 1;
             let mut j1 = 0;
             for i in 0..h {
-                let s = self.inv_psi_brv[h + i];
-                let s_sh = self.inv_psi_brv_shoup[h + i];
+                let s = it.inv_psi_brv[h + i];
+                let s_sh = it.inv_psi_brv_shoup[h + i];
                 for j in j1..j1 + t {
                     let u = a[j];
                     let v = a[j + t];
@@ -126,7 +150,90 @@ impl NttTable {
             m = h;
         }
         for x in a.iter_mut() {
-            *x = mul_mod_shoup(*x, self.n_inv, self.n_inv_shoup, q);
+            *x = mul_mod_shoup(*x, it.n_inv, it.n_inv_shoup, q);
+        }
+    }
+
+    /// In-place forward NTT with Harvey lazy reduction: butterflies keep
+    /// values in `[0, 4q)`, one correction sweep at the end restores
+    /// `[0, q)`. Bit-identical to [`NttTable::forward`].
+    pub fn forward_lazy(&self, a: &mut [u64]) {
+        debug_assert_eq!(a.len(), self.n);
+        let q = self.q;
+        let two_q = 2 * q;
+        let n = self.n;
+        let mut t = n;
+        let mut m = 1;
+        while m < n {
+            t >>= 1;
+            for i in 0..m {
+                let j1 = 2 * i * t;
+                let s = self.psi_brv[m + i];
+                let s_sh = self.psi_brv_shoup[m + i];
+                for j in j1..j1 + t {
+                    // u ∈ [0, 4q) → [0, 2q); v ∈ [0, 2q) by the lazy
+                    // product bound; both outputs stay < 4q.
+                    let mut u = a[j];
+                    if u >= two_q {
+                        u -= two_q;
+                    }
+                    let v = mul_mod_shoup_lazy(a[j + t], s, s_sh, q);
+                    a[j] = u + v;
+                    a[j + t] = u + two_q - v;
+                }
+            }
+            m <<= 1;
+        }
+        for x in a.iter_mut() {
+            let mut v = *x;
+            if v >= two_q {
+                v -= two_q;
+            }
+            if v >= q {
+                v -= q;
+            }
+            *x = v;
+        }
+    }
+
+    /// In-place inverse NTT with lazy reduction: butterflies keep values in
+    /// `[0, 2q)`; the final N⁻¹ scaling fully reduces. Bit-identical to
+    /// [`NttTable::inverse`].
+    pub fn inverse_lazy(&self, a: &mut [u64]) {
+        debug_assert_eq!(a.len(), self.n);
+        let it = self.inv_tables();
+        let q = self.q;
+        let two_q = 2 * q;
+        let n = self.n;
+        let mut t = 1;
+        let mut m = n;
+        while m > 1 {
+            let h = m >> 1;
+            let mut j1 = 0;
+            for i in 0..h {
+                let s = it.inv_psi_brv[h + i];
+                let s_sh = it.inv_psi_brv_shoup[h + i];
+                for j in j1..j1 + t {
+                    // u, v ∈ [0, 2q): the sum gets one conditional
+                    // subtract; the difference (kept positive by +2q, so
+                    // < 4q) feeds the lazy product, landing in [0, 2q).
+                    let u = a[j];
+                    let v = a[j + t];
+                    let mut s0 = u + v;
+                    if s0 >= two_q {
+                        s0 -= two_q;
+                    }
+                    a[j] = s0;
+                    a[j + t] = mul_mod_shoup_lazy(u + two_q - v, s, s_sh, q);
+                }
+                j1 += 2 * t;
+            }
+            t <<= 1;
+            m = h;
+        }
+        // The strict Shoup product accepts any u64 input and fully reduces.
+        for x in a.iter_mut() {
+            *x = mul_mod_shoup(*x, it.n_inv, it.n_inv_shoup, q);
         }
     }
 
@@ -233,6 +340,26 @@ mod tests {
         let mut expect = vec![0u64; n];
         expect[0] = q - 1;
         assert_eq!(sq, expect);
+    }
+
+    #[test]
+    fn lazy_paths_match_strict_bit_exact() {
+        for n in [16usize, 256, 1 << 10] {
+            let q = generate_ntt_primes(n, 55, 1, &[])[0];
+            let t = NttTable::new(n, q);
+            let orig: Vec<u64> = (0..n as u64)
+                .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) % q)
+                .collect();
+            let mut strict = orig.clone();
+            let mut lazy = orig.clone();
+            t.forward(&mut strict);
+            t.forward_lazy(&mut lazy);
+            assert_eq!(strict, lazy, "forward n={n}");
+            t.inverse(&mut strict);
+            t.inverse_lazy(&mut lazy);
+            assert_eq!(strict, lazy, "inverse n={n}");
+            assert_eq!(lazy, orig, "roundtrip n={n}");
+        }
     }
 
     #[test]

@@ -123,14 +123,15 @@ where
 }
 
 /// Forward-NTTs every `(table, limb)` pair, fanning out across limbs when
-/// the ring is large enough.
+/// the ring is large enough. Uses the lazy-reduction butterflies
+/// (bit-identical to the strict path).
 pub fn ntt_forward_batch(pairs: Vec<(&NttTable, &mut [u64])>) {
     let degree = pairs.first().map(|(t, _)| t.n).unwrap_or(0);
     if ntt_parallel(degree, pairs.len()) {
-        pairs.into_par_iter().for_each(|(t, a)| t.forward(a));
+        pairs.into_par_iter().for_each(|(t, a)| t.forward_lazy(a));
     } else {
         for (t, a) in pairs {
-            t.forward(a);
+            t.forward_lazy(a);
         }
     }
 }
@@ -139,10 +140,10 @@ pub fn ntt_forward_batch(pairs: Vec<(&NttTable, &mut [u64])>) {
 pub fn ntt_inverse_batch(pairs: Vec<(&NttTable, &mut [u64])>) {
     let degree = pairs.first().map(|(t, _)| t.n).unwrap_or(0);
     if ntt_parallel(degree, pairs.len()) {
-        pairs.into_par_iter().for_each(|(t, a)| t.inverse(a));
+        pairs.into_par_iter().for_each(|(t, a)| t.inverse_lazy(a));
     } else {
         for (t, a) in pairs {
-            t.inverse(a);
+            t.inverse_lazy(a);
         }
     }
 }

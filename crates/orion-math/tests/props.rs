@@ -61,6 +61,30 @@ proptest! {
         }
     }
 
+    /// Harvey lazy-reduction NTT is bit-exact against the strict path for
+    /// random primes (30–59 bits) and degrees (16–1024), both directions,
+    /// including the roundtrip back to the original coefficients.
+    #[test]
+    fn lazy_ntt_matches_strict(log_n in 4usize..11, bits_off in 0u32..30, seed in 0u64..1_000_000) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let n = 1usize << log_n;
+        let bits = 30 + bits_off; // prime size in [30, 60)
+        let q = generate_ntt_primes(n, bits, 1, &[])[0];
+        let table = NttTable::new(n, q);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let orig: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+        let mut strict = orig.clone();
+        let mut lazy = orig.clone();
+        table.forward(&mut strict);
+        table.forward_lazy(&mut lazy);
+        prop_assert_eq!(&strict, &lazy);
+        prop_assert!(lazy.iter().all(|&x| x < q));
+        table.inverse(&mut strict);
+        table.inverse_lazy(&mut lazy);
+        prop_assert_eq!(&strict, &lazy);
+        prop_assert_eq!(&lazy, &orig);
+    }
+
     /// Negacyclic wrap: X^{n-1} · X = -1 in the ring.
     #[test]
     fn negacyclic_wraparound(c in 1u64..1000) {

@@ -54,7 +54,10 @@ impl Encoder {
         let mut vals = slot_vals.to_vec();
         self.ctx.fft.inverse(&mut vals);
         let n = self.ctx.degree();
-        let mut coeffs = vec![0i128; n];
+        // The lift temporary comes from the arena: encode-heavy paths
+        // (batch weight encoding, per-request input encoding) stop paying
+        // an i128 allocation per call.
+        let mut coeffs = orion_math::arena::scratch_i128_raw(n);
         for (j, v) in vals.iter().enumerate() {
             coeffs[j] = (v.re * scale).round() as i128;
             coeffs[j + slots] = (v.im * scale).round() as i128;
@@ -100,7 +103,7 @@ impl Encoder {
         with_special: bool,
     ) -> Plaintext {
         let n = self.ctx.degree();
-        let mut coeffs = vec![0i128; n];
+        let mut coeffs = orion_math::arena::scratch_i128(n);
         coeffs[0] = (value * scale).round() as i128;
         let mut poly = RnsPoly::from_signed(&self.ctx, &coeffs, level, with_special);
         poly.to_eval(&self.ctx);

@@ -7,16 +7,6 @@ use crate::params::Context;
 use crate::poly::{Form, RnsPoly};
 use std::sync::Arc;
 
-/// Truncates a full-basis key part to `level` chain limbs (keeping the
-/// special limb).
-fn truncate_key_part(p: &RnsPoly, level: usize) -> RnsPoly {
-    RnsPoly {
-        limbs: p.limbs[..=level].to_vec(),
-        special: p.special.clone(),
-        form: p.form,
-    }
-}
-
 /// True when two scales agree to within relative precision, computed as a
 /// difference against the larger magnitude rather than a quotient — safe
 /// when either operand is zero (a zero scale then *fails* the check with a
@@ -133,7 +123,7 @@ impl Evaluator {
     /// (typically `q_ℓ` for the errorless path).
     pub fn mul_scalar(&self, a: &Ciphertext, v: f64, aux_scale: f64) -> Ciphertext {
         let n = self.ctx.degree();
-        let mut coeffs = vec![0i128; n];
+        let mut coeffs = orion_math::arena::scratch_i128(n);
         coeffs[0] = (v * aux_scale).round() as i128;
         let mut poly = RnsPoly::from_signed(&self.ctx, &coeffs, a.level(), false);
         poly.to_eval(&self.ctx);
@@ -159,10 +149,12 @@ impl Evaluator {
         let mut acc_b = RnsPoly::zero(ctx, level, Form::Eval, true);
         let mut acc_a = RnsPoly::zero(ctx, level, Form::Eval, true);
         for (i, digit) in digits.iter().enumerate() {
-            let kb = truncate_key_part(&key.parts[i].0, level);
-            let ka = truncate_key_part(&key.parts[i].1, level);
-            acc_b.add_mul_assign(digit, &kb, ctx);
-            acc_a.add_mul_assign(digit, &ka, ctx);
+            let (kb, ka) = (&key.parts[i].0, &key.parts[i].1);
+            acc_b.add_mul_assign_parts(digit, &kb.limbs, kb.special.as_ref(), ctx);
+            acc_a.add_mul_assign_parts(digit, &ka.limbs, ka.special.as_ref(), ctx);
+        }
+        for digit in digits {
+            digit.recycle();
         }
         (acc_b, acc_a)
     }

@@ -27,21 +27,25 @@ pub fn decompose_digits(ctx: &Context, c: &RnsPoly) -> Vec<RnsPoly> {
     // independent, so this is the key-switch hot loop the shared rayon pool
     // attacks first.
     let par = orion_math::parallel::ntt_parallel(ctx.degree(), level + 1);
+    let n = ctx.degree();
     orion_math::parallel::map_indexed(level + 1, par, |i| {
-        // Bring limb i to coefficient form.
-        let mut digit = c.limbs[i].clone();
-        ctx.ntt[i].inverse(&mut digit);
+        // Bring limb i to coefficient form (arena scratch, lazy NTT).
+        let mut digit = orion_math::arena::scratch_u64_raw(n);
+        digit.copy_from_slice(&c.limbs[i]);
+        ctx.ntt[i].inverse_lazy(&mut digit);
         // Extend to every chain modulus and the special prime.
+        let extend = |q: u64, table: &orion_math::NttTable| -> Vec<u64> {
+            let mut l = orion_math::arena::take_u64_raw(n);
+            for (o, &x) in l.iter_mut().zip(digit.iter()) {
+                *o = x % q;
+            }
+            table.forward_lazy(&mut l);
+            l
+        };
         let limbs: Vec<Vec<u64>> = (0..=level)
-            .map(|j| {
-                let qj = ctx.moduli[j];
-                let mut l: Vec<u64> = digit.iter().map(|&x| x % qj).collect();
-                ctx.ntt[j].forward(&mut l);
-                l
-            })
+            .map(|j| extend(ctx.moduli[j], &ctx.ntt[j]))
             .collect();
-        let mut sp: Vec<u64> = digit.iter().map(|&x| x % p).collect();
-        ctx.ntt_special.forward(&mut sp);
+        let sp = extend(p, &ctx.ntt_special);
         RnsPoly {
             limbs,
             special: Some(sp),
@@ -104,10 +108,10 @@ impl HoistedDigits {
         let mut acc_a = RnsPoly::zero(ctx, level, Form::Eval, true);
         for (i, d) in self.digits.iter().enumerate() {
             let pd = d.automorphism_eval(&perm);
-            let kb = key_part(&key.parts[i].0, level);
-            let ka = key_part(&key.parts[i].1, level);
-            acc_b.add_mul_assign(&pd, &kb, ctx);
-            acc_a.add_mul_assign(&pd, &ka, ctx);
+            let (kb, ka) = (&key.parts[i].0, &key.parts[i].1);
+            acc_b.add_mul_assign_parts(&pd, &kb.limbs, kb.special.as_ref(), ctx);
+            acc_a.add_mul_assign_parts(&pd, &ka.limbs, ka.special.as_ref(), ctx);
+            pd.recycle();
         }
         acc_b.mod_down_special_assign(ctx);
         acc_a.mod_down_special_assign(ctx);
@@ -118,14 +122,6 @@ impl HoistedDigits {
             c1: acc_a,
             scale: self.scale,
         }
-    }
-}
-
-fn key_part(p: &RnsPoly, level: usize) -> RnsPoly {
-    RnsPoly {
-        limbs: p.limbs[..=level].to_vec(),
-        special: p.special.clone(),
-        form: p.form,
     }
 }
 
@@ -164,8 +160,10 @@ impl HoistedDigits {
         let mut ks_a = RnsPoly::zero(ctx, level, Form::Eval, true);
         for (i, d) in self.digits.iter().enumerate() {
             let pd = d.automorphism_eval(&perm);
-            ks_b.add_mul_assign(&pd, &key_part(&key.parts[i].0, level), ctx);
-            ks_a.add_mul_assign(&pd, &key_part(&key.parts[i].1, level), ctx);
+            let (kb, ka) = (&key.parts[i].0, &key.parts[i].1);
+            ks_b.add_mul_assign_parts(&pd, &kb.limbs, kb.special.as_ref(), ctx);
+            ks_a.add_mul_assign_parts(&pd, &ka.limbs, ka.special.as_ref(), ctx);
+            pd.recycle();
         }
         RotatedExt {
             ext: Some((ks_b, ks_a)),
@@ -173,14 +171,6 @@ impl HoistedDigits {
             c1: None,
             scale: self.scale,
         }
-    }
-}
-
-fn strip_special(p: &RnsPoly) -> RnsPoly {
-    RnsPoly {
-        limbs: p.limbs.clone(),
-        special: None,
-        form: p.form,
     }
 }
 
@@ -235,9 +225,12 @@ impl ExtAccumulator {
         let ctx = eval.context();
         self.bump_scale(h.scale * pt.scale);
         if k == 0 {
-            let pt_base = strip_special(&pt.poly);
-            self.acc_b_base.add_mul_assign(&h.c0, &pt_base, ctx);
-            self.acc_a_base.add_mul_assign(&h.c1, &pt_base, ctx);
+            // Base-basis accumulation borrows the plaintext limbs directly
+            // (its special limb, if any, is simply not read).
+            self.acc_b_base
+                .add_mul_assign_parts(&h.c0, &pt.poly.limbs, None, ctx);
+            self.acc_a_base
+                .add_mul_assign_parts(&h.c1, &pt.poly.limbs, None, ctx);
             return;
         }
         assert!(
@@ -252,17 +245,20 @@ impl ExtAccumulator {
         let mut ks_a = RnsPoly::zero(ctx, level, Form::Eval, true);
         for (i, d) in h.digits.iter().enumerate() {
             let pd = d.automorphism_eval(&perm);
-            ks_b.add_mul_assign(&pd, &key_part(&key.parts[i].0, level), ctx);
-            ks_a.add_mul_assign(&pd, &key_part(&key.parts[i].1, level), ctx);
+            let (kb, ka) = (&key.parts[i].0, &key.parts[i].1);
+            ks_b.add_mul_assign_parts(&pd, &kb.limbs, kb.special.as_ref(), ctx);
+            ks_a.add_mul_assign_parts(&pd, &ka.limbs, ka.special.as_ref(), ctx);
+            pd.recycle();
         }
         // pt ⊙ key-switch parts stay extended; pt ⊙ σ(c0) is base-basis.
-        self.acc_b_ext
-            .add_assign(&ks_b.mul_pointwise(&pt.poly, ctx), ctx);
-        self.acc_a_ext
-            .add_assign(&ks_a.mul_pointwise(&pt.poly, ctx), ctx);
+        self.acc_b_ext.add_mul_assign(&ks_b, &pt.poly, ctx);
+        self.acc_a_ext.add_mul_assign(&ks_a, &pt.poly, ctx);
+        ks_b.recycle();
+        ks_a.recycle();
         let sc0 = h.c0.automorphism_eval(&perm);
         self.acc_b_base
-            .add_mul_assign(&sc0, &strip_special(&pt.poly), ctx);
+            .add_mul_assign_parts(&sc0, &pt.poly.limbs, None, ctx);
+        sc0.recycle();
         self.any_ext = true;
         let _ = &self.any_ext;
     }
@@ -277,9 +273,10 @@ impl ExtAccumulator {
                 // rotation by zero: plain base-basis accumulation
                 let c1 = rot.c1.as_ref().expect("zero rotation keeps c1");
                 self.bump_scale_public(rot.scale * pt.scale);
-                let pt_base = strip_special(&pt.poly);
-                self.acc_b_base.add_mul_assign(&rot.c0, &pt_base, ctx);
-                self.acc_a_base.add_mul_assign(c1, &pt_base, ctx);
+                self.acc_b_base
+                    .add_mul_assign_parts(&rot.c0, &pt.poly.limbs, None, ctx);
+                self.acc_a_base
+                    .add_mul_assign_parts(c1, &pt.poly.limbs, None, ctx);
             }
             Some((ks_b, ks_a)) => {
                 assert!(
@@ -290,7 +287,7 @@ impl ExtAccumulator {
                 self.acc_b_ext.add_mul_assign(ks_b, &pt.poly, ctx);
                 self.acc_a_ext.add_mul_assign(ks_a, &pt.poly, ctx);
                 self.acc_b_base
-                    .add_mul_assign(&rot.c0, &strip_special(&pt.poly), ctx);
+                    .add_mul_assign_parts(&rot.c0, &pt.poly.limbs, None, ctx);
                 self.any_ext = true;
             }
         }
@@ -314,8 +311,10 @@ impl ExtAccumulator {
         self.acc_a_ext.mod_down_special_assign(ctx);
         let mut c0 = self.acc_b_base;
         c0.add_assign(&self.acc_b_ext, ctx);
+        self.acc_b_ext.recycle();
         let mut c1 = self.acc_a_base;
         c1.add_assign(&self.acc_a_ext, ctx);
+        self.acc_a_ext.recycle();
         Ciphertext {
             c0,
             c1,

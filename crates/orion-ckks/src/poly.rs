@@ -36,12 +36,30 @@ pub struct RnsPoly {
 
 impl RnsPoly {
     /// The all-zero polynomial at `level` (with a special limb if requested).
+    /// Limb buffers come from the thread-local arena, so accumulator-heavy
+    /// loops (key-switching) recycle instead of allocating.
     pub fn zero(ctx: &Context, level: usize, form: Form, with_special: bool) -> Self {
         let n = ctx.degree();
         Self {
-            limbs: vec![vec![0u64; n]; level + 1],
-            special: with_special.then(|| vec![0u64; n]),
+            limbs: (0..=level)
+                .map(|_| orion_math::arena::take_u64(n))
+                .collect(),
+            special: with_special.then(|| orion_math::arena::take_u64(n)),
             form,
+        }
+    }
+
+    /// Returns every limb buffer to the thread-local arena. Calling this on
+    /// hot-loop temporaries is what makes [`RnsPoly::zero`] (and the arena
+    /// paths in `automorphism_eval`/`mul_pointwise`) allocation-free in
+    /// steady state; dropping a polynomial normally is always still
+    /// correct, just a missed reuse.
+    pub fn recycle(self) {
+        for limb in self.limbs {
+            orion_math::arena::recycle_u64(limb);
+        }
+        if let Some(s) = self.special {
+            orion_math::arena::recycle_u64(s);
         }
     }
 
@@ -256,19 +274,18 @@ impl RnsPoly {
         assert_eq!(self.form, Form::Eval);
         self.check_compat(other);
         let par = self.pointwise_par();
+        let product = |a: &[u64], b: &[u64], q: u64| -> Vec<u64> {
+            let mut out = orion_math::arena::take_u64_raw(a.len());
+            for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+                *o = mul_mod(x, y, q);
+            }
+            out
+        };
         let limbs = map_indexed(self.limbs.len(), par, |j| {
-            let q = ctx.moduli[j];
-            self.limbs[j]
-                .iter()
-                .zip(&other.limbs[j])
-                .map(|(&x, &y)| mul_mod(x, y, q))
-                .collect()
+            product(&self.limbs[j], &other.limbs[j], ctx.moduli[j])
         });
         let special = match (&self.special, &other.special) {
-            (Some(a), Some(b)) => {
-                let p = ctx.special;
-                Some(a.iter().zip(b).map(|(&x, &y)| mul_mod(x, y, p)).collect())
-            }
+            (Some(a), Some(b)) => Some(product(a, b, ctx.special)),
             _ => None,
         };
         Self {
@@ -276,6 +293,37 @@ impl RnsPoly {
             special,
             form: Form::Eval,
         }
+    }
+
+    /// Fused `self += a ⊙ b` where `b` is given as borrowed limb slices —
+    /// the key-switch inner loop, which multiplies a digit by a full-basis
+    /// key part truncated to the digit's level. Borrowing the key's limbs
+    /// directly avoids cloning `level+2` limb vectors per digit.
+    pub fn add_mul_assign_parts(
+        &mut self,
+        a: &Self,
+        b_limbs: &[Vec<u64>],
+        b_special: Option<&Vec<u64>>,
+        ctx: &Context,
+    ) {
+        assert_eq!(self.form, Form::Eval);
+        assert_eq!(a.form, Form::Eval);
+        assert_eq!(self.limbs.len(), a.limbs.len());
+        assert!(b_limbs.len() >= self.limbs.len());
+        let n_chain = self.limbs.len();
+        let has_special = self.has_special() && a.has_special() && b_special.is_some();
+        self.for_each_limb_mut(ctx, |q, dst, j| {
+            let (x, y) = if j < n_chain {
+                (&a.limbs[j], &b_limbs[j])
+            } else if has_special {
+                (a.special.as_ref().unwrap(), b_special.unwrap())
+            } else {
+                return;
+            };
+            for ((d, &u), &v) in dst.iter_mut().zip(x).zip(y) {
+                *d = add_mod(*d, mul_mod(u, v, q), q);
+            }
+        });
     }
 
     /// Fused `self += a ⊙ b` (all evaluation form).
@@ -345,7 +393,13 @@ impl RnsPoly {
     /// permutation table: `out[i] = in[perm[i]]` in every limb.
     pub fn automorphism_eval(&self, perm: &[usize]) -> Self {
         assert_eq!(self.form, Form::Eval);
-        let apply = |src: &Vec<u64>| -> Vec<u64> { perm.iter().map(|&j| src[j]).collect() };
+        let apply = |src: &Vec<u64>| -> Vec<u64> {
+            let mut out = orion_math::arena::take_u64_raw(src.len());
+            for (o, &j) in out.iter_mut().zip(perm) {
+                *o = src[j];
+            }
+            out
+        };
         let limbs = map_indexed(self.limbs.len(), self.pointwise_par(), |j| {
             apply(&self.limbs[j])
         });
@@ -366,28 +420,31 @@ impl RnsPoly {
         let ql = ctx.moduli[l];
         // Bring the top limb to coefficient form.
         let mut top = self.limbs.pop().expect("top limb");
-        ctx.ntt[l].inverse(&mut top);
+        ctx.ntt[l].inverse_lazy(&mut top);
         // The centered lift of the top limb is limb-independent: compute it
-        // once, then reduce into each Z_{q_j} through a reused scratch
-        // buffer instead of allocating a fresh vector per limb.
-        let centered: Vec<i128> = top
-            .iter()
-            .map(|&c| orion_math::modular::center(c, ql) as i128)
-            .collect();
+        // once (into arena scratch), then reduce into each Z_{q_j} through
+        // a reused per-worker buffer instead of allocating per limb.
         let degree = top.len();
+        let mut centered = orion_math::arena::scratch_i128_raw(degree);
+        for (c, &t) in centered.iter_mut().zip(top.iter()) {
+            *c = orion_math::modular::center(t, ql) as i128;
+        }
+        orion_math::arena::recycle_u64(top);
+        let centered = &*centered;
         // Every remaining limb folds the lifted top limb in independently
         // (one NTT each), so the loop fans out for large rings.
         let par = ntt_parallel(degree, l);
         orion_math::parallel::for_each_mut_scratch(
             &mut self.limbs,
             par,
-            || Vec::<u64>::with_capacity(degree),
+            || orion_math::arena::scratch_u64_raw(degree),
             |j, limb, lifted| {
                 let qj = ctx.moduli[j];
                 let inv = ctx.rescale_constant(l, j);
-                lifted.clear();
-                lifted.extend(centered.iter().map(|&c| reduce_i128(c, qj)));
-                ctx.ntt[j].forward(lifted);
+                for (t, &c) in lifted.iter_mut().zip(centered.iter()) {
+                    *t = reduce_i128(c, qj);
+                }
+                ctx.ntt[j].forward_lazy(lifted);
                 for (x, &t) in limb.iter_mut().zip(lifted.iter()) {
                     *x = mul_mod(sub_mod(*x, t, qj), inv, qj);
                 }
@@ -401,25 +458,28 @@ impl RnsPoly {
         assert_eq!(self.form, Form::Eval);
         let p = ctx.special;
         let mut sp = self.special.take().expect("no special limb to remove");
-        ctx.ntt_special.inverse(&mut sp);
-        // As in `rescale_assign`: one shared centered lift, one reused
-        // scratch buffer per worker instead of an allocation per limb.
-        let centered: Vec<i128> = sp
-            .iter()
-            .map(|&c| orion_math::modular::center(c, p) as i128)
-            .collect();
+        ctx.ntt_special.inverse_lazy(&mut sp);
+        // As in `rescale_assign`: one shared centered lift (arena scratch),
+        // one reused per-worker buffer instead of an allocation per limb.
         let degree = sp.len();
+        let mut centered = orion_math::arena::scratch_i128_raw(degree);
+        for (c, &t) in centered.iter_mut().zip(sp.iter()) {
+            *c = orion_math::modular::center(t, p) as i128;
+        }
+        orion_math::arena::recycle_u64(sp);
+        let centered = &*centered;
         let par = ntt_parallel(degree, self.limbs.len());
         orion_math::parallel::for_each_mut_scratch(
             &mut self.limbs,
             par,
-            || Vec::<u64>::with_capacity(degree),
+            || orion_math::arena::scratch_u64_raw(degree),
             |j, limb, lifted| {
                 let qj = ctx.moduli[j];
                 let inv = ctx.special_constant(j);
-                lifted.clear();
-                lifted.extend(centered.iter().map(|&c| reduce_i128(c, qj)));
-                ctx.ntt[j].forward(lifted);
+                for (t, &c) in lifted.iter_mut().zip(centered.iter()) {
+                    *t = reduce_i128(c, qj);
+                }
+                ctx.ntt[j].forward_lazy(lifted);
                 for (x, &t) in limb.iter_mut().zip(lifted.iter()) {
                     *x = mul_mod(sub_mod(*x, t, qj), inv, qj);
                 }

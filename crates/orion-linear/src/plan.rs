@@ -69,6 +69,15 @@ impl PlanCounts {
     pub fn rotations(&self) -> usize {
         self.baby_rots + self.giant_rots
     }
+
+    /// Key-switch digit decompositions the executor performs: one hoist
+    /// per rotating input block, plus one *fresh* decomposition inside
+    /// every giant-step rotation (a giant rotation is a full `HRot` — its
+    /// key-switch cannot reuse the input's hoisted digits). This is the
+    /// quantity the hoisting-aware split chooser drives down.
+    pub fn decompositions(&self) -> usize {
+        self.hoists + self.giant_rots
+    }
 }
 
 /// The packed evaluation plan of one linear layer.
@@ -158,8 +167,25 @@ impl PlanBuilder {
         }
     }
 
-    /// Finishes the plan: chooses the rotation-minimizing power-of-two `n1`
-    /// and computes operation counts.
+    /// Weighted NTT-count proxies for the split chooser, per operation.
+    /// A *giant* rotation is a full `HRot`: fresh digit decomposition +
+    /// key inner product + two ModDowns — an order of magnitude more NTTs
+    /// than a hoisted baby rotation (permutation + inner product against
+    /// already-decomposed digits). `W_KEY` charges each distinct rotation
+    /// step for its rotation key (generation time and resident memory), so
+    /// dense layers with hundreds of diagonals keep a classic two-level
+    /// BSGS instead of hoisting every diagonal into its own key.
+    const W_BABY: usize = 2;
+    const W_GIANT: usize = 18;
+    const W_MODDOWN: usize = 3;
+    const W_HOIST: usize = 10;
+    const W_KEY: usize = 2;
+
+    /// Finishes the plan: chooses the power-of-two `n1` minimizing a
+    /// key-switch-aware cost (not raw rotation count — giant-step
+    /// rotations pay their hidden digit decompositions, so splits that
+    /// hoist *all* rotations of a sparse layer win even with a few more
+    /// total rotations). Ties prefer the smaller `n1`.
     pub fn finish(self, slots: usize, in_blocks: usize, out_blocks: usize) -> LinearPlan {
         let blocks: BTreeMap<(u32, u32), Vec<u32>> = self
             .blocks
@@ -170,7 +196,7 @@ impl PlanBuilder {
         let mut n1 = 1usize;
         while n1 <= slots {
             let counts = Self::counts_for(&blocks, slots, n1, in_blocks, out_blocks);
-            let cost = counts.rotations();
+            let cost = Self::weighted_cost(&blocks, n1, &counts);
             if best.as_ref().map(|(c, _, _)| cost < *c).unwrap_or(true) {
                 best = Some((cost, counts, n1));
             }
@@ -185,6 +211,36 @@ impl PlanBuilder {
             blocks,
             counts,
         }
+    }
+
+    /// Distinct rotation steps (= rotation keys) a split needs.
+    fn distinct_steps(blocks: &BTreeMap<(u32, u32), Vec<u32>>, n1: usize) -> usize {
+        let mut steps = BTreeSet::new();
+        for diags in blocks.values() {
+            for &k in diags {
+                let i = (k as usize) % n1;
+                let j = (k as usize) / n1;
+                if i != 0 {
+                    steps.insert(i);
+                }
+                if j != 0 {
+                    steps.insert(j * n1);
+                }
+            }
+        }
+        steps.len()
+    }
+
+    fn weighted_cost(
+        blocks: &BTreeMap<(u32, u32), Vec<u32>>,
+        n1: usize,
+        counts: &PlanCounts,
+    ) -> usize {
+        counts.hoists * Self::W_HOIST
+            + counts.baby_rots * Self::W_BABY
+            + counts.giant_rots * Self::W_GIANT
+            + counts.moddowns * Self::W_MODDOWN
+            + Self::distinct_steps(blocks, n1) * Self::W_KEY
     }
 
     fn counts_for(
@@ -387,17 +443,78 @@ mod tests {
     #[test]
     fn bsgs_reduces_rotations_on_dense_matvec() {
         // Dense n×n in one block: diagonal method needs n−1 rotations; BSGS
-        // needs ~2√n (paper §3.2).
+        // stays O(√n) (paper §3.2). The key-switch-aware chooser may shift
+        // the split one notch toward fewer giant steps, so allow 3√n.
         let n = 256;
         let (plan, _) = dense_plan(&TensorLayout::raster(n, 1, 1), n, n);
-        assert!(plan.n1 > 1);
+        assert!(plan.n1 > 1 && plan.n1 < n, "dense must keep a real split");
         let rots = plan.counts.rotations();
-        assert!(
-            rots <= 2 * ((n as f64).sqrt() as usize) + 2,
-            "rots = {rots}"
-        );
+        assert!(rots <= 3 * ((n as f64).sqrt() as usize), "rots = {rots}");
         assert!(rots < n - 1);
         assert_eq!(plan.counts.pmults, n);
+        // The chooser's whole point: fewer digit decompositions than the
+        // raw rotation-minimizing split (n1 = 16 → 1 + 15 decompositions).
+        assert!(
+            plan.counts.decompositions() <= 16,
+            "decompositions = {}",
+            plan.counts.decompositions()
+        );
+    }
+
+    #[test]
+    fn sparse_conv_hoists_all_rotations() {
+        // A SISO 3×3 conv has ≤ 9 diagonals: hoisting every one of them as
+        // a baby step (n1 = slots) costs at most 8 keys but eliminates the
+        // giant-step rotations — and with them all per-rotation digit
+        // decompositions. One hoist per layer remains.
+        let (l, spec) = siso_same();
+        let (plan, _) = conv_plan(&l, &spec, 64);
+        assert_eq!(plan.counts.giant_rots, 0, "n1 = {}", plan.n1);
+        assert_eq!(plan.counts.decompositions(), plan.counts.hoists);
+        assert_eq!(plan.counts.hoists, 1);
+        assert_eq!(plan.counts.moddowns, 1);
+    }
+
+    #[test]
+    fn chooser_never_loses_to_rotation_min_on_decompositions() {
+        // Against the old rotation-count objective, the weighted chooser
+        // must never *increase* decompositions, and must strictly reduce
+        // them on sparse conv structure.
+        let shapes = {
+            let (l, spec) = siso_same();
+            let (conv, _) = conv_plan(&l, &spec, 64);
+            let (dense, _) = dense_plan(&TensorLayout::raster(256, 1, 1), 256, 256);
+            vec![(conv.blocks, 64usize), (dense.blocks, 256usize)]
+        };
+        for (blocks, slots) in shapes {
+            let chosen = {
+                let b = PlanBuilder {
+                    blocks: blocks
+                        .iter()
+                        .map(|(k, v)| (*k, v.iter().copied().collect()))
+                        .collect(),
+                };
+                b.finish(slots, 1, 1).counts
+            };
+            // Re-derive the rotation-minimizing split by hand.
+            let mut rotmin: Option<PlanCounts> = None;
+            let mut n1 = 1usize;
+            while n1 <= slots {
+                let c = PlanBuilder::counts_for(&blocks, slots, n1, 1, 1);
+                if rotmin
+                    .map(|r| c.rotations() < r.rotations())
+                    .unwrap_or(true)
+                {
+                    rotmin = Some(c);
+                }
+                n1 *= 2;
+            }
+            let rotmin = rotmin.unwrap();
+            assert!(
+                chosen.decompositions() <= rotmin.decompositions(),
+                "chosen {chosen:?} vs rotation-min {rotmin:?}"
+            );
+        }
     }
 
     #[test]

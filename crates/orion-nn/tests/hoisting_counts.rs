@@ -1,0 +1,175 @@
+//! The hoisting-aware BSGS chooser must actually cut key-switch digit
+//! decompositions per linear layer, and the `Counting` decorator must see
+//! the drop: conv layers (sparse diagonal structure) hoist *every*
+//! rotation, so an executed conv network performs zero full `HRot`s and
+//! exactly one `Hoist` per rotating input block.
+
+use orion_nn::backend::{run_program, Counting};
+use orion_nn::backends::TraceBackend;
+use orion_nn::compile::{compile, CompileOptions, Step};
+use orion_nn::fit::fixed_ranges;
+use orion_nn::network::Network;
+use orion_sim::counter::OpKind;
+use orion_sim::CostModel;
+use orion_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Three stacked single-channel 3×3 convs with square activations — each
+/// plan has ≤ 9 diagonals (SISO sparsity, paper Figure 3), so every plan
+/// should pick a fully-hoisted split.
+fn conv_net(rng: &mut StdRng) -> Network {
+    let mut net = Network::new(1, 8, 8);
+    let x = net.input();
+    let c1 = net.conv2d("c1", x, 1, 3, 1, 1, 1, rng);
+    let a1 = net.square("a1", c1);
+    let c2 = net.conv2d("c2", a1, 1, 3, 1, 1, 1, rng);
+    let a2 = net.square("a2", c2);
+    let c3 = net.conv2d("c3", a2, 1, 3, 1, 1, 1, rng);
+    net.output(c3);
+    net
+}
+
+#[test]
+fn conv_layers_hoist_every_rotation() {
+    let mut rng = StdRng::seed_from_u64(0x601d);
+    let net = conv_net(&mut rng);
+    let opts = CompileOptions {
+        slots: 64,
+        l_eff: 10,
+        cost: CostModel::for_degree(1 << 9, 4),
+    };
+    let c = compile(&net, &fixed_ranges(&net, 4.0), &opts);
+
+    // Static check: every conv plan hoists all its rotations — no giant
+    // steps, so decompositions == hoists (one per rotating input block).
+    let mut want_hoists = 0u64;
+    let mut conv_layers = 0usize;
+    for node in c.prog.iter() {
+        if let Step::Conv { plan, .. } = &node.step {
+            conv_layers += 1;
+            assert_eq!(
+                plan.counts.giant_rots, 0,
+                "conv plan kept giant steps (n1 = {})",
+                plan.n1
+            );
+            assert_eq!(plan.counts.decompositions(), plan.counts.hoists);
+            want_hoists += plan.counts.hoists as u64;
+        }
+    }
+    assert_eq!(conv_layers, 3);
+    assert!(want_hoists >= 3, "each conv must hoist its rotating inputs");
+
+    // Dynamic check: the executed tally agrees — zero full rotations,
+    // exactly the planned number of digit decompositions.
+    let shape = c.input_layout;
+    let n = shape.c * shape.h * shape.w;
+    let input = Tensor::from_vec(
+        &[shape.c, shape.h, shape.w],
+        (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    );
+    let backend = Counting::new(TraceBackend::new(&c), c.opts.cost.clone(), c.opts.l_eff);
+    let _run = run_program(&c, &backend, &input);
+    let ctr = backend.counter();
+    assert_eq!(ctr.count(OpKind::HRot), 0, "full rotations slipped through");
+    assert_eq!(ctr.count(OpKind::Hoist), want_hoists);
+    assert!(
+        ctr.count(OpKind::HRotHoisted) > 0,
+        "convs must still rotate"
+    );
+}
+
+/// Recomputes (hoists, baby, giant) for an arbitrary split from a plan's
+/// public diagonal structure — the same accounting `counts_for` uses.
+fn counts_at(plan: &orion_linear::plan::LinearPlan, n1: usize) -> (usize, usize, usize) {
+    use std::collections::{BTreeSet, HashMap};
+    let mut babies: HashMap<u32, BTreeSet<usize>> = HashMap::new();
+    let mut giants: HashMap<u32, BTreeSet<usize>> = HashMap::new();
+    for (&(i_blk, j_blk), diags) in &plan.blocks {
+        for &k in diags {
+            let i = (k as usize) % n1;
+            let j = (k as usize) / n1;
+            if i != 0 {
+                babies.entry(j_blk).or_default().insert(i);
+            }
+            if j != 0 {
+                giants.entry(i_blk).or_default().insert(j);
+            }
+        }
+    }
+    (
+        babies.len(),
+        babies.values().map(|s| s.len()).sum(),
+        giants.values().map(|s| s.len()).sum(),
+    )
+}
+
+#[test]
+fn multichannel_conv_never_pays_more_decompositions_than_rotation_min() {
+    // Multi-channel convs have too many diagonals to hoist outright (the
+    // key-count term pushes back), but the chooser must still match or
+    // beat the classic rotation-minimizing split on decompositions.
+    let mut rng = StdRng::seed_from_u64(0xc0de);
+    let mut net = Network::new(2, 8, 8);
+    let x = net.input();
+    let c1 = net.conv2d("c1", x, 4, 3, 1, 1, 1, &mut rng);
+    net.output(c1);
+    let opts = CompileOptions {
+        slots: 128,
+        l_eff: 10,
+        cost: CostModel::for_degree(1 << 9, 4),
+    };
+    let c = compile(&net, &fixed_ranges(&net, 4.0), &opts);
+    for node in c.prog.iter() {
+        if let Step::Conv { plan, .. } = &node.step {
+            let mut best: Option<(usize, usize)> = None; // (rots, decomps)
+            let mut n1 = 1usize;
+            while n1 <= plan.slots {
+                let (h, b, g) = counts_at(plan, n1);
+                let cand = (b + g, h + g);
+                if best.map(|(r, _)| cand.0 < r).unwrap_or(true) {
+                    best = Some(cand);
+                }
+                n1 *= 2;
+            }
+            let (_, rotmin_decomps) = best.unwrap();
+            assert!(
+                plan.counts.decompositions() <= rotmin_decomps,
+                "chosen {} vs rotation-min {} (n1 = {})",
+                plan.counts.decompositions(),
+                rotmin_decomps,
+                plan.n1
+            );
+        }
+    }
+}
+
+#[test]
+fn dense_layer_decompositions_stay_below_giant_step_count() {
+    // A dense head keeps a real BSGS split, but the chooser must not pay
+    // more decompositions than the classic rotation-minimizing split
+    // (n1 = √n → 1 hoist + √n−1 giant steps).
+    let mut rng = StdRng::seed_from_u64(0xfeed);
+    let mut net = Network::new(1, 8, 8);
+    let x = net.input();
+    let f = net.flatten("flat", x);
+    let l1 = net.linear("fc", f, 64, &mut rng);
+    net.output(l1);
+    let opts = CompileOptions {
+        slots: 64,
+        l_eff: 10,
+        cost: CostModel::for_degree(1 << 9, 4),
+    };
+    let c = compile(&net, &fixed_ranges(&net, 4.0), &opts);
+    for node in c.prog.iter() {
+        if let Step::Dense { plan, .. } = &node.step {
+            let sqrt_split = 1 + ((plan.slots as f64).sqrt() as usize - 1);
+            assert!(
+                plan.counts.decompositions() <= sqrt_split,
+                "dense decompositions {} vs √n split {}",
+                plan.counts.decompositions(),
+                sqrt_split
+            );
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Kernel-layer micro-benchmarks: NTT strict vs lazy reduction, limb
+//! scratch allocation vs arena recycling, rescale, and rotation
+//! key-switch, with a machine-readable summary written to
+//! `target/kernel_bench.json`.
+//!
+//! The PR claim measured here: Harvey-style lazy butterflies (one final
+//! reduction sweep instead of a conditional subtract per butterfly) beat
+//! the strict path by ≥ 1.1× at degree ≥ 2¹³, and arena scratch hands
+//! back a recycled limb buffer faster than the allocator zeroes a fresh
+//! one. Both paths are bit-exact (see `orion-math`'s proptests); only the
+//! time differs.
+//!
+//! Run with `cargo bench --bench kernels`.
+
+use criterion::Criterion;
+use orion_bench::kernels::{kernel_summary, measure_kernels, NTT_DEGREES};
+use serde::Value;
+
+fn main() {
+    let mut c = Criterion::default();
+    measure_kernels(&mut c);
+    let fields = kernel_summary(&c);
+    for n in NTT_DEGREES {
+        let speedup = fields
+            .iter()
+            .find(|(k, _)| k == &format!("ntt_lazy_speedup_{n}"))
+            .and_then(|(_, v)| v.as_f64())
+            .unwrap_or(f64::NAN);
+        println!("ntt lazy speedup @ {n}: {speedup:.2}x");
+    }
+    let summary = Value::Obj(fields);
+    let text = serde_json::to_string_pretty(&summary).expect("summary serializes");
+    let path = orion_bench::workspace_target_dir();
+    std::fs::create_dir_all(&path).ok();
+    let file = path.join("kernel_bench.json");
+    match std::fs::write(&file, &text) {
+        Ok(()) => println!("wrote {}", file.display()),
+        Err(e) => eprintln!("could not write {}: {e}", file.display()),
+    }
+}

@@ -7,158 +7,30 @@
 //! longer stalls every other ready chain).
 //!
 //! Two programs are measured, both served from a prepared + memory-capped
-//! paged weight source (the serving hot path):
-//!
-//! * `serve_e2e` — a conv/square/dense net: end-to-end request latency.
-//! * `nonlinear` — a multi-ciphertext SiLU net whose runtime is dominated
-//!   by activation stages and bootstraps: exactly the per-wire work PR 2's
-//!   BSGS executor did NOT parallelize. The parallel scheduler runs the
-//!   independent ciphertexts' Chebyshev stages and bootstraps
-//!   concurrently, so this group shows the speedup the dataflow plan adds
-//!   on top of linear-layer parallelism (≈1.0x on a single-threaded pool —
-//!   the summary records the thread count).
+//! paged weight source (the serving hot path) — see
+//! [`orion_bench::models`] for the workload definitions; the same models
+//! feed the `bench_matrix` thread sweep.
 //!
 //! Run with `cargo bench --bench sched`.
 
 use criterion::Criterion;
-use orion_ckks::CkksParams;
-use orion_linear::paged::{LayerSource, PagedProgram};
-use orion_linear::store::DiagStore;
-use orion_nn::backend::run_program_mode;
-use orion_nn::backends::CkksBackend;
-use orion_nn::compile::{compile, CompileOptions, Compiled};
-use orion_nn::fhe_exec::FheSession;
-use orion_nn::fit::fixed_ranges;
-use orion_nn::network::Network;
+use orion_bench::models::{e2e_model, measure_model, nonlinear_model};
 use orion_nn::sched::SchedMode;
-use orion_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use serde::Value;
-use std::sync::Arc;
 
-struct Model {
-    compiled: Compiled,
-    session: FheSession,
-    source: Arc<dyn LayerSource>,
-    cts: Vec<orion_ckks::encrypt::Ciphertext>,
-    dummy: Tensor,
-    store_dir: std::path::PathBuf,
-}
-
-fn paged_model(
-    name: &str,
-    params: CkksParams,
-    net: Network,
-    shape: (usize, usize, usize),
-    budget_frac: (usize, usize),
-) -> Model {
-    let compiled = compile(
-        &net,
-        &fixed_ranges(&net, 4.0),
-        &CompileOptions::from_params(&params),
-    );
-    let session = FheSession::new(params, &compiled, 5);
-    let prepared = session.prepare(&compiled);
-    let footprint = prepared.approx_bytes();
-    let store_dir = std::env::temp_dir().join(format!("orion_sched_bench_{name}"));
-    std::fs::remove_dir_all(&store_dir).ok();
-    let store = DiagStore::open(&store_dir).expect("open store");
-    let paged = PagedProgram::page_out(
-        &prepared,
-        store,
-        name,
-        footprint * budget_frac.0 / budget_frac.1,
-    )
-    .expect("page out");
-    let mut rng = StdRng::seed_from_u64(0x5c4e_dbe9);
-    let (c, h, w) = shape;
-    let input = Tensor::from_vec(
-        &[c, h, w],
-        (0..c * h * w).map(|_| rng.gen_range(-0.5..0.5)).collect(),
-    );
-    let cts = session.encrypt_input(&compiled, &input);
-    Model {
-        dummy: Tensor::from_vec(&[c, h, w], vec![0.0; c * h * w]),
-        compiled,
-        session,
-        source: Arc::new(paged),
-        cts,
-        store_dir,
-    }
-}
-
-fn bench_model(c: &mut Criterion, group: &str, m: &Model) {
-    let mut g = c.benchmark_group(group);
-    g.sample_size(5);
-    for (id, mode) in [
-        ("sequential", SchedMode::Sequential),
-        ("parallel_waves", SchedMode::ParallelWaves),
-        ("parallel", SchedMode::Parallel),
-    ] {
-        g.bench_function(id, |b| {
-            b.iter(|| {
-                let backend = CkksBackend::with_source(&m.session, m.source.clone())
-                    .inject_inputs(m.cts.clone());
-                run_program_mode(&m.compiled, &backend, &m.dummy, mode).output
-            })
-        });
-    }
-    g.finish();
-}
+const MODES: [(&str, SchedMode); 3] = [
+    ("sequential", SchedMode::Sequential),
+    ("parallel_waves", SchedMode::ParallelWaves),
+    ("parallel", SchedMode::Parallel),
+];
 
 fn main() {
-    // End-to-end serving shape: conv + square + dense (bootstrap-deep at
-    // tiny parameters), paged under a budget that forces eviction.
-    let e2e = {
-        let mut rng = StdRng::seed_from_u64(0xe2e);
-        let mut net = Network::new(2, 8, 8);
-        let x = net.input();
-        let c1 = net.conv2d("conv1", x, 4, 3, 2, 1, 1, &mut rng);
-        let a1 = net.square("act1", c1);
-        let f = net.flatten("flat", a1);
-        let l = net.linear("fc", f, 6, &mut rng);
-        net.output(l);
-        paged_model("e2e", CkksParams::tiny(), net, (2, 8, 8), (2, 3))
-    };
-
-    // Non-linear shape: a 1×1 conv feeding a multi-ciphertext SiLU wire —
-    // runtime lives in the per-ciphertext Chebyshev stages and bootstraps
-    // the scheduler can now fan out.
-    let nonlinear = {
-        // deg-15 SiLU stages need 7 levels; tiny's L_eff = 2 cannot hold
-        // them, so give the ring more headroom (still N = 2¹⁰, 512 slots)
-        let params = CkksParams {
-            n: 1 << 10,
-            log_scale: 30,
-            q0_bits: 45,
-            max_level: 8,
-            special_bits: 45,
-            sigma: 3.2,
-            boot_levels: 1,
-        };
-        let mut rng = StdRng::seed_from_u64(0x41c7);
-        // 4×16×16 = 1024 raster slots > 512 slots/ct → multi-ct wires
-        let mut net = Network::new(4, 16, 16);
-        let x = net.input();
-        let c1 = net.conv2d("mix", x, 4, 1, 1, 0, 1, &mut rng);
-        let a1 = net.silu("act1", c1, 15);
-        let a2 = net.silu("act2", a1, 15);
-        net.output(a2);
-        paged_model("nonlinear", params, net, (4, 16, 16), (1, 1))
-    };
-    assert!(
-        nonlinear.compiled.placement.boot_count > 0,
-        "nonlinear bench must exercise bootstrap units"
-    );
-    assert!(
-        nonlinear.compiled.prog.iter().any(|p| p.n_cts >= 2),
-        "nonlinear bench needs multi-ciphertext wires"
-    );
+    let e2e = e2e_model();
+    let nonlinear = nonlinear_model();
 
     let mut c = Criterion::default();
-    bench_model(&mut c, "serve_e2e", &e2e);
-    bench_model(&mut c, "nonlinear", &nonlinear);
+    measure_model(&mut c, "serve_e2e", &e2e, &MODES, 5);
+    measure_model(&mut c, "nonlinear", &nonlinear, &MODES, 5);
 
     let median = |name: &str| -> f64 {
         c.measurements
@@ -208,7 +80,6 @@ fn main() {
         Ok(()) => println!("wrote {}", file.display()),
         Err(e) => eprintln!("could not write {}: {e}", file.display()),
     }
-    for m in [&e2e, &nonlinear] {
-        std::fs::remove_dir_all(&m.store_dir).ok();
-    }
+    e2e.cleanup();
+    nonlinear.cleanup();
 }

@@ -1,0 +1,175 @@
+//! Thread-sweep bench matrix: measures the scheduler and serving
+//! workloads at pool widths {1, 2, 4, 8} plus the single-thread kernel
+//! ratios (NTT strict vs lazy, scratch alloc vs arena), and merges
+//! everything into `target/bench_matrix.json` with scaling curves.
+//!
+//! The vendored rayon pool reads `RAYON_NUM_THREADS` exactly once at
+//! first use, so a single process cannot sweep widths — the parent
+//! re-execs itself (`ORION_BENCH_MATRIX_CHILD=1`) once per width and each
+//! child writes `target/bench_matrix_t{N}.json`. The parent then runs the
+//! kernel suite in-process (single-ciphertext work; pool width is
+//! irrelevant) and merges.
+//!
+//! Run with `cargo run -p orion-bench --release --bin bench_matrix`.
+
+use criterion::Criterion;
+use orion_bench::kernels::{kernel_summary, measure_kernels, NTT_DEGREES};
+use orion_bench::models::{e2e_model, measure_model, nonlinear_model, serve_throughput};
+use orion_bench::workspace_target_dir;
+use orion_nn::sched::SchedMode;
+use serde::Value;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+const CHILD_ENV: &str = "ORION_BENCH_MATRIX_CHILD";
+
+fn child_file(threads: usize) -> std::path::PathBuf {
+    workspace_target_dir().join(format!("bench_matrix_t{threads}.json"))
+}
+
+/// One sweep point: measures both scheduler workloads (sequential +
+/// event-driven parallel) and serving throughput at the pool width this
+/// process was launched with.
+fn child() {
+    let threads = rayon::current_num_threads();
+    let mut c = Criterion::default();
+    let modes = [
+        ("sequential", SchedMode::Sequential),
+        ("parallel", SchedMode::Parallel),
+    ];
+    let e2e = e2e_model();
+    measure_model(&mut c, "serve_e2e", &e2e, &modes, 3);
+    e2e.cleanup();
+    let nonlinear = nonlinear_model();
+    measure_model(&mut c, "nonlinear", &nonlinear, &modes, 3);
+    nonlinear.cleanup();
+    let rps = serve_throughput(2, 2);
+
+    let median = |name: &str| -> f64 {
+        c.measurements
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| m.median_ns)
+            .unwrap_or(f64::NAN)
+    };
+    let mut fields = vec![("threads".to_string(), Value::Num(threads as f64))];
+    for group in ["serve_e2e", "nonlinear"] {
+        for mode in ["sequential", "parallel"] {
+            fields.push((
+                format!("{group}_{mode}_ns"),
+                Value::Num(median(&format!("{group}/{mode}"))),
+            ));
+        }
+    }
+    fields.push(("serve_rps".to_string(), Value::Num(rps)));
+    let text = serde_json::to_string_pretty(&Value::Obj(fields)).expect("serializes");
+    let file = child_file(threads);
+    std::fs::create_dir_all(workspace_target_dir()).ok();
+    std::fs::write(&file, &text).expect("write child summary");
+    println!("wrote {}", file.display());
+}
+
+fn parent() {
+    let exe = std::env::current_exe().expect("current exe");
+    for &t in &THREADS {
+        println!("=== sweep: {t} thread(s) ===");
+        let status = std::process::Command::new(&exe)
+            .env(CHILD_ENV, "1")
+            .env("RAYON_NUM_THREADS", t.to_string())
+            .status()
+            .expect("spawn sweep child");
+        assert!(status.success(), "sweep child at {t} threads failed");
+    }
+
+    println!("=== kernels (single-thread) ===");
+    let mut c = Criterion::default();
+    measure_kernels(&mut c);
+    let mut fields = kernel_summary(&c);
+
+    let round2 = |x: f64| (x * 100.0).round() / 100.0;
+    let mut sweeps: Vec<(usize, Value)> = Vec::new();
+    for &t in &THREADS {
+        let text = std::fs::read_to_string(child_file(t)).expect("read child summary");
+        sweeps.push((t, serde_json::parse_value(&text).expect("parse child")));
+    }
+    let at = |t: usize, key: &str| -> f64 {
+        sweeps
+            .iter()
+            .find(|(tt, _)| *tt == t)
+            .and_then(|(_, v)| v.get(key))
+            .and_then(Value::as_f64)
+            .unwrap_or(f64::NAN)
+    };
+    fields.insert(
+        0,
+        (
+            "threads".to_string(),
+            Value::Arr(THREADS.iter().map(|&t| Value::Num(t as f64)).collect()),
+        ),
+    );
+    for group in ["serve_e2e", "nonlinear"] {
+        for mode in ["sequential", "parallel"] {
+            let key = format!("{group}_{mode}_ns");
+            let obj = THREADS
+                .iter()
+                .map(|&t| (t.to_string(), Value::Num(at(t, &key))))
+                .collect();
+            fields.push((key, Value::Obj(obj)));
+        }
+        // scaling curve of the event-driven walk: t₁ / t_N (≥ 1.0 means
+        // the wider pool is faster; ≈ 1.0 on a single-core host)
+        let base = at(1, &format!("{group}_parallel_ns"));
+        let obj = THREADS
+            .iter()
+            .map(|&t| {
+                let s = base / at(t, &format!("{group}_parallel_ns"));
+                (t.to_string(), Value::Num(round2(s)))
+            })
+            .collect();
+        fields.push((format!("{group}_parallel_scaling"), Value::Obj(obj)));
+    }
+    let rps_base = at(1, "serve_rps");
+    fields.push((
+        "serve_rps".to_string(),
+        Value::Obj(
+            THREADS
+                .iter()
+                .map(|&t| (t.to_string(), Value::Num(at(t, "serve_rps"))))
+                .collect(),
+        ),
+    ));
+    fields.push((
+        "serve_scaling".to_string(),
+        Value::Obj(
+            THREADS
+                .iter()
+                .map(|&t| {
+                    (
+                        t.to_string(),
+                        Value::Num(round2(at(t, "serve_rps") / rps_base)),
+                    )
+                })
+                .collect(),
+        ),
+    ));
+
+    let bar = NTT_DEGREES[NTT_DEGREES.len() - 1];
+    let lazy_speedup = fields
+        .iter()
+        .find(|(k, _)| k == &format!("ntt_lazy_speedup_{bar}"))
+        .and_then(|(_, v)| v.as_f64())
+        .unwrap_or(f64::NAN);
+    println!("ntt lazy speedup @ {bar}: {lazy_speedup:.2}x (bar: 1.10x)");
+
+    let text = serde_json::to_string_pretty(&Value::Obj(fields)).expect("serializes");
+    let file = workspace_target_dir().join("bench_matrix.json");
+    std::fs::write(&file, &text).expect("write bench matrix");
+    println!("wrote {}", file.display());
+}
+
+fn main() {
+    if std::env::var_os(CHILD_ENV).is_some() {
+        child();
+    } else {
+        parent();
+    }
+}

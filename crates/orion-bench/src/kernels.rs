@@ -1,0 +1,188 @@
+//! Kernel-layer micro-measurements shared by `benches/kernels.rs` and the
+//! `bench_matrix` binary: NTT strict vs lazy reduction, limb-scratch
+//! allocation vs arena recycling, and the two composite kernels they feed
+//! (rescale, rotation key-switch).
+//!
+//! Everything here is single-ciphertext work; the interesting ratios are
+//! thread-independent, which is why `bench_matrix` runs them once in the
+//! parent process rather than inside the thread sweep.
+
+use criterion::Criterion;
+use orion_ckks::encrypt::Encryptor;
+use orion_ckks::eval::Evaluator;
+use orion_ckks::keys::KeyGenerator;
+use orion_ckks::params::{CkksParams, Context};
+use orion_ckks::Encoder;
+use orion_math::arena;
+use orion_math::ntt::NttTable;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Value;
+use std::sync::Arc;
+
+/// Degrees the NTT / scratch benches sweep. The acceptance bar for the
+/// lazy path is set at the largest one (≥ 2¹³).
+pub const NTT_DEGREES: [usize; 2] = [1 << 12, 1 << 13];
+
+/// A 59-bit NTT-friendly prime for degree `n` (`q ≡ 1 mod 2n`).
+fn ntt_prime(n: usize) -> u64 {
+    orion_math::primes::generate_ntt_primes(n, 59, 1, &[])[0]
+}
+
+fn ntt_benches(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0x7771);
+    for n in NTT_DEGREES {
+        let q = ntt_prime(n);
+        let t = NttTable::new(n, q);
+        t.inverse(&mut vec![0u64; n]); // force the lazy inverse tables
+        let data: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+        let mut buf = data.clone();
+        let mut g = c.benchmark_group("ntt");
+        g.sample_size(10);
+        g.bench_function(&format!("strict/{n}"), |b| {
+            b.iter(|| {
+                buf.copy_from_slice(&data);
+                t.forward(&mut buf);
+                t.inverse(&mut buf);
+                buf[0]
+            })
+        });
+        g.bench_function(&format!("lazy/{n}"), |b| {
+            b.iter(|| {
+                buf.copy_from_slice(&data);
+                t.forward_lazy(&mut buf);
+                t.inverse_lazy(&mut buf);
+                buf[0]
+            })
+        });
+        g.finish();
+    }
+}
+
+fn scratch_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scratch");
+    g.sample_size(10);
+    for n in NTT_DEGREES {
+        g.bench_function(&format!("alloc/{n}"), |b| {
+            b.iter(|| {
+                let v = vec![0u64; n];
+                criterion::black_box(v.as_ptr() as usize)
+            })
+        });
+        g.bench_function(&format!("arena/{n}"), |b| {
+            b.iter(|| {
+                let v = arena::take_u64(n);
+                let p = criterion::black_box(v.as_ptr() as usize);
+                arena::recycle_u64(v);
+                p
+            })
+        });
+        // The raw take skips the zero-fill — valid when every element is
+        // overwritten, which is how the rescale / pointwise-product /
+        // automorphism paths use it.
+        g.bench_function(&format!("arena_raw/{n}"), |b| {
+            b.iter(|| {
+                let v = arena::take_u64_raw(n);
+                let p = criterion::black_box(v.as_ptr() as usize);
+                arena::recycle_u64(v);
+                p
+            })
+        });
+    }
+    g.finish();
+}
+
+fn composite_benches(c: &mut Criterion) {
+    // Rescale at N = 2¹³ (the degree the lazy bar is set at): dominated by
+    // one inverse NTT + per-limb correction + forward NTTs.
+    {
+        let ctx = Context::new(CkksParams::medium());
+        let enc = Encoder::new(ctx.clone());
+        let vals: Vec<f64> = (0..ctx.slots()).map(|i| (i % 13) as f64 * 0.05).collect();
+        let level = ctx.moduli.len() - 1;
+        let pt = enc.encode(&vals, ctx.scale(), level, false);
+        let mut g = c.benchmark_group("rescale");
+        g.sample_size(10);
+        g.bench_function("n8192", |b| {
+            b.iter(|| {
+                let mut p = pt.poly.clone();
+                p.rescale_assign(&ctx);
+                p.level()
+            })
+        });
+        g.finish();
+    }
+    // Rotation key-switch at tiny params: digit decomposition + key inner
+    // product + two ModDowns — the hoisting unit of account.
+    {
+        let ctx = Context::new(CkksParams::tiny());
+        let mut kg = KeyGenerator::new(ctx.clone(), StdRng::seed_from_u64(0xbe9c));
+        let pk = Arc::new(kg.gen_public_key());
+        let keys = Arc::new(kg.gen_eval_keys(&[1]));
+        let eval = Evaluator::new(ctx.clone(), keys);
+        let enc = Encoder::new(ctx.clone());
+        let encryptor = Encryptor::with_public_key(ctx.clone(), pk);
+        let mut rng = StdRng::seed_from_u64(0x6e7a);
+        let vals: Vec<f64> = (0..ctx.slots()).map(|i| (i % 7) as f64 * 0.1).collect();
+        let ct = encryptor.encrypt(&enc.encode(&vals, ctx.scale(), 2, false), &mut rng);
+        let mut g = c.benchmark_group("keyswitch");
+        g.sample_size(10);
+        g.bench_function("rotate1_n1024", |b| b.iter(|| eval.rotate(&ct, 1).level()));
+        g.finish();
+    }
+}
+
+/// Runs the full kernel suite into `c`.
+pub fn measure_kernels(c: &mut Criterion) {
+    ntt_benches(c);
+    scratch_benches(c);
+    composite_benches(c);
+}
+
+fn median(c: &Criterion, name: &str) -> f64 {
+    c.measurements
+        .iter()
+        .find(|m| m.name == name)
+        .map(|m| m.median_ns)
+        .unwrap_or(f64::NAN)
+}
+
+/// Summarizes the kernel measurements as JSON fields: raw medians plus the
+/// ratios the PR claims (lazy vs strict NTT, arena vs allocator scratch).
+pub fn kernel_summary(c: &Criterion) -> Vec<(String, Value)> {
+    let round2 = |x: f64| (x * 100.0).round() / 100.0;
+    let mut fields = Vec::new();
+    for n in NTT_DEGREES {
+        let strict = median(c, &format!("ntt/strict/{n}"));
+        let lazy = median(c, &format!("ntt/lazy/{n}"));
+        fields.push((format!("ntt_strict_ns_{n}"), Value::Num(strict)));
+        fields.push((format!("ntt_lazy_ns_{n}"), Value::Num(lazy)));
+        fields.push((
+            format!("ntt_lazy_speedup_{n}"),
+            Value::Num(round2(strict / lazy)),
+        ));
+        let alloc = median(c, &format!("scratch/alloc/{n}"));
+        let arena = median(c, &format!("scratch/arena/{n}"));
+        let raw = median(c, &format!("scratch/arena_raw/{n}"));
+        fields.push((format!("scratch_alloc_ns_{n}"), Value::Num(alloc)));
+        fields.push((format!("scratch_arena_ns_{n}"), Value::Num(arena)));
+        fields.push((format!("scratch_arena_raw_ns_{n}"), Value::Num(raw)));
+        fields.push((
+            format!("scratch_arena_speedup_{n}"),
+            Value::Num(round2(alloc / arena)),
+        ));
+        fields.push((
+            format!("scratch_arena_raw_speedup_{n}"),
+            Value::Num(round2(alloc / raw)),
+        ));
+    }
+    fields.push((
+        "rescale_ns_8192".to_string(),
+        Value::Num(median(c, "rescale/n8192")),
+    ));
+    fields.push((
+        "keyswitch_rotate_ns_1024".to_string(),
+        Value::Num(median(c, "keyswitch/rotate1_n1024")),
+    ));
+    fields
+}

@@ -15,6 +15,9 @@
 //!
 //! Criterion micro-benches live in `benches/`.
 
+pub mod kernels;
+pub mod models;
+
 use orion_core::Orion;
 use orion_models::data::synthetic_images;
 use orion_nn::compile::Compiled;

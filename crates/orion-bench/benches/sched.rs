@@ -14,8 +14,11 @@
 //! Run with `cargo bench --bench sched`.
 
 use criterion::Criterion;
-use orion_bench::models::{e2e_model, measure_model, nonlinear_model};
+use orion_bench::models::{
+    boot_deep_fork_net, e2e_model, measure_model, nonlinear_model, opt_comparison, resnet_fork_net,
+};
 use orion_nn::sched::SchedMode;
+use orion_sim::{OpCounter, OpKind};
 use serde::Value;
 
 const MODES: [(&str, SchedMode); 3] = [
@@ -69,6 +72,49 @@ fn main() {
         fields.push((
             format!("{group}_event_vs_waves"),
             Value::Num(round2(event_vs_waves)),
+        ));
+    }
+    // Plan-optimizer ratios: unoptimized / optimized op tallies of the
+    // residual-fork models (≥ 1.0 by construction; strictly > 1.0 for
+    // rotations and key-switch decompositions — both forks share their
+    // branches' rotation sets, the guaranteed CSE win).
+    for (name, (net, shape)) in [
+        ("resnet_fork", resnet_fork_net()),
+        ("boot_deep", boot_deep_fork_net()),
+    ] {
+        let cmp = opt_comparison(&net, shape);
+        if name == "boot_deep" {
+            assert!(cmp.boot_count > 0, "boot_deep model must bootstrap");
+        }
+        let ks = |c: &OpCounter| c.count(OpKind::Hoist) + c.count(OpKind::HRot);
+        let rot_ratio = cmp.noopt.rotations() as f64 / cmp.opt.rotations() as f64;
+        let ks_ratio = ks(&cmp.noopt) as f64 / ks(&cmp.opt) as f64;
+        assert!(
+            rot_ratio > 1.0 && ks_ratio > 1.0,
+            "{name}: optimizer must strictly reduce rotations \
+             ({rot_ratio:.2}) and key-switch decompositions ({ks_ratio:.2})"
+        );
+        println!(
+            "{name}: opt-vs-noopt rotations {rot_ratio:.2}x, \
+             key-switch decompositions {ks_ratio:.2}x"
+        );
+        fields.push((
+            format!("opt_vs_noopt_{name}_rotations"),
+            Value::Num(round2(rot_ratio)),
+        ));
+        fields.push((
+            format!("opt_vs_noopt_{name}_keyswitch_decomps"),
+            Value::Num(round2(ks_ratio)),
+        ));
+        fields.push((
+            format!("opt_stats_{name}"),
+            Value::Obj(
+                cmp.stats
+                    .fields()
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), Value::Num(v as f64)))
+                    .collect(),
+            ),
         ));
     }
     let summary = Value::Obj(fields);

@@ -69,8 +69,20 @@ fn child() {
 }
 
 fn parent() {
+    // On a single-core host the multi-width sweep points are pure
+    // oversubscription noise — every pool width timeshares one core — so
+    // only the width-1 child runs and the scaling tables shrink to match.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let widths: Vec<usize> = if cores == 1 {
+        println!("single-core host: skipping multi-width sweep children");
+        vec![1]
+    } else {
+        THREADS.to_vec()
+    };
     let exe = std::env::current_exe().expect("current exe");
-    for &t in &THREADS {
+    for &t in &widths {
         println!("=== sweep: {t} thread(s) ===");
         let status = std::process::Command::new(&exe)
             .env(CHILD_ENV, "1")
@@ -87,7 +99,7 @@ fn parent() {
 
     let round2 = |x: f64| (x * 100.0).round() / 100.0;
     let mut sweeps: Vec<(usize, Value)> = Vec::new();
-    for &t in &THREADS {
+    for &t in &widths {
         let text = std::fs::read_to_string(child_file(t)).expect("read child summary");
         sweeps.push((t, serde_json::parse_value(&text).expect("parse child")));
     }
@@ -102,14 +114,21 @@ fn parent() {
     fields.insert(
         0,
         (
+            "available_parallelism".to_string(),
+            Value::Num(cores as f64),
+        ),
+    );
+    fields.insert(
+        1,
+        (
             "threads".to_string(),
-            Value::Arr(THREADS.iter().map(|&t| Value::Num(t as f64)).collect()),
+            Value::Arr(widths.iter().map(|&t| Value::Num(t as f64)).collect()),
         ),
     );
     for group in ["serve_e2e", "nonlinear"] {
         for mode in ["sequential", "parallel"] {
             let key = format!("{group}_{mode}_ns");
-            let obj = THREADS
+            let obj = widths
                 .iter()
                 .map(|&t| (t.to_string(), Value::Num(at(t, &key))))
                 .collect();
@@ -118,7 +137,7 @@ fn parent() {
         // scaling curve of the event-driven walk: t₁ / t_N (≥ 1.0 means
         // the wider pool is faster; ≈ 1.0 on a single-core host)
         let base = at(1, &format!("{group}_parallel_ns"));
-        let obj = THREADS
+        let obj = widths
             .iter()
             .map(|&t| {
                 let s = base / at(t, &format!("{group}_parallel_ns"));
@@ -131,7 +150,7 @@ fn parent() {
     fields.push((
         "serve_rps".to_string(),
         Value::Obj(
-            THREADS
+            widths
                 .iter()
                 .map(|&t| (t.to_string(), Value::Num(at(t, "serve_rps"))))
                 .collect(),
@@ -140,7 +159,7 @@ fn parent() {
     fields.push((
         "serve_scaling".to_string(),
         Value::Obj(
-            THREADS
+            widths
                 .iter()
                 .map(|&t| {
                     (

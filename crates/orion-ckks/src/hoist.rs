@@ -139,6 +139,21 @@ pub struct RotatedExt {
     scale: f64,
 }
 
+impl RotatedExt {
+    /// The rotation-by-0 view of a ciphertext — bit-identical to
+    /// `HoistedDigits::rotate_ext(eval, 0)` but without paying the digit
+    /// decomposition (rotation by 0 never touches the key-switch, so a
+    /// consumer holding the ciphertext itself can build this directly).
+    pub fn identity(ct: &Ciphertext) -> Self {
+        RotatedExt {
+            ext: None,
+            c0: ct.c0.clone(),
+            c1: Some(ct.c1.clone()),
+            scale: ct.scale,
+        }
+    }
+}
+
 impl HoistedDigits {
     /// Computes the rotation's key-switch inner product once, leaving the
     /// result in the extended basis for reuse across many diagonals.

@@ -452,6 +452,57 @@ impl RnsPoly {
         );
     }
 
+    /// Rescale fused with a level drop: divides by the *top* chain modulus
+    /// and keeps only limbs `0..=out_level`. Because the rescale fold is
+    /// per-limb independent (each kept limb only reads the shared centered
+    /// lift of the popped top limb), truncating *before* the fold yields
+    /// bit-identical kept limbs to `rescale_assign()` followed by
+    /// `drop_to_level(out_level)` — the intermediate limbs between
+    /// `out_level` and `level−1` are never NTT'd or folded at all. The
+    /// divisor stays `q_level`, so scale bookkeeping is unchanged.
+    pub fn rescale_to_level_assign(&mut self, ctx: &Context, out_level: usize) {
+        assert!(self.level() >= 1, "cannot rescale at level 0");
+        assert!(
+            out_level < self.level(),
+            "rescale_to_level must lower the level"
+        );
+        assert!(self.special.is_none(), "ModDown the special limb first");
+        assert_eq!(self.form, Form::Eval);
+        let l = self.level();
+        let ql = ctx.moduli[l];
+        let mut top = self.limbs.pop().expect("top limb");
+        ctx.ntt[l].inverse_lazy(&mut top);
+        let degree = top.len();
+        let mut centered = orion_math::arena::scratch_i128_raw(degree);
+        for (c, &t) in centered.iter_mut().zip(top.iter()) {
+            *c = orion_math::modular::center(t, ql) as i128;
+        }
+        orion_math::arena::recycle_u64(top);
+        let centered = &*centered;
+        // The fusion: dead limbs go straight back to the arena before the
+        // fold loop ever touches them.
+        for dead in self.limbs.drain(out_level + 1..) {
+            orion_math::arena::recycle_u64(dead);
+        }
+        let par = ntt_parallel(degree, out_level);
+        orion_math::parallel::for_each_mut_scratch(
+            &mut self.limbs,
+            par,
+            || orion_math::arena::scratch_u64_raw(degree),
+            |j, limb, lifted| {
+                let qj = ctx.moduli[j];
+                let inv = ctx.rescale_constant(l, j);
+                for (t, &c) in lifted.iter_mut().zip(centered.iter()) {
+                    *t = reduce_i128(c, qj);
+                }
+                ctx.ntt[j].forward_lazy(lifted);
+                for (x, &t) in limb.iter_mut().zip(lifted.iter()) {
+                    *x = mul_mod(sub_mod(*x, t, qj), inv, qj);
+                }
+            },
+        );
+    }
+
     /// Removes the special limb, dividing the polynomial by `p` with
     /// rounding (the ModDown step after key-switching).
     pub fn mod_down_special_assign(&mut self, ctx: &Context) {

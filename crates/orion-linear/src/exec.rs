@@ -263,6 +263,292 @@ pub fn exec_fhe(
         .collect()
 }
 
+/// Baby-step rotations of one wire's ciphertexts, computed once and shared
+/// by every linear consumer of the wire (cross-wire rotation CSE). Each
+/// entry is the double-hoisted key-switch inner product
+/// [`HoistedDigits::rotate_ext`] would produce — a deterministic pure
+/// function of the (dropped) ciphertext and the rotation amount, so a
+/// consumer reading the shared entry computes bit-identical results to one
+/// that hoisted privately.
+pub struct SharedRotations {
+    rotations: HashMap<(u32, usize), RotatedExt>,
+}
+
+impl SharedRotations {
+    /// Hoists each input block named in `rots` once and computes every
+    /// listed `(input block, amount)` rotation in the extended basis, in
+    /// parallel on the shared pool. Amounts must be non-zero (rotation by
+    /// 0 never touches the key-switch — consumers build those locally from
+    /// the ciphertexts they already hold).
+    pub fn build(ctx: &FheLinearContext<'_>, inputs: &[Ciphertext], rots: &[(u32, usize)]) -> Self {
+        let blocks: Vec<u32> = rots
+            .iter()
+            .map(|&(j_blk, _)| j_blk)
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let hoisted: HashMap<u32, HoistedDigits> = blocks
+            .par_iter()
+            .map(|&j_blk| {
+                (
+                    j_blk,
+                    HoistedDigits::new(ctx.eval.context(), &inputs[j_blk as usize]),
+                )
+            })
+            .collect();
+        let rotations: HashMap<(u32, usize), RotatedExt> = rots
+            .par_iter()
+            .map(|&(j_blk, i)| {
+                assert_ne!(i, 0, "shared rotations are non-zero by construction");
+                ((j_blk, i), hoisted[&j_blk].rotate_ext(ctx.eval, i as isize))
+            })
+            .collect();
+        Self { rotations }
+    }
+
+    /// The shared inner product for `(input block, amount)`.
+    pub fn get(&self, j_blk: u32, i: usize) -> &RotatedExt {
+        self.rotations
+            .get(&(j_blk, i))
+            .expect("linear consumer needs a rotation missing from the shared unit")
+    }
+
+    /// Number of shared rotations.
+    pub fn len(&self) -> usize {
+        self.rotations.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rotations.is_empty()
+    }
+}
+
+/// [`exec_fhe`] reading its non-zero baby-step rotations from a
+/// [`SharedRotations`] instead of hoisting privately — the consumer side
+/// of cross-wire rotation CSE. Bit-identical to [`exec_fhe`]: the shared
+/// entries are the same pure-function values, and the accumulation order
+/// (plan order) is unchanged.
+pub fn exec_fhe_shared(
+    ctx: &FheLinearContext<'_>,
+    plan: &LinearPlan,
+    source: &dyn DiagSource,
+    bias: Option<&[Vec<f64>]>,
+    inputs: &[Ciphertext],
+    shared: &SharedRotations,
+) -> Vec<Ciphertext> {
+    assert_eq!(inputs.len(), plan.in_blocks);
+    let level = inputs[0].level();
+    let slots = plan.slots;
+    assert_eq!(
+        slots,
+        ctx.eval.context().slots(),
+        "plan/context slot mismatch"
+    );
+    let n1 = plan.n1;
+    // Rotation-by-0 views built locally (no key-switch involved).
+    let mut identities: HashMap<u32, RotatedExt> = HashMap::new();
+    let mut groups: BTreeMap<(u32, usize), ExtAccumulator> = BTreeMap::new();
+    for (&(i_blk, j_blk), diags) in &plan.blocks {
+        let vals = source.block_diags(plan, i_blk, j_blk);
+        for &k in diags {
+            let Some(d) = vals.get(&k) else { continue };
+            let i = (k as usize) % n1;
+            let j = (k as usize) / n1;
+            let pt = ctx.enc.encode_at_prime_scale_ws(d, level);
+            let rot = if i == 0 {
+                identities
+                    .entry(j_blk)
+                    .or_insert_with(|| RotatedExt::identity(&inputs[j_blk as usize]))
+            } else {
+                shared.get(j_blk, i)
+            };
+            let acc = groups
+                .entry((i_blk, j))
+                .or_insert_with(|| ExtAccumulator::new(ctx.eval.context(), level));
+            acc.add_pmult_rotated(ctx.eval, rot, &pt);
+        }
+    }
+    let mut out: Vec<Option<Ciphertext>> = vec![None; plan.out_blocks];
+    for ((i_blk, j), acc) in groups {
+        let mut part = acc.finalize(ctx.eval);
+        let g = (j * n1) % slots;
+        if g != 0 {
+            part = ctx.eval.rotate(&part, g as isize);
+        }
+        let slot_ref = &mut out[i_blk as usize];
+        *slot_ref = Some(match slot_ref.take() {
+            None => part,
+            Some(prev) => ctx.eval.add(&prev, &part),
+        });
+    }
+    out.into_iter()
+        .enumerate()
+        .map(|(i_blk, o)| {
+            let mut ct = o.unwrap_or_else(|| {
+                let zero = ctx.enc.encode_at_prime_scale_ws(&vec![0.0; slots], level);
+                ctx.eval.mul_plain(&inputs[0], &zero)
+            });
+            ctx.eval.rescale_assign(&mut ct);
+            if let Some(b) = bias {
+                let pt = ctx.enc.encode(&b[i_blk], ct.scale, ct.level(), false);
+                ct = ctx.eval.add_plain(&ct, &pt);
+            }
+            ct
+        })
+        .collect()
+}
+
+/// [`exec_fhe_prepared`] reading its non-zero baby-step rotations from a
+/// [`SharedRotations`]: stage 1 (the per-consumer rotation fan-out)
+/// disappears entirely — only the rotation-by-0 views remain local — and
+/// the giant-step groups run as before. Bit-identical to the private-hoist
+/// path for the same reason as [`exec_fhe_shared`].
+pub fn exec_fhe_prepared_shared(
+    ctx: &FheLinearContext<'_>,
+    plan: &LinearPlan,
+    prepared: &PreparedLayer,
+    inputs: &[Ciphertext],
+    shared: &SharedRotations,
+) -> Vec<Ciphertext> {
+    assert_eq!(inputs.len(), plan.in_blocks);
+    let level = inputs[0].level();
+    assert_eq!(
+        level, prepared.level,
+        "inputs must arrive at the prepared level"
+    );
+    let slots = plan.slots;
+    assert_eq!(
+        slots,
+        ctx.eval.context().slots(),
+        "plan/context slot mismatch"
+    );
+    let n1 = plan.n1;
+    let mut zero_blocks: BTreeSet<u32> = BTreeSet::new();
+    let mut groups: BTreeMap<(u32, usize), GroupTerms<'_>> = BTreeMap::new();
+    for (&(i_blk, j_blk), diags) in &plan.blocks {
+        let Some(block) = prepared.diags.get(&(i_blk, j_blk)) else {
+            continue;
+        };
+        for &k in diags {
+            let Some(pt) = block.get(&k) else { continue };
+            let i = (k as usize) % n1;
+            let j = (k as usize) / n1;
+            if i == 0 {
+                zero_blocks.insert(j_blk);
+            }
+            groups.entry((i_blk, j)).or_default().push(((j_blk, i), pt));
+        }
+    }
+    // Rotation-by-0 views: local clones, no key-switch.
+    let identities: HashMap<u32, RotatedExt> = zero_blocks
+        .into_iter()
+        .map(|j_blk| (j_blk, RotatedExt::identity(&inputs[j_blk as usize])))
+        .collect();
+    let group_vec: Vec<((u32, usize), GroupTerms<'_>)> = groups.into_iter().collect();
+    let parts: Vec<((u32, usize), Ciphertext)> = group_vec
+        .par_iter()
+        .map(|((i_blk, j), terms)| {
+            let mut acc = ExtAccumulator::new(ctx.eval.context(), level);
+            for &((j_blk, i), pt) in terms {
+                let rot = if i == 0 {
+                    &identities[&j_blk]
+                } else {
+                    shared.get(j_blk, i)
+                };
+                acc.add_pmult_rotated(ctx.eval, rot, pt);
+            }
+            let mut part = acc.finalize(ctx.eval);
+            let g = (j * n1) % slots;
+            if g != 0 {
+                part = ctx.eval.rotate(&part, g as isize);
+            }
+            ((*i_blk, *j), part)
+        })
+        .collect();
+    let mut out: Vec<Option<Ciphertext>> = vec![None; plan.out_blocks];
+    for ((i_blk, _), part) in parts {
+        let slot_ref = &mut out[i_blk as usize];
+        *slot_ref = Some(match slot_ref.take() {
+            None => part,
+            Some(prev) => ctx.eval.add(&prev, &part),
+        });
+    }
+    out.into_iter()
+        .enumerate()
+        .map(|(i_blk, o)| {
+            let mut ct = o.unwrap_or_else(|| ctx.eval.mul_plain(&inputs[0], &prepared.zero));
+            ctx.eval.rescale_assign(&mut ct);
+            if let Some(bias) = &prepared.bias {
+                ct = ctx.eval.add_plain(&ct, &bias[i_blk]);
+            }
+            ct
+        })
+        .collect()
+}
+
+/// Cleartext counterpart of [`SharedRotations`]: pre-rotated slot vectors
+/// per `(input block, amount)`, shared across every plain consumer of the
+/// wire. `rot_plain` is deterministic, so sharing is trivially exact.
+pub fn shared_rot_plain(
+    inputs: &[Vec<f64>],
+    rots: &[(u32, usize)],
+) -> HashMap<(u32, usize), Vec<f64>> {
+    rots.iter()
+        .map(|&(j_blk, i)| ((j_blk, i), rot_plain(&inputs[j_blk as usize], i)))
+        .collect()
+}
+
+/// [`exec_plain_parallel`] reading non-zero baby-step rotations from a
+/// shared pre-rotated map (see [`shared_rot_plain`]).
+pub fn exec_plain_parallel_shared(
+    plan: &LinearPlan,
+    source: &(dyn DiagSource + Sync),
+    inputs: &[Vec<f64>],
+    shared: &HashMap<(u32, usize), Vec<f64>>,
+) -> Vec<Vec<f64>> {
+    assert_eq!(inputs.len(), plan.in_blocks);
+    let slots = plan.slots;
+    let n1 = plan.n1;
+    let mut out = vec![vec![0.0; slots]; plan.out_blocks];
+    out.par_iter_mut()
+        .enumerate()
+        .for_each(|(i_out, out_block)| {
+            let mut groups: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
+            for (&(i_blk, j_blk), diags) in &plan.blocks {
+                if i_blk as usize != i_out {
+                    continue;
+                }
+                let vals = source.block_diags(plan, i_blk, j_blk);
+                let input = &inputs[j_blk as usize];
+                for &k in diags {
+                    let Some(d) = vals.get(&k) else { continue };
+                    let i = (k as usize) % n1;
+                    let j = (k as usize) / n1;
+                    let rotated: std::borrow::Cow<'_, [f64]> = if i == 0 {
+                        std::borrow::Cow::Borrowed(input)
+                    } else {
+                        match shared.get(&(j_blk, i)) {
+                            Some(r) => std::borrow::Cow::Borrowed(r),
+                            None => std::borrow::Cow::Owned(rot_plain(input, i)),
+                        }
+                    };
+                    let acc = groups.entry(j).or_insert_with(|| vec![0.0; slots]);
+                    for ((a, &dv), &xv) in acc.iter_mut().zip(d.iter()).zip(rotated.iter()) {
+                        *a += dv * xv;
+                    }
+                }
+            }
+            for (j, acc) in groups {
+                let part = rot_plain(&acc, (j * n1) % slots);
+                for (o, p) in out_block.iter_mut().zip(&part) {
+                    *o += p;
+                }
+            }
+        });
+    out
+}
+
 /// One giant-step group's work list: `((input block, baby step), cached
 /// plaintext)` per diagonal, in plan order.
 type GroupTerms<'p> = Vec<((u32, usize), &'p Plaintext)>;

@@ -42,8 +42,9 @@ pub mod store;
 pub mod values;
 
 pub use exec::{
-    exec_fhe, exec_fhe_prepared, exec_fhe_unhoisted, exec_plain, exec_plain_parallel,
-    FheLinearContext,
+    exec_fhe, exec_fhe_prepared, exec_fhe_prepared_shared, exec_fhe_shared, exec_fhe_unhoisted,
+    exec_plain, exec_plain_parallel, exec_plain_parallel_shared, shared_rot_plain,
+    FheLinearContext, SharedRotations,
 };
 pub use layout::TensorLayout;
 pub use paged::{LayerSource, PageStats, PagedProgram};

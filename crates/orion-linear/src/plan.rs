@@ -111,6 +111,25 @@ impl LinearPlan {
         )
     }
 
+    /// The distinct **non-zero** baby-step rotations the executor performs,
+    /// as `(input block, rotation amount)` pairs. The amount is an absolute
+    /// slot rotation (`k mod n1`), so the sets of two plans over the same
+    /// input wire are directly comparable even when their BSGS splits
+    /// differ — the basis of cross-wire rotation CSE: consumers sharing a
+    /// pair can share one hoisted key-switch inner product.
+    pub fn baby_rotations(&self) -> BTreeSet<(u32, usize)> {
+        let mut rots = BTreeSet::new();
+        for (&(_, j_blk), diags) in &self.blocks {
+            for &k in diags {
+                let i = (k as usize) % self.n1;
+                if i != 0 {
+                    rots.insert((j_blk, i));
+                }
+            }
+        }
+        rots
+    }
+
     /// Every rotation step the executor will perform (for rotation-key
     /// generation): baby steps `i` and giant steps `j·n1`.
     pub fn rotation_steps(&self) -> Vec<isize> {

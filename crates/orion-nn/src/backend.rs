@@ -115,6 +115,12 @@ pub trait EvalBackend {
     type Ciphertext: Clone + Send + Sync;
     /// The engine's plaintext representation.
     type Plaintext;
+    /// The engine's shared baby-step rotation artifact (cross-wire
+    /// rotation CSE, see [`crate::opt`]): everything
+    /// [`EvalBackend::linear_layer_shared`] needs to skip its private
+    /// per-consumer rotation fan-out. Engines with no rotation algebra
+    /// use `()`.
+    type SharedRot: Send + Sync;
 
     /// Engine name, for diagnostics.
     fn name(&self) -> &'static str;
@@ -187,8 +193,55 @@ pub trait EvalBackend {
         inputs: &[Self::Ciphertext],
         level: usize,
     ) -> Vec<Self::Ciphertext>;
+
+    /// Computes the distinct **non-zero** baby-step rotations `rots`
+    /// (`(input block, amount)` pairs) of a wire's ciphertexts — already
+    /// dropped to `level` — once, for every linear consumer the plan
+    /// optimizer wired to the shared unit. Must be a deterministic pure
+    /// function of the inputs: consumers reading the artifact must compute
+    /// bit-identical results to consumers rotating privately.
+    fn hoist_rotations(
+        &self,
+        cts: &[Self::Ciphertext],
+        level: usize,
+        rots: &[(u32, usize)],
+    ) -> Self::SharedRot;
+
+    /// [`EvalBackend::linear_layer`] reading its non-zero baby-step
+    /// rotations from `shared` instead of rotating privately. Same
+    /// contract: bit-identical output, one level consumed, exact scale Δ.
+    fn linear_layer_shared(
+        &self,
+        layer: &LinearRef<'_>,
+        inputs: &[Self::Ciphertext],
+        level: usize,
+        shared: &Self::SharedRot,
+    ) -> Vec<Self::Ciphertext>;
+
     /// Multiplies by `factor ≤ 1` and rescales (activation normalization).
     fn scale_down(&self, ct: &Self::Ciphertext, factor: f64, level: usize) -> Self::Ciphertext;
+
+    /// [`EvalBackend::scale_down`] fused with a drop to `out_level`
+    /// (rescale/mod-switch chain fusion). Must be bit-identical to
+    /// `drop_to_level(scale_down(ct, factor, level), out_level)` — the
+    /// default is exactly that; engines with a fused kernel (CKKS) override
+    /// it so the intermediate limbs never materialize.
+    fn scale_down_to(
+        &self,
+        ct: &Self::Ciphertext,
+        factor: f64,
+        level: usize,
+        out_level: usize,
+    ) -> Self::Ciphertext {
+        self.drop_to_level(&self.scale_down(ct, factor, level), out_level)
+    }
+
+    /// [`EvalBackend::bootstrap`] fused with a drop to `out_level` (the
+    /// refreshed ciphertext's consumers all read at or below `out_level`).
+    /// Must be bit-identical to `drop_to_level(bootstrap(ct), out_level)`.
+    fn bootstrap_to(&self, ct: &Self::Ciphertext, out_level: usize) -> Self::Ciphertext {
+        self.drop_to_level(&self.bootstrap(ct), out_level)
+    }
     /// One Chebyshev stage; `normalize` re-aligns the output to exact Δ at
     /// +1 depth. `step` is the program node id, the key engines use to
     /// find the stage's recorded constants in a prepared cache.
@@ -253,6 +306,23 @@ pub fn run_program_mode<B: EvalBackend + Sync>(
 ) -> ProgramRun<B::Ciphertext> {
     let plan = ExecPlan::build(c);
     run_plan(&plan, c, backend, input, mode)
+}
+
+/// [`run_program_mode`] through the plan optimizer (`crate::opt`): builds
+/// the plan, rewrites it under the program's cost model with the given
+/// per-pass toggles, and executes the optimized DAG. Returns the run plus
+/// the optimizer's per-pass stats. Bit-identical to the unoptimized run on
+/// every engine — the rewrites only share, fuse or reorder work.
+pub fn run_program_opt<B: EvalBackend + Sync>(
+    c: &Compiled,
+    backend: &B,
+    input: &Tensor,
+    mode: SchedMode,
+    cfg: crate::opt::OptConfig,
+) -> (ProgramRun<B::Ciphertext>, crate::opt::OptStats) {
+    let mut plan = ExecPlan::build(c);
+    let stats = crate::opt::PlanOptimizer::new(cfg, c.opts.cost.clone()).optimize(&mut plan, c);
+    (run_plan(&plan, c, backend, input, mode), stats)
 }
 
 /// Packs an input tensor into ciphertext-sized slot chunks exactly as the
@@ -384,11 +454,60 @@ impl<B: EvalBackend> Counting<B> {
             ctr.linear_seconds += plan.latency(&c, level);
         });
     }
+
+    /// Tallies a linear layer whose non-zero baby-step rotations come from
+    /// a shared unit: the layer itself pays **no** hoists and **no** baby
+    /// rotations (they were tallied once at the shared unit), only its
+    /// giant steps, pmults, ModDowns, and rescales. Encodes are unchanged
+    /// — sharing rotations shares no plaintexts.
+    fn tally_linear_shared(&self, plan: &LinearPlan, step: usize, level: usize) {
+        let encodes = if self.inner.linear_encodes_per_inference(step) {
+            (plan.counts.pmults + plan.out_blocks) as u64
+        } else {
+            0
+        };
+        let c = self.cost.clone();
+        let counts = &plan.counts;
+        let remaining = c.linear_layer(
+            level,
+            0,
+            0,
+            counts.giant_rots,
+            counts.pmults,
+            counts.moddowns,
+            counts.rescales,
+        );
+        self.shard(|ctr| {
+            ctr.record_encodes(encodes);
+            ctr.record(
+                OpKind::HRot,
+                counts.giant_rots as u64,
+                counts.giant_rots as f64 * c.hrot(level),
+            );
+            ctr.record(
+                OpKind::PMult,
+                counts.pmults as u64,
+                counts.pmults as f64 * c.pmult(level),
+            );
+            ctr.record(
+                OpKind::ModDown,
+                counts.moddowns as u64,
+                counts.moddowns as f64 * c.ks_moddown(level),
+            );
+            ctr.record(
+                OpKind::Rescale,
+                counts.rescales as u64,
+                counts.rescales as f64 * c.rescale(level),
+            );
+            ctr.linear_seconds += remaining;
+        });
+    }
 }
 
 impl<B: EvalBackend> EvalBackend for Counting<B> {
     type Ciphertext = B::Ciphertext;
     type Plaintext = B::Plaintext;
+    type SharedRot = B::SharedRot;
 
     fn name(&self) -> &'static str {
         self.inner.name()
@@ -483,10 +602,68 @@ impl<B: EvalBackend> EvalBackend for Counting<B> {
         self.inner.linear_layer(layer, inputs, level)
     }
 
+    fn hoist_rotations(
+        &self,
+        cts: &[Self::Ciphertext],
+        level: usize,
+        rots: &[(u32, usize)],
+    ) -> Self::SharedRot {
+        // One digit decomposition per distinct input block, one hoisted
+        // rotation per distinct (block, amount) — the exact ops the
+        // consumers no longer pay privately (see `tally_linear_shared`).
+        let blocks: std::collections::BTreeSet<u32> =
+            rots.iter().map(|&(j_blk, _)| j_blk).collect();
+        let c = &self.cost;
+        self.tally(
+            OpKind::Hoist,
+            blocks.len() as u64,
+            blocks.len() as f64 * c.ks_decompose(level),
+        );
+        self.tally(
+            OpKind::HRotHoisted,
+            rots.len() as u64,
+            rots.len() as f64 * c.hrot_hoisted(level),
+        );
+        self.inner.hoist_rotations(cts, level, rots)
+    }
+
+    fn linear_layer_shared(
+        &self,
+        layer: &LinearRef<'_>,
+        inputs: &[Self::Ciphertext],
+        level: usize,
+        shared: &Self::SharedRot,
+    ) -> Vec<Self::Ciphertext> {
+        self.tally_linear_shared(layer.plan(), layer.step(), level);
+        self.inner.linear_layer_shared(layer, inputs, level, shared)
+    }
+
     fn scale_down(&self, ct: &Self::Ciphertext, factor: f64, level: usize) -> Self::Ciphertext {
         self.tally(OpKind::PMult, 1, self.cost.pmult(level));
         self.tally(OpKind::Rescale, 1, self.cost.rescale(level));
         self.inner.scale_down(ct, factor, level)
+    }
+
+    fn scale_down_to(
+        &self,
+        ct: &Self::Ciphertext,
+        factor: f64,
+        level: usize,
+        out_level: usize,
+    ) -> Self::Ciphertext {
+        // Count-neutral by construction: the fused kernel is tallied
+        // exactly like `scale_down` at the same level (the drop was always
+        // free). Delegates to the inner engine's override so the fused
+        // kernel actually runs.
+        self.tally(OpKind::PMult, 1, self.cost.pmult(level));
+        self.tally(OpKind::Rescale, 1, self.cost.rescale(level));
+        self.inner.scale_down_to(ct, factor, level, out_level)
+    }
+
+    fn bootstrap_to(&self, ct: &Self::Ciphertext, out_level: usize) -> Self::Ciphertext {
+        // Count-neutral: one Bootstrap at l_eff, same as `bootstrap`.
+        self.tally(OpKind::Bootstrap, 1, self.cost.bootstrap(self.l_eff));
+        self.inner.bootstrap_to(ct, out_level)
     }
 
     fn poly_stage(

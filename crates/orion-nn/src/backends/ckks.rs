@@ -9,7 +9,10 @@
 use crate::backend::{EvalBackend, LinearRef};
 use crate::fhe_exec::FheSession;
 use orion_ckks::encrypt::Ciphertext;
-use orion_linear::exec::{exec_fhe as linear_exec, exec_fhe_prepared, FheLinearContext};
+use orion_linear::exec::{
+    exec_fhe as linear_exec, exec_fhe_prepared, exec_fhe_prepared_shared, exec_fhe_shared,
+    FheLinearContext, SharedRotations,
+};
 use orion_linear::paged::LayerSource;
 use orion_linear::prepared::PreparedProgram;
 use orion_linear::store::StoreError;
@@ -133,6 +136,7 @@ impl<'s> CkksBackend<'s> {
 impl EvalBackend for CkksBackend<'_> {
     type Ciphertext = Ciphertext;
     type Plaintext = orion_ckks::encrypt::Plaintext;
+    type SharedRot = SharedRotations;
 
     fn name(&self) -> &'static str {
         "ckks"
@@ -290,11 +294,104 @@ impl EvalBackend for CkksBackend<'_> {
         }
     }
 
+    fn hoist_rotations(
+        &self,
+        cts: &[Ciphertext],
+        _level: usize,
+        rots: &[(u32, usize)],
+    ) -> SharedRotations {
+        let s = self.session;
+        let fctx = FheLinearContext {
+            eval: &s.eval,
+            enc: &s.enc,
+        };
+        SharedRotations::build(&fctx, cts, rots)
+    }
+
+    fn linear_layer_shared(
+        &self,
+        layer: &LinearRef<'_>,
+        inputs: &[Ciphertext],
+        _level: usize,
+        shared: &SharedRotations,
+    ) -> Vec<Ciphertext> {
+        let s = self.session;
+        let slots = s.ctx.slots();
+        let fctx = FheLinearContext {
+            eval: &s.eval,
+            enc: &s.enc,
+        };
+        if let Some(src) = self.prepared.as_ref() {
+            match src.fetch_layer(layer.step()) {
+                Ok(Some(p)) => {
+                    return exec_fhe_prepared_shared(&fctx, layer.plan(), &p, inputs, shared)
+                }
+                Ok(None) => {}
+                Err(error) => std::panic::panic_any(PreparedLayerFault {
+                    step: layer.step(),
+                    error,
+                }),
+            }
+        }
+        match layer {
+            LinearRef::Conv {
+                plan,
+                spec,
+                weight,
+                bias,
+                in_l,
+                out_l,
+                ..
+            } => {
+                let src = ConvDiagSource {
+                    in_l: **in_l,
+                    out_l: **out_l,
+                    spec: **spec,
+                    weights: weight,
+                };
+                let bias_blocks = BiasValues::conv(out_l, bias, slots);
+                exec_fhe_shared(&fctx, plan, &src, Some(&bias_blocks), inputs, shared)
+            }
+            LinearRef::Dense {
+                plan,
+                weight,
+                bias,
+                in_l,
+                n_out,
+                ..
+            } => {
+                let src = DenseDiagSource::new((*weight).clone(), in_l);
+                let bias_blocks = BiasValues::dense(*n_out, bias, slots);
+                exec_fhe_shared(&fctx, plan, &src, Some(&bias_blocks), inputs, shared)
+            }
+        }
+    }
+
     fn scale_down(&self, ct: &Ciphertext, factor: f64, level: usize) -> Ciphertext {
         let s = self.session;
         let q = s.ctx.moduli[level] as f64;
         let mut m = s.eval.mul_scalar(ct, factor, q);
         s.eval.rescale_assign(&mut m);
+        m
+    }
+
+    fn scale_down_to(
+        &self,
+        ct: &Ciphertext,
+        factor: f64,
+        level: usize,
+        out_level: usize,
+    ) -> Ciphertext {
+        // Fused kernel: scalar-multiply at the *full* level (so the
+        // rescale divisor and rounding stay those of `scale_down`), then
+        // rescale straight down to `out_level` without materializing the
+        // intermediate limb vectors. Bit-identical to
+        // `drop_to_level(scale_down(ct), out_level)` — the kernel folds
+        // the popped limb only into the limbs that survive.
+        let s = self.session;
+        let q = s.ctx.moduli[level] as f64;
+        let mut m = s.eval.mul_scalar(ct, factor, q);
+        s.eval.rescale_to_level_assign(&mut m, out_level);
         m
     }
 

@@ -13,7 +13,7 @@
 
 use crate::backend::{run_program, Counting, EvalBackend, LinearRef};
 use crate::compile::Compiled;
-use orion_linear::exec::exec_plain_parallel;
+use orion_linear::exec::{exec_plain_parallel, exec_plain_parallel_shared, shared_rot_plain};
 use orion_linear::values::{BiasValues, ConvDiagSource, DenseDiagSource};
 use orion_poly::cheb::ChebPoly;
 use orion_sim::OpCounter;
@@ -76,6 +76,7 @@ fn rot_slots(v: &[f64], k: isize) -> Vec<f64> {
 impl EvalBackend for PlainBackend {
     type Ciphertext = PlainCiphertext;
     type Plaintext = Vec<f64>;
+    type SharedRot = std::collections::HashMap<(u32, usize), Vec<f64>>;
 
     fn name(&self) -> &'static str {
         "plain"
@@ -221,6 +222,78 @@ impl EvalBackend for PlainBackend {
                 let src = DenseDiagSource::new((*weight).clone(), in_l);
                 (
                     exec_plain_parallel(plan, &src, &blocks),
+                    BiasValues::dense(*n_out, bias, slots),
+                )
+            }
+        };
+        out_blocks
+            .into_iter()
+            .enumerate()
+            .map(|(b, mut block)| {
+                if let Some(bias) = bias_blocks.get(b) {
+                    for (x, &v) in block.iter_mut().zip(bias) {
+                        *x += v;
+                    }
+                }
+                PlainCiphertext {
+                    slots: block,
+                    level: level - 1,
+                }
+            })
+            .collect()
+    }
+
+    fn hoist_rotations(
+        &self,
+        cts: &[PlainCiphertext],
+        _level: usize,
+        rots: &[(u32, usize)],
+    ) -> Self::SharedRot {
+        let blocks: Vec<Vec<f64>> = cts.iter().map(|ct| ct.slots.clone()).collect();
+        shared_rot_plain(&blocks, rots)
+    }
+
+    fn linear_layer_shared(
+        &self,
+        layer: &LinearRef<'_>,
+        inputs: &[PlainCiphertext],
+        level: usize,
+        shared: &Self::SharedRot,
+    ) -> Vec<PlainCiphertext> {
+        let slots = self.slots;
+        let blocks: Vec<Vec<f64>> = inputs.iter().map(|ct| ct.slots.clone()).collect();
+        let (out_blocks, bias_blocks) = match layer {
+            LinearRef::Conv {
+                plan,
+                spec,
+                weight,
+                bias,
+                in_l,
+                out_l,
+                ..
+            } => {
+                let src = ConvDiagSource {
+                    in_l: **in_l,
+                    out_l: **out_l,
+                    spec: **spec,
+                    weights: weight,
+                };
+                (
+                    exec_plain_parallel_shared(plan, &src, &blocks, shared),
+                    BiasValues::conv(out_l, bias, slots),
+                )
+            }
+            LinearRef::Dense {
+                plan,
+                weight,
+                bias,
+                in_l,
+                n_out,
+                ..
+            } => {
+                let src = DenseDiagSource::new((*weight).clone(), in_l);
+                (
+                    exec_plain_parallel_shared(plan, &src, &blocks, shared),
                     BiasValues::dense(*n_out, bias, slots),
                 )
             }

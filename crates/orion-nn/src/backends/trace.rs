@@ -78,6 +78,11 @@ pub(crate) fn gather_slots(cts: &[TraceCiphertext], n: usize) -> Vec<f64> {
 impl EvalBackend for TraceBackend {
     type Ciphertext = TraceCiphertext;
     type Plaintext = Vec<f64>;
+    // The trace engine computes linear layers by reference convolution on
+    // gathered slots — there is no rotation algebra to share, so the
+    // shared-rotation handle is empty and shared consumers just run the
+    // ordinary layer.
+    type SharedRot = ();
 
     fn name(&self) -> &'static str {
         "trace"
@@ -178,6 +183,24 @@ impl EvalBackend for TraceBackend {
                 chunk_blocks(y, slots, level - 1)
             }
         }
+    }
+
+    fn hoist_rotations(
+        &self,
+        _cts: &[TraceCiphertext],
+        _level: usize,
+        _rots: &[(u32, usize)],
+    ) -> Self::SharedRot {
+    }
+
+    fn linear_layer_shared(
+        &self,
+        layer: &LinearRef<'_>,
+        inputs: &[TraceCiphertext],
+        level: usize,
+        _shared: &Self::SharedRot,
+    ) -> Vec<TraceCiphertext> {
+        self.linear_layer(layer, inputs, level)
     }
 
     fn scale_down(&self, ct: &TraceCiphertext, factor: f64, _level: usize) -> TraceCiphertext {

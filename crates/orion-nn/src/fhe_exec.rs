@@ -9,9 +9,11 @@
 //! level, bootstrap where the policy says, keep every wire at exactly
 //! scale Δ — wire-level units in parallel on the shared pool.
 
-use crate::backend::{run_program, Counting};
+use crate::backend::{run_program, run_program_opt, Counting};
 use crate::backends::CkksBackend;
 use crate::compile::{Compiled, Step};
+use crate::opt::{OptConfig, OptStats};
+use crate::sched::SchedMode;
 use orion_ckks::bootstrap::BootstrapOracle;
 use orion_ckks::encoder::Encoder;
 use orion_ckks::encrypt::{Ciphertext, Decryptor, Encryptor};
@@ -271,11 +273,31 @@ pub fn run_fhe_source_counted(
     source: Arc<dyn LayerSource>,
     input_cts: Vec<Ciphertext>,
 ) -> (FheRun, OpCounter) {
+    let (run, counter, _) = run_fhe_source_opt(c, s, source, input_cts, OptConfig::default());
+    (run, counter)
+}
+
+/// [`run_fhe_source_counted`] with explicit plan-optimizer toggles,
+/// additionally returning the optimizer's per-pass stats (the serve layer
+/// surfaces them in its metrics endpoint). The default-config path IS the
+/// serving hot path — every served inference runs the optimized plan.
+pub fn run_fhe_source_opt(
+    c: &Compiled,
+    s: &FheSession,
+    source: Arc<dyn LayerSource>,
+    input_cts: Vec<Ciphertext>,
+    cfg: OptConfig,
+) -> (FheRun, OpCounter, OptStats) {
     let t0 = std::time::Instant::now();
     let dummy = zero_input(c);
     let backend = CkksBackend::with_source(s, source).inject_inputs(input_cts);
     let counting = Counting::new(backend, c.opts.cost.clone(), c.opts.l_eff);
-    let run = run_program(c, &counting, &dummy);
+    let mode = if rayon::current_num_threads() > 1 {
+        SchedMode::Parallel
+    } else {
+        SchedMode::Sequential
+    };
+    let (run, stats) = run_program_opt(c, &counting, &dummy, mode, cfg);
     let (backend, mut counter) = counting.into_parts();
     counter.record_encodes(backend.act_cache_misses());
     (
@@ -285,6 +307,7 @@ pub fn run_fhe_source_counted(
             bootstraps: run.bootstraps,
         },
         counter,
+        stats,
     )
 }
 

@@ -27,13 +27,17 @@ pub mod fhe_exec;
 pub mod fit;
 pub mod layer;
 pub mod network;
+pub mod opt;
 pub mod sched;
 pub mod trace_exec;
 
-pub use backend::{run_program, run_program_mode, Counting, EvalBackend, LinearRef, ProgramRun};
+pub use backend::{
+    run_program, run_program_mode, run_program_opt, Counting, EvalBackend, LinearRef, ProgramRun,
+};
 pub use backends::{CkksBackend, PlainBackend, TraceBackend};
 pub use compile::{compile, CompileOptions, Compiled};
 pub use fhe_exec::FheSession;
 pub use layer::Layer;
 pub use network::{Network, NodeId};
+pub use opt::{optimize_plan, OptConfig, OptStats, PlanOptimizer};
 pub use sched::{ExecPlan, SchedMode};

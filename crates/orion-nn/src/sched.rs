@@ -108,6 +108,16 @@ pub enum UnitWork {
         /// Program node id of the linear step.
         node: usize,
     },
+    /// Hoist-once unit inserted by the plan optimizer's rotation-CSE pass
+    /// (`crate::opt`): digit-decomposes one (wire, version) buffer and
+    /// applies the union of the baby-step rotations its consumer linear
+    /// layers need, so each rotation's key switch is paid once instead of
+    /// once per consumer. Consumers carry `Unit::shared_rots` pointing at
+    /// the same spec.
+    SharedRot {
+        /// Index into [`ExecPlan::shared_specs`].
+        spec: usize,
+    },
 }
 
 /// One schedulable node of the dataflow plan.
@@ -118,21 +128,49 @@ pub struct Unit {
     /// Plan-unit ids this unit waits on (all strictly smaller — plan
     /// order is a topological order).
     pub deps: Vec<usize>,
-    /// First value slot this unit writes (`Prefetch`/`Output` write none).
-    out_slot: usize,
+    /// First value slot this unit writes (`Prefetch`/`Output`/`SharedRot`
+    /// write none).
+    pub out_slot: usize,
     /// Number of value slots written.
-    out_len: usize,
+    pub out_len: usize,
     /// For `Boot` units: the value slot being refreshed.
-    in_slot: usize,
+    pub in_slot: usize,
+    /// Set by the optimizer's level-fusion pass: produce the output
+    /// directly at this level (fused rescale + mod-switch / bootstrap +
+    /// mod-switch kernels) instead of the step's natural level. Always at
+    /// or above every consumer's read level, so results stay bit-exact.
+    pub fused_level: Option<usize>,
+    /// Set by the optimizer's rotation-CSE pass on linear `Step` units:
+    /// index of the [`SharedRotSpec`] whose hoisted rotations this layer
+    /// consumes instead of hoisting privately.
+    pub shared_rots: Option<usize>,
 }
 
 /// A value buffer: one (wire, version)'s ciphertexts.
-#[derive(Clone, Copy, Debug)]
-struct Buffer {
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Buffer {
     /// First slot index.
-    offset: usize,
+    pub offset: usize,
     /// Ciphertext count.
-    len: usize,
+    pub len: usize,
+}
+
+/// What a [`UnitWork::SharedRot`] unit computes: the union of the hoisted
+/// baby-step rotations of every linear layer sharing buffer `buf` at
+/// read level `level`.
+#[derive(Clone, Debug)]
+pub struct SharedRotSpec {
+    /// The (wire, version) buffer being rotated.
+    pub buf: Buffer,
+    /// The consumers' common placement level (the buffer is mod-switched
+    /// down to it before hoisting, exactly as each consumer would).
+    pub level: usize,
+    /// Distinct `(input block, rotation amount)` pairs, union over the
+    /// consumers; amounts are nonzero absolute slot rotations.
+    pub rots: Vec<(u32, usize)>,
+    /// Distinct input blocks in `rots` — digit decompositions this unit
+    /// performs (each consumer would have performed its own).
+    pub hoists: usize,
 }
 
 /// The dataflow execution plan of one compiled program (see module docs).
@@ -140,14 +178,17 @@ pub struct ExecPlan {
     /// Units in a topological order (deps always precede).
     pub units: Vec<Unit>,
     /// Reverse edges: `succs[u]` = units depending on `u`.
-    succs: Vec<Vec<usize>>,
+    pub(crate) succs: Vec<Vec<usize>>,
     /// Input buffers per program node, per input position — the (wire,
     /// version) each consumer reads, bootstrap rewrites applied.
-    in_bufs: Vec<Vec<Buffer>>,
+    pub(crate) in_bufs: Vec<Vec<Buffer>>,
     /// Total value slots.
-    n_slots: usize,
+    pub(crate) n_slots: usize,
     /// Total bootstrap units (the run's `bootstraps` tally).
     bootstraps: u64,
+    /// Hoist-once rotation specs installed by the optimizer (empty on an
+    /// unoptimized plan); indexed by `UnitWork::SharedRot::spec`.
+    pub(crate) shared: Vec<SharedRotSpec>,
 }
 
 impl ExecPlan {
@@ -192,6 +233,8 @@ impl ExecPlan {
                             out_slot: new.offset + ct,
                             out_len: 1,
                             in_slot: old.offset + ct,
+                            fused_level: None,
+                            shared_rots: None,
                         });
                         prods.push(uid);
                         bootstraps += 1;
@@ -225,6 +268,8 @@ impl ExecPlan {
                         out_slot: out.offset,
                         out_len: out.len,
                         in_slot: usize::MAX,
+                        fused_level: None,
+                        shared_rots: None,
                     });
                     cur_buf[id] = Some(out);
                     cur_prod[id] = vec![uid; out.len];
@@ -238,6 +283,8 @@ impl ExecPlan {
                         out_slot: usize::MAX,
                         out_len: 0,
                         in_slot: usize::MAX,
+                        fused_level: None,
+                        shared_rots: None,
                     });
                     // nothing consumes the output wire; keep bookkeeping
                     // consistent anyway
@@ -267,6 +314,8 @@ impl ExecPlan {
                         out_slot: usize::MAX,
                         out_len: 0,
                         in_slot: usize::MAX,
+                        fused_level: None,
+                        shared_rots: None,
                     });
                     let out = alloc(n_out);
                     let uid = units.len();
@@ -276,6 +325,8 @@ impl ExecPlan {
                         out_slot: out.offset,
                         out_len: out.len,
                         in_slot: usize::MAX,
+                        fused_level: None,
+                        shared_rots: None,
                     });
                     cur_buf[id] = Some(out);
                     cur_prod[id] = vec![uid; out.len];
@@ -303,6 +354,8 @@ impl ExecPlan {
                             out_slot: out.offset + ct,
                             out_len: 1,
                             in_slot: usize::MAX,
+                            fused_level: None,
+                            shared_rots: None,
                         });
                         prods.push(uid);
                     }
@@ -326,6 +379,7 @@ impl ExecPlan {
             in_bufs,
             n_slots,
             bootstraps,
+            shared: Vec::new(),
         }
     }
 
@@ -337,6 +391,35 @@ impl ExecPlan {
     /// Total value slots the plan writes.
     pub fn value_slots(&self) -> usize {
         self.n_slots
+    }
+
+    /// Hoisted-rotation specs installed by the optimizer's rotation-CSE
+    /// pass (empty on an unoptimized plan).
+    pub fn shared_specs(&self) -> &[SharedRotSpec] {
+        &self.shared
+    }
+
+    /// The buffers program node `id` reads, one per input position (wire
+    /// versions / bootstrap rewrites applied).
+    pub fn input_buffers(&self, id: usize) -> &[Buffer] {
+        &self.in_bufs[id]
+    }
+
+    /// Units depending on `uid` (reverse edges).
+    pub fn successors(&self, uid: usize) -> &[usize] {
+        &self.succs[uid]
+    }
+
+    /// A canonical textual dump of the plan's full structure — units with
+    /// every field, reverse edges, consumer buffers, slot count and shared
+    /// specs. Two plans are structurally identical iff their digests are
+    /// byte-identical; the optimizer's disabled-pipeline test pins that a
+    /// no-op pass leaves the digest untouched.
+    pub fn digest(&self) -> String {
+        format!(
+            "units={:?}\nsuccs={:?}\nin_bufs={:?}\nn_slots={}\nbootstraps={}\nshared={:?}\n",
+            self.units, self.succs, self.in_bufs, self.n_slots, self.bootstraps, self.shared
+        )
     }
 }
 
@@ -370,6 +453,9 @@ struct RunState<'a, B: EvalBackend> {
     backend: &'a B,
     input: &'a Tensor,
     values: Vec<OnceLock<B::Ciphertext>>,
+    /// One slot per [`SharedRotSpec`]: the hoisted-rotation handle the
+    /// spec's `SharedRot` unit produced, read by its consumer layers.
+    shared_vals: Vec<OnceLock<B::SharedRot>>,
     out: Mutex<Option<(Tensor, Vec<B::Ciphertext>)>>,
 }
 
@@ -423,8 +509,24 @@ impl<B: EvalBackend> RunState<'_, B> {
         let backend = self.backend;
         match unit.work {
             UnitWork::Prefetch { node } => backend.prefetch_linear(node),
+            UnitWork::SharedRot { spec } => {
+                let sp = &self.plan.shared[spec];
+                let cts = self.take_dropped(sp.buf, sp.level);
+                let handle = backend.hoist_rotations(&cts, sp.level, &sp.rots);
+                if self.shared_vals[spec].set(handle).is_err() {
+                    panic!("scheduler ran a shared-rotation unit twice");
+                }
+            }
             UnitWork::Boot { .. } => {
-                let out = backend.bootstrap(self.value(unit.in_slot));
+                let v = self.value(unit.in_slot);
+                // Fused bootstrap + mod-switch: land directly at the
+                // highest level any consumer reads, so the limbs above it
+                // are never materialized. Bit-identical — the consumers'
+                // `drop_one` would truncate the same limbs anyway.
+                let out = match unit.fused_level {
+                    Some(fl) => backend.bootstrap_to(v, fl),
+                    None => backend.bootstrap(v),
+                };
                 self.store(unit, vec![out]);
             }
             UnitWork::Step { node } => self.exec_step(unit, node),
@@ -479,7 +581,7 @@ impl<B: EvalBackend> RunState<'_, B> {
                     in_l,
                     out_l,
                 };
-                self.store(unit, backend.linear_layer(&layer, &cts, lv));
+                self.store(unit, self.run_linear(unit, &layer, &cts, lv));
             }
             Step::Dense {
                 plan,
@@ -498,9 +600,29 @@ impl<B: EvalBackend> RunState<'_, B> {
                     in_l,
                     n_out: *n_out,
                 };
-                self.store(unit, backend.linear_layer(&layer, &cts, lv));
+                self.store(unit, self.run_linear(unit, &layer, &cts, lv));
             }
             other => panic!("step {other:?} is not a whole-step unit"),
+        }
+    }
+
+    /// Runs one linear layer, through the shared-rotation path when the
+    /// optimizer attached a [`SharedRotSpec`] to the unit.
+    fn run_linear(
+        &self,
+        unit: &Unit,
+        layer: &LinearRef<'_>,
+        cts: &[B::Ciphertext],
+        lv: usize,
+    ) -> Vec<B::Ciphertext> {
+        match unit.shared_rots {
+            Some(spec) => {
+                let shared = self.shared_vals[spec]
+                    .get()
+                    .expect("scheduler dependency violation: shared rotations not ready");
+                self.backend.linear_layer_shared(layer, cts, lv, shared)
+            }
+            None => self.backend.linear_layer(layer, cts, lv),
         }
     }
 
@@ -514,7 +636,14 @@ impl<B: EvalBackend> RunState<'_, B> {
             self.drop_one(self.value(b.offset + ct), level)
         };
         let out = match &node.step {
-            Step::ScaleDown { factor } => backend.scale_down(&in_ct(0, lv), *factor, lv),
+            // Fused rescale + mod-switch: the scalar multiply happens at
+            // the full level (identical rounding), then the rescale lands
+            // directly at the fused level without materializing the
+            // intermediate limbs.
+            Step::ScaleDown { factor } => match unit.fused_level {
+                Some(fl) => backend.scale_down_to(&in_ct(0, lv), *factor, lv, fl),
+                None => backend.scale_down(&in_ct(0, lv), *factor, lv),
+            },
             Step::PolyStage { coeffs, normalize } => {
                 backend.poly_stage(&in_ct(0, lv), coeffs, *normalize, lv, id)
             }
@@ -553,6 +682,7 @@ pub fn run_plan<B: EvalBackend + Sync>(
         backend,
         input,
         values: (0..plan.n_slots).map(|_| OnceLock::new()).collect(),
+        shared_vals: (0..plan.shared.len()).map(|_| OnceLock::new()).collect(),
         out: Mutex::new(None),
     };
     match mode {

@@ -1,0 +1,364 @@
+//! Plan-optimizer equivalence and strict-improvement suite.
+//!
+//! The optimizer's contract has two halves, and `Counting` is the rewrite
+//! oracle for both:
+//!
+//! * **bit-exactness** — the optimized plan computes the identical output
+//!   (down to raw ciphertext bits on real CKKS) on every engine, in the
+//!   sequential AND event-driven parallel walks;
+//! * **counter discipline** — the count-reducing pass (rotation CSE) shows
+//!   strictly fewer rotations and key-switch decompositions, with the
+//!   delta exactly matching its reported stats, while the count-neutral
+//!   passes (level fusion, bootstrap sinking) leave every integer op
+//!   count unchanged.
+
+use orion_ckks::CkksParams;
+use orion_nn::backend::{run_program_mode, run_program_opt, Counting};
+use orion_nn::backends::{CkksBackend, PlainBackend, TraceBackend};
+use orion_nn::compile::{compile, CompileOptions, Compiled};
+use orion_nn::fhe_exec::FheSession;
+use orion_nn::fit::fixed_ranges;
+use orion_nn::network::Network;
+use orion_nn::opt::OptConfig;
+use orion_nn::sched::SchedMode;
+use orion_sim::counter::OpKind;
+use orion_sim::{CostModel, OpCounter};
+use orion_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_input(c: usize, h: usize, w: usize, rng: &mut StdRng) -> Tensor {
+    let n = c * h * w;
+    Tensor::from_vec(
+        &[c, h, w],
+        (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    )
+}
+
+/// A resnet_cifar-style block head: one wire fanning out into two
+/// same-spec 3×3 convolutions whose results merge in a residual add. The
+/// identical specs guarantee identical packing plans, hence identical
+/// baby-rotation sets — the rotation-CSE pass must fire.
+fn fork_net(rng: &mut StdRng) -> Network {
+    let mut net = Network::new(4, 8, 8);
+    let x = net.input();
+    let a = net.conv2d("c2a", x, 4, 3, 1, 1, 1, rng);
+    let b = net.conv2d("c2b", x, 4, 3, 1, 1, 1, rng);
+    let add = net.add("res", a, b);
+    net.output(add);
+    net
+}
+
+/// The fork head behind a ReLU — bootstrap-deep at these options, so all
+/// three passes (CSE on the fork, fusion on scale-downs + bootstraps,
+/// sinking on the bootstrap units) are exercised together.
+fn fork_relu_net(rng: &mut StdRng) -> Network {
+    let mut net = Network::new(4, 8, 8);
+    let x = net.input();
+    let c1 = net.conv2d("c1", x, 4, 3, 1, 1, 1, rng);
+    let r1 = net.relu("a1", c1, &[15, 15, 27]);
+    let a = net.conv2d("c2a", r1, 4, 3, 1, 1, 1, rng);
+    let b = net.conv2d("c2b", r1, 4, 3, 1, 1, 1, rng);
+    let add = net.add("res", a, b);
+    let a2 = net.square("a2", add);
+    net.output(a2);
+    net
+}
+
+fn opts() -> CompileOptions {
+    CompileOptions {
+        slots: 128,
+        l_eff: 10,
+        cost: CostModel::for_degree(1 << 9, 4),
+    }
+}
+
+fn counts_of(a: &OpCounter) -> Vec<(String, u64)> {
+    a.all()
+        .iter()
+        .map(|(k, &v)| (k.name().to_string(), v))
+        .collect()
+}
+
+/// Runs `c` unoptimized and optimized (given toggles) on a fresh backend
+/// from `mk`, in the given mode; asserts bit-exact outputs and returns the
+/// two counters plus the optimizer stats.
+fn run_pair<B, F>(
+    c: &Compiled,
+    input: &Tensor,
+    mode: SchedMode,
+    cfg: OptConfig,
+    what: &str,
+    mk: F,
+) -> (OpCounter, OpCounter, orion_nn::OptStats)
+where
+    B: orion_nn::EvalBackend + Sync,
+    F: Fn() -> B,
+{
+    let cost = c.opts.cost.clone();
+    let noopt = Counting::new(mk(), cost.clone(), c.opts.l_eff);
+    let base = run_program_mode(c, &noopt, input, mode);
+    let opt = Counting::new(mk(), cost, c.opts.l_eff);
+    let (optimized, stats) = run_program_opt(c, &opt, input, mode, cfg);
+    assert_eq!(
+        base.output.data(),
+        optimized.output.data(),
+        "{what}: optimized output diverged"
+    );
+    assert_eq!(base.bootstraps, optimized.bootstraps, "{what}: bootstraps");
+    (noopt.counter(), opt.counter(), stats)
+}
+
+/// Rotation CSE on the fork head: every engine stays bit-exact in both
+/// scheduling modes, and the plain-oracle counters show strictly fewer
+/// rotations and strictly fewer key-switch decompositions, with the deltas
+/// exactly equal to the pass's reported stats.
+#[test]
+fn rotation_cse_strictly_reduces_rotations_and_decompositions() {
+    let mut rng = StdRng::seed_from_u64(0x09717);
+    let net = fork_net(&mut rng);
+    let compiled = compile(&net, &fixed_ranges(&net, 4.0), &opts());
+    let input = random_input(4, 8, 8, &mut rng);
+    let cse_only = OptConfig {
+        rotation_cse: true,
+        level_fusion: false,
+        boot_sink: false,
+    };
+
+    for mode in [SchedMode::Sequential, SchedMode::Parallel] {
+        let (base, opt, stats) = run_pair(
+            &compiled,
+            &input,
+            mode,
+            cse_only,
+            &format!("plain fork {mode:?}"),
+            || PlainBackend::new(&compiled),
+        );
+        assert!(
+            stats.rotation_cse.shared_units >= 1,
+            "same-spec fork must trigger CSE (stats: {stats:?})"
+        );
+        assert!(
+            stats.rotation_cse.baby_rots_eliminated > 0,
+            "identical rotation sets must overlap"
+        );
+        // Strictly fewer rotations…
+        assert!(
+            opt.rotations() < base.rotations(),
+            "rotations: {} !< {}",
+            opt.rotations(),
+            base.rotations()
+        );
+        // …and strictly fewer key-switch decompositions (hoisted digit
+        // decompositions + full giant-step key switches).
+        let decomp = |c: &OpCounter| c.count(OpKind::Hoist) + c.count(OpKind::HRot);
+        assert!(
+            decomp(&opt) < decomp(&base),
+            "decompositions: {} !< {}",
+            decomp(&opt),
+            decomp(&base)
+        );
+        // The eliminated ops are exactly what the pass reported.
+        let saved = base.diff(&opt);
+        assert_eq!(
+            saved.count(OpKind::Hoist),
+            stats.rotation_cse.hoists_eliminated
+        );
+        assert_eq!(
+            saved.count(OpKind::HRotHoisted),
+            stats.rotation_cse.baby_rots_eliminated
+        );
+        // Nothing else moved.
+        assert_eq!(saved.count(OpKind::HRot), 0);
+        assert_eq!(saved.count(OpKind::PMult), 0);
+        assert_eq!(saved.count(OpKind::Rescale), 0);
+        assert_eq!(saved.count(OpKind::Bootstrap), 0);
+    }
+}
+
+/// Count-neutral passes (fusion + sinking, no CSE): integer op counts must
+/// be IDENTICAL between the optimized and unoptimized runs on both
+/// cleartext engines, in both modes — the rewrites change where limbs are
+/// dropped and when bootstraps run, never how many ops execute.
+#[test]
+fn fusion_and_sinking_are_count_neutral() {
+    let mut rng = StdRng::seed_from_u64(0x09718);
+    let net = fork_relu_net(&mut rng);
+    let compiled = compile(&net, &fixed_ranges(&net, 4.0), &opts());
+    assert!(
+        compiled.placement.boot_count > 0,
+        "test must exercise bootstrap units"
+    );
+    let input = random_input(4, 8, 8, &mut rng);
+    let neutral = OptConfig {
+        rotation_cse: false,
+        level_fusion: true,
+        boot_sink: true,
+    };
+
+    for mode in [SchedMode::Sequential, SchedMode::Parallel] {
+        let (base, opt, stats) = run_pair(
+            &compiled,
+            &input,
+            mode,
+            neutral,
+            &format!("plain fork+relu {mode:?}"),
+            || PlainBackend::new(&compiled),
+        );
+        assert_eq!(
+            counts_of(&base),
+            counts_of(&opt),
+            "count-neutral passes changed op counts"
+        );
+        assert_eq!(base.encodes, opt.encodes);
+        assert!(
+            stats.level_fusion.fused_scale_downs + stats.level_fusion.fused_bootstraps > 0,
+            "deep consumers must trigger level fusion (stats: {stats:?})"
+        );
+        assert!(
+            stats.boot_sink.peak_limbs_after <= stats.boot_sink.peak_limbs_before,
+            "sinking must never regress peak memory"
+        );
+
+        let (base, opt, _) = run_pair(
+            &compiled,
+            &input,
+            mode,
+            neutral,
+            &format!("trace fork+relu {mode:?}"),
+            || TraceBackend::new(&compiled),
+        );
+        assert_eq!(counts_of(&base), counts_of(&opt));
+    }
+}
+
+/// The full pipeline on the bootstrap-deep fork net, all three engines,
+/// both modes: bit-exact everywhere, strictly fewer rotations.
+#[test]
+fn full_pipeline_bit_exact_on_all_three_engines() {
+    let mut rng = StdRng::seed_from_u64(0x09719);
+    let net = fork_relu_net(&mut rng);
+    let compiled = compile(&net, &fixed_ranges(&net, 4.0), &opts());
+    assert!(compiled.placement.boot_count > 0);
+    let input = random_input(4, 8, 8, &mut rng);
+    let all = OptConfig::default();
+
+    for mode in [SchedMode::Sequential, SchedMode::Parallel] {
+        let (base, opt, stats) = run_pair(
+            &compiled,
+            &input,
+            mode,
+            all,
+            &format!("plain full {mode:?}"),
+            || PlainBackend::new(&compiled),
+        );
+        assert!(stats.rotation_cse.shared_units >= 1);
+        assert!(opt.rotations() < base.rotations());
+        run_pair(
+            &compiled,
+            &input,
+            mode,
+            all,
+            &format!("trace full {mode:?}"),
+            || TraceBackend::new(&compiled),
+        );
+    }
+}
+
+/// Real CKKS, on-the-fly weights: the optimized plan's raw output
+/// ciphertexts must match the unoptimized run bit for bit (c0, c1, scale)
+/// in both scheduling modes — rotation sharing, fused rescale/mod-switch
+/// kernels and bootstrap re-ordering are all exact rewrites.
+#[test]
+fn ckks_optimized_output_wire_is_bit_identical() {
+    let params = CkksParams::tiny();
+    let mut rng = StdRng::seed_from_u64(0x0971a);
+    let net = fork_net(&mut rng);
+    let opts = CompileOptions::from_params(&params);
+    let compiled = compile(&net, &fixed_ranges(&net, 4.0), &opts);
+    let session = FheSession::new(params, &compiled, 41);
+    let input = random_input(4, 8, 8, &mut rng);
+    let cts = session.encrypt_input(&compiled, &input);
+    let dummy = Tensor::from_vec(&[4, 8, 8], vec![0.0; 256]);
+
+    for mode in [SchedMode::Sequential, SchedMode::Parallel] {
+        let base = run_program_mode(
+            &compiled,
+            &CkksBackend::new(&session).inject_inputs(cts.clone()),
+            &dummy,
+            mode,
+        );
+        let (opt, stats) = run_program_opt(
+            &compiled,
+            &CkksBackend::new(&session).inject_inputs(cts.clone()),
+            &dummy,
+            mode,
+            OptConfig::default(),
+        );
+        assert!(
+            stats.rotation_cse.shared_units >= 1,
+            "fork must share rotations on CKKS too"
+        );
+        assert_eq!(base.output.data(), opt.output.data());
+        for (a, b) in base.output_wire.iter().zip(&opt.output_wire) {
+            assert_eq!(
+                a.c0, b.c0,
+                "optimized output ciphertext diverged ({mode:?})"
+            );
+            assert_eq!(a.c1, b.c1);
+            assert_eq!(a.scale.to_bits(), b.scale.to_bits());
+        }
+    }
+}
+
+/// Real CKKS through the *prepared* executor (the serving path) on a
+/// bootstrap-deep net: fused bootstrap/rescale kernels + shared rotations
+/// + sinking, still bit-exact against the unoptimized prepared run.
+#[test]
+fn ckks_prepared_bootstrap_deep_optimized_bit_identical() {
+    let params = CkksParams::tiny();
+    let mut rng = StdRng::seed_from_u64(0x0971b);
+    let mut net = Network::new(2, 8, 8);
+    let x = net.input();
+    let a = net.conv2d("c2a", x, 4, 3, 2, 1, 1, &mut rng);
+    let b = net.conv2d("c2b", x, 4, 3, 2, 1, 1, &mut rng);
+    let add = net.add("res", a, b);
+    let s = net.square("act", add);
+    let f = net.flatten("flat", s);
+    let l = net.linear("fc", f, 6, &mut rng);
+    net.output(l);
+    let opts = CompileOptions::from_params(&params);
+    let compiled = compile(&net, &fixed_ranges(&net, 4.0), &opts);
+    assert!(
+        compiled.placement.boot_count > 0,
+        "want bootstrap units on the real engine"
+    );
+    let session = FheSession::new(params, &compiled, 43);
+    let prepared = session.prepare(&compiled);
+    let input = random_input(2, 8, 8, &mut rng);
+    let cts = session.encrypt_input(&compiled, &input);
+    let dummy = Tensor::from_vec(&[2, 8, 8], vec![0.0; 128]);
+
+    for mode in [SchedMode::Sequential, SchedMode::Parallel] {
+        let base = run_program_mode(
+            &compiled,
+            &CkksBackend::with_prepared(&session, prepared.clone()).inject_inputs(cts.clone()),
+            &dummy,
+            mode,
+        );
+        let (opt, stats) = run_program_opt(
+            &compiled,
+            &CkksBackend::with_prepared(&session, prepared.clone()).inject_inputs(cts.clone()),
+            &dummy,
+            mode,
+            OptConfig::default(),
+        );
+        assert!(stats.rotation_cse.shared_units >= 1);
+        assert_eq!(base.output.data(), opt.output.data());
+        for (a, b) in base.output_wire.iter().zip(&opt.output_wire) {
+            assert_eq!(a.c0, b.c0, "prepared optimized output diverged ({mode:?})");
+            assert_eq!(a.c1, b.c1);
+            assert_eq!(a.scale.to_bits(), b.scale.to_bits());
+        }
+    }
+}

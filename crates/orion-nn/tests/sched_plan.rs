@@ -5,11 +5,12 @@
 //! match the placement, and the sequential and parallel walks agree on
 //! the trace engine.
 
-use orion_nn::backend::run_program_mode;
+use orion_nn::backend::{run_program_mode, run_program_opt};
 use orion_nn::backends::TraceBackend;
 use orion_nn::compile::{compile, CompileOptions, Step};
 use orion_nn::fit::fixed_ranges;
 use orion_nn::network::Network;
+use orion_nn::opt::{optimize_plan, OptConfig, OptStats};
 use orion_nn::sched::{ExecPlan, SchedMode, UnitWork};
 use orion_sim::CostModel;
 use orion_tensor::Tensor;
@@ -135,6 +136,69 @@ fn validate_plan(plan: &ExecPlan, c: &orion_nn::Compiled) {
     }
 }
 
+/// Extra invariants an *optimized* plan must uphold on top of
+/// `validate_plan` (which it must still pass wholesale — the optimizer
+/// never breaks topology, coverage, bootstrap replication, or the
+/// prefetch-twin lookahead property).
+fn validate_optimized(plan: &ExecPlan, c: &orion_nn::Compiled) {
+    validate_plan(plan, c);
+    // Shared-rotation specs are well-formed: nonzero rotation amounts on
+    // in-range blocks, hoist count = distinct blocks.
+    for sp in plan.shared_specs() {
+        assert!(!sp.rots.is_empty(), "empty shared-rotation spec");
+        let blocks: std::collections::BTreeSet<u32> = sp.rots.iter().map(|&(b, _)| b).collect();
+        assert_eq!(sp.hoists, blocks.len(), "spec hoists vs distinct blocks");
+        for &(b, i) in &sp.rots {
+            assert_ne!(i, 0, "identity rotation in a shared spec");
+            assert!((b as usize) < sp.buf.len, "spec block out of range");
+        }
+    }
+    for (uid, unit) in plan.units.iter().enumerate() {
+        // Each SharedRot unit's spec index is valid and at least two
+        // linear consumers point back at it through a dependency edge.
+        if let UnitWork::SharedRot { spec } = unit.work {
+            assert!(spec < plan.shared_specs().len(), "dangling spec index");
+            let consumers = plan
+                .units
+                .iter()
+                .filter(|u| u.shared_rots == Some(spec) && u.deps.contains(&uid))
+                .count();
+            assert!(
+                consumers >= 2,
+                "shared unit {uid} has {consumers} consumers — sharing needs ≥ 2"
+            );
+        }
+        // Consumers marked shared are linear step units.
+        if unit.shared_rots.is_some() {
+            let UnitWork::Step { node } = unit.work else {
+                panic!("non-step unit {uid} marked shared");
+            };
+            assert!(
+                matches!(c.prog[node].step, Step::Conv { .. } | Step::Dense { .. }),
+                "non-linear node {node} marked shared"
+            );
+        }
+        // Fused levels only appear on scale-downs / bootstraps, strictly
+        // below the natural output level.
+        if let Some(fl) = unit.fused_level {
+            match unit.work {
+                UnitWork::Boot { .. } => {
+                    assert!(fl < c.opts.l_eff, "boot fused at/above L_eff")
+                }
+                UnitWork::StepCt { node, .. } => {
+                    assert!(
+                        matches!(c.prog[node].step, Step::ScaleDown { .. }),
+                        "fused level on non-scale-down node {node}"
+                    );
+                    let lv = c.placement.levels[node].expect("placed");
+                    assert!(fl < lv - 1, "scale-down fused at/above natural level");
+                }
+                _ => panic!("fused level on unfusable unit {uid}"),
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -169,5 +233,41 @@ proptest! {
         let par = run_program_mode(&c, &backend, &input, SchedMode::Parallel);
         prop_assert_eq!(seq.output.data(), par.output.data());
         prop_assert_eq!(seq.bootstraps, par.bootstraps);
+
+        // The full optimizer pipeline preserves every plan invariant…
+        let mut oplan = ExecPlan::build(&c);
+        optimize_plan(&mut oplan, &c, OptConfig::default());
+        validate_optimized(&oplan, &c);
+
+        // …and the optimized plan computes the same bits in both walks.
+        let (oseq, _) = run_program_opt(
+            &c, &backend, &input, SchedMode::Sequential, OptConfig::default());
+        let (opar, _) = run_program_opt(
+            &c, &backend, &input, SchedMode::Parallel, OptConfig::default());
+        prop_assert_eq!(seq.output.data(), oseq.output.data());
+        prop_assert_eq!(seq.output.data(), opar.output.data());
+        prop_assert_eq!(seq.bootstraps, oseq.bootstraps);
+    }
+
+    /// With every pass disabled the optimizer is a byte-identical no-op:
+    /// the plan digest is unchanged and all stats stay zero.
+    #[test]
+    fn disabled_pipeline_is_byte_identical_noop(
+        seed in 0u64..1000,
+        blocks in 1usize..4,
+        act_kind in 0usize..3,
+    ) {
+        let net = random_net(seed, blocks, act_kind, false);
+        let opts = CompileOptions {
+            slots: 128,
+            l_eff: 10,
+            cost: CostModel::for_degree(1 << 9, 4),
+        };
+        let c = compile(&net, &fixed_ranges(&net, 4.0), &opts);
+        let mut plan = ExecPlan::build(&c);
+        let before = plan.digest();
+        let stats = optimize_plan(&mut plan, &c, OptConfig::disabled());
+        prop_assert_eq!(stats, OptStats::default());
+        prop_assert_eq!(plan.digest(), before);
     }
 }

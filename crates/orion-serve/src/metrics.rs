@@ -4,6 +4,7 @@
 //! counters — exported as one JSON snapshot (`Server::metrics_json`).
 
 use orion_linear::paged::PageStats;
+use orion_nn::opt::OptStats;
 use parking_lot::Mutex;
 use serde::Value;
 use std::collections::VecDeque;
@@ -29,6 +30,10 @@ pub struct ModelMetrics {
     /// End-to-end (queue + execution) seconds of the last
     /// [`LATENCY_WINDOW`] completed requests.
     latencies: Mutex<VecDeque<f64>>,
+    /// Per-pass plan-optimizer stats from the most recent execution. The
+    /// plan is rebuilt (and re-optimized) per request, but the stats are a
+    /// pure function of the compiled model, so last-write-wins is exact.
+    plan_opt: Mutex<Option<OptStats>>,
 }
 
 impl ModelMetrics {
@@ -57,6 +62,11 @@ impl ModelMetrics {
             lat.pop_front();
         }
         lat.push_back(total_seconds);
+    }
+
+    /// Record the plan-optimizer stats of an execution.
+    pub fn note_plan_opt(&self, stats: OptStats) {
+        *self.plan_opt.lock() = Some(stats);
     }
 
     /// One request failed.
@@ -115,6 +125,12 @@ impl ModelMetrics {
             ),
             ("latency_ms".to_string(), latency_percentiles(lat)),
         ];
+        if let Some(s) = *self.plan_opt.lock() {
+            fields.push((
+                "plan_optimizer".to_string(),
+                Value::Obj(s.fields().into_iter().map(|(k, v)| num(k, v)).collect()),
+            ));
+        }
         if let Some(p) = page {
             fields.push((
                 "page".to_string(),

@@ -29,7 +29,8 @@ use orion_linear::paged::{LayerSource, PageStats, PagedProgram};
 use orion_linear::store::{DiagStore, StoreError};
 use orion_nn::backends::PreparedLayerFault;
 use orion_nn::compile::Compiled;
-use orion_nn::fhe_exec::{run_fhe_source_counted, FheSession};
+use orion_nn::fhe_exec::{run_fhe_source_opt, FheSession};
+use orion_nn::opt::OptConfig;
 use orion_sim::OpCounter;
 use orion_tensor::Tensor;
 use parking_lot::{Mutex, RwLock};
@@ -629,11 +630,12 @@ fn run_batch(inner: &Inner, batch: Batch) {
         let compiled = compiled.clone();
         let source = source.clone();
         let result = catch_unwind(AssertUnwindSafe(move || {
-            run_fhe_source_counted(&compiled, &session, source, cts)
+            run_fhe_source_opt(&compiled, &session, source, cts, OptConfig::default())
         }));
         let resp = match result {
-            Ok((run, counter)) => {
+            Ok((run, counter, opt_stats)) => {
                 metrics.note_done(queue_seconds + run.wall_seconds, counter.encodes);
+                metrics.note_plan_opt(opt_stats);
                 Ok(ServeOutput {
                     output: run.output,
                     counter,

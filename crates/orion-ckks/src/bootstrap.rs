@@ -90,6 +90,12 @@ impl BootstrapOracle {
     /// far outside would decode incorrectly in a real bootstrap, so the
     /// oracle does **not** clamp them — range bugs stay observable.
     pub fn refresh(&self, ct: &Ciphertext) -> Ciphertext {
+        orion_telemetry::time_class(orion_telemetry::OpClass::Bootstrap, || {
+            self.refresh_impl(ct)
+        })
+    }
+
+    fn refresh_impl(&self, ct: &Ciphertext) -> Ciphertext {
         self.count
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let vals = self.encoder.decode_complex(&self.decryptor.decrypt(ct));

@@ -143,20 +143,22 @@ impl Evaluator {
     /// This is the expensive primitive behind `HMult` and `HRot`
     /// (paper §2.5.2: "many NTTs and RNS basis conversions").
     pub fn key_switch_raw(&self, c: &RnsPoly, key: &KeySwitchKey) -> (RnsPoly, RnsPoly) {
-        let ctx = &self.ctx;
-        let level = c.level();
-        let digits = crate::hoist::decompose_digits(ctx, c);
-        let mut acc_b = RnsPoly::zero(ctx, level, Form::Eval, true);
-        let mut acc_a = RnsPoly::zero(ctx, level, Form::Eval, true);
-        for (i, digit) in digits.iter().enumerate() {
-            let (kb, ka) = (&key.parts[i].0, &key.parts[i].1);
-            acc_b.add_mul_assign_parts(digit, &kb.limbs, kb.special.as_ref(), ctx);
-            acc_a.add_mul_assign_parts(digit, &ka.limbs, ka.special.as_ref(), ctx);
-        }
-        for digit in digits {
-            digit.recycle();
-        }
-        (acc_b, acc_a)
+        orion_telemetry::time_class(orion_telemetry::OpClass::KeySwitch, || {
+            let ctx = &self.ctx;
+            let level = c.level();
+            let digits = crate::hoist::decompose_digits(ctx, c);
+            let mut acc_b = RnsPoly::zero(ctx, level, Form::Eval, true);
+            let mut acc_a = RnsPoly::zero(ctx, level, Form::Eval, true);
+            for (i, digit) in digits.iter().enumerate() {
+                let (kb, ka) = (&key.parts[i].0, &key.parts[i].1);
+                acc_b.add_mul_assign_parts(digit, &kb.limbs, kb.special.as_ref(), ctx);
+                acc_a.add_mul_assign_parts(digit, &ka.limbs, ka.special.as_ref(), ctx);
+            }
+            for digit in digits {
+                digit.recycle();
+            }
+            (acc_b, acc_a)
+        })
     }
 
     /// Full key-switch including the final ModDown.
@@ -198,18 +200,20 @@ impl Evaluator {
     /// the result is within floating-point noise of it, preserving the
     /// errorless invariant exactly.
     pub fn rescale_assign(&self, ct: &mut Ciphertext) {
-        let l = ct.level();
-        assert!(l >= 1, "cannot rescale at level 0 — bootstrap required");
-        let ql = self.ctx.moduli[l] as f64;
-        ct.c0.rescale_assign(&self.ctx);
-        ct.c1.rescale_assign(&self.ctx);
-        let new_scale = ct.scale / ql;
-        let delta = self.ctx.scale();
-        ct.scale = if (new_scale / delta - 1.0).abs() < 1e-9 {
-            delta
-        } else {
-            new_scale
-        };
+        orion_telemetry::time_class(orion_telemetry::OpClass::Rescale, || {
+            let l = ct.level();
+            assert!(l >= 1, "cannot rescale at level 0 — bootstrap required");
+            let ql = self.ctx.moduli[l] as f64;
+            ct.c0.rescale_assign(&self.ctx);
+            ct.c1.rescale_assign(&self.ctx);
+            let new_scale = ct.scale / ql;
+            let delta = self.ctx.scale();
+            ct.scale = if (new_scale / delta - 1.0).abs() < 1e-9 {
+                delta
+            } else {
+                new_scale
+            };
+        })
     }
 
     /// Drops a ciphertext to a lower level without scaling (free level
@@ -226,19 +230,21 @@ impl Evaluator {
     /// [`RnsPoly::rescale_to_level_assign`]). The scale bookkeeping is the
     /// rescale's: the divisor is still the *top* chain prime.
     pub fn rescale_to_level_assign(&self, ct: &mut Ciphertext, out_level: usize) {
-        let l = ct.level();
-        assert!(l >= 1, "cannot rescale at level 0 — bootstrap required");
-        assert!(out_level < l, "fused rescale must lower the level");
-        let ql = self.ctx.moduli[l] as f64;
-        ct.c0.rescale_to_level_assign(&self.ctx, out_level);
-        ct.c1.rescale_to_level_assign(&self.ctx, out_level);
-        let new_scale = ct.scale / ql;
-        let delta = self.ctx.scale();
-        ct.scale = if (new_scale / delta - 1.0).abs() < 1e-9 {
-            delta
-        } else {
-            new_scale
-        };
+        orion_telemetry::time_class(orion_telemetry::OpClass::Rescale, || {
+            let l = ct.level();
+            assert!(l >= 1, "cannot rescale at level 0 — bootstrap required");
+            assert!(out_level < l, "fused rescale must lower the level");
+            let ql = self.ctx.moduli[l] as f64;
+            ct.c0.rescale_to_level_assign(&self.ctx, out_level);
+            ct.c1.rescale_to_level_assign(&self.ctx, out_level);
+            let new_scale = ct.scale / ql;
+            let delta = self.ctx.scale();
+            ct.scale = if (new_scale / delta - 1.0).abs() < 1e-9 {
+                delta
+            } else {
+                new_scale
+            };
+        })
     }
 
     /// `HRot`: rotates slots "up" by `k` (slot `i` of the output holds slot

@@ -246,6 +246,11 @@ impl PagedProgram {
             let victim = *st.by_stamp.values().next().expect("len > 1");
             st.forget(victim);
             st.bytes -= self.entries[&victim].bytes;
+            orion_telemetry::instant!(
+                "page_evict",
+                step = victim,
+                bytes = self.entries[&victim].bytes
+            );
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -308,7 +313,16 @@ impl LayerSource for PagedProgram {
         // The guard clears `loading` and wakes waiters on EVERY exit path:
         // admitted, typed load error, or a panic unwinding through us.
         let _clear = LoadingGuard { pager: self, step };
-        let layer = Arc::new(PreparedLayer::load(&self.store, &entry.name)?);
+        let t0 = orion_telemetry::now_ns();
+        let layer = orion_telemetry::time_class(orion_telemetry::OpClass::PageLoad, || {
+            PreparedLayer::load(&self.store, &entry.name).map(Arc::new)
+        })?;
+        orion_telemetry::instant!(
+            "page_fault",
+            step = step,
+            bytes = entry.bytes,
+            load_us = (orion_telemetry::now_ns() - t0) / 1_000
+        );
         self.faults.fetch_add(1, Ordering::Relaxed);
         let mut st = self.state.lock();
         self.admit(&mut st, step, layer.clone(), entry.bytes);
@@ -334,9 +348,19 @@ impl LayerSource for PagedProgram {
         // sleeps on the condvar and then scores a prefetch hit. The guard
         // clears the marker even if the load errors or panics.
         let _clear = LoadingGuard { pager: self, step };
-        let Ok(layer) = PreparedLayer::load(&self.store, &entry.name) else {
+        let t0 = orion_telemetry::now_ns();
+        let load = orion_telemetry::time_class(orion_telemetry::OpClass::PageLoad, || {
+            PreparedLayer::load(&self.store, &entry.name)
+        });
+        let Ok(layer) = load else {
             return; // the consuming fetch will retry and surface the error
         };
+        orion_telemetry::instant!(
+            "page_prefetch",
+            step = step,
+            bytes = entry.bytes,
+            load_us = (orion_telemetry::now_ns() - t0) / 1_000
+        );
         self.prefetches.fetch_add(1, Ordering::Relaxed);
         let mut st = self.state.lock();
         self.admit(&mut st, step, Arc::new(layer), entry.bytes);

@@ -126,26 +126,30 @@ where
 /// the ring is large enough. Uses the lazy-reduction butterflies
 /// (bit-identical to the strict path).
 pub fn ntt_forward_batch(pairs: Vec<(&NttTable, &mut [u64])>) {
-    let degree = pairs.first().map(|(t, _)| t.n).unwrap_or(0);
-    if ntt_parallel(degree, pairs.len()) {
-        pairs.into_par_iter().for_each(|(t, a)| t.forward_lazy(a));
-    } else {
-        for (t, a) in pairs {
-            t.forward_lazy(a);
+    orion_telemetry::time_class(orion_telemetry::OpClass::NttFwd, || {
+        let degree = pairs.first().map(|(t, _)| t.n).unwrap_or(0);
+        if ntt_parallel(degree, pairs.len()) {
+            pairs.into_par_iter().for_each(|(t, a)| t.forward_lazy(a));
+        } else {
+            for (t, a) in pairs {
+                t.forward_lazy(a);
+            }
         }
-    }
+    })
 }
 
 /// Inverse-NTTs every `(table, limb)` pair (see [`ntt_forward_batch`]).
 pub fn ntt_inverse_batch(pairs: Vec<(&NttTable, &mut [u64])>) {
-    let degree = pairs.first().map(|(t, _)| t.n).unwrap_or(0);
-    if ntt_parallel(degree, pairs.len()) {
-        pairs.into_par_iter().for_each(|(t, a)| t.inverse_lazy(a));
-    } else {
-        for (t, a) in pairs {
-            t.inverse_lazy(a);
+    orion_telemetry::time_class(orion_telemetry::OpClass::NttInv, || {
+        let degree = pairs.first().map(|(t, _)| t.n).unwrap_or(0);
+        if ntt_parallel(degree, pairs.len()) {
+            pairs.into_par_iter().for_each(|(t, a)| t.inverse_lazy(a));
+        } else {
+            for (t, a) in pairs {
+                t.inverse_lazy(a);
+            }
         }
-    }
+    })
 }
 
 #[cfg(test)]

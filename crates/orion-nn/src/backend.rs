@@ -128,6 +128,13 @@ pub trait EvalBackend {
     fn slots(&self) -> usize;
     /// Current level of a ciphertext.
     fn level_of(&self, ct: &Self::Ciphertext) -> usize;
+    /// log₂ of the ciphertext's current scale, for the telemetry
+    /// level/scale-drift trajectories. Engines without a real scale
+    /// report 0.
+    fn scale_log2_of(&self, ct: &Self::Ciphertext) -> f64 {
+        let _ = ct;
+        0.0
+    }
 
     /// Encrypts one ciphertext's worth of slot values at `level`.
     fn encrypt(&self, vals: &[f64], level: usize) -> Self::Ciphertext;
@@ -519,6 +526,10 @@ impl<B: EvalBackend> EvalBackend for Counting<B> {
 
     fn level_of(&self, ct: &Self::Ciphertext) -> usize {
         self.inner.level_of(ct)
+    }
+
+    fn scale_log2_of(&self, ct: &Self::Ciphertext) -> f64 {
+        self.inner.scale_log2_of(ct)
     }
 
     fn encrypt(&self, vals: &[f64], level: usize) -> Self::Ciphertext {

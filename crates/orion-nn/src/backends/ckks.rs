@@ -150,6 +150,10 @@ impl EvalBackend for CkksBackend<'_> {
         ct.level()
     }
 
+    fn scale_log2_of(&self, ct: &Ciphertext) -> f64 {
+        ct.scale.log2()
+    }
+
     fn encrypt(&self, vals: &[f64], level: usize) -> Ciphertext {
         if let Some(queue) = self.injected.as_ref() {
             let ct = queue

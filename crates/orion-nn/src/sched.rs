@@ -53,7 +53,7 @@ use crate::compile::{Compiled, Step};
 use orion_tensor::Tensor;
 use parking_lot::Mutex;
 use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// How [`run_plan`] walks the unit DAG.
@@ -447,6 +447,43 @@ fn with_unit<R>(uid: usize, f: impl FnOnce() -> R) -> R {
     })
 }
 
+/// Per-unit nanosecond stamps captured only while the telemetry collector
+/// is enabled: when the unit became ready (all deps done), when it started
+/// executing, and when it finished. The ready→start gap is the scheduler
+/// queue wait; start→end is execution and weights the critical-path DP.
+struct RunTelemetry {
+    ready: Vec<AtomicU64>,
+    start: Vec<AtomicU64>,
+    end: Vec<AtomicU64>,
+}
+
+impl RunTelemetry {
+    fn new(n: usize) -> Self {
+        Self {
+            ready: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            start: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            end: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Stamp `uid` ready-now (a completing unit released it, or it was
+    /// ready at walk start).
+    fn mark_ready(&self, uid: usize) {
+        self.ready[uid].store(orion_telemetry::now_ns(), Ordering::Relaxed);
+    }
+}
+
+/// Static span kind plus (node-or-wire, ct) identifiers for a unit.
+fn unit_meta(work: &UnitWork) -> (&'static str, u64, u64) {
+    match *work {
+        UnitWork::Step { node } => ("step", node as u64, 0),
+        UnitWork::StepCt { node, ct } => ("step_ct", node as u64, ct as u64),
+        UnitWork::Boot { wire, ct, .. } => ("boot", wire as u64, ct as u64),
+        UnitWork::Prefetch { node } => ("prefetch", node as u64, 0),
+        UnitWork::SharedRot { spec } => ("shared_rot", spec as u64, 0),
+    }
+}
+
 struct RunState<'a, B: EvalBackend> {
     plan: &'a ExecPlan,
     c: &'a Compiled,
@@ -457,6 +494,9 @@ struct RunState<'a, B: EvalBackend> {
     /// spec's `SharedRot` unit produced, read by its consumer layers.
     shared_vals: Vec<OnceLock<B::SharedRot>>,
     out: Mutex<Option<(Tensor, Vec<B::Ciphertext>)>>,
+    /// `Some` iff the telemetry collector was enabled when the run
+    /// started; `None` keeps the disabled walk free of clock reads.
+    telem: Option<RunTelemetry>,
 }
 
 impl<B: EvalBackend> RunState<'_, B> {
@@ -494,6 +534,18 @@ impl<B: EvalBackend> RunState<'_, B> {
             unit.out_len
         );
         for (i, ct) in cts.into_iter().enumerate() {
+            // Wire trajectory: the FHE "noise budget" view — every produced
+            // ciphertext's level and scale drift, as instant events.
+            if self.telem.is_some() {
+                let (_, node, _) = unit_meta(&unit.work);
+                orion_telemetry::instant!(
+                    "wire",
+                    node = node,
+                    ct = i,
+                    level = self.backend.level_of(&ct),
+                    scale_mb = (self.backend.scale_log2_of(&ct) * 1e3) as u64
+                );
+            }
             if self.values[unit.out_slot + i].set(ct).is_err() {
                 panic!("scheduler wrote a value slot twice");
             }
@@ -502,7 +554,42 @@ impl<B: EvalBackend> RunState<'_, B> {
 
     fn run_unit(&self, uid: usize) {
         let unit = &self.plan.units[uid];
+        let Some(t) = &self.telem else {
+            with_unit(uid, || self.exec_unit(unit));
+            return;
+        };
+        // Queue-wait vs exec split: the ready stamp was written by
+        // whichever completion released this unit (0 when it was ready at
+        // walk start or the walk is sequential).
+        let start = orion_telemetry::now_ns();
+        t.start[uid].store(start, Ordering::Relaxed);
+        let ready = t.ready[uid].load(Ordering::Relaxed);
+        let queue_ns = if ready > 0 {
+            start.saturating_sub(ready)
+        } else {
+            0
+        };
+        let (kind, node, ct) = unit_meta(&unit.work);
+        let level = unit.fused_level.or(match unit.work {
+            UnitWork::Step { node } | UnitWork::StepCt { node, .. } => {
+                self.c.placement.levels[node]
+            }
+            UnitWork::Boot { .. } => Some(self.c.opts.l_eff),
+            _ => None,
+        });
+        let span = orion_telemetry::span(
+            kind,
+            &[
+                ("unit", uid as u64),
+                ("node", node),
+                ("ct", ct),
+                ("level", level.unwrap_or(0) as u64),
+                ("queue_us", queue_ns / 1_000),
+            ],
+        );
         with_unit(uid, || self.exec_unit(unit));
+        t.end[uid].store(orion_telemetry::now_ns(), Ordering::Relaxed);
+        drop(span);
     }
 
     fn exec_unit(&self, unit: &Unit) {
@@ -615,15 +702,17 @@ impl<B: EvalBackend> RunState<'_, B> {
         cts: &[B::Ciphertext],
         lv: usize,
     ) -> Vec<B::Ciphertext> {
-        match unit.shared_rots {
-            Some(spec) => {
-                let shared = self.shared_vals[spec]
-                    .get()
-                    .expect("scheduler dependency violation: shared rotations not ready");
-                self.backend.linear_layer_shared(layer, cts, lv, shared)
+        orion_telemetry::time_class(orion_telemetry::OpClass::LinearLayer, || {
+            match unit.shared_rots {
+                Some(spec) => {
+                    let shared = self.shared_vals[spec]
+                        .get()
+                        .expect("scheduler dependency violation: shared rotations not ready");
+                    self.backend.linear_layer_shared(layer, cts, lv, shared)
+                }
+                None => self.backend.linear_layer(layer, cts, lv),
             }
-            None => self.backend.linear_layer(layer, cts, lv),
-        }
+        })
     }
 
     fn exec_step_ct(&self, unit: &Unit, id: usize, ct: usize) {
@@ -645,7 +734,9 @@ impl<B: EvalBackend> RunState<'_, B> {
                 None => backend.scale_down(&in_ct(0, lv), *factor, lv),
             },
             Step::PolyStage { coeffs, normalize } => {
-                backend.poly_stage(&in_ct(0, lv), coeffs, *normalize, lv, id)
+                orion_telemetry::time_class(orion_telemetry::OpClass::PolyStage, || {
+                    backend.poly_stage(&in_ct(0, lv), coeffs, *normalize, lv, id)
+                })
             }
             Step::ReluFinal { magnitude } => {
                 assert!(lv >= 2, "relu final needs 2 levels");
@@ -684,7 +775,13 @@ pub fn run_plan<B: EvalBackend + Sync>(
         values: (0..plan.n_slots).map(|_| OnceLock::new()).collect(),
         shared_vals: (0..plan.shared.len()).map(|_| OnceLock::new()).collect(),
         out: Mutex::new(None),
+        telem: orion_telemetry::enabled().then(|| RunTelemetry::new(plan.units.len())),
     };
+    let wall_start = state.telem.as_ref().map(|_| orion_telemetry::now_ns());
+    let run_span = state
+        .telem
+        .as_ref()
+        .map(|_| orion_telemetry::span!("run_plan", units = plan.units.len()));
     match mode {
         SchedMode::Sequential => {
             // Plan order is a topological order AND the classic
@@ -701,12 +798,85 @@ pub fn run_plan<B: EvalBackend + Sync>(
         SchedMode::Parallel => run_event_driven(&state),
         SchedMode::ParallelWaves => run_frontier_waves(&state),
     }
+    drop(run_span);
+    if let (Some(telem), Some(t0)) = (&state.telem, wall_start) {
+        report_run(plan, c, telem, mode, orion_telemetry::now_ns() - t0);
+    }
     let (output, output_wire) = state.out.into_inner().expect("output unit did not run");
     ProgramRun {
         output,
         output_wire,
         bootstraps: plan.bootstraps,
     }
+}
+
+/// Builds and records the telemetry [`orion_telemetry::RunReport`] of a
+/// finished walk: Σ exec / Σ queue times, the duration-weighted critical
+/// path through the unit DAG, and the heaviest units on it.
+fn report_run(plan: &ExecPlan, c: &Compiled, telem: &RunTelemetry, mode: SchedMode, wall_ns: u64) {
+    let n = plan.units.len();
+    let dur: Vec<u64> = (0..n)
+        .map(|i| {
+            let (s, e) = (
+                telem.start[i].load(Ordering::Relaxed),
+                telem.end[i].load(Ordering::Relaxed),
+            );
+            e.saturating_sub(s)
+        })
+        .collect();
+    let queue: Vec<u64> = (0..n)
+        .map(|i| {
+            let (r, s) = (
+                telem.ready[i].load(Ordering::Relaxed),
+                telem.start[i].load(Ordering::Relaxed),
+            );
+            if r > 0 && s > 0 {
+                s.saturating_sub(r)
+            } else {
+                0
+            }
+        })
+        .collect();
+    let deps: Vec<&[usize]> = plan.units.iter().map(|u| u.deps.as_slice()).collect();
+    let (critical_path_ns, path) = orion_telemetry::critical_path(&dur, &deps);
+    let label = |uid: usize| -> String {
+        let (kind, node, ct) = unit_meta(&plan.units[uid].work);
+        let name = match plan.units[uid].work {
+            UnitWork::SharedRot { .. } => "",
+            _ => c.prog[node as usize].name.as_str(),
+        };
+        format!("{kind} {name} ct{ct}")
+    };
+    let mut on_path: Vec<usize> = path;
+    on_path.sort_by_key(|&u| std::cmp::Reverse(dur[u]));
+    let top: Vec<orion_telemetry::CritUnit> = on_path
+        .iter()
+        .take(10)
+        .map(|&u| orion_telemetry::CritUnit {
+            unit: u,
+            label: label(u),
+            dur_ns: dur[u],
+            queue_ns: queue[u],
+        })
+        .collect();
+    orion_telemetry::counter("sched.runs").inc();
+    orion_telemetry::counter("sched.units_executed")
+        .add(dur.iter().filter(|&&d| d > 0).count() as u64);
+    orion_telemetry::record_run(orion_telemetry::RunReport {
+        req: orion_telemetry::current_request(),
+        mode: match mode {
+            SchedMode::Sequential => "sequential",
+            SchedMode::Parallel => "parallel",
+            SchedMode::ParallelWaves => "parallel_waves",
+        },
+        threads: rayon::current_num_threads(),
+        units: n,
+        wall_ns,
+        busy_ns: dur.iter().sum(),
+        queue_ns: queue.iter().sum(),
+        critical_path_ns,
+        top,
+    });
 }
 
 /// Event-driven execution: every initially-ready unit is spawned onto the
@@ -739,6 +909,9 @@ fn run_event_driven<B: EvalBackend + Sync>(state: &RunState<'_, B>) {
     orion_math::parallel::scope(|s| {
         for (uid, unit) in plan.units.iter().enumerate() {
             if unit.deps.is_empty() {
+                if let Some(t) = &state.telem {
+                    t.mark_ready(uid);
+                }
                 let (indeg, completed) = (&indeg, &completed);
                 s.spawn(move |s| run_chain(s, state, indeg, completed, uid));
             }
@@ -771,6 +944,9 @@ fn run_chain<'a, B: EvalBackend + Sync>(
         let mut next = None;
         for &succ in &state.plan.succs[uid] {
             if indeg[succ].fetch_sub(1, Ordering::AcqRel) == 1 {
+                if let Some(t) = &state.telem {
+                    t.mark_ready(succ);
+                }
                 if next.is_none() {
                     next = Some(succ);
                 } else {
@@ -807,6 +983,11 @@ fn run_frontier_waves<B: EvalBackend + Sync>(state: &RunState<'_, B>) {
     let mut done = 0usize;
     while !frontier.is_empty() {
         done += frontier.len();
+        if let Some(t) = &state.telem {
+            for &uid in &frontier {
+                t.mark_ready(uid);
+            }
+        }
         let released: Vec<Vec<usize>> =
             orion_math::parallel::map_indexed(frontier.len(), frontier.len() > 1, |i| {
                 let uid = frontier[i];

@@ -1,0 +1,242 @@
+//! Tracing under the parallel scheduler: the global collector records a
+//! well-formed merged trace (spans nest per thread, no orphan closes,
+//! monotone per-thread timestamps), the per-run critical-path report is
+//! internally consistent, the Chrome export parses, and — the deal the
+//! always-linked collector makes with the hot path — a *disabled*
+//! collector costs under 3% of a scheduler micro-workload.
+//!
+//! The collector is process-global, so every test serializes on one lock
+//! and drains the event log before and after its run.
+
+use orion_nn::backend::run_program_mode;
+use orion_nn::backends::PlainBackend;
+use orion_nn::compile::{compile, CompileOptions, Compiled};
+use orion_nn::fit::fixed_ranges;
+use orion_nn::network::Network;
+use orion_nn::sched::SchedMode;
+use orion_sim::CostModel;
+use orion_telemetry::Phase;
+use orion_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+/// The container may expose a single core; the shared rayon pool reads
+/// `RAYON_NUM_THREADS` once at first use, so pin a parallel width before
+/// any test touches it.
+fn lock_and_init() -> std::sync::MutexGuard<'static, ()> {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| std::env::set_var("RAYON_NUM_THREADS", "4"));
+    TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A conv/ReLU/residual net: multi-ciphertext wires and a forked region,
+/// so the parallel walk genuinely overlaps units across threads.
+fn fork_workload() -> (Compiled, Tensor) {
+    let mut rng = StdRng::seed_from_u64(0x7e1e);
+    let mut net = Network::new(4, 8, 8);
+    let x = net.input();
+    let c1 = net.conv2d("c1", x, 4, 3, 1, 1, 1, &mut rng);
+    let a1 = net.relu("a1", c1, &[15, 15, 27]);
+    let c2 = net.conv2d("c2", a1, 4, 3, 1, 1, 1, &mut rng);
+    let add = net.add("res", c2, x);
+    let a2 = net.square("a2", add);
+    net.output(a2);
+    let opts = CompileOptions {
+        slots: 128,
+        l_eff: 10,
+        cost: CostModel::for_degree(1 << 9, 4),
+    };
+    let compiled = compile(&net, &fixed_ranges(&net, 4.0), &opts);
+    let input = Tensor::from_vec(
+        &[4, 8, 8],
+        (0..4 * 8 * 8).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    );
+    (compiled, input)
+}
+
+fn run_workload(compiled: &Compiled, input: &Tensor) {
+    let backend = PlainBackend::new(compiled);
+    run_program_mode(compiled, &backend, input, SchedMode::Parallel);
+}
+
+#[test]
+fn parallel_trace_is_well_formed() {
+    let _g = lock_and_init();
+    let (compiled, input) = fork_workload();
+    orion_telemetry::drain();
+    orion_telemetry::enable();
+    run_workload(&compiled, &input);
+    orion_telemetry::disable();
+    let events = orion_telemetry::drain();
+    assert!(!events.is_empty(), "an enabled run must record events");
+
+    // Per thread: timestamps monotone, spans close LIFO, nothing orphaned.
+    let mut stacks: HashMap<u64, Vec<&'static str>> = HashMap::new();
+    let mut last_t: HashMap<u64, u64> = HashMap::new();
+    for e in &events {
+        let last = last_t.entry(e.tid).or_insert(0);
+        assert!(
+            e.t_ns >= *last,
+            "thread {}: timestamps must be monotone ({} after {})",
+            e.tid,
+            e.t_ns,
+            last
+        );
+        *last = e.t_ns;
+        let stack = stacks.entry(e.tid).or_default();
+        match e.phase {
+            Phase::Begin => stack.push(e.kind),
+            Phase::End => {
+                let open = stack.pop().unwrap_or_else(|| {
+                    panic!("thread {}: close of {:?} with no open span", e.tid, e.kind)
+                });
+                assert_eq!(open, e.kind, "thread {}: spans must close LIFO", e.tid);
+            }
+            Phase::Instant => {}
+        }
+    }
+    for (tid, stack) in &stacks {
+        assert!(stack.is_empty(), "thread {tid} left spans open: {stack:?}");
+    }
+
+    // The instrumentation we expect from a scheduler run is all present.
+    assert!(events.iter().any(|e| e.kind == "run_plan"));
+    assert!(
+        events
+            .iter()
+            .any(|e| e.kind == "step" || e.kind == "step_ct"),
+        "unit spans missing"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| e.kind == "wire" && e.phase == Phase::Instant),
+        "wire trajectory instants missing"
+    );
+    // Unit spans ran on more than one thread (the pool is 4 wide).
+    let unit_tids: std::collections::HashSet<u64> = events
+        .iter()
+        .filter(|e| e.phase == Phase::Begin && e.kind != "run_plan")
+        .map(|e| e.tid)
+        .collect();
+    assert!(
+        unit_tids.len() > 1,
+        "parallel run should span threads, saw {unit_tids:?}"
+    );
+}
+
+#[test]
+fn run_report_is_internally_consistent() {
+    let _g = lock_and_init();
+    let (compiled, input) = fork_workload();
+    orion_telemetry::drain();
+    orion_telemetry::path::clear_runs();
+    orion_telemetry::enable();
+    run_workload(&compiled, &input);
+    orion_telemetry::disable();
+    orion_telemetry::drain();
+
+    let report = orion_telemetry::last_run().expect("enabled run records a report");
+    assert_eq!(report.mode, "parallel");
+    assert!(report.threads > 1, "pinned pool width must be parallel");
+    assert!(report.units > 0);
+    assert!(!report.top.is_empty(), "critical path must be non-empty");
+    assert!(
+        report.critical_path_ns <= report.wall_ns,
+        "a dependency chain cannot exceed wall time ({} > {})",
+        report.critical_path_ns,
+        report.wall_ns
+    );
+    assert!(
+        report.busy_ns <= report.wall_ns * report.threads as u64,
+        "busy time cannot exceed wall × threads ({} > {} × {})",
+        report.busy_ns,
+        report.wall_ns,
+        report.threads
+    );
+    for u in &report.top {
+        assert!(u.unit < report.units);
+        assert!(!u.label.is_empty());
+        assert!(u.dur_ns <= report.busy_ns);
+    }
+    orion_telemetry::path::clear_runs();
+}
+
+#[test]
+fn chrome_export_parses_and_is_nonempty() {
+    let _g = lock_and_init();
+    let (compiled, input) = fork_workload();
+    orion_telemetry::drain();
+    orion_telemetry::enable();
+    run_workload(&compiled, &input);
+    orion_telemetry::disable();
+    let events = orion_telemetry::drain();
+
+    let json = orion_telemetry::trace::chrome_trace_json(&events);
+    let v = serde_json::parse_value(&json).expect("exported trace must be valid JSON");
+    let trace_events = match v.get("traceEvents") {
+        Some(serde::Value::Arr(arr)) => arr,
+        other => panic!("traceEvents array missing: {other:?}"),
+    };
+    assert!(!trace_events.is_empty());
+    let ph = |e: &serde::Value| {
+        e.get("ph")
+            .and_then(|p| match p {
+                serde::Value::Str(s) => Some(s.clone()),
+                _ => None,
+            })
+            .unwrap_or_default()
+    };
+    assert!(trace_events.iter().any(|e| ph(e) == "M"), "want metadata");
+    assert!(trace_events.iter().any(|e| ph(e) == "B"), "want spans");
+    let begins = trace_events.iter().filter(|e| ph(e) == "B").count();
+    let ends = trace_events.iter().filter(|e| ph(e) == "E").count();
+    assert_eq!(begins, ends, "exported spans must balance");
+}
+
+#[test]
+fn disabled_collector_overhead_is_under_3_percent() {
+    let _g = lock_and_init();
+    let (compiled, input) = fork_workload();
+    orion_telemetry::disable();
+    orion_telemetry::drain();
+
+    // Median disabled-collector workload time.
+    let mut times: Vec<u64> = (0..5)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            run_workload(&compiled, &input);
+            t0.elapsed().as_nanos() as u64
+        })
+        .collect();
+    times.sort_unstable();
+    let median = times[times.len() / 2].max(1);
+
+    // Per-call cost of a disabled span (the only cost instrumentation adds
+    // to a disabled run): one relaxed load and an early return.
+    let calls: u64 = 1_000_000;
+    let t0 = std::time::Instant::now();
+    for i in 0..calls {
+        drop(std::hint::black_box(orion_telemetry::span!("bench", i = i)));
+    }
+    let per_call_ns = (t0.elapsed().as_nanos() as u64).div_ceil(calls);
+
+    // How many record sites one run executes = events an enabled run emits
+    // (an overestimate: a span is two events but one disabled check).
+    orion_telemetry::enable();
+    run_workload(&compiled, &input);
+    orion_telemetry::disable();
+    let sites = orion_telemetry::drain().len() as u64;
+    assert!(sites > 0);
+
+    let overhead_ns = per_call_ns * sites;
+    assert!(
+        overhead_ns * 100 < median * 3,
+        "disabled-collector overhead bound too high: {sites} sites × \
+         {per_call_ns} ns = {overhead_ns} ns vs median run {median} ns"
+    );
+}

@@ -33,5 +33,5 @@
 pub mod metrics;
 pub mod server;
 
-pub use metrics::ModelMetrics;
+pub use metrics::{ErrorClass, ModelMetrics};
 pub use server::{ClientId, ModelId, ServeConfig, ServeError, ServeOutput, Server, Ticket};

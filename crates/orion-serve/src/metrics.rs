@@ -1,35 +1,73 @@
 //! Serving metrics: per-model counters the operator watches to know the
-//! queue is healthy — depth, batch occupancy, error rate, latency
-//! percentiles, per-request encode tallies, and the pager's fault/eviction
-//! counters — exported as one JSON snapshot (`Server::metrics_json`).
+//! queue is healthy — depth, batch occupancy, a typed error taxonomy,
+//! latency percentiles, per-request encode tallies, and the pager's
+//! fault/eviction counters — exported as one JSON snapshot
+//! (`Server::metrics_json`).
+//!
+//! Latencies are recorded into a lock-free log-bucketed histogram
+//! ([`orion_telemetry::LogHistogram`]): O(1) memory and record cost no
+//! matter how many requests the server has served, no lock on the worker
+//! hot path, and ceil-based nearest-rank percentile semantics (values are
+//! bucket midpoints, exact up to 127 ns and within ~0.8% relative error
+//! above; min/max stay exact).
 
 use orion_linear::paged::PageStats;
 use orion_nn::opt::OptStats;
+use orion_telemetry::LogHistogram;
 use parking_lot::Mutex;
 use serde::Value;
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// The latency window: percentiles are computed over the most recent
-/// completions only, so a long-running server's metrics stay O(1) in
-/// memory and snapshot cost no matter how many requests it has served.
-const LATENCY_WINDOW: usize = 4096;
+/// Why a request failed — each class is counted separately so an operator
+/// can tell backpressure (queue full) from infrastructure trouble (store
+/// faults), malformed traffic (bad input), and genuine bugs (panics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Rejected at admission: the queue was at capacity.
+    QueueFull,
+    /// A prepared layer could not be faulted in from the spill store.
+    Store,
+    /// The worker panicked for a non-store reason.
+    Panic,
+    /// The request was malformed (wrong ciphertext count).
+    BadInput,
+}
 
-/// Lock-free per-model counters plus a bounded latency window. Writers are
-/// the admission path and the workers; readers take snapshots.
+impl ErrorClass {
+    /// All classes, in export order.
+    pub const ALL: [ErrorClass; 4] = [
+        ErrorClass::QueueFull,
+        ErrorClass::Store,
+        ErrorClass::Panic,
+        ErrorClass::BadInput,
+    ];
+
+    /// Stable export name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorClass::QueueFull => "queue_full",
+            ErrorClass::Store => "store_fault",
+            ErrorClass::Panic => "panic",
+            ErrorClass::BadInput => "bad_input",
+        }
+    }
+}
+
+/// Lock-free per-model counters plus a latency histogram. Writers are the
+/// admission path and the workers; readers take snapshots.
 #[derive(Default)]
 pub struct ModelMetrics {
     submitted: AtomicU64,
     completed: AtomicU64,
-    errors: AtomicU64,
+    errors: [AtomicU64; 4],
     batches: AtomicU64,
     batch_occupancy_sum: AtomicU64,
     queue_depth: AtomicU64,
     peak_queue_depth: AtomicU64,
     encodes: AtomicU64,
-    /// End-to-end (queue + execution) seconds of the last
-    /// [`LATENCY_WINDOW`] completed requests.
-    latencies: Mutex<VecDeque<f64>>,
+    /// End-to-end (queue + execution) latency of every completed request,
+    /// in nanoseconds.
+    latencies: LogHistogram,
     /// Per-pass plan-optimizer stats from the most recent execution. The
     /// plan is rebuilt (and re-optimized) per request, but the stats are a
     /// pure function of the compiled model, so last-write-wins is exact.
@@ -57,11 +95,7 @@ impl ModelMetrics {
     pub fn note_done(&self, total_seconds: f64, encodes: u64) {
         self.completed.fetch_add(1, Ordering::Relaxed);
         self.encodes.fetch_add(encodes, Ordering::Relaxed);
-        let mut lat = self.latencies.lock();
-        if lat.len() == LATENCY_WINDOW {
-            lat.pop_front();
-        }
-        lat.push_back(total_seconds);
+        self.latencies.record_secs(total_seconds);
     }
 
     /// Record the plan-optimizer stats of an execution.
@@ -69,9 +103,9 @@ impl ModelMetrics {
         *self.plan_opt.lock() = Some(stats);
     }
 
-    /// One request failed.
-    pub fn note_error(&self) {
-        self.errors.fetch_add(1, Ordering::Relaxed);
+    /// One request failed, for the given reason.
+    pub fn note_error(&self, class: ErrorClass) {
+        self.errors[class as usize].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Current queue depth (requests admitted but not yet batched out).
@@ -84,9 +118,14 @@ impl ModelMetrics {
         self.completed.load(Ordering::Relaxed)
     }
 
-    /// Failed requests so far.
+    /// Failed requests so far, across every error class.
     pub fn errors(&self) -> u64 {
-        self.errors.load(Ordering::Relaxed)
+        self.errors.iter().map(|e| e.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Failed requests of one class.
+    pub fn errors_of(&self, class: ErrorClass) -> u64 {
+        self.errors[class as usize].load(Ordering::Relaxed)
     }
 
     /// Total per-request encodes observed (0 for a fully prepared model).
@@ -97,14 +136,22 @@ impl ModelMetrics {
     /// JSON snapshot of this model's counters, with `page` stats attached
     /// when the model serves from a memory-capped pager.
     pub fn snapshot(&self, name: &str, page: Option<PageStats>) -> Value {
-        let lat: Vec<f64> = self.latencies.lock().iter().copied().collect();
         let batches = self.batches.load(Ordering::Relaxed);
         let occupancy_sum = self.batch_occupancy_sum.load(Ordering::Relaxed);
         let mut fields = vec![
             ("model".to_string(), Value::Str(name.to_string())),
             num("submitted", self.submitted.load(Ordering::Relaxed)),
             num("completed", self.completed.load(Ordering::Relaxed)),
-            num("errors", self.errors.load(Ordering::Relaxed)),
+            num("errors", self.errors()),
+            (
+                "errors_by_class".to_string(),
+                Value::Obj(
+                    ErrorClass::ALL
+                        .iter()
+                        .map(|&c| num(c.name(), self.errors_of(c)))
+                        .collect(),
+                ),
+            ),
             num("queue_depth", self.queue_depth.load(Ordering::Relaxed)),
             num(
                 "peak_queue_depth",
@@ -123,7 +170,10 @@ impl ModelMetrics {
                 "encodes_per_inference_total",
                 self.encodes.load(Ordering::Relaxed),
             ),
-            ("latency_ms".to_string(), latency_percentiles(lat)),
+            (
+                "latency_ms".to_string(),
+                latency_percentiles(&self.latencies),
+            ),
         ];
         if let Some(s) = *self.plan_opt.lock() {
             fields.push((
@@ -153,29 +203,23 @@ fn num(key: &str, v: u64) -> (String, Value) {
     (key.to_string(), Value::Num(v as f64))
 }
 
-/// p50/p95/p99/max in milliseconds over the latency window (the most
-/// recent [`LATENCY_WINDOW`] completions).
-fn latency_percentiles(mut lat: Vec<f64>) -> Value {
-    if lat.is_empty() {
+/// p50/p95/p99/max in milliseconds over every completed request.
+///
+/// Ceil-based nearest-rank: the smallest sample ≥ fraction p of the
+/// population, rank ⌈p·n⌉ (1-based) — the histogram's quantile is built
+/// on exactly these semantics, quantized to its bucket midpoints (≤0.8%
+/// relative error) with `max` exact.
+fn latency_percentiles(lat: &LogHistogram) -> Value {
+    if lat.count() == 0 {
         return Value::Null;
     }
-    lat.sort_by(|a, b| a.total_cmp(b));
-    // Ceil-based nearest-rank: the smallest sample ≥ fraction p of the
-    // window, rank ⌈p·n⌉ (1-based). The old ((n-1)·p).round() selection
-    // drifted both ways on small windows — it under-reported tails
-    // whenever the fractional rank fell below .5 (p99 of 67 samples
-    // picked sample 66 of 67) and over-reported medians (p50 of 4 picked
-    // sample 3 of 4).
-    let pick = |p: f64| -> f64 {
-        let rank = (p * lat.len() as f64).ceil().max(1.0) as usize;
-        lat[rank.min(lat.len()) - 1] * 1e3
-    };
+    let pick = |p: f64| Value::Num(lat.value_at_quantile(p) as f64 * 1e-6);
     Value::Obj(vec![
-        ("p50".to_string(), Value::Num(pick(0.50))),
-        ("p95".to_string(), Value::Num(pick(0.95))),
-        ("p99".to_string(), Value::Num(pick(0.99))),
-        ("max".to_string(), Value::Num(lat[lat.len() - 1] * 1e3)),
-        ("count".to_string(), Value::Num(lat.len() as f64)),
+        ("p50".to_string(), pick(0.50)),
+        ("p95".to_string(), pick(0.95)),
+        ("p99".to_string(), pick(0.99)),
+        ("max".to_string(), Value::Num(lat.max() as f64 * 1e-6)),
+        ("count".to_string(), Value::Num(lat.count() as f64)),
     ])
 }
 
@@ -183,35 +227,46 @@ fn latency_percentiles(mut lat: Vec<f64>) -> Value {
 mod tests {
     use super::*;
 
-    /// Percentile of `n` synthetic samples `1..=n` ms, in ms.
+    /// Percentile of `n` synthetic samples `1..=n` ms, in ms, through the
+    /// full `note_done` → snapshot path.
     fn pctl(n: usize, key: &str) -> f64 {
-        let lat: Vec<f64> = (1..=n).map(|i| i as f64 * 1e-3).collect();
-        latency_percentiles(lat)
-            .get(key)
+        let m = ModelMetrics::default();
+        for i in 1..=n {
+            m.note_done(i as f64 * 1e-3, 0);
+        }
+        m.snapshot("m", None)
+            .get("latency_ms")
+            .and_then(|l| l.get(key))
             .and_then(Value::as_f64)
             .unwrap()
     }
 
+    /// Bucket-midpoint quantization bounds the histogram's relative error
+    /// by 2^-7 ≈ 0.8%; assert within 1%.
+    fn close(got: f64, want: f64) -> bool {
+        (got - want).abs() <= want * 0.01
+    }
+
     #[test]
     fn nearest_rank_boundaries() {
-        // one sample: every percentile is that sample
+        // one sample: every percentile is that sample (min==max ⇒ exact)
         for key in ["p50", "p95", "p99", "max"] {
             assert_eq!(pctl(1, key), 1.0, "{key} of a single sample");
         }
-        // p50 of 4 = rank ⌈2⌉ = sample 2 (the old rounding picked 3)
-        assert_eq!(pctl(4, "p50"), 2.0);
+        // p50 of 4 = rank ⌈2⌉ = sample 2 (round-half selection picked 3)
+        assert!(close(pctl(4, "p50"), 2.0), "got {}", pctl(4, "p50"));
         // p50 of an odd window is the true median
-        assert_eq!(pctl(9, "p50"), 5.0);
+        assert!(close(pctl(9, "p50"), 5.0), "got {}", pctl(9, "p50"));
         // p95 of 10 = rank ⌈9.5⌉ = sample 10
-        assert_eq!(pctl(10, "p95"), 10.0);
-        // p99 of 67 = rank ⌈66.33⌉ = sample 67 (the old rounding
+        assert!(close(pctl(10, "p95"), 10.0), "got {}", pctl(10, "p95"));
+        // p99 of 67 = rank ⌈66.33⌉ = sample 67 (round-half selection
         // under-reported the tail as sample 66)
-        assert_eq!(pctl(67, "p99"), 67.0);
+        assert!(close(pctl(67, "p99"), 67.0), "got {}", pctl(67, "p99"));
         // p99 of 100 = rank 99 exactly — NOT the max
-        assert_eq!(pctl(100, "p99"), 99.0);
-        assert_eq!(pctl(100, "max"), 100.0);
+        assert!(close(pctl(100, "p99"), 99.0), "got {}", pctl(100, "p99"));
+        assert!(close(pctl(100, "max"), 100.0), "got {}", pctl(100, "max"));
         // p95 of 100 = rank 95
-        assert_eq!(pctl(100, "p95"), 95.0);
+        assert!(close(pctl(100, "p95"), 95.0), "got {}", pctl(100, "p95"));
         // tail percentiles are monotone in p
         for n in [2, 3, 10, 50, 101] {
             assert!(pctl(n, "p50") <= pctl(n, "p95"));
@@ -232,7 +287,7 @@ mod tests {
         assert_eq!(m.queue_depth(), 0);
         m.note_done(0.010, 0);
         m.note_done(0.020, 0);
-        m.note_error();
+        m.note_error(ErrorClass::Panic);
         let snap = m.snapshot("m", None);
         let get = |k: &str| snap.get(k).and_then(Value::as_f64).unwrap();
         assert_eq!(get("submitted"), 5.0);
@@ -246,5 +301,25 @@ mod tests {
             .and_then(Value::as_f64)
             .unwrap();
         assert!((10.0..=20.0).contains(&p50));
+    }
+
+    #[test]
+    fn error_classes_tally_independently() {
+        let m = ModelMetrics::default();
+        m.note_error(ErrorClass::QueueFull);
+        m.note_error(ErrorClass::Store);
+        m.note_error(ErrorClass::Store);
+        m.note_error(ErrorClass::Panic);
+        m.note_error(ErrorClass::BadInput);
+        assert_eq!(m.errors(), 5, "total is the sum over classes");
+        assert_eq!(m.errors_of(ErrorClass::Store), 2);
+        let snap = m.snapshot("m", None);
+        assert_eq!(snap.get("errors").and_then(Value::as_f64), Some(5.0));
+        let by = snap.get("errors_by_class").expect("errors_by_class");
+        let get = |k: &str| by.get(k).and_then(Value::as_f64).unwrap();
+        assert_eq!(get("queue_full"), 1.0);
+        assert_eq!(get("store_fault"), 2.0);
+        assert_eq!(get("panic"), 1.0);
+        assert_eq!(get("bad_input"), 1.0);
     }
 }

@@ -22,7 +22,7 @@
 //! its own keys bound to one model. Requests arrive already encrypted and
 //! the server never touches client plaintexts on the request path.
 
-use crate::metrics::ModelMetrics;
+use crate::metrics::{ErrorClass, ModelMetrics};
 use orion_ckks::encrypt::Ciphertext;
 use orion_ckks::CkksParams;
 use orion_linear::paged::{LayerSource, PageStats, PagedProgram};
@@ -38,7 +38,7 @@ use serde::Value;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar};
 use std::time::{Duration, Instant};
 
@@ -99,6 +99,14 @@ pub enum ServeError {
     },
     /// The inference panicked for a reason other than a store fault.
     WorkerPanic(String),
+    /// The request's ciphertext count does not match the model's input
+    /// layout — rejected at admission, before any FHE work.
+    BadInput {
+        /// Ciphertexts the model's input layout packs into.
+        expected: usize,
+        /// Ciphertexts the request carried.
+        got: usize,
+    },
     /// The server is shutting down (or already gone).
     ShuttingDown,
 }
@@ -115,6 +123,12 @@ impl std::fmt::Display for ServeError {
                 write!(f, "prepared layer for step {step} unavailable: {error}")
             }
             ServeError::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
+            ServeError::BadInput { expected, got } => {
+                write!(
+                    f,
+                    "bad input: model expects {expected} ciphertexts, got {got}"
+                )
+            }
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
         }
     }
@@ -150,6 +164,9 @@ impl Ticket {
 }
 
 struct Request {
+    /// Server-wide request sequence number, correlating the admission,
+    /// batching, and execution telemetry spans of one request.
+    id: u64,
     client: ClientId,
     enqueued: Instant,
     cts: Vec<Ciphertext>,
@@ -198,6 +215,8 @@ struct Inner {
     /// same-named models sharing a store directory cannot clobber (and
     /// then silently serve) each other's weights.
     model_seq: std::sync::atomic::AtomicUsize,
+    /// Monotone request id generator (telemetry correlation).
+    req_seq: AtomicU64,
 }
 
 /// The multi-tenant inference server (see module docs). Register models
@@ -223,6 +242,7 @@ impl Server {
                 shutdown: AtomicBool::new(false),
                 scheduler_done: AtomicBool::new(false),
                 model_seq: std::sync::atomic::AtomicUsize::new(0),
+                req_seq: AtomicU64::new(0),
             }),
             threads: Vec::new(),
         }
@@ -387,7 +407,26 @@ impl Server {
                 .ok_or(ServeError::UnknownClient(client))?
                 .model
         };
-        let metrics = inner.models.read()[model.0].metrics.clone();
+        let (metrics, expected_cts) = {
+            let models = inner.models.read();
+            let entry = &models[model.0];
+            (
+                entry.metrics.clone(),
+                entry
+                    .compiled
+                    .input_layout
+                    .num_ciphertexts(entry.params.slots()),
+            )
+        };
+        if cts.len() != expected_cts {
+            metrics.note_error(ErrorClass::BadInput);
+            return Err(ServeError::BadInput {
+                expected: expected_cts,
+                got: cts.len(),
+            });
+        }
+        let id = inner.req_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let n_cts = cts.len();
         let (tx, rx) = mpsc::channel();
         {
             let mut q = inner.queue.lock();
@@ -397,11 +436,13 @@ impl Server {
                 return Err(ServeError::ShuttingDown);
             }
             if q.total >= inner.cfg.queue_capacity {
+                metrics.note_error(ErrorClass::QueueFull);
                 return Err(ServeError::QueueFull {
                     capacity: inner.cfg.queue_capacity,
                 });
             }
             q.per_model.entry(model.0).or_default().push_back(Request {
+                id,
                 client,
                 enqueued: Instant::now(),
                 cts,
@@ -411,6 +452,18 @@ impl Server {
             // depth is bumped before the queue lock drops, so the scheduler
             // can never note_batch this request first and underflow the gauge
             metrics.note_submit();
+        }
+        if orion_telemetry::enabled() {
+            // A short-lived admission span: its Begin event carries the
+            // request id, anchoring the flow arrow that connects admission
+            // to the worker's execution span in the exported trace.
+            orion_telemetry::set_request(Some(id));
+            drop(orion_telemetry::span!(
+                "req_admit",
+                model = model.0,
+                cts = n_cts
+            ));
+            orion_telemetry::set_request(None);
         }
         inner.queue_cv.notify_all();
         Ok(Ticket { rx })
@@ -442,6 +495,28 @@ impl Server {
                         })
                         .collect(),
                 ),
+            ),
+            (
+                "telemetry".to_string(),
+                Value::Obj(vec![
+                    (
+                        "enabled".to_string(),
+                        Value::Bool(orion_telemetry::enabled()),
+                    ),
+                    (
+                        "op_histograms_ms".to_string(),
+                        orion_telemetry::hist::op_histograms_value(),
+                    ),
+                    (
+                        "runs".to_string(),
+                        Value::Arr(
+                            orion_telemetry::runs()
+                                .iter()
+                                .map(|r| r.to_value())
+                                .collect(),
+                        ),
+                    ),
+                ]),
             ),
         ])
     }
@@ -539,6 +614,13 @@ fn scheduler_loop(inner: &Inner) {
             let reqs: Vec<Request> = q.drain(..n).collect();
             guard.total -= n;
             drop(guard);
+            if orion_telemetry::enabled() {
+                for r in &reqs {
+                    orion_telemetry::set_request(Some(r.id));
+                    orion_telemetry::instant!("req_batch", model = m, occupancy = reqs.len());
+                }
+                orion_telemetry::set_request(None);
+            }
             inner.models.read()[m].metrics.note_batch(reqs.len());
             {
                 let mut batches = inner.batches.lock();
@@ -615,8 +697,10 @@ fn run_batch(inner: &Inner, batch: Batch) {
             model.metrics.clone(),
         )
     };
+    let model_id = batch.model.0 as u64;
     for req in batch.reqs {
         let Request {
+            id,
             client,
             enqueued,
             cts,
@@ -629,11 +713,27 @@ fn run_batch(inner: &Inner, batch: Batch) {
         let queue_seconds = enqueued.elapsed().as_secs_f64();
         let compiled = compiled.clone();
         let source = source.clone();
+        // Tag this worker thread with the request id: the execution span
+        // (and every scheduler/kernel span recorded inside the inference)
+        // correlates back to the admission span via the "req" argument.
+        orion_telemetry::set_request(Some(id));
+        let exec_span = orion_telemetry::span!(
+            "req_exec",
+            model = model_id,
+            queue_us = (queue_seconds * 1e6) as u64,
+            batch = occupancy
+        );
         let result = catch_unwind(AssertUnwindSafe(move || {
             run_fhe_source_opt(&compiled, &session, source, cts, OptConfig::default())
         }));
+        drop(exec_span);
         let resp = match result {
             Ok((run, counter, opt_stats)) => {
+                orion_telemetry::instant!(
+                    "req_done",
+                    wall_us = (run.wall_seconds * 1e6) as u64,
+                    queue_us = (queue_seconds * 1e6) as u64
+                );
                 metrics.note_done(queue_seconds + run.wall_seconds, counter.encodes);
                 metrics.note_plan_opt(opt_stats);
                 Ok(ServeOutput {
@@ -645,10 +745,17 @@ fn run_batch(inner: &Inner, batch: Batch) {
                 })
             }
             Err(payload) => {
-                metrics.note_error();
-                Err(fault_to_error(payload))
+                let err = fault_to_error(payload);
+                let class = match &err {
+                    ServeError::Store { .. } => ErrorClass::Store,
+                    _ => ErrorClass::Panic,
+                };
+                orion_telemetry::instant!("req_error", class = class as u64);
+                metrics.note_error(class);
+                Err(err)
             }
         };
+        orion_telemetry::set_request(None);
         // a dropped ticket is fine — the client stopped listening
         let _ = tx.send(resp);
     }

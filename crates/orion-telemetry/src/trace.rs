@@ -1,0 +1,247 @@
+//! Exporters: Chrome trace-event JSON (loadable in Perfetto / `chrome://
+//! tracing`) and a flat text/JSON summary of histograms, counters, and
+//! critical-path reports.
+
+use crate::{thread_names, Event, Phase};
+use serde::Value;
+
+/// Build a Chrome trace-event document from a drained event log. Emits
+/// process/thread-name metadata, `B`/`E`/`i` events per span phase, and
+/// flow arrows (`s`/`f`) linking every span that carries the same
+/// `req` argument — so a request can be followed from admission through
+/// batching to its worker in Perfetto.
+pub fn chrome_trace(events: &[Event]) -> Value {
+    let mut out: Vec<Value> = Vec::with_capacity(events.len() + 16);
+    let meta = |name: &str, tid: Option<u64>, value: &str| {
+        let mut fields = vec![
+            ("name".to_string(), Value::Str(name.to_string())),
+            ("ph".to_string(), Value::Str("M".to_string())),
+            ("pid".to_string(), Value::Num(1.0)),
+            (
+                "args".to_string(),
+                Value::Obj(vec![("name".to_string(), Value::Str(value.to_string()))]),
+            ),
+        ];
+        if let Some(tid) = tid {
+            fields.push(("tid".to_string(), Value::Num(tid as f64)));
+        }
+        Value::Obj(fields)
+    };
+    out.push(meta("process_name", None, "orion"));
+    for (tid, name) in thread_names() {
+        out.push(meta("thread_name", Some(tid), &name));
+    }
+
+    let mut seen_req: Vec<u64> = Vec::new();
+    for e in events {
+        let ts_us = e.t_ns as f64 / 1e3;
+        let ph = match e.phase {
+            Phase::Begin => "B",
+            Phase::End => "E",
+            Phase::Instant => "i",
+        };
+        let mut fields = vec![
+            ("name".to_string(), Value::Str(e.kind.to_string())),
+            ("cat".to_string(), Value::Str("orion".to_string())),
+            ("ph".to_string(), Value::Str(ph.to_string())),
+            ("ts".to_string(), Value::Num(ts_us)),
+            ("pid".to_string(), Value::Num(1.0)),
+            ("tid".to_string(), Value::Num(e.tid as f64)),
+        ];
+        if e.phase == Phase::Instant {
+            fields.push(("s".to_string(), Value::Str("t".to_string())));
+        }
+        if e.phase != Phase::End {
+            fields.push((
+                "args".to_string(),
+                Value::Obj(
+                    e.args
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), Value::Num(v as f64)))
+                        .collect(),
+                ),
+            ));
+        }
+        out.push(Value::Obj(fields));
+
+        // Flow arrows: the first span beginning with a given request id
+        // starts the flow; every later one is a binding step.
+        if e.phase == Phase::Begin {
+            if let Some(req) = e.args.get("req") {
+                let first = !seen_req.contains(&req);
+                if first {
+                    seen_req.push(req);
+                }
+                let mut flow = vec![
+                    ("name".to_string(), Value::Str("req".to_string())),
+                    ("cat".to_string(), Value::Str("req".to_string())),
+                    (
+                        "ph".to_string(),
+                        Value::Str(if first { "s" } else { "f" }.to_string()),
+                    ),
+                    ("id".to_string(), Value::Num(req as f64)),
+                    ("ts".to_string(), Value::Num(ts_us)),
+                    ("pid".to_string(), Value::Num(1.0)),
+                    ("tid".to_string(), Value::Num(e.tid as f64)),
+                ];
+                if !first {
+                    flow.push(("bp".to_string(), Value::Str("e".to_string())));
+                }
+                out.push(Value::Obj(flow));
+            }
+        }
+    }
+
+    Value::Obj(vec![
+        ("traceEvents".to_string(), Value::Arr(out)),
+        ("displayTimeUnit".to_string(), Value::Str("ms".to_string())),
+    ])
+}
+
+/// [`chrome_trace`] serialized to a JSON string.
+pub fn chrome_trace_json(events: &[Event]) -> String {
+    serde_json::to_string(&chrome_trace(events)).expect("trace serialization cannot fail")
+}
+
+/// Flat JSON summary: op-class histograms (ms), registered counters and
+/// gauges, and the retained critical-path run reports.
+pub fn summary() -> Value {
+    Value::Obj(vec![
+        ("ops_ms".to_string(), crate::hist::op_histograms_value()),
+        (
+            "counters".to_string(),
+            Value::Obj(
+                crate::counters()
+                    .into_iter()
+                    .map(|(n, v)| (n.to_string(), Value::Num(v as f64)))
+                    .collect(),
+            ),
+        ),
+        (
+            "gauges".to_string(),
+            Value::Obj(
+                crate::gauges()
+                    .into_iter()
+                    .map(|(n, v)| (n.to_string(), Value::Num(v as f64)))
+                    .collect(),
+            ),
+        ),
+        (
+            "runs".to_string(),
+            Value::Arr(crate::runs().iter().map(|r| r.to_value()).collect()),
+        ),
+    ])
+}
+
+/// [`summary`] serialized to pretty JSON.
+pub fn summary_json() -> String {
+    serde_json::to_string_pretty(&summary()).expect("summary serialization cannot fail")
+}
+
+/// Human-readable summary: one histogram line per op class, then the
+/// latest run's critical path.
+pub fn summary_text() -> String {
+    use crate::hist::{op_histogram, OpClass};
+    let mut s = String::new();
+    s.push_str("op class        count      p50        p95        max        total\n");
+    for c in OpClass::ALL {
+        let h = op_histogram(c);
+        if h.count() == 0 {
+            continue;
+        }
+        let ms = |v: u64| v as f64 * 1e-6;
+        s.push_str(&format!(
+            "{:<14} {:>7} {:>9.3}ms {:>9.3}ms {:>9.3}ms {:>9.1}ms\n",
+            c.name(),
+            h.count(),
+            ms(h.value_at_quantile(0.50)),
+            ms(h.value_at_quantile(0.95)),
+            ms(h.max()),
+            ms(h.sum()),
+        ));
+    }
+    if let Some(run) = crate::last_run() {
+        s.push_str(&format!(
+            "\nlast run: {} on {} threads — wall {:.3}ms, busy {:.3}ms, critical path {:.3}ms ({} units)\n",
+            run.mode,
+            run.threads,
+            run.wall_ns as f64 * 1e-6,
+            run.busy_ns as f64 * 1e-6,
+            run.critical_path_ns as f64 * 1e-6,
+            run.units,
+        ));
+        for u in &run.top {
+            s.push_str(&format!(
+                "  {:>9.3}ms (+{:>8.3}ms queued)  {}\n",
+                u.dur_ns as f64 * 1e-6,
+                u.queue_ns as f64 * 1e-6,
+                u.label,
+            ));
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Args;
+
+    fn ev(kind: &'static str, phase: Phase, t_ns: u64, tid: u64, req: Option<u64>) -> Event {
+        let mut args = Args::default();
+        if let Some(r) = req {
+            args.push("req", r);
+        }
+        Event {
+            kind,
+            phase,
+            t_ns,
+            tid,
+            args,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_and_is_well_formed() {
+        let events = vec![
+            ev("admit", Phase::Begin, 1_000, 0, Some(7)),
+            ev("admit", Phase::End, 2_000, 0, None),
+            ev("exec", Phase::Begin, 3_000, 1, Some(7)),
+            ev("tick", Phase::Instant, 3_500, 1, None),
+            ev("exec", Phase::End, 9_000, 1, None),
+        ];
+        let json = chrome_trace_json(&events);
+        let doc = serde_json::parse_value(&json).expect("exported trace must parse");
+        let trace = doc.get("traceEvents").expect("traceEvents present");
+        let Value::Arr(items) = trace else {
+            panic!("traceEvents must be an array");
+        };
+        assert!(!items.is_empty());
+        // Every event has the required Chrome fields.
+        for item in items {
+            for key in ["ph", "pid"] {
+                assert!(item.get(key).is_some(), "missing {key}");
+            }
+        }
+        // One flow start ("s") for req 7 on the first span, one binding
+        // step ("f") on the second.
+        let phs: Vec<String> = items
+            .iter()
+            .filter(|i| matches!(i.get("cat"), Some(Value::Str(c)) if c == "req"))
+            .map(|i| match i.get("ph") {
+                Some(Value::Str(p)) => p.clone(),
+                _ => String::new(),
+            })
+            .collect();
+        assert_eq!(phs, vec!["s".to_string(), "f".to_string()]);
+    }
+
+    #[test]
+    fn summary_parses() {
+        let json = summary_json();
+        let doc = serde_json::parse_value(&json).expect("summary must parse");
+        assert!(doc.get("ops_ms").is_some());
+        assert!(doc.get("runs").is_some());
+        let _ = summary_text();
+    }
+}

@@ -33,6 +33,7 @@ pub use orion_models as models;
 pub use orion_nn as nn;
 pub use orion_poly as poly;
 pub use orion_sim as sim;
+pub use orion_telemetry as telemetry;
 pub use orion_tensor as tensor;
 
 /// Commonly used items, importable with `use orion::prelude::*`.

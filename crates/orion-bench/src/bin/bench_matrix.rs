@@ -31,6 +31,9 @@ fn child_file(threads: usize) -> std::path::PathBuf {
 /// process was launched with.
 fn child() {
     let threads = rayon::current_num_threads();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut c = Criterion::default();
     let modes = [
         ("sequential", SchedMode::Sequential),
@@ -51,7 +54,20 @@ fn child() {
             .map(|m| m.median_ns)
             .unwrap_or(f64::NAN)
     };
-    let mut fields = vec![("threads".to_string(), Value::Num(threads as f64))];
+    // Each child records the parallelism it actually saw, so a sweep point
+    // claiming 8 pool threads on a 1-core host is readable as what it is:
+    // timesharing, not scaling.
+    let mut fields = vec![
+        ("threads".to_string(), Value::Num(threads as f64)),
+        (
+            "available_parallelism".to_string(),
+            Value::Num(cores as f64),
+        ),
+        (
+            "simd_dispatch".to_string(),
+            Value::Str(orion_math::simd::dispatch_name().to_string()),
+        ),
+    ];
     for group in ["serve_e2e", "nonlinear"] {
         for mode in ["sequential", "parallel"] {
             fields.push((
@@ -70,17 +86,20 @@ fn child() {
 
 fn parent() {
     // On a single-core host the multi-width sweep points are pure
-    // oversubscription noise — every pool width timeshares one core — so
-    // only the width-1 child runs and the scaling tables shrink to match.
+    // oversubscription noise — every pool width timeshares one core. Run
+    // them anyway (the matrix shape stays host-independent) but say so
+    // loudly; each child also records `available_parallelism` so readers
+    // can discount the wide points.
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let widths: Vec<usize> = if cores == 1 {
-        println!("single-core host: skipping multi-width sweep children");
-        vec![1]
-    } else {
-        THREADS.to_vec()
-    };
+    if cores == 1 {
+        println!(
+            "WARNING: single-core host — multi-width sweep points measure \
+             timesharing, not scaling; interpret accordingly"
+        );
+    }
+    let widths: Vec<usize> = THREADS.to_vec();
     let exe = std::env::current_exe().expect("current exe");
     for &t in &widths {
         println!("=== sweep: {t} thread(s) ===");

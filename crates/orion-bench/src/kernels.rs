@@ -14,7 +14,9 @@ use orion_ckks::keys::KeyGenerator;
 use orion_ckks::params::{CkksParams, Context};
 use orion_ckks::Encoder;
 use orion_math::arena;
+use orion_math::modular::shoup_precompute;
 use orion_math::ntt::NttTable;
+use orion_math::simd;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Value;
@@ -92,6 +94,55 @@ fn scratch_benches(c: &mut Criterion) {
     g.finish();
 }
 
+/// SIMD-vs-scalar kernel comparison: every dispatch variant reachable on
+/// this host (`simd::variants()`) runs the same lazy NTT roundtrip,
+/// pointwise product, and fused key-switch accumulation, so the summary
+/// can report honest per-host `simd_vs_scalar` ratios regardless of what
+/// `ORION_SIMD` selected for the rest of the process.
+fn simd_benches(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0x51bd);
+    const KS_DIGITS: usize = 3;
+    for n in NTT_DEGREES {
+        let q = ntt_prime(n);
+        let t = NttTable::new(n, q);
+        t.inverse(&mut vec![0u64; n]); // force the lazy inverse tables
+        let data: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+        let other: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+        let shoup: Vec<u64> = other.iter().map(|&x| shoup_precompute(x, q)).collect();
+        let mut buf = data.clone();
+        let mut out = vec![0u64; n];
+        let digit_refs: Vec<&[u64]> = (0..KS_DIGITS).map(|_| data.as_slice()).collect();
+        let key_refs: Vec<&[u64]> = (0..KS_DIGITS).map(|_| other.as_slice()).collect();
+        let shoup_refs: Vec<&[u64]> = (0..KS_DIGITS).map(|_| shoup.as_slice()).collect();
+        for k in simd::variants() {
+            let mut g = c.benchmark_group("simd");
+            g.sample_size(10);
+            g.bench_function(&format!("ntt/{}/{n}", k.name), |b| {
+                b.iter(|| {
+                    buf.copy_from_slice(&data);
+                    t.forward_lazy_with(k, &mut buf);
+                    t.inverse_lazy_with(k, &mut buf);
+                    buf[0]
+                })
+            });
+            g.bench_function(&format!("pointwise/{}/{n}", k.name), |b| {
+                b.iter(|| {
+                    (k.mul_pointwise)(&mut out, &data, &other, q);
+                    out[0]
+                })
+            });
+            g.bench_function(&format!("ks_accum/{}/{n}", k.name), |b| {
+                b.iter(|| {
+                    buf.copy_from_slice(&data);
+                    (k.ks_accum)(&mut buf, &digit_refs, &key_refs, &shoup_refs, q);
+                    buf[0]
+                })
+            });
+            g.finish();
+        }
+    }
+}
+
 fn composite_benches(c: &mut Criterion) {
     // Rescale at N = 2¹³ (the degree the lazy bar is set at): dominated by
     // one inverse NTT + per-limb correction + forward NTTs.
@@ -135,6 +186,7 @@ fn composite_benches(c: &mut Criterion) {
 /// Runs the full kernel suite into `c`.
 pub fn measure_kernels(c: &mut Criterion) {
     ntt_benches(c);
+    simd_benches(c);
     scratch_benches(c);
     composite_benches(c);
 }
@@ -175,6 +227,37 @@ pub fn kernel_summary(c: &Criterion) -> Vec<(String, Value)> {
             format!("scratch_arena_raw_speedup_{n}"),
             Value::Num(round2(alloc / raw)),
         ));
+    }
+    // Per-variant kernel medians and the simd-vs-scalar ratios the PR
+    // claims. On hosts without a vector unit only the scalar variant runs
+    // and every ratio reports 1.0 (honest, not aspirational).
+    fields.push((
+        "simd_dispatch".to_string(),
+        Value::Str(simd::dispatch_name().to_string()),
+    ));
+    let variants = simd::variants();
+    for n in NTT_DEGREES {
+        for kernel in ["ntt", "pointwise", "ks_accum"] {
+            for k in &variants {
+                let ns = median(c, &format!("simd/{kernel}/{}/{n}", k.name));
+                fields.push((format!("{kernel}_{}_ns_{n}", k.name), Value::Num(ns)));
+            }
+            let scalar_ns = median(c, &format!("simd/{kernel}/scalar/{n}"));
+            let best_simd = variants
+                .iter()
+                .filter(|k| k.name != "scalar")
+                .map(|k| median(c, &format!("simd/{kernel}/{}/{n}", k.name)))
+                .fold(f64::NAN, f64::min);
+            let ratio = if best_simd.is_nan() {
+                1.0
+            } else {
+                scalar_ns / best_simd
+            };
+            fields.push((
+                format!("simd_vs_scalar_{kernel}_{n}"),
+                Value::Num(round2(ratio)),
+            ));
+        }
     }
     fields.push((
         "rescale_ns_8192".to_string(),

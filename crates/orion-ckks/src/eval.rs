@@ -4,7 +4,7 @@
 use crate::encrypt::{Ciphertext, Plaintext};
 use crate::keys::{EvalKeys, KeySwitchKey};
 use crate::params::Context;
-use crate::poly::{Form, RnsPoly};
+use crate::poly::RnsPoly;
 use std::sync::Arc;
 
 /// True when two scales agree to within relative precision, computed as a
@@ -145,15 +145,8 @@ impl Evaluator {
     pub fn key_switch_raw(&self, c: &RnsPoly, key: &KeySwitchKey) -> (RnsPoly, RnsPoly) {
         orion_telemetry::time_class(orion_telemetry::OpClass::KeySwitch, || {
             let ctx = &self.ctx;
-            let level = c.level();
             let digits = crate::hoist::decompose_digits(ctx, c);
-            let mut acc_b = RnsPoly::zero(ctx, level, Form::Eval, true);
-            let mut acc_a = RnsPoly::zero(ctx, level, Form::Eval, true);
-            for (i, digit) in digits.iter().enumerate() {
-                let (kb, ka) = (&key.parts[i].0, &key.parts[i].1);
-                acc_b.add_mul_assign_parts(digit, &kb.limbs, kb.special.as_ref(), ctx);
-                acc_a.add_mul_assign_parts(digit, &ka.limbs, ka.special.as_ref(), ctx);
-            }
+            let (acc_b, acc_a) = key.inner_product(ctx, &digits);
             for digit in digits {
                 digit.recycle();
             }

@@ -34,11 +34,10 @@ pub fn decompose_digits(ctx: &Context, c: &RnsPoly) -> Vec<RnsPoly> {
         digit.copy_from_slice(&c.limbs[i]);
         ctx.ntt[i].inverse_lazy(&mut digit);
         // Extend to every chain modulus and the special prime.
+        let k = orion_math::simd::kernels();
         let extend = |q: u64, table: &orion_math::NttTable| -> Vec<u64> {
             let mut l = orion_math::arena::take_u64_raw(n);
-            for (o, &x) in l.iter_mut().zip(digit.iter()) {
-                *o = x % q;
-            }
+            (k.mod_reduce)(&mut l, &digit, q);
             table.forward_lazy(&mut l);
             l
         };
@@ -103,14 +102,13 @@ impl HoistedDigits {
         let g = ctx.galois_element(k);
         let perm = ctx.galois_permutation(g);
         let key = eval.keys().rotation(g);
-        let level = self.level();
-        let mut acc_b = RnsPoly::zero(ctx, level, Form::Eval, true);
-        let mut acc_a = RnsPoly::zero(ctx, level, Form::Eval, true);
-        for (i, d) in self.digits.iter().enumerate() {
-            let pd = d.automorphism_eval(&perm);
-            let (kb, ka) = (&key.parts[i].0, &key.parts[i].1);
-            acc_b.add_mul_assign_parts(&pd, &kb.limbs, kb.special.as_ref(), ctx);
-            acc_a.add_mul_assign_parts(&pd, &ka.limbs, ka.special.as_ref(), ctx);
+        let pds: Vec<RnsPoly> = self
+            .digits
+            .iter()
+            .map(|d| d.automorphism_eval(&perm))
+            .collect();
+        let (mut acc_b, mut acc_a) = key.inner_product(ctx, &pds);
+        for pd in pds {
             pd.recycle();
         }
         acc_b.mod_down_special_assign(ctx);
@@ -170,14 +168,13 @@ impl HoistedDigits {
         let g = ctx.galois_element(k);
         let perm = ctx.galois_permutation(g);
         let key = eval.keys().rotation(g);
-        let level = self.level();
-        let mut ks_b = RnsPoly::zero(ctx, level, Form::Eval, true);
-        let mut ks_a = RnsPoly::zero(ctx, level, Form::Eval, true);
-        for (i, d) in self.digits.iter().enumerate() {
-            let pd = d.automorphism_eval(&perm);
-            let (kb, ka) = (&key.parts[i].0, &key.parts[i].1);
-            ks_b.add_mul_assign_parts(&pd, &kb.limbs, kb.special.as_ref(), ctx);
-            ks_a.add_mul_assign_parts(&pd, &ka.limbs, ka.special.as_ref(), ctx);
+        let pds: Vec<RnsPoly> = self
+            .digits
+            .iter()
+            .map(|d| d.automorphism_eval(&perm))
+            .collect();
+        let (ks_b, ks_a) = key.inner_product(ctx, &pds);
+        for pd in pds {
             pd.recycle();
         }
         RotatedExt {
@@ -255,14 +252,13 @@ impl ExtAccumulator {
         let g = ctx.galois_element(k);
         let perm = ctx.galois_permutation(g);
         let key = eval.keys().rotation(g);
-        let level = h.level();
-        let mut ks_b = RnsPoly::zero(ctx, level, Form::Eval, true);
-        let mut ks_a = RnsPoly::zero(ctx, level, Form::Eval, true);
-        for (i, d) in h.digits.iter().enumerate() {
-            let pd = d.automorphism_eval(&perm);
-            let (kb, ka) = (&key.parts[i].0, &key.parts[i].1);
-            ks_b.add_mul_assign_parts(&pd, &kb.limbs, kb.special.as_ref(), ctx);
-            ks_a.add_mul_assign_parts(&pd, &ka.limbs, ka.special.as_ref(), ctx);
+        let pds: Vec<RnsPoly> = h
+            .digits
+            .iter()
+            .map(|d| d.automorphism_eval(&perm))
+            .collect();
+        let (ks_b, ks_a) = key.inner_product(ctx, &pds);
+        for pd in pds {
             pd.recycle();
         }
         // pt ⊙ key-switch parts stay extended; pt ⊙ σ(c0) is base-basis.

@@ -7,7 +7,9 @@
 
 use crate::params::Context;
 use crate::poly::{Form, RnsPoly};
-use orion_math::modular::{add_mod, mul_mod};
+use orion_math::modular::{add_mod, mul_mod, shoup_precompute};
+use orion_math::parallel::pointwise_parallel;
+use orion_math::simd;
 use rand::Rng;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -32,6 +34,108 @@ pub struct PublicKey {
 pub struct KeySwitchKey {
     /// `parts[i] = (b_i, a_i)` in evaluation form over `{q_0…q_L, p}`.
     pub parts: Vec<(RnsPoly, RnsPoly)>,
+    /// Element-wise Shoup constants for every limb of every part, computed
+    /// once at keygen. Key limbs are the *fixed* operand of the key-switch
+    /// inner product, so the fused accumulation kernel can run on lazy
+    /// Shoup products instead of 128-bit divisions.
+    pub parts_shoup: Vec<(RnsPoly, RnsPoly)>,
+}
+
+impl KeySwitchKey {
+    /// Builds the Shoup tables for freshly generated parts.
+    fn with_shoup(ctx: &Context, parts: Vec<(RnsPoly, RnsPoly)>) -> Self {
+        let shoup_poly = |p: &RnsPoly| -> RnsPoly {
+            let precompute = |limb: &Vec<u64>, q: u64| -> Vec<u64> {
+                limb.iter().map(|&x| shoup_precompute(x, q)).collect()
+            };
+            RnsPoly {
+                limbs: p
+                    .limbs
+                    .iter()
+                    .enumerate()
+                    .map(|(j, limb)| precompute(limb, ctx.moduli[j]))
+                    .collect(),
+                special: p.special.as_ref().map(|s| precompute(s, ctx.special)),
+                form: Form::Eval,
+            }
+        };
+        let parts_shoup = parts
+            .iter()
+            .map(|(b, a)| (shoup_poly(b), shoup_poly(a)))
+            .collect();
+        Self { parts, parts_shoup }
+    }
+
+    /// Fused key-switch inner product: accumulates `Σ_i digits[i] ⊙
+    /// parts[i]` into `(acc_b, acc_a)` over every limb (special included),
+    /// keeping the per-element accumulator in lazy `[0, 2q)` form across
+    /// *all* gadget digits and fully reducing once per element — the
+    /// per-digit reduction sweeps of the unfused loop disappear. The
+    /// accumulators must be in evaluation form, `[0, q)`, at the digits'
+    /// level, with special limbs.
+    pub fn accumulate_inner_product(
+        &self,
+        ctx: &Context,
+        digits: &[RnsPoly],
+        acc_b: &mut RnsPoly,
+        acc_a: &mut RnsPoly,
+    ) {
+        let d = digits.len();
+        assert!(d <= self.parts.len(), "more digits than key parts");
+        assert!(d > 0, "empty digit decomposition");
+        let n_chain = acc_b.limbs.len();
+        assert_eq!(acc_a.limbs.len(), n_chain);
+        let k = simd::kernels();
+        // One job per (part, limb): 2·(level+2) fused accumulations, each
+        // walking all digits. Fans out on the shared pool like the rest of
+        // the pointwise layer.
+        let degree = ctx.degree();
+        let par = pointwise_parallel(degree, 2 * (n_chain + 1));
+        let mut jobs: Vec<(u64, usize, bool, &mut Vec<u64>)> = Vec::with_capacity(2 * n_chain + 2);
+        for (which, acc) in [(true, &mut *acc_b), (false, &mut *acc_a)] {
+            for (j, limb) in acc.limbs.iter_mut().enumerate() {
+                jobs.push((ctx.moduli[j], j, which, limb));
+            }
+            if let Some(s) = acc.special.as_mut() {
+                jobs.push((ctx.special, n_chain, which, s));
+            }
+        }
+        orion_math::parallel::for_each_mut(&mut jobs, par, |_, (q, j, is_b, dst)| {
+            let mut ds: Vec<&[u64]> = Vec::with_capacity(d);
+            let mut ks: Vec<&[u64]> = Vec::with_capacity(d);
+            let mut kss: Vec<&[u64]> = Vec::with_capacity(d);
+            for i in 0..d {
+                let (part, part_sh) = if *is_b {
+                    (&self.parts[i].0, &self.parts_shoup[i].0)
+                } else {
+                    (&self.parts[i].1, &self.parts_shoup[i].1)
+                };
+                let (dig, key, key_sh) = if *j < n_chain {
+                    (&digits[i].limbs[*j], &part.limbs[*j], &part_sh.limbs[*j])
+                } else {
+                    (
+                        digits[i].special.as_ref().expect("digit special limb"),
+                        part.special.as_ref().expect("key special limb"),
+                        part_sh.special.as_ref().expect("key shoup special limb"),
+                    )
+                };
+                ds.push(dig);
+                ks.push(key);
+                kss.push(key_sh);
+            }
+            (k.ks_accum)(dst, &ds, &ks, &kss, *q);
+        });
+    }
+
+    /// Fused inner product into fresh zero accumulators: returns `(b, a)`
+    /// at the digits' level, evaluation form, with special limbs.
+    pub fn inner_product(&self, ctx: &Context, digits: &[RnsPoly]) -> (RnsPoly, RnsPoly) {
+        let level = digits[0].limbs.len() - 1;
+        let mut acc_b = RnsPoly::zero(ctx, level, Form::Eval, true);
+        let mut acc_a = RnsPoly::zero(ctx, level, Form::Eval, true);
+        self.accumulate_inner_product(ctx, digits, &mut acc_b, &mut acc_a);
+        (acc_b, acc_a)
+    }
 }
 
 /// Evaluation keys: relinearization + rotation (+ conjugation) keys.
@@ -120,7 +224,7 @@ impl<R: Rng> KeyGenerator<R> {
                 (b_i, a_i)
             })
             .collect();
-        KeySwitchKey { parts }
+        KeySwitchKey::with_shoup(ctx, parts)
     }
 
     /// Generates the relinearization key (`s² → s`).

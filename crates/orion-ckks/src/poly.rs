@@ -6,10 +6,12 @@
 //! evaluation (NTT) representation; see paper §2.4–2.5.
 
 use crate::params::Context;
-use orion_math::modular::{add_mod, mul_mod, neg_mod, reduce_i128, sub_mod};
+use orion_math::modular::{neg_mod, reduce_i128, shoup_precompute};
 use orion_math::parallel::{
     map_indexed, ntt_forward_batch, ntt_inverse_batch, ntt_parallel, pointwise_parallel,
 };
+use orion_math::simd;
+use orion_telemetry::{time_class, OpClass};
 use rand::Rng;
 
 /// Representation of the limbs.
@@ -232,15 +234,16 @@ impl RnsPoly {
     pub fn add_assign(&mut self, other: &Self, ctx: &Context) {
         self.check_compat(other);
         let n_chain = self.limbs.len();
-        self.for_each_limb_mut(ctx, |q, a, j| {
-            let b = if j < n_chain {
-                &other.limbs[j]
-            } else {
-                other.special.as_ref().unwrap()
-            };
-            for (x, &y) in a.iter_mut().zip(b) {
-                *x = add_mod(*x, y, q);
-            }
+        let k = simd::kernels();
+        time_class(OpClass::Pointwise, || {
+            self.for_each_limb_mut(ctx, |q, a, j| {
+                let b = if j < n_chain {
+                    &other.limbs[j]
+                } else {
+                    other.special.as_ref().unwrap()
+                };
+                (k.add_assign)(a, b, q);
+            });
         });
     }
 
@@ -248,24 +251,26 @@ impl RnsPoly {
     pub fn sub_assign(&mut self, other: &Self, ctx: &Context) {
         self.check_compat(other);
         let n_chain = self.limbs.len();
-        self.for_each_limb_mut(ctx, |q, a, j| {
-            let b = if j < n_chain {
-                &other.limbs[j]
-            } else {
-                other.special.as_ref().unwrap()
-            };
-            for (x, &y) in a.iter_mut().zip(b) {
-                *x = sub_mod(*x, y, q);
-            }
+        let k = simd::kernels();
+        time_class(OpClass::Pointwise, || {
+            self.for_each_limb_mut(ctx, |q, a, j| {
+                let b = if j < n_chain {
+                    &other.limbs[j]
+                } else {
+                    other.special.as_ref().unwrap()
+                };
+                (k.sub_assign)(a, b, q);
+            });
         });
     }
 
     /// Negates in place.
     pub fn neg_assign(&mut self, ctx: &Context) {
-        self.for_each_limb_mut(ctx, |q, a, _| {
-            for x in a.iter_mut() {
-                *x = neg_mod(*x, q);
-            }
+        let k = simd::kernels();
+        time_class(OpClass::Pointwise, || {
+            self.for_each_limb_mut(ctx, |q, a, _| {
+                (k.neg_assign)(a, q);
+            });
         });
     }
 
@@ -274,25 +279,26 @@ impl RnsPoly {
         assert_eq!(self.form, Form::Eval);
         self.check_compat(other);
         let par = self.pointwise_par();
-        let product = |a: &[u64], b: &[u64], q: u64| -> Vec<u64> {
-            let mut out = orion_math::arena::take_u64_raw(a.len());
-            for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
-                *o = mul_mod(x, y, q);
+        let k = simd::kernels();
+        time_class(OpClass::Pointwise, || {
+            let product = |a: &[u64], b: &[u64], q: u64| -> Vec<u64> {
+                let mut out = orion_math::arena::take_u64_raw(a.len());
+                (k.mul_pointwise)(&mut out, a, b, q);
+                out
+            };
+            let limbs = map_indexed(self.limbs.len(), par, |j| {
+                product(&self.limbs[j], &other.limbs[j], ctx.moduli[j])
+            });
+            let special = match (&self.special, &other.special) {
+                (Some(a), Some(b)) => Some(product(a, b, ctx.special)),
+                _ => None,
+            };
+            Self {
+                limbs,
+                special,
+                form: Form::Eval,
             }
-            out
-        };
-        let limbs = map_indexed(self.limbs.len(), par, |j| {
-            product(&self.limbs[j], &other.limbs[j], ctx.moduli[j])
-        });
-        let special = match (&self.special, &other.special) {
-            (Some(a), Some(b)) => Some(product(a, b, ctx.special)),
-            _ => None,
-        };
-        Self {
-            limbs,
-            special,
-            form: Form::Eval,
-        }
+        })
     }
 
     /// Fused `self += a ⊙ b` where `b` is given as borrowed limb slices —
@@ -312,17 +318,18 @@ impl RnsPoly {
         assert!(b_limbs.len() >= self.limbs.len());
         let n_chain = self.limbs.len();
         let has_special = self.has_special() && a.has_special() && b_special.is_some();
-        self.for_each_limb_mut(ctx, |q, dst, j| {
-            let (x, y) = if j < n_chain {
-                (&a.limbs[j], &b_limbs[j])
-            } else if has_special {
-                (a.special.as_ref().unwrap(), b_special.unwrap())
-            } else {
-                return;
-            };
-            for ((d, &u), &v) in dst.iter_mut().zip(x).zip(y) {
-                *d = add_mod(*d, mul_mod(u, v, q), q);
-            }
+        let k = simd::kernels();
+        time_class(OpClass::Pointwise, || {
+            self.for_each_limb_mut(ctx, |q, dst, j| {
+                let (x, y) = if j < n_chain {
+                    (&a.limbs[j], &b_limbs[j])
+                } else if has_special {
+                    (a.special.as_ref().unwrap(), b_special.unwrap())
+                } else {
+                    return;
+                };
+                (k.add_mul)(dst, x, y, q);
+            });
         });
     }
 
@@ -333,28 +340,33 @@ impl RnsPoly {
         assert_eq!(self.limbs.len(), a.limbs.len());
         let n_chain = self.limbs.len();
         let has_special = self.has_special() && a.has_special() && b.has_special();
-        self.for_each_limb_mut(ctx, |q, dst, j| {
-            let (x, y) = if j < n_chain {
-                (&a.limbs[j], &b.limbs[j])
-            } else if has_special {
-                (a.special.as_ref().unwrap(), b.special.as_ref().unwrap())
-            } else {
-                return;
-            };
-            for ((d, &u), &v) in dst.iter_mut().zip(x).zip(y) {
-                *d = add_mod(*d, mul_mod(u, v, q), q);
-            }
+        let k = simd::kernels();
+        time_class(OpClass::Pointwise, || {
+            self.for_each_limb_mut(ctx, |q, dst, j| {
+                let (x, y) = if j < n_chain {
+                    (&a.limbs[j], &b.limbs[j])
+                } else if has_special {
+                    (a.special.as_ref().unwrap(), b.special.as_ref().unwrap())
+                } else {
+                    return;
+                };
+                (k.add_mul)(dst, x, y, q);
+            });
         });
     }
 
     /// Multiplies every limb by a per-limb scalar (`scalars[j]` mod `q_j`,
-    /// last entry for the special limb if present).
+    /// last entry for the special limb if present). The per-limb residue is
+    /// fixed, so each limb runs on a vectorized Shoup multiply (one
+    /// precompute division per limb, amortized over the degree).
     pub fn mul_scalar_assign(&mut self, scalar: i128, ctx: &Context) {
-        self.for_each_limb_mut(ctx, |q, a, _| {
-            let s = reduce_i128(scalar, q);
-            for x in a.iter_mut() {
-                *x = mul_mod(*x, s, q);
-            }
+        let k = simd::kernels();
+        time_class(OpClass::Pointwise, || {
+            self.for_each_limb_mut(ctx, |q, a, _| {
+                let s = reduce_i128(scalar, q);
+                let s_sh = shoup_precompute(s, q);
+                (k.scalar_mul_assign)(a, s, s_sh, q);
+            });
         });
     }
 
@@ -421,18 +433,13 @@ impl RnsPoly {
         // Bring the top limb to coefficient form.
         let mut top = self.limbs.pop().expect("top limb");
         ctx.ntt[l].inverse_lazy(&mut top);
-        // The centered lift of the top limb is limb-independent: compute it
-        // once (into arena scratch), then reduce into each Z_{q_j} through
-        // a reused per-worker buffer instead of allocating per limb.
+        // Every remaining limb centers-and-reduces the shared top limb
+        // directly (no i128 materialization) into a reused per-worker
+        // buffer, then folds it in after one forward NTT. The loop fans
+        // out for large rings.
         let degree = top.len();
-        let mut centered = orion_math::arena::scratch_i128_raw(degree);
-        for (c, &t) in centered.iter_mut().zip(top.iter()) {
-            *c = orion_math::modular::center(t, ql) as i128;
-        }
-        orion_math::arena::recycle_u64(top);
-        let centered = &*centered;
-        // Every remaining limb folds the lifted top limb in independently
-        // (one NTT each), so the loop fans out for large rings.
+        let k = simd::kernels();
+        let top_ref = &top;
         let par = ntt_parallel(degree, l);
         orion_math::parallel::for_each_mut_scratch(
             &mut self.limbs,
@@ -441,15 +448,12 @@ impl RnsPoly {
             |j, limb, lifted| {
                 let qj = ctx.moduli[j];
                 let inv = ctx.rescale_constant(l, j);
-                for (t, &c) in lifted.iter_mut().zip(centered.iter()) {
-                    *t = reduce_i128(c, qj);
-                }
+                (k.centered_reduce)(lifted, top_ref, ql, qj);
                 ctx.ntt[j].forward_lazy(lifted);
-                for (x, &t) in limb.iter_mut().zip(lifted.iter()) {
-                    *x = mul_mod(sub_mod(*x, t, qj), inv, qj);
-                }
+                (k.sub_mul_assign)(limb, lifted, inv, shoup_precompute(inv, qj), qj);
             },
         );
+        orion_math::arena::recycle_u64(top);
     }
 
     /// Rescale fused with a level drop: divides by the *top* chain modulus
@@ -473,17 +477,13 @@ impl RnsPoly {
         let mut top = self.limbs.pop().expect("top limb");
         ctx.ntt[l].inverse_lazy(&mut top);
         let degree = top.len();
-        let mut centered = orion_math::arena::scratch_i128_raw(degree);
-        for (c, &t) in centered.iter_mut().zip(top.iter()) {
-            *c = orion_math::modular::center(t, ql) as i128;
-        }
-        orion_math::arena::recycle_u64(top);
-        let centered = &*centered;
         // The fusion: dead limbs go straight back to the arena before the
         // fold loop ever touches them.
         for dead in self.limbs.drain(out_level + 1..) {
             orion_math::arena::recycle_u64(dead);
         }
+        let k = simd::kernels();
+        let top_ref = &top;
         let par = ntt_parallel(degree, out_level);
         orion_math::parallel::for_each_mut_scratch(
             &mut self.limbs,
@@ -492,15 +492,12 @@ impl RnsPoly {
             |j, limb, lifted| {
                 let qj = ctx.moduli[j];
                 let inv = ctx.rescale_constant(l, j);
-                for (t, &c) in lifted.iter_mut().zip(centered.iter()) {
-                    *t = reduce_i128(c, qj);
-                }
+                (k.centered_reduce)(lifted, top_ref, ql, qj);
                 ctx.ntt[j].forward_lazy(lifted);
-                for (x, &t) in limb.iter_mut().zip(lifted.iter()) {
-                    *x = mul_mod(sub_mod(*x, t, qj), inv, qj);
-                }
+                (k.sub_mul_assign)(limb, lifted, inv, shoup_precompute(inv, qj), qj);
             },
         );
+        orion_math::arena::recycle_u64(top);
     }
 
     /// Removes the special limb, dividing the polynomial by `p` with
@@ -510,15 +507,11 @@ impl RnsPoly {
         let p = ctx.special;
         let mut sp = self.special.take().expect("no special limb to remove");
         ctx.ntt_special.inverse_lazy(&mut sp);
-        // As in `rescale_assign`: one shared centered lift (arena scratch),
-        // one reused per-worker buffer instead of an allocation per limb.
+        // As in `rescale_assign`: each limb centers-and-reduces the shared
+        // special limb directly, through one reused per-worker buffer.
         let degree = sp.len();
-        let mut centered = orion_math::arena::scratch_i128_raw(degree);
-        for (c, &t) in centered.iter_mut().zip(sp.iter()) {
-            *c = orion_math::modular::center(t, p) as i128;
-        }
-        orion_math::arena::recycle_u64(sp);
-        let centered = &*centered;
+        let k = simd::kernels();
+        let sp_ref = &sp;
         let par = ntt_parallel(degree, self.limbs.len());
         orion_math::parallel::for_each_mut_scratch(
             &mut self.limbs,
@@ -527,15 +520,12 @@ impl RnsPoly {
             |j, limb, lifted| {
                 let qj = ctx.moduli[j];
                 let inv = ctx.special_constant(j);
-                for (t, &c) in lifted.iter_mut().zip(centered.iter()) {
-                    *t = reduce_i128(c, qj);
-                }
+                (k.centered_reduce)(lifted, sp_ref, p, qj);
                 ctx.ntt[j].forward_lazy(lifted);
-                for (x, &t) in limb.iter_mut().zip(lifted.iter()) {
-                    *x = mul_mod(sub_mod(*x, t, qj), inv, qj);
-                }
+                (k.sub_mul_assign)(limb, lifted, inv, shoup_precompute(inv, qj), qj);
             },
         );
+        orion_math::arena::recycle_u64(sp);
     }
 
     /// Drops limbs above `level` (a free level drop — no scaling).

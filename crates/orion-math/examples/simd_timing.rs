@@ -1,0 +1,99 @@
+//! Quick per-kernel SIMD-vs-scalar timing table (dev aid, not a gate).
+//!
+//! Run with `cargo run --release -p orion-math --example simd_timing`.
+
+use orion_math::modular::shoup_precompute;
+use orion_math::ntt::NttTable;
+use orion_math::primes::generate_ntt_primes;
+use orion_math::simd;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    // Warm up, then take the best of 7 timed batches.
+    for _ in 0..3 {
+        f();
+    }
+    let mut best = f64::MAX;
+    for _ in 0..7 {
+        let iters = 40;
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t0.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    best
+}
+
+fn main() {
+    let n = 8192;
+    let q = generate_ntt_primes(n, 59, 1, &[])[0];
+    let t = NttTable::new(n, q);
+    t.inverse(&mut vec![0u64; n]);
+    let mut x = 1u64;
+    let data: Vec<u64> = (0..n)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            x % q
+        })
+        .collect();
+    let other: Vec<u64> = data.iter().map(|&v| (v * 7 + 13) % q).collect();
+    let shoup: Vec<u64> = other.iter().map(|&v| shoup_precompute(v, q)).collect();
+    let s = data[17];
+    let s_sh = shoup_precompute(s, q);
+    let mut buf = data.clone();
+    let mut out = vec![0u64; n];
+    println!("n={n} q={q} ({} bits)", 64 - q.leading_zeros());
+    for k in simd::variants() {
+        let fwd = time_ns(|| {
+            buf.copy_from_slice(&data);
+            t.forward_lazy_with(k, &mut buf);
+            black_box(buf[0]);
+        });
+        let inv = time_ns(|| {
+            buf.copy_from_slice(&data);
+            t.inverse_lazy_with(k, &mut buf);
+            black_box(buf[0]);
+        });
+        let mul = time_ns(|| {
+            (k.mul_pointwise)(&mut out, &data, &other, q);
+            black_box(out[0]);
+        });
+        let mac = time_ns(|| {
+            (k.add_mul)(&mut out, &data, &other, q);
+            black_box(out[0]);
+        });
+        let add = time_ns(|| {
+            (k.add_assign)(&mut buf, &data, q);
+            black_box(buf[0]);
+        });
+        let smul = time_ns(|| {
+            (k.scalar_mul_assign)(&mut buf, s, s_sh, q);
+            black_box(buf[0]);
+        });
+        let mred = time_ns(|| {
+            (k.mod_reduce)(&mut out, &data, q);
+            black_box(out[0]);
+        });
+        let cred = time_ns(|| {
+            (k.centered_reduce)(&mut out, &data, q, q - 2 * n as u64);
+            black_box(out[0]);
+        });
+        let digit_refs: Vec<&[u64]> = (0..3).map(|_| data.as_slice()).collect();
+        let key_refs: Vec<&[u64]> = (0..3).map(|_| other.as_slice()).collect();
+        let shoup_refs: Vec<&[u64]> = (0..3).map(|_| shoup.as_slice()).collect();
+        let ks = time_ns(|| {
+            buf.copy_from_slice(&data);
+            (k.ks_accum)(&mut buf, &digit_refs, &key_refs, &shoup_refs, q);
+            black_box(buf[0]);
+        });
+        println!(
+            "{:>7}: fwd {fwd:9.0}  inv {inv:9.0}  mul {mul:8.0}  mac {mac:8.0}  add {add:8.0}  \
+             smul {smul:8.0}  mred {mred:8.0}  cred {cred:8.0}  ks3 {ks:8.0}  (ns)",
+            k.name
+        );
+    }
+}

@@ -24,6 +24,7 @@ pub mod ntt;
 pub mod parallel;
 pub mod primes;
 pub mod rns;
+pub mod simd;
 
 pub use fft::{Complex, SpecialFft};
 pub use ntt::NttTable;

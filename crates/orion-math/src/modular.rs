@@ -82,6 +82,76 @@ pub fn mul_mod_shoup_lazy(a: u64, b: u64, b_shoup: u64, q: u64) -> u64 {
     a.wrapping_mul(b).wrapping_sub(hi.wrapping_mul(q))
 }
 
+/// Precomputed Barrett constant `⌊2¹²⁸/q⌋` for exact division-free
+/// reduction of products `a·b` with both operands *variable* (Shoup
+/// multiplication needs one operand fixed; this does not).
+///
+/// For any `x < q·2⁶⁴` the quotient estimate
+/// `e = ⌊x·⌊2¹²⁸/q⌋ / 2¹²⁸⌋` satisfies `⌊x/q⌋ − 1 ≤ e ≤ ⌊x/q⌋`, so a
+/// single conditional subtract makes the remainder exact. Requires `q`
+/// odd (true for every NTT prime), which guarantees `⌊2¹²⁸/q⌋ =
+/// ⌊(2¹²⁸−1)/q⌋` and lets the constant be computed in `u128`.
+#[derive(Clone, Copy, Debug)]
+pub struct Barrett {
+    pub q: u64,
+    ratio_lo: u64,
+    ratio_hi: u64,
+}
+
+impl Barrett {
+    /// Builds the constant for an odd modulus `q < 2⁶²`.
+    #[inline]
+    pub fn new(q: u64) -> Self {
+        debug_assert!(q & 1 == 1, "Barrett constant requires an odd modulus");
+        debug_assert!(q < 1 << 62);
+        let ratio = u128::MAX / q as u128; // == ⌊2¹²⁸/q⌋ for odd q
+        Self {
+            q,
+            ratio_lo: ratio as u64,
+            ratio_hi: (ratio >> 64) as u64,
+        }
+    }
+
+    /// Reduces `x < q·2⁶⁴` into `[0, q)`. Exact (error of the quotient
+    /// estimate is at most 1, fixed by one conditional subtract).
+    #[inline(always)]
+    pub fn reduce_u128(&self, x: u128) -> u64 {
+        let (x_lo, x_hi) = (x as u64, (x >> 64) as u64);
+        // 192-bit estimate of ⌊x·ratio / 2¹²⁸⌋, keeping only the low 64
+        // bits of the quotient (the true quotient fits: x/q < 2⁶⁴).
+        let carry = ((x_lo as u128 * self.ratio_lo as u128) >> 64) as u64;
+        let b = x_lo as u128 * self.ratio_hi as u128;
+        let (mid, c1) = (b as u64).overflowing_add(carry);
+        let b_hi = (b >> 64) as u64 + c1 as u64;
+        let c = x_hi as u128 * self.ratio_lo as u128;
+        let (_, c2) = mid.overflowing_add(c as u64);
+        let carry2 = (c >> 64) as u64 + c2 as u64;
+        let est = x_hi
+            .wrapping_mul(self.ratio_hi)
+            .wrapping_add(b_hi)
+            .wrapping_add(carry2);
+        let r = x_lo.wrapping_sub(est.wrapping_mul(self.q));
+        if r >= self.q {
+            r - self.q
+        } else {
+            r
+        }
+    }
+
+    /// Multiplies two residues (`a, b < q`) modulo `q` without division.
+    /// Bit-identical to [`mul_mod`].
+    #[inline(always)]
+    pub fn mul_mod(&self, a: u64, b: u64) -> u64 {
+        self.reduce_u128(a as u128 * b as u128)
+    }
+
+    /// Reduces an arbitrary `u64` into `[0, q)`. Bit-identical to `x % q`.
+    #[inline(always)]
+    pub fn reduce_u64(&self, x: u64) -> u64 {
+        self.reduce_u128(x as u128)
+    }
+}
+
 /// Raises `a` to the power `e` modulo `q` by square-and-multiply.
 pub fn pow_mod(mut a: u64, mut e: u64, q: u64) -> u64 {
     let mut r: u64 = 1 % q;

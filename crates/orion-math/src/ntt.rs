@@ -13,9 +13,10 @@
 //! Both paths produce bit-identical fully-reduced output.
 
 use crate::modular::{
-    add_mod, inv_mod, mul_mod_shoup, mul_mod_shoup_lazy, pow_mod, shoup_precompute, sub_mod,
+    add_mod, inv_mod, mul_mod, mul_mod_shoup, pow_mod, shoup_precompute, sub_mod,
 };
 use crate::primes::primitive_2n_root;
+use crate::simd::{self, InvScale};
 use std::sync::OnceLock;
 
 /// Precomputed twiddle tables for the negacyclic NTT modulo one prime.
@@ -38,13 +39,14 @@ pub struct NttTable {
     inv: OnceLock<InvTables>,
 }
 
-/// ψ⁻¹ twiddles and the N⁻¹ scaling constant.
+/// ψ⁻¹ twiddles and the N⁻¹ scaling constants, including N⁻¹
+/// pre-multiplied into the single last-stage twiddle `ψ⁻¹_brv[1]` so the
+/// lazy kernel can fold the scaling into the final butterfly stage.
 #[derive(Clone)]
 struct InvTables {
     inv_psi_brv: Vec<u64>,
     inv_psi_brv_shoup: Vec<u64>,
-    n_inv: u64,
-    n_inv_shoup: u64,
+    scale: InvScale,
 }
 
 fn bit_reverse(x: usize, bits: u32) -> usize {
@@ -85,17 +87,35 @@ impl NttTable {
         }
     }
 
+    /// Inverse-table access: the hot path is one atomic load plus a
+    /// predictable branch; the one-time build lives out of line.
+    #[inline]
     fn inv_tables(&self) -> &InvTables {
+        match self.inv.get() {
+            Some(t) => t,
+            None => self.build_inv_tables(),
+        }
+    }
+
+    #[cold]
+    fn build_inv_tables(&self) -> &InvTables {
         self.inv.get_or_init(|| {
             let (n, q) = (self.n, self.q);
             let inv_psi = inv_mod(self.psi, q);
             let (inv_psi_brv, inv_psi_brv_shoup) = powers_brv(inv_psi, n, q);
             let n_inv = inv_mod(n as u64 % q, q);
+            // ψ⁻¹_brv[1]·N⁻¹: the last inverse stage has exactly one
+            // twiddle, so N⁻¹ folds into it for free.
+            let s_n_inv = mul_mod(inv_psi_brv[1], n_inv, q);
             InvTables {
                 inv_psi_brv,
                 inv_psi_brv_shoup,
-                n_inv,
-                n_inv_shoup: shoup_precompute(n_inv, q),
+                scale: InvScale {
+                    n_inv,
+                    n_inv_shoup: shoup_precompute(n_inv, q),
+                    s_n_inv,
+                    s_n_inv_shoup: shoup_precompute(s_n_inv, q),
+                },
             }
         })
     }
@@ -109,10 +129,13 @@ impl NttTable {
         let mut m = 1;
         while m < n {
             t >>= 1;
+            // Per-stage twiddle subslices keep the inner loop free of
+            // table-offset arithmetic the compiler can't hoist itself.
+            let tw = &self.psi_brv[m..2 * m];
+            let tw_sh = &self.psi_brv_shoup[m..2 * m];
             for i in 0..m {
                 let j1 = 2 * i * t;
-                let s = self.psi_brv[m + i];
-                let s_sh = self.psi_brv_shoup[m + i];
+                let (s, s_sh) = (tw[i], tw_sh[i]);
                 for j in j1..j1 + t {
                     let u = a[j];
                     let v = mul_mod_shoup(a[j + t], s, s_sh, q);
@@ -134,10 +157,11 @@ impl NttTable {
         let mut m = n;
         while m > 1 {
             let h = m >> 1;
+            let tw = &it.inv_psi_brv[h..2 * h];
+            let tw_sh = &it.inv_psi_brv_shoup[h..2 * h];
             let mut j1 = 0;
             for i in 0..h {
-                let s = it.inv_psi_brv[h + i];
-                let s_sh = it.inv_psi_brv_shoup[h + i];
+                let (s, s_sh) = (tw[i], tw_sh[i]);
                 for j in j1..j1 + t {
                     let u = a[j];
                     let v = a[j + t];
@@ -150,91 +174,42 @@ impl NttTable {
             m = h;
         }
         for x in a.iter_mut() {
-            *x = mul_mod_shoup(*x, it.n_inv, it.n_inv_shoup, q);
+            *x = mul_mod_shoup(*x, it.scale.n_inv, it.scale.n_inv_shoup, q);
         }
     }
 
-    /// In-place forward NTT with Harvey lazy reduction: butterflies keep
-    /// values in `[0, 4q)`, one correction sweep at the end restores
-    /// `[0, q)`. Bit-identical to [`NttTable::forward`].
+    /// In-place forward NTT with Harvey lazy reduction, dispatched to the
+    /// process-wide kernel class (AVX2 or unrolled scalar). Butterflies
+    /// keep values in `[0, 4q)`; the final full-reduction sweep is folded
+    /// into the last butterfly stage. Bit-identical to
+    /// [`NttTable::forward`] on every dispatch class.
     pub fn forward_lazy(&self, a: &mut [u64]) {
         debug_assert_eq!(a.len(), self.n);
-        let q = self.q;
-        let two_q = 2 * q;
-        let n = self.n;
-        let mut t = n;
-        let mut m = 1;
-        while m < n {
-            t >>= 1;
-            for i in 0..m {
-                let j1 = 2 * i * t;
-                let s = self.psi_brv[m + i];
-                let s_sh = self.psi_brv_shoup[m + i];
-                for j in j1..j1 + t {
-                    // u ∈ [0, 4q) → [0, 2q); v ∈ [0, 2q) by the lazy
-                    // product bound; both outputs stay < 4q.
-                    let mut u = a[j];
-                    if u >= two_q {
-                        u -= two_q;
-                    }
-                    let v = mul_mod_shoup_lazy(a[j + t], s, s_sh, q);
-                    a[j] = u + v;
-                    a[j + t] = u + two_q - v;
-                }
-            }
-            m <<= 1;
-        }
-        for x in a.iter_mut() {
-            let mut v = *x;
-            if v >= two_q {
-                v -= two_q;
-            }
-            if v >= q {
-                v -= q;
-            }
-            *x = v;
-        }
+        (simd::kernels().ntt_fwd_lazy)(a, &self.psi_brv, &self.psi_brv_shoup, self.q);
     }
 
-    /// In-place inverse NTT with lazy reduction: butterflies keep values in
-    /// `[0, 2q)`; the final N⁻¹ scaling fully reduces. Bit-identical to
-    /// [`NttTable::inverse`].
+    /// In-place inverse NTT with lazy reduction, dispatched like
+    /// [`NttTable::forward_lazy`]. Butterflies keep values in `[0, 2q)`;
+    /// the N⁻¹ scaling is folded into the single-twiddle last stage.
+    /// Bit-identical to [`NttTable::inverse`] on every dispatch class.
     pub fn inverse_lazy(&self, a: &mut [u64]) {
         debug_assert_eq!(a.len(), self.n);
         let it = self.inv_tables();
-        let q = self.q;
-        let two_q = 2 * q;
-        let n = self.n;
-        let mut t = 1;
-        let mut m = n;
-        while m > 1 {
-            let h = m >> 1;
-            let mut j1 = 0;
-            for i in 0..h {
-                let s = it.inv_psi_brv[h + i];
-                let s_sh = it.inv_psi_brv_shoup[h + i];
-                for j in j1..j1 + t {
-                    // u, v ∈ [0, 2q): the sum gets one conditional
-                    // subtract; the difference (kept positive by +2q, so
-                    // < 4q) feeds the lazy product, landing in [0, 2q).
-                    let u = a[j];
-                    let v = a[j + t];
-                    let mut s0 = u + v;
-                    if s0 >= two_q {
-                        s0 -= two_q;
-                    }
-                    a[j] = s0;
-                    a[j + t] = mul_mod_shoup_lazy(u + two_q - v, s, s_sh, q);
-                }
-                j1 += 2 * t;
-            }
-            t <<= 1;
-            m = h;
-        }
-        // The strict Shoup product accepts any u64 input and fully reduces.
-        for x in a.iter_mut() {
-            *x = mul_mod_shoup(*x, it.n_inv, it.n_inv_shoup, q);
-        }
+        (simd::kernels().ntt_inv_lazy)(a, &it.inv_psi_brv, &it.inv_psi_brv_shoup, it.scale, self.q);
+    }
+
+    /// Like [`NttTable::forward_lazy`] but with an explicit kernel table —
+    /// used by equivalence tests and simd-vs-scalar benches.
+    pub fn forward_lazy_with(&self, k: &simd::Kernels, a: &mut [u64]) {
+        debug_assert_eq!(a.len(), self.n);
+        (k.ntt_fwd_lazy)(a, &self.psi_brv, &self.psi_brv_shoup, self.q);
+    }
+
+    /// Like [`NttTable::inverse_lazy`] but with an explicit kernel table.
+    pub fn inverse_lazy_with(&self, k: &simd::Kernels, a: &mut [u64]) {
+        debug_assert_eq!(a.len(), self.n);
+        let it = self.inv_tables();
+        (k.ntt_inv_lazy)(a, &it.inv_psi_brv, &it.inv_psi_brv_shoup, it.scale, self.q);
     }
 
     /// Returns, for each evaluation-domain index `i`, the exponent `e(i)`

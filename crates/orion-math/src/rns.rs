@@ -7,7 +7,7 @@
 //! only exact while the product of moduli fits 127 bits, which covers the
 //! 2–3 limb cases tests exercise).
 
-use crate::modular::{inv_mod, mul_mod};
+use crate::modular::{inv_mod, Barrett};
 
 /// A chain of RNS moduli `q_0, …, q_L` with cached pairwise data.
 #[derive(Clone, Debug)]
@@ -40,10 +40,11 @@ impl ModulusChain {
     /// CRT "hat inverse" used to build key-switching gadget constants.
     pub fn hat_inv(&self, i: usize, level: usize) -> u64 {
         let qi = self.moduli[i];
+        let br = Barrett::new(qi);
         let mut prod = 1u64;
         for (j, &qj) in self.moduli.iter().enumerate().take(level + 1) {
             if j != i {
-                prod = mul_mod(prod, qj % qi, qi);
+                prod = br.mul_mod(prod, br.reduce_u64(qj));
             }
         }
         inv_mod(prod, qi)
@@ -52,10 +53,11 @@ impl ModulusChain {
     /// `(Q_L / q_i) mod m` for an arbitrary modulus `m` (e.g. the special
     /// prime): the product of every other limb reduced mod `m`.
     pub fn hat_mod(&self, i: usize, level: usize, m: u64) -> u64 {
+        let br = Barrett::new(m);
         let mut prod = 1u64;
         for (j, &qj) in self.moduli.iter().enumerate().take(level + 1) {
             if j != i {
-                prod = mul_mod(prod, qj % m, m);
+                prod = br.mul_mod(prod, br.reduce_u64(qj));
             }
         }
         prod
@@ -96,6 +98,7 @@ pub fn crt_reconstruct_centered(limbs: &[u64], moduli: &[u64]) -> i128 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::modular::mul_mod;
     use crate::primes::generate_ntt_primes;
 
     #[test]

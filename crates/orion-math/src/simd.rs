@@ -1,0 +1,1305 @@
+//! Vectorized kernel layer with runtime CPU dispatch.
+//!
+//! Every hot inner loop in Orion — NTT butterflies, Shoup pointwise
+//! multiplies, and the key-switch digit accumulation — funnels through the
+//! [`Kernels`] table of function pointers. The table is chosen **once per
+//! process** (the same pattern as the rayon-pool thread-count env read):
+//!
+//! * `ORION_SIMD` unset → auto-detect: AVX2 on x86-64 CPUs that have it,
+//!   the portable 4-wide unrolled scalar path everywhere else.
+//! * `ORION_SIMD=force` → require the accelerated path (panics on x86-64
+//!   without AVX2; on other architectures the scalar path *is* the
+//!   accelerated path).
+//! * `ORION_SIMD=off` → scalar, for A/B testing and bit-exactness gates.
+//!
+//! Both variants stay reachable in-process via [`scalar`] and [`avx2`] so
+//! proptests can pin bit-exactness and benches can measure the ratio
+//! without re-exec'ing under a different environment.
+//!
+//! # Lazy-form invariants
+//!
+//! | kernel              | accepts            | emits        |
+//! |---------------------|--------------------|--------------|
+//! | `ntt_fwd_lazy`      | `[0, q)`           | `[0, q)` (internal stages `[0, 4q)`) |
+//! | `ntt_inv_lazy`      | `[0, q)`           | `[0, q)` (internal stages `[0, 2q)`) |
+//! | `ks_accum`          | digits `[0, q)`    | `[0, q)` (accumulator held `[0, 2q)`, transiently `[0, 4q)`) |
+//! | everything else     | `[0, q)`           | `[0, q)`     |
+//!
+//! The fused key-switch accumulator is safe at any digit count: each lazy
+//! Shoup product lands in `[0, 2q)`, the running sum is conditionally
+//! reduced back under `2q` after every digit, so the transient peak is
+//! `< 4q < 2⁶⁴` regardless of how many gadget digits are folded in.
+
+use crate::modular::{mul_mod_shoup, mul_mod_shoup_lazy, Barrett};
+use std::sync::OnceLock;
+
+/// Constants for the folded final stage of the inverse NTT: the plain N⁻¹
+/// scaling and N⁻¹ pre-multiplied into the last-stage twiddle
+/// (`s_n_inv = ψ⁻¹_brv[1]·N⁻¹ mod q`).
+#[derive(Clone, Copy, Debug)]
+pub struct InvScale {
+    pub n_inv: u64,
+    pub n_inv_shoup: u64,
+    pub s_n_inv: u64,
+    pub s_n_inv_shoup: u64,
+}
+
+/// One dispatch class: a full table of kernel entry points. All variants
+/// are bit-identical for in-range inputs; only the instruction mix differs.
+pub struct Kernels {
+    /// Dispatch-class label surfaced in telemetry and bench artifacts.
+    pub name: &'static str,
+    /// Whole-transform lazy forward NTT, final full-reduction sweep folded
+    /// into the last butterfly stage. `(a, psi_brv, psi_brv_shoup, q)`.
+    pub ntt_fwd_lazy: fn(&mut [u64], &[u64], &[u64], u64),
+    /// Whole-transform lazy inverse NTT, N⁻¹ scaling folded into the last
+    /// stage. `(a, inv_psi_brv, inv_psi_brv_shoup, scale, q)`.
+    pub ntt_inv_lazy: fn(&mut [u64], &[u64], &[u64], InvScale, u64),
+    /// `a[i] = (a[i] + b[i]) mod q`
+    pub add_assign: fn(&mut [u64], &[u64], u64),
+    /// `a[i] = (a[i] - b[i]) mod q`
+    pub sub_assign: fn(&mut [u64], &[u64], u64),
+    /// `a[i] = (-a[i]) mod q`
+    pub neg_assign: fn(&mut [u64], u64),
+    /// `dst[i] = a[i]·b[i] mod q` (Barrett; both operands variable)
+    pub mul_pointwise: fn(&mut [u64], &[u64], &[u64], u64),
+    /// `dst[i] = (dst[i] + a[i]·b[i]) mod q`
+    pub add_mul: fn(&mut [u64], &[u64], &[u64], u64),
+    /// `a[i] = a[i]·s mod q` with `s_shoup` precomputed
+    pub scalar_mul_assign: fn(&mut [u64], u64, u64, u64),
+    /// `a[i] = (a[i] - b[i])·s mod q` (the rescale fold) with Shoup `s`
+    pub sub_mul_assign: fn(&mut [u64], &[u64], u64, u64, u64),
+    /// `dst[i] = src[i] mod q` for arbitrary `u64` inputs
+    pub mod_reduce: fn(&mut [u64], &[u64], u64),
+    /// `dst[i] = center(src[i], src_q) mod dst_q`: the centered base-change
+    /// step of rescale/ModDown, without materializing an `i128` lift.
+    /// `(dst, src, src_q, dst_q)`.
+    pub centered_reduce: fn(&mut [u64], &[u64], u64, u64),
+    /// Fused key-switch inner product: `dst[i] = (dst[i] + Σ_d
+    /// digits[d][i]·keys[d][i]) mod q`, accumulator kept lazy across all
+    /// gadget digits, one full reduction per element at the end.
+    /// `(dst, digits, keys, key_shoups, q)`; `dst` must be in `[0, q)`.
+    pub ks_accum: KsAccumFn,
+}
+
+/// Signature of the fused key-switch accumulation kernel:
+/// `(dst, digits, keys, key_shoups, q)`.
+pub type KsAccumFn = fn(&mut [u64], &[&[u64]], &[&[u64]], &[&[u64]], u64);
+
+/// The portable scalar table (4-wide unrolled loops; NEON-friendly shapes
+/// that LLVM auto-vectorizes on aarch64).
+pub fn scalar() -> &'static Kernels {
+    &SCALAR
+}
+
+/// The AVX2 table, or `None` when the CPU (or target) lacks AVX2. The
+/// returned table is safe to call: availability has been verified here.
+pub fn avx2() -> Option<&'static Kernels> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return Some(&avx2_impl::AVX2);
+        }
+    }
+    None
+}
+
+/// Every dispatch class available on this host, for equivalence tests and
+/// simd-vs-scalar benches.
+pub fn variants() -> Vec<&'static Kernels> {
+    let mut v = vec![scalar()];
+    if let Some(k) = avx2() {
+        v.push(k);
+    }
+    v
+}
+
+/// The process-wide kernel table, chosen once from `ORION_SIMD` + CPU
+/// detection and cached (fn-pointer table behind a `OnceLock`, mirroring
+/// the rayon-pool env read).
+pub fn kernels() -> &'static Kernels {
+    static CHOSEN: OnceLock<&'static Kernels> = OnceLock::new();
+    CHOSEN.get_or_init(|| {
+        let k = match std::env::var("ORION_SIMD").as_deref() {
+            Ok("off") => scalar(),
+            Ok("force") => {
+                if cfg!(target_arch = "x86_64") {
+                    avx2().expect(
+                        "ORION_SIMD=force: this x86-64 CPU does not support AVX2; \
+                         unset ORION_SIMD or set ORION_SIMD=off",
+                    )
+                } else {
+                    // Off x86-64 the unrolled scalar path is the
+                    // accelerated path; force is satisfied trivially.
+                    scalar()
+                }
+            }
+            _ => avx2().unwrap_or_else(scalar),
+        };
+        orion_telemetry::set_kernel_dispatch(k.name);
+        k
+    })
+}
+
+/// Label of the process-wide dispatch class (`"avx2"` or `"scalar"`).
+pub fn dispatch_name() -> &'static str {
+    kernels().name
+}
+
+static SCALAR: Kernels = Kernels {
+    name: "scalar",
+    ntt_fwd_lazy: scalar_impl::ntt_fwd_lazy,
+    ntt_inv_lazy: scalar_impl::ntt_inv_lazy,
+    add_assign: scalar_impl::add_assign,
+    sub_assign: scalar_impl::sub_assign,
+    neg_assign: scalar_impl::neg_assign,
+    mul_pointwise: scalar_impl::mul_pointwise,
+    add_mul: scalar_impl::add_mul,
+    scalar_mul_assign: scalar_impl::scalar_mul_assign,
+    sub_mul_assign: scalar_impl::sub_mul_assign,
+    mod_reduce: scalar_impl::mod_reduce,
+    centered_reduce: scalar_impl::centered_reduce,
+    ks_accum: scalar_impl::ks_accum,
+};
+
+/// Reduces a lazy value in `[0, 4q)` to `[0, q)`.
+#[inline(always)]
+fn reduce4(mut x: u64, q: u64, two_q: u64) -> u64 {
+    if x >= two_q {
+        x -= two_q;
+    }
+    if x >= q {
+        x -= q;
+    }
+    x
+}
+
+mod scalar_impl {
+    use super::*;
+
+    /// Runs `f` over both slices in lockstep, 4 elements at a time with a
+    /// scalar tail — the unroll shape NEON/auto-vectorizers like.
+    #[inline(always)]
+    fn zip4(a: &mut [u64], b: &[u64], mut f: impl FnMut(&mut u64, u64)) {
+        debug_assert_eq!(a.len(), b.len());
+        let mut ac = a.chunks_exact_mut(4);
+        let mut bc = b.chunks_exact(4);
+        for (a4, b4) in (&mut ac).zip(&mut bc) {
+            for k in 0..4 {
+                f(&mut a4[k], b4[k]);
+            }
+        }
+        for (x, &y) in ac.into_remainder().iter_mut().zip(bc.remainder()) {
+            f(x, y);
+        }
+    }
+
+    pub(super) fn add_assign(a: &mut [u64], b: &[u64], q: u64) {
+        zip4(a, b, |x, y| {
+            let s = *x + y;
+            *x = if s >= q { s - q } else { s };
+        });
+    }
+
+    pub(super) fn sub_assign(a: &mut [u64], b: &[u64], q: u64) {
+        zip4(a, b, |x, y| {
+            *x = if *x >= y { *x - y } else { *x + q - y };
+        });
+    }
+
+    pub(super) fn neg_assign(a: &mut [u64], q: u64) {
+        for x in a.iter_mut() {
+            *x = if *x == 0 { 0 } else { q - *x };
+        }
+    }
+
+    pub(super) fn mul_pointwise(dst: &mut [u64], a: &[u64], b: &[u64], q: u64) {
+        debug_assert!(dst.len() == a.len() && a.len() == b.len());
+        let br = Barrett::new(q);
+        let mut dc = dst.chunks_exact_mut(4);
+        let mut ac = a.chunks_exact(4);
+        let mut bc = b.chunks_exact(4);
+        for ((d4, a4), b4) in (&mut dc).zip(&mut ac).zip(&mut bc) {
+            for k in 0..4 {
+                d4[k] = br.mul_mod(a4[k], b4[k]);
+            }
+        }
+        for ((d, &x), &y) in dc
+            .into_remainder()
+            .iter_mut()
+            .zip(ac.remainder())
+            .zip(bc.remainder())
+        {
+            *d = br.mul_mod(x, y);
+        }
+    }
+
+    pub(super) fn add_mul(dst: &mut [u64], a: &[u64], b: &[u64], q: u64) {
+        debug_assert!(dst.len() == a.len() && a.len() == b.len());
+        let br = Barrett::new(q);
+        let mut dc = dst.chunks_exact_mut(4);
+        let mut ac = a.chunks_exact(4);
+        let mut bc = b.chunks_exact(4);
+        for ((d4, a4), b4) in (&mut dc).zip(&mut ac).zip(&mut bc) {
+            for k in 0..4 {
+                let s = d4[k] + br.mul_mod(a4[k], b4[k]);
+                d4[k] = if s >= q { s - q } else { s };
+            }
+        }
+        for ((d, &x), &y) in dc
+            .into_remainder()
+            .iter_mut()
+            .zip(ac.remainder())
+            .zip(bc.remainder())
+        {
+            let s = *d + br.mul_mod(x, y);
+            *d = if s >= q { s - q } else { s };
+        }
+    }
+
+    pub(super) fn scalar_mul_assign(a: &mut [u64], s: u64, s_sh: u64, q: u64) {
+        for x in a.iter_mut() {
+            *x = mul_mod_shoup(*x, s, s_sh, q);
+        }
+    }
+
+    pub(super) fn sub_mul_assign(a: &mut [u64], b: &[u64], s: u64, s_sh: u64, q: u64) {
+        zip4(a, b, |x, y| {
+            let d = if *x >= y { *x - y } else { *x + q - y };
+            *x = mul_mod_shoup(d, s, s_sh, q);
+        });
+    }
+
+    pub(super) fn mod_reduce(dst: &mut [u64], src: &[u64], q: u64) {
+        debug_assert_eq!(dst.len(), src.len());
+        let br = Barrett::new(q);
+        for (d, &x) in dst.iter_mut().zip(src) {
+            *d = br.reduce_u64(x);
+        }
+    }
+
+    pub(super) fn centered_reduce(dst: &mut [u64], src: &[u64], src_q: u64, dst_q: u64) {
+        debug_assert_eq!(dst.len(), src.len());
+        let br = Barrett::new(dst_q);
+        let half = src_q >> 1;
+        // center(x, src_q) ≡ x − src_q·[x > src_q/2] (mod dst_q)
+        let delta = br.reduce_u64(src_q % dst_q);
+        for (d, &x) in dst.iter_mut().zip(src) {
+            let mut r = br.reduce_u64(x);
+            if x > half {
+                r = if r >= delta {
+                    r - delta
+                } else {
+                    r + dst_q - delta
+                };
+            }
+            *d = r;
+        }
+    }
+
+    pub(super) fn ks_accum(
+        dst: &mut [u64],
+        digits: &[&[u64]],
+        keys: &[&[u64]],
+        key_shoups: &[&[u64]],
+        q: u64,
+    ) {
+        debug_assert_eq!(digits.len(), keys.len());
+        debug_assert_eq!(digits.len(), key_shoups.len());
+        let two_q = 2 * q;
+        // Accumulator invariant: acc < 2q on digit entry; each lazy product
+        // adds < 2q (transient < 4q < 2⁶⁴), one conditional subtract
+        // restores the invariant. Walking digit-by-digit (instead of
+        // element-by-element) performs the identical per-element operation
+        // sequence — same adds, same conditional subtracts — through clean
+        // iterator zips instead of bounds-checked indexing.
+        for i in 0..digits.len() {
+            let (d, k, ks) = (digits[i], keys[i], key_shoups[i]);
+            debug_assert!(d.len() == dst.len() && k.len() == dst.len() && ks.len() == dst.len());
+            let mut accs = dst.chunks_exact_mut(4);
+            let mut dc = d.chunks_exact(4);
+            let mut kc = k.chunks_exact(4);
+            let mut ksc = ks.chunks_exact(4);
+            for (((a4, d4), k4), ks4) in (&mut accs).zip(&mut dc).zip(&mut kc).zip(&mut ksc) {
+                for t in 0..4 {
+                    let acc = a4[t] + mul_mod_shoup_lazy(d4[t], k4[t], ks4[t], q);
+                    a4[t] = if acc >= two_q { acc - two_q } else { acc };
+                }
+            }
+            for (((a, &dv), &kv), &ksv) in accs
+                .into_remainder()
+                .iter_mut()
+                .zip(dc.remainder())
+                .zip(kc.remainder())
+                .zip(ksc.remainder())
+            {
+                let acc = *a + mul_mod_shoup_lazy(dv, kv, ksv, q);
+                *a = if acc >= two_q { acc - two_q } else { acc };
+            }
+        }
+        for acc in dst.iter_mut() {
+            if *acc >= q {
+                *acc -= q;
+            }
+        }
+    }
+
+    /// Lazy forward butterfly over a split block: `u ∈ [0,4q) → [0,2q)`,
+    /// lazy product of `v`, outputs `< 4q`.
+    #[inline(always)]
+    fn fwd_span(us: &mut [u64], vs: &mut [u64], s: u64, s_sh: u64, q: u64, two_q: u64) {
+        let mut uc = us.chunks_exact_mut(4);
+        let mut vc = vs.chunks_exact_mut(4);
+        for (u4, v4) in (&mut uc).zip(&mut vc) {
+            for k in 0..4 {
+                let mut u = u4[k];
+                if u >= two_q {
+                    u -= two_q;
+                }
+                let v = mul_mod_shoup_lazy(v4[k], s, s_sh, q);
+                u4[k] = u + v;
+                v4[k] = u + two_q - v;
+            }
+        }
+        for (up, vp) in uc.into_remainder().iter_mut().zip(vc.into_remainder()) {
+            let mut u = *up;
+            if u >= two_q {
+                u -= two_q;
+            }
+            let v = mul_mod_shoup_lazy(*vp, s, s_sh, q);
+            *up = u + v;
+            *vp = u + two_q - v;
+        }
+    }
+
+    pub(super) fn ntt_fwd_lazy(a: &mut [u64], psi: &[u64], psi_sh: &[u64], q: u64) {
+        let n = a.len();
+        debug_assert!(n.is_power_of_two() && n >= 2);
+        debug_assert_eq!(psi.len(), n);
+        let two_q = 2 * q;
+        let mut t = n;
+        let mut m = 1;
+        // All stages except the last keep outputs lazy in [0, 4q). The
+        // per-stage twiddle/shoup pairs are hoisted into subslices so the
+        // inner loop carries no table indexing.
+        while m < n / 2 {
+            t >>= 1;
+            let tw = &psi[m..2 * m];
+            let tw_sh = &psi_sh[m..2 * m];
+            for i in 0..m {
+                let j1 = 2 * i * t;
+                let (us, vs) = a[j1..j1 + 2 * t].split_at_mut(t);
+                fwd_span(us, vs, tw[i], tw_sh[i], q, two_q);
+            }
+            m <<= 1;
+        }
+        // Last stage (t == 1): fold the full-reduction sweep into the
+        // butterfly instead of a separate pass over the limb.
+        let m = n / 2;
+        let tw = &psi[m..2 * m];
+        let tw_sh = &psi_sh[m..2 * m];
+        for (i, pair) in a.chunks_exact_mut(2).enumerate() {
+            let mut u = pair[0];
+            if u >= two_q {
+                u -= two_q;
+            }
+            let v = mul_mod_shoup_lazy(pair[1], tw[i], tw_sh[i], q);
+            pair[0] = reduce4(u + v, q, two_q);
+            pair[1] = reduce4(u + two_q - v, q, two_q);
+        }
+    }
+
+    /// Lazy inverse butterfly over a split block: `u, v ∈ [0,2q)`, outputs
+    /// stay in `[0,2q)`.
+    #[inline(always)]
+    fn inv_span(us: &mut [u64], vs: &mut [u64], s: u64, s_sh: u64, q: u64, two_q: u64) {
+        let mut uc = us.chunks_exact_mut(4);
+        let mut vc = vs.chunks_exact_mut(4);
+        for (u4, v4) in (&mut uc).zip(&mut vc) {
+            for k in 0..4 {
+                let (u, v) = (u4[k], v4[k]);
+                let mut s0 = u + v;
+                if s0 >= two_q {
+                    s0 -= two_q;
+                }
+                u4[k] = s0;
+                v4[k] = mul_mod_shoup_lazy(u + two_q - v, s, s_sh, q);
+            }
+        }
+        for (up, vp) in uc.into_remainder().iter_mut().zip(vc.into_remainder()) {
+            let (u, v) = (*up, *vp);
+            let mut s0 = u + v;
+            if s0 >= two_q {
+                s0 -= two_q;
+            }
+            *up = s0;
+            *vp = mul_mod_shoup_lazy(u + two_q - v, s, s_sh, q);
+        }
+    }
+
+    pub(super) fn ntt_inv_lazy(a: &mut [u64], ipsi: &[u64], ipsi_sh: &[u64], sc: InvScale, q: u64) {
+        let n = a.len();
+        debug_assert!(n.is_power_of_two() && n >= 2);
+        debug_assert_eq!(ipsi.len(), n);
+        let two_q = 2 * q;
+        let mut t = 1;
+        let mut m = n;
+        while m > 2 {
+            let h = m >> 1;
+            let tw = &ipsi[h..2 * h];
+            let tw_sh = &ipsi_sh[h..2 * h];
+            let mut j1 = 0;
+            for i in 0..h {
+                let (us, vs) = a[j1..j1 + 2 * t].split_at_mut(t);
+                inv_span(us, vs, tw[i], tw_sh[i], q, two_q);
+                j1 += 2 * t;
+            }
+            t <<= 1;
+            m = h;
+        }
+        // Last stage (m == 2, single twiddle ψ⁻¹_brv[1]): fold the N⁻¹
+        // scaling in. The strict Shoup product accepts any u64 input (the
+        // lazy sums here are < 4q) and fully reduces, so this is
+        // bit-identical to butterfly-then-scale.
+        let t = n / 2;
+        let (us, vs) = a.split_at_mut(t);
+        for (up, vp) in us.iter_mut().zip(vs.iter_mut()) {
+            let (u, v) = (*up, *vp);
+            *up = mul_mod_shoup(u + v, sc.n_inv, sc.n_inv_shoup, q);
+            *vp = mul_mod_shoup(u + two_q - v, sc.s_n_inv, sc.s_n_inv_shoup, q);
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2_impl {
+    use super::*;
+    use core::arch::x86_64::*;
+
+    pub(super) static AVX2: Kernels = Kernels {
+        name: "avx2",
+        ntt_fwd_lazy,
+        ntt_inv_lazy,
+        add_assign,
+        sub_assign,
+        neg_assign,
+        // The pure-Barrett elementwise kernels deliberately reuse the
+        // scalar bodies: their 4-wide chunked loops auto-vectorize, and a
+        // hand-written schoolbook 64×64 emulation (7 32-bit multiplies per
+        // lane) measures slower than what LLVM emits for them. Handwritten
+        // AVX2 stays where the compiler cannot vectorize — the butterfly
+        // shuffle structure, the read-modify-write MAC, and the lazy
+        // key-switch accumulation.
+        mul_pointwise: super::scalar_impl::mul_pointwise,
+        add_mul,
+        scalar_mul_assign,
+        sub_mul_assign,
+        mod_reduce: super::scalar_impl::mod_reduce,
+        centered_reduce: super::scalar_impl::centered_reduce,
+        ks_accum,
+    };
+
+    /// Sign-bit constant for unsigned 64-bit comparison via signed compare.
+    #[inline(always)]
+    unsafe fn sign_bit() -> __m256i {
+        _mm256_set1_epi64x(i64::MIN)
+    }
+
+    /// Lane-wise `a - m` where `a >= m`, else `a` (unsigned conditional
+    /// subtract; compare is signed-with-bias).
+    #[inline(always)]
+    unsafe fn csub(a: __m256i, m: __m256i, sign: __m256i) -> __m256i {
+        let lt = _mm256_cmpgt_epi64(_mm256_xor_si256(m, sign), _mm256_xor_si256(a, sign));
+        _mm256_sub_epi64(a, _mm256_andnot_si256(lt, m))
+    }
+
+    /// Low 64 bits of the lane-wise 64×64 product (AVX2 has no native
+    /// 64-bit multiply; three 32×32 products assemble it).
+    #[inline(always)]
+    unsafe fn mullo64(a: __m256i, b: __m256i) -> __m256i {
+        let a_hi = _mm256_srli_epi64(a, 32);
+        let b_hi = _mm256_srli_epi64(b, 32);
+        let lo = _mm256_mul_epu32(a, b);
+        let mid = _mm256_add_epi64(_mm256_mul_epu32(a, b_hi), _mm256_mul_epu32(a_hi, b));
+        _mm256_add_epi64(lo, _mm256_slli_epi64(mid, 32))
+    }
+
+    /// High 64 bits of the lane-wise 64×64 product (four 32×32 schoolbook
+    /// partials with exact carry assembly; no partial sum overflows u64).
+    #[inline(always)]
+    unsafe fn mulhi64(a: __m256i, b: __m256i) -> __m256i {
+        let a_hi = _mm256_srli_epi64(a, 32);
+        let b_hi = _mm256_srli_epi64(b, 32);
+        let mask = _mm256_set1_epi64x(0xffff_ffff);
+        let ll = _mm256_mul_epu32(a, b);
+        let lh = _mm256_mul_epu32(a, b_hi);
+        let hl = _mm256_mul_epu32(a_hi, b);
+        let hh = _mm256_mul_epu32(a_hi, b_hi);
+        let t = _mm256_add_epi64(lh, _mm256_srli_epi64(ll, 32));
+        let u = _mm256_add_epi64(hl, _mm256_and_si256(t, mask));
+        _mm256_add_epi64(
+            hh,
+            _mm256_add_epi64(_mm256_srli_epi64(t, 32), _mm256_srli_epi64(u, 32)),
+        )
+    }
+
+    /// Lazy Shoup product: congruent to `a·b mod q`, in `[0, 2q)`; `a` may
+    /// be any u64, `(b, b_sh)` are the fixed operand and its Shoup pair.
+    #[inline(always)]
+    unsafe fn mul_shoup_lazy(a: __m256i, b: __m256i, b_sh: __m256i, qv: __m256i) -> __m256i {
+        let hi = mulhi64(a, b_sh);
+        _mm256_sub_epi64(mullo64(a, b), mullo64(hi, qv))
+    }
+
+    /// Strict Shoup product: `a·b mod q` in `[0, q)` for any u64 `a`.
+    #[inline(always)]
+    unsafe fn mul_shoup(
+        a: __m256i,
+        b: __m256i,
+        b_sh: __m256i,
+        qv: __m256i,
+        sign: __m256i,
+    ) -> __m256i {
+        csub(mul_shoup_lazy(a, b, b_sh, qv), qv, sign)
+    }
+
+    /// Lane-wise add with carry-out (0/1 per lane, detected by unsigned
+    /// `sum < a`).
+    #[inline(always)]
+    unsafe fn addcarry(a: __m256i, b: __m256i, sign: __m256i) -> (__m256i, __m256i) {
+        let s = _mm256_add_epi64(a, b);
+        let c = _mm256_cmpgt_epi64(_mm256_xor_si256(a, sign), _mm256_xor_si256(s, sign));
+        (s, _mm256_srli_epi64(c, 63))
+    }
+
+    /// Vector Barrett constants for one modulus.
+    struct BarrettVec {
+        qv: __m256i,
+        r_lo: __m256i,
+        r_hi: __m256i,
+        sign: __m256i,
+    }
+
+    impl BarrettVec {
+        #[inline(always)]
+        unsafe fn new(q: u64) -> (Barrett, Self) {
+            let br = Barrett::new(q);
+            let r = u128::MAX / q as u128;
+            (
+                br,
+                Self {
+                    qv: _mm256_set1_epi64x(q as i64),
+                    r_lo: _mm256_set1_epi64x(r as u64 as i64),
+                    r_hi: _mm256_set1_epi64x((r >> 64) as u64 as i64),
+                    sign: sign_bit(),
+                },
+            )
+        }
+
+        /// Reduces the 128-bit lane values `(x_hi, x_lo)` into `[0, q)`;
+        /// mirrors `Barrett::reduce_u128` word for word (same quotient
+        /// estimate, same single conditional subtract → bit-identical).
+        #[inline(always)]
+        unsafe fn reduce(&self, x_lo: __m256i, x_hi: __m256i) -> __m256i {
+            let carry = mulhi64(x_lo, self.r_lo);
+            let b_lo = mullo64(x_lo, self.r_hi);
+            let b_hi = mulhi64(x_lo, self.r_hi);
+            let (mid, c1) = addcarry(b_lo, carry, self.sign);
+            let b_hi = _mm256_add_epi64(b_hi, c1);
+            let c_lo = mullo64(x_hi, self.r_lo);
+            let c_hi = mulhi64(x_hi, self.r_lo);
+            let (_, c2) = addcarry(mid, c_lo, self.sign);
+            let carry2 = _mm256_add_epi64(c_hi, c2);
+            let est = _mm256_add_epi64(_mm256_add_epi64(mullo64(x_hi, self.r_hi), b_hi), carry2);
+            let r = _mm256_sub_epi64(x_lo, mullo64(est, self.qv));
+            csub(r, self.qv, self.sign)
+        }
+
+        /// `a·b mod q` per lane, both operands variable and `< q`.
+        #[inline(always)]
+        unsafe fn mul_mod(&self, a: __m256i, b: __m256i) -> __m256i {
+            self.reduce(mullo64(a, b), mulhi64(a, b))
+        }
+    }
+
+    // SAFETY note shared by every `*_avx2` target-feature function below:
+    // they are reachable only through the `AVX2` kernel table, which
+    // `super::avx2()` hands out after `is_x86_feature_detected!("avx2")`
+    // has confirmed support, so the intrinsics are always executed on a
+    // CPU that has them. Loads and stores use the unaligned variants on
+    // in-bounds chunk pointers produced by safe slice iteration. The thin
+    // safe wrappers exist because the dispatch table stores plain `fn`
+    // pointers, which a `#[target_feature]` function cannot coerce to.
+
+    /// Declares the safe `fn`-pointer-compatible wrapper for one
+    /// target-feature kernel body.
+    macro_rules! wrap_avx2 {
+        ($(#[$doc:meta])* $name:ident => $body:ident ( $($arg:ident : $ty:ty),* )) => {
+            $(#[$doc])*
+            fn $name($($arg: $ty),*) {
+                // SAFETY: see the module safety note — this table is only
+                // handed out after AVX2 detection.
+                unsafe { $body($($arg),*) }
+            }
+        };
+    }
+
+    wrap_avx2!(add_assign => add_assign_avx2(a: &mut [u64], b: &[u64], q: u64));
+    wrap_avx2!(sub_assign => sub_assign_avx2(a: &mut [u64], b: &[u64], q: u64));
+    wrap_avx2!(neg_assign => neg_assign_avx2(a: &mut [u64], q: u64));
+    wrap_avx2!(add_mul => add_mul_avx2(dst: &mut [u64], a: &[u64], b: &[u64], q: u64));
+    wrap_avx2!(scalar_mul_assign => scalar_mul_assign_avx2(a: &mut [u64], s: u64, s_sh: u64, q: u64));
+    wrap_avx2!(sub_mul_assign => sub_mul_assign_avx2(a: &mut [u64], b: &[u64], s: u64, s_sh: u64, q: u64));
+    wrap_avx2!(ks_accum => ks_accum_avx2(dst: &mut [u64], digits: &[&[u64]], keys: &[&[u64]], key_shoups: &[&[u64]], q: u64));
+    wrap_avx2!(ntt_fwd_lazy => ntt_fwd_lazy_avx2(a: &mut [u64], psi: &[u64], psi_sh: &[u64], q: u64));
+    wrap_avx2!(ntt_inv_lazy => ntt_inv_lazy_avx2(a: &mut [u64], ipsi: &[u64], ipsi_sh: &[u64], sc: InvScale, q: u64));
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn add_assign_avx2(a: &mut [u64], b: &[u64], q: u64) {
+        debug_assert_eq!(a.len(), b.len());
+        // SAFETY: AVX2 verified by dispatch (see module note); pointers
+        // come from exact 4-element chunks of the slices.
+        unsafe {
+            let qv = _mm256_set1_epi64x(q as i64);
+            let sign = sign_bit();
+            let mut ac = a.chunks_exact_mut(4);
+            let mut bc = b.chunks_exact(4);
+            for (a4, b4) in (&mut ac).zip(&mut bc) {
+                let av = _mm256_loadu_si256(a4.as_ptr() as *const __m256i);
+                let bv = _mm256_loadu_si256(b4.as_ptr() as *const __m256i);
+                let s = csub(_mm256_add_epi64(av, bv), qv, sign);
+                _mm256_storeu_si256(a4.as_mut_ptr() as *mut __m256i, s);
+            }
+            for (x, &y) in ac.into_remainder().iter_mut().zip(bc.remainder()) {
+                let s = *x + y;
+                *x = if s >= q { s - q } else { s };
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn sub_assign_avx2(a: &mut [u64], b: &[u64], q: u64) {
+        debug_assert_eq!(a.len(), b.len());
+        // SAFETY: AVX2 verified by dispatch; in-bounds chunk pointers.
+        unsafe {
+            let qv = _mm256_set1_epi64x(q as i64);
+            let sign = sign_bit();
+            let mut ac = a.chunks_exact_mut(4);
+            let mut bc = b.chunks_exact(4);
+            for (a4, b4) in (&mut ac).zip(&mut bc) {
+                let av = _mm256_loadu_si256(a4.as_ptr() as *const __m256i);
+                let bv = _mm256_loadu_si256(b4.as_ptr() as *const __m256i);
+                // a - b + q, then subtract q back where the sum is >= q.
+                let s = csub(_mm256_sub_epi64(_mm256_add_epi64(av, qv), bv), qv, sign);
+                _mm256_storeu_si256(a4.as_mut_ptr() as *mut __m256i, s);
+            }
+            for (x, &y) in ac.into_remainder().iter_mut().zip(bc.remainder()) {
+                *x = if *x >= y { *x - y } else { *x + q - y };
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn neg_assign_avx2(a: &mut [u64], q: u64) {
+        // SAFETY: AVX2 verified by dispatch; in-bounds chunk pointers.
+        unsafe {
+            let qv = _mm256_set1_epi64x(q as i64);
+            let zero = _mm256_setzero_si256();
+            let mut ac = a.chunks_exact_mut(4);
+            for a4 in &mut ac {
+                let av = _mm256_loadu_si256(a4.as_ptr() as *const __m256i);
+                // q - a, masked to 0 where a == 0.
+                let nz = _mm256_cmpeq_epi64(av, zero);
+                let r = _mm256_andnot_si256(nz, _mm256_sub_epi64(qv, av));
+                _mm256_storeu_si256(a4.as_mut_ptr() as *mut __m256i, r);
+            }
+            for x in ac.into_remainder() {
+                *x = if *x == 0 { 0 } else { q - *x };
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn add_mul_avx2(dst: &mut [u64], a: &[u64], b: &[u64], q: u64) {
+        debug_assert!(dst.len() == a.len() && a.len() == b.len());
+        // SAFETY: AVX2 verified by dispatch; in-bounds chunk pointers.
+        unsafe {
+            let (br, bv) = BarrettVec::new(q);
+            let mut dc = dst.chunks_exact_mut(4);
+            let mut ac = a.chunks_exact(4);
+            let mut bc = b.chunks_exact(4);
+            for ((d4, a4), b4) in (&mut dc).zip(&mut ac).zip(&mut bc) {
+                let av = _mm256_loadu_si256(a4.as_ptr() as *const __m256i);
+                let xv = _mm256_loadu_si256(b4.as_ptr() as *const __m256i);
+                let dv = _mm256_loadu_si256(d4.as_ptr() as *const __m256i);
+                let s = csub(_mm256_add_epi64(dv, bv.mul_mod(av, xv)), bv.qv, bv.sign);
+                _mm256_storeu_si256(d4.as_mut_ptr() as *mut __m256i, s);
+            }
+            for ((d, &x), &y) in dc
+                .into_remainder()
+                .iter_mut()
+                .zip(ac.remainder())
+                .zip(bc.remainder())
+            {
+                let s = *d + br.mul_mod(x, y);
+                *d = if s >= q { s - q } else { s };
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn scalar_mul_assign_avx2(a: &mut [u64], s: u64, s_sh: u64, q: u64) {
+        // SAFETY: AVX2 verified by dispatch; in-bounds chunk pointers.
+        unsafe {
+            let qv = _mm256_set1_epi64x(q as i64);
+            let sv = _mm256_set1_epi64x(s as i64);
+            let sshv = _mm256_set1_epi64x(s_sh as i64);
+            let sign = sign_bit();
+            let mut ac = a.chunks_exact_mut(4);
+            for a4 in &mut ac {
+                let av = _mm256_loadu_si256(a4.as_ptr() as *const __m256i);
+                let r = mul_shoup(av, sv, sshv, qv, sign);
+                _mm256_storeu_si256(a4.as_mut_ptr() as *mut __m256i, r);
+            }
+            for x in ac.into_remainder() {
+                *x = mul_mod_shoup(*x, s, s_sh, q);
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn sub_mul_assign_avx2(a: &mut [u64], b: &[u64], s: u64, s_sh: u64, q: u64) {
+        debug_assert_eq!(a.len(), b.len());
+        // SAFETY: AVX2 verified by dispatch; in-bounds chunk pointers.
+        unsafe {
+            let qv = _mm256_set1_epi64x(q as i64);
+            let sv = _mm256_set1_epi64x(s as i64);
+            let sshv = _mm256_set1_epi64x(s_sh as i64);
+            let sign = sign_bit();
+            let mut ac = a.chunks_exact_mut(4);
+            let mut bc = b.chunks_exact(4);
+            for (a4, b4) in (&mut ac).zip(&mut bc) {
+                let av = _mm256_loadu_si256(a4.as_ptr() as *const __m256i);
+                let bvv = _mm256_loadu_si256(b4.as_ptr() as *const __m256i);
+                let d = csub(_mm256_sub_epi64(_mm256_add_epi64(av, qv), bvv), qv, sign);
+                let r = mul_shoup(d, sv, sshv, qv, sign);
+                _mm256_storeu_si256(a4.as_mut_ptr() as *mut __m256i, r);
+            }
+            for (x, &y) in ac.into_remainder().iter_mut().zip(bc.remainder()) {
+                let d = if *x >= y { *x - y } else { *x + q - y };
+                *x = mul_mod_shoup(d, s, s_sh, q);
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn ks_accum_avx2(
+        dst: &mut [u64],
+        digits: &[&[u64]],
+        keys: &[&[u64]],
+        key_shoups: &[&[u64]],
+        q: u64,
+    ) {
+        debug_assert_eq!(digits.len(), keys.len());
+        debug_assert_eq!(digits.len(), key_shoups.len());
+        let n = dst.len();
+        let two_q = 2 * q;
+        // SAFETY: AVX2 verified by dispatch; all slice accesses below are
+        // bounds-checked at the block level (`j + 4 <= n` in the vector
+        // loop; per-digit slices are asserted to the same length).
+        unsafe {
+            for d in digits {
+                assert_eq!(d.len(), n);
+            }
+            for k in keys {
+                assert_eq!(k.len(), n);
+            }
+            for s in key_shoups {
+                assert_eq!(s.len(), n);
+            }
+            let qv = _mm256_set1_epi64x(q as i64);
+            let two_qv = _mm256_set1_epi64x(two_q as i64);
+            let sign = sign_bit();
+            let mut j = 0;
+            while j + 4 <= n {
+                let mut acc = _mm256_loadu_si256(dst.as_ptr().add(j) as *const __m256i);
+                // Accumulator stays < 2q: each lazy product adds < 2q
+                // (transient < 4q < 2⁶⁴), one csub(2q) per digit.
+                for i in 0..digits.len() {
+                    let dv = _mm256_loadu_si256(digits[i].as_ptr().add(j) as *const __m256i);
+                    let kv = _mm256_loadu_si256(keys[i].as_ptr().add(j) as *const __m256i);
+                    let ksv = _mm256_loadu_si256(key_shoups[i].as_ptr().add(j) as *const __m256i);
+                    let p = mul_shoup_lazy(dv, kv, ksv, qv);
+                    acc = csub(_mm256_add_epi64(acc, p), two_qv, sign);
+                }
+                acc = csub(acc, qv, sign);
+                _mm256_storeu_si256(dst.as_mut_ptr().add(j) as *mut __m256i, acc);
+                j += 4;
+            }
+            while j < n {
+                let mut acc = dst[j];
+                for i in 0..digits.len() {
+                    let p = mul_mod_shoup_lazy(digits[i][j], keys[i][j], key_shoups[i][j], q);
+                    acc += p;
+                    if acc >= two_q {
+                        acc -= two_q;
+                    }
+                }
+                dst[j] = if acc >= q { acc - q } else { acc };
+                j += 1;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn ntt_fwd_lazy_avx2(a: &mut [u64], psi: &[u64], psi_sh: &[u64], q: u64) {
+        let n = a.len();
+        debug_assert!(n.is_power_of_two() && n >= 2);
+        debug_assert_eq!(psi.len(), n);
+        if n < 8 {
+            return super::scalar_impl::ntt_fwd_lazy(a, psi, psi_sh, q);
+        }
+        let two_q = 2 * q;
+        // SAFETY: AVX2 verified by dispatch. Pointer arithmetic stays in
+        // bounds: every stage partitions the length-n slice into disjoint
+        // blocks whose u/v halves are multiples of 4 lanes (t >= 4), pairs
+        // of 2-element blocks (t == 2, m = n/4 >= 2 even), or 4
+        // interleaved pairs (t == 1, m = n/2 >= 4 a multiple of 4).
+        unsafe {
+            let qv = _mm256_set1_epi64x(q as i64);
+            let two_qv = _mm256_set1_epi64x(two_q as i64);
+            let sign = sign_bit();
+            let ap = a.as_mut_ptr();
+            let mut t = n;
+            let mut m = 1;
+            // Stages with t >= 4: contiguous u/v spans, one broadcast
+            // twiddle per block.
+            while m < n / 2 && t > 8 {
+                t >>= 1;
+                let tw = &psi[m..2 * m];
+                let tw_sh = &psi_sh[m..2 * m];
+                for i in 0..m {
+                    let j1 = 2 * i * t;
+                    let sv = _mm256_set1_epi64x(tw[i] as i64);
+                    let sshv = _mm256_set1_epi64x(tw_sh[i] as i64);
+                    let mut j = 0;
+                    while j < t {
+                        let up = ap.add(j1 + j) as *mut __m256i;
+                        let vp = ap.add(j1 + j + t) as *mut __m256i;
+                        let u = csub(_mm256_loadu_si256(up as *const _), two_qv, sign);
+                        let v = mul_shoup_lazy(_mm256_loadu_si256(vp as *const _), sv, sshv, qv);
+                        _mm256_storeu_si256(up, _mm256_add_epi64(u, v));
+                        _mm256_storeu_si256(vp, _mm256_sub_epi64(_mm256_add_epi64(u, two_qv), v));
+                        j += 4;
+                    }
+                }
+                m <<= 1;
+            }
+            // t == 4 stage (if not the last): same span code, exactly one
+            // vector per block half.
+            if m < n / 2 {
+                t >>= 1;
+                debug_assert_eq!(t, 4);
+                let tw = &psi[m..2 * m];
+                let tw_sh = &psi_sh[m..2 * m];
+                for i in 0..m {
+                    let j1 = 8 * i;
+                    let sv = _mm256_set1_epi64x(tw[i] as i64);
+                    let sshv = _mm256_set1_epi64x(tw_sh[i] as i64);
+                    let up = ap.add(j1) as *mut __m256i;
+                    let vp = ap.add(j1 + 4) as *mut __m256i;
+                    let u = csub(_mm256_loadu_si256(up as *const _), two_qv, sign);
+                    let v = mul_shoup_lazy(_mm256_loadu_si256(vp as *const _), sv, sshv, qv);
+                    _mm256_storeu_si256(up, _mm256_add_epi64(u, v));
+                    _mm256_storeu_si256(vp, _mm256_sub_epi64(_mm256_add_epi64(u, two_qv), v));
+                }
+                m <<= 1;
+            }
+            // t == 2 stage (if not the last): two blocks per vector pair,
+            // twiddles duplicated into [s0 s0 s1 s1].
+            if m < n / 2 {
+                t >>= 1;
+                debug_assert_eq!(t, 2);
+                let tw = &psi[m..2 * m];
+                let tw_sh = &psi_sh[m..2 * m];
+                let mut i = 0;
+                while i < m {
+                    let j1 = 4 * i;
+                    let r0 = _mm256_loadu_si256(ap.add(j1) as *const __m256i);
+                    let r1 = _mm256_loadu_si256(ap.add(j1 + 4) as *const __m256i);
+                    let u = csub(_mm256_permute2x128_si256(r0, r1, 0x20), two_qv, sign);
+                    let vraw = _mm256_permute2x128_si256(r0, r1, 0x31);
+                    // only two twiddles are needed: a 128-bit load keeps
+                    // the read inside the slice, the permute duplicates
+                    // each into its block's lane pair [s0 s0 s1 s1]
+                    let tp = _mm256_castsi128_si256(_mm_loadu_si128(
+                        tw.as_ptr().add(i) as *const __m128i
+                    ));
+                    let tsp = _mm256_castsi128_si256(_mm_loadu_si128(
+                        tw_sh.as_ptr().add(i) as *const __m128i
+                    ));
+                    let sv = _mm256_permute4x64_epi64(tp, 0x50);
+                    let sshv = _mm256_permute4x64_epi64(tsp, 0x50);
+                    let v = mul_shoup_lazy(vraw, sv, sshv, qv);
+                    let uo = _mm256_add_epi64(u, v);
+                    let vo = _mm256_sub_epi64(_mm256_add_epi64(u, two_qv), v);
+                    _mm256_storeu_si256(
+                        ap.add(j1) as *mut __m256i,
+                        _mm256_permute2x128_si256(uo, vo, 0x20),
+                    );
+                    _mm256_storeu_si256(
+                        ap.add(j1 + 4) as *mut __m256i,
+                        _mm256_permute2x128_si256(uo, vo, 0x31),
+                    );
+                    i += 2;
+                }
+                m <<= 1;
+            }
+            // Last stage (t == 1): interleaved pairs, folded full
+            // reduction — outputs land in [0, q) with no extra sweep.
+            debug_assert_eq!(m, n / 2);
+            let tw = &psi[m..2 * m];
+            let tw_sh = &psi_sh[m..2 * m];
+            let mut i = 0;
+            while i < m {
+                let j1 = 2 * i;
+                let r0 = _mm256_loadu_si256(ap.add(j1) as *const __m256i);
+                let r1 = _mm256_loadu_si256(ap.add(j1 + 4) as *const __m256i);
+                // deinterleave: u = [u0 u2 u1 u3], v = [v0 v2 v1 v3]
+                let u = csub(_mm256_unpacklo_epi64(r0, r1), two_qv, sign);
+                let vraw = _mm256_unpackhi_epi64(r0, r1);
+                let tp = _mm256_loadu_si256(tw.as_ptr().add(i) as *const __m256i);
+                let tsp = _mm256_loadu_si256(tw_sh.as_ptr().add(i) as *const __m256i);
+                // match the [s0 s2 s1 s3] lane order of the unpack
+                let sv = _mm256_permute4x64_epi64(tp, 0xD8);
+                let sshv = _mm256_permute4x64_epi64(tsp, 0xD8);
+                let v = mul_shoup_lazy(vraw, sv, sshv, qv);
+                let uo = csub(csub(_mm256_add_epi64(u, v), two_qv, sign), qv, sign);
+                let vo = csub(
+                    csub(
+                        _mm256_sub_epi64(_mm256_add_epi64(u, two_qv), v),
+                        two_qv,
+                        sign,
+                    ),
+                    qv,
+                    sign,
+                );
+                _mm256_storeu_si256(ap.add(j1) as *mut __m256i, _mm256_unpacklo_epi64(uo, vo));
+                _mm256_storeu_si256(
+                    ap.add(j1 + 4) as *mut __m256i,
+                    _mm256_unpackhi_epi64(uo, vo),
+                );
+                i += 4;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn ntt_inv_lazy_avx2(
+        a: &mut [u64],
+        ipsi: &[u64],
+        ipsi_sh: &[u64],
+        sc: InvScale,
+        q: u64,
+    ) {
+        let n = a.len();
+        debug_assert!(n.is_power_of_two() && n >= 2);
+        debug_assert_eq!(ipsi.len(), n);
+        if n < 8 {
+            return super::scalar_impl::ntt_inv_lazy(a, ipsi, ipsi_sh, sc, q);
+        }
+        let two_q = 2 * q;
+        // SAFETY: AVX2 verified by dispatch; same block-partition bounds
+        // argument as the forward transform, traversed in reverse order.
+        unsafe {
+            let qv = _mm256_set1_epi64x(q as i64);
+            let two_qv = _mm256_set1_epi64x(two_q as i64);
+            let sign = sign_bit();
+            let ap = a.as_mut_ptr();
+            let mut t = 1;
+            let mut m = n;
+            // First stage (t == 1): interleaved pairs.
+            {
+                let h = m >> 1;
+                let tw = &ipsi[h..2 * h];
+                let tw_sh = &ipsi_sh[h..2 * h];
+                let mut i = 0;
+                while i < h {
+                    let j1 = 2 * i;
+                    let r0 = _mm256_loadu_si256(ap.add(j1) as *const __m256i);
+                    let r1 = _mm256_loadu_si256(ap.add(j1 + 4) as *const __m256i);
+                    let u = _mm256_unpacklo_epi64(r0, r1);
+                    let v = _mm256_unpackhi_epi64(r0, r1);
+                    let tp = _mm256_loadu_si256(tw.as_ptr().add(i) as *const __m256i);
+                    let tsp = _mm256_loadu_si256(tw_sh.as_ptr().add(i) as *const __m256i);
+                    let sv = _mm256_permute4x64_epi64(tp, 0xD8);
+                    let sshv = _mm256_permute4x64_epi64(tsp, 0xD8);
+                    let s0 = csub(_mm256_add_epi64(u, v), two_qv, sign);
+                    let d = _mm256_sub_epi64(_mm256_add_epi64(u, two_qv), v);
+                    let vo = mul_shoup_lazy(d, sv, sshv, qv);
+                    _mm256_storeu_si256(ap.add(j1) as *mut __m256i, _mm256_unpacklo_epi64(s0, vo));
+                    _mm256_storeu_si256(
+                        ap.add(j1 + 4) as *mut __m256i,
+                        _mm256_unpackhi_epi64(s0, vo),
+                    );
+                    i += 4;
+                }
+                t <<= 1;
+                m = h;
+            }
+            // t == 2 stage: paired blocks via 128-bit lane permutes.
+            if m > 2 {
+                let h = m >> 1;
+                let tw = &ipsi[h..2 * h];
+                let tw_sh = &ipsi_sh[h..2 * h];
+                let mut i = 0;
+                while i < h {
+                    let j1 = 4 * i;
+                    let r0 = _mm256_loadu_si256(ap.add(j1) as *const __m256i);
+                    let r1 = _mm256_loadu_si256(ap.add(j1 + 4) as *const __m256i);
+                    let u = _mm256_permute2x128_si256(r0, r1, 0x20);
+                    let v = _mm256_permute2x128_si256(r0, r1, 0x31);
+                    // only two twiddles are needed: a 128-bit load keeps
+                    // the read inside the slice, the permute duplicates
+                    // each into its block's lane pair [s0 s0 s1 s1]
+                    let tp = _mm256_castsi128_si256(_mm_loadu_si128(
+                        tw.as_ptr().add(i) as *const __m128i
+                    ));
+                    let tsp = _mm256_castsi128_si256(_mm_loadu_si128(
+                        tw_sh.as_ptr().add(i) as *const __m128i
+                    ));
+                    let sv = _mm256_permute4x64_epi64(tp, 0x50);
+                    let sshv = _mm256_permute4x64_epi64(tsp, 0x50);
+                    let s0 = csub(_mm256_add_epi64(u, v), two_qv, sign);
+                    let d = _mm256_sub_epi64(_mm256_add_epi64(u, two_qv), v);
+                    let vo = mul_shoup_lazy(d, sv, sshv, qv);
+                    _mm256_storeu_si256(
+                        ap.add(j1) as *mut __m256i,
+                        _mm256_permute2x128_si256(s0, vo, 0x20),
+                    );
+                    _mm256_storeu_si256(
+                        ap.add(j1 + 4) as *mut __m256i,
+                        _mm256_permute2x128_si256(s0, vo, 0x31),
+                    );
+                    i += 2;
+                }
+                t <<= 1;
+                m = h;
+            }
+            // Stages with t >= 4, stopping before the last (m == 2).
+            while m > 2 {
+                let h = m >> 1;
+                let tw = &ipsi[h..2 * h];
+                let tw_sh = &ipsi_sh[h..2 * h];
+                let mut j1 = 0;
+                for i in 0..h {
+                    let sv = _mm256_set1_epi64x(tw[i] as i64);
+                    let sshv = _mm256_set1_epi64x(tw_sh[i] as i64);
+                    let mut j = 0;
+                    while j < t {
+                        let up = ap.add(j1 + j) as *mut __m256i;
+                        let vp = ap.add(j1 + j + t) as *mut __m256i;
+                        let u = _mm256_loadu_si256(up as *const _);
+                        let v = _mm256_loadu_si256(vp as *const _);
+                        let s0 = csub(_mm256_add_epi64(u, v), two_qv, sign);
+                        let d = _mm256_sub_epi64(_mm256_add_epi64(u, two_qv), v);
+                        _mm256_storeu_si256(up, s0);
+                        _mm256_storeu_si256(vp, mul_shoup_lazy(d, sv, sshv, qv));
+                        j += 4;
+                    }
+                    j1 += 2 * t;
+                }
+                t <<= 1;
+                m = h;
+            }
+            // Last stage (m == 2): fold the N⁻¹ scaling. The strict Shoup
+            // product fully reduces any u64 input, so outputs are [0, q).
+            let half = n / 2;
+            let ni = _mm256_set1_epi64x(sc.n_inv as i64);
+            let ni_sh = _mm256_set1_epi64x(sc.n_inv_shoup as i64);
+            let sni = _mm256_set1_epi64x(sc.s_n_inv as i64);
+            let sni_sh = _mm256_set1_epi64x(sc.s_n_inv_shoup as i64);
+            let mut j = 0;
+            while j < half {
+                let up = ap.add(j) as *mut __m256i;
+                let vp = ap.add(j + half) as *mut __m256i;
+                let u = _mm256_loadu_si256(up as *const _);
+                let v = _mm256_loadu_si256(vp as *const _);
+                let s0 = _mm256_add_epi64(u, v);
+                let d = _mm256_sub_epi64(_mm256_add_epi64(u, two_qv), v);
+                _mm256_storeu_si256(up, mul_shoup(s0, ni, ni_sh, qv, sign));
+                _mm256_storeu_si256(vp, mul_shoup(d, sni, sni_sh, qv, sign));
+                j += 4;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modular::{add_mod, mul_mod, neg_mod, shoup_precompute, sub_mod};
+
+    const Q: u64 = 0x1fff_ffff_ffe0_0001; // 61-bit NTT prime
+
+    fn rng_seq(seed: u64, len: usize, bound: u64) -> Vec<u64> {
+        let mut s = seed;
+        (0..len)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                s % bound
+            })
+            .collect()
+    }
+
+    #[test]
+    fn barrett_vector_matches_scalar_everywhere() {
+        // Exercises the vector Barrett path (through mul_pointwise) on
+        // every variant, including the non-multiple-of-4 tail.
+        for k in variants() {
+            for len in [1usize, 3, 4, 7, 64, 65] {
+                let a = rng_seq(1, len, Q);
+                let b = rng_seq(2, len, Q);
+                let mut dst = vec![0u64; len];
+                (k.mul_pointwise)(&mut dst, &a, &b, Q);
+                for i in 0..len {
+                    assert_eq!(dst[i], mul_mod(a[i], b[i], Q), "{} len={len}", k.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn elementwise_kernels_match_reference() {
+        for k in variants() {
+            let len = 67; // deliberately not a multiple of the lane count
+            let a0 = rng_seq(3, len, Q);
+            let b = rng_seq(4, len, Q);
+            let s = 0x1234_5678_9abc % Q;
+            let s_sh = shoup_precompute(s, Q);
+
+            let mut a = a0.clone();
+            (k.add_assign)(&mut a, &b, Q);
+            for i in 0..len {
+                assert_eq!(a[i], add_mod(a0[i], b[i], Q), "add {}", k.name);
+            }
+
+            let mut a = a0.clone();
+            (k.sub_assign)(&mut a, &b, Q);
+            for i in 0..len {
+                assert_eq!(a[i], sub_mod(a0[i], b[i], Q), "sub {}", k.name);
+            }
+
+            let mut a = a0.clone();
+            a[0] = 0; // exercise the zero special-case
+            let az = a.clone();
+            (k.neg_assign)(&mut a, Q);
+            for i in 0..len {
+                assert_eq!(a[i], neg_mod(az[i], Q), "neg {}", k.name);
+            }
+
+            let mut d = rng_seq(5, len, Q);
+            let d0 = d.clone();
+            (k.add_mul)(&mut d, &a0, &b, Q);
+            for i in 0..len {
+                assert_eq!(
+                    d[i],
+                    add_mod(d0[i], mul_mod(a0[i], b[i], Q), Q),
+                    "add_mul {}",
+                    k.name
+                );
+            }
+
+            let mut a = a0.clone();
+            (k.scalar_mul_assign)(&mut a, s, s_sh, Q);
+            for i in 0..len {
+                assert_eq!(a[i], mul_mod(a0[i], s, Q), "scalar_mul {}", k.name);
+            }
+
+            let mut a = a0.clone();
+            (k.sub_mul_assign)(&mut a, &b, s, s_sh, Q);
+            for i in 0..len {
+                assert_eq!(
+                    a[i],
+                    mul_mod(sub_mod(a0[i], b[i], Q), s, Q),
+                    "sub_mul {}",
+                    k.name
+                );
+            }
+
+            let src = rng_seq(6, len, u64::MAX);
+            let mut d = vec![0u64; len];
+            (k.mod_reduce)(&mut d, &src, Q);
+            for i in 0..len {
+                assert_eq!(d[i], src[i] % Q, "mod_reduce {}", k.name);
+            }
+        }
+    }
+
+    #[test]
+    fn centered_reduce_matches_i128_lift() {
+        let src_q = Q;
+        let dst_q = 0x0fff_ffff_ff00_0001u64; // smaller odd modulus
+        for k in variants() {
+            let len = 33;
+            let mut src = rng_seq(7, len, src_q);
+            src[0] = 0;
+            src[1] = src_q - 1;
+            src[2] = src_q / 2;
+            src[3] = src_q / 2 + 1;
+            let mut d = vec![0u64; len];
+            (k.centered_reduce)(&mut d, &src, src_q, dst_q);
+            for i in 0..len {
+                let centered = crate::modular::center(src[i], src_q) as i128;
+                assert_eq!(
+                    d[i],
+                    crate::modular::reduce_i128(centered, dst_q),
+                    "{} i={i}",
+                    k.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ks_accum_matches_strict_inner_product() {
+        for k in variants() {
+            for (len, digits) in [(1usize, 1usize), (5, 2), (64, 3), (67, 7)] {
+                let ds: Vec<Vec<u64>> = (0..digits)
+                    .map(|i| rng_seq(10 + i as u64, len, Q))
+                    .collect();
+                let ks: Vec<Vec<u64>> = (0..digits)
+                    .map(|i| rng_seq(20 + i as u64, len, Q))
+                    .collect();
+                let kss: Vec<Vec<u64>> = ks
+                    .iter()
+                    .map(|kv| kv.iter().map(|&x| shoup_precompute(x, Q)).collect())
+                    .collect();
+                let mut dst = rng_seq(30, len, Q);
+                let d0 = dst.clone();
+                let dref: Vec<&[u64]> = ds.iter().map(|v| v.as_slice()).collect();
+                let kref: Vec<&[u64]> = ks.iter().map(|v| v.as_slice()).collect();
+                let ksref: Vec<&[u64]> = kss.iter().map(|v| v.as_slice()).collect();
+                (k.ks_accum)(&mut dst, &dref, &kref, &ksref, Q);
+                for j in 0..len {
+                    let mut expect = d0[j];
+                    for i in 0..digits {
+                        expect = add_mod(expect, mul_mod(ds[i][j], ks[i][j], Q), Q);
+                    }
+                    assert_eq!(dst[j], expect, "{} len={len} digits={digits}", k.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_is_cached_and_labeled() {
+        let k = kernels();
+        assert!(k.name == "avx2" || k.name == "scalar");
+        // Second call must hand back the identical table.
+        assert!(std::ptr::eq(k, kernels()));
+        assert_eq!(dispatch_name(), k.name);
+    }
+}

@@ -184,11 +184,14 @@ pub enum OpClass {
     PolyStage,
     /// Paged prepared-layer load from the spill store.
     PageLoad,
+    /// Pointwise limb arithmetic (add/sub/neg/mul/MAC) — the kernel work
+    /// between NTT and key-switch spans.
+    Pointwise,
 }
 
 impl OpClass {
     /// All classes, in export order.
-    pub const ALL: [OpClass; 8] = [
+    pub const ALL: [OpClass; 9] = [
         OpClass::NttFwd,
         OpClass::NttInv,
         OpClass::KeySwitch,
@@ -197,6 +200,7 @@ impl OpClass {
         OpClass::LinearLayer,
         OpClass::PolyStage,
         OpClass::PageLoad,
+        OpClass::Pointwise,
     ];
 
     /// Stable export name.
@@ -210,13 +214,14 @@ impl OpClass {
             OpClass::LinearLayer => "linear_layer",
             OpClass::PolyStage => "poly_stage",
             OpClass::PageLoad => "page_load",
+            OpClass::Pointwise => "pointwise",
         }
     }
 }
 
-static OP_HISTS: OnceLock<[LogHistogram; 8]> = OnceLock::new();
+static OP_HISTS: OnceLock<[LogHistogram; 9]> = OnceLock::new();
 
-fn op_hists() -> &'static [LogHistogram; 8] {
+fn op_hists() -> &'static [LogHistogram; 9] {
     OP_HISTS.get_or_init(|| std::array::from_fn(|_| LogHistogram::new()))
 }
 
@@ -246,15 +251,19 @@ pub fn clear_op_histograms() {
 }
 
 /// JSON object mapping op-class name → histogram summary in
-/// milliseconds. Empty classes are omitted.
+/// milliseconds. Empty classes are omitted. When the kernel layer has
+/// registered its dispatch class (avx2/scalar), a `simd_dispatch` label is
+/// attached so traces record which instruction mix produced the timings.
 pub fn op_histograms_value() -> Value {
-    Value::Obj(
-        OpClass::ALL
-            .iter()
-            .filter(|c| op_histogram(**c).count() > 0)
-            .map(|c| (c.name().to_string(), op_histogram(*c).to_value(1e-6)))
-            .collect(),
-    )
+    let mut entries: Vec<(String, Value)> = OpClass::ALL
+        .iter()
+        .filter(|c| op_histogram(**c).count() > 0)
+        .map(|c| (c.name().to_string(), op_histogram(*c).to_value(1e-6)))
+        .collect();
+    if let Some(d) = crate::kernel_dispatch() {
+        entries.push(("simd_dispatch".to_string(), Value::Str(d.to_string())));
+    }
+    Value::Obj(entries)
 }
 
 #[cfg(test)]

@@ -36,6 +36,23 @@ pub mod path;
 pub mod trace;
 
 pub use hist::{op_histogram, time_class, LogHistogram, OpClass};
+
+/// Dispatch-class label of the kernel layer ("avx2" / "scalar"), set once
+/// by `orion_math::simd` when its dispatch table is chosen. Kept here so
+/// kernel histograms and trace summaries can be labeled with the class
+/// that produced them without a dependency cycle.
+static KERNEL_DISPATCH: OnceLock<&'static str> = OnceLock::new();
+
+/// Records the kernel dispatch class. First caller wins; later calls with
+/// the same process-wide choice are no-ops.
+pub fn set_kernel_dispatch(name: &'static str) {
+    let _ = KERNEL_DISPATCH.set(name);
+}
+
+/// The kernel dispatch class, if the kernel layer has been exercised.
+pub fn kernel_dispatch() -> Option<&'static str> {
+    KERNEL_DISPATCH.get().copied()
+}
 pub use path::{critical_path, last_run, record_run, runs, CritUnit, RunReport};
 
 /// How many events a thread buffers locally before force-flushing to its

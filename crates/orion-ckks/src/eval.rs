@@ -242,23 +242,37 @@ impl Evaluator {
 
     /// `HRot`: rotates slots "up" by `k` (slot `i` of the output holds slot
     /// `i+k` of the input), via the Galois automorphism and one key-switch.
+    ///
+    /// Panics if the rotation key was not generated; statically
+    /// unreachable on verified plans (see [`Self::try_rotate`]).
     pub fn rotate(&self, ct: &Ciphertext, k: isize) -> Ciphertext {
+        self.try_rotate(ct, k).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Self::rotate`] with a typed error on a missing rotation key, for
+    /// callers that handle key coverage themselves instead of relying on
+    /// pre-flight verification.
+    pub fn try_rotate(
+        &self,
+        ct: &Ciphertext,
+        k: isize,
+    ) -> Result<Ciphertext, crate::keys::MissingRotationKey> {
         if k == 0 {
-            return ct.clone();
+            return Ok(ct.clone());
         }
         let g = self.ctx.galois_element(k);
+        let key = self.keys.try_rotation(g)?;
         let perm = self.ctx.galois_permutation(g);
         let sc0 = ct.c0.automorphism_eval(&perm);
         let sc1 = ct.c1.automorphism_eval(&perm);
-        let key = self.keys.rotation(g);
         let (ks_b, ks_a) = self.key_switch(&sc1, key);
         let mut c0 = sc0;
         c0.add_assign(&ks_b, &self.ctx);
-        Ciphertext {
+        Ok(Ciphertext {
             c0,
             c1: ks_a,
             scale: ct.scale,
-        }
+        })
     }
 
     /// Complex conjugation of all slots (requires the conjugation key).

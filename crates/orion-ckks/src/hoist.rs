@@ -101,7 +101,13 @@ impl HoistedDigits {
         }
         let g = ctx.galois_element(k);
         let perm = ctx.galois_permutation(g);
-        let key = eval.keys().rotation(g);
+        // Typed key lookup: a miss panics here with the MissingRotationKey
+        // message — statically unreachable on verified plans (the
+        // orion_nn::verify key-coverage pass checks every hoisted rotation).
+        let key = eval
+            .keys()
+            .try_rotation(g)
+            .unwrap_or_else(|e| panic!("{e}"));
         let pds: Vec<RnsPoly> = self
             .digits
             .iter()
@@ -167,7 +173,13 @@ impl HoistedDigits {
         }
         let g = ctx.galois_element(k);
         let perm = ctx.galois_permutation(g);
-        let key = eval.keys().rotation(g);
+        // Typed key lookup: a miss panics here with the MissingRotationKey
+        // message — statically unreachable on verified plans (the
+        // orion_nn::verify key-coverage pass checks every hoisted rotation).
+        let key = eval
+            .keys()
+            .try_rotation(g)
+            .unwrap_or_else(|e| panic!("{e}"));
         let pds: Vec<RnsPoly> = self
             .digits
             .iter()
@@ -251,7 +263,13 @@ impl ExtAccumulator {
         );
         let g = ctx.galois_element(k);
         let perm = ctx.galois_permutation(g);
-        let key = eval.keys().rotation(g);
+        // Typed key lookup: a miss panics here with the MissingRotationKey
+        // message — statically unreachable on verified plans (the
+        // orion_nn::verify key-coverage pass checks every hoisted rotation).
+        let key = eval
+            .keys()
+            .try_rotation(g)
+            .unwrap_or_else(|e| panic!("{e}"));
         let pds: Vec<RnsPoly> = h
             .digits
             .iter()

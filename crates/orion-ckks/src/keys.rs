@@ -148,12 +148,48 @@ pub struct EvalKeys {
     pub conj: Option<KeySwitchKey>,
 }
 
+/// A rotation was requested whose Galois element has no generated key.
+///
+/// Statically unreachable on certified programs: the `orion_nn::verify`
+/// key-coverage pass enumerates every Galois element a plan touches
+/// (BSGS baby/giant steps, optimizer shared-rotation units) and checks it
+/// against keygen before any ciphertext math runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MissingRotationKey {
+    /// The Galois element that was looked up.
+    pub galois: usize,
+}
+
+impl std::fmt::Display for MissingRotationKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "missing rotation key for galois element {}", self.galois)
+    }
+}
+
+impl std::error::Error for MissingRotationKey {}
+
 impl EvalKeys {
+    /// Looks up the rotation key for Galois element `g`, with a typed
+    /// error on a miss.
+    pub fn try_rotation(&self, g: usize) -> Result<&KeySwitchKey, MissingRotationKey> {
+        self.rot.get(&g).ok_or(MissingRotationKey { galois: g })
+    }
+
     /// Looks up the rotation key for Galois element `g`.
+    ///
+    /// Panics on a miss. The static verifier's key-coverage pass makes a
+    /// miss unreachable for any certified plan — the `debug_assert`
+    /// documents that contract; fallible callers use [`Self::try_rotation`].
     pub fn rotation(&self, g: usize) -> &KeySwitchKey {
-        self.rot
-            .get(&g)
-            .unwrap_or_else(|| panic!("missing rotation key for galois element {g}"))
+        debug_assert!(
+            self.rot.contains_key(&g),
+            "rotation key miss for galois element {g} — the plan was not verified \
+             (orion_nn::verify key-coverage would have rejected it pre-flight)"
+        );
+        match self.try_rotation(g) {
+            Ok(key) => key,
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 

@@ -83,9 +83,16 @@ impl Orion {
 
     /// Fits activation ranges on `calibration` and compiles `net`
     /// (paper §6: `net.fit()` + compile).
+    ///
+    /// The compiled program is statically certified before being handed
+    /// back ([`orion_nn::verify`]): scale/level typechecking, rotation-key
+    /// coverage, and plan well-formedness. A program the runtime would
+    /// reject mid-inference is rejected here instead.
     pub fn compile(&self, net: &Network, calibration: &[Tensor]) -> Compiled {
         let fitres = fit_robust(net, calibration, 4);
-        compile(net, &fitres, &self.opts)
+        let compiled = compile(net, &fitres, &self.opts);
+        certify(&compiled, &orion_nn::VerifyConfig::default());
+        compiled
     }
 
     /// Compiles with pre-computed ranges.
@@ -112,8 +119,25 @@ impl Orion {
     /// number of concurrent [`fhe_inference_prepared`] /
     /// [`fhe_inference_batch`] calls.
     pub fn prepare_fhe(&self, compiled: &Compiled, session: &FheSession) -> Arc<PreparedProgram> {
+        // Pre-flight: with the session's concrete parameters in hand the
+        // noise-budget pass joins the structural ones; a program that
+        // would panic (or decrypt garbage) under these keys never gets
+        // its weights encoded.
+        certify(compiled, &orion_nn::VerifyConfig::with_ctx(&session.ctx));
         session.prepare(compiled)
     }
+}
+
+/// Panics (with the full diagnostic table) if `compiled` draws any
+/// error-severity diagnostic. Warnings are tolerated — prepare-time noise
+/// margins are advisory.
+fn certify(compiled: &Compiled, cfg: &orion_nn::VerifyConfig<'_>) {
+    let report = orion_nn::verify_compiled(compiled, cfg);
+    assert!(
+        !report.has_errors(),
+        "compiled program failed static verification:\n{}",
+        report.table()
+    );
 }
 
 /// Runs a compiled program on the cleartext trace backend.

@@ -16,6 +16,13 @@
 //!
 //! Everything here is deterministic; NTT tables are precomputed once per
 //! `(N, q)` pair and shared.
+//!
+//! The crate contains the workspace's only `unsafe` code (the SIMD kernel
+//! layer in [`simd`]): every unsafe operation must sit in an explicit
+//! `unsafe {}` block carrying a `// SAFETY:` comment stating its invariant
+//! (lazy-range bound, pointer provenance, or feature detection) — enforced
+//! by `deny(unsafe_op_in_unsafe_fn)` below and a CI grep.
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod arena;
 pub mod fft;

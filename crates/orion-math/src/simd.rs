@@ -502,53 +502,77 @@ mod avx2_impl {
     /// Sign-bit constant for unsigned 64-bit comparison via signed compare.
     #[inline(always)]
     unsafe fn sign_bit() -> __m256i {
-        _mm256_set1_epi64x(i64::MIN)
+        // SAFETY: register-only broadcast, no memory access; the caller
+        // guarantees AVX2 (all helpers in this module are reached only
+        // through kernels gated on `is_x86_feature_detected!("avx2")`).
+        unsafe { _mm256_set1_epi64x(i64::MIN) }
     }
 
     /// Lane-wise `a - m` where `a >= m`, else `a` (unsigned conditional
     /// subtract; compare is signed-with-bias).
     #[inline(always)]
     unsafe fn csub(a: __m256i, m: __m256i, sign: __m256i) -> __m256i {
-        let lt = _mm256_cmpgt_epi64(_mm256_xor_si256(m, sign), _mm256_xor_si256(a, sign));
-        _mm256_sub_epi64(a, _mm256_andnot_si256(lt, m))
+        // SAFETY: pure lane arithmetic on register values (no memory
+        // access); caller guarantees AVX2. The signed-with-bias compare is
+        // exact for any u64 lanes, so the conditional subtract keeps the
+        // advertised `[0, m)` range whenever `a < 2m`.
+        unsafe {
+            let lt = _mm256_cmpgt_epi64(_mm256_xor_si256(m, sign), _mm256_xor_si256(a, sign));
+            _mm256_sub_epi64(a, _mm256_andnot_si256(lt, m))
+        }
     }
 
     /// Low 64 bits of the lane-wise 64×64 product (AVX2 has no native
     /// 64-bit multiply; three 32×32 products assemble it).
     #[inline(always)]
     unsafe fn mullo64(a: __m256i, b: __m256i) -> __m256i {
-        let a_hi = _mm256_srli_epi64(a, 32);
-        let b_hi = _mm256_srli_epi64(b, 32);
-        let lo = _mm256_mul_epu32(a, b);
-        let mid = _mm256_add_epi64(_mm256_mul_epu32(a, b_hi), _mm256_mul_epu32(a_hi, b));
-        _mm256_add_epi64(lo, _mm256_slli_epi64(mid, 32))
+        // SAFETY: pure lane arithmetic on register values; caller
+        // guarantees AVX2. Wrapping adds are the intended semantics — only
+        // the low 64 bits of the product are kept.
+        unsafe {
+            let a_hi = _mm256_srli_epi64(a, 32);
+            let b_hi = _mm256_srli_epi64(b, 32);
+            let lo = _mm256_mul_epu32(a, b);
+            let mid = _mm256_add_epi64(_mm256_mul_epu32(a, b_hi), _mm256_mul_epu32(a_hi, b));
+            _mm256_add_epi64(lo, _mm256_slli_epi64(mid, 32))
+        }
     }
 
     /// High 64 bits of the lane-wise 64×64 product (four 32×32 schoolbook
     /// partials with exact carry assembly; no partial sum overflows u64).
     #[inline(always)]
     unsafe fn mulhi64(a: __m256i, b: __m256i) -> __m256i {
-        let a_hi = _mm256_srli_epi64(a, 32);
-        let b_hi = _mm256_srli_epi64(b, 32);
-        let mask = _mm256_set1_epi64x(0xffff_ffff);
-        let ll = _mm256_mul_epu32(a, b);
-        let lh = _mm256_mul_epu32(a, b_hi);
-        let hl = _mm256_mul_epu32(a_hi, b);
-        let hh = _mm256_mul_epu32(a_hi, b_hi);
-        let t = _mm256_add_epi64(lh, _mm256_srli_epi64(ll, 32));
-        let u = _mm256_add_epi64(hl, _mm256_and_si256(t, mask));
-        _mm256_add_epi64(
-            hh,
-            _mm256_add_epi64(_mm256_srli_epi64(t, 32), _mm256_srli_epi64(u, 32)),
-        )
+        // SAFETY: pure lane arithmetic on register values; caller
+        // guarantees AVX2. Each 32×32 partial is ≤ (2³²−1)², so none of
+        // the carry-assembly sums can overflow a u64 lane.
+        unsafe {
+            let a_hi = _mm256_srli_epi64(a, 32);
+            let b_hi = _mm256_srli_epi64(b, 32);
+            let mask = _mm256_set1_epi64x(0xffff_ffff);
+            let ll = _mm256_mul_epu32(a, b);
+            let lh = _mm256_mul_epu32(a, b_hi);
+            let hl = _mm256_mul_epu32(a_hi, b);
+            let hh = _mm256_mul_epu32(a_hi, b_hi);
+            let t = _mm256_add_epi64(lh, _mm256_srli_epi64(ll, 32));
+            let u = _mm256_add_epi64(hl, _mm256_and_si256(t, mask));
+            _mm256_add_epi64(
+                hh,
+                _mm256_add_epi64(_mm256_srli_epi64(t, 32), _mm256_srli_epi64(u, 32)),
+            )
+        }
     }
 
     /// Lazy Shoup product: congruent to `a·b mod q`, in `[0, 2q)`; `a` may
     /// be any u64, `(b, b_sh)` are the fixed operand and its Shoup pair.
     #[inline(always)]
     unsafe fn mul_shoup_lazy(a: __m256i, b: __m256i, b_sh: __m256i, qv: __m256i) -> __m256i {
-        let hi = mulhi64(a, b_sh);
-        _mm256_sub_epi64(mullo64(a, b), mullo64(hi, qv))
+        // SAFETY: register-only arithmetic; caller guarantees AVX2 and
+        // that `b_sh = ⌊b·2⁶⁴/q⌋` (the Shoup pair), which bounds the lazy
+        // result to `[0, 2q)` — the documented output range.
+        unsafe {
+            let hi = mulhi64(a, b_sh);
+            _mm256_sub_epi64(mullo64(a, b), mullo64(hi, qv))
+        }
     }
 
     /// Strict Shoup product: `a·b mod q` in `[0, q)` for any u64 `a`.
@@ -560,16 +584,24 @@ mod avx2_impl {
         qv: __m256i,
         sign: __m256i,
     ) -> __m256i {
-        csub(mul_shoup_lazy(a, b, b_sh, qv), qv, sign)
+        // SAFETY: register-only arithmetic; caller guarantees AVX2. The
+        // lazy product is `< 2q`, so one conditional subtract lands in
+        // `[0, q)`.
+        unsafe { csub(mul_shoup_lazy(a, b, b_sh, qv), qv, sign) }
     }
 
     /// Lane-wise add with carry-out (0/1 per lane, detected by unsigned
     /// `sum < a`).
     #[inline(always)]
     unsafe fn addcarry(a: __m256i, b: __m256i, sign: __m256i) -> (__m256i, __m256i) {
-        let s = _mm256_add_epi64(a, b);
-        let c = _mm256_cmpgt_epi64(_mm256_xor_si256(a, sign), _mm256_xor_si256(s, sign));
-        (s, _mm256_srli_epi64(c, 63))
+        // SAFETY: register-only arithmetic; caller guarantees AVX2. The
+        // wrapping add plus biased compare implements the unsigned
+        // `sum < a` carry-out test exactly.
+        unsafe {
+            let s = _mm256_add_epi64(a, b);
+            let c = _mm256_cmpgt_epi64(_mm256_xor_si256(a, sign), _mm256_xor_si256(s, sign));
+            (s, _mm256_srli_epi64(c, 63))
+        }
     }
 
     /// Vector Barrett constants for one modulus.
@@ -585,15 +617,19 @@ mod avx2_impl {
         unsafe fn new(q: u64) -> (Barrett, Self) {
             let br = Barrett::new(q);
             let r = u128::MAX / q as u128;
-            (
-                br,
-                Self {
-                    qv: _mm256_set1_epi64x(q as i64),
-                    r_lo: _mm256_set1_epi64x(r as u64 as i64),
-                    r_hi: _mm256_set1_epi64x((r >> 64) as u64 as i64),
-                    sign: sign_bit(),
-                },
-            )
+            // SAFETY: register-only broadcasts of the Barrett constants;
+            // caller guarantees AVX2.
+            unsafe {
+                (
+                    br,
+                    Self {
+                        qv: _mm256_set1_epi64x(q as i64),
+                        r_lo: _mm256_set1_epi64x(r as u64 as i64),
+                        r_hi: _mm256_set1_epi64x((r >> 64) as u64 as i64),
+                        sign: sign_bit(),
+                    },
+                )
+            }
         }
 
         /// Reduces the 128-bit lane values `(x_hi, x_lo)` into `[0, q)`;
@@ -601,24 +637,33 @@ mod avx2_impl {
         /// estimate, same single conditional subtract → bit-identical).
         #[inline(always)]
         unsafe fn reduce(&self, x_lo: __m256i, x_hi: __m256i) -> __m256i {
-            let carry = mulhi64(x_lo, self.r_lo);
-            let b_lo = mullo64(x_lo, self.r_hi);
-            let b_hi = mulhi64(x_lo, self.r_hi);
-            let (mid, c1) = addcarry(b_lo, carry, self.sign);
-            let b_hi = _mm256_add_epi64(b_hi, c1);
-            let c_lo = mullo64(x_hi, self.r_lo);
-            let c_hi = mulhi64(x_hi, self.r_lo);
-            let (_, c2) = addcarry(mid, c_lo, self.sign);
-            let carry2 = _mm256_add_epi64(c_hi, c2);
-            let est = _mm256_add_epi64(_mm256_add_epi64(mullo64(x_hi, self.r_hi), b_hi), carry2);
-            let r = _mm256_sub_epi64(x_lo, mullo64(est, self.qv));
-            csub(r, self.qv, self.sign)
+            // SAFETY: register-only arithmetic; caller guarantees AVX2 and
+            // lane values `x < q·2⁶⁴` (any product of `< q` operands), so
+            // the scalar proof of `Barrett::reduce_u128` — quotient
+            // estimate off by at most one — carries over lane for lane.
+            unsafe {
+                let carry = mulhi64(x_lo, self.r_lo);
+                let b_lo = mullo64(x_lo, self.r_hi);
+                let b_hi = mulhi64(x_lo, self.r_hi);
+                let (mid, c1) = addcarry(b_lo, carry, self.sign);
+                let b_hi = _mm256_add_epi64(b_hi, c1);
+                let c_lo = mullo64(x_hi, self.r_lo);
+                let c_hi = mulhi64(x_hi, self.r_lo);
+                let (_, c2) = addcarry(mid, c_lo, self.sign);
+                let carry2 = _mm256_add_epi64(c_hi, c2);
+                let est =
+                    _mm256_add_epi64(_mm256_add_epi64(mullo64(x_hi, self.r_hi), b_hi), carry2);
+                let r = _mm256_sub_epi64(x_lo, mullo64(est, self.qv));
+                csub(r, self.qv, self.sign)
+            }
         }
 
         /// `a·b mod q` per lane, both operands variable and `< q`.
         #[inline(always)]
         unsafe fn mul_mod(&self, a: __m256i, b: __m256i) -> __m256i {
-            self.reduce(mullo64(a, b), mulhi64(a, b))
+            // SAFETY: register-only arithmetic; caller guarantees AVX2 and
+            // operands `< q`, meeting `reduce`'s input bound.
+            unsafe { self.reduce(mullo64(a, b), mulhi64(a, b)) }
         }
     }
 

@@ -183,6 +183,11 @@ impl Compiled {
             self.placement.boot_sites,
             self.activation_depth()
         );
+        let _ = writeln!(
+            s,
+            "{}",
+            crate::verify::verify_compiled(self, &crate::verify::VerifyConfig::default()).summary()
+        );
         for (id, p) in self.prog.iter().enumerate() {
             let lvl = self.placement.levels[id]
                 .map(|l| format!("@L{l}"))

@@ -30,6 +30,7 @@ pub mod network;
 pub mod opt;
 pub mod sched;
 pub mod trace_exec;
+pub mod verify;
 
 pub use backend::{
     run_program, run_program_mode, run_program_opt, Counting, EvalBackend, LinearRef, ProgramRun,
@@ -39,5 +40,9 @@ pub use compile::{compile, CompileOptions, Compiled};
 pub use fhe_exec::FheSession;
 pub use layer::Layer;
 pub use network::{Network, NodeId};
-pub use opt::{optimize_plan, OptConfig, OptStats, PlanOptimizer};
+pub use opt::{checked_rewrite, optimize_plan, OptConfig, OptStats, PlanOptimizer};
 pub use sched::{ExecPlan, SchedMode};
+pub use verify::{
+    verify_compiled, verify_plan, Diagnostic, Provenance, Rule, Severity, VerifyConfig,
+    VerifyReport,
+};

@@ -128,6 +128,10 @@ pub struct OptStats {
     pub level_fusion: LevelFusionStats,
     /// Pass 3.
     pub boot_sink: BootSinkStats,
+    /// Passes whose rewritten plan failed static verification and was
+    /// rolled back (should be 0; anything else is an optimizer bug that
+    /// the rewrite safety net contained).
+    pub rejected_passes: u64,
 }
 
 impl OptStats {
@@ -156,6 +160,7 @@ impl OptStats {
             ("opt_bootstraps_moved", self.boot_sink.bootstraps_moved),
             ("opt_peak_limbs_before", self.boot_sink.peak_limbs_before),
             ("opt_peak_limbs_after", self.boot_sink.peak_limbs_after),
+            ("opt_rejected_passes", self.rejected_passes),
         ]
     }
 }
@@ -179,18 +184,53 @@ impl PlanOptimizer {
 
     /// Runs the enabled passes in order (CSE → fusion → sinking) and
     /// returns per-pass stats. Disabled passes leave the plan untouched.
+    ///
+    /// Every pass runs behind the [`checked_rewrite`] safety net: the
+    /// rewritten plan is statically re-verified, and a pass whose output
+    /// draws an error diagnostic is rolled back (counted in
+    /// [`OptStats::rejected_passes`]) instead of shipped.
     pub fn optimize(&self, plan: &mut ExecPlan, c: &Compiled) -> OptStats {
         let mut stats = OptStats::default();
         if self.cfg.rotation_cse {
-            stats.rotation_cse = rotation_cse(plan, c, &self.cost);
+            match checked_rewrite(plan, c, |p| rotation_cse(p, c, &self.cost)) {
+                Ok(s) => stats.rotation_cse = s,
+                Err(_) => stats.rejected_passes += 1,
+            }
         }
         if self.cfg.level_fusion {
-            stats.level_fusion = level_fusion(plan, c);
+            match checked_rewrite(plan, c, |p| level_fusion(p, c)) {
+                Ok(s) => stats.level_fusion = s,
+                Err(_) => stats.rejected_passes += 1,
+            }
         }
         if self.cfg.boot_sink {
-            stats.boot_sink = boot_sink(plan, c);
+            match checked_rewrite(plan, c, |p| boot_sink(p, c)) {
+                Ok(s) => stats.boot_sink = s,
+                Err(_) => stats.rejected_passes += 1,
+            }
         }
         stats
+    }
+}
+
+/// Applies an arbitrary plan rewrite and statically re-verifies the
+/// result — the safety net every built-in optimizer pass runs behind. If
+/// the rewritten plan draws any error-severity diagnostic, the plan is
+/// rolled back to its pre-rewrite state and the report returned; warnings
+/// alone do not reject a rewrite.
+pub fn checked_rewrite<T>(
+    plan: &mut ExecPlan,
+    c: &Compiled,
+    rewrite: impl FnOnce(&mut ExecPlan) -> T,
+) -> Result<T, crate::verify::VerifyReport> {
+    let snapshot = plan.clone();
+    let out = rewrite(plan);
+    let report = crate::verify::verify_plan(plan, c, &crate::verify::VerifyConfig::default());
+    if report.has_errors() {
+        *plan = snapshot;
+        Err(report)
+    } else {
+        Ok(out)
     }
 }
 
@@ -469,7 +509,7 @@ fn level_fusion(plan: &mut ExecPlan, c: &Compiled) -> LevelFusionStats {
 
 /// Estimated live weight (limb vectors: 2 polynomials × (level + 1) rows
 /// per ciphertext) of each unit's output.
-fn produced_weight(plan: &ExecPlan, c: &Compiled, uid: usize) -> u64 {
+pub(crate) fn produced_weight(plan: &ExecPlan, c: &Compiled, uid: usize) -> u64 {
     let unit = &plan.units[uid];
     if unit.out_len == 0 {
         return 0;
@@ -505,7 +545,7 @@ fn produced_weight(plan: &ExecPlan, c: &Compiled, uid: usize) -> u64 {
 /// Peak live limb vectors when the plan's units run in `order` (old unit
 /// ids in execution order): each producer's output is live from its
 /// position to its last non-advisory reader's position.
-fn est_peak_limbs(weights: &[u64], readers: &[Vec<usize>], pos: &[usize]) -> u64 {
+pub(crate) fn est_peak_limbs(weights: &[u64], readers: &[Vec<usize>], pos: &[usize]) -> u64 {
     let n = pos.len();
     let mut delta = vec![0i64; n + 1];
     for uid in 0..n {

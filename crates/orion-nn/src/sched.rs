@@ -174,6 +174,9 @@ pub struct SharedRotSpec {
 }
 
 /// The dataflow execution plan of one compiled program (see module docs).
+/// `Clone` exists so optimizer rewrites can snapshot a plan and roll back
+/// when the verifier rejects the rewritten result (`opt::checked_rewrite`).
+#[derive(Clone)]
 pub struct ExecPlan {
     /// Units in a topological order (deps always precede).
     pub units: Vec<Unit>,

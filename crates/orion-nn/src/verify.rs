@@ -1,0 +1,1481 @@
+//! Static plan certification: pre-flight diagnostics over a compiled
+//! program and its execution plan.
+//!
+//! [`verify_plan`] abstractly interprets an [`ExecPlan`] without executing
+//! any ciphertext math: a per-value-slot abstract state (level, scale
+//! class, predicted noise) is pushed through every unit in plan order, and
+//! anything that would make the runtime assert, panic, or silently decrypt
+//! garbage becomes a typed [`Diagnostic`] *before* the first NTT runs.
+//! Four pass families share one linear sweep:
+//!
+//! 1. **Scale/level typechecking** — mirrors the executor's read/write
+//!    levels exactly (the `drop_to_level` placement assert, rescaling at
+//!    level 0, the `square`/`relu_final` two-level asserts, fused-level
+//!    bounds) and tracks the exact-Δ scale discipline: every non-poly step
+//!    hands its consumers scale Δ, while Chebyshev sign stages
+//!    (`PolyStage { normalize: false }`) hand a drifted poly-internal
+//!    scale that only `ReluFinal` or a normalizing stage restores. Adding
+//!    a poly-internal wire to a Δ wire is the static image of the
+//!    runtime's `assert_scales_match` failure.
+//! 2. **Rotation-key coverage** — every rotation the plan touches (BSGS
+//!    baby + giant steps per linear layer, optimizer [`SharedRotSpec`]
+//!    unions) is checked against the rotation steps keys exist for. Two
+//!    amounts share a key iff they are congruent modulo the slot count
+//!    (`galois_element(k) = 5^(k mod N/2) mod 2N` with `N/2` slots), so
+//!    coverage is a residue-set check — the static version of the
+//!    `EvalKeys::rotation` key miss.
+//! 3. **Noise-budget certification** — drives the existing
+//!    [`orion_ckks::NoiseEstimator`] as an abstract domain over (σ,
+//!    magnitude) pairs, warning wherever predicted precision drops below
+//!    [`VerifyConfig::noise_floor_bits`] entering a bootstrap or at the
+//!    output. Runs only when [`VerifyConfig::ctx`] provides concrete CKKS
+//!    parameters.
+//! 4. **Memory / well-formedness** — promotes the sched-plan proptest
+//!    invariants (topological deps, reverse-edge consistency, unit
+//!    coverage per program node, bootstrap replication, `SharedRotSpec`
+//!    validity, fused-level bounds) into production checks, and certifies
+//!    the optimizer's peak-live-limb estimate against
+//!    [`VerifyConfig::max_peak_limbs`].
+//!
+//! The verifier runs by default at three choke points: `Orion::compile`
+//! and `prepare_fhe` (orion-core), after **every**
+//! [`PlanOptimizer`](crate::opt::PlanOptimizer) pass (a rewrite that
+//! introduces an error diagnostic is rolled back, not shipped — see
+//! [`crate::opt::checked_rewrite`]), and at orion-serve model
+//! registration (unverifiable models are rejected with a typed
+//! `ServeError`).
+//!
+//! # Adding a pass
+//!
+//! New checks slot into [`Checker`]: structural (whole-plan) rules go in
+//! `structural()`, per-unit dataflow rules in `walk()` next to the step
+//! they constrain, with a new [`Rule`] variant naming the check. Keep the
+//! walk allocation-free per unit — the optimizer re-verifies after every
+//! pass on the serving hot path.
+
+use crate::compile::{Compiled, Step};
+use crate::sched::{Buffer, ExecPlan, SharedRotSpec, UnitWork};
+use orion_ckks::{Context, NoiseEstimator};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// How bad a diagnostic is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The plan may run, but the result quality is at risk (e.g. the
+    /// predicted precision dips below the configured floor).
+    Warning,
+    /// The plan would panic or decrypt garbage if executed.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Which check fired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// A dependency edge violates plan order, or the reverse-edge table is
+    /// inconsistent with the deps.
+    Topology,
+    /// A program node is not covered by exactly the units `ExecPlan::build`
+    /// emits for it (or a unit reads an unproduced / out-of-range slot).
+    Coverage,
+    /// An add (or a step requiring exact-Δ inputs) would combine wires
+    /// whose scales differ — the runtime `assert_scales_match` image.
+    ScaleMismatch,
+    /// A wire is read above its producer's level, or a step is placed
+    /// below the depth its runtime asserts demand.
+    LevelUnderflow,
+    /// A step would have to rescale at level 0 (the chain is exhausted —
+    /// a bootstrap is required earlier).
+    RescaleInfeasible,
+    /// A bootstrap unit's (fused) target level is illegal.
+    BootstrapTarget,
+    /// A fused level on a unit that cannot carry one, or above the
+    /// producer's natural output level.
+    FusedLevel,
+    /// The plan needs a rotation no generated key covers.
+    MissingRotationKey,
+    /// A `SharedRot` unit or [`SharedRotSpec`] violates the optimizer's
+    /// contract (dangling spec, empty/zero rotations, bad block indices,
+    /// wrong hoist count, orphaned or under-shared consumers).
+    SharedRotMalformed,
+    /// Predicted precision drops below the configured floor before a
+    /// bootstrap or at the output.
+    NoiseFloor,
+    /// The certified peak-live-limb estimate exceeds the configured
+    /// budget.
+    MemoryBound,
+}
+
+impl Rule {
+    /// Stable kebab-case name (used in tables and CI summaries).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Rule::Topology => "topology",
+            Rule::Coverage => "coverage",
+            Rule::ScaleMismatch => "scale-mismatch",
+            Rule::LevelUnderflow => "level-underflow",
+            Rule::RescaleInfeasible => "rescale-infeasible",
+            Rule::BootstrapTarget => "bootstrap-target",
+            Rule::FusedLevel => "fused-level",
+            Rule::MissingRotationKey => "missing-rotation-key",
+            Rule::SharedRotMalformed => "shared-rot-malformed",
+            Rule::NoiseFloor => "noise-floor",
+            Rule::MemoryBound => "memory-bound",
+        }
+    }
+
+    /// All rules, in report order.
+    pub fn all() -> &'static [Rule] {
+        &[
+            Rule::Topology,
+            Rule::Coverage,
+            Rule::ScaleMismatch,
+            Rule::LevelUnderflow,
+            Rule::RescaleInfeasible,
+            Rule::BootstrapTarget,
+            Rule::FusedLevel,
+            Rule::MissingRotationKey,
+            Rule::SharedRotMalformed,
+            Rule::NoiseFloor,
+            Rule::MemoryBound,
+        ]
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Where a diagnostic anchors: plan unit, program node, ciphertext index
+/// within the wire — whichever are meaningful for the rule.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Provenance {
+    /// Plan unit id.
+    pub unit: Option<usize>,
+    /// Program node id.
+    pub node: Option<usize>,
+    /// Ciphertext index within the wire.
+    pub ct: Option<usize>,
+}
+
+impl Provenance {
+    /// Anchored at a plan unit.
+    pub fn unit(unit: usize) -> Self {
+        Self {
+            unit: Some(unit),
+            ..Self::default()
+        }
+    }
+
+    /// Anchored at a program node.
+    pub fn node(node: usize) -> Self {
+        Self {
+            node: Some(node),
+            ..Self::default()
+        }
+    }
+
+    /// Adds a program node.
+    pub fn at_node(mut self, node: usize) -> Self {
+        self.node = Some(node);
+        self
+    }
+
+    /// Adds a ciphertext index.
+    pub fn at_ct(mut self, ct: usize) -> Self {
+        self.ct = Some(ct);
+        self
+    }
+}
+
+impl fmt::Display for Provenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut any = false;
+        if let Some(u) = self.unit {
+            write!(f, "unit {u}")?;
+            any = true;
+        }
+        if let Some(n) = self.node {
+            write!(f, "{}node {n}", if any { " " } else { "" })?;
+            any = true;
+        }
+        if let Some(c) = self.ct {
+            write!(f, "{}ct {c}", if any { " " } else { "" })?;
+            any = true;
+        }
+        if !any {
+            write!(f, "plan")?;
+        }
+        Ok(())
+    }
+}
+
+/// One verifier finding.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Which check fired.
+    pub rule: Rule,
+    /// Error (would panic / corrupt) or warning (quality at risk).
+    pub severity: Severity,
+    /// Step/wire/unit provenance.
+    pub at: Provenance,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}: {}",
+            self.severity, self.rule, self.at, self.message
+        )
+    }
+}
+
+/// Verifier configuration. `Default` is the structural profile every
+/// choke point can afford: scale/level typechecking, key coverage against
+/// the compiled key set, and memory/well-formedness — no concrete CKKS
+/// context required.
+#[derive(Clone, Copy, Debug)]
+pub struct VerifyConfig<'a> {
+    /// Rotation steps keys will exist for. `None` checks against the
+    /// compiled program's own key-generation set
+    /// (`Compiled::rotation_steps`), which is what `FheSession::new`
+    /// generates.
+    pub available_rotations: Option<&'a [isize]>,
+    /// CKKS context for the noise-budget pass; `None` skips it (levels and
+    /// scales are parameter-free, noise is not).
+    pub ctx: Option<&'a Context>,
+    /// Precision floor in bits for the noise pass: a wire predicted below
+    /// this entering a bootstrap (or at the output) draws a warning.
+    pub noise_floor_bits: f64,
+    /// Optional budget for the certified peak-live-limb estimate.
+    pub max_peak_limbs: Option<u64>,
+}
+
+impl Default for VerifyConfig<'_> {
+    fn default() -> Self {
+        Self {
+            available_rotations: None,
+            ctx: None,
+            noise_floor_bits: 2.0,
+            max_peak_limbs: None,
+        }
+    }
+}
+
+impl<'a> VerifyConfig<'a> {
+    /// The default profile plus the noise pass under `ctx`'s parameters.
+    pub fn with_ctx(ctx: &'a Context) -> Self {
+        Self {
+            ctx: Some(ctx),
+            ..Self::default()
+        }
+    }
+}
+
+/// The verifier's output: diagnostics plus the certified quantities.
+#[derive(Clone, Debug, Default)]
+pub struct VerifyReport {
+    /// Everything that fired, in discovery order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Plan units examined.
+    pub units: usize,
+    /// Certified peak-live-limb estimate (only on structurally clean
+    /// plans — the estimate is meaningless otherwise).
+    pub peak_limbs: Option<u64>,
+    /// Worst predicted precision at any bootstrap input or output slot
+    /// (noise pass only).
+    pub min_precision_bits: Option<f64>,
+    /// Rotation-coverage memberships checked.
+    pub rotations_checked: usize,
+}
+
+impl VerifyReport {
+    /// Error-severity diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Warning-severity diagnostics.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.len() - self.error_count()
+    }
+
+    /// No error-severity diagnostics?
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// No diagnostics at all?
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// `(rule name, count)` rows for every rule that fired.
+    pub fn counts_by_rule(&self) -> Vec<(&'static str, usize)> {
+        Rule::all()
+            .iter()
+            .filter_map(|r| {
+                let n = self.diagnostics.iter().filter(|d| d.rule == *r).count();
+                (n > 0).then_some((r.name(), n))
+            })
+            .collect()
+    }
+
+    /// One-line summary for compilation reports.
+    pub fn summary(&self) -> String {
+        if self.is_clean() {
+            let mut s = format!(
+                "verification: certified clean ({} units, {} rotation checks",
+                self.units, self.rotations_checked
+            );
+            if let Some(p) = self.peak_limbs {
+                s.push_str(&format!(", peak {p} live limbs"));
+            }
+            if let Some(b) = self.min_precision_bits {
+                s.push_str(&format!(", min precision {b:.1} b"));
+            }
+            s.push(')');
+            s
+        } else {
+            let first = &self.diagnostics[0];
+            format!(
+                "verification: {} error(s), {} warning(s) — first: {first}",
+                self.error_count(),
+                self.warning_count()
+            )
+        }
+    }
+
+    /// A human-readable diagnostic table (or the clean summary).
+    pub fn table(&self) -> String {
+        if self.is_clean() {
+            return self.summary();
+        }
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{:<8} {:<22} {:<18} message",
+            "severity", "rule", "provenance"
+        );
+        for d in &self.diagnostics {
+            let _ = writeln!(
+                s,
+                "{:<8} {:<22} {:<18} {}",
+                d.severity.to_string(),
+                d.rule.name(),
+                d.at.to_string(),
+                d.message
+            );
+        }
+        s.push_str(&self.summary());
+        s
+    }
+}
+
+/// Verifies a compiled program by building (and checking) its unoptimized
+/// execution plan.
+pub fn verify_compiled(c: &Compiled, cfg: &VerifyConfig<'_>) -> VerifyReport {
+    let plan = ExecPlan::build(c);
+    verify_plan(&plan, c, cfg)
+}
+
+/// Verifies an execution plan (optimized or not) against its program.
+pub fn verify_plan(plan: &ExecPlan, c: &Compiled, cfg: &VerifyConfig<'_>) -> VerifyReport {
+    let mut checker = Checker::new(plan, c, cfg);
+    checker.structural();
+    checker.walk();
+    checker.finish(cfg)
+}
+
+/// The abstract scale of a wire (exact-Δ discipline, see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ScaleClass {
+    /// Exactly Δ — what every non-poly step produces and what adds,
+    /// linear layers, scale-downs and squares require.
+    Delta,
+    /// A Chebyshev sign-stage output: drifted off Δ by the stage's
+    /// rescale chain; only consumable by another poly stage or the
+    /// relu-final product that restores Δ.
+    PolyInternal,
+}
+
+/// Per-value-slot abstract state.
+#[derive(Clone, Copy, Debug)]
+struct SlotState {
+    level: usize,
+    scale: ScaleClass,
+    /// Producer was a bootstrap unit (refines underflow diagnostics into
+    /// bootstrap-target violations).
+    from_boot: bool,
+}
+
+struct Checker<'a> {
+    plan: &'a ExecPlan,
+    c: &'a Compiled,
+    /// Rotation residues (mod slots) keys exist for.
+    avail: BTreeSet<usize>,
+    est: Option<NoiseEstimator<'a>>,
+    floor: f64,
+    st: Vec<Option<SlotState>>,
+    /// Parallel per-slot noise state: (σ, magnitude bound).
+    noise: Vec<Option<(f64, f64)>>,
+    diags: Vec<Diagnostic>,
+    min_prec: Option<f64>,
+    rotations_checked: usize,
+}
+
+/// Magnitude bounds fold through multiplications; keep them finite.
+fn clamp_mag(m: f64) -> f64 {
+    m.clamp(1e-6, 1e12)
+}
+
+impl<'a> Checker<'a> {
+    fn new(plan: &'a ExecPlan, c: &'a Compiled, cfg: &VerifyConfig<'a>) -> Self {
+        let slots = c.opts.slots;
+        let steps_own;
+        let steps: &[isize] = match cfg.available_rotations {
+            Some(s) => s,
+            None => {
+                steps_own = c.rotation_steps();
+                &steps_own
+            }
+        };
+        let avail = steps
+            .iter()
+            .map(|&k| k.rem_euclid(slots as isize) as usize)
+            .filter(|&r| r != 0)
+            .collect();
+        let mut est = None;
+        let mut diags = Vec::new();
+        if let Some(ctx) = cfg.ctx {
+            // The noise estimator indexes the modulus chain by level; a
+            // context whose chain is shorter than the program's level
+            // budget cannot run the program at all.
+            if ctx.params.max_level < c.opts.l_eff {
+                diags.push(Diagnostic {
+                    rule: Rule::RescaleInfeasible,
+                    severity: Severity::Error,
+                    at: Provenance::default(),
+                    message: format!(
+                        "program level budget L_eff={} exceeds the parameter chain (max level {})",
+                        c.opts.l_eff, ctx.params.max_level
+                    ),
+                });
+            } else {
+                est = Some(NoiseEstimator::new(ctx));
+            }
+        }
+        Self {
+            plan,
+            c,
+            avail,
+            est,
+            floor: cfg.noise_floor_bits,
+            st: vec![None; plan.value_slots()],
+            noise: vec![None; plan.value_slots()],
+            diags,
+            min_prec: None,
+            rotations_checked: 0,
+        }
+    }
+
+    fn push(&mut self, rule: Rule, severity: Severity, at: Provenance, message: String) {
+        self.diags.push(Diagnostic {
+            rule,
+            severity,
+            at,
+            message,
+        });
+    }
+
+    fn error(&mut self, rule: Rule, at: Provenance, message: String) {
+        self.push(rule, Severity::Error, at, message);
+    }
+
+    // -----------------------------------------------------------------
+    // Pass family 4a: structural well-formedness (promoted sched-plan
+    // proptest invariants).
+    // -----------------------------------------------------------------
+
+    fn structural(&mut self) {
+        let plan = self.plan;
+        let c = self.c;
+        let n = plan.units.len();
+
+        // Topological deps + reverse-edge consistency.
+        for (uid, unit) in plan.units.iter().enumerate() {
+            for &d in &unit.deps {
+                if d >= uid {
+                    self.error(
+                        Rule::Topology,
+                        Provenance::unit(uid),
+                        format!("dependency {d} does not precede the unit in plan order"),
+                    );
+                }
+            }
+        }
+        if plan.succs.len() != n {
+            self.error(
+                Rule::Topology,
+                Provenance::default(),
+                format!(
+                    "reverse-edge table covers {} units, plan has {n}",
+                    plan.succs.len()
+                ),
+            );
+        } else {
+            let mut expect: Vec<Vec<usize>> = vec![Vec::new(); n];
+            for (uid, unit) in plan.units.iter().enumerate() {
+                for &d in &unit.deps {
+                    if d < uid {
+                        expect[d].push(uid);
+                    }
+                }
+            }
+            for uid in 0..n {
+                let mut got = plan.succs[uid].clone();
+                got.sort_unstable();
+                expect[uid].sort_unstable();
+                expect[uid].dedup();
+                got.dedup();
+                if got != expect[uid] {
+                    self.error(
+                        Rule::Topology,
+                        Provenance::unit(uid),
+                        "reverse-edge table disagrees with the dependency lists".to_string(),
+                    );
+                }
+            }
+        }
+
+        // Coverage: each program node must be produced by exactly the
+        // units `ExecPlan::build` emits for it.
+        let mut steps = vec![0usize; c.prog.len()];
+        let mut prefetches = vec![0usize; c.prog.len()];
+        let mut step_cts: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); c.prog.len()];
+        let mut boots: BTreeMap<(usize, usize), BTreeSet<usize>> = BTreeMap::new();
+        let mut boot_units = 0u64;
+        for (uid, unit) in plan.units.iter().enumerate() {
+            let node = match unit.work {
+                UnitWork::Step { node }
+                | UnitWork::StepCt { node, .. }
+                | UnitWork::Prefetch { node } => node,
+                UnitWork::Boot { wire, consumer, ct } => {
+                    boot_units += 1;
+                    if wire >= c.prog.len() || consumer >= c.prog.len() {
+                        self.error(
+                            Rule::Coverage,
+                            Provenance::unit(uid),
+                            "bootstrap unit references an unknown program node".to_string(),
+                        );
+                        continue;
+                    }
+                    if unit.deps.len() != 1 {
+                        self.error(
+                            Rule::Coverage,
+                            Provenance::unit(uid).at_node(wire).at_ct(ct),
+                            format!(
+                                "bootstrap unit has {} dependencies (expected exactly 1)",
+                                unit.deps.len()
+                            ),
+                        );
+                    }
+                    boots.entry((consumer, wire)).or_default().insert(ct);
+                    continue;
+                }
+                UnitWork::SharedRot { .. } => continue,
+            };
+            if node >= c.prog.len() {
+                self.error(
+                    Rule::Coverage,
+                    Provenance::unit(uid),
+                    format!("unit references unknown program node {node}"),
+                );
+                continue;
+            }
+            match unit.work {
+                UnitWork::Step { .. } => steps[node] += 1,
+                UnitWork::Prefetch { .. } => prefetches[node] += 1,
+                UnitWork::StepCt { ct, .. } => {
+                    if !step_cts[node].insert(ct) {
+                        self.error(
+                            Rule::Coverage,
+                            Provenance::unit(uid).at_node(node).at_ct(ct),
+                            "ciphertext produced by two units".to_string(),
+                        );
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+        for (id, p) in c.prog.iter().enumerate() {
+            let n_cts = p.n_cts.max(1);
+            match &p.step {
+                Step::Input | Step::Output | Step::Conv { .. } | Step::Dense { .. } => {
+                    if steps[id] != 1 {
+                        self.error(
+                            Rule::Coverage,
+                            Provenance::node(id),
+                            format!("{} whole-step units (expected 1)", steps[id]),
+                        );
+                    }
+                    let want_pre =
+                        usize::from(matches!(p.step, Step::Conv { .. } | Step::Dense { .. }));
+                    if prefetches[id] != want_pre {
+                        self.error(
+                            Rule::Coverage,
+                            Provenance::node(id),
+                            format!("{} prefetch twins (expected {want_pre})", prefetches[id]),
+                        );
+                    }
+                }
+                _ => {
+                    if step_cts[id].len() != n_cts
+                        || step_cts[id].last().is_some_and(|&m| m >= n_cts)
+                    {
+                        self.error(
+                            Rule::Coverage,
+                            Provenance::node(id),
+                            format!(
+                                "per-ct units cover {} of {} ciphertexts",
+                                step_cts[id].len(),
+                                n_cts
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        // Bootstrap replication must match the placement exactly.
+        for ((consumer, wire), cts) in &boots {
+            let expected = if c.placement.boots_before[*consumer] > 0
+                && c.prog[*consumer].inputs.contains(wire)
+            {
+                c.prog[*wire].n_cts.max(1)
+            } else {
+                0
+            };
+            if cts.len() != expected || cts.last().is_some_and(|&m| m >= expected) {
+                self.error(
+                    Rule::Coverage,
+                    Provenance::node(*wire),
+                    format!(
+                        "{} bootstrap units refresh wire {wire} before node {consumer} \
+                         (placement expects {expected})",
+                        cts.len()
+                    ),
+                );
+            }
+        }
+        let expected_boots: u64 = c
+            .prog
+            .iter()
+            .enumerate()
+            .filter(|(id, _)| c.placement.boots_before[*id] > 0)
+            .flat_map(|(_, p)| p.inputs.iter())
+            .map(|&w| c.prog[w].n_cts.max(1) as u64)
+            .sum();
+        if boot_units != expected_boots || boot_units != plan.bootstraps() {
+            self.error(
+                Rule::Coverage,
+                Provenance::default(),
+                format!(
+                    "plan carries {boot_units} bootstrap units, placement demands \
+                     {expected_boots} (tally {})",
+                    plan.bootstraps()
+                ),
+            );
+        }
+
+        // Fused-level bounds.
+        for (uid, unit) in plan.units.iter().enumerate() {
+            let Some(fl) = unit.fused_level else { continue };
+            match unit.work {
+                UnitWork::Boot { wire, ct, .. } => {
+                    if fl >= c.opts.l_eff {
+                        self.error(
+                            Rule::BootstrapTarget,
+                            Provenance::unit(uid).at_node(wire).at_ct(ct),
+                            format!(
+                                "bootstrap fused to level {fl}, at or above the refresh \
+                                 target L_eff={}",
+                                c.opts.l_eff
+                            ),
+                        );
+                    }
+                }
+                UnitWork::StepCt { node, ct }
+                    if matches!(
+                        c.prog.get(node).map(|p| &p.step),
+                        Some(Step::ScaleDown { .. })
+                    ) =>
+                {
+                    let natural = c.placement.levels[node].map(|lv| lv.saturating_sub(1));
+                    if natural.is_none_or(|nat| fl >= nat) {
+                        self.error(
+                            Rule::FusedLevel,
+                            Provenance::unit(uid).at_node(node).at_ct(ct),
+                            format!(
+                                "scale-down fused to level {fl}, not below its natural \
+                                 output level {natural:?}"
+                            ),
+                        );
+                    }
+                }
+                _ => {
+                    self.error(
+                        Rule::FusedLevel,
+                        Provenance::unit(uid),
+                        "only scale-down and bootstrap units may carry a fused level".to_string(),
+                    );
+                }
+            }
+        }
+
+        self.shared_specs();
+    }
+
+    /// `SharedRot` units, their specs, and their consumers (optimizer
+    /// rewrite contract).
+    fn shared_specs(&mut self) {
+        let plan = self.plan;
+        let c = self.c;
+        let n_specs = plan.shared.len();
+        let mut owner: Vec<Option<usize>> = vec![None; n_specs];
+        for (uid, unit) in plan.units.iter().enumerate() {
+            let UnitWork::SharedRot { spec } = unit.work else {
+                continue;
+            };
+            if spec >= n_specs {
+                self.error(
+                    Rule::SharedRotMalformed,
+                    Provenance::unit(uid),
+                    format!("references shared-rotation spec {spec}, plan has {n_specs}"),
+                );
+                continue;
+            }
+            if let Some(prev) = owner[spec] {
+                self.error(
+                    Rule::SharedRotMalformed,
+                    Provenance::unit(uid),
+                    format!("spec {spec} already computed by unit {prev}"),
+                );
+            } else {
+                owner[spec] = Some(uid);
+            }
+            self.check_spec(uid, spec, &plan.shared[spec]);
+        }
+        // Consumers: linear step units only, each wired to the owner.
+        let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n_specs];
+        for (uid, unit) in plan.units.iter().enumerate() {
+            let Some(spec) = unit.shared_rots else {
+                continue;
+            };
+            if spec >= n_specs || owner[spec].is_none() {
+                self.error(
+                    Rule::SharedRotMalformed,
+                    Provenance::unit(uid),
+                    format!("consumes shared-rotation spec {spec}, which no unit computes"),
+                );
+                continue;
+            }
+            let ok_kind = matches!(unit.work, UnitWork::Step { node }
+                if matches!(c.prog.get(node).map(|p| &p.step),
+                    Some(Step::Conv { .. } | Step::Dense { .. })));
+            if !ok_kind {
+                self.error(
+                    Rule::SharedRotMalformed,
+                    Provenance::unit(uid),
+                    "only linear whole-step units may consume shared rotations".to_string(),
+                );
+                continue;
+            }
+            let own = owner[spec].expect("owner checked above");
+            if !unit.deps.contains(&own) {
+                self.error(
+                    Rule::SharedRotMalformed,
+                    Provenance::unit(uid),
+                    format!("consumer is not ordered after its shared-rotation unit {own}"),
+                );
+            }
+            let UnitWork::Step { node } = unit.work else {
+                unreachable!()
+            };
+            let sp = &plan.shared[spec];
+            if c.placement.levels[node] != Some(sp.level) {
+                self.error(
+                    Rule::SharedRotMalformed,
+                    Provenance::unit(uid).at_node(node),
+                    format!(
+                        "consumer placed at level {:?}, spec hoists at level {}",
+                        c.placement.levels[node], sp.level
+                    ),
+                );
+            }
+            if plan.in_bufs[node].first() != Some(&sp.buf) {
+                self.error(
+                    Rule::SharedRotMalformed,
+                    Provenance::unit(uid).at_node(node),
+                    "consumer reads a different buffer than the spec hoists".to_string(),
+                );
+            }
+            consumers[spec].push(uid);
+        }
+        for (spec, cons) in consumers.iter().enumerate() {
+            if let Some(own) = owner[spec] {
+                if cons.len() < 2 {
+                    self.error(
+                        Rule::SharedRotMalformed,
+                        Provenance::unit(own),
+                        format!(
+                            "spec {spec} has {} consumer(s); sharing needs at least 2",
+                            cons.len()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    fn check_spec(&mut self, uid: usize, spec_id: usize, sp: &SharedRotSpec) {
+        let at = Provenance::unit(uid);
+        if sp.rots.is_empty() {
+            self.error(
+                Rule::SharedRotMalformed,
+                at,
+                format!("spec {spec_id} hoists no rotations"),
+            );
+        }
+        if sp.buf.offset + sp.buf.len > self.plan.value_slots() {
+            self.error(
+                Rule::SharedRotMalformed,
+                at,
+                format!("spec {spec_id} buffer exceeds the plan's value slots"),
+            );
+        }
+        let mut blocks = BTreeSet::new();
+        for &(blk, amt) in &sp.rots {
+            blocks.insert(blk);
+            if amt == 0 {
+                self.error(
+                    Rule::SharedRotMalformed,
+                    at,
+                    format!("spec {spec_id} hoists a rotation by 0"),
+                );
+            }
+            if blk as usize >= sp.buf.len {
+                self.error(
+                    Rule::SharedRotMalformed,
+                    at,
+                    format!(
+                        "spec {spec_id} rotates input block {blk} of a {}-ciphertext buffer",
+                        sp.buf.len
+                    ),
+                );
+            }
+            self.check_rotation(amt as isize, at);
+        }
+        if blocks.len() != sp.hoists {
+            self.error(
+                Rule::SharedRotMalformed,
+                at,
+                format!(
+                    "spec {spec_id} declares {} hoists but rotates {} distinct blocks",
+                    sp.hoists,
+                    blocks.len()
+                ),
+            );
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Pass family 2: rotation-key coverage.
+    // -----------------------------------------------------------------
+
+    /// Checks that a rotation by `k` slots is covered by a generated key.
+    fn check_rotation(&mut self, k: isize, at: Provenance) {
+        self.rotations_checked += 1;
+        let slots = self.c.opts.slots;
+        let r = k.rem_euclid(slots as isize) as usize;
+        if r == 0 || self.avail.contains(&r) {
+            return;
+        }
+        // The Galois element the runtime would look up (and panic on):
+        // 5^(k mod N/2) mod 2N with N = 2·slots.
+        let g = orion_math::modular::pow_mod(5, r as u64, 4 * slots as u64);
+        self.error(
+            Rule::MissingRotationKey,
+            at,
+            format!("rotation by {k} (galois element {g}) has no generated key"),
+        );
+    }
+
+    // -----------------------------------------------------------------
+    // Pass families 1 + 3: the per-unit dataflow walk.
+    // -----------------------------------------------------------------
+
+    /// Reads `slot` at `level` (`None` = raw read), returning the state.
+    fn read(&mut self, slot: usize, level: Option<usize>, at: Provenance) -> Option<SlotState> {
+        let Some(state) = self.st.get(slot).copied().flatten() else {
+            self.error(
+                Rule::Coverage,
+                at,
+                format!("reads value slot {slot}, which no earlier unit produces"),
+            );
+            return None;
+        };
+        if let Some(need) = level {
+            if state.level < need {
+                let rule = if state.from_boot {
+                    Rule::BootstrapTarget
+                } else {
+                    Rule::LevelUnderflow
+                };
+                self.error(
+                    rule,
+                    at,
+                    format!(
+                        "wire at level {} but the policy needs {need} — placement violated",
+                        state.level
+                    ),
+                );
+            }
+        }
+        Some(state)
+    }
+
+    /// Requires an exact-Δ wire (adds, linear layers, scale-downs,
+    /// squares and the relu magnitude input).
+    fn require_delta(&mut self, state: Option<SlotState>, at: Provenance, what: &str) {
+        if let Some(s) = state {
+            if s.scale != ScaleClass::Delta {
+                self.error(
+                    Rule::ScaleMismatch,
+                    at,
+                    format!(
+                        "{what} is a poly-internal wire off the exact-Δ scale — the runtime \
+                         scale assert would fire"
+                    ),
+                );
+            }
+        }
+    }
+
+    fn write(&mut self, slot: usize, state: SlotState, at: Provenance) {
+        if slot >= self.st.len() {
+            self.error(
+                Rule::Coverage,
+                at,
+                format!("writes value slot {slot} beyond the plan's slot count"),
+            );
+            return;
+        }
+        if self.st[slot].is_some() {
+            self.error(
+                Rule::Coverage,
+                at,
+                format!("value slot {slot} written twice"),
+            );
+        }
+        self.st[slot] = Some(state);
+    }
+
+    /// Folds the predicted precision at a checkpoint (bootstrap input or
+    /// output) into the floor check.
+    fn check_floor(&mut self, slot: usize, at: Provenance, what: &str) {
+        let Some((sigma, _)) = self.noise.get(slot).copied().flatten() else {
+            return;
+        };
+        let prec = -sigma.log2();
+        self.min_prec = Some(self.min_prec.map_or(prec, |m| m.min(prec)));
+        if prec < self.floor {
+            self.push(
+                Rule::NoiseFloor,
+                Severity::Warning,
+                at,
+                format!(
+                    "{what} at ~{prec:.1} predicted bits of precision (floor {:.1})",
+                    self.floor
+                ),
+            );
+        }
+    }
+
+    fn placement_level(&mut self, node: usize, at: Provenance) -> Option<usize> {
+        let lv = self.c.placement.levels.get(node).copied().flatten();
+        if lv.is_none() {
+            self.error(
+                Rule::LevelUnderflow,
+                at.at_node(node),
+                "step has no placement level".to_string(),
+            );
+        }
+        lv
+    }
+
+    fn walk(&mut self) {
+        for uid in 0..self.plan.units.len() {
+            self.walk_unit(uid);
+        }
+    }
+
+    fn walk_unit(&mut self, uid: usize) {
+        let unit = &self.plan.units[uid];
+        let c = self.c;
+        match unit.work {
+            UnitWork::Prefetch { .. } => {}
+            UnitWork::SharedRot { spec } => {
+                // Spec contents were checked structurally; here the
+                // dataflow: the buffer must exist at the hoist level.
+                if let Some(sp) = self.plan.shared.get(spec) {
+                    let (buf, level) = (sp.buf, sp.level);
+                    for s in buf.offset..buf.offset + buf.len {
+                        self.read(s, Some(level), Provenance::unit(uid));
+                    }
+                }
+            }
+            UnitWork::Boot { wire, ct, .. } => {
+                let at = Provenance::unit(uid).at_node(wire).at_ct(ct);
+                let input = self.read(unit.in_slot, None, at);
+                if self.est.is_some() {
+                    self.check_floor(unit.in_slot, at, "wire enters bootstrap");
+                }
+                let out_level = unit.fused_level.unwrap_or(c.opts.l_eff);
+                // The oracle refreshes the level and preserves the value,
+                // so the scale class survives a mid-activation bootstrap.
+                let scale = input.map_or(ScaleClass::Delta, |s| s.scale);
+                self.write(
+                    unit.out_slot,
+                    SlotState {
+                        level: out_level,
+                        scale,
+                        from_boot: true,
+                    },
+                    at,
+                );
+                if let Some(est) = &self.est {
+                    let fresh = est.fresh();
+                    let mag = self
+                        .noise
+                        .get(unit.in_slot)
+                        .copied()
+                        .flatten()
+                        .map_or(1.0, |(_, m)| m);
+                    self.noise[unit.out_slot] = Some((fresh.sigma, mag));
+                }
+            }
+            UnitWork::Step { node } => self.walk_step(uid, node),
+            UnitWork::StepCt { node, ct } => self.walk_step_ct(uid, node, ct),
+        }
+    }
+
+    fn walk_step(&mut self, uid: usize, node: usize) {
+        let c = self.c;
+        let at = Provenance::unit(uid).at_node(node);
+        let Some(prog) = c.prog.get(node) else {
+            return; // flagged by coverage
+        };
+        let unit = &self.plan.units[uid];
+        match &prog.step {
+            Step::Input => {
+                for i in 0..unit.out_len {
+                    self.write(
+                        unit.out_slot + i,
+                        SlotState {
+                            level: c.opts.l_eff,
+                            scale: ScaleClass::Delta,
+                            from_boot: false,
+                        },
+                        at,
+                    );
+                }
+                if let Some(est) = &self.est {
+                    let fresh = est.fresh();
+                    for i in 0..unit.out_len {
+                        self.noise[unit.out_slot + i] = Some((fresh.sigma, 1.0));
+                    }
+                }
+            }
+            Step::Output => {
+                let Some(&b) = self.plan.in_bufs.get(node).and_then(|v| v.first()) else {
+                    self.error(Rule::Coverage, at, "output has no input buffer".to_string());
+                    return;
+                };
+                for (i, s) in (b.offset..b.offset + b.len).enumerate() {
+                    self.read(s, None, at);
+                    if self.est.is_some() {
+                        self.check_floor(s, at.at_ct(i), "output wire decrypts");
+                    }
+                }
+            }
+            Step::Conv { plan, weight, .. } | Step::Dense { plan, weight, .. } => {
+                let Some(lv) = self.placement_level(node, at) else {
+                    return;
+                };
+                if lv == 0 {
+                    self.error(
+                        Rule::RescaleInfeasible,
+                        at,
+                        "linear layer placed at level 0 cannot rescale its product".to_string(),
+                    );
+                    return;
+                }
+                let Some(&b) = self.plan.in_bufs.get(node).and_then(|v| v.first()) else {
+                    self.error(Rule::Coverage, at, "linear layer has no input".to_string());
+                    return;
+                };
+                let mut worst: Option<(f64, f64)> = None;
+                for s in b.offset..b.offset + b.len {
+                    let state = self.read(s, Some(lv), at);
+                    self.require_delta(state, at, "linear-layer input");
+                    if let Some((sig, mag)) = self.noise.get(s).copied().flatten() {
+                        worst = Some(worst.map_or((sig, mag), |(ws, wm): (f64, f64)| {
+                            (ws.max(sig), wm.max(mag))
+                        }));
+                    }
+                }
+                for &k in &plan.rotation_steps() {
+                    self.check_rotation(k, at);
+                }
+                let out_noise = match (&self.est, worst) {
+                    (Some(est), Some((sig, mag))) => {
+                        // Worst case per output: every rotation's
+                        // key-switch error lands in the accumulation
+                        // (RSS), then the weight pmult + rescale.
+                        let rots = plan.counts.rotations() as f64;
+                        let ks = est
+                            .key_switch(orion_ckks::NoiseEstimate { sigma: 0.0 }, lv)
+                            .sigma;
+                        let acc = orion_ckks::NoiseEstimate {
+                            sigma: (sig * sig + rots * ks * ks).sqrt(),
+                        };
+                        let w_max = weight
+                            .data()
+                            .iter()
+                            .fold(0.0f64, |m, &w| m.max(w.abs()))
+                            .max(1e-12);
+                        let out = est.pmult_rescale(acc, w_max, lv);
+                        Some((out.sigma, clamp_mag(mag * w_max)))
+                    }
+                    _ => None,
+                };
+                let unit = &self.plan.units[uid];
+                let (out_slot, out_len) = (unit.out_slot, unit.out_len);
+                for i in 0..out_len {
+                    self.write(
+                        out_slot + i,
+                        SlotState {
+                            level: lv - 1,
+                            scale: ScaleClass::Delta,
+                            from_boot: false,
+                        },
+                        at,
+                    );
+                    self.noise[out_slot + i] = out_noise;
+                }
+            }
+            other => {
+                self.error(
+                    Rule::Coverage,
+                    at,
+                    format!("step {other:?} cannot be a whole-step unit"),
+                );
+            }
+        }
+    }
+
+    fn walk_step_ct(&mut self, uid: usize, node: usize, ct: usize) {
+        let c = self.c;
+        let at = Provenance::unit(uid).at_node(node).at_ct(ct);
+        let Some(prog) = c.prog.get(node) else {
+            return; // flagged by coverage
+        };
+        let Some(lv) = self.placement_level(node, at) else {
+            return;
+        };
+        let in_slot = |checker: &mut Self, pos: usize| -> Option<usize> {
+            match checker.plan.in_bufs.get(node).and_then(|v| v.get(pos)) {
+                Some(b) if ct < b.len => Some(b.offset + ct),
+                _ => {
+                    checker.error(
+                        Rule::Coverage,
+                        at,
+                        format!("elementwise step lacks input position {pos} for this ct"),
+                    );
+                    None
+                }
+            }
+        };
+        let unit = &self.plan.units[uid];
+        let (out_slot, fused) = (unit.out_slot, unit.fused_level);
+        let noise_of = |checker: &Self, slot: usize| checker.noise.get(slot).copied().flatten();
+        let (out_level, out_scale, out_noise) = match &prog.step {
+            Step::ScaleDown { factor } => {
+                if lv == 0 {
+                    self.error(
+                        Rule::RescaleInfeasible,
+                        at,
+                        "scale-down placed at level 0 cannot rescale".to_string(),
+                    );
+                    return;
+                }
+                let Some(s) = in_slot(self, 0) else { return };
+                let state = self.read(s, Some(lv), at);
+                self.require_delta(state, at, "scale-down input");
+                let noise = match (&self.est, noise_of(self, s)) {
+                    (Some(est), Some((sig, mag))) => {
+                        let out = est.pmult_rescale(
+                            orion_ckks::NoiseEstimate { sigma: sig },
+                            *factor,
+                            lv,
+                        );
+                        Some((out.sigma, clamp_mag(mag * factor.abs())))
+                    }
+                    _ => None,
+                };
+                (fused.unwrap_or(lv - 1), ScaleClass::Delta, noise)
+            }
+            Step::PolyStage { coeffs, normalize } => {
+                let depth =
+                    orion_poly::eval::fhe_eval_depth(coeffs.len() - 1) + usize::from(*normalize);
+                if lv < depth {
+                    self.error(
+                        Rule::RescaleInfeasible,
+                        at,
+                        format!(
+                            "chebyshev stage needs {depth} levels, placed at level {lv} — \
+                             the rescale chain runs out"
+                        ),
+                    );
+                    return;
+                }
+                let Some(s) = in_slot(self, 0) else { return };
+                self.read(s, Some(lv), at);
+                let noise = match (&self.est, noise_of(self, s)) {
+                    (Some(est), Some((sig, _))) => {
+                        let mut ns = orion_ckks::NoiseEstimate { sigma: sig };
+                        for i in 0..depth {
+                            ns = est.hmult_rescale(ns, ns, 1.0, 1.0, lv - i);
+                        }
+                        Some((ns.sigma, 1.0))
+                    }
+                    _ => None,
+                };
+                let scale = if *normalize {
+                    ScaleClass::Delta
+                } else {
+                    ScaleClass::PolyInternal
+                };
+                (lv - depth, scale, noise)
+            }
+            Step::ReluFinal { magnitude } => {
+                if lv < 2 {
+                    self.error(
+                        Rule::LevelUnderflow,
+                        at,
+                        format!("relu final needs 2 levels, placed at level {lv}"),
+                    );
+                    return;
+                }
+                let (Some(u), Some(s)) = (in_slot(self, 0), in_slot(self, 1)) else {
+                    return;
+                };
+                let ustate = self.read(u, Some(lv), at);
+                self.require_delta(ustate, at, "relu magnitude input");
+                self.read(s, Some(lv - 1), at);
+                let noise = match (&self.est, noise_of(self, u), noise_of(self, s)) {
+                    (Some(est), Some((us, _)), Some((ss, _))) => {
+                        let prod = est.hmult_rescale(
+                            orion_ckks::NoiseEstimate { sigma: us },
+                            orion_ckks::NoiseEstimate { sigma: ss },
+                            1.0,
+                            1.0,
+                            lv,
+                        );
+                        let out = est.pmult_rescale(prod, *magnitude, lv - 1);
+                        Some((out.sigma, clamp_mag(*magnitude)))
+                    }
+                    _ => None,
+                };
+                (lv - 2, ScaleClass::Delta, noise)
+            }
+            Step::Square => {
+                if lv < 2 {
+                    self.error(
+                        Rule::LevelUnderflow,
+                        at,
+                        format!("square needs 2 levels, placed at level {lv}"),
+                    );
+                    return;
+                }
+                let Some(s) = in_slot(self, 0) else { return };
+                let state = self.read(s, Some(lv), at);
+                self.require_delta(state, at, "square input");
+                let noise = match (&self.est, noise_of(self, s)) {
+                    (Some(est), Some((sig, mag))) => {
+                        let ns = orion_ckks::NoiseEstimate { sigma: sig };
+                        let prod = est.hmult_rescale(ns, ns, mag, mag, lv);
+                        let out = est.pmult_rescale(prod, 1.0, lv - 1);
+                        Some((out.sigma, clamp_mag(mag * mag)))
+                    }
+                    _ => None,
+                };
+                (lv - 2, ScaleClass::Delta, noise)
+            }
+            Step::Add => {
+                let (Some(a), Some(b)) = (in_slot(self, 0), in_slot(self, 1)) else {
+                    return;
+                };
+                let astate = self.read(a, Some(lv), at);
+                let bstate = self.read(b, Some(lv), at);
+                self.require_delta(astate, at, "residual-add input 0");
+                self.require_delta(bstate, at, "residual-add input 1");
+                let noise = match (&self.est, noise_of(self, a), noise_of(self, b)) {
+                    (Some(est), Some((sa, ma)), Some((sb, mb))) => {
+                        let out = est.add(
+                            orion_ckks::NoiseEstimate { sigma: sa },
+                            orion_ckks::NoiseEstimate { sigma: sb },
+                        );
+                        Some((out.sigma, clamp_mag(ma + mb)))
+                    }
+                    _ => None,
+                };
+                (lv, ScaleClass::Delta, noise)
+            }
+            other => {
+                self.error(
+                    Rule::Coverage,
+                    at,
+                    format!("step {other:?} cannot be an elementwise unit"),
+                );
+                return;
+            }
+        };
+        self.write(
+            out_slot,
+            SlotState {
+                level: out_level,
+                scale: out_scale,
+                from_boot: false,
+            },
+            at,
+        );
+        self.noise[out_slot] = out_noise;
+    }
+
+    // -----------------------------------------------------------------
+    // Pass family 4b: certify the peak-live-limb estimate.
+    // -----------------------------------------------------------------
+
+    fn finish(mut self, cfg: &VerifyConfig<'_>) -> VerifyReport {
+        let mut peak = None;
+        let errors = self.diags.iter().any(|d| d.severity == Severity::Error);
+        if !errors {
+            // The estimate is only meaningful on a well-formed plan (the
+            // weight function trusts placement levels).
+            let plan = self.plan;
+            let n = plan.units.len();
+            let weights: Vec<u64> = (0..n)
+                .map(|u| crate::opt::produced_weight(plan, self.c, u))
+                .collect();
+            let readers: Vec<Vec<usize>> = (0..n)
+                .map(|u| {
+                    plan.succs[u]
+                        .iter()
+                        .copied()
+                        .filter(|&s| !matches!(plan.units[s].work, UnitWork::Prefetch { .. }))
+                        .collect()
+                })
+                .collect();
+            let pos: Vec<usize> = (0..n).collect();
+            let p = crate::opt::est_peak_limbs(&weights, &readers, &pos);
+            peak = Some(p);
+            if let Some(budget) = cfg.max_peak_limbs {
+                if p > budget {
+                    self.error(
+                        Rule::MemoryBound,
+                        Provenance::default(),
+                        format!(
+                            "estimated peak of {p} live limb vectors exceeds the budget {budget}"
+                        ),
+                    );
+                }
+            }
+        }
+        VerifyReport {
+            units: self.plan.units.len(),
+            diagnostics: self.diags,
+            peak_limbs: peak,
+            min_precision_bits: self.min_prec,
+            rotations_checked: self.rotations_checked,
+        }
+    }
+}
+
+/// Unused import guard: `Buffer` is part of the module's public story via
+/// `SharedRotSpec::buf`; keep the type name resolvable for doc links.
+#[allow(dead_code)]
+fn _doc_types(_: Buffer) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn provenance_renders_compactly() {
+        assert_eq!(Provenance::default().to_string(), "plan");
+        assert_eq!(Provenance::unit(3).to_string(), "unit 3");
+        assert_eq!(
+            Provenance::unit(3).at_node(7).at_ct(1).to_string(),
+            "unit 3 node 7 ct 1"
+        );
+    }
+
+    #[test]
+    fn report_counts_and_summary() {
+        let mut r = VerifyReport {
+            units: 5,
+            ..VerifyReport::default()
+        };
+        assert!(r.is_clean());
+        assert!(r.summary().contains("certified clean"));
+        r.diagnostics.push(Diagnostic {
+            rule: Rule::LevelUnderflow,
+            severity: Severity::Error,
+            at: Provenance::node(2),
+            message: "wire at level 0 but the policy needs 3".into(),
+        });
+        r.diagnostics.push(Diagnostic {
+            rule: Rule::NoiseFloor,
+            severity: Severity::Warning,
+            at: Provenance::unit(1),
+            message: "precision".into(),
+        });
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warning_count(), 1);
+        assert!(r.has_errors());
+        assert_eq!(
+            r.counts_by_rule(),
+            vec![("level-underflow", 1), ("noise-floor", 1)]
+        );
+        assert!(r.table().contains("level-underflow"));
+    }
+}

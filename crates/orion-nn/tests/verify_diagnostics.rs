@@ -1,0 +1,305 @@
+//! Negative tests for the static plan verifier: one hand-seeded defect
+//! per rule family, each asserting the exact diagnostic rule *and*
+//! provenance — plus a property test that randomly compiled valid models
+//! certify clean (before and after the optimizer pipeline), and the
+//! broken-rewrite-injection test pinning the optimizer's verify-and-
+//! rollback safety net.
+
+use orion_ckks::{CkksParams, Context};
+use orion_nn::compile::{compile, CompileOptions, Step};
+use orion_nn::fit::fixed_ranges;
+use orion_nn::network::Network;
+use orion_nn::opt::{checked_rewrite, optimize_plan, OptConfig};
+use orion_nn::sched::{ExecPlan, UnitWork};
+use orion_nn::verify::{verify_compiled, verify_plan, Rule, Severity, VerifyConfig};
+use orion_sim::CostModel;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_opts() -> CompileOptions {
+    CompileOptions {
+        slots: 128,
+        l_eff: 10,
+        cost: CostModel::for_degree(1 << 9, 4),
+    }
+}
+
+/// A conv→activation chain (mirrors the sched_plan generator): `act_kind`
+/// 0 = square, 1 = silu, 2 = relu; optional residual add around block 0.
+fn conv_net(seed: u64, blocks: usize, act_kind: usize, residual: bool) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ch = 2 + (seed as usize % 3);
+    let mut net = Network::new(ch, 8, 8);
+    let x = net.input();
+    let mut cur = x;
+    let mut anchor = None;
+    for b in 0..blocks {
+        let conv = net.conv2d(&format!("c{b}"), cur, ch, 3, 1, 1, 1, &mut rng);
+        cur = match act_kind % 3 {
+            0 => net.square(&format!("a{b}"), conv),
+            1 => net.silu(&format!("a{b}"), conv, 7),
+            _ => net.relu(&format!("a{b}"), conv, &[15, 27]),
+        };
+        if residual && b == 0 {
+            anchor = Some(cur);
+        }
+    }
+    if let (true, Some(a)) = (residual && blocks >= 2, anchor) {
+        cur = net.add("res", cur, a);
+    }
+    net.output(cur);
+    net
+}
+
+fn node_of(c: &orion_nn::Compiled, pred: impl Fn(&Step) -> bool) -> usize {
+    c.prog
+        .iter()
+        .position(|p| pred(&p.step))
+        .expect("expected step kind present")
+}
+
+// ---------------------------------------------------------------------
+// Seeded defect 1: missing rotation key.
+// ---------------------------------------------------------------------
+
+#[test]
+fn missing_rotation_key_is_flagged_at_the_linear_node() {
+    let net = conv_net(3, 1, 0, false);
+    let c = compile(&net, &fixed_ranges(&net, 4.0), &small_opts());
+    let conv = node_of(&c, |s| matches!(s, Step::Conv { .. }));
+    // Keygen covered nothing: every rotation the conv's BSGS plan touches
+    // must surface as a pre-flight error, anchored at the conv node.
+    let report = verify_compiled(
+        &c,
+        &VerifyConfig {
+            available_rotations: Some(&[]),
+            ..VerifyConfig::default()
+        },
+    );
+    let hit = report
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == Rule::MissingRotationKey)
+        .expect("missing-rotation-key diagnostic");
+    assert_eq!(hit.severity, Severity::Error);
+    assert_eq!(
+        hit.at.node,
+        Some(conv),
+        "provenance must name the conv node"
+    );
+    assert!(hit.message.contains("galois element"), "{}", hit.message);
+    // The same program against its own keygen set is covered.
+    assert!(
+        !verify_compiled(&c, &VerifyConfig::default()).has_errors(),
+        "self-keyed program must be covered"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Seeded defect 2: scale mismatch (poly-internal wire into an add).
+// ---------------------------------------------------------------------
+
+#[test]
+fn add_of_poly_internal_wire_is_a_scale_mismatch_at_the_add_node() {
+    let net = conv_net(5, 2, 2, true); // relu activations + residual add
+    let mut c = compile(&net, &fixed_ranges(&net, 4.0), &small_opts());
+    let add = node_of(&c, |s| matches!(s, Step::Add));
+    let sign = node_of(&c, |s| {
+        matches!(
+            s,
+            Step::PolyStage {
+                normalize: false,
+                ..
+            }
+        )
+    });
+    // Rewire one residual input to a raw sign-stage output: its scale is
+    // poly-internal (drifted off Δ), so the runtime's scale assert would
+    // fire inside the homomorphic add.
+    c.prog[add].inputs[1] = sign;
+    let plan = ExecPlan::build(&c);
+    let report = verify_plan(&plan, &c, &VerifyConfig::default());
+    let hit = report
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == Rule::ScaleMismatch)
+        .expect("scale-mismatch diagnostic");
+    assert_eq!(hit.severity, Severity::Error);
+    assert_eq!(hit.at.node, Some(add), "provenance must name the add node");
+}
+
+// ---------------------------------------------------------------------
+// Seeded defect 3: level underflow (square placed below its depth).
+// ---------------------------------------------------------------------
+
+#[test]
+fn square_placed_below_its_depth_is_a_level_underflow_at_the_square_node() {
+    let net = conv_net(7, 1, 0, false);
+    let mut c = compile(&net, &fixed_ranges(&net, 4.0), &small_opts());
+    let square = node_of(&c, |s| matches!(s, Step::Square));
+    // A square consumes two levels; placement at level 1 would hit the
+    // executor's `lv >= 2` assert mid-inference.
+    c.placement.levels[square] = Some(1);
+    let plan = ExecPlan::build(&c);
+    let report = verify_plan(&plan, &c, &VerifyConfig::default());
+    let hit = report
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == Rule::LevelUnderflow)
+        .expect("level-underflow diagnostic");
+    assert_eq!(hit.severity, Severity::Error);
+    assert_eq!(
+        hit.at.node,
+        Some(square),
+        "provenance must name the square node"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Seeded defect 4: noise-floor breach.
+// ---------------------------------------------------------------------
+
+#[test]
+fn unreachable_noise_floor_draws_a_warning_not_an_error() {
+    let params = CkksParams::tiny();
+    let net = conv_net(9, 1, 0, false);
+    let c = compile(
+        &net,
+        &fixed_ranges(&net, 4.0),
+        &CompileOptions::from_params(&params),
+    );
+    let ctx = Context::new(params);
+    // A 1000-bit floor is unsatisfiable by construction: every checkpoint
+    // (bootstrap input / output wire) must breach it.
+    let report = verify_plan(
+        &ExecPlan::build(&c),
+        &c,
+        &VerifyConfig {
+            ctx: Some(&ctx),
+            noise_floor_bits: 1000.0,
+            ..VerifyConfig::default()
+        },
+    );
+    let hit = report
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == Rule::NoiseFloor)
+        .expect("noise-floor diagnostic");
+    assert_eq!(hit.severity, Severity::Warning, "floor breach is advisory");
+    assert!(
+        hit.at.unit.is_some() || hit.at.node.is_some(),
+        "floor breach carries provenance"
+    );
+    assert!(
+        report.min_precision_bits.is_some(),
+        "noise pass records worst-case precision"
+    );
+    assert!(!report.has_errors(), "warnings alone are not errors");
+    // The same program under the default (2-bit) floor is quiet.
+    let relaxed = verify_plan(&ExecPlan::build(&c), &c, &VerifyConfig::with_ctx(&ctx));
+    assert!(
+        relaxed
+            .diagnostics
+            .iter()
+            .all(|d| d.rule != Rule::NoiseFloor),
+        "tiny-params square net keeps >2 bits of precision"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Seeded defect 5: malformed SharedRot wiring.
+// ---------------------------------------------------------------------
+
+#[test]
+fn dangling_shared_rot_spec_is_flagged_at_the_consumer_unit() {
+    let net = conv_net(11, 1, 0, false);
+    let c = compile(&net, &fixed_ranges(&net, 4.0), &small_opts());
+    let mut plan = ExecPlan::build(&c);
+    let uid = plan
+        .units
+        .iter()
+        .position(|u| {
+            matches!(u.work, UnitWork::Step { node }
+                if matches!(c.prog[node].step, Step::Conv { .. } | Step::Dense { .. }))
+        })
+        .expect("linear step unit");
+    // Mark a linear unit as consuming shared-rotation spec 42, which no
+    // SharedRot unit computes — the optimizer contract is broken.
+    plan.units[uid].shared_rots = Some(42);
+    let report = verify_plan(&plan, &c, &VerifyConfig::default());
+    let hit = report
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == Rule::SharedRotMalformed)
+        .expect("shared-rot-malformed diagnostic");
+    assert_eq!(hit.severity, Severity::Error);
+    assert_eq!(
+        hit.at.unit,
+        Some(uid),
+        "provenance must name the consumer unit"
+    );
+}
+
+// ---------------------------------------------------------------------
+// The optimizer safety net: a deliberately broken rewrite is rejected
+// and rolled back byte-identically.
+// ---------------------------------------------------------------------
+
+#[test]
+fn broken_rewrite_is_rejected_and_rolled_back() {
+    let net = conv_net(13, 2, 0, false);
+    let c = compile(&net, &fixed_ranges(&net, 4.0), &small_opts());
+    let mut plan = ExecPlan::build(&c);
+    let before = plan.digest();
+    // Inject a rewrite that puts a fused level on an unfusable unit (the
+    // input step) — exactly the class of optimizer bug the per-pass
+    // re-verification exists to contain.
+    let res = checked_rewrite(&mut plan, &c, |p| {
+        p.units[0].fused_level = Some(0);
+    });
+    let report = res.expect_err("broken rewrite must be rejected");
+    assert!(report.has_errors());
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == Rule::FusedLevel),
+        "rejection names the fused-level rule: {}",
+        report.table()
+    );
+    assert_eq!(plan.digest(), before, "rollback must be byte-identical");
+
+    // A sound rewrite (no-op) passes through the same gate.
+    checked_rewrite(&mut plan, &c, |_| {}).expect("no-op rewrite verifies");
+    assert_eq!(plan.digest(), before);
+}
+
+// ---------------------------------------------------------------------
+// Property: every randomly compiled valid model certifies clean, before
+// and after the full optimizer pipeline, and no pass is ever rejected.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_valid_models_verify_clean(
+        seed in 0u64..1000,
+        blocks in 1usize..4,
+        act_kind in 0usize..3,
+        residual in prop::sample::select(vec![false, true]),
+    ) {
+        let net = conv_net(seed, blocks, act_kind, residual);
+        let c = compile(&net, &fixed_ranges(&net, 4.0), &small_opts());
+        let report = verify_compiled(&c, &VerifyConfig::default());
+        prop_assert!(report.is_clean(), "unoptimized: {}", report.table());
+        prop_assert!(report.peak_limbs.is_some(), "clean plans get certified peaks");
+
+        let mut plan = ExecPlan::build(&c);
+        let stats = optimize_plan(&mut plan, &c, OptConfig::default());
+        prop_assert_eq!(stats.rejected_passes, 0, "no sound pass is rejected");
+        let after = verify_plan(&plan, &c, &VerifyConfig::default());
+        prop_assert!(after.is_clean(), "optimized: {}", after.table());
+    }
+}

@@ -109,6 +109,17 @@ pub enum ServeError {
     },
     /// The server is shutting down (or already gone).
     ShuttingDown,
+    /// The model failed static plan certification at registration
+    /// (`orion_nn::verify`) — rejected up front instead of panicking in a
+    /// worker mid-request.
+    Unverifiable {
+        /// The model name offered at registration.
+        model: String,
+        /// Error-severity diagnostics drawn.
+        errors: usize,
+        /// The full diagnostic table.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -130,11 +141,36 @@ impl std::fmt::Display for ServeError {
                 )
             }
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Unverifiable {
+                model,
+                errors,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "model {model:?} failed static verification with {errors} error(s):\n{detail}"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for ServeError {}
+
+/// Registration choke point: static plan certification (structural
+/// profile — scale/level typechecking, key coverage, well-formedness; no
+/// Context is built at registration). Warnings are tolerated.
+fn certify_model(name: &str, compiled: &Compiled) -> Result<(), ServeError> {
+    let report = orion_nn::verify_compiled(compiled, &orion_nn::VerifyConfig::default());
+    if report.has_errors() {
+        return Err(ServeError::Unverifiable {
+            model: name.to_string(),
+            errors: report.error_count(),
+            detail: report.table(),
+        });
+    }
+    Ok(())
+}
 
 /// A served inference result.
 pub struct ServeOutput {
@@ -252,16 +288,21 @@ impl Server {
     /// builds a preparation session from `prep_seed` (its keys only serve
     /// the setup-time activation replay; the encoded artifacts themselves
     /// are key-independent and shared by every client of the model).
+    ///
+    /// The model is statically verified first ([`orion_nn::verify`]); an
+    /// unverifiable program is rejected with [`ServeError::Unverifiable`]
+    /// before any key material or weight encoding is built.
     pub fn add_model(
         &self,
         name: &str,
         compiled: Compiled,
         params: CkksParams,
         prep_seed: u64,
-    ) -> ModelId {
+    ) -> Result<ModelId, ServeError> {
+        certify_model(name, &compiled)?;
         let prep = FheSession::new(params.clone(), &compiled, prep_seed);
         let prepared = prep.prepare(&compiled);
-        self.install_model(name, compiled, params, prepared, None)
+        Ok(self.install_model(name, compiled, params, prepared, None))
     }
 
     /// Hosts a compiled model with **memory-capped paged** weights: the
@@ -277,6 +318,7 @@ impl Server {
         store_dir: &Path,
         budget_bytes: usize,
     ) -> Result<ModelId, ServeError> {
+        certify_model(name, &compiled)?;
         let prep = FheSession::new(params.clone(), &compiled, prep_seed);
         let prepared = prep.prepare(&compiled);
         let store = DiagStore::open(store_dir).map_err(|error| ServeError::Store {

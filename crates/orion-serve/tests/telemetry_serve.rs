@@ -75,7 +75,9 @@ fn traced_serving_exports_spans_histograms_and_critical_path() {
         queue_capacity: 16,
     });
     let (compiled, params, shape) = square_model(0x7e1e_5e01);
-    let model = server.add_model("traced", compiled, params, 0xbeef);
+    let model = server
+        .add_model("traced", compiled, params, 0xbeef)
+        .expect("model verifies");
     let client = server.add_client(model, 0xc11e).expect("client");
     server.start();
 
@@ -197,7 +199,9 @@ fn bad_input_is_rejected_at_admission_and_typed() {
     let _g = lock_and_init();
     let mut server = Server::new(ServeConfig::default());
     let (compiled, params, shape) = square_model(0x7e1e_5e02);
-    let model = server.add_model("strict", compiled, params, 0xbee2);
+    let model = server
+        .add_model("strict", compiled, params, 0xbee2)
+        .expect("model verifies");
     let client = server.add_client(model, 0xc12e).expect("client");
     server.start();
 

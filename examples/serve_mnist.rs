@@ -93,7 +93,9 @@ fn main() {
     // Tenant 1: fully resident.
     let (net_b, params_b) = mlp_silu(&mut rng);
     let compiled_b = Orion::for_params(&params_b).compile(&net_b, &calib);
-    let model_b = server.add_model("mnist-silu", compiled_b, params_b, 3);
+    let model_b = server
+        .add_model("mnist-silu", compiled_b, params_b, 3)
+        .expect("model verifies");
     println!("mnist-silu: resident");
 
     // Three clients, each with its own keys (two tenants share model A's

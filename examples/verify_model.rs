@@ -1,0 +1,81 @@
+//! The human entry point to the static plan verifier: compiles a model
+//! from the zoo and prints its certification — a diagnostic table when
+//! anything fires, "certified clean" otherwise. Exits nonzero on any
+//! error-severity diagnostic, so it doubles as a CI gate.
+//!
+//! ```sh
+//! cargo run --release --example verify_model -- resnet20
+//! cargo run --release --example verify_model -- mlp medium
+//! ```
+//!
+//! The first argument is a zoo model name (`mlp`, `lenet5`, `resnet20`,
+//! …; default `resnet20`). The second selects parameters: `paper`
+//! (default — N = 2¹⁶ planning scale, structural passes only) or
+//! `tiny`/`medium` (concrete CKKS parameters; the noise-budget pass joins
+//! in under the matching `Context`).
+
+use orion::ckks::{CkksParams, Context};
+use orion::models::data::synthetic_images;
+use orion::models::{build, Act};
+use orion::nn::compile::{compile, CompileOptions};
+use orion::nn::fit::fit_robust;
+use orion::nn::verify::{verify_compiled, VerifyConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let model = args.get(1).map(String::as_str).unwrap_or("resnet20");
+    let preset = args.get(2).map(String::as_str).unwrap_or("paper");
+
+    let mut rng = StdRng::seed_from_u64(0x7e11);
+    let (net, info) = build(model, Act::SiluDeg(63), &mut rng);
+    let (c, h, w) = info.input;
+    let calib = synthetic_images(c, h, w, 2, 0x5eed);
+
+    let (opts, ctx) = match preset {
+        "paper" => (CompileOptions::paper(), None),
+        "tiny" => {
+            let p = CkksParams::tiny();
+            (CompileOptions::from_params(&p), Some(Context::new(p)))
+        }
+        "medium" => {
+            let p = CkksParams::medium();
+            (CompileOptions::from_params(&p), Some(Context::new(p)))
+        }
+        other => {
+            eprintln!("unknown parameter preset {other:?} (expected paper|tiny|medium)");
+            std::process::exit(2);
+        }
+    };
+
+    // Compile directly (not through `Orion::compile`, which would panic on
+    // an unverifiable program — this tool's job is to *show* the table).
+    let fitres = fit_robust(&net, &calib, 4);
+    let compiled = compile(&net, &fitres, &opts);
+
+    let cfg = match &ctx {
+        Some(ctx) => VerifyConfig::with_ctx(ctx),
+        None => VerifyConfig::default(),
+    };
+    let report = verify_compiled(&compiled, &cfg);
+
+    println!(
+        "{model} ({}, {} steps, {} rotations, {} bootstraps) under {preset} parameters:",
+        info.dataset,
+        compiled.prog.len(),
+        compiled.planned_rotations(),
+        compiled.placement.boot_count,
+    );
+    if report.is_clean() {
+        println!("certified clean — {}", report.summary());
+    } else {
+        println!("{}", report.table());
+        for (rule, n) in report.counts_by_rule() {
+            println!("  {rule}: {n}");
+        }
+    }
+    if report.has_errors() {
+        std::process::exit(1);
+    }
+}
